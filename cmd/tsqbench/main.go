@@ -1,0 +1,192 @@
+// Command tsqbench regenerates every figure and table of the evaluation
+// section of Rafiei & Mendelzon, "Similarity-Based Queries for Time Series
+// Data" (SIGMOD 1997), printing the same rows and series the paper
+// reports.
+//
+// Usage:
+//
+//	tsqbench                  # everything at paper scale
+//	tsqbench -fig 8           # a single figure (8, 9, 10, 11, 12)
+//	tsqbench -table 1         # Table 1
+//	tsqbench -ablations      # the ablation studies from DESIGN.md
+//	tsqbench -quick           # reduced sizes for a fast smoke run
+//	tsqbench -queries 50      # repetitions per timing point
+//
+// Timing columns report both measured wall time on the in-memory
+// substrate and "modeled" time that charges a fixed cost per simulated
+// page read (see EXPERIMENTS.md); the paper's wall-clock shapes for the
+// scan-vs-index comparisons were disk-bound and correspond to the modeled
+// column.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "regenerate a single figure (8-12); 0 = all")
+		table     = flag.Int("table", 0, "regenerate a single table (1); 0 = all")
+		ablations = flag.Bool("ablations", false, "run only the ablation studies")
+		quick     = flag.Bool("quick", false, "reduced data sizes for a fast run")
+		queries   = flag.Int("queries", 20, "query repetitions per timing point")
+		seed      = flag.Int64("seed", 1997, "base RNG seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Queries: *queries, Seed: *seed}
+	if err := run(cfg, *fig, *table, *ablations, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "tsqbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, fig, table int, ablationsOnly, quick bool) error {
+	lengths := experiments.DefaultFigure8Lengths
+	counts := experiments.DefaultFigure9Counts
+	fig8Series := 1000
+	fig10Series := 1000
+	if quick {
+		lengths = []int{64, 128, 256}
+		counts = []int{500, 1000, 2000}
+		fig8Series = 300
+		fig10Series = 300
+	}
+
+	if ablationsOnly {
+		return runAblations(cfg)
+	}
+	all := fig == 0 && table == 0
+
+	if all || fig == 8 {
+		pts, err := experiments.Figure8(lengths, fig8Series, cfg)
+		if err != nil {
+			return err
+		}
+		printTiming("Figure 8 — time per query varying the sequence length "+
+			fmt.Sprintf("(%d sequences, identity transformation)", fig8Series),
+			"length", "index+transform", "index plain", pts, true)
+	}
+	if all || fig == 9 {
+		pts, err := experiments.Figure9(counts, 128, cfg)
+		if err != nil {
+			return err
+		}
+		printTiming("Figure 9 — time per query varying the number of sequences (length 128)",
+			"sequences", "index+transform", "index plain", pts, true)
+	}
+	if all || fig == 10 {
+		pts, err := experiments.Figure10(lengths, fig10Series, cfg)
+		if err != nil {
+			return err
+		}
+		printTiming(fmt.Sprintf("Figure 10 — index vs sequential scan varying the sequence length (%d sequences, mavg transform)", fig10Series),
+			"length", "index", "seq scan", pts, false)
+	}
+	if all || fig == 11 {
+		pts, err := experiments.Figure11(counts, 128, cfg)
+		if err != nil {
+			return err
+		}
+		printTiming("Figure 11 — index vs sequential scan varying the number of sequences (length 128, mavg transform)",
+			"sequences", "index", "seq scan", pts, false)
+	}
+	if all || fig == 12 {
+		pts, err := experiments.Figure12(experiments.DefaultFigure12Eps, cfg)
+		if err != nil {
+			return err
+		}
+		tbl := stats.NewTable("Figure 12 — time per query varying the size of the answer set (1067 stock-like series, length 128, mavg(20))",
+			"eps", "answers", "index ms", "scan ms", "index pages", "scan pages", "index modeled ms", "scan modeled ms")
+		for _, p := range pts {
+			tbl.AddRow(
+				fmt.Sprintf("%.1f", p.Eps), p.AnswerSize,
+				fmt.Sprintf("%.3f", p.MsIndex), fmt.Sprintf("%.3f", p.MsScan),
+				fmt.Sprintf("%.0f", p.PagesIndex), fmt.Sprintf("%.0f", p.PagesScan),
+				fmt.Sprintf("%.3f", p.ModeledIndex()), fmt.Sprintf("%.3f", p.ModeledScan()),
+			)
+		}
+		fmt.Println(tbl)
+	}
+	if all || table == 1 {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		tbl := stats.NewTable("Table 1 — spatial self-join under T_mavg20 (1067 stock-like series, length 128, eps 1.0)",
+			"method", "time", "modeled time ms", "answer set", "page reads", "distance terms")
+		for _, r := range rows {
+			tbl.AddRow(r.Method, r.Elapsed,
+				fmt.Sprintf("%.1f", experiments.Modeled(float64(r.Elapsed.Microseconds())/1000, r.PageReads)),
+				r.AnswerSize, r.PageReads, r.DistanceTerms)
+		}
+		fmt.Println(tbl)
+	}
+	if all {
+		return runAblations(cfg)
+	}
+	return nil
+}
+
+func runKTradeoff(cfg experiments.Config) error {
+	rows, err := experiments.AblationK([]int{1, 2, 3, 4, 6}, cfg)
+	if err != nil {
+		return err
+	}
+	tbl := stats.NewTable("k-index cut-off trade-off (1000 series x 128, mavg(20) range queries)",
+		"K", "index dims", "candidates/query", "nodes/query", "ms/query")
+	for _, r := range rows {
+		tbl.AddRow(r.K, r.Dims, fmt.Sprintf("%.1f", r.Candidates), fmt.Sprintf("%.1f", r.Nodes), fmt.Sprintf("%.3f", r.MsPerQuery))
+	}
+	fmt.Println(tbl)
+	return nil
+}
+
+func printTiming(title, xLabel, aLabel, bLabel string, pts []experiments.TimingPoint, nodes bool) {
+	headers := []string{xLabel, aLabel + " ms", bLabel + " ms"}
+	if nodes {
+		headers = append(headers, aLabel+" nodes", bLabel+" nodes")
+	} else {
+		headers = append(headers, aLabel+" modeled ms", bLabel+" modeled ms")
+	}
+	tbl := stats.NewTable(title, headers...)
+	for _, p := range pts {
+		row := []interface{}{
+			fmt.Sprintf("%.0f", p.X),
+			fmt.Sprintf("%.3f", p.A), fmt.Sprintf("%.3f", p.B),
+		}
+		if nodes {
+			row = append(row, fmt.Sprintf("%.1f", p.NodesA), fmt.Sprintf("%.1f", p.NodesB))
+		} else {
+			row = append(row, fmt.Sprintf("%.3f", p.ModeledA()), fmt.Sprintf("%.3f", p.ModeledB()))
+		}
+		tbl.AddRow(row...)
+	}
+	fmt.Println(tbl)
+}
+
+func runAblations(cfg experiments.Config) error {
+	tbl := stats.NewTable("Ablations", "study", "baseline", "variant", "metric", "note")
+	type fn func(experiments.Config) (experiments.AblationResult, error)
+	for _, f := range []fn{
+		experiments.AblationReinsert,
+		experiments.AblationBulkLoad,
+		experiments.AblationEarlyAbandon,
+		experiments.AblationPartialPrune,
+		experiments.AblationAngularSeam,
+		experiments.AblationBufferPool,
+	} {
+		r, err := f(cfg)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(r.Name, fmt.Sprintf("%.1f", r.Baseline), fmt.Sprintf("%.1f", r.Variant), r.Metric, r.Note)
+	}
+	fmt.Println(tbl)
+	return runKTradeoff(cfg)
+}

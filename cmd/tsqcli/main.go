@@ -1,0 +1,134 @@
+// Command tsqcli loads a CSV of time series and executes statements of the
+// tsq query language against them, either from -query or interactively
+// from standard input (one statement per line).
+//
+// Usage:
+//
+//	tsqgen -count 500 -length 128 > walks.csv
+//	tsqcli -data walks.csv -query "RANGE SERIES 'W0007' EPS 2 TRANSFORM mavg(20) BOTH"
+//	tsqcli -data walks.csv        # interactive: type statements, blank line or EOF quits
+//
+// The query language:
+//
+//	RANGE  SERIES 'name' EPS e [TRANSFORM t] [BOTH] [USING INDEX|SCAN|SCANTIME] [MEAN [lo,hi]] [STD [lo,hi]]
+//	RANGE  VALUES (v1, v2, ...) EPS e ...
+//	NN     SERIES 'name' K k [TRANSFORM t] [USING ...]
+//	SELFJOIN EPS e [TRANSFORM t] [METHOD a|b|c|d]
+//
+// with transformations identity(), mavg(l), wmavg(w...), reverse(),
+// scale(c), shift(c), warp(m), composed left-to-right with '|'.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	tsq "repro"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "CSV file of series: name,v1,v2,...")
+		queryStr = flag.String("query", "", "single statement to execute (default: interactive)")
+		k        = flag.Int("k", 2, "DFT coefficients kept in the index")
+		space    = flag.String("space", "polar", "feature space: polar or rect")
+		maxRows  = flag.Int("maxrows", 20, "result rows to print")
+	)
+	flag.Parse()
+
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "tsqcli: -data is required")
+		os.Exit(2)
+	}
+	if err := run(*dataPath, *queryStr, *k, *space, *maxRows); err != nil {
+		fmt.Fprintln(os.Stderr, "tsqcli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, queryStr string, k int, space string, maxRows int) error {
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	batch, err := tsq.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	if len(batch) == 0 {
+		return fmt.Errorf("no series in %s", dataPath)
+	}
+
+	opts := tsq.Options{Length: len(batch[0].Values), K: k}
+	switch strings.ToLower(space) {
+	case "polar":
+		opts.Space = tsq.Polar
+	case "rect":
+		opts.Space = tsq.Rect
+	default:
+		return fmt.Errorf("unknown space %q (want polar or rect)", space)
+	}
+	db, err := tsq.Open(opts)
+	if err != nil {
+		return err
+	}
+	if err := db.InsertAll(batch); err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d series of length %d from %s (%s space, K=%d)\n",
+		db.Len(), db.Length(), dataPath, space, k)
+
+	if queryStr != "" {
+		return execute(db, queryStr, maxRows)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("tsq> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
+			break
+		}
+		if err := execute(db, line, maxRows); err != nil {
+			fmt.Println("error:", err)
+		}
+		fmt.Print("tsq> ")
+	}
+	return sc.Err()
+}
+
+func execute(db *tsq.DB, src string, maxRows int) error {
+	out, err := db.Query(src)
+	if err != nil {
+		return err
+	}
+	switch out.Kind {
+	case "SELFJOIN":
+		fmt.Printf("%d pairs (%.3f ms, %d node accesses, %d pages)\n",
+			len(out.Pairs), float64(out.Stats.Elapsed.Microseconds())/1000,
+			out.Stats.NodeAccesses, out.Stats.PageReads)
+		for i, p := range out.Pairs {
+			if i == maxRows {
+				fmt.Printf("  ... %d more\n", len(out.Pairs)-maxRows)
+				break
+			}
+			fmt.Printf("  %-10s %-10s D=%.4f\n", p.A, p.B, p.Distance)
+		}
+	default:
+		fmt.Printf("%d matches (%.3f ms, %d node accesses, %d pages, %d verified)\n",
+			len(out.Matches), float64(out.Stats.Elapsed.Microseconds())/1000,
+			out.Stats.NodeAccesses, out.Stats.PageReads, out.Stats.Candidates)
+		for i, m := range out.Matches {
+			if i == maxRows {
+				fmt.Printf("  ... %d more\n", len(out.Matches)-maxRows)
+				break
+			}
+			fmt.Printf("  %-10s D=%.4f\n", m.Name, m.Distance)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package tsq
+
+import (
+	"fmt"
+
+	"repro/internal/jmm"
+	"repro/internal/transform"
+)
+
+// CostTrace explains a CostDistance result: which transformations were
+// applied to which side, their total cost, and the residual Euclidean
+// distance. Total = TransformCost + Euclidean is the value of the paper's
+// Equation 10.
+type CostTrace struct {
+	XSide, YSide  []string
+	TransformCost float64
+	Euclidean     float64
+}
+
+// Total returns TransformCost + Euclidean.
+func (t CostTrace) Total() float64 { return t.TransformCost + t.Euclidean }
+
+// CostDistance evaluates the paper's cost-bounded dissimilarity measure
+// (Equation 10, after the JMM95 framework): the minimum over all ways of
+// applying transformations from the vocabulary to either series — each
+// application paying its cost, the total capped by budget — of
+// (total cost + Euclidean distance). Every transformation must carry a
+// positive cost (set with WithCost); warp transforms are not supported.
+//
+// Example (the paper's Example 1.1): with MovingAverage(3).WithCost(1) in
+// the vocabulary and budget 4, two raw series at distance 11.92 whose
+// 3-day moving averages are 0.47 apart score 2.47: one smoothing
+// application on each side.
+func CostDistance(x, y []float64, budget float64, vocabulary ...Transform) (float64, CostTrace, error) {
+	if len(x) != len(y) {
+		return 0, CostTrace{}, fmt.Errorf("tsq: length mismatch %d vs %d", len(x), len(y))
+	}
+	ts := make([]transform.T, 0, len(vocabulary))
+	for _, v := range vocabulary {
+		tr, warp, err := v.materialize(len(x))
+		if err != nil {
+			return 0, CostTrace{}, err
+		}
+		if warp != 0 {
+			return 0, CostTrace{}, fmt.Errorf("tsq: warp is not supported in CostDistance")
+		}
+		ts = append(ts, tr)
+	}
+	m := jmm.Measure{Transforms: ts, Budget: budget}
+	d, trace, err := m.Distance(x, y)
+	if err != nil {
+		return 0, CostTrace{}, err
+	}
+	out := CostTrace{
+		TransformCost: trace.TransformCost,
+		Euclidean:     trace.Euclidean,
+	}
+	for _, a := range trace.XSide {
+		out.XSide = append(out.XSide, a.Name)
+	}
+	for _, a := range trace.YSide {
+		out.YSide = append(out.YSide, a.Name)
+	}
+	return d, out, nil
+}
+
+// ProportionalBudget returns factor times the raw Euclidean distance of
+// the two series — the budget rule of thumb the paper suggests in
+// Section 2.
+func ProportionalBudget(x, y []float64, factor float64) float64 {
+	return jmm.BudgetProportional(x, y, factor)
+}

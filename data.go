@@ -1,0 +1,93 @@
+package tsq
+
+import (
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/series"
+)
+
+// NamedSeries pairs a series name with its values.
+type NamedSeries struct {
+	Name   string
+	Values []float64
+}
+
+// RandomWalks generates count synthetic random-walk series of the given
+// length using the paper's model (Section 5): start value in [20, 99],
+// steps in [-4, 4]. Deterministic for a fixed seed.
+func RandomWalks(count, length int, seed int64) []NamedSeries {
+	return convert(dataset.RandomWalks(count, length, seed))
+}
+
+// StockEnsemble generates the stock-like data set substituting for the
+// paper's 1067x128 stock relation: twelve pairs similar under the 20-day
+// moving average at threshold StockEnsembleEps, three of which are similar
+// even without it, plus four opposite-movement pairs. See DESIGN.md for
+// the substitution rationale.
+func StockEnsemble(seed int64) []NamedSeries {
+	return convert(dataset.DefaultStockEnsemble(seed).Series)
+}
+
+// StockEnsembleEps is the range threshold under which StockEnsemble's
+// planted pair structure holds exactly.
+const StockEnsembleEps = 1.0
+
+func convert(in []dataset.Series) []NamedSeries {
+	out := make([]NamedSeries, len(in))
+	for i, s := range in {
+		out[i] = NamedSeries{Name: s.Name, Values: s.Values}
+	}
+	return out
+}
+
+// InsertAll inserts a batch of named series, stopping at the first error.
+func (db *DB) InsertAll(batch []NamedSeries) error {
+	for _, s := range batch {
+		if err := db.Insert(s.Name, s.Values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSV loads series from CSV rows of the form "name,v1,v2,...".
+// Blank lines and lines starting with '#' are skipped.
+func ReadCSV(r io.Reader) ([]NamedSeries, error) {
+	in, err := dataset.ReadCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return convert(in), nil
+}
+
+// WriteCSV writes series as CSV rows of the form "name,v1,v2,...".
+func WriteCSV(w io.Writer, batch []NamedSeries) error {
+	out := make([]dataset.Series, len(batch))
+	for i, s := range batch {
+		out[i] = dataset.Series{Name: s.Name, Values: s.Values}
+	}
+	return dataset.WriteCSV(w, out)
+}
+
+// NormalForm returns the normal form of a series (paper Equation 9, after
+// Goldin & Kanellakis): subtract the mean, divide by the standard
+// deviation. All query distances are computed between (transformed)
+// normal forms.
+func NormalForm(s []float64) []float64 { return series.NormalForm(s) }
+
+// normalForm is the internal alias used by Distance.
+func normalForm(s []float64) []float64 { return series.NormalForm(s) }
+
+// MovingAverageSeries returns the l-day circular moving average of a raw
+// series — the time-domain counterpart of the MovingAverage transform,
+// handy for plotting and for verifying transformations by hand.
+func MovingAverageSeries(s []float64, l int) []float64 {
+	return series.MovingAverageCircular(s, l)
+}
+
+// EuclideanDistance returns the plain Euclidean distance between two
+// equal-length series.
+func EuclideanDistance(x, y []float64) float64 {
+	return series.EuclideanDistance(x, y)
+}

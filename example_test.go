@@ -1,0 +1,88 @@
+package tsq_test
+
+import (
+	"fmt"
+
+	tsq "repro"
+)
+
+// The paper's Example 1.1: two stock-price sequences that look different
+// day by day but nearly identical once smoothed with a 3-day moving
+// average.
+func ExampleTransform_Apply() {
+	s1 := []float64{36, 38, 40, 38, 42, 38, 36, 36, 37, 38, 39, 38, 40, 38, 37}
+	s2 := []float64{40, 37, 37, 42, 41, 35, 40, 35, 34, 42, 38, 35, 45, 36, 34}
+
+	fmt.Printf("raw:      D = %.2f\n", tsq.EuclideanDistance(s1, s2))
+	m1, _ := tsq.MovingAverage(3).Apply(s1)
+	m2, _ := tsq.MovingAverage(3).Apply(s2)
+	fmt.Printf("smoothed: D = %.2f\n", tsq.EuclideanDistance(m1, m2))
+	// Output:
+	// raw:      D = 11.92
+	// smoothed: D = 0.47
+}
+
+// The paper's Example 1.2: a series sampled every other day matches a
+// daily series through time warping.
+func ExampleWarp() {
+	p := []float64{20, 21, 20, 23}
+	warped, _ := tsq.Warp(2).Apply(p)
+	fmt.Println(warped)
+	// Output:
+	// [20 20 21 21 20 20 23 23]
+}
+
+// Range queries find stored series whose (transformed) normal form lies
+// within eps of the query's.
+func ExampleDB_Range() {
+	db := tsq.MustOpen(tsq.Options{Length: 64})
+	_ = db.InsertAll(tsq.RandomWalks(100, 64, 42))
+
+	// The stored series itself is always within distance 0 of itself.
+	q, _ := db.Series("W0007")
+	matches, _, _ := db.Range(q, 0.5, tsq.Identity())
+	fmt.Println(matches[0].Name, matches[0].Distance)
+	// Output:
+	// W0007 0
+}
+
+// Transformations compose left to right; Then(MovingAverage) after
+// Reverse expresses "opposite movement, smoothed" (the paper's hedging
+// query).
+func ExampleTransform_Then() {
+	t := tsq.Reverse().Then(tsq.MovingAverage(20))
+	fmt.Println(t)
+	// Output:
+	// reverse|mavg(20)
+}
+
+// The cost-bounded dissimilarity of the paper's Equation 10: smoothing
+// both sides costs 2 and leaves the Example 1.1 residual of 0.47.
+func ExampleCostDistance() {
+	s1 := []float64{36, 38, 40, 38, 42, 38, 36, 36, 37, 38, 39, 38, 40, 38, 37}
+	s2 := []float64{40, 37, 37, 42, 41, 35, 40, 35, 34, 42, 38, 35, 45, 36, 34}
+	d, trace, _ := tsq.CostDistance(s1, s2, 4, tsq.MovingAverage(3).WithCost(1))
+	fmt.Printf("D = %.2f (cost %.0f + residual %.2f)\n", d, trace.TransformCost, trace.Euclidean)
+	// Output:
+	// D = 2.47 (cost 2 + residual 0.47)
+}
+
+// The query language expresses the same operations declaratively.
+func ExampleDB_Query() {
+	db := tsq.MustOpen(tsq.Options{Length: 64})
+	_ = db.InsertAll(tsq.RandomWalks(50, 64, 42))
+
+	out, _ := db.Query("NN SERIES 'W0003' K 1 TRANSFORM mavg(5) BOTH")
+	fmt.Println(out.Kind, out.Matches[0].Name)
+	// Output:
+	// NN W0003
+}
+
+// NormalForm is the paper's Equation 9: zero mean, unit standard
+// deviation — the representation every stored series is indexed under.
+func ExampleNormalForm() {
+	nf := tsq.NormalForm([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	fmt.Printf("%.1f\n", nf[0])
+	// Output:
+	// -1.5
+}

@@ -1,0 +1,65 @@
+// Figures renders text versions of the paper's motivating plots —
+// Figure 1 (two stocks that look different until smoothed) and Figure 2
+// (two sampling rates reconciled by warping) — using the exact sequences
+// printed in the paper.
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	tsq "repro"
+)
+
+func main() {
+	s1 := []float64{36, 38, 40, 38, 42, 38, 36, 36, 37, 38, 39, 38, 40, 38, 37}
+	s2 := []float64{40, 37, 37, 42, 41, 35, 40, 35, 34, 42, 38, 35, 45, 36, 34}
+
+	fmt.Println("Figure 1 — (a) s1 and (b) s2 look different; (c),(d) their 3-day moving averages do not")
+	fmt.Println()
+	plot("(a) s1", s1)
+	plot("(b) s2", s2)
+	m1, _ := tsq.MovingAverage(3).Apply(s1)
+	m2, _ := tsq.MovingAverage(3).Apply(s2)
+	plot("(c) mavg3(s1)", m1)
+	plot("(d) mavg3(s2)", m2)
+	fmt.Printf("D(s1, s2) = %.2f        D(mavg3(s1), mavg3(s2)) = %.2f\n\n",
+		tsq.EuclideanDistance(s1, s2), tsq.EuclideanDistance(m1, m2))
+
+	s := []float64{20, 20, 21, 21, 20, 20, 23, 23}
+	p := []float64{20, 21, 20, 23}
+	fmt.Println("Figure 2 — (a) s sampled daily; (b) p sampled every other day; warp(p, 2) == s")
+	fmt.Println()
+	plot("(a) s", s)
+	plot("(b) p", p)
+	w, _ := tsq.Warp(2).Apply(p)
+	plot("    warp(p,2)", w)
+}
+
+// plot renders a series as a small ASCII chart: one column per value, rows
+// from max down to min.
+func plot(label string, vals []float64) {
+	const height = 8
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	rows := make([][]byte, height)
+	for r := range rows {
+		rows[r] = []byte(strings.Repeat(" ", 2*len(vals)))
+	}
+	for i, v := range vals {
+		r := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+		rows[r][2*i] = '*'
+	}
+	fmt.Printf("%s  [%.1f .. %.1f]\n", label, lo, hi)
+	for _, row := range rows {
+		fmt.Printf("  |%s\n", row)
+	}
+	fmt.Printf("  +%s\n\n", strings.Repeat("-", 2*len(vals)))
+}

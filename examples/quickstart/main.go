@@ -1,0 +1,68 @@
+// Quickstart: build a similarity-searchable store of time series, run
+// range and nearest-neighbor queries under transformations, and use the
+// query language — the 60-second tour of the tsq API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tsq "repro"
+)
+
+func main() {
+	// A DB stores fixed-length series. K and the feature space default to
+	// the paper's setup: two DFT coefficients of each series' normal form
+	// in polar decomposition, plus mean and std dimensions.
+	db, err := tsq.Open(tsq.Options{Length: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthetic random walks, the paper's experimental workload.
+	if err := db.InsertAll(tsq.RandomWalks(500, 128, 42)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d series of length %d\n\n", db.Len(), db.Length())
+
+	// Range query: everything within Euclidean distance 5 of W0123's
+	// normal form. (Distances compare normalized shapes, so a $10 stock
+	// can match a $100 stock with the same fluctuations.)
+	matches, stats, err := db.RangeByName("W0123", 5.0, tsq.Identity())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RANGE eps=5 around W0123: %d matches, %d index nodes visited\n",
+		len(matches), stats.NodeAccesses)
+	for _, m := range matches {
+		fmt.Printf("  %-8s D=%.3f\n", m.Name, m.Distance)
+	}
+
+	// The same query through a 20-day moving average on both sides:
+	// "which stocks have the same smoothed trend?"
+	smoothed, _, err := db.RangeByName("W0123", 5.0, tsq.MovingAverage(20), tsq.TransformBoth())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRANGE eps=5 around W0123 after mavg(20): %d matches\n", len(smoothed))
+
+	// Nearest neighbors under a transformation.
+	nn, _, err := db.NNByName("W0123", 5, tsq.MovingAverage(20), tsq.TransformBoth())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n5 nearest smoothed shapes:")
+	for _, m := range nn {
+		fmt.Printf("  %-8s D=%.3f\n", m.Name, m.Distance)
+	}
+
+	// The query language expresses the same operations declaratively.
+	out, err := db.Query("NN SERIES 'W0123' K 3 TRANSFORM reverse() | mavg(20) BOTH")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n3 nearest *opposite* smoothed shapes (reverse ∘ mavg):")
+	for _, m := range out.Matches {
+		fmt.Printf("  %-8s D=%.3f\n", m.Name, m.Distance)
+	}
+}

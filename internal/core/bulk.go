@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dft"
+	"repro/internal/geom"
+	"repro/internal/relation"
+	"repro/internal/series"
+)
+
+// InsertBulk loads a batch of named series into an empty DB, building the
+// index with STR bulk loading instead of one-at-a-time insertion. For the
+// larger experimental relations (12,000 sequences in Figures 9/11) this is
+// an order of magnitude faster to build and produces better-packed nodes
+// (see the bulk-load ablation). The DB must be empty; names must be unique
+// and non-empty; all series must have the DB length.
+func (db *DB) InsertBulk(names []string, values [][]float64) error {
+	if db.Len() != 0 || db.nextID != 0 {
+		return fmt.Errorf("core: InsertBulk requires a fresh DB (have %d live series, %d ever inserted)", db.Len(), db.nextID)
+	}
+	if len(names) != len(values) {
+		return fmt.Errorf("core: %d names but %d series", len(names), len(values))
+	}
+	points := make([]geom.Point, len(values))
+	ids := make([]int64, len(values))
+	seen := make(map[string]bool, len(names))
+	for i, name := range names {
+		if name == "" {
+			return fmt.Errorf("core: empty series name at position %d", i)
+		}
+		if seen[name] {
+			return fmt.Errorf("core: duplicate series name %q", name)
+		}
+		seen[name] = true
+		if len(values[i]) != db.length {
+			return fmt.Errorf("core: series %q has length %d, DB expects %d", name, len(values[i]), db.length)
+		}
+		p, err := db.schema.Extract(values[i])
+		if err != nil {
+			return err
+		}
+		points[i] = p
+		ids[i] = int64(i)
+	}
+	if err := db.idx.BulkLoad(points, ids); err != nil {
+		return err
+	}
+	for i, name := range names {
+		id := ids[i]
+		if err := db.timeRel.Insert(id, values[i]); err != nil {
+			return err
+		}
+		spec := dft.TransformReal(series.NormalForm(values[i]))
+		if err := db.freqRel.Insert(id, relation.EncodeComplex(relation.Permute(spec, db.perm))); err != nil {
+			return err
+		}
+		db.points[id] = points[i]
+		db.names[id] = name
+		db.byName[name] = id
+		db.ids = append(db.ids, id)
+	}
+	db.nextID = int64(len(names))
+	return nil
+}

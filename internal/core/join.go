@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/feature"
+	"repro/internal/relation"
+	"repro/internal/stats"
+	"repro/internal/transform"
+)
+
+// JoinMethod selects one of the four self-join strategies the paper
+// compares in Table 1.
+type JoinMethod int
+
+const (
+	// JoinScanNaive is method (a): scan the frequency-domain relation,
+	// compare every sequence to all sequences after it, applying the
+	// transformation during the comparison, with no early abandoning.
+	JoinScanNaive JoinMethod = iota
+	// JoinScanEarlyAbandon is method (b): as (a), but each distance
+	// computation stops as soon as it exceeds eps.
+	JoinScanEarlyAbandon
+	// JoinIndexPlain is method (c): for every sequence build a search
+	// rectangle and pose it to the index as a range query, with no
+	// transformation. Each qualifying pair is reported twice (once from
+	// each side), matching the paper's answer-set accounting.
+	JoinIndexPlain
+	// JoinIndexTransform is method (d): as (c), but the transformation is
+	// applied to both the index and the search rectangles.
+	JoinIndexTransform
+)
+
+func (m JoinMethod) String() string {
+	switch m {
+	case JoinScanNaive:
+		return "a (seq scan)"
+	case JoinScanEarlyAbandon:
+		return "b (seq scan, early abandon)"
+	case JoinIndexPlain:
+		return "c (index, no transform)"
+	case JoinIndexTransform:
+		return "d (index, transform)"
+	default:
+		return fmt.Sprintf("JoinMethod(%d)", int(m))
+	}
+}
+
+// JoinPair is one joined pair of series with its (transformed) distance.
+type JoinPair struct {
+	A, B int64
+	Dist float64
+}
+
+// SelfJoin finds all pairs (x, y) of distinct stored series with
+// D(T(nf(x)), T(nf(y))) <= eps, using the given Table 1 method. Scan
+// methods (a, b) report each unordered pair once; index methods (c, d)
+// report each pair twice — the paper's Table 1 counts preserved exactly.
+// Method (c) ignores the transformation by construction.
+func (db *DB) SelfJoin(eps float64, t transform.T, method JoinMethod) ([]JoinPair, ExecStats, error) {
+	switch method {
+	case JoinScanNaive:
+		return db.selfJoinScan(eps, t, false)
+	case JoinScanEarlyAbandon:
+		return db.selfJoinScan(eps, t, true)
+	case JoinIndexPlain:
+		return db.selfJoinIndex(eps, transform.Identity(db.length))
+	case JoinIndexTransform:
+		return db.selfJoinIndex(eps, t)
+	default:
+		return nil, ExecStats{}, fmt.Errorf("core: unknown join method %d", method)
+	}
+}
+
+// selfJoinScan implements methods (a) and (b): a nested scan over the
+// frequency-domain relation. The outer record is fetched once per outer
+// step; each inner record fetch is charged, mirroring the block-less
+// nested-loop cost profile that made method (a) cost 20 minutes in the
+// paper.
+func (db *DB) selfJoinScan(eps float64, t transform.T, earlyAbandon bool) ([]JoinPair, ExecStats, error) {
+	var st ExecStats
+	if err := db.validateJoin(eps, t); err != nil {
+		return nil, st, err
+	}
+	timer := stats.StartTimer()
+	reads0 := db.pageReads()
+	a, b := db.permuteTransform(t)
+	limit := eps * eps
+
+	var out []JoinPair
+	n := len(db.ids)
+	for i := 0; i < n; i++ {
+		X, err := db.spectrum(db.ids[i])
+		if err != nil {
+			return nil, st, err
+		}
+		tx := make([]complex128, len(X))
+		for f := range X {
+			tx[f] = a[f]*X[f] + b[f]
+		}
+		for j := i + 1; j < n; j++ {
+			pages, err := db.freqRel.ViewPages(db.ids[j])
+			if err != nil {
+				return nil, st, err
+			}
+			ps := db.freqRel.PageSize()
+			st.Candidates++
+			var sum float64
+			terms := 0
+			abandoned := false
+			for f := range tx {
+				y := relation.ComplexAt(pages, ps, f)
+				d := tx[f] - (a[f]*y + b[f])
+				sum += real(d)*real(d) + imag(d)*imag(d)
+				terms++
+				if earlyAbandon && sum > limit {
+					abandoned = true
+					break
+				}
+			}
+			st.DistanceTerms += int64(terms)
+			if !abandoned && sum <= limit {
+				out = append(out, JoinPair{A: db.ids[i], B: db.ids[j], Dist: math.Sqrt(sum)})
+			}
+		}
+	}
+	st.Results = len(out)
+	st.PageReads = db.pageReads() - reads0
+	st.Elapsed = timer.Elapsed()
+	return out, st, nil
+}
+
+// selfJoinIndex implements methods (c) and (d): an index-nested-loop join.
+// For every stored series, its (transformed) feature point becomes a range
+// query against the (transformed) index; candidates verify against full
+// records. Pairs are emitted in both directions, and self-matches are
+// skipped.
+func (db *DB) selfJoinIndex(eps float64, t transform.T) ([]JoinPair, ExecStats, error) {
+	var st ExecStats
+	if err := db.validateJoin(eps, t); err != nil {
+		return nil, st, err
+	}
+	timer := stats.StartTimer()
+	reads0 := db.pageReads()
+
+	m, err := db.schema.Map(t)
+	if err != nil {
+		return nil, st, err
+	}
+	a, b := db.permuteTransform(t)
+	limit := eps
+
+	var out []JoinPair
+	for _, qid := range db.ids {
+		qp := db.points[qid]
+		tq := qp
+		if !m.Identity() {
+			tq = m.ApplyPoint(qp)
+		}
+		QX, err := db.spectrum(qid)
+		if err != nil {
+			return nil, st, err
+		}
+		tQ := make([]complex128, len(QX))
+		for f := range QX {
+			tQ[f] = a[f]*QX[f] + b[f]
+		}
+		cands, searchStats := db.idx.Range(tq, eps, m, feature.MomentBounds{}, !db.opts.DisablePartialPrune)
+		st.NodeAccesses += searchStats.NodesVisited
+		for _, c := range cands {
+			if c.ID == qid {
+				continue
+			}
+			st.Candidates++
+			within, dist, terms, err := db.viewTransformedWithin(c.ID, a, b, tQ, limit)
+			if err != nil {
+				return nil, st, err
+			}
+			st.DistanceTerms += int64(terms)
+			if within {
+				out = append(out, JoinPair{A: qid, B: c.ID, Dist: dist})
+			}
+		}
+	}
+	st.Results = len(out)
+	st.PageReads = db.pageReads() - reads0
+	st.Elapsed = timer.Elapsed()
+	return out, st, nil
+}
+
+// JoinTwoSided finds all ordered pairs (x, y), x != y, with
+// D(L(nf(x)), R(nf(y))) <= eps: the generalized all-pairs query of
+// Section 4 where both join sides carry (possibly different)
+// transformations — e.g. L = mavg20 ∘ reverse, R = mavg20 expresses
+// Example 2.2's "stocks moving opposite to each other". The index side
+// evaluates L on the fly; the probe side applies R to each query point.
+func (db *DB) JoinTwoSided(eps float64, left, right transform.T) ([]JoinPair, ExecStats, error) {
+	var st ExecStats
+	if err := db.validateJoin(eps, left); err != nil {
+		return nil, st, err
+	}
+	if err := db.validateJoin(eps, right); err != nil {
+		return nil, st, err
+	}
+	timer := stats.StartTimer()
+	reads0 := db.pageReads()
+
+	lm, err := db.schema.Map(left)
+	if err != nil {
+		return nil, st, err
+	}
+	rm, err := db.schema.Map(right)
+	if err != nil {
+		return nil, st, err
+	}
+	la, lb := db.permuteTransform(left)
+	ra, rb := db.permuteTransform(right)
+
+	var out []JoinPair
+	for _, qid := range db.ids {
+		qp := db.points[qid]
+		tq := qp
+		if !rm.Identity() {
+			tq = rm.ApplyPoint(qp)
+		}
+		QX, err := db.spectrum(qid)
+		if err != nil {
+			return nil, st, err
+		}
+		tQ := make([]complex128, len(QX))
+		for f := range QX {
+			tQ[f] = ra[f]*QX[f] + rb[f]
+		}
+		cands, searchStats := db.idx.Range(tq, eps, lm, feature.MomentBounds{}, !db.opts.DisablePartialPrune)
+		st.NodeAccesses += searchStats.NodesVisited
+		for _, c := range cands {
+			if c.ID == qid {
+				continue
+			}
+			st.Candidates++
+			within, dist, terms, err := db.viewTransformedWithin(c.ID, la, lb, tQ, eps)
+			if err != nil {
+				return nil, st, err
+			}
+			st.DistanceTerms += int64(terms)
+			if within {
+				out = append(out, JoinPair{A: c.ID, B: qid, Dist: dist})
+			}
+		}
+	}
+	st.Results = len(out)
+	st.PageReads = db.pageReads() - reads0
+	st.Elapsed = timer.Elapsed()
+	return out, st, nil
+}
+
+func (db *DB) validateJoin(eps float64, t transform.T) error {
+	if eps < 0 {
+		return fmt.Errorf("core: negative eps %g", eps)
+	}
+	if t.Dims() != db.length {
+		return fmt.Errorf("core: transformation %s spans %d coefficients, DB length is %d", t, t.Dims(), db.length)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/stats"
+	"repro/internal/transform"
+)
+
+// NNQuery describes a k-nearest-neighbor query under a transformation: the
+// k stored series minimizing D(T(nf(x)), nf(q)), or
+// D(T(nf(x)), T(nf(q))) when BothSides is set.
+type NNQuery struct {
+	Values     []float64
+	K          int
+	Transform  transform.T
+	WarpFactor int
+	BothSides  bool
+}
+
+// resultHeap is a max-heap of Results by distance (the current k best).
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NNIndexed answers the query with the transform-aware branch-and-bound of
+// Section 4 ("as we go down the tree, we apply T to all entries of the node
+// we visit ... use any kind of metric such as MINDIST for pruning"),
+// refined incrementally: candidates stream out of the index in order of
+// their k-coefficient lower bound; each is verified against its full
+// record; the search stops as soon as the next lower bound exceeds the
+// k-th best verified distance. Lower bound <= true distance (Parseval), so
+// the result is exact.
+func (db *DB) NNIndexed(q NNQuery) ([]Result, ExecStats, error) {
+	var st ExecStats
+	if q.K < 1 {
+		return nil, st, fmt.Errorf("core: K must be >= 1, got %d", q.K)
+	}
+	rq := RangeQuery{Values: q.Values, Eps: math.Inf(1), Transform: q.Transform, WarpFactor: q.WarpFactor, BothSides: q.BothSides}
+	if err := db.validateRange(rq); err != nil {
+		return nil, st, err
+	}
+	timer := stats.StartTimer()
+	reads0 := db.pageReads()
+
+	qp, err := db.queryFeaturePoint(rq)
+	if err != nil {
+		return nil, st, err
+	}
+	m, err := db.schema.Map(q.Transform)
+	if err != nil {
+		return nil, st, err
+	}
+	if q.BothSides && !m.Identity() {
+		qp = m.ApplyPoint(qp)
+	}
+	verify := db.makeVerifier(rq, &st)
+
+	best := &resultHeap{}
+	var verr error
+	searchStats := db.idx.NearestFunc(qp, m, func(c index.Candidate) bool {
+		if best.Len() == q.K && c.PartialDistSq > (*best)[0].Dist*(*best)[0].Dist {
+			return false // no remaining candidate can beat the k-th best
+		}
+		st.Candidates++
+		// While the heap is filling, verify with an open threshold; after
+		// that, only distances under the k-th best matter, so early
+		// abandoning can use it.
+		eps := math.MaxFloat64
+		if best.Len() == q.K {
+			eps = (*best)[0].Dist
+		}
+		within, dist, err := verify(c.ID, eps)
+		if err != nil {
+			verr = err
+			return false
+		}
+		if !within {
+			return true
+		}
+		if best.Len() < q.K {
+			heap.Push(best, Result{ID: c.ID, Name: db.names[c.ID], Dist: dist})
+		} else if dist < (*best)[0].Dist {
+			(*best)[0] = Result{ID: c.ID, Name: db.names[c.ID], Dist: dist}
+			heap.Fix(best, 0)
+		}
+		return true
+	})
+	if verr != nil {
+		return nil, st, verr
+	}
+	st.NodeAccesses = searchStats.NodesVisited
+
+	out := make([]Result, best.Len())
+	copy(out, *best)
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	st.Results = len(out)
+	st.PageReads = db.pageReads() - reads0
+	st.Elapsed = timer.Elapsed()
+	return out, st, nil
+}
+
+// NNScan is the sequential-scan baseline for nearest-neighbor queries: it
+// verifies every stored series, with a pruning threshold that tightens to
+// the current k-th best distance (the scan analogue of early abandoning).
+func (db *DB) NNScan(q NNQuery) ([]Result, ExecStats, error) {
+	var st ExecStats
+	if q.K < 1 {
+		return nil, st, fmt.Errorf("core: K must be >= 1, got %d", q.K)
+	}
+	rq := RangeQuery{Values: q.Values, Eps: math.Inf(1), Transform: q.Transform, WarpFactor: q.WarpFactor, BothSides: q.BothSides}
+	if err := db.validateRange(rq); err != nil {
+		return nil, st, err
+	}
+	timer := stats.StartTimer()
+	reads0 := db.pageReads()
+
+	verify := db.makeVerifier(rq, &st)
+	best := &resultHeap{}
+	for _, id := range db.ids {
+		st.Candidates++
+		eps := math.MaxFloat64
+		if best.Len() == q.K {
+			eps = (*best)[0].Dist
+		}
+		within, dist, err := verify(id, eps)
+		if err != nil {
+			return nil, st, err
+		}
+		if !within {
+			continue
+		}
+		if best.Len() < q.K {
+			heap.Push(best, Result{ID: id, Name: db.names[id], Dist: dist})
+		} else if dist < (*best)[0].Dist {
+			(*best)[0] = Result{ID: id, Name: db.names[id], Dist: dist}
+			heap.Fix(best, 0)
+		}
+	}
+	out := make([]Result, best.Len())
+	copy(out, *best)
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	st.Results = len(out)
+	st.PageReads = db.pageReads() - reads0
+	st.Elapsed = timer.Elapsed()
+	return out, st, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/transform"
+)
+
+func TestSelfJoinScanParallelMatchesSerial(t *testing.T) {
+	ens, err := dataset.StockLike(120, 128, 44, 2, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDB(128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ens.Series {
+		if _, err := db.Insert(s.Name, s.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := transform.MovingAverage(128, 20)
+	serial, sStats, err := db.SelfJoin(ens.Epsilon, tr, JoinScanEarlyAbandon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 7} {
+		par, pStats, err := db.SelfJoinScanParallel(ens.Epsilon, tr, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d pairs vs serial %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i].A != serial[i].A || par[i].B != serial[i].B {
+				t.Fatalf("workers=%d: pair %d is (%d,%d), serial (%d,%d)",
+					workers, i, par[i].A, par[i].B, serial[i].A, serial[i].B)
+			}
+			if math.Abs(par[i].Dist-serial[i].Dist) > 1e-12 {
+				t.Fatalf("workers=%d: distance mismatch at %d", workers, i)
+			}
+		}
+		// Identical total work regardless of partitioning.
+		if pStats.DistanceTerms != sStats.DistanceTerms {
+			t.Fatalf("workers=%d: %d distance terms vs serial %d",
+				workers, pStats.DistanceTerms, sStats.DistanceTerms)
+		}
+		if pStats.Candidates != sStats.Candidates {
+			t.Fatalf("workers=%d: %d candidates vs serial %d",
+				workers, pStats.Candidates, sStats.Candidates)
+		}
+	}
+}
+
+func TestSelfJoinScanParallelValidation(t *testing.T) {
+	db, _ := newTestDB(t, 10, 45, Options{})
+	if _, _, err := db.SelfJoinScanParallel(-1, transform.Identity(testLen), 2); err == nil {
+		t.Error("negative eps should fail")
+	}
+	if _, _, err := db.SelfJoinScanParallel(1, transform.Identity(3), 2); err == nil {
+		t.Error("wrong transform length should fail")
+	}
+}
+
+func TestSelfJoinScanParallelEmpty(t *testing.T) {
+	db, err := NewDB(testLen, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, _, err := db.SelfJoinScanParallel(1, transform.Identity(testLen), 4)
+	if err != nil || len(pairs) != 0 {
+		t.Fatalf("empty DB parallel join: %v %v", pairs, err)
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/feature"
+)
+
+// Snapshot format: a small self-describing binary layout (little endian).
+//
+//	magic   [4]byte  "TSQ1"
+//	space   uint8    0 = rect, 1 = polar
+//	k       uint16
+//	moments uint8    0/1
+//	length  uint32   series length
+//	count   uint32   number of series
+//	repeat count times:
+//	  nameLen uint16, name [nameLen]byte
+//	  values  [length]float64
+//
+// Only the raw series are stored: normal forms, spectra, feature points,
+// and the index are all derived data and are rebuilt (with bulk loading)
+// on read. This keeps snapshots compact and the format independent of
+// index implementation details.
+
+var snapshotMagic = [4]byte{'T', 'S', 'Q', '1'}
+
+// WriteTo serializes the DB's contents. It returns the number of bytes
+// written.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(data interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		n += int64(binary.Size(data))
+		return nil
+	}
+	if err := write(snapshotMagic); err != nil {
+		return n, err
+	}
+	var space uint8
+	if db.schema.Space == feature.Polar {
+		space = 1
+	}
+	if err := write(space); err != nil {
+		return n, err
+	}
+	if err := write(uint16(db.schema.K)); err != nil {
+		return n, err
+	}
+	var moments uint8
+	if db.schema.Moments {
+		moments = 1
+	}
+	if err := write(moments); err != nil {
+		return n, err
+	}
+	if err := write(uint32(db.length)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(db.ids))); err != nil {
+		return n, err
+	}
+	for _, id := range db.ids {
+		name := db.names[id]
+		if len(name) > math.MaxUint16 {
+			return n, fmt.Errorf("core: series name of %d bytes exceeds snapshot limit", len(name))
+		}
+		if err := write(uint16(len(name))); err != nil {
+			return n, err
+		}
+		if err := write([]byte(name)); err != nil {
+			return n, err
+		}
+		vals, err := db.Series(id)
+		if err != nil {
+			return n, err
+		}
+		if err := write(vals); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a snapshot produced by WriteTo into a fresh DB,
+// rebuilding derived state (spectra, feature points, index) with bulk
+// loading. The opts' Schema is ignored — the snapshot records its own —
+// but storage options (page size, R-tree capacity) apply.
+func ReadFrom(r io.Reader, opts Options) (*DB, error) {
+	br := bufio.NewReader(r)
+	read := func(data interface{}) error {
+		return binary.Read(br, binary.LittleEndian, data)
+	}
+	var magic [4]byte
+	if err := read(&magic); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("core: not a tsq snapshot (magic %q)", magic[:])
+	}
+	var space, moments uint8
+	var k uint16
+	var length, count uint32
+	if err := read(&space); err != nil {
+		return nil, err
+	}
+	if err := read(&k); err != nil {
+		return nil, err
+	}
+	if err := read(&moments); err != nil {
+		return nil, err
+	}
+	if err := read(&length); err != nil {
+		return nil, err
+	}
+	if err := read(&count); err != nil {
+		return nil, err
+	}
+	if space > 1 {
+		return nil, fmt.Errorf("core: snapshot has unknown space %d", space)
+	}
+	sc := feature.Schema{Space: feature.Rect, K: int(k), Moments: moments == 1}
+	if space == 1 {
+		sc.Space = feature.Polar
+	}
+	opts.Schema = sc
+	db, err := NewDB(int(length), opts)
+	if err != nil {
+		return nil, err
+	}
+
+	names := make([]string, count)
+	values := make([][]float64, count)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint16
+		if err := read(&nameLen); err != nil {
+			return nil, fmt.Errorf("core: reading series %d: %w", i, err)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, fmt.Errorf("core: reading series %d name: %w", i, err)
+		}
+		vals := make([]float64, length)
+		if err := read(vals); err != nil {
+			return nil, fmt.Errorf("core: reading series %q values: %w", nameBuf, err)
+		}
+		names[i] = string(nameBuf)
+		values[i] = vals
+	}
+	if err := db.InsertBulk(names, values); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/feature"
+	"repro/internal/transform"
+)
+
+func TestInsertBulkMatchesIncremental(t *testing.T) {
+	walks := dataset.RandomWalks(300, 64, 5)
+	names := make([]string, len(walks))
+	values := make([][]float64, len(walks))
+	for i, w := range walks {
+		names[i] = w.Name
+		values[i] = w.Values
+	}
+
+	inc, err := NewDB(64, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range names {
+		if _, err := inc.Insert(names[i], values[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bulk, err := NewDB(64, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.InsertBulk(names, values); err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.Index().Tree().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != inc.Len() {
+		t.Fatalf("lengths differ: %d vs %d", bulk.Len(), inc.Len())
+	}
+
+	// Identical query answers on several query kinds.
+	mavg := transform.MovingAverage(64, 10)
+	for _, qn := range []string{"W0000", "W0123", "W0299"} {
+		id, _ := inc.IDByName(qn)
+		vals, _ := inc.Series(id)
+		rq := RangeQuery{Values: vals, Eps: 4, Transform: mavg, BothSides: true}
+		a, _, err := inc.RangeIndexed(rq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := bulk.RangeIndexed(rq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %s: %d vs %d results", qn, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Name != b[i].Name || math.Abs(a[i].Dist-b[i].Dist) > 1e-9 {
+				t.Fatalf("query %s result %d differs", qn, i)
+			}
+		}
+	}
+}
+
+func TestInsertBulkValidation(t *testing.T) {
+	db, _ := NewDB(64, Options{})
+	good := make([]float64, 64)
+	if err := db.InsertBulk([]string{"a", "b"}, [][]float64{good}); err == nil {
+		t.Error("count mismatch should fail")
+	}
+	if err := db.InsertBulk([]string{""}, [][]float64{good}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := db.InsertBulk([]string{"a", "a"}, [][]float64{good, good}); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	if err := db.InsertBulk([]string{"a"}, [][]float64{{1, 2}}); err == nil {
+		t.Error("wrong length should fail")
+	}
+	if _, err := db.Insert("x", good); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertBulk([]string{"a"}, [][]float64{good}); err == nil {
+		t.Error("bulk insert into non-empty DB should fail")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, sc := range []feature.Schema{
+		{Space: feature.Polar, K: 2, Moments: true},
+		{Space: feature.Rect, K: 3, Moments: false},
+	} {
+		src, err := NewDB(64, Options{Schema: sc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		walks := dataset.RandomWalks(120, 64, 9)
+		for _, w := range walks {
+			if _, err := src.Insert(w.Name, w.Values); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		n, err := src.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+		}
+		got, err := ReadFrom(&buf, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != src.Len() || got.Length() != src.Length() {
+			t.Fatalf("restored %d series of length %d", got.Len(), got.Length())
+		}
+		if got.Schema() != sc {
+			t.Fatalf("restored schema %+v, want %+v", got.Schema(), sc)
+		}
+		// Raw series identical.
+		for _, id := range src.IDs() {
+			name := src.Name(id)
+			gid, ok := got.IDByName(name)
+			if !ok {
+				t.Fatalf("series %q missing after round trip", name)
+			}
+			a, _ := src.Series(id)
+			b, _ := got.Series(gid)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("series %q values differ at %d", name, i)
+				}
+			}
+		}
+		// Queries identical.
+		vals, _ := src.Series(src.IDs()[7])
+		rq := RangeQuery{Values: vals, Eps: 3, Transform: transform.Identity(64)}
+		a, _, err := src.RangeIndexed(rq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := got.RangeIndexed(rq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("restored DB answers %d, original %d", len(b), len(a))
+		}
+	}
+}
+
+func TestReadFromErrors(t *testing.T) {
+	if _, err := ReadFrom(strings.NewReader(""), Options{}); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadFrom(strings.NewReader("not a snapshot at all"), Options{}); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Truncated: valid header, then EOF.
+	var buf bytes.Buffer
+	src, _ := NewDB(64, Options{})
+	w := dataset.RandomWalks(3, 64, 1)
+	for _, s := range w {
+		src.Insert(s.Name, s.Values)
+	}
+	src.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadFrom(bytes.NewReader(trunc), Options{}); err == nil {
+		t.Error("truncated snapshot should fail")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/series"
+	"repro/internal/stats"
+)
+
+// SubseqResult is one subsequence-scan answer: the stored series, the
+// offset of its best-matching window, and the window's Euclidean distance
+// to the query.
+type SubseqResult struct {
+	ID     int64
+	Name   string
+	Offset int
+	Dist   float64
+}
+
+// SubsequenceScan finds, for every stored series, the contiguous window of
+// the query's length nearest to the query (raw values, no normalization),
+// returning the series whose best window is within eps — the comparison of
+// the paper's Example 1.2 ("the Euclidean distance between p and any
+// subsequence of length four of s"), run across the whole relation. This
+// is a time-domain scan (the whole-sequence k-index does not index
+// subsequences; FRM94's ST-index is the follow-up work that does); inner
+// window sums abandon against the best window so far. Results sort by
+// distance.
+func (db *DB) SubsequenceScan(q []float64, eps float64) ([]SubseqResult, ExecStats, error) {
+	var st ExecStats
+	if len(q) == 0 || len(q) > db.length {
+		return nil, st, fmt.Errorf("core: subsequence query length %d out of range [1, %d]", len(q), db.length)
+	}
+	if eps < 0 {
+		return nil, st, fmt.Errorf("core: negative eps %g", eps)
+	}
+	timer := stats.StartTimer()
+	reads0 := db.pageReads()
+	var out []SubseqResult
+	for _, id := range db.ids {
+		st.Candidates++
+		vals, err := db.Series(id)
+		if err != nil {
+			return nil, st, err
+		}
+		off, dist := series.BestSubsequenceMatch(vals, q)
+		st.DistanceTerms += int64(len(q)) // window sums, order-of-magnitude accounting
+		if dist <= eps {
+			out = append(out, SubseqResult{ID: id, Name: db.names[id], Offset: off, Dist: dist})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	st.Results = len(out)
+	st.PageReads = db.pageReads() - reads0
+	st.Elapsed = timer.Elapsed()
+	return out, st, nil
+}
+
+// Update replaces the values stored under an existing name, reindexing the
+// series (equivalent to Delete followed by Insert, preserving the name).
+// It returns the new internal ID.
+func (db *DB) Update(name string, values []float64) (int64, error) {
+	if _, ok := db.byName[name]; !ok {
+		return 0, fmt.Errorf("core: unknown series %q", name)
+	}
+	db.Delete(name)
+	return db.Insert(name, values)
+}
+
+// Compact rebuilds the paged relations, dropping records orphaned by
+// Delete and Update. Live IDs, names, feature points, and the index are
+// untouched; only storage shrinks. Returns the number of pages reclaimed.
+func (db *DB) Compact() (pagesReclaimed int, err error) {
+	before := db.timeRel.Pages() + db.freqRel.Pages()
+	newTime := relation.New(db.opts.PageSize)
+	newFreq := relation.New(db.opts.PageSize)
+	for _, id := range db.ids {
+		vals, err := db.timeRel.Get(id)
+		if err != nil {
+			return 0, err
+		}
+		if err := newTime.Insert(id, vals); err != nil {
+			return 0, err
+		}
+		spec, err := db.freqRel.Get(id)
+		if err != nil {
+			return 0, err
+		}
+		if err := newFreq.Insert(id, spec); err != nil {
+			return 0, err
+		}
+	}
+	db.timeRel = newTime
+	db.freqRel = newFreq
+	return before - (newTime.Pages() + newFreq.Pages()), nil
+}

@@ -1,0 +1,64 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits series one per row: name,v1,v2,...,vn.
+func WriteCSV(w io.Writer, series []Series) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range series {
+		if strings.ContainsAny(s.Name, ",\n") {
+			return fmt.Errorf("dataset: name %q contains a delimiter", s.Name)
+		}
+		if _, err := bw.WriteString(s.Name); err != nil {
+			return err
+		}
+		for _, v := range s.Values {
+			if _, err := fmt.Fprintf(bw, ",%g", v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the format written by WriteCSV. Blank lines and lines
+// starting with '#' are skipped.
+func ReadCSV(r io.Reader) ([]Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []Series
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dataset: line %d: need a name and at least one value", lineNo)
+		}
+		vals := make([]float64, len(fields)-1)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %d: %v", lineNo, i+2, err)
+			}
+			vals[i] = v
+		}
+		out = append(out, Series{Name: strings.TrimSpace(fields[0]), Values: vals})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

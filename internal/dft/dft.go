@@ -1,0 +1,172 @@
+// Package dft implements the unitary discrete Fourier transform used
+// throughout the reproduction of Rafiei & Mendelzon, "Similarity-Based
+// Queries for Time Series Data" (SIGMOD 1997).
+//
+// Following the paper's convention (Equations 1 and 2, after [AFS93, FRM94]),
+// both the forward and the inverse transform carry a 1/sqrt(n) factor:
+//
+//	X_f = (1/sqrt(n)) * sum_t x_t * e^{-j 2 pi t f / n}
+//	x_t = (1/sqrt(n)) * sum_f X_f * e^{+j 2 pi t f / n}
+//
+// This makes the transform unitary, so Parseval's relation (Equation 7)
+// holds with no extra scaling: E(x) == E(X), and the Euclidean distance
+// between two signals is identical in the time and frequency domains
+// (Equation 8). Those two properties are load-bearing for the paper's
+// Lemma 1 (no false dismissals when indexing only the first k coefficients).
+//
+// Transform sizes need not be powers of two: power-of-two sizes use an
+// iterative radix-2 FFT, everything else uses Bluestein's chirp-z algorithm.
+// Both run in O(n log n).
+package dft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Transform returns the unitary DFT of x. The input is not modified.
+// An empty input yields an empty output.
+func Transform(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	fftInPlace(out, false)
+	scale := complex(1/math.Sqrt(float64(n)), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// Inverse returns the unitary inverse DFT of X. Inverse(Transform(x))
+// reconstructs x up to floating-point error.
+func Inverse(X []complex128) []complex128 {
+	n := len(X)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, X)
+	fftInPlace(out, true)
+	scale := complex(1/math.Sqrt(float64(n)), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// TransformReal is a convenience wrapper converting a real-valued series to
+// complex and returning its unitary DFT.
+func TransformReal(x []float64) []complex128 {
+	return Transform(ToComplex(x))
+}
+
+// Coefficient computes the single unitary DFT coefficient X_f of x in O(n)
+// time without materializing the full spectrum. It is the method of choice
+// when only the first few coefficients are needed for feature extraction
+// (the paper keeps k coefficients, typically 2 or 3).
+//
+// Coefficient panics if f is outside [0, len(x)).
+func Coefficient(x []complex128, f int) complex128 {
+	n := len(x)
+	if f < 0 || f >= n {
+		panic(fmt.Sprintf("dft: coefficient index %d out of range [0,%d)", f, n))
+	}
+	// Goertzel-style evaluation specialized to complex input: run the
+	// second-order real recurrence on the real and imaginary parts
+	// independently. For numerical robustness at large n we fall back to
+	// direct summation with per-step trigonometry, which is O(n) with a
+	// bounded error independent of n.
+	var sum complex128
+	w := -2 * math.Pi * float64(f) / float64(n)
+	for t := 0; t < n; t++ {
+		s, c := math.Sincos(w * float64(t))
+		sum += x[t] * complex(c, s)
+	}
+	return sum * complex(1/math.Sqrt(float64(n)), 0)
+}
+
+// CoefficientReal computes the single unitary DFT coefficient of a
+// real-valued series. See Coefficient.
+func CoefficientReal(x []float64, f int) complex128 {
+	n := len(x)
+	if f < 0 || f >= n {
+		panic(fmt.Sprintf("dft: coefficient index %d out of range [0,%d)", f, n))
+	}
+	var re, im float64
+	w := -2 * math.Pi * float64(f) / float64(n)
+	for t := 0; t < n; t++ {
+		s, c := math.Sincos(w * float64(t))
+		re += x[t] * c
+		im += x[t] * s
+	}
+	inv := 1 / math.Sqrt(float64(n))
+	return complex(re*inv, im*inv)
+}
+
+// FirstK returns the first k unitary DFT coefficients of the real series x.
+// For small k relative to n it computes them directly in O(n*k); once k
+// grows past the point where a full FFT is cheaper it transforms the whole
+// series and truncates. k is clamped to len(x).
+func FirstK(x []float64, k int) []complex128 {
+	n := len(x)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Cost of direct extraction is ~n*k trig ops; FFT is ~n log n complex
+	// ops. Cross over around k ≈ 2*log2(n).
+	if n > 0 && float64(k) > 2*math.Log2(float64(n))+2 {
+		return Transform(ToComplex(x))[:k]
+	}
+	out := make([]complex128, k)
+	for f := 0; f < k; f++ {
+		out[f] = CoefficientReal(x, f)
+	}
+	return out
+}
+
+// Slow computes the unitary DFT by the O(n^2) definition. It exists as an
+// oracle for tests and benchmarks; production callers should use Transform.
+func Slow(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	for f := 0; f < n; f++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(t) * float64(f) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[f] = sum / complex(math.Sqrt(float64(n)), 0)
+	}
+	return out
+}
+
+// ToComplex widens a real series to complex128.
+func ToComplex(x []float64) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = complex(v, 0)
+	}
+	return out
+}
+
+// RealParts extracts the real components of a complex series. It is the
+// inverse of ToComplex for series whose imaginary parts are (numerically)
+// zero, such as inverse transforms of spectra of real series.
+func RealParts(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = real(v)
+	}
+	return out
+}

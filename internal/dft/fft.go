@@ -1,0 +1,114 @@
+package dft
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// fftInPlace computes the *unnormalized* DFT of x in place:
+//
+//	X_f = sum_t x_t e^{-j 2 pi t f / n}      (inverse=false)
+//	X_t = sum_f x_f e^{+j 2 pi t f / n}      (inverse=true)
+//
+// Callers apply their own normalization. Power-of-two lengths run the
+// iterative radix-2 Cooley-Tukey algorithm; other lengths are delegated to
+// Bluestein's chirp-z transform, which reduces an arbitrary-length DFT to a
+// circular convolution at a padded power-of-two size.
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+		return
+	}
+	bluestein(x, inverse)
+}
+
+// radix2 is the iterative, bit-reversal Cooley-Tukey FFT for power-of-two n.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		// Twiddle by incremental multiplication with periodic
+		// re-synchronization against drift.
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				if k > 0 {
+					if k&63 == 0 {
+						// Re-anchor the twiddle every 64 steps to
+						// bound accumulated rounding error.
+						w = cmplx.Exp(complex(0, step*float64(k)))
+					} else {
+						w *= wStep
+					}
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// bluestein implements the chirp-z transform: an arbitrary-length DFT
+// expressed as a circular convolution of chirp-modulated sequences, carried
+// out at a power-of-two size m >= 2n-1 with the radix-2 kernel above.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w_k = e^{sign * j * pi * k^2 / n}. Computing k^2 mod 2n keeps
+	// the argument small for large k (the chirp is periodic in k^2 mod 2n).
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		sq := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(sq)/float64(n)))
+	}
+
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		inv := cmplx.Conj(chirp[k])
+		b[k] = inv
+		if k > 0 {
+			b[m-k] = inv
+		}
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	// radix2 inverse is unnormalized; divide by m.
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * scale * chirp[k]
+	}
+}

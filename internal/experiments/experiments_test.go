@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// Shape assertions follow the reproduction contract: absolute timings are
+// environment-dependent and asserted only loosely; orderings, node-access
+// equalities, and answer-set cardinalities are asserted exactly.
+
+var testCfg = Config{Queries: 5, Seed: 1997, Eps: 1.0}
+
+func TestFigure8Shape(t *testing.T) {
+	pts, err := Figure8([]int{64, 128}, 200, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	for _, p := range pts {
+		// The paper's headline: identical disk (node) accesses whether or
+		// not a transformation rides the traversal.
+		if p.NodesA != p.NodesB {
+			t.Fatalf("length %g: node accesses differ: %v vs %v", p.X, p.NodesA, p.NodesB)
+		}
+		if p.A <= 0 || p.B <= 0 {
+			t.Fatalf("length %g: non-positive timing", p.X)
+		}
+		// The transformation adds CPU cost; it must not *reduce* time by
+		// more than jitter, nor blow it up by an order of magnitude.
+		if p.A > p.B*20 {
+			t.Fatalf("length %g: transformation overhead looks pathological: %v vs %v ms", p.X, p.A, p.B)
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	pts, err := Figure9([]int{200, 400}, 64, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.NodesA != p.NodesB {
+			t.Fatalf("count %g: node accesses differ", p.X)
+		}
+	}
+}
+
+func TestFigure10And11IndexBeatsScan(t *testing.T) {
+	// On modeled (I/O-inclusive) time, the paper's shape: index wins, and
+	// the margin is driven by the scan touching every relation page while
+	// the index touches a few dozen.
+	pts, err := Figure10([]int{128}, 600, Config{Queries: 10, Seed: 3, Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].ModeledA() >= pts[0].ModeledB() {
+		t.Fatalf("index (%v ms modeled) should beat scan (%v ms modeled)", pts[0].ModeledA(), pts[0].ModeledB())
+	}
+	if pts[0].PagesA >= pts[0].PagesB {
+		t.Fatalf("index read %v pages/query, scan %v — index should read far fewer", pts[0].PagesA, pts[0].PagesB)
+	}
+	pts, err = Figure11([]int{800}, 64, Config{Queries: 10, Seed: 3, Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].ModeledA() >= pts[0].ModeledB() {
+		t.Fatalf("index (%v ms modeled) should beat scan (%v ms modeled) at 800 series", pts[0].ModeledA(), pts[0].ModeledB())
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	pts, err := Figure12([]float64{0.5, 6, 16}, Config{Queries: 5, Seed: 1997})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Answer sets grow with the threshold.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].AnswerSize < pts[i-1].AnswerSize {
+			t.Fatalf("answer sizes not monotone: %+v", pts)
+		}
+	}
+	// At a tiny threshold the index must win (modeled time).
+	if pts[0].ModeledIndex() >= pts[0].ModeledScan() {
+		t.Fatalf("small answer set: index %v ms vs scan %v ms (modeled)", pts[0].ModeledIndex(), pts[0].ModeledScan())
+	}
+	// The index's advantage must erode as the answer set floods (the
+	// paper's crossover at roughly a third of the relation).
+	ratioSmall := pts[0].ModeledScan() / pts[0].ModeledIndex()
+	ratioLarge := pts[len(pts)-1].ModeledScan() / pts[len(pts)-1].ModeledIndex()
+	if ratioLarge >= ratioSmall {
+		t.Fatalf("index advantage did not erode: %v -> %v", ratioSmall, ratioLarge)
+	}
+}
+
+func TestTable1Reproduction(t *testing.T) {
+	rows, err := Table1(Config{Queries: 1, Seed: 1997})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	a, b, c, d := rows[0], rows[1], rows[2], rows[3]
+	// The paper's answer-set sizes: 12, 12, 3x2, 12x2.
+	if a.AnswerSize != 12 || b.AnswerSize != 12 {
+		t.Fatalf("scan joins found %d / %d, want 12 / 12", a.AnswerSize, b.AnswerSize)
+	}
+	if c.AnswerSize != 6 {
+		t.Fatalf("method c found %d, want 6", c.AnswerSize)
+	}
+	if d.AnswerSize != 24 {
+		t.Fatalf("method d found %d, want 24", d.AnswerSize)
+	}
+	// Orderings. (a) does every distance term; (b) abandons early — the
+	// paper's 10x gap shows up in CPU work and, on the in-memory
+	// substrate, in wall time.
+	if a.DistanceTerms <= 10*b.DistanceTerms {
+		t.Fatalf("early abandoning saved too little: %d vs %d terms", a.DistanceTerms, b.DistanceTerms)
+	}
+	if a.Elapsed <= b.Elapsed {
+		t.Fatalf("method a (%v) should be slower than b (%v)", a.Elapsed, b.Elapsed)
+	}
+	// The index methods' I/O advantage (the paper's 9-15x wall-clock gap
+	// came from disk): two orders of magnitude fewer page reads.
+	if c.PageReads*100 > a.PageReads || d.PageReads*100 > a.PageReads {
+		t.Fatalf("index join page reads too high: c=%d d=%d vs scans=%d", c.PageReads, d.PageReads, a.PageReads)
+	}
+	// (d) pays for the transformation relative to (c) but stays in the
+	// same league (paper: 17.7s vs 10.1s).
+	if d.Elapsed > c.Elapsed*6 {
+		t.Fatalf("method d (%v) disproportionate to c (%v)", d.Elapsed, c.Elapsed)
+	}
+	// Both index methods must beat method (a) outright.
+	if c.Elapsed >= a.Elapsed || d.Elapsed >= a.Elapsed {
+		t.Fatalf("index joins should beat the naive scan: a=%v c=%v d=%v", a.Elapsed, c.Elapsed, d.Elapsed)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := Config{Queries: 5, Seed: 11, Eps: 1}
+
+	re, err := AblationReinsert(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Baseline <= 0 || re.Variant <= 0 {
+		t.Fatalf("reinsert ablation empty: %+v", re)
+	}
+
+	bl, err := AblationBulkLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Variant >= bl.Baseline {
+		t.Fatalf("bulk load (%v ms) should build faster than incremental (%v ms)", bl.Variant, bl.Baseline)
+	}
+
+	ea, err := AblationEarlyAbandon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea.Variant >= ea.Baseline {
+		t.Fatalf("early abandoning should reduce distance terms: %+v", ea)
+	}
+
+	pp, err := AblationPartialPrune(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Variant > pp.Baseline {
+		t.Fatalf("pruning should not increase verified candidates: %+v", pp)
+	}
+
+	seam, err := AblationAngularSeam(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seam.Baseline == 0 {
+		t.Fatal("seam ablation produced no candidates at all")
+	}
+	// Variant counts candidates the seam-unaware traversal *dismissed*;
+	// it must never exceed the total, and the seam-aware side by
+	// construction dismisses nothing.
+	if seam.Variant > seam.Baseline {
+		t.Fatalf("dismissals exceed total: %+v", seam)
+	}
+	t.Logf("angular seam ablation: %v of %v candidates dismissed by plain overlap", seam.Variant, seam.Baseline)
+}
+
+func TestAblationBufferPool(t *testing.T) {
+	r, err := AblationBufferPool(Config{Queries: 1, Seed: 13, Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pooled join must do far less physical I/O than the unpooled one —
+	// at least an order of magnitude on the nested scan.
+	if r.Variant*10 > r.Baseline {
+		t.Fatalf("buffer pool saved too little: %v -> %v physical reads", r.Baseline, r.Variant)
+	}
+	if r.Variant <= 0 {
+		t.Fatal("pooled join should still pay a cold pass")
+	}
+}
+
+func TestAblationKShape(t *testing.T) {
+	rows, err := AblationK([]int{1, 3}, Config{Queries: 5, Seed: 12, Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// More coefficients must not weaken the filter: K=3 verifies no more
+	// candidates than K=1 (the k-coefficient partial distance only grows
+	// with K, so pruning only tightens).
+	if rows[1].Candidates > rows[0].Candidates {
+		t.Fatalf("K=3 verified more candidates (%v) than K=1 (%v)", rows[1].Candidates, rows[0].Candidates)
+	}
+	if rows[0].Dims != 4 || rows[1].Dims != 8 {
+		t.Fatalf("dims: %+v", rows)
+	}
+}

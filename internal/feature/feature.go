@@ -1,0 +1,329 @@
+// Package feature maps time series to the multidimensional index points of
+// Rafiei & Mendelzon (SIGMOD 1997, Sections 3.1 and 5).
+//
+// The paper's experimental layout, reproduced here, is:
+//
+//	dim 0: mean of the original series
+//	dim 1: standard deviation of the original series
+//	dims 2..: K complex DFT coefficients of the *normal form* of the series,
+//	          starting at X_1 (X_0 is proportional to the mean and is
+//	          identically zero for normal forms, so it is dropped), each
+//	          coefficient contributing two dimensions:
+//	          - S_rect: (Re, Im)        — safe for real stretches (Thm 2)
+//	          - S_pol:  (Abs, Angle)    — safe for zero translations (Thm 3)
+//
+// The package also builds the search rectangles of Section 3.1 (Figure 7):
+// a +/- eps box around the query in S_rect, and per coefficient a
+// magnitude range [m-eps, m+eps] with an angle arc alpha +/- asin(eps/m) in
+// S_pol, degrading to the full circle when eps >= m.
+package feature
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/dft"
+	"repro/internal/geom"
+	"repro/internal/series"
+	"repro/internal/transform"
+)
+
+// Space selects the complex-number decomposition used for index dimensions.
+type Space int
+
+const (
+	// Rect decomposes coefficients into real and imaginary parts (S_rect).
+	Rect Space = iota
+	// Polar decomposes coefficients into magnitude and phase angle (S_pol).
+	Polar
+)
+
+func (s Space) String() string {
+	switch s {
+	case Rect:
+		return "S_rect"
+	case Polar:
+		return "S_pol"
+	default:
+		return fmt.Sprintf("Space(%d)", int(s))
+	}
+}
+
+// Schema describes a feature space: which decomposition, how many DFT
+// coefficients, and whether the leading mean/std moment dimensions of the
+// paper's Section 5 layout are present.
+type Schema struct {
+	Space Space
+	// K is the number of retained DFT coefficients X_1..X_K of the normal
+	// form. The paper's experiments use K = 2 (their "second and third DFT
+	// terms").
+	K int
+	// Moments includes the two leading mean/std dimensions.
+	Moments bool
+}
+
+// DefaultSchema is the exact six-dimensional polar layout of the paper's
+// experiments (Section 5).
+var DefaultSchema = Schema{Space: Polar, K: 2, Moments: true}
+
+// Validate reports whether the schema is usable.
+func (sc Schema) Validate() error {
+	if sc.K < 1 {
+		return fmt.Errorf("feature: K must be >= 1, got %d", sc.K)
+	}
+	if sc.Space != Rect && sc.Space != Polar {
+		return fmt.Errorf("feature: unknown space %d", int(sc.Space))
+	}
+	return nil
+}
+
+// Skip returns the number of leading passthrough dimensions (2 with
+// moments, else 0).
+func (sc Schema) Skip() int {
+	if sc.Moments {
+		return 2
+	}
+	return 0
+}
+
+// Dims returns the total feature dimensionality.
+func (sc Schema) Dims() int { return sc.Skip() + 2*sc.K }
+
+// Angular returns the per-dimension circle-valued flags: in the polar space
+// every phase-angle dimension wraps modulo 2*pi; in the rectangular space
+// the result is nil (all linear).
+func (sc Schema) Angular() []bool {
+	if sc.Space != Polar {
+		return nil
+	}
+	flags := make([]bool, sc.Dims())
+	for i := 0; i < sc.K; i++ {
+		flags[sc.Skip()+2*i+1] = true
+	}
+	return flags
+}
+
+// NormalFormCoeffs returns the unitary DFT coefficients X_1..X_k of the
+// normal form of s (X_0 is zero by construction and omitted). It panics if
+// the series is shorter than k+1.
+func NormalFormCoeffs(s []float64, k int) []complex128 {
+	if len(s) < k+1 {
+		panic(fmt.Sprintf("feature: series length %d too short for %d coefficients", len(s), k))
+	}
+	nf := series.NormalForm(s)
+	return dft.FirstK(nf, k+1)[1:]
+}
+
+// Extract maps a time series to its feature point under the schema.
+func (sc Schema) Extract(s []float64) (geom.Point, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s) < sc.K+1 {
+		return nil, fmt.Errorf("feature: series length %d too short for K=%d", len(s), sc.K)
+	}
+	coeffs := NormalFormCoeffs(s, sc.K)
+	return sc.Point(series.Mean(s), series.Std(s), coeffs), nil
+}
+
+// Point lays out a feature point from precomputed moments and coefficients.
+// It panics if len(coeffs) != K.
+func (sc Schema) Point(mean, std float64, coeffs []complex128) geom.Point {
+	if len(coeffs) != sc.K {
+		panic(fmt.Sprintf("feature: %d coefficients for schema with K=%d", len(coeffs), sc.K))
+	}
+	p := make(geom.Point, 0, sc.Dims())
+	if sc.Moments {
+		p = append(p, mean, std)
+	}
+	for _, c := range coeffs {
+		if sc.Space == Rect {
+			p = append(p, real(c), imag(c))
+		} else {
+			p = append(p, cmplx.Abs(c), geom.NormalizeAngle(cmplx.Phase(c)))
+		}
+	}
+	return p
+}
+
+// Coeffs reconstructs the complex coefficients X_1..X_K from a feature
+// point. It panics if the point does not match the schema dimensionality.
+func (sc Schema) Coeffs(p geom.Point) []complex128 {
+	if len(p) != sc.Dims() {
+		panic(fmt.Sprintf("feature: point has %d dims, schema has %d", len(p), sc.Dims()))
+	}
+	out := make([]complex128, sc.K)
+	off := sc.Skip()
+	for i := 0; i < sc.K; i++ {
+		a, b := p[off+2*i], p[off+2*i+1]
+		if sc.Space == Rect {
+			out[i] = complex(a, b)
+		} else {
+			out[i] = cmplx.Rect(a, b)
+		}
+	}
+	return out
+}
+
+// Moments extracts the (mean, std) stored in a feature point, or zeros if
+// the schema has no moment dimensions.
+func (sc Schema) MomentsOf(p geom.Point) (mean, std float64) {
+	if !sc.Moments {
+		return 0, 0
+	}
+	return p[0], p[1]
+}
+
+// CoeffDistSq returns the squared Euclidean distance between the complex
+// coefficient vectors of two feature points (the complex-plane distance,
+// regardless of decomposition). Moment dimensions do not contribute: they
+// are index-only metadata, not part of the similarity distance.
+func (sc Schema) CoeffDistSq(a, b geom.Point) float64 {
+	ca := sc.Coeffs(a)
+	cb := sc.Coeffs(b)
+	var s float64
+	for i := range ca {
+		d := ca[i] - cb[i]
+		s += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return s
+}
+
+// MomentBounds optionally constrains the mean/std dimensions of a search
+// rectangle (the GK95-style shift/scale ranges the paper's layout was
+// designed to support). The zero value is unbounded.
+type MomentBounds struct {
+	MeanLo, MeanHi float64
+	StdLo, StdHi   float64
+}
+
+// Unbounded returns moment bounds spanning the whole real line.
+func Unbounded() MomentBounds {
+	return MomentBounds{
+		MeanLo: -math.MaxFloat64, MeanHi: math.MaxFloat64,
+		StdLo: -math.MaxFloat64, StdHi: math.MaxFloat64,
+	}
+}
+
+// SearchRect builds the Section 3.1 search rectangle: the minimum bounding
+// rectangle (in this feature space) of every feature point whose
+// coefficient vector lies within Euclidean distance eps of q's. Any point
+// x with D(x, q) <= eps over the full spectra satisfies
+// |X_f - Q_f| <= eps per coefficient, so x's feature point falls inside
+// this rectangle — the geometric half of the paper's Lemma 1.
+//
+// In the polar space the angle interval is alpha +/- asin(eps/m)
+// (Figure 7), widening to the full circle when eps >= m; intervals may
+// extend past +/- pi and are meant for the modulo-2*pi overlap predicates.
+func (sc Schema) SearchRect(q geom.Point, eps float64, mb MomentBounds) geom.Rect {
+	if len(q) != sc.Dims() {
+		panic(fmt.Sprintf("feature: query point has %d dims, schema has %d", len(q), sc.Dims()))
+	}
+	if eps < 0 {
+		eps = 0
+	}
+	lo := make(geom.Point, sc.Dims())
+	hi := make(geom.Point, sc.Dims())
+	if sc.Moments {
+		if mb == (MomentBounds{}) {
+			mb = Unbounded()
+		}
+		lo[0], hi[0] = mb.MeanLo, mb.MeanHi
+		lo[1], hi[1] = mb.StdLo, mb.StdHi
+	}
+	off := sc.Skip()
+	for i := 0; i < sc.K; i++ {
+		mi, ai := off+2*i, off+2*i+1
+		if sc.Space == Rect {
+			lo[mi], hi[mi] = q[mi]-eps, q[mi]+eps
+			lo[ai], hi[ai] = q[ai]-eps, q[ai]+eps
+			continue
+		}
+		m := q[mi]
+		mLo := m - eps
+		if mLo < 0 {
+			mLo = 0
+		}
+		lo[mi], hi[mi] = mLo, m+eps
+		if eps >= m {
+			lo[ai], hi[ai] = q[ai]-math.Pi, q[ai]+math.Pi
+		} else {
+			half := math.Asin(eps / m)
+			lo[ai], hi[ai] = q[ai]-half, q[ai]+half
+		}
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// Map returns the affine action of transformation t on this feature space.
+// The transformation is defined over full-length spectra; coefficients
+// 1..K (matching the dropped-X_0 layout) are sliced out and mapped through
+// Theorem 2 (rectangular) or Theorem 3 (polar). Moment dimensions pass
+// through unchanged.
+func (sc Schema) Map(t transform.T) (transform.AffineMap, error) {
+	if t.Dims() < sc.K+1 {
+		return transform.AffineMap{}, fmt.Errorf("feature: transformation %s covers %d coefficients, schema needs %d", t, t.Dims(), sc.K+1)
+	}
+	sliced := transform.T{
+		A:    t.A[1 : sc.K+1],
+		B:    t.B[1 : sc.K+1],
+		Cost: t.Cost,
+		Name: t.Name,
+	}
+	if sc.Space == Rect {
+		return transform.RectMap(sliced, sc.Skip(), sc.K)
+	}
+	return transform.PolarMap(sliced, sc.Skip(), sc.K)
+}
+
+// LowerBoundDistSq returns a lower bound on the squared complex-plane
+// coefficient distance between query point q and any feature point inside
+// rectangle r, for nearest-neighbor pruning. In the rectangular space this
+// is plain MINDIST restricted to coefficient dimensions; in the polar space
+// it is the exact point-to-annular-sector distance. Moment dimensions are
+// ignored (they carry no distance semantics).
+func (sc Schema) LowerBoundDistSq(q geom.Point, r geom.Rect) float64 {
+	skip := sc.Skip()
+	if sc.Space == Polar {
+		return transform.PolarMinDistSq(maskMoments(q, skip), maskRect(r, skip), skip)
+	}
+	var s float64
+	for i := skip; i < len(q); i++ {
+		switch {
+		case q[i] < r.Lo[i]:
+			d := r.Lo[i] - q[i]
+			s += d * d
+		case q[i] > r.Hi[i]:
+			d := q[i] - r.Hi[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// maskMoments zeroes the moment dimensions of a copy of p so they cannot
+// contribute to distance bounds.
+func maskMoments(p geom.Point, skip int) geom.Point {
+	if skip == 0 {
+		return p
+	}
+	out := p.Clone()
+	for i := 0; i < skip; i++ {
+		out[i] = 0
+	}
+	return out
+}
+
+// maskRect widens the moment dimensions of a copy of r to cover any value.
+func maskRect(r geom.Rect, skip int) geom.Rect {
+	if skip == 0 {
+		return r
+	}
+	out := r.Clone()
+	for i := 0; i < skip; i++ {
+		out.Lo[i] = -math.MaxFloat64
+		out.Hi[i] = math.MaxFloat64
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package geom
+
+import "math"
+
+// MinDistSq returns MINDIST^2(p, r) of Roussopoulos, Kelley & Vincent
+// (SIGMOD 1995): the squared Euclidean distance from point p to the nearest
+// point of rectangle r. It is zero when p lies inside r. MINDIST is a lower
+// bound on the distance from p to any object enclosed by r, which makes it a
+// safe pruning metric for nearest-neighbor search (no object in r can be
+// closer than MINDIST).
+func MinDistSq(p Point, r Rect) float64 {
+	var s float64
+	for i := range p {
+		switch {
+		case p[i] < r.Lo[i]:
+			d := r.Lo[i] - p[i]
+			s += d * d
+		case p[i] > r.Hi[i]:
+			d := p[i] - r.Hi[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// MinDist returns MINDIST(p, r). See MinDistSq.
+func MinDist(p Point, r Rect) float64 {
+	return math.Sqrt(MinDistSq(p, r))
+}
+
+// MinMaxDistSq returns MINMAXDIST^2(p, r) of RKV95: the minimum over all
+// faces of r of the maximum distance from p to the nearest face. Every
+// rectangle in an R-tree bounds at least one object touching each of its
+// faces, so MINMAXDIST is an upper bound on the distance from p to the
+// nearest object inside r; candidates with MINDIST greater than another
+// rectangle's MINMAXDIST can be pruned.
+//
+// The rectangle must be non-degenerate in dimensionality (at least 1-d) and
+// p must have the same dimensionality.
+func MinMaxDistSq(p Point, r Rect) float64 {
+	n := len(p)
+	// S = sum over all dims of max-distance-to-far-corner squared.
+	var S float64
+	rmSq := make([]float64, n) // nearer-face distance squared per dim
+	rMSq := make([]float64, n) // farther-face distance squared per dim
+	for i := 0; i < n; i++ {
+		mid := (r.Lo[i] + r.Hi[i]) / 2
+		var rm float64
+		if p[i] <= mid {
+			rm = r.Lo[i]
+		} else {
+			rm = r.Hi[i]
+		}
+		var rM float64
+		if p[i] >= mid {
+			rM = r.Lo[i]
+		} else {
+			rM = r.Hi[i]
+		}
+		dm := p[i] - rm
+		dM := p[i] - rM
+		rmSq[i] = dm * dm
+		rMSq[i] = dM * dM
+		S += dM * dM
+	}
+	best := math.Inf(1)
+	for k := 0; k < n; k++ {
+		v := S - rMSq[k] + rmSq[k]
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MinMaxDist returns MINMAXDIST(p, r). See MinMaxDistSq.
+func MinMaxDist(p Point, r Rect) float64 {
+	return math.Sqrt(MinMaxDistSq(p, r))
+}

@@ -1,0 +1,164 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sanitize maps arbitrary generated floats into a bounded, finite range so
+// geometric predicates stay meaningful.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1000)
+}
+
+func mkRect(lo1, lo2, w1, w2 float64) Rect {
+	l1, l2 := sanitize(lo1), sanitize(lo2)
+	return Rect{
+		Lo: Point{l1, l2},
+		Hi: Point{l1 + math.Abs(sanitize(w1)), l2 + math.Abs(sanitize(w2))},
+	}
+}
+
+func TestQuickUnionContainsBoth(t *testing.T) {
+	f := func(a1, a2, aw1, aw2, b1, b2, bw1, bw2 float64) bool {
+		a := mkRect(a1, a2, aw1, aw2)
+		b := mkRect(b1, b2, bw1, bw2)
+		u := a.Union(b)
+		return u.Contains(a) && u.Contains(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectsSymmetricAndConsistentWithOverlap(t *testing.T) {
+	f := func(a1, a2, aw1, aw2, b1, b2, bw1, bw2 float64) bool {
+		a := mkRect(a1, a2, aw1, aw2)
+		b := mkRect(b1, b2, bw1, bw2)
+		if a.Intersects(b) != b.Intersects(a) {
+			return false
+		}
+		// Positive overlap area implies intersection (not conversely:
+		// touching boundaries intersect with zero area).
+		if a.OverlapArea(b) > 0 && !a.Intersects(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEnlargementNonNegative(t *testing.T) {
+	f := func(a1, a2, aw1, aw2, b1, b2, bw1, bw2 float64) bool {
+		a := mkRect(a1, a2, aw1, aw2)
+		b := mkRect(b1, b2, bw1, bw2)
+		return a.Enlargement(b) >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinDistZeroIffContained(t *testing.T) {
+	f := func(r1, r2, w1, w2, p1, p2 float64) bool {
+		r := mkRect(r1, r2, w1, w2)
+		p := Point{sanitize(p1), sanitize(p2)}
+		d := MinDistSq(p, r)
+		if r.ContainsPoint(p) {
+			return d == 0
+		}
+		return d > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinDistLowerBoundsCorners(t *testing.T) {
+	// MINDIST never exceeds the distance to any corner of the rectangle.
+	f := func(r1, r2, w1, w2, p1, p2 float64) bool {
+		r := mkRect(r1, r2, w1, w2)
+		p := Point{sanitize(p1), sanitize(p2)}
+		d := MinDistSq(p, r)
+		corners := []Point{
+			{r.Lo[0], r.Lo[1]}, {r.Lo[0], r.Hi[1]},
+			{r.Hi[0], r.Lo[1]}, {r.Hi[0], r.Hi[1]},
+		}
+		for _, c := range corners {
+			if d > p.DistSq(c)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinMaxDistBetweenMinDistAndFarCorner(t *testing.T) {
+	f := func(r1, r2, w1, w2, p1, p2 float64) bool {
+		r := mkRect(r1, r2, w1, w2)
+		p := Point{sanitize(p1), sanitize(p2)}
+		mind := MinDistSq(p, r)
+		minmax := MinMaxDistSq(p, r)
+		var far float64
+		for i := range p {
+			d := math.Max(math.Abs(p[i]-r.Lo[i]), math.Abs(p[i]-r.Hi[i]))
+			far += d * d
+		}
+		return mind <= minmax+1e-9 && minmax <= far+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNormalizeAngleRange(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		a = math.Mod(a, 1e6)
+		n := NormalizeAngle(a)
+		if n < -math.Pi || n >= math.Pi {
+			return false
+		}
+		// Normalization preserves the angle modulo 2*pi.
+		diff := math.Mod(a-n, 2*math.Pi)
+		if diff < 0 {
+			diff += 2 * math.Pi
+		}
+		return diff < 1e-6 || math.Abs(diff-2*math.Pi) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAngularOverlapMatchesContainmentIdentity(t *testing.T) {
+	// Two circular arcs (each shorter than the full circle) overlap iff one
+	// contains the other's starting endpoint — an exact identity that
+	// cross-checks the overlap predicate against the containment predicate.
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 2000; trial++ {
+		aLo := r.Float64()*4*math.Pi - 2*math.Pi
+		aw := r.Float64() * 1.9 * math.Pi
+		bLo := r.Float64()*4*math.Pi - 2*math.Pi
+		bw := r.Float64() * 1.9 * math.Pi
+		got := AngularIntervalsOverlap(aLo, aLo+aw, bLo, bLo+bw)
+		want := AngularIntervalContains(aLo, aLo+aw, bLo) ||
+			AngularIntervalContains(bLo, bLo+bw, aLo)
+		if got != want {
+			t.Fatalf("overlap([%v,%v],[%v,%v]) = %v, containment identity says %v",
+				aLo, aLo+aw, bLo, bLo+bw, got, want)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package index implements the paper's k-index (Section 4): an R*-tree over
+// the first k DFT feature coefficients of every stored series, searched
+// either directly or through a safe transformation applied on the fly to
+// every node rectangle and data point (Algorithms 1 and 2). By Lemma 1 the
+// traversal returns a superset of the true answer set — no false
+// dismissals — which the query engine's post-processing then filters with
+// exact distances from the full records.
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/feature"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/transform"
+)
+
+// KIndex is a feature-space R*-tree with schema-aware (polar or
+// rectangular) overlap semantics.
+type KIndex struct {
+	schema  feature.Schema
+	tree    *rtree.Tree
+	angular []bool
+	// plainOverlap disables the seam-aware modulo-2*pi overlap predicate
+	// on phase-angle dimensions, reverting to plain interval intersection
+	// (the paper's implicit behavior). Settable only through
+	// SetPlainOverlap; exists for the angular-seam ablation, which
+	// measures the false dismissals this causes.
+	plainOverlap bool
+}
+
+// SetPlainOverlap toggles seam-unaware angle intersection (ablation only;
+// true risks false dismissals near the +/- pi seam).
+func (ix *KIndex) SetPlainOverlap(plain bool) { ix.plainOverlap = plain }
+
+// New creates an empty k-index for the given feature schema.
+func New(schema feature.Schema, opts rtree.Options) (*KIndex, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	tree, err := rtree.New(schema.Dims(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &KIndex{schema: schema, tree: tree, angular: schema.Angular()}, nil
+}
+
+// Schema returns the feature schema the index was built with.
+func (ix *KIndex) Schema() feature.Schema { return ix.schema }
+
+// Len returns the number of indexed points.
+func (ix *KIndex) Len() int { return ix.tree.Len() }
+
+// Tree exposes the underlying R*-tree (read-only use: joins, diagnostics).
+func (ix *KIndex) Tree() *rtree.Tree { return ix.tree }
+
+// Insert adds a feature point under the given ID.
+func (ix *KIndex) Insert(id int64, p geom.Point) error {
+	if len(p) != ix.schema.Dims() {
+		return fmt.Errorf("index: point has %d dims, schema has %d", len(p), ix.schema.Dims())
+	}
+	return ix.tree.Insert(geom.PointRect(p), id)
+}
+
+// InsertSeries extracts the feature point of s and inserts it.
+func (ix *KIndex) InsertSeries(id int64, s []float64) error {
+	p, err := ix.schema.Extract(s)
+	if err != nil {
+		return err
+	}
+	return ix.Insert(id, p)
+}
+
+// BulkLoad builds the index from pre-extracted feature points with STR
+// packing. The index must be empty.
+func (ix *KIndex) BulkLoad(points []geom.Point, ids []int64) error {
+	if len(points) != len(ids) {
+		return fmt.Errorf("index: %d points but %d ids", len(points), len(ids))
+	}
+	items := make([]rtree.Item, len(points))
+	for i, p := range points {
+		if len(p) != ix.schema.Dims() {
+			return fmt.Errorf("index: point %d has %d dims, schema has %d", i, len(p), ix.schema.Dims())
+		}
+		items[i] = rtree.Item{Rect: geom.PointRect(p), ID: ids[i]}
+	}
+	return ix.tree.BulkLoad(items)
+}
+
+// Delete removes the point previously inserted under (p, id).
+func (ix *KIndex) Delete(id int64, p geom.Point) bool {
+	return ix.tree.Delete(geom.PointRect(p), id)
+}
+
+// Candidate is one index hit from the filter phase of Algorithm 2: a stored
+// feature point whose transformed image falls in the query's search
+// rectangle, together with the (squared) partial distance computed from the
+// k retained coefficients. PartialDistSq lower-bounds the true full-series
+// distance (Parseval), so candidates with PartialDistSq > eps^2 are pruned
+// before any record fetch.
+type Candidate struct {
+	ID            int64
+	Point         geom.Point
+	Transformed   geom.Point
+	PartialDistSq float64
+}
+
+// overlap returns the schema-appropriate rectangle intersection predicate:
+// plain intersection in S_rect, seam-aware modulo-2*pi intersection on the
+// phase-angle dimensions in S_pol.
+func (ix *KIndex) overlap() rtree.Overlap {
+	if ix.angular == nil || ix.plainOverlap {
+		return nil
+	}
+	ang := ix.angular
+	return func(tr, q geom.Rect) bool { return geom.IntersectsMixed(tr, q, ang) }
+}
+
+// Range runs the filter phase of the paper's Algorithm 2: traverse the
+// index applying m (the affine action of a safe transformation) to every
+// rectangle, collect the data points whose transformed image lies in the
+// search rectangle around q, and compute their partial distances. When
+// prune is true, candidates whose k-coefficient distance already exceeds
+// eps are dropped (sound by Lemma 1's inequality chain).
+//
+// Pass transform.IdentityMap (or any map reporting Identity) for plain,
+// untransformed range queries.
+func (ix *KIndex) Range(q geom.Point, eps float64, m transform.AffineMap, mb feature.MomentBounds, prune bool) ([]Candidate, rtree.SearchStats) {
+	if len(q) != ix.schema.Dims() {
+		panic(fmt.Sprintf("index: query point has %d dims, schema has %d", len(q), ix.schema.Dims()))
+	}
+	qrect := ix.schema.SearchRect(q, eps, mb)
+	epsSq := eps * eps
+	var out []Candidate
+
+	identity := m.Identity()
+	rectTransform := func(r geom.Rect) geom.Rect { return r }
+	if !identity {
+		rectTransform = m.ApplyRect
+	}
+
+	st := ix.tree.TransformedSearch(qrect, rectTransform, ix.overlap(), func(it rtree.Item, tr geom.Rect) bool {
+		p := it.Rect.Lo
+		// Leaf rectangles are degenerate, so the transformed rectangle's
+		// low corner *is* the transformed point. Phase angles may sit
+		// outside [-pi, pi) here; CoeffDistSq reconstructs coefficients
+		// with cmplx.Rect, which is angle-periodic, so no renormalization
+		// is needed.
+		tp := tr.Lo
+		dSq := ix.schema.CoeffDistSq(tp, q)
+		if prune && dSq > epsSq*(1+1e-12) {
+			return true
+		}
+		out = append(out, Candidate{ID: it.ID, Point: p, Transformed: tp, PartialDistSq: dSq})
+		return true
+	})
+	return out, st
+}
+
+// NearestFunc visits stored points in increasing order of the lower bound
+// on the transformed coefficient distance to q, calling fn with each item's
+// transformed point and its *exact k-coefficient* distance (squared). The
+// visit order is by lower bound; fn receives exact partial distances and
+// should stop (return false) once its own termination condition holds —
+// typically when the bound of the next item exceeds the k-th best verified
+// full distance.
+func (ix *KIndex) NearestFunc(q geom.Point, m transform.AffineMap, fn func(c Candidate) bool) rtree.SearchStats {
+	if len(q) != ix.schema.Dims() {
+		panic(fmt.Sprintf("index: query point has %d dims, schema has %d", len(q), ix.schema.Dims()))
+	}
+	identity := m.Identity()
+	lower := func(r geom.Rect) float64 {
+		if !identity {
+			r = m.ApplyRect(r)
+		}
+		return ix.schema.LowerBoundDistSq(q, r)
+	}
+	itemDist := func(it rtree.Item) float64 {
+		p := it.Rect.Lo
+		if !identity {
+			p = m.ApplyPoint(p)
+		}
+		return ix.schema.CoeffDistSq(p, q)
+	}
+	return ix.tree.NearestScan(lower, itemDist, func(it rtree.Item, dist float64) bool {
+		p := it.Rect.Lo
+		tp := p
+		if !identity {
+			tp = m.ApplyPoint(p)
+		}
+		return fn(Candidate{ID: it.ID, Point: p, Transformed: tp, PartialDistSq: dist})
+	})
+}
+
+// Materialize eagerly builds the transformed index I' of Algorithm 1 (for
+// equivalence tests and the materialization ablation benchmark).
+func (ix *KIndex) Materialize(m transform.AffineMap) *KIndex {
+	return &KIndex{
+		schema:       ix.schema,
+		tree:         ix.tree.Materialize(m.ApplyRect),
+		angular:      ix.angular,
+		plainOverlap: ix.plainOverlap,
+	}
+}

@@ -1,0 +1,408 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/dft"
+	"repro/internal/feature"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/series"
+	"repro/internal/transform"
+)
+
+func randomWalk(r *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	v := 20 + r.Float64()*79
+	for i := range s {
+		v += r.Float64()*8 - 4
+		s[i] = v
+	}
+	return s
+}
+
+// fullNFDistance is the exact Euclidean distance between normal forms under
+// transformation t applied to x's spectrum (the paper's D(T(X), Q)).
+func fullNFDistance(t transform.T, x, q []float64) float64 {
+	X := dft.TransformReal(series.NormalForm(x))
+	Q := dft.TransformReal(series.NormalForm(q))
+	return dft.Distance(t.Apply(X), Q)
+}
+
+func buildIndex(t *testing.T, sc feature.Schema, data [][]float64) *KIndex {
+	t.Helper()
+	ix, err := New(sc, rtree.Options{MaxEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range data {
+		if err := ix.InsertSeries(int64(i), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(feature.Schema{Space: feature.Polar, K: 0}, rtree.Options{}); err == nil {
+		t.Error("invalid schema should fail")
+	}
+	if _, err := New(feature.DefaultSchema, rtree.Options{MaxEntries: 2}); err == nil {
+		t.Error("invalid rtree options should fail")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	ix, _ := New(feature.DefaultSchema, rtree.Options{})
+	if err := ix.Insert(1, geom.Point{1, 2}); err == nil {
+		t.Error("wrong dims should fail")
+	}
+	if err := ix.InsertSeries(1, []float64{1}); err == nil {
+		t.Error("short series should fail")
+	}
+}
+
+func TestRangeNoFalseDismissalsLemma1(t *testing.T) {
+	// Lemma 1: for every safe transformation, the index filter phase must
+	// return a superset of the true answer set. Verified by comparing the
+	// candidate IDs against an exact full-spectrum linear scan, across both
+	// feature spaces and several transformations.
+	r := rand.New(rand.NewSource(1))
+	n := 64
+	data := make([][]float64, 300)
+	for i := range data {
+		data[i] = randomWalk(r, n)
+	}
+	// Plant near-duplicates so answers exist at small eps.
+	for i := 0; i < 30; i++ {
+		src := data[i]
+		dup := make([]float64, n)
+		for j := range dup {
+			dup[j] = src[j] + r.NormFloat64()*0.2
+		}
+		data[100+i] = dup
+	}
+
+	type caseT struct {
+		name string
+		sc   feature.Schema
+		tr   transform.T
+	}
+	cases := []caseT{
+		{"polar identity", feature.Schema{Space: feature.Polar, K: 2, Moments: true}, transform.Identity(n)},
+		{"polar mavg5", feature.Schema{Space: feature.Polar, K: 2, Moments: true}, transform.MovingAverage(n, 5)},
+		{"polar mavg20", feature.Schema{Space: feature.Polar, K: 3, Moments: true}, transform.MovingAverage(n, 20)},
+		{"polar reverse", feature.Schema{Space: feature.Polar, K: 2, Moments: true}, transform.Reverse(n)},
+		{"polar warp2", feature.Schema{Space: feature.Polar, K: 2, Moments: true}, transform.Warp(n, 2)},
+		{"rect identity", feature.Schema{Space: feature.Rect, K: 2, Moments: true}, transform.Identity(n)},
+		{"rect reverse", feature.Schema{Space: feature.Rect, K: 3, Moments: true}, transform.Reverse(n)},
+		{"rect scale", feature.Schema{Space: feature.Rect, K: 2, Moments: true}, transform.Scale(n, 1.7)},
+	}
+	for _, tc := range cases {
+		ix := buildIndex(t, tc.sc, data)
+		m, err := tc.sc.Map(tc.tr)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			q := data[r.Intn(len(data))]
+			qp, _ := tc.sc.Extract(q)
+			for _, eps := range []float64{0.3, 1.0, 5.0} {
+				cands, _ := ix.Range(qp, eps, m, feature.MomentBounds{}, true)
+				got := map[int64]bool{}
+				for _, c := range cands {
+					got[c.ID] = true
+				}
+				for i, x := range data {
+					if fullNFDistance(tc.tr, x, q) <= eps {
+						if !got[int64(i)] {
+							t.Fatalf("%s eps=%g: false dismissal of series %d", tc.name, eps, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRangeIdentityMatchesBruteForcePartial(t *testing.T) {
+	// With pruning enabled the candidate set equals the set of points whose
+	// k-coefficient distance is within eps (modulo boundary ties).
+	r := rand.New(rand.NewSource(2))
+	sc := feature.Schema{Space: feature.Polar, K: 2, Moments: true}
+	n := 64
+	data := make([][]float64, 200)
+	points := make([]geom.Point, 200)
+	for i := range data {
+		data[i] = randomWalk(r, n)
+		points[i], _ = sc.Extract(data[i])
+	}
+	ix := buildIndex(t, sc, data)
+	id := transform.IdentityMap(sc.Dims(), sc.Angular())
+	for trial := 0; trial < 10; trial++ {
+		q := points[r.Intn(len(points))]
+		eps := 0.5 + r.Float64()*2
+		cands, _ := ix.Range(q, eps, id, feature.MomentBounds{}, true)
+		got := map[int64]bool{}
+		for _, c := range cands {
+			got[c.ID] = true
+		}
+		for i, p := range points {
+			want := sc.CoeffDistSq(p, q) <= eps*eps
+			if want != got[int64(i)] {
+				t.Fatalf("trial %d: candidate set mismatch at %d (want %v)", trial, i, want)
+			}
+		}
+	}
+}
+
+func TestRangeMomentBounds(t *testing.T) {
+	// GK95-style shift/scale restriction: moment bounds must constrain the
+	// candidate set by mean and std.
+	r := rand.New(rand.NewSource(3))
+	sc := feature.DefaultSchema
+	n := 64
+	data := make([][]float64, 100)
+	for i := range data {
+		data[i] = randomWalk(r, n)
+	}
+	ix := buildIndex(t, sc, data)
+	id := transform.IdentityMap(sc.Dims(), sc.Angular())
+	q, _ := sc.Extract(data[0])
+	all, _ := ix.Range(q, 100, id, feature.MomentBounds{}, false)
+	if len(all) != len(data) {
+		t.Fatalf("unbounded wide query returned %d of %d", len(all), len(data))
+	}
+	mb := feature.MomentBounds{MeanLo: 40, MeanHi: 60, StdLo: -math.MaxFloat64, StdHi: math.MaxFloat64}
+	bounded, _ := ix.Range(q, 100, id, mb, false)
+	for _, c := range bounded {
+		mean, _ := sc.MomentsOf(c.Point)
+		if mean < 40 || mean > 60 {
+			t.Fatalf("moment bound violated: mean %v", mean)
+		}
+	}
+	var want int
+	for _, s := range data {
+		if m := series.Mean(s); m >= 40 && m <= 60 {
+			want++
+		}
+	}
+	if len(bounded) != want {
+		t.Fatalf("bounded query returned %d, want %d", len(bounded), want)
+	}
+}
+
+func TestRangePanicsOnWrongDims(t *testing.T) {
+	ix, _ := New(feature.DefaultSchema, rtree.Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong query dims did not panic")
+		}
+	}()
+	ix.Range(geom.Point{1}, 1, transform.IdentityMap(6, nil), feature.MomentBounds{}, true)
+}
+
+func TestBulkLoadAgreesWithInserts(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	sc := feature.DefaultSchema
+	n := 64
+	data := make([][]float64, 400)
+	points := make([]geom.Point, 400)
+	ids := make([]int64, 400)
+	for i := range data {
+		data[i] = randomWalk(r, n)
+		points[i], _ = sc.Extract(data[i])
+		ids[i] = int64(i)
+	}
+	inc := buildIndex(t, sc, data)
+	bulk, _ := New(sc, rtree.Options{MaxEntries: 8})
+	if err := bulk.BulkLoad(points, ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.Tree().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	id := transform.IdentityMap(sc.Dims(), sc.Angular())
+	for trial := 0; trial < 8; trial++ {
+		q := points[r.Intn(len(points))]
+		eps := 0.5 + r.Float64()*3
+		a, _ := inc.Range(q, eps, id, feature.MomentBounds{}, true)
+		b, _ := bulk.Range(q, eps, id, feature.MomentBounds{}, true)
+		ai := make([]int64, len(a))
+		bi := make([]int64, len(b))
+		for i := range a {
+			ai[i] = a[i].ID
+		}
+		for i := range b {
+			bi[i] = b[i].ID
+		}
+		sort.Slice(ai, func(i, j int) bool { return ai[i] < ai[j] })
+		sort.Slice(bi, func(i, j int) bool { return bi[i] < bi[j] })
+		if len(ai) != len(bi) {
+			t.Fatalf("bulk vs incremental: %d vs %d candidates", len(bi), len(ai))
+		}
+		for i := range ai {
+			if ai[i] != bi[i] {
+				t.Fatal("bulk vs incremental candidate mismatch")
+			}
+		}
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	ix, _ := New(feature.DefaultSchema, rtree.Options{})
+	if err := ix.BulkLoad([]geom.Point{{1, 2}}, []int64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := ix.BulkLoad([]geom.Point{{1, 2}}, []int64{1}); err == nil {
+		t.Error("wrong dims should fail")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	sc := feature.DefaultSchema
+	ix, _ := New(sc, rtree.Options{})
+	r := rand.New(rand.NewSource(5))
+	s := randomWalk(r, 64)
+	p, _ := sc.Extract(s)
+	ix.Insert(7, p)
+	if ix.Len() != 1 {
+		t.Fatal("insert failed")
+	}
+	if !ix.Delete(7, p) {
+		t.Fatal("delete failed")
+	}
+	if ix.Len() != 0 {
+		t.Fatal("delete did not remove")
+	}
+	if ix.Delete(7, p) {
+		t.Fatal("double delete returned true")
+	}
+}
+
+func TestNearestFuncOrderedByPartialDistance(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	n := 64
+	for _, sc := range []feature.Schema{
+		{Space: feature.Polar, K: 2, Moments: true},
+		{Space: feature.Rect, K: 2, Moments: true},
+	} {
+		data := make([][]float64, 250)
+		for i := range data {
+			data[i] = randomWalk(r, n)
+		}
+		ix := buildIndex(t, sc, data)
+		q, _ := sc.Extract(randomWalk(r, n))
+		id := transform.IdentityMap(sc.Dims(), sc.Angular())
+		var dists []float64
+		var ids []int64
+		ix.NearestFunc(q, id, func(c Candidate) bool {
+			dists = append(dists, c.PartialDistSq)
+			ids = append(ids, c.ID)
+			return len(dists) < 20
+		})
+		if len(dists) != 20 {
+			t.Fatalf("visited %d", len(dists))
+		}
+		for i := 1; i < len(dists); i++ {
+			if dists[i] < dists[i-1]-1e-12 {
+				t.Fatalf("space %v: distances not monotone: %v", sc.Space, dists)
+			}
+		}
+		// First 20 must be the global 20 smallest partial distances.
+		type pd struct {
+			id int64
+			d  float64
+		}
+		all := make([]pd, len(data))
+		for i, s := range data {
+			p, _ := sc.Extract(s)
+			all[i] = pd{int64(i), sc.CoeffDistSq(p, q)}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+		for i := 0; i < 20; i++ {
+			if math.Abs(all[i].d-dists[i]) > 1e-9 {
+				t.Fatalf("space %v rank %d: %v != oracle %v", sc.Space, i, dists[i], all[i].d)
+			}
+		}
+	}
+}
+
+func TestNearestFuncWithTransform(t *testing.T) {
+	// NN under mavg: visiting order must match brute-force transformed
+	// partial distances.
+	r := rand.New(rand.NewSource(7))
+	n := 64
+	sc := feature.Schema{Space: feature.Polar, K: 2, Moments: true}
+	data := make([][]float64, 150)
+	for i := range data {
+		data[i] = randomWalk(r, n)
+	}
+	ix := buildIndex(t, sc, data)
+	tr := transform.MovingAverage(n, 5)
+	m, err := sc.Map(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := sc.Extract(randomWalk(r, n))
+	var got []float64
+	ix.NearestFunc(q, m, func(c Candidate) bool {
+		got = append(got, c.PartialDistSq)
+		return len(got) < 10
+	})
+	var oracle []float64
+	for _, s := range data {
+		p, _ := sc.Extract(s)
+		oracle = append(oracle, sc.CoeffDistSq(m.ApplyPoint(p), q))
+	}
+	sort.Float64s(oracle)
+	for i := range got {
+		if math.Abs(got[i]-oracle[i]) > 1e-9 {
+			t.Fatalf("rank %d: %v != %v", i, got[i], oracle[i])
+		}
+	}
+}
+
+func TestMaterializeEquivalence(t *testing.T) {
+	// Algorithm 1 (materialized I') and Algorithm 2 (on the fly) must agree.
+	r := rand.New(rand.NewSource(8))
+	n := 64
+	sc := feature.Schema{Space: feature.Polar, K: 2, Moments: true}
+	data := make([][]float64, 200)
+	for i := range data {
+		data[i] = randomWalk(r, n)
+	}
+	ix := buildIndex(t, sc, data)
+	tr := transform.MovingAverage(n, 20)
+	m, _ := sc.Map(tr)
+	mat := ix.Materialize(m)
+	idm := transform.IdentityMap(sc.Dims(), sc.Angular())
+	for trial := 0; trial < 10; trial++ {
+		q, _ := sc.Extract(data[r.Intn(len(data))])
+		eps := 0.3 + r.Float64()*2
+		a, _ := ix.Range(q, eps, m, feature.MomentBounds{}, false)
+		b, _ := mat.Range(q, eps, idm, feature.MomentBounds{}, false)
+		am := map[int64]bool{}
+		for _, c := range a {
+			am[c.ID] = true
+		}
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: %d on-the-fly vs %d materialized", trial, len(a), len(b))
+		}
+		for _, c := range b {
+			if !am[c.ID] {
+				t.Fatalf("trial %d: materialized found %d missing on the fly", trial, c.ID)
+			}
+		}
+	}
+}
+
+func TestSchemaAccessor(t *testing.T) {
+	ix, _ := New(feature.DefaultSchema, rtree.Options{})
+	if ix.Schema() != feature.DefaultSchema {
+		t.Fatal("Schema accessor wrong")
+	}
+}

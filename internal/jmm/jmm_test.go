@@ -1,0 +1,221 @@
+package jmm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/series"
+	"repro/internal/transform"
+)
+
+var (
+	ex11s1 = []float64{36, 38, 40, 38, 42, 38, 36, 36, 37, 38, 39, 38, 40, 38, 37}
+	ex11s2 = []float64{40, 37, 37, 42, 41, 35, 40, 35, 34, 42, 38, 35, 45, 36, 34}
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Measure{Budget: -1}).Validate(); err == nil {
+		t.Error("negative budget should fail")
+	}
+	zeroCost := transform.Identity(8) // cost 0
+	if err := (Measure{Transforms: []transform.T{zeroCost}, Budget: 1}).Validate(); err == nil {
+		t.Error("zero-cost transformation should fail")
+	}
+}
+
+func TestDistanceErrors(t *testing.T) {
+	m := Measure{Budget: 1}
+	if _, _, err := m.Distance([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	m2 := Measure{
+		Transforms: []transform.T{transform.Reverse(4).WithCost(1)},
+		Budget:     2,
+	}
+	if _, _, err := m2.Distance(make([]float64, 8), make([]float64, 8)); err == nil {
+		t.Error("transformation/series length mismatch should fail")
+	}
+}
+
+func TestNoTransformsReducesToEuclidean(t *testing.T) {
+	m := Measure{Budget: 10}
+	d, trace, err := m.Distance(ex11s1, ex11s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := series.EuclideanDistance(ex11s1, ex11s2)
+	if math.Abs(d-want) > 1e-9 {
+		t.Fatalf("D = %v, want D0 = %v", d, want)
+	}
+	if len(trace.XSide) != 0 || len(trace.YSide) != 0 {
+		t.Fatal("no transformations available but trace shows applications")
+	}
+}
+
+func TestZeroBudgetReducesToEuclidean(t *testing.T) {
+	m := Measure{
+		Transforms: []transform.T{transform.MovingAverage(15, 3).WithCost(1)},
+		Budget:     0,
+	}
+	d, _, err := m.Distance(ex11s1, ex11s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := series.EuclideanDistance(ex11s1, ex11s2)
+	if math.Abs(d-want) > 1e-9 {
+		t.Fatalf("budget 0: D = %v, want %v", d, want)
+	}
+}
+
+func TestExample11MovingAverageBothSides(t *testing.T) {
+	// Example 1.1 in the Equation 10 framework: raw distance 11.92; with a
+	// 3-day moving average at cost 1 per application, smoothing both sides
+	// costs 2 and leaves ~0.47, total ~2.47 — the minimum.
+	m := Measure{
+		Transforms: []transform.T{transform.MovingAverage(15, 3).WithCost(1)},
+		Budget:     4,
+	}
+	d, trace, err := m.Distance(ex11s1, ex11s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.XSide) != 1 || len(trace.YSide) != 1 {
+		t.Fatalf("expected one application per side, got %s", trace)
+	}
+	if math.Abs(trace.TransformCost-2) > 1e-9 {
+		t.Fatalf("cost %v, want 2", trace.TransformCost)
+	}
+	if math.Abs(trace.Euclidean-0.47) > 0.05 {
+		t.Fatalf("post-transform distance %v, paper reports 0.47", trace.Euclidean)
+	}
+	if math.Abs(d-trace.Total()) > 1e-9 {
+		t.Fatal("distance should equal trace total")
+	}
+}
+
+func TestReverseOneSide(t *testing.T) {
+	// y = -x: applying Reverse to one side collapses the distance to 0 at
+	// cost 1.
+	x := []float64{1, -2, 3, -4, 5, -6, 7, -8}
+	y := series.Negate(x)
+	m := Measure{
+		Transforms: []transform.T{transform.Reverse(8).WithCost(1)},
+		Budget:     3,
+	}
+	d, trace, err := m.Distance(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-7 {
+		t.Fatalf("D = %v, want 1 (cost 1 + distance 0)", d)
+	}
+	if len(trace.XSide)+len(trace.YSide) != 1 {
+		t.Fatalf("expected a single application, got %s", trace)
+	}
+}
+
+func TestScaleAsymmetric(t *testing.T) {
+	// y = 2x: scaling x by 2 (or y by 0.5) matches exactly; with only
+	// scale(2) in the vocabulary the x side must take it.
+	x := []float64{1, 2, 3, 4}
+	y := series.Scale(x, 2)
+	m := Measure{
+		Transforms: []transform.T{transform.Scale(4, 2).WithCost(0.5)},
+		Budget:     2,
+	}
+	d, trace, err := m.Distance(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.5) > 1e-7 {
+		t.Fatalf("D = %v, want 0.5", d)
+	}
+	if len(trace.XSide) != 1 || len(trace.YSide) != 0 {
+		t.Fatalf("expected scale applied to x only, got %s", trace)
+	}
+}
+
+func TestBudgetPreventsOverSmoothing(t *testing.T) {
+	// The paper's guard against "any two series can be made similar":
+	// repeated moving averages would flatten everything, but each costs,
+	// and the budget stops the flattening. With a tight budget the optimal
+	// answer uses at most one application per side.
+	m := Measure{
+		Transforms: []transform.T{transform.MovingAverage(15, 3).WithCost(1)},
+		Budget:     2,
+		MaxDepth:   6,
+	}
+	_, trace, err := m.Distance(ex11s1, ex11s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.TransformCost > 2 {
+		t.Fatalf("budget exceeded: %v", trace.TransformCost)
+	}
+	if len(trace.XSide) > 2 || len(trace.YSide) > 2 {
+		t.Fatalf("too many applications: %s", trace)
+	}
+}
+
+func TestDeeperSearchFindsComposition(t *testing.T) {
+	// y = -mavg3(x) (up to rounding): needs reverse AND moving average on
+	// one side (or split across sides); total cost 2.
+	x := ex11s1
+	y := series.Negate(series.MovingAverageCircular(x, 3))
+	m := Measure{
+		Transforms: []transform.T{
+			transform.MovingAverage(15, 3).WithCost(1),
+			transform.Reverse(15).WithCost(1),
+		},
+		Budget: 4,
+	}
+	d, trace, err := m.Distance(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-2) > 1e-6 {
+		t.Fatalf("D = %v, want 2 (two applications, zero residual): %s", d, trace)
+	}
+}
+
+func TestMaxDepthBounds(t *testing.T) {
+	m := Measure{
+		Transforms: []transform.T{transform.MovingAverage(15, 3).WithCost(0.001)},
+		Budget:     1000,
+		MaxDepth:   2,
+	}
+	_, trace, err := m.Distance(ex11s1, ex11s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.XSide) > 2 || len(trace.YSide) > 2 {
+		t.Fatalf("MaxDepth violated: %s", trace)
+	}
+}
+
+func TestBudgetProportional(t *testing.T) {
+	x := []float64{0, 0}
+	y := []float64{3, 4}
+	if b := BudgetProportional(x, y, 0.5); math.Abs(b-2.5) > 1e-12 {
+		t.Fatalf("BudgetProportional = %v, want 2.5", b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	BudgetProportional([]float64{1}, []float64{1, 2}, 1)
+}
+
+func TestTraceString(t *testing.T) {
+	tr := Trace{
+		XSide:         []Application{{Name: "mavg(3)", Cost: 1}},
+		YSide:         []Application{{Name: "reverse", Cost: 1}},
+		TransformCost: 2,
+		Euclidean:     0.5,
+	}
+	s := tr.String()
+	if s == "" || tr.Total() != 2.5 {
+		t.Fatalf("trace string/total broken: %q %v", s, tr.Total())
+	}
+}

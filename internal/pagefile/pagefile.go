@@ -1,0 +1,116 @@
+// Package pagefile simulates the paged disk storage underneath the paper's
+// experiments. The original system measured query cost partly in disk page
+// accesses; this in-memory substitute preserves that accounting: every page
+// read and write is counted, records larger than a page span contiguous
+// pages (each touch of a spanned record costs its page count), and
+// sequential scans touch every allocated page exactly once.
+package pagefile
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// DefaultPageSize is 4 KiB, the page size assumed throughout the
+// experiment harness.
+const DefaultPageSize = 4096
+
+// Stats counts page-level I/O.
+type Stats struct {
+	Reads  int64
+	Writes int64
+}
+
+// File is an append-only collection of fixed-size pages. Reads (including
+// zero-copy views) are safe to perform concurrently; writes require
+// external synchronization, like the structures above it.
+type File struct {
+	pageSize int
+	pages    [][]byte
+	reads    atomic.Int64
+	writes   atomic.Int64
+}
+
+// New creates a page file. pageSize <= 0 selects DefaultPageSize.
+func New(pageSize int) *File {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &File{pageSize: pageSize}
+}
+
+// PageSize returns the page size in bytes.
+func (f *File) PageSize() int { return f.pageSize }
+
+// NumPages returns the number of allocated pages.
+func (f *File) NumPages() int { return len(f.pages) }
+
+// Stats returns the accumulated I/O counters.
+func (f *File) Stats() Stats {
+	return Stats{Reads: f.reads.Load(), Writes: f.writes.Load()}
+}
+
+// ResetStats zeroes the I/O counters (each experiment run starts fresh).
+func (f *File) ResetStats() {
+	f.reads.Store(0)
+	f.writes.Store(0)
+}
+
+// Append writes data across as many fresh pages as needed and returns the
+// index of the first page and the number of pages used.
+func (f *File) Append(data []byte) (firstPage, pageCount int) {
+	if len(data) == 0 {
+		// Zero-length records still occupy a slot on one page.
+		f.pages = append(f.pages, make([]byte, 0, f.pageSize))
+		f.writes.Add(1)
+		return len(f.pages) - 1, 1
+	}
+	firstPage = len(f.pages)
+	for off := 0; off < len(data); off += f.pageSize {
+		end := off + f.pageSize
+		if end > len(data) {
+			end = len(data)
+		}
+		page := make([]byte, end-off)
+		copy(page, data[off:end])
+		f.pages = append(f.pages, page)
+		f.writes.Add(1)
+		pageCount++
+	}
+	return firstPage, pageCount
+}
+
+// View returns direct references to the pages of a record (no copying),
+// charging one read per page. The caller must treat the returned slices as
+// read-only. This models what the original system did: compute distances
+// straight off the buffer-pool page, so that early-abandoned comparisons
+// skip not just arithmetic but also record deserialization.
+func (f *File) View(firstPage, pageCount int) ([][]byte, error) {
+	if firstPage < 0 || pageCount < 1 || firstPage+pageCount > len(f.pages) {
+		return nil, fmt.Errorf("pagefile: view [%d, %d) out of range of %d pages", firstPage, firstPage+pageCount, len(f.pages))
+	}
+	out := make([][]byte, pageCount)
+	for i := 0; i < pageCount; i++ {
+		out[i] = f.pages[firstPage+i]
+	}
+	f.reads.Add(int64(pageCount))
+	return out, nil
+}
+
+// Read returns the concatenated contents of pageCount pages starting at
+// firstPage, charging one read per page.
+func (f *File) Read(firstPage, pageCount int) ([]byte, error) {
+	if firstPage < 0 || pageCount < 1 || firstPage+pageCount > len(f.pages) {
+		return nil, fmt.Errorf("pagefile: read [%d, %d) out of range of %d pages", firstPage, firstPage+pageCount, len(f.pages))
+	}
+	var size int
+	for i := firstPage; i < firstPage+pageCount; i++ {
+		size += len(f.pages[i])
+	}
+	out := make([]byte, 0, size)
+	for i := firstPage; i < firstPage+pageCount; i++ {
+		out = append(out, f.pages[i]...)
+	}
+	f.reads.Add(int64(pageCount))
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package query
+
+// Statement is the parsed form of one query.
+type Statement struct {
+	Kind StatementKind
+
+	// Source of the query series (range and NN queries).
+	SeriesName string    // SERIES 'name'
+	Literal    []float64 // VALUES (...)
+
+	Eps float64 // RANGE and SELFJOIN
+	K   int     // NN
+
+	// Transform is the transformation pipeline, in application order.
+	Transform []TransformCall
+
+	// Both applies the transformation to the query side as well (the BOTH
+	// clause): answers satisfy D(T(x), T(q)) <= Eps.
+	Both bool
+
+	// Exec selects the execution strategy (USING clause).
+	Exec ExecStrategy
+
+	// JoinMethod is the Table 1 method letter for SELFJOIN ("a".."d").
+	JoinMethod string
+
+	// Moment bounds (MEAN [lo, hi] / STD [lo, hi]); nil when absent.
+	MeanBounds *[2]float64
+	StdBounds  *[2]float64
+
+	// Limit caps the number of reported results (LIMIT n); 0 = unlimited.
+	// For RANGE queries the results are distance-sorted, so LIMIT returns
+	// the closest n answers.
+	Limit int
+}
+
+// StatementKind discriminates query kinds.
+type StatementKind int
+
+const (
+	// StmtRange is a similarity range query.
+	StmtRange StatementKind = iota
+	// StmtNN is a k-nearest-neighbor query.
+	StmtNN
+	// StmtSelfJoin is an all-pairs query over the stored relation.
+	StmtSelfJoin
+)
+
+func (k StatementKind) String() string {
+	switch k {
+	case StmtRange:
+		return "RANGE"
+	case StmtNN:
+		return "NN"
+	case StmtSelfJoin:
+		return "SELFJOIN"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// TransformCall is one element of the transformation pipeline, e.g.
+// mavg(20) or wmavg(0.5, 0.3, 0.2).
+type TransformCall struct {
+	Name string
+	Args []float64
+}
+
+// ExecStrategy selects how a statement is executed.
+type ExecStrategy int
+
+const (
+	// ExecIndex uses the k-index (Algorithm 2). The default.
+	ExecIndex ExecStrategy = iota
+	// ExecScan uses the frequency-domain sequential scan with early
+	// abandoning.
+	ExecScan
+	// ExecScanTime uses the naive time-domain scan.
+	ExecScanTime
+)
+
+func (e ExecStrategy) String() string {
+	switch e {
+	case ExecIndex:
+		return "INDEX"
+	case ExecScan:
+		return "SCAN"
+	case ExecScanTime:
+		return "SCANTIME"
+	default:
+		return "UNKNOWN"
+	}
+}

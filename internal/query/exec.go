@@ -1,0 +1,250 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/transform"
+)
+
+// Output is the result of executing a statement.
+type Output struct {
+	Kind    StatementKind
+	Results []core.Result   // range and NN queries
+	Pairs   []core.JoinPair // self joins
+	Stats   core.ExecStats
+}
+
+// Run parses and executes src against db.
+func Run(db *core.DB, src string) (*Output, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(db, stmt)
+}
+
+// Exec executes a parsed statement against db.
+func Exec(db *core.DB, stmt *Statement) (*Output, error) {
+	tr, warp, err := buildTransform(db.Length(), stmt.Transform)
+	if err != nil {
+		return nil, err
+	}
+	switch stmt.Kind {
+	case StmtRange:
+		return execRange(db, stmt, tr, warp)
+	case StmtNN:
+		return execNN(db, stmt, tr, warp)
+	case StmtSelfJoin:
+		return execSelfJoin(db, stmt, tr, warp)
+	default:
+		return nil, fmt.Errorf("query: unknown statement kind %v", stmt.Kind)
+	}
+}
+
+// buildTransform assembles the transformation pipeline into a single
+// composed transformation over length-n spectra. warp(m) is special: it
+// changes the query length and must be the only element of its pipeline;
+// its stretch factor is returned separately.
+func buildTransform(n int, calls []TransformCall) (transform.T, int, error) {
+	if len(calls) == 0 {
+		return transform.Identity(n), 0, nil
+	}
+	var composed transform.T
+	warpFactor := 0
+	for i, c := range calls {
+		var t transform.T
+		switch c.Name {
+		case "identity":
+			if err := wantArgs(c, 0); err != nil {
+				return transform.T{}, 0, err
+			}
+			t = transform.Identity(n)
+		case "mavg":
+			if err := wantArgs(c, 1); err != nil {
+				return transform.T{}, 0, err
+			}
+			l, err := intArg(c, 0, 1, n)
+			if err != nil {
+				return transform.T{}, 0, err
+			}
+			t = transform.MovingAverage(n, l)
+		case "wmavg":
+			if len(c.Args) < 1 || len(c.Args) > n {
+				return transform.T{}, 0, fmt.Errorf("query: wmavg takes 1..%d weights, got %d", n, len(c.Args))
+			}
+			t = transform.WeightedMovingAverage(n, c.Args)
+		case "reverse":
+			if err := wantArgs(c, 0); err != nil {
+				return transform.T{}, 0, err
+			}
+			t = transform.Reverse(n)
+		case "scale":
+			if err := wantArgs(c, 1); err != nil {
+				return transform.T{}, 0, err
+			}
+			t = transform.Scale(n, c.Args[0])
+		case "shift":
+			if err := wantArgs(c, 1); err != nil {
+				return transform.T{}, 0, err
+			}
+			t = transform.Shift(n, c.Args[0])
+		case "warp":
+			if err := wantArgs(c, 1); err != nil {
+				return transform.T{}, 0, err
+			}
+			m, err := intArg(c, 0, 2, 64)
+			if err != nil {
+				return transform.T{}, 0, err
+			}
+			if len(calls) != 1 {
+				return transform.T{}, 0, fmt.Errorf("query: warp cannot be composed with other transformations")
+			}
+			return transform.Warp(n, m), m, nil
+		default:
+			return transform.T{}, 0, fmt.Errorf("query: unknown transformation %q", c.Name)
+		}
+		if i == 0 {
+			composed = t
+		} else {
+			composed, _ = composed.Compose(t)
+		}
+	}
+	return composed, warpFactor, nil
+}
+
+func wantArgs(c TransformCall, n int) error {
+	if len(c.Args) != n {
+		return fmt.Errorf("query: %s takes %d argument(s), got %d", c.Name, n, len(c.Args))
+	}
+	return nil
+}
+
+func intArg(c TransformCall, i, lo, hi int) (int, error) {
+	v := c.Args[i]
+	if v != math.Trunc(v) || int(v) < lo || int(v) > hi {
+		return 0, fmt.Errorf("query: %s argument %d must be an integer in [%d, %d], got %g", c.Name, i+1, lo, hi, v)
+	}
+	return int(v), nil
+}
+
+// querySeries resolves the query-side series of a statement.
+func querySeries(db *core.DB, stmt *Statement) ([]float64, error) {
+	if stmt.SeriesName != "" {
+		id, ok := db.IDByName(stmt.SeriesName)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown series %q", stmt.SeriesName)
+		}
+		return db.Series(id)
+	}
+	if len(stmt.Literal) == 0 {
+		return nil, fmt.Errorf("query: statement has no query series")
+	}
+	return stmt.Literal, nil
+}
+
+func momentBounds(stmt *Statement) feature.MomentBounds {
+	if stmt.MeanBounds == nil && stmt.StdBounds == nil {
+		return feature.MomentBounds{}
+	}
+	mb := feature.Unbounded()
+	if stmt.MeanBounds != nil {
+		mb.MeanLo, mb.MeanHi = stmt.MeanBounds[0], stmt.MeanBounds[1]
+	}
+	if stmt.StdBounds != nil {
+		mb.StdLo, mb.StdHi = stmt.StdBounds[0], stmt.StdBounds[1]
+	}
+	return mb
+}
+
+func execRange(db *core.DB, stmt *Statement, tr transform.T, warp int) (*Output, error) {
+	values, err := querySeries(db, stmt)
+	if err != nil {
+		return nil, err
+	}
+	rq := core.RangeQuery{
+		Values:     values,
+		Eps:        stmt.Eps,
+		Transform:  tr,
+		Moments:    momentBounds(stmt),
+		WarpFactor: warp,
+		BothSides:  stmt.Both,
+	}
+	var (
+		res []core.Result
+		st  core.ExecStats
+	)
+	switch stmt.Exec {
+	case ExecIndex:
+		res, st, err = db.RangeIndexed(rq)
+	case ExecScan:
+		res, st, err = db.RangeScanFreq(rq)
+	case ExecScanTime:
+		res, st, err = db.RangeScanTime(rq)
+	default:
+		err = fmt.Errorf("query: unknown execution strategy %v", stmt.Exec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Limit > 0 && len(res) > stmt.Limit {
+		res = res[:stmt.Limit]
+	}
+	return &Output{Kind: StmtRange, Results: res, Stats: st}, nil
+}
+
+func execNN(db *core.DB, stmt *Statement, tr transform.T, warp int) (*Output, error) {
+	values, err := querySeries(db, stmt)
+	if err != nil {
+		return nil, err
+	}
+	nq := core.NNQuery{Values: values, K: stmt.K, Transform: tr, WarpFactor: warp, BothSides: stmt.Both}
+	var (
+		res []core.Result
+		st  core.ExecStats
+	)
+	switch stmt.Exec {
+	case ExecIndex:
+		res, st, err = db.NNIndexed(nq)
+	case ExecScan, ExecScanTime:
+		res, st, err = db.NNScan(nq)
+	default:
+		err = fmt.Errorf("query: unknown execution strategy %v", stmt.Exec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Limit > 0 && len(res) > stmt.Limit {
+		res = res[:stmt.Limit]
+	}
+	return &Output{Kind: StmtNN, Results: res, Stats: st}, nil
+}
+
+func execSelfJoin(db *core.DB, stmt *Statement, tr transform.T, warp int) (*Output, error) {
+	if warp != 0 {
+		return nil, fmt.Errorf("query: warp is not supported in SELFJOIN")
+	}
+	var method core.JoinMethod
+	switch stmt.JoinMethod {
+	case "a":
+		method = core.JoinScanNaive
+	case "b":
+		method = core.JoinScanEarlyAbandon
+	case "c":
+		method = core.JoinIndexPlain
+	case "d":
+		method = core.JoinIndexTransform
+	default:
+		return nil, fmt.Errorf("query: unknown join method %q", stmt.JoinMethod)
+	}
+	pairs, st, err := db.SelfJoin(stmt.Eps, tr, method)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Limit > 0 && len(pairs) > stmt.Limit {
+		pairs = pairs[:stmt.Limit]
+	}
+	return &Output{Kind: StmtSelfJoin, Pairs: pairs, Stats: st}, nil
+}

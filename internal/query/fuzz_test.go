@@ -1,0 +1,46 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser random byte soup and mutated
+// fragments of valid statements: every input must produce either a
+// statement or an error, never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(54))
+	fragments := []string{
+		"RANGE", "NN", "SELFJOIN", "SERIES", "'x'", "EPS", "K", "VALUES",
+		"(", ")", "[", "]", ",", "|", "1.5", "-3", "TRANSFORM", "mavg",
+		"warp", "BOTH", "USING", "INDEX", "SCAN", "METHOD", "a", "MEAN",
+		"STD", "LIMIT", "'", "e", "+",
+	}
+	for trial := 0; trial < 5000; trial++ {
+		var src string
+		switch trial % 3 {
+		case 0: // random fragments
+			n := r.Intn(12)
+			for i := 0; i < n; i++ {
+				src += fragments[r.Intn(len(fragments))] + " "
+			}
+		case 1: // random bytes
+			buf := make([]byte, r.Intn(40))
+			for i := range buf {
+				buf[i] = byte(r.Intn(128))
+			}
+			src = string(buf)
+		default: // truncated valid statement
+			full := "RANGE SERIES 'abc' EPS 2.5 TRANSFORM mavg(20) BOTH USING INDEX MEAN [1, 2] LIMIT 3"
+			src = full[:r.Intn(len(full)+1)]
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("parser panicked on %q: %v", src, p)
+				}
+			}()
+			Parse(src) //nolint:errcheck // errors are expected and fine
+		}()
+	}
+}

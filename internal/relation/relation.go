@@ -1,0 +1,269 @@
+// Package relation stores sets of sequences on simulated disk pages.
+// The paper's experiments use two relations per data set: the time-domain
+// relation holding raw series (consulted during post-processing to compute
+// exact distances, and by join method (a)), and the frequency-domain
+// relation holding full spectra in an energy-friendly order (the
+// sequential-scan baselines run over this one so early abandoning can stop
+// "within the first few coefficients", Section 5).
+//
+// Records are encoded with encoding/binary (little endian) and may span
+// pages; all access is charged to the underlying pagefile's counters.
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/pagefile"
+)
+
+// location identifies a stored record.
+type location struct {
+	firstPage, pageCount int
+}
+
+// Relation is an insert-only table of float64 vectors keyed by int64 IDs.
+// Complex spectra are stored as interleaved (real, imaginary) floats via
+// the EncodeComplex / DecodeComplex helpers. An optional LRU buffer pool
+// (AttachPool) absorbs repeated reads, so the file's read counter then
+// reports physical I/O (pool misses) rather than logical requests.
+type Relation struct {
+	file *pagefile.File
+	pool *pagefile.BufferPool
+	locs map[int64]location
+	ids  []int64 // insertion order, for deterministic scans
+}
+
+// New creates an empty relation over a fresh page file with the given page
+// size (<= 0 selects the default).
+func New(pageSize int) *Relation {
+	return &Relation{
+		file: pagefile.New(pageSize),
+		locs: make(map[int64]location),
+	}
+}
+
+// Len returns the number of stored records.
+func (r *Relation) Len() int { return len(r.ids) }
+
+// Pages returns the number of allocated pages.
+func (r *Relation) Pages() int { return r.file.NumPages() }
+
+// PageSize returns the underlying page size in bytes.
+func (r *Relation) PageSize() int { return r.file.PageSize() }
+
+// Stats exposes the page I/O counters.
+func (r *Relation) Stats() pagefile.Stats { return r.file.Stats() }
+
+// ResetStats zeroes the page I/O counters.
+func (r *Relation) ResetStats() { r.file.ResetStats() }
+
+// Insert stores vec under id. Inserting a duplicate ID is an error.
+func (r *Relation) Insert(id int64, vec []float64) error {
+	if _, ok := r.locs[id]; ok {
+		return fmt.Errorf("relation: duplicate id %d", id)
+	}
+	first, count := r.file.Append(encodeFloats(vec))
+	r.locs[id] = location{firstPage: first, pageCount: count}
+	r.ids = append(r.ids, id)
+	return nil
+}
+
+// AttachPool routes all reads through an LRU buffer pool of the given page
+// capacity. After attaching, Stats().Reads counts physical reads (misses);
+// PoolStats exposes the hit/miss split. Attaching replaces any previous
+// pool.
+func (r *Relation) AttachPool(pages int) error {
+	bp, err := pagefile.NewBufferPool(r.file, pages)
+	if err != nil {
+		return err
+	}
+	r.pool = bp
+	return nil
+}
+
+// PoolStats returns buffer-pool hits and misses, or zeros with ok=false if
+// no pool is attached.
+func (r *Relation) PoolStats() (hits, misses int64, ok bool) {
+	if r.pool == nil {
+		return 0, 0, false
+	}
+	h, m := r.pool.HitsMisses()
+	return h, m, true
+}
+
+// Get fetches the record stored under id, charging page reads.
+func (r *Relation) Get(id int64) ([]float64, error) {
+	loc, ok := r.locs[id]
+	if !ok {
+		return nil, fmt.Errorf("relation: id %d not found", id)
+	}
+	var (
+		data []byte
+		err  error
+	)
+	if r.pool != nil {
+		data, err = r.pool.Read(loc.firstPage, loc.pageCount)
+	} else {
+		data, err = r.file.Read(loc.firstPage, loc.pageCount)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeFloats(data)
+}
+
+// IDs returns the stored IDs in insertion order. The caller must not
+// modify the returned slice.
+func (r *Relation) IDs() []int64 { return r.ids }
+
+// ViewPages returns direct (read-only) references to the pages holding the
+// record, charging page reads without copying or decoding. Combined with
+// ComplexAt this lets distance computations deserialize coefficients
+// lazily, so early abandonment skips both arithmetic and decoding — the
+// behavior the paper's scan baseline relies on.
+func (r *Relation) ViewPages(id int64) ([][]byte, error) {
+	loc, ok := r.locs[id]
+	if !ok {
+		return nil, fmt.Errorf("relation: id %d not found", id)
+	}
+	if r.pool != nil {
+		return r.pool.View(loc.firstPage, loc.pageCount)
+	}
+	return r.file.View(loc.firstPage, loc.pageCount)
+}
+
+// ComplexAt decodes the i-th complex coefficient from a record's page view
+// (records are interleaved (re, im) float64 pairs; page sizes are multiples
+// of 8, so floats never straddle pages).
+func ComplexAt(pages [][]byte, pageSize, i int) complex128 {
+	byteOff := 16 * i
+	pg := byteOff / pageSize
+	off := byteOff % pageSize
+	re := math.Float64frombits(binary.LittleEndian.Uint64(pages[pg][off:]))
+	// The imaginary part may start on the next page only if pageSize is
+	// not a multiple of 16; guard for correctness.
+	off += 8
+	if off >= pageSize {
+		pg++
+		off -= pageSize
+	}
+	im := math.Float64frombits(binary.LittleEndian.Uint64(pages[pg][off:]))
+	return complex(re, im)
+}
+
+// Scan iterates the relation in insertion order (the sequential access
+// pattern of the paper's scan baselines), decoding each record and charging
+// its page reads. Returning false stops the scan.
+func (r *Relation) Scan(fn func(id int64, vec []float64) bool) error {
+	for _, id := range r.ids {
+		vec, err := r.Get(id)
+		if err != nil {
+			return err
+		}
+		if !fn(id, vec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func encodeFloats(vec []float64) []byte {
+	out := make([]byte, 8*len(vec))
+	for i, v := range vec {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func decodeFloats(data []byte) ([]float64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("relation: corrupt record of %d bytes", len(data))
+	}
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out, nil
+}
+
+// EncodeComplex interleaves a complex vector as (re, im) float pairs for
+// storage.
+func EncodeComplex(vec []complex128) []float64 {
+	out := make([]float64, 2*len(vec))
+	for i, c := range vec {
+		out[2*i] = real(c)
+		out[2*i+1] = imag(c)
+	}
+	return out
+}
+
+// DecodeComplex reverses EncodeComplex.
+func DecodeComplex(vec []float64) ([]complex128, error) {
+	if len(vec)%2 != 0 {
+		return nil, fmt.Errorf("relation: complex record with odd length %d", len(vec))
+	}
+	out := make([]complex128, len(vec)/2)
+	for i := range out {
+		out[i] = complex(vec[2*i], vec[2*i+1])
+	}
+	return out, nil
+}
+
+// EnergyOrder returns a permutation of spectrum indices 0..n-1 that fronts
+// the low-frequency coefficients while interleaving their conjugate-
+// symmetric mirrors: 0, 1, n-1, 2, n-2, ... For the random-walk-like
+// series of the paper's experiments this ordering is monotonically
+// energy-decreasing in expectation, so a scan accumulating squared distance
+// in this order abandons as early as possible ("each series in the
+// frequency domain has its larger coefficients at the beginning").
+func EnergyOrder(n int) []int {
+	out := make([]int, 0, n)
+	if n == 0 {
+		return out
+	}
+	out = append(out, 0)
+	lo, hi := 1, n-1
+	for lo <= hi {
+		if lo == hi {
+			out = append(out, lo)
+			break
+		}
+		out = append(out, lo, hi)
+		lo++
+		hi--
+	}
+	return out
+}
+
+// Permute reorders vec by the given index permutation: out[i] = vec[perm[i]].
+func Permute(vec []complex128, perm []int) []complex128 {
+	if len(vec) != len(perm) {
+		panic(fmt.Sprintf("relation: permutation length %d != vector length %d", len(perm), len(vec)))
+	}
+	out := make([]complex128, len(vec))
+	for i, p := range perm {
+		out[i] = vec[p]
+	}
+	return out
+}
+
+// InversePermutation returns the inverse of perm.
+func InversePermutation(perm []int) []int {
+	out := make([]int, len(perm))
+	for i, p := range perm {
+		out[p] = i
+	}
+	return out
+}
+
+// SortedIDs returns the stored IDs in ascending order (useful for
+// deterministic join result comparison).
+func (r *Relation) SortedIDs() []int64 {
+	out := make([]int64, len(r.ids))
+	copy(out, r.ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,212 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dft"
+)
+
+func TestInsertGetRoundTrip(t *testing.T) {
+	r := New(64)
+	vecs := map[int64][]float64{
+		1: {1.5, -2.25, math.Pi},
+		2: {},
+		3: make([]float64, 100), // spans pages at size 64
+	}
+	for i := range vecs[3] {
+		vecs[3][i] = float64(i) * 0.5
+	}
+	for id, v := range vecs {
+		if err := r.Insert(id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	for id, want := range vecs {
+		got, err := r.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("id %d: len %d != %d", id, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("id %d elem %d: %v != %v", id, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	r := New(0)
+	if err := r.Insert(1, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(1, []float64{2}); err == nil {
+		t.Fatal("duplicate insert should fail")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	r := New(0)
+	if _, err := r.Get(42); err == nil {
+		t.Fatal("missing id should fail")
+	}
+}
+
+func TestScanOrderAndEarlyStop(t *testing.T) {
+	r := New(0)
+	for i := int64(0); i < 10; i++ {
+		r.Insert(i*7, []float64{float64(i)})
+	}
+	var seen []int64
+	r.Scan(func(id int64, vec []float64) bool {
+		seen = append(seen, id)
+		return len(seen) < 4
+	})
+	if len(seen) != 4 {
+		t.Fatalf("early stop scanned %d", len(seen))
+	}
+	for i, id := range seen {
+		if id != int64(i*7) {
+			t.Fatalf("scan order broken: %v", seen)
+		}
+	}
+}
+
+func TestScanCountsPageReads(t *testing.T) {
+	r := New(64)
+	for i := int64(0); i < 5; i++ {
+		r.Insert(i, make([]float64, 32)) // 256 bytes = 4 pages each
+	}
+	r.ResetStats()
+	r.Scan(func(int64, []float64) bool { return true })
+	if got := r.Stats().Reads; got != 20 {
+		t.Fatalf("scan read %d pages, want 20", got)
+	}
+}
+
+func TestComplexRoundTrip(t *testing.T) {
+	in := []complex128{1 + 2i, -3.5, 0, 4i}
+	out, err := DecodeComplex(EncodeComplex(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("complex round trip failed at %d", i)
+		}
+	}
+	if _, err := DecodeComplex([]float64{1, 2, 3}); err == nil {
+		t.Fatal("odd-length decode should fail")
+	}
+}
+
+func TestEnergyOrder(t *testing.T) {
+	tests := []struct {
+		n    int
+		want []int
+	}{
+		{0, []int{}},
+		{1, []int{0}},
+		{2, []int{0, 1}},
+		{5, []int{0, 1, 4, 2, 3}},
+		{6, []int{0, 1, 5, 2, 4, 3}},
+	}
+	for _, tc := range tests {
+		got := EnergyOrder(tc.n)
+		if len(got) != len(tc.want) {
+			t.Fatalf("n=%d: %v", tc.n, got)
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Fatalf("n=%d: EnergyOrder = %v, want %v", tc.n, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestEnergyOrderIsPermutation(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 127, 128} {
+		perm := EnergyOrder(n)
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if p < 0 || p >= n || seen[p] {
+				t.Fatalf("n=%d: not a permutation: %v", n, perm)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestEnergyOrderFrontsEnergyForRandomWalks(t *testing.T) {
+	// For random-walk series (the paper's synthetic workload) the spectrum
+	// permuted into energy order should put most of the energy in the first
+	// quarter of the coefficients.
+	rng := rand.New(rand.NewSource(1))
+	n := 128
+	s := make([]float64, n)
+	v := 50.0
+	for i := range s {
+		v += rng.Float64()*8 - 4
+		s[i] = v
+	}
+	X := dft.TransformReal(s)
+	perm := EnergyOrder(n)
+	px := Permute(X, perm)
+	var head, total float64
+	for i, c := range px {
+		e := real(c)*real(c) + imag(c)*imag(c)
+		total += e
+		if i < n/4 {
+			head += e
+		}
+	}
+	if head/total < 0.9 {
+		t.Fatalf("energy order concentrated only %.2f of energy in first quarter", head/total)
+	}
+}
+
+func TestPermuteAndInverse(t *testing.T) {
+	vec := []complex128{10, 20, 30, 40}
+	perm := []int{2, 0, 3, 1}
+	p := Permute(vec, perm)
+	if p[0] != 30 || p[1] != 10 || p[2] != 40 || p[3] != 20 {
+		t.Fatalf("Permute = %v", p)
+	}
+	inv := InversePermutation(perm)
+	back := Permute(p, inv)
+	for i := range vec {
+		if back[i] != vec[i] {
+			t.Fatalf("inverse permutation round trip failed: %v", back)
+		}
+	}
+}
+
+func TestPermutePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Permute([]complex128{1}, []int{0, 1})
+}
+
+func TestSortedIDs(t *testing.T) {
+	r := New(0)
+	for _, id := range []int64{5, 1, 9, 3} {
+		r.Insert(id, []float64{0})
+	}
+	got := r.SortedIDs()
+	want := []int64{1, 3, 5, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedIDs = %v", got)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package relation
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+func TestViewPagesAndComplexAt(t *testing.T) {
+	// Page size 64 bytes = 4 complex128 per page; a record of 10
+	// coefficients spans 3 pages.
+	r := New(64)
+	coeffs := make([]complex128, 10)
+	for i := range coeffs {
+		coeffs[i] = complex(float64(i), float64(-i))
+	}
+	if err := r.Insert(1, EncodeComplex(coeffs)); err != nil {
+		t.Fatal(err)
+	}
+	r.ResetStats()
+	pages, err := r.ViewPages(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 3 {
+		t.Fatalf("record spans %d pages, want 3", len(pages))
+	}
+	if got := r.Stats().Reads; got != 3 {
+		t.Fatalf("ViewPages charged %d reads, want 3", got)
+	}
+	for i, want := range coeffs {
+		if got := ComplexAt(pages, r.PageSize(), i); cmplx.Abs(got-want) > 0 {
+			t.Fatalf("ComplexAt(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestComplexAtCrossPageImaginary(t *testing.T) {
+	// Page size 24 bytes = 3 float64s: coefficient 1 has its real part
+	// ending page 0 and imaginary part opening page 1, exercising the
+	// cross-page guard.
+	r := New(24)
+	coeffs := []complex128{1 + 2i, 3 + 4i, 5 + 6i}
+	if err := r.Insert(9, EncodeComplex(coeffs)); err != nil {
+		t.Fatal(err)
+	}
+	pages, err := r.ViewPages(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range coeffs {
+		if got := ComplexAt(pages, 24, i); got != want {
+			t.Fatalf("ComplexAt(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestViewPagesMissing(t *testing.T) {
+	r := New(0)
+	if _, err := r.ViewPages(42); err == nil {
+		t.Fatal("missing id should fail")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := New(128)
+	if r.PageSize() != 128 {
+		t.Fatalf("PageSize = %d", r.PageSize())
+	}
+	r.Insert(3, make([]float64, 64)) // 512 bytes = 4 pages
+	r.Insert(5, make([]float64, 1))
+	if r.Pages() != 5 {
+		t.Fatalf("Pages = %d, want 5", r.Pages())
+	}
+	ids := r.IDs()
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 5 {
+		t.Fatalf("IDs = %v", ids)
+	}
+}

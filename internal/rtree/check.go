@@ -1,0 +1,66 @@
+package rtree
+
+import "fmt"
+
+// CheckInvariants validates the structural invariants of the tree and
+// returns a descriptive error if any is violated. It is exported for tests
+// (including property-based tests that interleave inserts and deletes) and
+// for debugging; it is O(n) and not meant for hot paths.
+//
+// Checked invariants:
+//  1. Every node except the root has between MinEntries and MaxEntries
+//     entries; the root has at most MaxEntries (and at least 2 if internal).
+//  2. Every internal entry's rectangle equals the MBR of its child.
+//  3. All leaves are at level 0 and node levels decrease by exactly one per
+//     edge.
+//  4. The recorded size matches the number of leaf entries, and the
+//     recorded height matches the root level + 1.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		return fmt.Errorf("rtree: nil root")
+	}
+	if t.height != t.root.level+1 {
+		return fmt.Errorf("rtree: height %d != root level+1 %d", t.height, t.root.level+1)
+	}
+	if !t.root.leaf() && len(t.root.entries) < 2 {
+		return fmt.Errorf("rtree: internal root has %d entries", len(t.root.entries))
+	}
+	count, err := t.checkNode(t.root, true)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: size %d but %d leaf entries found", t.size, count)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(n *node, isRoot bool) (int, error) {
+	if len(n.entries) > t.maxEntries {
+		return 0, fmt.Errorf("rtree: node at level %d has %d > max %d entries", n.level, len(n.entries), t.maxEntries)
+	}
+	if !isRoot && len(n.entries) < t.minEntries {
+		return 0, fmt.Errorf("rtree: node at level %d has %d < min %d entries", n.level, len(n.entries), t.minEntries)
+	}
+	if n.leaf() {
+		return len(n.entries), nil
+	}
+	total := 0
+	for i, e := range n.entries {
+		if e.child == nil {
+			return 0, fmt.Errorf("rtree: internal entry %d at level %d has nil child", i, n.level)
+		}
+		if e.child.level != n.level-1 {
+			return 0, fmt.Errorf("rtree: child level %d under node level %d", e.child.level, n.level)
+		}
+		if want := e.child.mbr(); !e.rect.Equal(want) {
+			return 0, fmt.Errorf("rtree: stale MBR at level %d entry %d: have %v want %v", n.level, i, e.rect, want)
+		}
+		c, err := t.checkNode(e.child, false)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}

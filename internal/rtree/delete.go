@@ -1,0 +1,116 @@
+package rtree
+
+import "repro/internal/geom"
+
+// Delete removes one item with exactly the given rectangle and ID. It
+// reports whether a matching item was found. After removal the tree is
+// condensed: under-full nodes are dissolved and their entries reinserted,
+// following Guttman's CondenseTree adapted to the R*-tree minimum fill.
+func (t *Tree) Delete(r geom.Rect, id int64) bool {
+	if err := t.checkRect(r); err != nil {
+		return false
+	}
+	path, idx := t.findLeaf(t.root, nil, r, id)
+	if path == nil {
+		return false
+	}
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(path)
+	return true
+}
+
+// findLeaf locates the leaf containing the (rect, id) pair, returning the
+// root-to-leaf path and the entry index, or (nil, -1).
+func (t *Tree) findLeaf(n *node, path []*node, r geom.Rect, id int64) ([]*node, int) {
+	path = append(path, n)
+	if n.leaf() {
+		for i, e := range n.entries {
+			if e.id == id && e.rect.Equal(r) {
+				out := make([]*node, len(path))
+				copy(out, path)
+				return out, i
+			}
+		}
+		return nil, -1
+	}
+	for _, e := range n.entries {
+		if e.rect.Contains(r) {
+			if found, idx := t.findLeaf(e.child, path, r, id); found != nil {
+				return found, idx
+			}
+		}
+	}
+	return nil, -1
+}
+
+// condense walks the deletion path bottom-up, removing under-full nodes and
+// queueing their entries for reinsertion at their original level, then
+// shrinks a root left with a single child.
+func (t *Tree) condense(path []*node) {
+	type orphan struct {
+		e     entry
+		level int
+	}
+	var orphans []orphan
+
+	for depth := len(path) - 1; depth >= 1; depth-- {
+		n := path[depth]
+		parent := path[depth-1]
+		if len(n.entries) < t.minEntries {
+			// Dissolve n: remove from parent, orphan its entries.
+			for i := range parent.entries {
+				if parent.entries[i].child == n {
+					parent.entries = append(parent.entries[:i], parent.entries[i+1:]...)
+					break
+				}
+			}
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{e: e, level: n.level})
+			}
+		} else {
+			// Tighten the parent's rectangle for n.
+			for i := range parent.entries {
+				if parent.entries[i].child == n {
+					parent.entries[i].rect = n.mbr()
+					break
+				}
+			}
+		}
+	}
+
+	// Reinsert orphans at the level of the node that held them, so subtree
+	// entries keep hanging at a consistent height. The root is never
+	// dissolved here, so that level still exists.
+	t.reinsertedAtLevel = map[int]bool{}
+	for _, o := range orphans {
+		if o.level < t.root.level {
+			t.insertEntry(o.e, o.level)
+		} else {
+			// The tree restructured underneath us; splice leaf entries
+			// back individually (rare, but keeps invariants).
+			t.reinsertSubtreeLeaves(o.e.child)
+		}
+	}
+
+	// Shrink the root while it is a non-leaf with a single child.
+	for !t.root.leaf() && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+}
+
+// reinsertSubtreeLeaves walks a detached subtree and reinserts every leaf
+// entry individually.
+func (t *Tree) reinsertSubtreeLeaves(n *node) {
+	if n.leaf() {
+		for _, e := range n.entries {
+			t.insertEntry(e, 0)
+		}
+		return
+	}
+	for _, e := range n.entries {
+		t.reinsertSubtreeLeaves(e.child)
+	}
+}

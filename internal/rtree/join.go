@@ -1,0 +1,104 @@
+package rtree
+
+import "repro/internal/geom"
+
+// JoinPair is one result of a spatial join.
+type JoinPair struct {
+	Left, Right Item
+}
+
+// Join performs a synchronized-traversal spatial join between t and other:
+// it emits every pair (a, b), a in t, b in other, whose rectangles (after
+// applying the optional transforms) satisfy the overlap predicate. This is
+// the paper's all-pairs query: "we transform all objects used in the join
+// predicate before we compute the predicate", i.e. the predicate becomes
+// T(a_i) ∩ T(b_j) != ∅ (Section 4).
+//
+// leftTransform and rightTransform may be nil (identity). overlaps may be
+// nil (plain intersection). Returning false from emit stops the join.
+func (t *Tree) Join(other *Tree, leftTransform, rightTransform RectTransform, overlaps Overlap, emit func(JoinPair) bool) SearchStats {
+	if leftTransform == nil {
+		leftTransform = func(r geom.Rect) geom.Rect { return r }
+	}
+	if rightTransform == nil {
+		rightTransform = func(r geom.Rect) geom.Rect { return r }
+	}
+	if overlaps == nil {
+		overlaps = func(a, b geom.Rect) bool { return a.Intersects(b) }
+	}
+	var st SearchStats
+	if t.size == 0 || other.size == 0 {
+		return st
+	}
+	joinNodes(t.root, other.root, leftTransform, rightTransform, overlaps, emit, &st)
+	return st
+}
+
+// joinNodes recursively pairs two subtrees. Nodes at different levels are
+// handled by descending the deeper side only.
+func joinNodes(a, b *node, lt, rt RectTransform, overlaps Overlap, emit func(JoinPair) bool, st *SearchStats) bool {
+	st.NodesVisited += 2
+	switch {
+	case a.leaf() && b.leaf():
+		for _, ea := range a.entries {
+			ta := lt(ea.rect)
+			for _, eb := range b.entries {
+				st.EntriesTested++
+				if overlaps(ta, rt(eb.rect)) {
+					if !emit(JoinPair{
+						Left:  Item{Rect: ea.rect, ID: ea.id},
+						Right: Item{Rect: eb.rect, ID: eb.id},
+					}) {
+						return false
+					}
+				}
+			}
+		}
+	case a.level >= b.level && !a.leaf():
+		for _, ea := range a.entries {
+			st.EntriesTested++
+			if overlaps(lt(ea.rect), rt(b.mbr())) {
+				if !joinNodes(ea.child, b, lt, rt, overlaps, emit, st) {
+					return false
+				}
+			}
+		}
+	default:
+		for _, eb := range b.entries {
+			st.EntriesTested++
+			if overlaps(lt(a.mbr()), rt(eb.rect)) {
+				if !joinNodes(a, eb.child, lt, rt, overlaps, emit, st) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// SelfJoin emits every unordered pair of distinct items (a.ID < b.ID by
+// traversal de-duplication) whose transformed rectangles overlap. Transforms
+// and predicate follow the Join conventions.
+func (t *Tree) SelfJoin(transform RectTransform, overlaps Overlap, emit func(JoinPair) bool) SearchStats {
+	if transform == nil {
+		transform = func(r geom.Rect) geom.Rect { return r }
+	}
+	if overlaps == nil {
+		overlaps = func(a, b geom.Rect) bool { return a.Intersects(b) }
+	}
+	seen := make(map[[2]int64]bool)
+	return t.Join(t, transform, transform, overlaps, func(p JoinPair) bool {
+		if p.Left.ID == p.Right.ID {
+			return true
+		}
+		key := [2]int64{p.Left.ID, p.Right.ID}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		return emit(JoinPair{Left: p.Left, Right: p.Right})
+	})
+}

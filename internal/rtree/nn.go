@@ -1,0 +1,174 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Neighbor is one result of a nearest-neighbor search.
+type Neighbor struct {
+	Item Item
+	// Dist is the distance reported by the distance functions supplied to
+	// the search (Euclidean MINDIST by default).
+	Dist float64
+}
+
+// LowerBound returns a lower bound on the distance from the query to
+// anything inside the (transformed) rectangle; ItemDist returns the exact
+// distance to one item. Supplying these lets the nearest-neighbor search
+// run against transformed views of the index and against non-Euclidean
+// feature geometries (the polar space's seam-aware metric).
+type (
+	LowerBound func(r geom.Rect) float64
+	ItemDist   func(it Item) float64
+)
+
+// Nearest returns the k items nearest to p under Euclidean MINDIST pruning
+// (RKV95), ordered by increasing distance. It returns fewer than k items if
+// the tree holds fewer.
+func (t *Tree) Nearest(p geom.Point, k int) ([]Neighbor, SearchStats) {
+	return t.NearestCustom(k,
+		func(r geom.Rect) float64 { return geom.MinDist(p, r) },
+		func(it Item) float64 { return geom.MinDist(p, it.Rect) },
+	)
+}
+
+// nnQueueEntry is a prioritized node or item in the best-first search.
+type nnQueueEntry struct {
+	dist float64
+	node *node // nil if this is a leaf item
+	item Item
+}
+
+type nnQueue []nnQueueEntry
+
+func (q nnQueue) Len() int            { return len(q) }
+func (q nnQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q nnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x interface{}) { *q = append(*q, x.(nnQueueEntry)) }
+func (q *nnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// NearestCustom runs best-first nearest-neighbor search with caller-supplied
+// bounds: lower must never exceed the true distance to any item within a
+// rectangle, and itemDist gives the exact distance for a leaf item. The
+// search is optimal in node accesses for the given bound (HS-style best
+// first, which dominates the RKV95 depth-first variant while using the same
+// MINDIST pruning metric).
+func (t *Tree) NearestCustom(k int, lower LowerBound, itemDist ItemDist) ([]Neighbor, SearchStats) {
+	if k <= 0 {
+		return nil, SearchStats{}
+	}
+	var out []Neighbor
+	st := t.NearestScan(lower, itemDist, func(it Item, dist float64) bool {
+		out = append(out, Neighbor{Item: it, Dist: dist})
+		return len(out) < k
+	})
+	return out, st
+}
+
+// NearestScan is the incremental form of best-first nearest-neighbor
+// search: it calls fn with stored items in non-decreasing order of itemDist
+// (interleaved correctly with node expansion via the lower bound), popping
+// the priority queue lazily so that stopping early — fn returning false —
+// leaves the untraversed part of the tree untouched. This is what lets the
+// query engine verify exact distances incrementally and terminate as soon
+// as the next candidate's bound exceeds the k-th best verified answer.
+func (t *Tree) NearestScan(lower LowerBound, itemDist ItemDist, fn func(it Item, dist float64) bool) SearchStats {
+	var st SearchStats
+	if t.size == 0 {
+		return st
+	}
+	pq := &nnQueue{{dist: 0, node: t.root}}
+	for pq.Len() > 0 {
+		head := heap.Pop(pq).(nnQueueEntry)
+		if head.node == nil {
+			if !fn(head.item, head.dist) {
+				return st
+			}
+			continue
+		}
+		st.NodesVisited++
+		for _, e := range head.node.entries {
+			st.EntriesTested++
+			if head.node.leaf() {
+				it := Item{Rect: e.rect, ID: e.id}
+				heap.Push(pq, nnQueueEntry{dist: itemDist(it), item: it})
+			} else {
+				heap.Push(pq, nnQueueEntry{dist: lower(e.rect), node: e.child})
+			}
+		}
+	}
+	return st
+}
+
+// NearestDFS is the depth-first branch-and-bound nearest-neighbor algorithm
+// exactly as in RKV95, with both MINDIST and MINMAXDIST pruning. It returns
+// the single nearest item. It exists alongside NearestCustom both as an
+// oracle for tests and to reproduce the paper's citation faithfully;
+// NearestCustom visits no more nodes and usually fewer.
+func (t *Tree) NearestDFS(p geom.Point) (Neighbor, SearchStats) {
+	var st SearchStats
+	best := Neighbor{Dist: math.Inf(1)}
+	if t.size == 0 {
+		return best, st
+	}
+	t.nnDFS(t.root, p, &best, &st)
+	return best, st
+}
+
+func (t *Tree) nnDFS(n *node, p geom.Point, best *Neighbor, st *SearchStats) {
+	st.NodesVisited++
+	if n.leaf() {
+		for _, e := range n.entries {
+			st.EntriesTested++
+			d := geom.MinDist(p, e.rect)
+			if d < best.Dist {
+				*best = Neighbor{Item: Item{Rect: e.rect, ID: e.id}, Dist: d}
+			}
+		}
+		return
+	}
+	// Generate the active branch list ordered by MINDIST.
+	type branch struct {
+		minDist    float64
+		minMaxDist float64
+		child      *node
+	}
+	branches := make([]branch, 0, len(n.entries))
+	for _, e := range n.entries {
+		st.EntriesTested++
+		branches = append(branches, branch{
+			minDist:    geom.MinDist(p, e.rect),
+			minMaxDist: geom.MinMaxDist(p, e.rect),
+			child:      e.child,
+		})
+	}
+	// Sort by MINDIST (simple insertion sort: fan-out is small).
+	for i := 1; i < len(branches); i++ {
+		for j := i; j > 0 && branches[j].minDist < branches[j-1].minDist; j-- {
+			branches[j], branches[j-1] = branches[j-1], branches[j]
+		}
+	}
+	// Down-prune: discard branches whose MINDIST exceeds the minimum
+	// MINMAXDIST (strategy 2 of RKV95) or the current best (strategy 3).
+	minMinMax := math.Inf(1)
+	for _, b := range branches {
+		if b.minMaxDist < minMinMax {
+			minMinMax = b.minMaxDist
+		}
+	}
+	for _, b := range branches {
+		if b.minDist > minMinMax || b.minDist >= best.Dist {
+			continue
+		}
+		t.nnDFS(b.child, p, best, st)
+	}
+}

@@ -1,0 +1,653 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func pt(vs ...float64) geom.Point { return geom.Point(vs) }
+
+// randomRect produces a small random rectangle inside [-50, 50]^dims.
+func randomRect(r *rand.Rand, dims int) geom.Rect {
+	lo := make(geom.Point, dims)
+	hi := make(geom.Point, dims)
+	for i := 0; i < dims; i++ {
+		c := r.Float64()*100 - 50
+		w := r.Float64() * 5
+		lo[i], hi[i] = c-w/2, c+w/2
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+func randomPointRect(r *rand.Rand, dims int) geom.Rect {
+	p := make(geom.Point, dims)
+	for i := 0; i < dims; i++ {
+		p[i] = r.Float64()*100 - 50
+	}
+	return geom.PointRect(p)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, Options{}); err == nil {
+		t.Error("dims=0 should fail")
+	}
+	if _, err := New(2, Options{MaxEntries: 3}); err == nil {
+		t.Error("MaxEntries=3 should fail")
+	}
+	if _, err := New(2, Options{MaxEntries: 10, MinEntries: 6}); err == nil {
+		t.Error("MinEntries > M/2 should fail")
+	}
+	tr, err := New(2, Options{})
+	if err != nil || tr.Dims() != 2 || tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("default tree wrong: %v %v", tr, err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with bad options did not panic")
+		}
+	}()
+	MustNew(0, Options{})
+}
+
+func TestInsertRejectsBadRect(t *testing.T) {
+	tr := MustNew(2, Options{})
+	if err := tr.Insert(geom.Rect{Lo: pt(0), Hi: pt(1)}, 1); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	if err := tr.Insert(geom.Rect{Lo: pt(1, 0), Hi: pt(0, 1)}, 1); err == nil {
+		t.Error("non-canonical rect should fail")
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := MustNew(2, Options{MaxEntries: 4})
+	rects := []geom.Rect{
+		geom.NewRect(pt(0, 0), pt(1, 1)),
+		geom.NewRect(pt(2, 2), pt(3, 3)),
+		geom.NewRect(pt(10, 10), pt(11, 11)),
+		geom.NewRect(pt(0.5, 0.5), pt(2.5, 2.5)),
+	}
+	for i, r := range rects {
+		if err := tr.Insert(r, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got, _ := tr.SearchCollect(geom.NewRect(pt(0, 0), pt(2, 2)))
+	ids := collectIDs(got)
+	want := []int64{0, 1, 3}
+	if !equalIDs(ids, want) {
+		t.Fatalf("search ids = %v, want %v", ids, want)
+	}
+}
+
+func collectIDs(items []Item) []int64 {
+	ids := make([]int64, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildRandom inserts n random rects and returns them.
+func buildRandom(t *testing.T, tr *Tree, n int, seed int64, points bool) []geom.Rect {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	rects := make([]geom.Rect, n)
+	for i := 0; i < n; i++ {
+		if points {
+			rects[i] = randomPointRect(r, tr.Dims())
+		} else {
+			rects[i] = randomRect(r, tr.Dims())
+		}
+		if err := tr.Insert(rects[i], int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rects
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	for _, dims := range []int{1, 2, 4, 6} {
+		tr := MustNew(dims, Options{MaxEntries: 8})
+		rects := buildRandom(t, tr, 500, int64(dims), false)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("dims=%d: %v", dims, err)
+		}
+		r := rand.New(rand.NewSource(99))
+		for trial := 0; trial < 20; trial++ {
+			q := randomRect(r, dims)
+			q = q.Expand(3)
+			got, _ := tr.SearchCollect(q)
+			var want []int64
+			for i, rect := range rects {
+				if rect.Intersects(q) {
+					want = append(want, int64(i))
+				}
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if !equalIDs(collectIDs(got), want) {
+				t.Fatalf("dims=%d trial=%d: mismatch", dims, trial)
+			}
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := MustNew(2, Options{})
+	buildRandom(t, tr, 200, 5, false)
+	count := 0
+	tr.Search(tr.Bounds(), func(Item) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d, want 10", count)
+	}
+}
+
+func TestAll(t *testing.T) {
+	tr := MustNew(2, Options{MaxEntries: 5})
+	buildRandom(t, tr, 137, 6, true)
+	seen := map[int64]bool{}
+	tr.All(func(it Item) bool {
+		seen[it.ID] = true
+		return true
+	})
+	if len(seen) != 137 {
+		t.Fatalf("All visited %d items, want 137", len(seen))
+	}
+	empty := MustNew(2, Options{})
+	empty.All(func(Item) bool { t.Fatal("empty tree visited an item"); return false })
+}
+
+func TestInvariantsThroughGrowth(t *testing.T) {
+	tr := MustNew(3, Options{MaxEntries: 6})
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		if err := tr.Insert(randomRect(r, 3), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%97 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("expected a tree of height >= 3, got %d", tr.Height())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := MustNew(2, Options{MaxEntries: 5})
+	rects := buildRandom(t, tr, 300, 8, false)
+	// Delete every other item, verifying search coherence as we go.
+	for i := 0; i < 300; i += 2 {
+		if !tr.Delete(rects[i], int64(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 150 {
+		t.Fatalf("Len after deletes = %d, want 150", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tr.SearchCollect(tr.Bounds())
+	for _, it := range got {
+		if it.ID%2 == 0 {
+			t.Fatalf("deleted item %d still present", it.ID)
+		}
+	}
+	if len(got) != 150 {
+		t.Fatalf("search found %d, want 150", len(got))
+	}
+	// Deleting a non-existent item returns false.
+	if tr.Delete(geom.NewRect(pt(1000, 1000), pt(1001, 1001)), 12345) {
+		t.Fatal("delete of absent item returned true")
+	}
+	// Rect must match exactly, not just the ID.
+	if tr.Delete(rects[1].Expand(0.1), 1) {
+		t.Fatal("delete with wrong rect returned true")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := MustNew(2, Options{MaxEntries: 4})
+	rects := buildRandom(t, tr, 100, 9, true)
+	for i, r := range rects {
+		if !tr.Delete(r, int64(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after deleting %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("emptied tree: len=%d height=%d", tr.Len(), tr.Height())
+	}
+}
+
+func TestRandomizedInsertDeleteProperty(t *testing.T) {
+	// Interleave inserts and deletes; after every batch the tree must obey
+	// invariants and agree with a map oracle under full-range search.
+	tr := MustNew(2, Options{MaxEntries: 6})
+	r := rand.New(rand.NewSource(10))
+	live := map[int64]geom.Rect{}
+	nextID := int64(0)
+	for round := 0; round < 60; round++ {
+		for op := 0; op < 30; op++ {
+			if len(live) == 0 || r.Float64() < 0.6 {
+				rect := randomRect(r, 2)
+				if err := tr.Insert(rect, nextID); err != nil {
+					t.Fatal(err)
+				}
+				live[nextID] = rect
+				nextID++
+			} else {
+				// Pick an arbitrary live item.
+				var id int64
+				for k := range live {
+					id = k
+					break
+				}
+				if !tr.Delete(live[id], id) {
+					t.Fatalf("round %d: delete of live item %d failed", round, id)
+				}
+				delete(live, id)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("round %d: len %d != oracle %d", round, tr.Len(), len(live))
+		}
+		got := map[int64]bool{}
+		tr.All(func(it Item) bool { got[it.ID] = true; return true })
+		if len(got) != len(live) {
+			t.Fatalf("round %d: traversal found %d, oracle %d", round, len(got), len(live))
+		}
+		for id := range live {
+			if !got[id] {
+				t.Fatalf("round %d: live item %d missing", round, id)
+			}
+		}
+	}
+}
+
+func TestNearestMatchesLinearScan(t *testing.T) {
+	tr := MustNew(4, Options{MaxEntries: 8})
+	rects := buildRandom(t, tr, 800, 11, true)
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 25; trial++ {
+		q := make(geom.Point, 4)
+		for i := range q {
+			q[i] = r.Float64()*120 - 60
+		}
+		for _, k := range []int{1, 5, 17} {
+			got, _ := tr.Nearest(q, k)
+			if len(got) != k {
+				t.Fatalf("Nearest returned %d, want %d", len(got), k)
+			}
+			// Oracle: sort all by distance.
+			type dr struct {
+				id int64
+				d  float64
+			}
+			all := make([]dr, len(rects))
+			for i, rect := range rects {
+				all[i] = dr{int64(i), q.Dist(rect.Lo)}
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+			for i := 0; i < k; i++ {
+				if math.Abs(got[i].Dist-all[i].d) > 1e-9 {
+					t.Fatalf("trial=%d k=%d rank=%d: dist %v != oracle %v", trial, k, i, got[i].Dist, all[i].d)
+				}
+			}
+			// Results must be sorted by distance.
+			for i := 1; i < k; i++ {
+				if got[i].Dist < got[i-1].Dist-1e-12 {
+					t.Fatal("results not sorted by distance")
+				}
+			}
+		}
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	tr := MustNew(2, Options{})
+	if got, _ := tr.Nearest(pt(0, 0), 3); got != nil {
+		t.Fatal("empty tree should return nil")
+	}
+	tr.Insert(geom.PointRect(pt(1, 1)), 7)
+	if got, _ := tr.Nearest(pt(0, 0), 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	got, _ := tr.Nearest(pt(0, 0), 5)
+	if len(got) != 1 || got[0].Item.ID != 7 {
+		t.Fatalf("k beyond size: %v", got)
+	}
+}
+
+func TestNearestDFSMatchesBestFirst(t *testing.T) {
+	tr := MustNew(3, Options{MaxEntries: 6})
+	buildRandom(t, tr, 600, 13, true)
+	r := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 30; trial++ {
+		q := make(geom.Point, 3)
+		for i := range q {
+			q[i] = r.Float64()*120 - 60
+		}
+		bf, bfStats := tr.Nearest(q, 1)
+		dfs, dfsStats := tr.NearestDFS(q)
+		if math.Abs(bf[0].Dist-dfs.Dist) > 1e-9 {
+			t.Fatalf("DFS %v != best-first %v", dfs.Dist, bf[0].Dist)
+		}
+		if bfStats.NodesVisited > dfsStats.NodesVisited {
+			t.Errorf("best-first visited %d nodes, DFS %d — best-first should not do worse",
+				bfStats.NodesVisited, dfsStats.NodesVisited)
+		}
+	}
+}
+
+func TestNearestDFSEmpty(t *testing.T) {
+	tr := MustNew(2, Options{})
+	nb, _ := tr.NearestDFS(pt(0, 0))
+	if !math.IsInf(nb.Dist, 1) {
+		t.Fatal("empty DFS NN should return +inf distance")
+	}
+}
+
+func TestTransformedSearchEquivalentToMaterialize(t *testing.T) {
+	// The core of the paper's Algorithm 1/2: searching the transformed view
+	// of the index must return exactly the same candidates as materializing
+	// the transformed index and searching it.
+	tr := MustNew(2, Options{MaxEntries: 6})
+	buildRandom(t, tr, 400, 15, true)
+	shiftScale := func(r geom.Rect) geom.Rect {
+		out := r.Clone()
+		for i := range out.Lo {
+			out.Lo[i] = out.Lo[i]*2 - 3
+			out.Hi[i] = out.Hi[i]*2 - 3
+		}
+		return out.Canonical()
+	}
+	mat := tr.Materialize(shiftScale)
+	r := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 20; trial++ {
+		q := randomRect(r, 2).Expand(5)
+		var onTheFly []int64
+		tr.TransformedSearch(q, shiftScale, nil, func(it Item, _ geom.Rect) bool {
+			onTheFly = append(onTheFly, it.ID)
+			return true
+		})
+		matGot, _ := mat.SearchCollect(q)
+		matIDs := collectIDs(matGot)
+		sort.Slice(onTheFly, func(i, j int) bool { return onTheFly[i] < onTheFly[j] })
+		if !equalIDs(onTheFly, matIDs) {
+			t.Fatalf("trial %d: on-the-fly %v != materialized %v", trial, onTheFly, matIDs)
+		}
+	}
+}
+
+func TestTransformedSearchNegativeScale(t *testing.T) {
+	// Negative stretch factors (the paper's T_rev) flip rectangles; both
+	// traversals must agree after canonicalization.
+	tr := MustNew(2, Options{MaxEntries: 5})
+	rects := buildRandom(t, tr, 300, 17, true)
+	neg := func(r geom.Rect) geom.Rect {
+		out := r.Clone()
+		for i := range out.Lo {
+			out.Lo[i], out.Hi[i] = -out.Hi[i], -out.Lo[i]
+		}
+		return out
+	}
+	q := geom.NewRect(pt(-10, -10), pt(10, 10))
+	var got []int64
+	tr.TransformedSearch(q, neg, nil, func(it Item, _ geom.Rect) bool {
+		got = append(got, it.ID)
+		return true
+	})
+	var want []int64
+	for i, r := range rects {
+		if neg(r).Intersects(q) {
+			want = append(want, int64(i))
+		}
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if !equalIDs(got, want) {
+		t.Fatalf("negative-scale transformed search: got %v want %v", got, want)
+	}
+}
+
+func TestTransformedSearchIdentityEqualsSearch(t *testing.T) {
+	// Figure 8/9's premise: with the identity transformation the traversal
+	// visits exactly the same nodes as the plain search.
+	tr := MustNew(2, Options{MaxEntries: 8})
+	buildRandom(t, tr, 500, 18, true)
+	ident := func(r geom.Rect) geom.Rect { return r }
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 10; trial++ {
+		q := randomRect(r, 2).Expand(4)
+		plain, plainStats := tr.SearchCollect(q)
+		var ids []int64
+		tstats := tr.TransformedSearch(q, ident, nil, func(it Item, _ geom.Rect) bool {
+			ids = append(ids, it.ID)
+			return true
+		})
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		if !equalIDs(ids, collectIDs(plain)) {
+			t.Fatal("identity transformed search differs from plain search")
+		}
+		if tstats.NodesVisited != plainStats.NodesVisited {
+			t.Fatalf("node accesses differ: %d vs %d (paper: identical disk accesses)",
+				tstats.NodesVisited, plainStats.NodesVisited)
+		}
+	}
+}
+
+func TestJoinMatchesBruteForce(t *testing.T) {
+	a := MustNew(2, Options{MaxEntries: 5})
+	b := MustNew(2, Options{MaxEntries: 7})
+	ra := buildRandom(t, a, 120, 20, false)
+	rb := buildRandom(t, b, 80, 21, false)
+	var got [][2]int64
+	a.Join(b, nil, nil, nil, func(p JoinPair) bool {
+		got = append(got, [2]int64{p.Left.ID, p.Right.ID})
+		return true
+	})
+	var want [][2]int64
+	for i, x := range ra {
+		for j, y := range rb {
+			if x.Intersects(y) {
+				want = append(want, [2]int64{int64(i), int64(j)})
+			}
+		}
+	}
+	sortPairs := func(ps [][2]int64) {
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i][0] != ps[j][0] {
+				return ps[i][0] < ps[j][0]
+			}
+			return ps[i][1] < ps[j][1]
+		})
+	}
+	sortPairs(got)
+	sortPairs(want)
+	if len(got) != len(want) {
+		t.Fatalf("join found %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJoinEmpty(t *testing.T) {
+	a := MustNew(2, Options{})
+	b := MustNew(2, Options{})
+	b.Insert(geom.PointRect(pt(0, 0)), 1)
+	called := false
+	a.Join(b, nil, nil, nil, func(JoinPair) bool { called = true; return true })
+	if called {
+		t.Fatal("join with empty side should emit nothing")
+	}
+}
+
+func TestSelfJoinDeduplicates(t *testing.T) {
+	tr := MustNew(2, Options{MaxEntries: 4})
+	// Three mutually overlapping rects plus one isolated.
+	rects := []geom.Rect{
+		geom.NewRect(pt(0, 0), pt(2, 2)),
+		geom.NewRect(pt(1, 1), pt(3, 3)),
+		geom.NewRect(pt(1.5, 1.5), pt(2.5, 2.5)),
+		geom.NewRect(pt(100, 100), pt(101, 101)),
+	}
+	for i, r := range rects {
+		tr.Insert(r, int64(i))
+	}
+	var pairs [][2]int64
+	tr.SelfJoin(nil, nil, func(p JoinPair) bool {
+		pairs = append(pairs, [2]int64{p.Left.ID, p.Right.ID})
+		return true
+	})
+	if len(pairs) != 3 {
+		t.Fatalf("self join found %d pairs, want 3 (0-1, 0-2, 1-2): %v", len(pairs), pairs)
+	}
+}
+
+func TestBulkLoadMatchesIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	items := make([]Item, 1000)
+	for i := range items {
+		items[i] = Item{Rect: randomPointRect(r, 4), ID: int64(i)}
+	}
+	bulk := MustNew(4, Options{MaxEntries: 10})
+	if err := bulk.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != 1000 {
+		t.Fatalf("bulk Len = %d", bulk.Len())
+	}
+	for trial := 0; trial < 15; trial++ {
+		q := randomRect(r, 4).Expand(8)
+		got, _ := bulk.SearchCollect(q)
+		var want []int64
+		for _, it := range items {
+			if it.Rect.Intersects(q) {
+				want = append(want, it.ID)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if !equalIDs(collectIDs(got), want) {
+			t.Fatalf("trial %d: bulk-loaded search mismatch", trial)
+		}
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	tr := MustNew(2, Options{})
+	tr.Insert(geom.PointRect(pt(0, 0)), 1)
+	if err := tr.BulkLoad([]Item{{Rect: geom.PointRect(pt(1, 1)), ID: 2}}); err == nil {
+		t.Error("BulkLoad on non-empty tree should fail")
+	}
+	empty := MustNew(2, Options{})
+	if err := empty.BulkLoad([]Item{{Rect: geom.PointRect(pt(1)), ID: 2}}); err == nil {
+		t.Error("BulkLoad with wrong dims should fail")
+	}
+	if err := empty.BulkLoad(nil); err != nil {
+		t.Errorf("BulkLoad(nil) should succeed: %v", err)
+	}
+}
+
+func TestBulkLoadSmall(t *testing.T) {
+	tr := MustNew(2, Options{MaxEntries: 8})
+	items := []Item{
+		{Rect: geom.PointRect(pt(1, 1)), ID: 1},
+		{Rect: geom.PointRect(pt(2, 2)), ID: 2},
+	}
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 1 || tr.Len() != 2 {
+		t.Fatalf("small bulk load: height=%d len=%d", tr.Height(), tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisableReinsert(t *testing.T) {
+	with := MustNew(2, Options{MaxEntries: 6})
+	without := MustNew(2, Options{MaxEntries: 6, DisableReinsert: true})
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 500; i++ {
+		rect := randomPointRect(r, 2)
+		with.Insert(rect, int64(i))
+		without.Insert(rect, int64(i))
+	}
+	if err := with.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := without.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Both must answer queries identically.
+	q := geom.NewRect(pt(-20, -20), pt(20, 20))
+	a, _ := with.SearchCollect(q)
+	b, _ := without.SearchCollect(q)
+	if !equalIDs(collectIDs(a), collectIDs(b)) {
+		t.Fatal("reinsert on/off changed query results")
+	}
+}
+
+func TestBoundsEmpty(t *testing.T) {
+	tr := MustNew(2, Options{})
+	if b := tr.Bounds(); b.Dims() != 0 {
+		t.Fatalf("empty bounds = %v", b)
+	}
+}
+
+func TestStatsCountNodes(t *testing.T) {
+	tr := MustNew(2, Options{MaxEntries: 4})
+	buildRandom(t, tr, 200, 24, true)
+	_, st := tr.SearchCollect(tr.Bounds())
+	if st.NodesVisited < tr.Height() {
+		t.Fatalf("NodesVisited=%d below height %d", st.NodesVisited, tr.Height())
+	}
+	if st.EntriesTested == 0 {
+		t.Fatal("EntriesTested not counted")
+	}
+}

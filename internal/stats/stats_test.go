@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimer(t *testing.T) {
+	tm := StartTimer()
+	if tm.Elapsed() < 0 {
+		t.Fatal("negative elapsed")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Count != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if math.Abs(s.StdDev-2) > 1e-12 {
+		t.Fatalf("stddev: %v", s.StdDev)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median: %v", s.Median)
+	}
+	odd := Summarize([]float64{3, 1, 2})
+	if odd.Median != 2 {
+		t.Fatalf("odd median: %v", odd.Median)
+	}
+	empty := Summarize(nil)
+	if empty.Count != 0 {
+		t.Fatalf("empty summary: %+v", empty)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tbl := NewTable("Title", "col1", "column2", "c3")
+	tbl.AddRow("a", 1.23456, 42)
+	tbl.AddRow("longer cell", time.Duration(1500)*time.Millisecond, "x")
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "col1") {
+		t.Fatalf("render: %q", out)
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Fatalf("float formatting: %q", out)
+	}
+	if !strings.Contains(out, "1.5s") {
+		t.Fatalf("duration formatting: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("line count %d: %q", len(lines), out)
+	}
+}
+
+func TestTableDurationMinutes(t *testing.T) {
+	tbl := NewTable("", "d")
+	tbl.AddRow(2*time.Minute + 31*time.Second + 217*time.Millisecond)
+	if !strings.Contains(tbl.String(), "2:31.217") {
+		t.Fatalf("paper-style duration: %q", tbl.String())
+	}
+}
+
+func TestFigure(t *testing.T) {
+	fig := Figure{
+		Title:  "Figure 8",
+		XLabel: "Sequence Length",
+		YLabel: "time (ms)",
+		Series: []FigureSeries{
+			{Label: "with transform", X: []float64{64, 128}, Y: []float64{1.5, 2.5}},
+			{Label: "without", X: []float64{64, 128}, Y: []float64{1.2, 2.2}},
+		},
+	}
+	out := fig.String()
+	for _, want := range []string{"Figure 8", "Sequence Length", "with transform", "64", "2.500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure render missing %q:\n%s", want, out)
+		}
+	}
+	empty := Figure{Title: "x"}
+	if empty.String() == "" {
+		t.Fatal("empty figure should render header")
+	}
+}

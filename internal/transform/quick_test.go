@@ -1,0 +1,195 @@
+package transform
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dft"
+	"repro/internal/series"
+)
+
+// genTransform produces a random valid transformation of dimension n.
+func genTransform(r *rand.Rand, n int) T {
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(r.NormFloat64(), r.NormFloat64())
+		b[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	t, _ := New(a, b, r.Float64(), "rand")
+	return t
+}
+
+func TestQuickComposeAssociative(t *testing.T) {
+	const n = 6
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		t1 := genTransform(r, n)
+		t2 := genTransform(r, n)
+		t3 := genTransform(r, n)
+		left, err := t1.Compose(t2)
+		if err != nil {
+			return false
+		}
+		left, err = left.Compose(t3)
+		if err != nil {
+			return false
+		}
+		right, err := t2.Compose(t3)
+		if err != nil {
+			return false
+		}
+		right, err = t1.Compose(right)
+		if err != nil {
+			return false
+		}
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		lv := left.Apply(x)
+		rv := right.Apply(x)
+		for i := range lv {
+			if cmplx.Abs(lv[i]-rv[i]) > 1e-9*(1+cmplx.Abs(lv[i])) {
+				return false
+			}
+		}
+		// Cost sums in different association orders differ only by float
+		// rounding.
+		dc := left.Cost - right.Cost
+		return dc < 1e-12 && dc > -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComposeMatchesSequentialApplication(t *testing.T) {
+	const n = 5
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		t1 := genTransform(r, n)
+		t2 := genTransform(r, n)
+		comp, err := t1.Compose(t2)
+		if err != nil {
+			return false
+		}
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		direct := t2.Apply(t1.Apply(x))
+		composed := comp.Apply(x)
+		for i := range direct {
+			if cmplx.Abs(direct[i]-composed[i]) > 1e-9*(1+cmplx.Abs(direct[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMovingAverageDistanceContraction: the moving average is a
+// spectral contraction (|A_f| <= 1), so it never increases the distance
+// between two series — the property that makes the smooth-pair planting in
+// internal/dataset sound.
+func TestQuickMovingAverageDistanceContraction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + r.Intn(120)
+		l := 1 + r.Intn(n)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64() * 10
+			y[i] = r.NormFloat64() * 10
+		}
+		before := series.EuclideanDistance(x, y)
+		after := series.EuclideanDistance(
+			series.MovingAverageCircular(x, l),
+			series.MovingAverageCircular(y, l))
+		return after <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickApplyTimeMatchesFrequency: applying any transformation in the
+// time domain (DFT -> apply -> inverse) agrees with applying it to the
+// spectrum directly, by construction — a consistency check of the two
+// application paths over random transformations.
+func TestQuickApplyTimeMatchesFrequency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(60)
+		tr := genTransform(r, n)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = r.NormFloat64() * 20
+		}
+		viaTime := tr.ApplyTime(s)
+		viaFreq := dft.Inverse(tr.Apply(dft.TransformReal(s)))
+		for i := range viaTime {
+			if d := viaTime[i] - real(viaFreq[i]); d > 1e-7 || d < -1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSafetyPreservedUnderComposition: composing two S_pol-safe
+// transformations stays S_pol-safe; composing two S_rect-safe
+// transformations stays S_rect-safe.
+func TestQuickSafetyPreservedUnderComposition(t *testing.T) {
+	const n = 6
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Rand:     rand.New(rand.NewSource(5)),
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Polar-safe pair: arbitrary complex stretches, zero translations.
+		mkPolar := func() T {
+			a := make([]complex128, n)
+			for i := range a {
+				a[i] = complex(r.NormFloat64(), r.NormFloat64())
+			}
+			t, _ := New(a, make([]complex128, n), 0, "polar")
+			return t
+		}
+		p, err := mkPolar().Compose(mkPolar())
+		if err != nil || !p.SafePolar() {
+			return false
+		}
+		// Rect-safe pair: real stretches, arbitrary complex translations.
+		mkRect := func() T {
+			a := make([]complex128, n)
+			b := make([]complex128, n)
+			for i := range a {
+				a[i] = complex(r.NormFloat64(), 0)
+				b[i] = complex(r.NormFloat64(), r.NormFloat64())
+			}
+			t, _ := New(a, b, 0, "rect")
+			return t
+		}
+		q, err := mkRect().Compose(mkRect())
+		return err == nil && q.SafeRect()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+package tsq
+
+import (
+	"repro/internal/query"
+)
+
+// Output is the result of a query-language statement.
+type Output struct {
+	// Kind is "RANGE", "NN", or "SELFJOIN".
+	Kind string
+	// Matches holds range/NN answers (sorted by distance).
+	Matches []Match
+	// Pairs holds self-join answers.
+	Pairs []Pair
+	// Stats reports the execution cost.
+	Stats Stats
+}
+
+// Query parses and executes one statement of the query language:
+//
+//	RANGE SERIES 'IBM' EPS 2.5 TRANSFORM mavg(20) USING INDEX
+//	RANGE VALUES (20, 21, 20, 23) EPS 1.0 TRANSFORM warp(2)
+//	NN SERIES 'BBA' K 5 TRANSFORM reverse() | mavg(20)
+//	SELFJOIN EPS 1.0 TRANSFORM mavg(20) METHOD d
+//	RANGE SERIES 'ZTR' EPS 3 MEAN [5, 15] STD [0.5, 2]
+//
+// Keywords are case-insensitive. Available transformations: identity(),
+// mavg(l), wmavg(w1, ..., wm), reverse(), scale(c), shift(c), warp(m);
+// they compose left-to-right with '|'. USING selects INDEX (default),
+// SCAN (frequency-domain sequential scan), or SCANTIME (naive scan).
+// SELFJOIN's METHOD is one of Table 1's a, b, c, d (default d).
+func (db *DB) Query(src string) (*Output, error) {
+	out, err := query.Run(db.eng, src)
+	if err != nil {
+		return nil, err
+	}
+	res := &Output{
+		Kind:    out.Kind.String(),
+		Matches: toMatches(out.Results),
+		Pairs:   db.toPairs(out.Pairs),
+		Stats:   fromExec(out.Stats),
+	}
+	return res, nil
+}

@@ -1,0 +1,39 @@
+package tsq
+
+import (
+	"io"
+
+	"repro/internal/core"
+)
+
+// InsertBulk loads a batch into an empty DB, building the index with
+// sort-tile-recursive bulk loading — roughly an order of magnitude faster
+// than InsertAll for large batches, with better-packed index nodes. The DB
+// must be empty.
+func (db *DB) InsertBulk(batch []NamedSeries) error {
+	names := make([]string, len(batch))
+	values := make([][]float64, len(batch))
+	for i, s := range batch {
+		names[i] = s.Name
+		values[i] = s.Values
+	}
+	return db.eng.InsertBulk(names, values)
+}
+
+// WriteTo serializes the DB — schema and raw series — in a compact binary
+// snapshot format. Derived state (spectra, feature points, the index) is
+// rebuilt on load. It returns the number of bytes written.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	return db.eng.WriteTo(w)
+}
+
+// ReadFrom loads a snapshot produced by WriteTo, rebuilding the index with
+// bulk loading. The snapshot records its own feature schema; storage
+// options of the returned DB take defaults.
+func ReadFrom(r io.Reader) (*DB, error) {
+	eng, err := core.ReadFrom(r, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng, length: eng.Length()}, nil
+}

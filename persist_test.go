@@ -1,0 +1,259 @@
+package tsq_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	tsq "repro"
+)
+
+func TestInsertBulkPublicAPI(t *testing.T) {
+	batch := tsq.RandomWalks(300, 64, 31)
+	inc := tsq.MustOpen(tsq.Options{Length: 64})
+	if err := inc.InsertAll(batch); err != nil {
+		t.Fatal(err)
+	}
+	bulk := tsq.MustOpen(tsq.Options{Length: 64})
+	if err := bulk.InsertBulk(batch); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != inc.Len() {
+		t.Fatalf("bulk %d vs incremental %d", bulk.Len(), inc.Len())
+	}
+	a, _, err := inc.RangeByName("W0042", 4, tsq.MovingAverage(10), tsq.TransformBoth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := bulk.RangeByName("W0042", 4, tsq.MovingAverage(10), tsq.TransformBoth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("results differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || math.Abs(a[i].Distance-b[i].Distance) > 1e-9 {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+	// Bulk insert into a non-empty DB fails.
+	if err := bulk.InsertBulk(batch[:1]); err == nil {
+		t.Fatal("bulk insert into non-empty DB should fail")
+	}
+}
+
+func TestSnapshotRoundTripPublicAPI(t *testing.T) {
+	src := tsq.MustOpen(tsq.Options{Length: 128, K: 3, Space: tsq.Rect})
+	if err := src.InsertAll(tsq.StockEnsemble(32)[:200]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := src.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("snapshot empty")
+	}
+	got, err := tsq.ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != src.Len() || got.Length() != 128 {
+		t.Fatalf("restored %d x %d", got.Len(), got.Length())
+	}
+	// Query equivalence, including the restored (Rect, K=3) schema.
+	qa, _, err := src.RangeByName("S0000", 3, tsq.Reverse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, _, err := got.RangeByName("S0000", 3, tsq.Reverse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qa) != len(qb) {
+		t.Fatalf("restored DB answers differ: %d vs %d", len(qa), len(qb))
+	}
+	// Names preserved in order.
+	na, nb := src.Names(), got.Names()
+	for i := range na {
+		if na[i] != nb[i] {
+			t.Fatalf("name order differs at %d", i)
+		}
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := tsq.ReadFrom(strings.NewReader("definitely not a snapshot")); err == nil {
+		t.Fatal("garbage snapshot should fail")
+	}
+}
+
+func TestEngineAccessor(t *testing.T) {
+	db := tsq.MustOpen(tsq.Options{Length: 64})
+	if db.Engine() == nil || db.Engine().Length() != 64 {
+		t.Fatal("Engine accessor broken")
+	}
+}
+
+func TestQueryLanguageBothClause(t *testing.T) {
+	db := tsq.MustOpen(tsq.Options{Length: 128})
+	if err := db.InsertAll(tsq.StockEnsemble(33)); err != nil {
+		t.Fatal(err)
+	}
+	// Without BOTH, the smooth-only partner is invisible; with BOTH it is
+	// found — the clause changes semantics, not just syntax.
+	without, err := db.Query("RANGE SERIES 'M0000' EPS 1 TRANSFORM mavg(20)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := db.Query("RANGE SERIES 'M0000' EPS 1 TRANSFORM mavg(20) BOTH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with.Matches) != 2 {
+		t.Fatalf("BOTH query found %d, want 2 (self + partner)", len(with.Matches))
+	}
+	if len(without.Matches) >= len(with.Matches) {
+		t.Fatalf("one-sided (%d) should find fewer than two-sided (%d) here",
+			len(without.Matches), len(with.Matches))
+	}
+	// BOTH is rejected in SELFJOIN (already implicit).
+	if _, err := db.Query("SELFJOIN EPS 1 TRANSFORM mavg(20) BOTH"); err == nil {
+		t.Fatal("BOTH in SELFJOIN should be a parse error")
+	}
+}
+
+func TestNNWithScanTimeStrategyFallsBack(t *testing.T) {
+	db := tsq.MustOpen(tsq.Options{Length: 64})
+	if err := db.InsertAll(tsq.RandomWalks(40, 64, 34)); err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := db.NNByName("W0000", 3, tsq.Identity(), tsq.With(tsq.UseScan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := db.NNByName("W0000", 3, tsq.Identity(), tsq.With(tsq.UseScanTime))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i].Distance-b[i].Distance) > 1e-9 {
+			t.Fatal("NN scan strategies disagree")
+		}
+	}
+}
+
+func TestSubsequencePublicAPI(t *testing.T) {
+	db := tsq.MustOpen(tsq.Options{Length: 64})
+	batch := tsq.RandomWalks(50, 64, 51)
+	if err := db.InsertAll(batch); err != nil {
+		t.Fatal(err)
+	}
+	q := batch[11].Values[30:42]
+	res, st, err := db.Subsequence(q, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range res {
+		if m.Name == "W0011" && m.Offset == 30 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("subsequence search missed the planted window: %v", res)
+	}
+	if st.Candidates != 50 {
+		t.Fatalf("scan candidates = %d", st.Candidates)
+	}
+	if _, _, err := db.Subsequence(nil, 1); err == nil {
+		t.Error("empty query should fail")
+	}
+}
+
+func TestUpdateAndDeletePublicAPI(t *testing.T) {
+	db := tsq.MustOpen(tsq.Options{Length: 64})
+	batch := tsq.RandomWalks(20, 64, 52)
+	if err := db.InsertAll(batch); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Delete("W0004") {
+		t.Fatal("delete failed")
+	}
+	if db.Delete("W0004") {
+		t.Fatal("double delete returned true")
+	}
+	if db.Len() != 19 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if err := db.Update("W0005", batch[6].Values); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Series("W0005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != batch[6].Values[i] {
+			t.Fatal("update did not replace values")
+		}
+	}
+	if err := db.Update("missing", batch[0].Values); err == nil {
+		t.Error("update of unknown name should fail")
+	}
+}
+
+func TestCompactPublicAPI(t *testing.T) {
+	db := tsq.MustOpen(tsq.Options{Length: 64})
+	if err := db.InsertAll(tsq.RandomWalks(30, 64, 55)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		db.Delete(fmt.Sprintf("W%04d", i))
+	}
+	reclaimed, err := db.Compact()
+	if err != nil || reclaimed <= 0 {
+		t.Fatalf("Compact = %d, %v", reclaimed, err)
+	}
+	m, _, err := db.RangeByName("W0015", 1000, tsq.Identity())
+	if err != nil || len(m) != 20 {
+		t.Fatalf("post-compaction query: %d results, %v", len(m), err)
+	}
+}
+
+func TestBufferPoolOptionPublicAPI(t *testing.T) {
+	pooled := tsq.MustOpen(tsq.Options{Length: 64, BufferPoolPages: 4096})
+	plain := tsq.MustOpen(tsq.Options{Length: 64})
+	batch := tsq.RandomWalks(60, 64, 56)
+	if err := pooled.InsertAll(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.InsertAll(batch); err != nil {
+		t.Fatal(err)
+	}
+	// Same answers either way; repeated scans cost fewer physical reads
+	// with the pool.
+	var pooledReads, plainReads int64
+	for i := 0; i < 3; i++ {
+		a, sa, err := pooled.RangeByName("W0009", 2, tsq.Identity(), tsq.With(tsq.UseScan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, sb, err := plain.RangeByName("W0009", 2, tsq.Identity(), tsq.With(tsq.UseScan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("pooled and plain answers differ: %d vs %d", len(a), len(b))
+		}
+		pooledReads += sa.PageReads
+		plainReads += sb.PageReads
+	}
+	if pooledReads >= plainReads/2 {
+		t.Fatalf("pool saved too little: %d physical vs %d plain reads", pooledReads, plainReads)
+	}
+}

@@ -1,0 +1,346 @@
+package tsq
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+)
+
+// Match is one similarity-query answer: a stored series and its Euclidean
+// distance to the query (between transformed normal forms).
+type Match struct {
+	Name     string
+	Distance float64
+}
+
+// Pair is one all-pairs (join) answer.
+type Pair struct {
+	A, B     string
+	Distance float64
+}
+
+// Stats reports the cost of one query execution.
+type Stats struct {
+	// Elapsed wall-clock time.
+	Elapsed time.Duration
+	// NodeAccesses counts index nodes visited (the paper's index "disk
+	// accesses").
+	NodeAccesses int
+	// PageReads counts simulated relation pages read.
+	PageReads int64
+	// Candidates is how many series reached exact verification.
+	Candidates int
+}
+
+func fromExec(st core.ExecStats) Stats {
+	return Stats{
+		Elapsed:      st.Elapsed,
+		NodeAccesses: st.NodeAccesses,
+		PageReads:    st.PageReads,
+		Candidates:   st.Candidates,
+	}
+}
+
+// Strategy selects the execution plan for Range and NN queries.
+type Strategy int
+
+const (
+	// UseIndex runs the paper's Algorithm 2 over the k-index. The default.
+	UseIndex Strategy = iota
+	// UseScan runs the frequency-domain sequential scan with early
+	// abandoning (the paper's stronger baseline).
+	UseScan
+	// UseScanTime runs the naive time-domain scan.
+	UseScanTime
+)
+
+// QueryOpt refines Range and NN queries.
+type QueryOpt func(*queryOpts)
+
+type queryOpts struct {
+	strategy Strategy
+	moments  feature.MomentBounds
+	both     bool
+}
+
+// With selects the execution strategy.
+func With(s Strategy) QueryOpt {
+	return func(o *queryOpts) { o.strategy = s }
+}
+
+// TransformBoth applies the transformation to the query as well as the
+// stored series, so answers satisfy D(T(nf(x)), T(nf(q))) <= eps — the
+// semantics of the paper's motivating examples ("their 3-day moving
+// averages look the same") and of join method (d). Without this option
+// the transformation applies to the stored side only, matching the
+// paper's formal Query statement. Incompatible with Warp.
+func TransformBoth() QueryOpt {
+	return func(o *queryOpts) { o.both = true }
+}
+
+// MeanRange restricts answers to stored series whose mean lies in
+// [lo, hi] — the GK95-style shift bound the paper's mean/std index
+// dimensions enable.
+func MeanRange(lo, hi float64) QueryOpt {
+	return func(o *queryOpts) {
+		if o.moments == (feature.MomentBounds{}) {
+			o.moments = feature.Unbounded()
+		}
+		o.moments.MeanLo, o.moments.MeanHi = lo, hi
+	}
+}
+
+// StdRange restricts answers by standard deviation (scale bound).
+func StdRange(lo, hi float64) QueryOpt {
+	return func(o *queryOpts) {
+		if o.moments == (feature.MomentBounds{}) {
+			o.moments = feature.Unbounded()
+		}
+		o.moments.StdLo, o.moments.StdHi = lo, hi
+	}
+}
+
+func (db *DB) rangeQuery(values []float64, eps float64, t Transform, opts []QueryOpt) ([]Match, Stats, error) {
+	var qo queryOpts
+	for _, o := range opts {
+		o(&qo)
+	}
+	tr, warp, err := t.materialize(db.length)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	rq := core.RangeQuery{
+		Values:     values,
+		Eps:        eps,
+		Transform:  tr,
+		Moments:    qo.moments,
+		WarpFactor: warp,
+		BothSides:  qo.both,
+	}
+	var (
+		res []core.Result
+		st  core.ExecStats
+	)
+	switch qo.strategy {
+	case UseIndex:
+		res, st, err = db.eng.RangeIndexed(rq)
+	case UseScan:
+		res, st, err = db.eng.RangeScanFreq(rq)
+	case UseScanTime:
+		res, st, err = db.eng.RangeScanTime(rq)
+	default:
+		err = fmt.Errorf("tsq: unknown strategy %d", int(qo.strategy))
+	}
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return toMatches(res), fromExec(st), nil
+}
+
+func toMatches(res []core.Result) []Match {
+	out := make([]Match, len(res))
+	for i, r := range res {
+		out[i] = Match{Name: r.Name, Distance: r.Dist}
+	}
+	return out
+}
+
+// Range finds every stored series x with D(T(nf(x)), nf(q)) <= eps, where
+// nf is the normal form. For Warp(m) transforms the query must have length
+// m * Length(). Results are sorted by distance.
+func (db *DB) Range(q []float64, eps float64, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
+	return db.rangeQuery(q, eps, t, opts)
+}
+
+// RangeByName runs Range with a stored series as the query.
+func (db *DB) RangeByName(name string, eps float64, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
+	values, err := db.Series(name)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return db.rangeQuery(values, eps, t, opts)
+}
+
+// NN finds the k stored series minimizing D(T(nf(x)), nf(q)), sorted by
+// distance.
+func (db *DB) NN(q []float64, k int, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
+	var qo queryOpts
+	for _, o := range opts {
+		o(&qo)
+	}
+	tr, warp, err := t.materialize(db.length)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	nq := core.NNQuery{Values: q, K: k, Transform: tr, WarpFactor: warp, BothSides: qo.both}
+	var (
+		res []core.Result
+		st  core.ExecStats
+	)
+	switch qo.strategy {
+	case UseIndex:
+		res, st, err = db.eng.NNIndexed(nq)
+	default:
+		res, st, err = db.eng.NNScan(nq)
+	}
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return toMatches(res), fromExec(st), nil
+}
+
+// NNByName runs NN with a stored series as the query.
+func (db *DB) NNByName(name string, k int, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
+	values, err := db.Series(name)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return db.NN(values, k, t, opts...)
+}
+
+// JoinMethod selects the Table 1 self-join strategy.
+type JoinMethod int
+
+const (
+	// JoinScanNaive is Table 1's method (a): nested sequential scan, no
+	// early abandoning.
+	JoinScanNaive JoinMethod = iota
+	// JoinScanEarlyAbandon is method (b): nested scan with early
+	// abandoning.
+	JoinScanEarlyAbandon
+	// JoinIndexPlain is method (c): index-nested-loop without the
+	// transformation (each pair reported twice).
+	JoinIndexPlain
+	// JoinIndexTransform is method (d): index-nested-loop with the
+	// transformation applied to index and search rectangles (each pair
+	// reported twice). The default for the query language.
+	JoinIndexTransform
+)
+
+func (m JoinMethod) engineMethod() (core.JoinMethod, error) {
+	switch m {
+	case JoinScanNaive:
+		return core.JoinScanNaive, nil
+	case JoinScanEarlyAbandon:
+		return core.JoinScanEarlyAbandon, nil
+	case JoinIndexPlain:
+		return core.JoinIndexPlain, nil
+	case JoinIndexTransform:
+		return core.JoinIndexTransform, nil
+	default:
+		return 0, fmt.Errorf("tsq: unknown join method %d", int(m))
+	}
+}
+
+// SelfJoin finds all pairs of distinct stored series (x, y) with
+// D(T(nf(x)), T(nf(y))) <= eps using the chosen method. Scan methods
+// report each unordered pair once; index methods report each pair twice
+// (Table 1's accounting).
+func (db *DB) SelfJoin(eps float64, t Transform, method JoinMethod) ([]Pair, Stats, error) {
+	tr, warp, err := t.materialize(db.length)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if warp != 0 {
+		return nil, Stats{}, fmt.Errorf("tsq: warp is not supported in self joins")
+	}
+	em, err := method.engineMethod()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	pairs, st, err := db.eng.SelfJoin(eps, tr, em)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return db.toPairs(pairs), fromExec(st), nil
+}
+
+// JoinTwoSided finds all ordered pairs (x, y), x != y, with
+// D(L(nf(x)), R(nf(y))) <= eps — different transformations on the two join
+// sides, e.g. L = Reverse().Then(MovingAverage(20)), R = MovingAverage(20)
+// for Example 2.2's opposite-movement stocks.
+func (db *DB) JoinTwoSided(eps float64, left, right Transform) ([]Pair, Stats, error) {
+	lt, lw, err := left.materialize(db.length)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	rt, rw, err := right.materialize(db.length)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if lw != 0 || rw != 0 {
+		return nil, Stats{}, fmt.Errorf("tsq: warp is not supported in joins")
+	}
+	pairs, st, err := db.eng.JoinTwoSided(eps, lt, rt)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return db.toPairs(pairs), fromExec(st), nil
+}
+
+func (db *DB) toPairs(pairs []core.JoinPair) []Pair {
+	out := make([]Pair, len(pairs))
+	for i, p := range pairs {
+		out[i] = Pair{A: db.eng.Name(p.A), B: db.eng.Name(p.B), Distance: p.Dist}
+	}
+	return out
+}
+
+// Distance computes the plain Euclidean distance between the transformed
+// normal forms of two raw series (without touching the DB) — the measure
+// all queries are defined over. Both series must share a length; warp
+// transforms are not supported here.
+func Distance(x, y []float64, t Transform) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("tsq: length mismatch %d vs %d", len(x), len(y))
+	}
+	tx, err := t.Apply(normalForm(x))
+	if err != nil {
+		return 0, err
+	}
+	ty, err := t.Apply(normalForm(y))
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i := range tx {
+		d := tx[i] - ty[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum), nil
+}
+
+// SubseqMatch is one subsequence-search answer: the stored series, the
+// offset of its best window, and that window's distance to the query.
+type SubseqMatch struct {
+	Name     string
+	Offset   int
+	Distance float64
+}
+
+// Subsequence finds the stored series containing a contiguous window
+// within eps (raw Euclidean distance) of q, which may be shorter than the
+// DB length — the whole-relation form of the paper's Example 1.2
+// subsequence comparison. This is a time-domain scan: the whole-sequence
+// index does not cover subsequences (that is FRM94's follow-up work).
+func (db *DB) Subsequence(q []float64, eps float64) ([]SubseqMatch, Stats, error) {
+	res, st, err := db.eng.SubsequenceScan(q, eps)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]SubseqMatch, len(res))
+	for i, r := range res {
+		out[i] = SubseqMatch{Name: r.Name, Offset: r.Offset, Distance: r.Dist}
+	}
+	return out, fromExec(st), nil
+}
+
+// Update replaces the values stored under an existing name, reindexing the
+// series.
+func (db *DB) Update(name string, values []float64) error {
+	_, err := db.eng.Update(name, values)
+	return err
+}

@@ -1,0 +1,173 @@
+// Package tsq is a similarity-query engine for time-series data,
+// implementing Rafiei & Mendelzon, "Similarity-Based Queries for Time
+// Series Data" (SIGMOD 1997) as a reusable Go library.
+//
+// A tsq.DB stores fixed-length time series. Every series is normalized
+// (zero mean, unit standard deviation); its mean, standard deviation, and
+// the first K DFT coefficients of the normal form become a point in a
+// low-dimensional feature space indexed by an R*-tree (the paper's
+// "k-index"). Similarity queries — range, k-nearest-neighbor, and
+// all-pairs joins — run against the index under *safe linear
+// transformations* such as moving averages, series reversal, amplitude
+// scaling, and time warping: the index is traversed as if the
+// transformation had been applied to every stored series, on the fly,
+// with no false dismissals (the paper's Algorithm 2 and Lemma 1), and
+// candidates are verified against full records.
+//
+// # Quick start
+//
+//	db, _ := tsq.Open(tsq.Options{Length: 128})
+//	db.Insert("BBA", bbaPrices)
+//	db.Insert("ZTR", ztrPrices)
+//
+//	// Stocks whose 20-day-smoothed shapes match BBA's:
+//	matches, _, _ := db.RangeByName("BBA", 2.75, tsq.MovingAverage(20))
+//
+//	// Stocks moving opposite to each other (hedging):
+//	pairs, _, _ := db.JoinTwoSided(1.0,
+//	    tsq.Reverse().Then(tsq.MovingAverage(20)), tsq.MovingAverage(20))
+//
+//	// Or the query language:
+//	out, _ := db.Query("RANGE SERIES 'BBA' EPS 2.75 TRANSFORM mavg(20)")
+package tsq
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/rtree"
+)
+
+// Space selects how complex DFT coefficients decompose into index
+// dimensions.
+type Space int
+
+const (
+	// Polar stores (magnitude, phase angle) pairs — the paper's S_pol,
+	// safe for every zero-translation transformation including moving
+	// averages and time warping (Theorem 3). The default.
+	Polar Space = iota
+	// Rect stores (real, imaginary) pairs — the paper's S_rect, safe for
+	// real stretch vectors such as scaling and reversal plus arbitrary
+	// translations (Theorem 2).
+	Rect
+)
+
+// Options configures a DB.
+type Options struct {
+	// Length is the (fixed) length of every stored series. Required.
+	Length int
+	// K is the number of DFT coefficients kept in the index (X_1..X_K of
+	// the normal form; X_0 is identically zero and dropped). Default 2 —
+	// the paper's experimental setting.
+	K int
+	// Space selects the coefficient decomposition. Default Polar.
+	Space Space
+	// NoMoments drops the two leading mean/std index dimensions of the
+	// paper's layout (they enable shift/scale-bounded queries).
+	NoMoments bool
+	// PageSize of the simulated storage pages (default 4096).
+	PageSize int
+	// NodeCapacity is the R*-tree fan-out M (default 40).
+	NodeCapacity int
+	// BufferPoolPages, when positive, routes storage reads through LRU
+	// buffer pools of this many pages, so Stats.PageReads counts physical
+	// reads (pool misses) as a real buffer manager would. Default off.
+	BufferPoolPages int
+}
+
+// DB is an indexed time-series store. It is safe for concurrent reads;
+// writes require external synchronization.
+type DB struct {
+	eng    *core.DB
+	length int
+}
+
+// Open creates an empty DB.
+func Open(opts Options) (*DB, error) {
+	if opts.Length <= 0 {
+		return nil, fmt.Errorf("tsq: Options.Length is required")
+	}
+	k := opts.K
+	if k == 0 {
+		k = 2
+	}
+	var space feature.Space
+	switch opts.Space {
+	case Polar:
+		space = feature.Polar
+	case Rect:
+		space = feature.Rect
+	default:
+		return nil, fmt.Errorf("tsq: unknown space %d", int(opts.Space))
+	}
+	eng, err := core.NewDB(opts.Length, core.Options{
+		Schema:          feature.Schema{Space: space, K: k, Moments: !opts.NoMoments},
+		PageSize:        opts.PageSize,
+		RTree:           rtree.Options{MaxEntries: opts.NodeCapacity},
+		BufferPoolPages: opts.BufferPoolPages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng, length: opts.Length}, nil
+}
+
+// MustOpen is Open for static configurations; it panics on error.
+func MustOpen(opts Options) *DB {
+	db, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Insert stores a named series. Names must be unique; the length must
+// match Options.Length.
+func (db *DB) Insert(name string, values []float64) error {
+	_, err := db.eng.Insert(name, values)
+	return err
+}
+
+// Len returns the number of stored series.
+func (db *DB) Len() int { return db.eng.Len() }
+
+// Length returns the fixed series length.
+func (db *DB) Length() int { return db.length }
+
+// Names returns the stored series names in insertion order.
+func (db *DB) Names() []string {
+	ids := db.eng.IDs()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = db.eng.Name(id)
+	}
+	return out
+}
+
+// Series returns a copy of the stored values for a name.
+func (db *DB) Series(name string) ([]float64, error) {
+	id, ok := db.eng.IDByName(name)
+	if !ok {
+		return nil, fmt.Errorf("tsq: unknown series %q", name)
+	}
+	return db.eng.Series(id)
+}
+
+// Delete removes a series by name. It reports whether the name was
+// present. The name becomes available for re-insertion; storage pages
+// occupied by the old values are not reclaimed.
+func (db *DB) Delete(name string) bool {
+	return db.eng.Delete(name)
+}
+
+// Engine exposes the underlying query engine for advanced use (experiment
+// harnesses, ablations). Most callers should use the DB methods.
+func (db *DB) Engine() *core.DB { return db.eng }
+
+// Compact rebuilds the storage pages, reclaiming space left behind by
+// Delete and Update. It returns the number of simulated pages reclaimed.
+func (db *DB) Compact() (int, error) {
+	return db.eng.Compact()
+}

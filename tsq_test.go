@@ -1,0 +1,496 @@
+package tsq_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	tsq "repro"
+)
+
+func openTestDB(t *testing.T, length int) *tsq.DB {
+	t.Helper()
+	db, err := tsq.Open(tsq.Options{Length: length})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := tsq.Open(tsq.Options{}); err == nil {
+		t.Error("missing length should fail")
+	}
+	if _, err := tsq.Open(tsq.Options{Length: 64, Space: tsq.Space(9)}); err == nil {
+		t.Error("bad space should fail")
+	}
+	if _, err := tsq.Open(tsq.Options{Length: 64, K: 100}); err == nil {
+		t.Error("K > length should fail")
+	}
+	db, err := tsq.Open(tsq.Options{Length: 64, K: 3, Space: tsq.Rect, NoMoments: true})
+	if err != nil || db.Length() != 64 {
+		t.Fatalf("custom options: %v", err)
+	}
+}
+
+func TestMustOpenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustOpen with bad options did not panic")
+		}
+	}()
+	tsq.MustOpen(tsq.Options{})
+}
+
+func TestInsertAndAccessors(t *testing.T) {
+	db := openTestDB(t, 64)
+	batch := tsq.RandomWalks(10, 64, 1)
+	if err := db.InsertAll(batch); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 10 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	names := db.Names()
+	if len(names) != 10 || names[0] != "W0000" {
+		t.Fatalf("Names = %v", names)
+	}
+	vals, err := db.Series("W0003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range batch[3].Values {
+		if vals[i] != v {
+			t.Fatal("Series returned wrong values")
+		}
+	}
+	if _, err := db.Series("missing"); err == nil {
+		t.Error("missing series should fail")
+	}
+	if err := db.Insert("W0000", batch[0].Values); err == nil {
+		t.Error("duplicate insert should fail")
+	}
+}
+
+func TestPaperExample11EndToEnd(t *testing.T) {
+	// Example 1.1 through the public API: the two stock series are not
+	// similar raw (D = 11.92) but are similar after a 3-day moving average
+	// (D = 0.47) — on raw values. (Range queries compare normal forms, so
+	// here we exercise the Distance helper exactly as the paper states it.)
+	s1 := []float64{36, 38, 40, 38, 42, 38, 36, 36, 37, 38, 39, 38, 40, 38, 37}
+	s2 := []float64{40, 37, 37, 42, 41, 35, 40, 35, 34, 42, 38, 35, 45, 36, 34}
+	raw := tsq.EuclideanDistance(s1, s2)
+	if math.Abs(raw-11.92) > 0.01 {
+		t.Fatalf("raw distance %v, paper says 11.92", raw)
+	}
+	m1, err := tsq.MovingAverage(3).Apply(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := tsq.MovingAverage(3).Apply(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smoothed := tsq.EuclideanDistance(m1, m2)
+	if math.Abs(smoothed-0.47) > 0.05 {
+		t.Fatalf("3-day MA distance %v, paper says 0.47", smoothed)
+	}
+}
+
+func TestRangeFindsPlantedNeighbors(t *testing.T) {
+	db := openTestDB(t, 128)
+	batch := tsq.StockEnsemble(3)
+	if err := db.InsertAll(batch); err != nil {
+		t.Fatal(err)
+	}
+	// Raw-similar pairs pair base series S0000.. with R0000..; querying by
+	// one side must find the other under the identity transform.
+	matches, st, err := db.RangeByName("R0000", tsq.StockEnsembleEps, tsq.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, m := range matches {
+		if m.Name == "S0000" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("identity range query missed the raw-similar partner: %v", matches)
+	}
+	if st.NodeAccesses == 0 || st.Elapsed <= 0 {
+		t.Fatalf("stats look empty: %+v", st)
+	}
+
+	// Smooth-only pairs need the moving average: M0000's partner is found
+	// only under mavg(20).
+	matchesRaw, _, err := db.RangeByName("M0000", tsq.StockEnsembleEps, tsq.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matchesRaw {
+		if strings.HasPrefix(m.Name, "S") && m.Name != "M0000" && m.Distance < tsq.StockEnsembleEps {
+			// Partner found raw would contradict the planted structure;
+			// identify partner via mavg query below instead.
+			t.Fatalf("smooth pair matched raw: %v", m)
+		}
+	}
+	// The planted guarantee is two-sided ("their moving averages look the
+	// same"), so the query side must be smoothed too.
+	matchesMavg, _, err := db.RangeByName("M0000", tsq.StockEnsembleEps, tsq.MovingAverage(20), tsq.TransformBoth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matchesMavg) != 2 { // itself + partner
+		t.Fatalf("mavg(20) range query found %v", matchesMavg)
+	}
+}
+
+func TestRangeStrategiesAgree(t *testing.T) {
+	db := openTestDB(t, 64)
+	if err := db.InsertAll(tsq.RandomWalks(80, 64, 4)); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range []tsq.Transform{tsq.Identity(), tsq.MovingAverage(5), tsq.Reverse()} {
+		idx, _, err := db.RangeByName("W0007", 6, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan, _, err := db.RangeByName("W0007", 6, tr, tsq.With(tsq.UseScan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanTime, _, err := db.RangeByName("W0007", 6, tr, tsq.With(tsq.UseScanTime))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(idx) != len(scan) || len(idx) != len(scanTime) {
+			t.Fatalf("%s: strategies disagree: %d/%d/%d", tr, len(idx), len(scan), len(scanTime))
+		}
+		for i := range idx {
+			if idx[i].Name != scan[i].Name || math.Abs(idx[i].Distance-scan[i].Distance) > 1e-9 {
+				t.Fatalf("%s: result %d differs between index and scan", tr, i)
+			}
+		}
+	}
+}
+
+func TestNN(t *testing.T) {
+	db := openTestDB(t, 64)
+	if err := db.InsertAll(tsq.RandomWalks(100, 64, 5)); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := db.NNByName("W0042", 5, tsq.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("NN returned %d", len(got))
+	}
+	if got[0].Name != "W0042" || got[0].Distance > 1e-9 {
+		t.Fatalf("self should be nearest: %+v", got[0])
+	}
+	scan, _, err := db.NNByName("W0042", 5, tsq.Identity(), tsq.With(tsq.UseScan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Abs(got[i].Distance-scan[i].Distance) > 1e-9 {
+			t.Fatalf("NN index/scan disagree at %d", i)
+		}
+	}
+}
+
+func TestWarpQuery(t *testing.T) {
+	db := openTestDB(t, 64)
+	batch := tsq.RandomWalks(50, 64, 6)
+	if err := db.InsertAll(batch); err != nil {
+		t.Fatal(err)
+	}
+	warped, err := tsq.Warp(2).Apply(batch[13].Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warped) != 128 {
+		t.Fatalf("warped length %d", len(warped))
+	}
+	matches, _, err := db.Range(warped, 0.1, tsq.Warp(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.Name == "W0013" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("warp query missed the source series: %v", matches)
+	}
+}
+
+func TestSelfJoinMethodsAndCounts(t *testing.T) {
+	db := openTestDB(t, 128)
+	if err := db.InsertAll(tsq.StockEnsemble(7)); err != nil {
+		t.Fatal(err)
+	}
+	tr := tsq.MovingAverage(20)
+	b, _, err := db.SelfJoin(tsq.StockEnsembleEps, tr, tsq.JoinScanEarlyAbandon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 12 {
+		t.Fatalf("method b found %d pairs, want 12 (Table 1)", len(b))
+	}
+	d, _, err := db.SelfJoin(tsq.StockEnsembleEps, tr, tsq.JoinIndexTransform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 24 {
+		t.Fatalf("method d found %d, want 24 (12 pairs, each twice)", len(d))
+	}
+	c, _, err := db.SelfJoin(tsq.StockEnsembleEps, tr, tsq.JoinIndexPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 6 {
+		t.Fatalf("method c found %d, want 6 (3 raw pairs, each twice)", len(c))
+	}
+}
+
+func TestJoinTwoSidedHedging(t *testing.T) {
+	db := openTestDB(t, 128)
+	if err := db.InsertAll(tsq.StockEnsemble(8)); err != nil {
+		t.Fatal(err)
+	}
+	pairs, _, err := db.JoinTwoSided(tsq.StockEnsembleEps,
+		tsq.Reverse().Then(tsq.MovingAverage(20)), tsq.MovingAverage(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ensemble plants 4 reversed pairs; each appears in both
+	// directions.
+	withV := 0
+	for _, p := range pairs {
+		if strings.HasPrefix(p.A, "V") || strings.HasPrefix(p.B, "V") {
+			withV++
+		}
+	}
+	if withV < 8 {
+		t.Fatalf("hedging join found %d V-pairs, want >= 8: %v", withV, pairs)
+	}
+}
+
+func TestMomentBounds(t *testing.T) {
+	db := openTestDB(t, 64)
+	batch := tsq.RandomWalks(60, 64, 9)
+	if err := db.InsertAll(batch); err != nil {
+		t.Fatal(err)
+	}
+	// Mean of W0000.
+	var mean float64
+	for _, v := range batch[0].Values {
+		mean += v
+	}
+	mean /= 64
+	matches, _, err := db.RangeByName("W0000", 1000, tsq.Identity(),
+		tsq.MeanRange(mean-0.01, mean+0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.Name == "W0000" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("series should match its own mean bound")
+	}
+	if len(matches) == 60 {
+		t.Fatal("mean bound did not filter anything")
+	}
+	if _, _, err := db.RangeByName("W0000", 1000, tsq.Identity(), tsq.StdRange(0, 0.0001)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryLanguageEndToEnd(t *testing.T) {
+	db := openTestDB(t, 128)
+	if err := db.InsertAll(tsq.StockEnsemble(10)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.Query("RANGE SERIES 'M0000' EPS 1.0 TRANSFORM mavg(20) BOTH USING INDEX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != "RANGE" || len(out.Matches) != 2 {
+		t.Fatalf("query output: %+v", out)
+	}
+	join, err := db.Query("SELFJOIN EPS 1.0 TRANSFORM mavg(20) METHOD d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if join.Kind != "SELFJOIN" || len(join.Pairs) != 24 {
+		t.Fatalf("join output: kind=%s pairs=%d", join.Kind, len(join.Pairs))
+	}
+	nn, err := db.Query("NN SERIES 'S0000' K 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn.Matches) != 3 || nn.Matches[0].Name != "S0000" {
+		t.Fatalf("NN output: %+v", nn.Matches)
+	}
+	if _, err := db.Query("RANGE SERIES 'NOPE' EPS 1"); err == nil {
+		t.Error("unknown series should fail")
+	}
+	if _, err := db.Query("garbage"); err == nil {
+		t.Error("parse error should surface")
+	}
+}
+
+func TestTransformBuilders(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	rev, err := tsq.Reverse().Apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s {
+		if math.Abs(rev[i]+s[i]) > 1e-9 {
+			t.Fatal("Reverse.Apply wrong")
+		}
+	}
+	sc, err := tsq.Scale(2).Apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sc[3]-8) > 1e-9 {
+		t.Fatal("Scale.Apply wrong")
+	}
+	sh, err := tsq.Shift(1).Apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sh[0]-2) > 1e-9 {
+		t.Fatal("Shift.Apply wrong")
+	}
+	wm, err := tsq.WeightedMovingAverage(0.5, 0.5).Apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wm[1]-1.5) > 1e-9 {
+		t.Fatalf("WeightedMovingAverage.Apply wrong: %v", wm)
+	}
+	// Composition order: scale then shift != shift then scale.
+	a, _ := tsq.Scale(2).Then(tsq.Shift(1)).Apply(s)
+	b, _ := tsq.Shift(1).Then(tsq.Scale(2)).Apply(s)
+	if math.Abs(a[0]-3) > 1e-9 || math.Abs(b[0]-4) > 1e-9 {
+		t.Fatalf("composition order broken: %v %v", a[0], b[0])
+	}
+	if tsq.Identity().String() != "identity" {
+		t.Fatal("identity String")
+	}
+	if tsq.MovingAverage(3).Then(tsq.Reverse()).String() != "mavg(3)|reverse" {
+		t.Fatalf("pipeline String: %s", tsq.MovingAverage(3).Then(tsq.Reverse()).String())
+	}
+	if tsq.Warp(2).String() != "warp(2)" {
+		t.Fatal("warp String")
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	db := openTestDB(t, 64)
+	if err := db.InsertAll(tsq.RandomWalks(10, 64, 11)); err != nil {
+		t.Fatal(err)
+	}
+	// Warp composed with anything is rejected.
+	if _, _, err := db.RangeByName("W0000", 1, tsq.Warp(2).Then(tsq.Reverse())); err == nil {
+		t.Error("composed warp should fail")
+	}
+	if _, _, err := db.RangeByName("W0000", 1, tsq.MovingAverage(100)); err == nil {
+		t.Error("window > length should fail")
+	}
+	if _, _, err := db.SelfJoin(1, tsq.Warp(2), tsq.JoinIndexTransform); err == nil {
+		t.Error("warp self join should fail")
+	}
+	if _, _, err := db.JoinTwoSided(1, tsq.Warp(2), tsq.Identity()); err == nil {
+		t.Error("warp two-sided join should fail")
+	}
+	if _, err := tsq.Distance([]float64{1}, []float64{1, 2}, tsq.Identity()); err == nil {
+		t.Error("distance length mismatch should fail")
+	}
+}
+
+func TestCostDistanceExample(t *testing.T) {
+	s1 := []float64{36, 38, 40, 38, 42, 38, 36, 36, 37, 38, 39, 38, 40, 38, 37}
+	s2 := []float64{40, 37, 37, 42, 41, 35, 40, 35, 34, 42, 38, 35, 45, 36, 34}
+	d, trace, err := tsq.CostDistance(s1, s2, 4, tsq.MovingAverage(3).WithCost(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-2.47) > 0.05 {
+		t.Fatalf("cost distance %v, want ~2.47 (2 applications + 0.47)", d)
+	}
+	if len(trace.XSide) != 1 || len(trace.YSide) != 1 || math.Abs(trace.Total()-d) > 1e-9 {
+		t.Fatalf("trace: %+v", trace)
+	}
+	// Budget respects the rule-of-thumb helper.
+	if b := tsq.ProportionalBudget(s1, s2, 0.5); math.Abs(b-5.96) > 0.01 {
+		t.Fatalf("proportional budget %v", b)
+	}
+	// Errors.
+	if _, _, err := tsq.CostDistance(s1[:3], s2, 1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, _, err := tsq.CostDistance(s1, s2, 1, tsq.MovingAverage(3)); err == nil {
+		t.Error("zero-cost vocabulary should fail")
+	}
+	if _, _, err := tsq.CostDistance(s1, s2, 1, tsq.Warp(2).WithCost(1)); err == nil {
+		t.Error("warp vocabulary should fail")
+	}
+}
+
+func TestDistanceHelper(t *testing.T) {
+	a := tsq.RandomWalks(2, 64, 12)
+	d, err := tsq.Distance(a[0].Values, a[1].Values, tsq.MovingAverage(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("distinct walks should have positive distance")
+	}
+	same, err := tsq.Distance(a[0].Values, a[0].Values, tsq.MovingAverage(5))
+	if err != nil || same > 1e-9 {
+		t.Fatalf("self distance %v %v", same, err)
+	}
+}
+
+func TestCSVRoundTripPublic(t *testing.T) {
+	batch := tsq.RandomWalks(3, 16, 13)
+	var sb strings.Builder
+	if err := tsq.WriteCSV(&sb, batch); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tsq.ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[0].Name != batch[0].Name {
+		t.Fatalf("round trip: %v", back)
+	}
+}
+
+func TestNormalFormHelper(t *testing.T) {
+	nf := tsq.NormalForm([]float64{1, 2, 3, 4})
+	var mean float64
+	for _, v := range nf {
+		mean += v
+	}
+	if math.Abs(mean) > 1e-9 {
+		t.Fatal("normal form mean should be 0")
+	}
+	ma := tsq.MovingAverageSeries([]float64{1, 2, 3, 4}, 1)
+	if ma[2] != 3 {
+		t.Fatal("MovingAverageSeries l=1 should be identity")
+	}
+}
