@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet fmt serve clean
+
+build:
+	$(GO) build ./...
+
+test: vet
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+
+fmt:
+	gofmt -w .
+
+# Generate a synthetic data set and serve it on :8080.
+serve:
+	$(GO) run ./cmd/tsqgen -count 500 -length 128 > /tmp/tsq-walks.csv
+	$(GO) run ./cmd/tsqd -data /tmp/tsq-walks.csv -addr :8080
+
+clean:
+	$(GO) clean ./...

@@ -1,12 +1,17 @@
-// Command tsqcli loads a CSV of time series and executes statements of the
-// tsq query language against them, either from -query or interactively
-// from standard input (one statement per line).
+// Command tsqcli executes statements of the tsq query language, either
+// against a CSV loaded into an embedded engine or — with -remote —
+// against a running tsqd server, from -query or interactively from
+// standard input (one statement per line).
 //
 // Usage:
 //
 //	tsqgen -count 500 -length 128 > walks.csv
 //	tsqcli -data walks.csv -query "RANGE SERIES 'W0007' EPS 2 TRANSFORM mavg(20) BOTH"
 //	tsqcli -data walks.csv        # interactive: type statements, blank line or EOF quits
+//
+//	tsqd -data walks.csv &
+//	tsqcli -remote http://localhost:8080 -query "NN SERIES 'W0007' K 5"
+//	tsqcli -remote http://localhost:8080 -data walks.csv   # upload CSV, then query
 //
 // The query language:
 //
@@ -27,52 +32,50 @@ import (
 	"strings"
 
 	tsq "repro"
+	"repro/internal/server"
 )
 
 func main() {
 	var (
 		dataPath = flag.String("data", "", "CSV file of series: name,v1,v2,...")
+		remote   = flag.String("remote", "", "base URL of a tsqd server (e.g. http://localhost:8080); queries run server-side")
 		queryStr = flag.String("query", "", "single statement to execute (default: interactive)")
-		k        = flag.Int("k", 2, "DFT coefficients kept in the index")
-		space    = flag.String("space", "polar", "feature space: polar or rect")
+		k        = flag.Int("k", 2, "DFT coefficients kept in the index (embedded mode)")
+		space    = flag.String("space", "polar", "feature space: polar or rect (embedded mode)")
 		maxRows  = flag.Int("maxrows", 20, "result rows to print")
 	)
 	flag.Parse()
 
-	if *dataPath == "" {
-		fmt.Fprintln(os.Stderr, "tsqcli: -data is required")
+	if *dataPath == "" && *remote == "" {
+		fmt.Fprintln(os.Stderr, "tsqcli: -data or -remote is required")
 		os.Exit(2)
 	}
-	if err := run(*dataPath, *queryStr, *k, *space, *maxRows); err != nil {
+	var err error
+	if *remote != "" {
+		err = runRemote(*remote, *dataPath, *queryStr, *maxRows)
+	} else {
+		err = runEmbedded(*dataPath, *queryStr, *k, *space, *maxRows)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tsqcli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, queryStr string, k int, space string, maxRows int) error {
-	f, err := os.Open(dataPath)
+// executor runs one query-language statement — embedded or remote.
+type executor func(src string) (*tsq.Output, error)
+
+func runEmbedded(dataPath, queryStr string, k int, space string, maxRows int) error {
+	batch, err := tsq.ReadCSVFile(dataPath)
 	if err != nil {
 		return err
-	}
-	defer f.Close()
-	batch, err := tsq.ReadCSV(f)
-	if err != nil {
-		return err
-	}
-	if len(batch) == 0 {
-		return fmt.Errorf("no series in %s", dataPath)
 	}
 
-	opts := tsq.Options{Length: len(batch[0].Values), K: k}
-	switch strings.ToLower(space) {
-	case "polar":
-		opts.Space = tsq.Polar
-	case "rect":
-		opts.Space = tsq.Rect
-	default:
-		return fmt.Errorf("unknown space %q (want polar or rect)", space)
+	sp, err := tsq.ParseSpace(space)
+	if err != nil {
+		return err
 	}
-	db, err := tsq.Open(opts)
+	db, err := tsq.Open(tsq.Options{Length: len(batch[0].Values), K: k, Space: sp})
 	if err != nil {
 		return err
 	}
@@ -81,11 +84,36 @@ func run(dataPath, queryStr string, k int, space string, maxRows int) error {
 	}
 	fmt.Printf("loaded %d series of length %d from %s (%s space, K=%d)\n",
 		db.Len(), db.Length(), dataPath, space, k)
+	return loop(db.Query, queryStr, maxRows)
+}
 
-	if queryStr != "" {
-		return execute(db, queryStr, maxRows)
+func runRemote(remote, dataPath, queryStr string, maxRows int) error {
+	client := server.NewClient(remote)
+	if dataPath != "" {
+		batch, err := tsq.ReadCSVFile(dataPath)
+		if err != nil {
+			return err
+		}
+		total, err := client.InsertBatch(batch)
+		if err != nil {
+			return fmt.Errorf("uploading %s: %w", dataPath, err)
+		}
+		fmt.Printf("uploaded %d series from %s (server now holds %d)\n",
+			len(batch), dataPath, total)
 	}
+	health, err := client.Health()
+	if err != nil {
+		return fmt.Errorf("connecting to %s: %w", remote, err)
+	}
+	fmt.Printf("connected to %s: %d series of length %d\n",
+		remote, health.Series, health.Length)
+	return loop(client.QueryOutput, queryStr, maxRows)
+}
 
+func loop(exec executor, queryStr string, maxRows int) error {
+	if queryStr != "" {
+		return execute(exec, queryStr, maxRows)
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("tsq> ")
 	for sc.Scan() {
@@ -93,7 +121,7 @@ func run(dataPath, queryStr string, k int, space string, maxRows int) error {
 		if line == "" || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
 			break
 		}
-		if err := execute(db, line, maxRows); err != nil {
+		if err := execute(exec, line, maxRows); err != nil {
 			fmt.Println("error:", err)
 		}
 		fmt.Print("tsq> ")
@@ -101,16 +129,20 @@ func run(dataPath, queryStr string, k int, space string, maxRows int) error {
 	return sc.Err()
 }
 
-func execute(db *tsq.DB, src string, maxRows int) error {
-	out, err := db.Query(src)
+func execute(exec executor, src string, maxRows int) error {
+	out, err := exec(src)
 	if err != nil {
 		return err
 	}
+	cached := ""
+	if out.Stats.Cached {
+		cached = ", cached"
+	}
 	switch out.Kind {
 	case "SELFJOIN":
-		fmt.Printf("%d pairs (%.3f ms, %d node accesses, %d pages)\n",
+		fmt.Printf("%d pairs (%.3f ms, %d node accesses, %d pages%s)\n",
 			len(out.Pairs), float64(out.Stats.Elapsed.Microseconds())/1000,
-			out.Stats.NodeAccesses, out.Stats.PageReads)
+			out.Stats.NodeAccesses, out.Stats.PageReads, cached)
 		for i, p := range out.Pairs {
 			if i == maxRows {
 				fmt.Printf("  ... %d more\n", len(out.Pairs)-maxRows)
@@ -119,9 +151,9 @@ func execute(db *tsq.DB, src string, maxRows int) error {
 			fmt.Printf("  %-10s %-10s D=%.4f\n", p.A, p.B, p.Distance)
 		}
 	default:
-		fmt.Printf("%d matches (%.3f ms, %d node accesses, %d pages, %d verified)\n",
+		fmt.Printf("%d matches (%.3f ms, %d node accesses, %d pages, %d verified%s)\n",
 			len(out.Matches), float64(out.Stats.Elapsed.Microseconds())/1000,
-			out.Stats.NodeAccesses, out.Stats.PageReads, out.Stats.Candidates)
+			out.Stats.NodeAccesses, out.Stats.PageReads, out.Stats.Candidates, cached)
 		for i, m := range out.Matches {
 			if i == maxRows {
 				fmt.Printf("  ... %d more\n", len(out.Matches)-maxRows)

@@ -1,0 +1,168 @@
+// Command tsqd serves a tsq database over HTTP — the similarity-query
+// engine of Rafiei & Mendelzon (SIGMOD 1997) as a long-lived concurrent
+// service. It loads series from a binary snapshot (-snapshot) or a CSV
+// (-data), serves the JSON API of repro/internal/server, and on shutdown
+// (SIGINT/SIGTERM) writes the snapshot back if -snapshot was given.
+//
+// Usage:
+//
+//	tsqgen -count 500 -length 128 > walks.csv
+//	tsqd -data walks.csv -addr :8080
+//	tsqd -snapshot db.tsq -length 128        # empty DB, persisted on exit
+//
+//	curl localhost:8080/healthz
+//	curl -X POST localhost:8080/query \
+//	    -d '{"q": "RANGE SERIES '\''W0007'\'' EPS 2 TRANSFORM mavg(20)"}'
+//
+// See the repository README for the full endpoint list.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	tsq "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dataPath = flag.String("data", "", "CSV file of series to load: name,v1,v2,...")
+		snapPath = flag.String("snapshot", "", "binary snapshot to load at startup (if present) and write at shutdown")
+		length   = flag.Int("length", 0, "series length when starting with an empty DB (no -data, no snapshot)")
+		k        = flag.Int("k", 2, "DFT coefficients kept in the index")
+		space    = flag.String("space", "polar", "feature space: polar or rect")
+		cache    = flag.Int("cache", tsq.DefaultCacheSize, "query result cache entries (0 disables)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *dataPath, *snapPath, *length, *k, *space, *cache); err != nil {
+		fmt.Fprintln(os.Stderr, "tsqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize int) error {
+	db, origin, err := loadDB(dataPath, snapPath, length, k, space)
+	if err != nil {
+		return err
+	}
+	if cacheSize == 0 {
+		cacheSize = -1 // ServerOptions: negative disables, zero means default
+	}
+	srv := tsq.NewServer(db, tsq.ServerOptions{CacheSize: cacheSize})
+	log.Printf("tsqd: loaded %d series of length %d from %s", srv.Len(), srv.Length(), origin)
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           server.New(srv),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("tsqd: listening on %s", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("tsqd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("tsqd: shutdown: %v", err)
+	}
+	if snapPath != "" {
+		if err := saveSnapshot(srv, snapPath); err != nil {
+			return fmt.Errorf("saving snapshot: %w", err)
+		}
+		log.Printf("tsqd: snapshot saved to %s", snapPath)
+	}
+	return nil
+}
+
+// loadDB builds the database, preferring an existing snapshot over CSV
+// data over an empty store.
+func loadDB(dataPath, snapPath string, length, k int, space string) (*tsq.DB, string, error) {
+	if snapPath != "" {
+		f, err := os.Open(snapPath)
+		switch {
+		case err == nil:
+			defer f.Close()
+			db, err := tsq.ReadFrom(f)
+			if err != nil {
+				return nil, "", fmt.Errorf("snapshot %s: %w", snapPath, err)
+			}
+			return db, snapPath, nil
+		case !errors.Is(err, os.ErrNotExist):
+			return nil, "", err
+		}
+	}
+
+	if dataPath != "" {
+		batch, err := tsq.ReadCSVFile(dataPath)
+		if err != nil {
+			return nil, "", err
+		}
+		db, err := openEmpty(len(batch[0].Values), k, space)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := db.InsertBulk(batch); err != nil {
+			return nil, "", err
+		}
+		return db, dataPath, nil
+	}
+
+	if length <= 0 {
+		return nil, "", fmt.Errorf("-length is required when starting without -data or an existing snapshot")
+	}
+	db, err := openEmpty(length, k, space)
+	if err != nil {
+		return nil, "", err
+	}
+	return db, "empty store", nil
+}
+
+func openEmpty(length, k int, space string) (*tsq.DB, error) {
+	sp, err := tsq.ParseSpace(space)
+	if err != nil {
+		return nil, err
+	}
+	return tsq.Open(tsq.Options{Length: length, K: k, Space: sp})
+}
+
+// saveSnapshot writes the snapshot atomically: temp file, then rename.
+func saveSnapshot(srv *tsq.Server, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := srv.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,7 +1,9 @@
 package tsq
 
 import (
+	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/dataset"
 	"repro/internal/series"
@@ -59,6 +61,24 @@ func ReadCSV(r io.Reader) ([]NamedSeries, error) {
 		return nil, err
 	}
 	return convert(in), nil
+}
+
+// ReadCSVFile loads series from a CSV file, rejecting an empty data set —
+// the loading path shared by the tsqcli and tsqd commands.
+func ReadCSVFile(path string) ([]NamedSeries, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	batch, err := ReadCSV(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("tsq: no series in %s", path)
+	}
+	return batch, nil
 }
 
 // WriteCSV writes series as CSV rows of the form "name,v1,v2,...".

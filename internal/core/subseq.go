@@ -62,11 +62,32 @@ func (db *DB) SubsequenceScan(q []float64, eps float64) ([]SubseqResult, ExecSta
 // series (equivalent to Delete followed by Insert, preserving the name).
 // It returns the new internal ID.
 func (db *DB) Update(name string, values []float64) (int64, error) {
-	if _, ok := db.byName[name]; !ok {
+	id, ok := db.byName[name]
+	if !ok {
 		return 0, fmt.Errorf("core: unknown series %q", name)
 	}
+	// Validate the replacement before touching the stored series, so a
+	// rejected update cannot destroy data.
+	if len(values) != db.length {
+		return 0, fmt.Errorf("core: series %q has length %d, DB expects %d", name, len(values), db.length)
+	}
+	if _, err := db.schema.Extract(values); err != nil {
+		return 0, err
+	}
+	old, err := db.Series(id)
+	if err != nil {
+		return 0, err
+	}
 	db.Delete(name)
-	return db.Insert(name, values)
+	newID, err := db.Insert(name, values)
+	if err != nil {
+		// Should be unreachable after validation; restore the old series.
+		if _, rerr := db.Insert(name, old); rerr != nil {
+			return 0, fmt.Errorf("core: update of %q failed (%v) and restore failed: %w", name, err, rerr)
+		}
+		return 0, err
+	}
+	return newID, nil
 }
 
 // Compact rebuilds the paged relations, dropping records orphaned by

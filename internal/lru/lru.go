@@ -1,0 +1,98 @@
+// Package lru provides a small thread-safe LRU cache, used by the
+// server layer to absorb repeated similarity queries the way the
+// pagefile buffer pool absorbs repeated page reads.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a fixed-capacity least-recently-used map from string keys to
+// arbitrary values. All methods are safe for concurrent use. A Cache with
+// capacity <= 0 is a no-op: Add stores nothing and Get always misses.
+type Cache struct {
+	capacity int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits   int64
+	misses int64
+}
+
+type entry struct {
+	key   string
+	value any
+}
+
+// New creates a cache holding up to capacity entries.
+func New(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Capacity returns the configured capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Get returns the value stored under key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry).value, true
+}
+
+// Add stores value under key, evicting the least recently used entry if
+// the cache is full. Adding an existing key refreshes its value and
+// recency.
+func (c *Cache) Add(key string, value any) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+	}
+	c.entries[key] = c.order.PushFront(&entry{key: key, value: value})
+}
+
+// Purge empties the cache. Hit/miss counters are preserved.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.order.Init()
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// HitsMisses returns the accumulated hit and miss counts.
+func (c *Cache) HitsMisses() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

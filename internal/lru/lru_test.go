@@ -1,0 +1,98 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEvictionOrder(t *testing.T) {
+	c := New(2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should be cached")
+	}
+	c.Add("c", 3) // evicts b (least recently used; a was just touched)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should be cached", k)
+		}
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+func TestAddRefreshesExisting(t *testing.T) {
+	c := New(2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("a", 10) // refresh, not insert
+	c.Add("c", 3)  // evicts b
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 10 {
+		t.Fatalf("Get(a) = %v, %v; want 10, true", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestPurgeAndCounters(t *testing.T) {
+	c := New(4)
+	c.Add("a", 1)
+	c.Get("a")
+	c.Get("missing")
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Purge = %d", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should be gone after Purge")
+	}
+	hits, misses := c.HitsMisses()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("hits, misses = %d, %d; want 1, 2", hits, misses)
+	}
+}
+
+func TestZeroCapacityIsNoop(t *testing.T) {
+	c := New(0)
+	c.Add("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("zero-capacity cache should never hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%32)
+				if i%3 == 0 {
+					c.Add(k, i)
+				} else {
+					c.Get(k)
+				}
+				if i%100 == 0 {
+					c.Purge()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("Len = %d exceeds capacity", c.Len())
+	}
+}

@@ -23,6 +23,37 @@ func Parse(src string) (*Statement, error) {
 	return stmt, nil
 }
 
+// ParseTransformSpec parses a standalone transformation pipeline such as
+// "mavg(20)|reverse()" — the same grammar as the TRANSFORM clause of the
+// query language. An empty (or all-blank) spec yields no calls, meaning
+// the identity transformation.
+func ParseTransformSpec(src string) ([]TransformCall, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if p.peek().kind == tokEOF {
+		return nil, nil
+	}
+	var calls []TransformCall
+	for {
+		call, err := p.parseTransformCall()
+		if err != nil {
+			return nil, err
+		}
+		calls = append(calls, call)
+		if p.peek().kind != tokPipe {
+			break
+		}
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input at %d: %q", p.peek().pos, p.peek().text)
+	}
+	return calls, nil
+}
+
 type parser struct {
 	toks []token
 	pos  int

@@ -1,0 +1,172 @@
+// Package server exposes a tsq.Server over HTTP/JSON: series CRUD, the
+// three paper query kinds (range, nearest-neighbor, join) plus
+// subsequence scans, raw query-language statements, and cost/health
+// introspection. The same wire types back the Client used by
+// `tsqcli --remote`.
+package server
+
+import (
+	"time"
+
+	tsq "repro"
+)
+
+// SeriesPayload is one named series on the wire.
+type SeriesPayload struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// InsertResponse acknowledges inserts.
+type InsertResponse struct {
+	Inserted int `json:"inserted"`
+	Series   int `json:"series"`
+}
+
+// DeleteResponse acknowledges deletes.
+type DeleteResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+// NamesResponse lists stored series names.
+type NamesResponse struct {
+	Names []string `json:"names"`
+}
+
+// StatsPayload is one query execution's cost on the wire — the paper's
+// per-query measures plus the cache marker.
+type StatsPayload struct {
+	ElapsedUS    float64 `json:"elapsed_us"`
+	NodeAccesses int     `json:"node_accesses"`
+	PageReads    int64   `json:"page_reads"`
+	Candidates   int     `json:"candidates"`
+	Cached       bool    `json:"cached"`
+}
+
+func toStatsPayload(st tsq.Stats) StatsPayload {
+	return StatsPayload{
+		ElapsedUS:    float64(st.Elapsed) / float64(time.Microsecond),
+		NodeAccesses: st.NodeAccesses,
+		PageReads:    st.PageReads,
+		Candidates:   st.Candidates,
+		Cached:       st.Cached,
+	}
+}
+
+// MatchPayload is one range/NN answer on the wire.
+type MatchPayload struct {
+	Name     string  `json:"name"`
+	Distance float64 `json:"distance"`
+}
+
+// PairPayload is one join answer on the wire.
+type PairPayload struct {
+	A        string  `json:"a"`
+	B        string  `json:"b"`
+	Distance float64 `json:"distance"`
+}
+
+// SubseqMatchPayload is one subsequence-scan answer on the wire.
+type SubseqMatchPayload struct {
+	Name     string  `json:"name"`
+	Offset   int     `json:"offset"`
+	Distance float64 `json:"distance"`
+}
+
+// QueryRequest carries a raw query-language statement.
+type QueryRequest struct {
+	Q string `json:"q"`
+}
+
+// QueryResponse is the result of any query endpoint.
+type QueryResponse struct {
+	Kind    string         `json:"kind"`
+	Matches []MatchPayload `json:"matches,omitempty"`
+	Pairs   []PairPayload  `json:"pairs,omitempty"`
+	Stats   StatsPayload   `json:"stats"`
+}
+
+// RangeRequest asks for all series within Eps of the query under the
+// transformation. Exactly one of Series (a stored name) or Values (a
+// literal series) must be set. Transform uses the query language's
+// pipeline syntax (e.g. "mavg(20)", "reverse()|mavg(20)"); empty means
+// identity. Using selects "index" (default), "scan", or "scantime".
+type RangeRequest struct {
+	Series    string      `json:"series,omitempty"`
+	Values    []float64   `json:"values,omitempty"`
+	Eps       float64     `json:"eps"`
+	Transform string      `json:"transform,omitempty"`
+	Both      bool        `json:"both,omitempty"`
+	Using     string      `json:"using,omitempty"`
+	Mean      *[2]float64 `json:"mean,omitempty"`
+	Std       *[2]float64 `json:"std,omitempty"`
+}
+
+// NNRequest asks for the K nearest stored series.
+type NNRequest struct {
+	Series    string    `json:"series,omitempty"`
+	Values    []float64 `json:"values,omitempty"`
+	K         int       `json:"k"`
+	Transform string    `json:"transform,omitempty"`
+	Both      bool      `json:"both,omitempty"`
+	Using     string    `json:"using,omitempty"`
+}
+
+// SelfJoinRequest asks for all within-eps pairs under one transformation.
+// Method is one of Table 1's "a", "b", "c", "d" (default "d").
+type SelfJoinRequest struct {
+	Eps       float64 `json:"eps"`
+	Transform string  `json:"transform,omitempty"`
+	Method    string  `json:"method,omitempty"`
+}
+
+// JoinRequest asks for the two-sided join: ordered pairs (x, y) with
+// D(L(nf(x)), R(nf(y))) <= eps.
+type JoinRequest struct {
+	Eps   float64 `json:"eps"`
+	Left  string  `json:"left,omitempty"`
+	Right string  `json:"right,omitempty"`
+}
+
+// SubseqRequest asks for stored series containing a window within Eps of
+// Values (raw Euclidean distance).
+type SubseqRequest struct {
+	Values []float64 `json:"values"`
+	Eps    float64   `json:"eps"`
+}
+
+// SubseqResponse is the subsequence endpoint's result.
+type SubseqResponse struct {
+	Matches []SubseqMatchPayload `json:"matches"`
+	Stats   StatsPayload         `json:"stats"`
+}
+
+// HealthResponse reports liveness.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	Series        int     `json:"series"`
+	Length        int     `json:"length"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// StatsResponse reports the server's cumulative counters.
+type StatsResponse struct {
+	Series        int     `json:"series"`
+	Length        int     `json:"length"`
+	Queries       int64   `json:"queries"`
+	Writes        int64   `json:"writes"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheLen      int     `json:"cache_len"`
+	CacheCap      int     `json:"cache_cap"`
+	NodeAccesses  int64   `json:"node_accesses"`
+	PageReads     int64   `json:"page_reads"`
+	Candidates    int64   `json:"candidates"`
+	ElapsedUS     float64 `json:"elapsed_us"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ErrorResponse carries an error message.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,406 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	tsq "repro"
+)
+
+// maxBodyBytes bounds request bodies; the largest legitimate payload is a
+// bulk insert of a few thousand series.
+const maxBodyBytes = 64 << 20
+
+// New builds the HTTP handler serving s.
+//
+// Endpoints:
+//
+//	GET    /healthz               liveness + store size
+//	GET    /stats                 cumulative cost counters (paper's measures)
+//	GET    /series                stored names
+//	POST   /series                insert one {"name": ..., "values": [...]}
+//	POST   /series/batch          insert many [{"name": ..., "values": [...]}, ...]
+//	GET    /series/{name}         fetch stored values
+//	PUT    /series/{name}         replace values (reindexes)
+//	DELETE /series/{name}         remove
+//	POST   /query                 raw query-language statement {"q": "RANGE ..."}
+//	POST   /query/range           typed range query
+//	POST   /query/nn              typed k-NN query
+//	POST   /query/selfjoin        typed self join (Table 1 methods)
+//	POST   /query/join            typed two-sided join
+//	POST   /query/subsequence     typed subsequence scan
+func New(s *tsq.Server) http.Handler {
+	h := &handler{s: s}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", h.health)
+	mux.HandleFunc("GET /stats", h.stats)
+	mux.HandleFunc("GET /series", h.names)
+	mux.HandleFunc("POST /series", h.insert)
+	mux.HandleFunc("POST /series/batch", h.insertBatch)
+	mux.HandleFunc("GET /series/{name}", h.getSeries)
+	mux.HandleFunc("PUT /series/{name}", h.update)
+	mux.HandleFunc("DELETE /series/{name}", h.delete)
+	mux.HandleFunc("POST /query", h.query)
+	mux.HandleFunc("POST /query/range", h.rangeQuery)
+	mux.HandleFunc("POST /query/nn", h.nnQuery)
+	mux.HandleFunc("POST /query/selfjoin", h.selfJoin)
+	mux.HandleFunc("POST /query/join", h.join)
+	mux.HandleFunc("POST /query/subsequence", h.subsequence)
+	return mux
+}
+
+type handler struct {
+	s *tsq.Server
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// writeEngineError maps engine errors onto HTTP statuses by their cause:
+// missing series are 404, duplicate names 409, anything else (malformed
+// transforms, bad parameters) 400.
+func writeEngineError(w http.ResponseWriter, err error) {
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "unknown series"):
+		writeError(w, http.StatusNotFound, err)
+	case strings.Contains(msg, "duplicate series"):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, errors.New("bad request body: trailing data"))
+		return false
+	}
+	return true
+}
+
+func (h *handler) health(w http.ResponseWriter, r *http.Request) {
+	st := h.s.Stats()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Series:        st.Series,
+		Length:        st.Length,
+		UptimeSeconds: st.Uptime.Seconds(),
+	})
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	st := h.s.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Series:        st.Series,
+		Length:        st.Length,
+		Queries:       st.Queries,
+		Writes:        st.Writes,
+		CacheHits:     st.CacheHits,
+		CacheMisses:   st.CacheMisses,
+		CacheLen:      st.CacheLen,
+		CacheCap:      st.CacheCap,
+		NodeAccesses:  st.NodeAccesses,
+		PageReads:     st.PageReads,
+		Candidates:    st.Candidates,
+		ElapsedUS:     float64(st.Elapsed.Microseconds()),
+		UptimeSeconds: st.Uptime.Seconds(),
+	})
+}
+
+func (h *handler) names(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, NamesResponse{Names: h.s.Names()})
+}
+
+func (h *handler) insert(w http.ResponseWriter, r *http.Request) {
+	var req SeriesPayload
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if err := h.s.Insert(req.Name, req.Values); err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, InsertResponse{Inserted: 1, Series: h.s.Len()})
+}
+
+func (h *handler) insertBatch(w http.ResponseWriter, r *http.Request) {
+	var req []SeriesPayload
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	batch := make([]tsq.NamedSeries, len(req))
+	for i, p := range req {
+		batch[i] = tsq.NamedSeries{Name: p.Name, Values: p.Values}
+	}
+	if err := h.s.InsertAll(batch); err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, InsertResponse{Inserted: len(batch), Series: h.s.Len()})
+}
+
+func (h *handler) getSeries(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	values, err := h.s.Series(name)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SeriesPayload{Name: name, Values: values})
+}
+
+func (h *handler) update(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req SeriesPayload
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Name != "" && req.Name != name {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("body name %q does not match path name %q", req.Name, name))
+		return
+	}
+	if err := h.s.Update(name, req.Values); err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, InsertResponse{Inserted: 1, Series: h.s.Len()})
+}
+
+func (h *handler) delete(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: h.s.Delete(r.PathValue("name"))})
+}
+
+func toQueryResponse(kind string, matches []tsq.Match, pairs []tsq.Pair, st tsq.Stats) *QueryResponse {
+	resp := &QueryResponse{Kind: kind, Stats: toStatsPayload(st)}
+	resp.Matches = make([]MatchPayload, len(matches))
+	for i, m := range matches {
+		resp.Matches[i] = MatchPayload{Name: m.Name, Distance: m.Distance}
+	}
+	resp.Pairs = make([]PairPayload, len(pairs))
+	for i, p := range pairs {
+		resp.Pairs[i] = PairPayload{A: p.A, B: p.B, Distance: p.Distance}
+	}
+	return resp
+}
+
+func (h *handler) query(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Q) == "" {
+		writeError(w, http.StatusBadRequest, errors.New("empty query"))
+		return
+	}
+	out, err := h.s.Query(req.Q)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toQueryResponse(out.Kind, out.Matches, out.Pairs, out.Stats))
+}
+
+func parseUsing(using string) ([]tsq.QueryOpt, error) {
+	switch strings.ToLower(using) {
+	case "", "index":
+		return nil, nil
+	case "scan":
+		return []tsq.QueryOpt{tsq.With(tsq.UseScan)}, nil
+	case "scantime":
+		return []tsq.QueryOpt{tsq.With(tsq.UseScanTime)}, nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (want index, scan, or scantime)", using)
+	}
+}
+
+func (h *handler) rangeQuery(w http.ResponseWriter, r *http.Request) {
+	var req RangeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	t, err := tsq.ParseTransform(req.Transform)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := parseUsing(req.Using)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Both {
+		opts = append(opts, tsq.TransformBoth())
+	}
+	if req.Mean != nil {
+		opts = append(opts, tsq.MeanRange(req.Mean[0], req.Mean[1]))
+	}
+	if req.Std != nil {
+		opts = append(opts, tsq.StdRange(req.Std[0], req.Std[1]))
+	}
+	var (
+		matches []tsq.Match
+		st      tsq.Stats
+	)
+	switch {
+	case req.Series != "" && len(req.Values) > 0:
+		writeError(w, http.StatusBadRequest, errors.New("set series or values, not both"))
+		return
+	case req.Series != "":
+		matches, st, err = h.s.RangeByName(req.Series, req.Eps, t, opts...)
+	case len(req.Values) > 0:
+		matches, st, err = h.s.Range(req.Values, req.Eps, t, opts...)
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("one of series or values is required"))
+		return
+	}
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toQueryResponse("RANGE", matches, nil, st))
+}
+
+func (h *handler) nnQuery(w http.ResponseWriter, r *http.Request) {
+	var req NNRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	t, err := tsq.ParseTransform(req.Transform)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := parseUsing(req.Using)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Both {
+		opts = append(opts, tsq.TransformBoth())
+	}
+	if req.K < 1 {
+		writeError(w, http.StatusBadRequest, errors.New("k must be a positive integer"))
+		return
+	}
+	var (
+		matches []tsq.Match
+		st      tsq.Stats
+	)
+	switch {
+	case req.Series != "" && len(req.Values) > 0:
+		writeError(w, http.StatusBadRequest, errors.New("set series or values, not both"))
+		return
+	case req.Series != "":
+		matches, st, err = h.s.NNByName(req.Series, req.K, t, opts...)
+	case len(req.Values) > 0:
+		matches, st, err = h.s.NN(req.Values, req.K, t, opts...)
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("one of series or values is required"))
+		return
+	}
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toQueryResponse("NN", matches, nil, st))
+}
+
+func parseJoinMethod(m string) (tsq.JoinMethod, error) {
+	switch strings.ToLower(m) {
+	case "a":
+		return tsq.JoinScanNaive, nil
+	case "b":
+		return tsq.JoinScanEarlyAbandon, nil
+	case "c":
+		return tsq.JoinIndexPlain, nil
+	case "", "d":
+		return tsq.JoinIndexTransform, nil
+	default:
+		return 0, fmt.Errorf("unknown join method %q (want a, b, c, or d)", m)
+	}
+}
+
+func (h *handler) selfJoin(w http.ResponseWriter, r *http.Request) {
+	var req SelfJoinRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	t, err := tsq.ParseTransform(req.Transform)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	method, err := parseJoinMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pairs, st, err := h.s.SelfJoin(req.Eps, t, method)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toQueryResponse("SELFJOIN", nil, pairs, st))
+}
+
+func (h *handler) join(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	left, err := tsq.ParseTransform(req.Left)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	right, err := tsq.ParseTransform(req.Right)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pairs, st, err := h.s.JoinTwoSided(req.Eps, left, right)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toQueryResponse("JOIN", nil, pairs, st))
+}
+
+func (h *handler) subsequence(w http.ResponseWriter, r *http.Request) {
+	var req SubseqRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Values) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("values are required"))
+		return
+	}
+	matches, st, err := h.s.Subsequence(req.Values, req.Eps)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	resp := SubseqResponse{Stats: toStatsPayload(st)}
+	resp.Matches = make([]SubseqMatchPayload, len(matches))
+	for i, m := range matches {
+		resp.Matches[i] = SubseqMatchPayload{Name: m.Name, Offset: m.Offset, Distance: m.Distance}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

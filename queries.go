@@ -33,6 +33,9 @@ type Stats struct {
 	PageReads int64
 	// Candidates is how many series reached exact verification.
 	Candidates int
+	// Cached reports that the result came from a Server's query cache;
+	// the remaining fields then describe the original execution.
+	Cached bool
 }
 
 func fromExec(st core.ExecStats) Stats {

@@ -1,0 +1,438 @@
+package tsq
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/feature"
+	"repro/internal/lru"
+)
+
+// Server wraps a DB for long-lived concurrent use: many readers execute
+// queries against the index simultaneously while writers insert, update,
+// and delete under an exclusive lock. It also keeps a small LRU cache of
+// query results, keyed by the query's canonical encoding (source, eps/k,
+// Transform.Canonical, strategy, bounds), so repeated queries — the common
+// shape of dashboard and monitoring traffic — skip the index entirely.
+// Every write purges the cache, which keeps cached answers exactly
+// consistent with the store.
+//
+// Server is the session layer behind cmd/tsqd's HTTP API, and equally
+// usable embedded in any concurrent program.
+type Server struct {
+	mu    sync.RWMutex
+	db    *DB
+	cache *lru.Cache
+
+	started time.Time
+
+	queries      atomic.Int64
+	writes       atomic.Int64
+	nodeAccesses atomic.Int64
+	pageReads    atomic.Int64
+	candidates   atomic.Int64
+	elapsed      atomic.Int64 // nanoseconds of real query execution
+}
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// CacheSize is the number of query results kept in the LRU cache.
+	// 0 selects the default (256); negative disables caching.
+	CacheSize int
+}
+
+// DefaultCacheSize is the result-cache capacity used when
+// ServerOptions.CacheSize is zero.
+const DefaultCacheSize = 256
+
+// NewServer wraps db. The Server owns the DB from here on: all access must
+// go through Server methods or the locking guarantees are void.
+func NewServer(db *DB, opts ServerOptions) *Server {
+	size := opts.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	if size < 0 {
+		size = 0
+	}
+	return &Server{
+		db:      db,
+		cache:   lru.New(size),
+		started: time.Now(),
+	}
+}
+
+// ServerStats is a point-in-time snapshot of a Server's cumulative
+// counters — the paper's per-query cost measures (node accesses, page
+// reads, verified candidates) summed over every query served, plus cache
+// and traffic totals.
+type ServerStats struct {
+	Series int
+	Length int
+
+	Queries     int64
+	Writes      int64
+	CacheHits   int64
+	CacheMisses int64
+	CacheLen    int
+	CacheCap    int
+
+	// Cumulative execution cost over all non-cached queries.
+	NodeAccesses int64
+	PageReads    int64
+	Candidates   int64
+	Elapsed      time.Duration
+
+	Uptime time.Duration
+}
+
+// Stats returns the Server's cumulative counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.RLock()
+	series, length := s.db.Len(), s.db.Length()
+	s.mu.RUnlock()
+	hits, misses := s.cache.HitsMisses()
+	return ServerStats{
+		Series:       series,
+		Length:       length,
+		Queries:      s.queries.Load(),
+		Writes:       s.writes.Load(),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		CacheLen:     s.cache.Len(),
+		CacheCap:     s.cache.Capacity(),
+		NodeAccesses: s.nodeAccesses.Load(),
+		PageReads:    s.pageReads.Load(),
+		Candidates:   s.candidates.Load(),
+		Elapsed:      time.Duration(s.elapsed.Load()),
+		Uptime:       time.Since(s.started),
+	}
+}
+
+func (s *Server) record(st Stats) {
+	s.nodeAccesses.Add(int64(st.NodeAccesses))
+	s.pageReads.Add(st.PageReads)
+	s.candidates.Add(int64(st.Candidates))
+	s.elapsed.Add(int64(st.Elapsed))
+}
+
+// write runs fn under the exclusive lock. fn reports whether it (possibly)
+// mutated the store; only then is the result cache purged and the write
+// counter bumped — a rejected insert or a delete of a missing name is a
+// no-op and must not evict cached results.
+func (s *Server) write(fn func() (mutated bool, err error)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mutated, err := fn()
+	if mutated {
+		s.writes.Add(1)
+		s.cache.Purge()
+	}
+	return err
+}
+
+// Insert stores a named series. See DB.Insert.
+func (s *Server) Insert(name string, values []float64) error {
+	return s.write(func() (bool, error) {
+		err := s.db.Insert(name, values)
+		return err == nil, err
+	})
+}
+
+// InsertAll inserts a batch atomically: on any error (duplicate name,
+// wrong length) every series inserted so far is rolled back and the store
+// is unchanged — unlike DB.InsertAll, which stops at the first error and
+// keeps the prefix. Atomicity makes failed uploads cleanly retryable.
+func (s *Server) InsertAll(batch []NamedSeries) error {
+	return s.write(func() (bool, error) {
+		for i, b := range batch {
+			if err := s.db.Insert(b.Name, b.Values); err != nil {
+				for j := i - 1; j >= 0; j-- {
+					s.db.Delete(batch[j].Name)
+				}
+				return false, err
+			}
+		}
+		return len(batch) > 0, nil
+	})
+}
+
+// InsertBulk bulk-loads a batch into an empty DB. See DB.InsertBulk.
+func (s *Server) InsertBulk(batch []NamedSeries) error {
+	// Conservatively treat even a failed bulk load as a mutation: unlike
+	// Insert/Update, a late error can leave partial state behind.
+	return s.write(func() (bool, error) { return true, s.db.InsertBulk(batch) })
+}
+
+// Update replaces the values stored under an existing name.
+func (s *Server) Update(name string, values []float64) error {
+	return s.write(func() (bool, error) {
+		err := s.db.Update(name, values)
+		return err == nil, err
+	})
+}
+
+// Delete removes a series by name, reporting whether it was present.
+func (s *Server) Delete(name string) bool {
+	var present bool
+	_ = s.write(func() (bool, error) {
+		present = s.db.Delete(name)
+		return present, nil
+	})
+	return present
+}
+
+// Compact rebuilds the storage pages. See DB.Compact.
+func (s *Server) Compact() (int, error) {
+	var n int
+	err := s.write(func() (bool, error) {
+		var err error
+		n, err = s.db.Compact()
+		return true, err
+	})
+	return n, err
+}
+
+// Len returns the number of stored series.
+func (s *Server) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Len()
+}
+
+// Length returns the fixed series length.
+func (s *Server) Length() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Length()
+}
+
+// Names returns the stored series names in insertion order.
+func (s *Server) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Names()
+}
+
+// Series returns a copy of the stored values for a name.
+func (s *Server) Series(name string) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Series(name)
+}
+
+// WriteTo serializes a consistent snapshot of the DB. See DB.WriteTo.
+func (s *Server) WriteTo(w io.Writer) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.WriteTo(w)
+}
+
+// cachedResult is the value stored in the LRU cache — at most one of the
+// payload fields is set, matching the query kind.
+type cachedResult struct {
+	matches []Match
+	pairs   []Pair
+	subseq  []SubseqMatch
+	output  *Output
+	stats   Stats
+}
+
+// readQuery serves one query under the shared lock, consulting the result
+// cache first. The cache Add happens while the read lock is still held, so
+// a concurrent writer's purge can never leave a stale entry behind: purge
+// runs under the exclusive lock, strictly before or after this critical
+// section.
+func (s *Server) readQuery(key string, compute func() (cachedResult, error)) (cachedResult, Stats, error) {
+	s.queries.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if v, ok := s.cache.Get(key); ok {
+		r := v.(cachedResult)
+		st := r.stats
+		st.Cached = true
+		return r, st, nil
+	}
+	r, err := compute()
+	if err != nil {
+		return cachedResult{}, Stats{}, err
+	}
+	s.cache.Add(key, r)
+	s.record(r.stats)
+	return r, r.stats, nil
+}
+
+func cloneMatches(in []Match) []Match {
+	out := make([]Match, len(in))
+	copy(out, in)
+	return out
+}
+
+func clonePairs(in []Pair) []Pair {
+	out := make([]Pair, len(in))
+	copy(out, in)
+	return out
+}
+
+func cloneSubseq(in []SubseqMatch) []SubseqMatch {
+	out := make([]SubseqMatch, len(in))
+	copy(out, in)
+	return out
+}
+
+// valuesKey hashes a literal query series for use in cache keys. SHA-256
+// makes accidental (or adversarial) key collisions between different
+// query vectors a non-concern.
+func valuesKey(v []float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	return strconv.Itoa(len(v)) + "." + hex.EncodeToString(h.Sum(nil))
+}
+
+func momentsKey(m feature.MomentBounds) string {
+	if m == (feature.MomentBounds{}) {
+		return "-"
+	}
+	return fmt.Sprintf("%g:%g:%g:%g", m.MeanLo, m.MeanHi, m.StdLo, m.StdHi)
+}
+
+func optsKey(opts []QueryOpt) string {
+	var qo queryOpts
+	for _, o := range opts {
+		o(&qo)
+	}
+	return fmt.Sprintf("s%d.b%t.m%s", int(qo.strategy), qo.both, momentsKey(qo.moments))
+}
+
+// Range runs DB.Range under the shared lock, with result caching.
+func (s *Server) Range(q []float64, eps float64, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
+	key := fmt.Sprintf("range|v=%s|eps=%g|t=%s|%s", valuesKey(q), eps, t.Canonical(), optsKey(opts))
+	return s.matchQuery(key, func() ([]Match, Stats, error) {
+		return s.db.Range(q, eps, t, opts...)
+	})
+}
+
+// RangeByName runs DB.RangeByName under the shared lock, with result
+// caching.
+func (s *Server) RangeByName(name string, eps float64, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
+	key := fmt.Sprintf("range|n=%q|eps=%g|t=%s|%s", name, eps, t.Canonical(), optsKey(opts))
+	return s.matchQuery(key, func() ([]Match, Stats, error) {
+		return s.db.RangeByName(name, eps, t, opts...)
+	})
+}
+
+// NN runs DB.NN under the shared lock, with result caching.
+func (s *Server) NN(q []float64, k int, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
+	key := fmt.Sprintf("nn|v=%s|k=%d|t=%s|%s", valuesKey(q), k, t.Canonical(), optsKey(opts))
+	return s.matchQuery(key, func() ([]Match, Stats, error) {
+		return s.db.NN(q, k, t, opts...)
+	})
+}
+
+// NNByName runs DB.NNByName under the shared lock, with result caching.
+func (s *Server) NNByName(name string, k int, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
+	key := fmt.Sprintf("nn|n=%q|k=%d|t=%s|%s", name, k, t.Canonical(), optsKey(opts))
+	return s.matchQuery(key, func() ([]Match, Stats, error) {
+		return s.db.NNByName(name, k, t, opts...)
+	})
+}
+
+func (s *Server) matchQuery(key string, run func() ([]Match, Stats, error)) ([]Match, Stats, error) {
+	r, st, err := s.readQuery(key, func() (cachedResult, error) {
+		m, qst, err := run()
+		if err != nil {
+			return cachedResult{}, err
+		}
+		return cachedResult{matches: m, stats: qst}, nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return cloneMatches(r.matches), st, nil
+}
+
+// SelfJoin runs DB.SelfJoin under the shared lock, with result caching.
+func (s *Server) SelfJoin(eps float64, t Transform, method JoinMethod) ([]Pair, Stats, error) {
+	key := fmt.Sprintf("selfjoin|eps=%g|t=%s|m=%d", eps, t.Canonical(), int(method))
+	return s.pairsQuery(key, func() ([]Pair, Stats, error) {
+		return s.db.SelfJoin(eps, t, method)
+	})
+}
+
+// JoinTwoSided runs DB.JoinTwoSided under the shared lock, with result
+// caching.
+func (s *Server) JoinTwoSided(eps float64, left, right Transform) ([]Pair, Stats, error) {
+	key := fmt.Sprintf("join2|eps=%g|l=%s|r=%s", eps, left.Canonical(), right.Canonical())
+	return s.pairsQuery(key, func() ([]Pair, Stats, error) {
+		return s.db.JoinTwoSided(eps, left, right)
+	})
+}
+
+func (s *Server) pairsQuery(key string, run func() ([]Pair, Stats, error)) ([]Pair, Stats, error) {
+	r, st, err := s.readQuery(key, func() (cachedResult, error) {
+		p, qst, err := run()
+		if err != nil {
+			return cachedResult{}, err
+		}
+		return cachedResult{pairs: p, stats: qst}, nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return clonePairs(r.pairs), st, nil
+}
+
+// Subsequence runs DB.Subsequence under the shared lock, with result
+// caching.
+func (s *Server) Subsequence(q []float64, eps float64) ([]SubseqMatch, Stats, error) {
+	key := fmt.Sprintf("subseq|v=%s|eps=%g", valuesKey(q), eps)
+	r, st, err := s.readQuery(key, func() (cachedResult, error) {
+		m, qst, err := s.db.Subsequence(q, eps)
+		if err != nil {
+			return cachedResult{}, err
+		}
+		return cachedResult{subseq: m, stats: qst}, nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return cloneSubseq(r.subseq), st, nil
+}
+
+// Query parses and executes one statement of the query language under the
+// shared lock, with result caching keyed by the statement text. Only
+// leading/trailing space is trimmed: interior whitespace can be
+// significant inside quoted series names, so two statements share a cache
+// entry only when they are literally the same statement.
+func (s *Server) Query(src string) (*Output, error) {
+	key := "q|" + strings.TrimSpace(src)
+	r, st, err := s.readQuery(key, func() (cachedResult, error) {
+		out, err := s.db.Query(src)
+		if err != nil {
+			return cachedResult{}, err
+		}
+		return cachedResult{output: out, stats: out.Stats}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Output{
+		Kind:    r.output.Kind,
+		Matches: cloneMatches(r.output.Matches),
+		Pairs:   clonePairs(r.output.Pairs),
+		Stats:   st,
+	}, nil
+}

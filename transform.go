@@ -2,8 +2,11 @@ package tsq
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 
+	"repro/internal/query"
 	"repro/internal/transform"
 )
 
@@ -116,6 +119,131 @@ func (t Transform) String() string {
 		}
 	}
 	return strings.Join(parts, "|")
+}
+
+// Canonical renders the transformation as an unambiguous query-language
+// pipeline: equal transformations always produce equal strings, and
+// (cost aside) ParseTransform inverts it. Unlike String, it spells out
+// every wmavg weight. Used as the cache key component for server-side
+// result caching.
+func (t Transform) Canonical() string {
+	var b strings.Builder
+	switch {
+	case t.warp != 0:
+		fmt.Fprintf(&b, "warp(%d)", t.warp)
+	case len(t.steps) == 0:
+		b.WriteString("identity()")
+	default:
+		for i, s := range t.steps {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			switch s.kind {
+			case "mavg":
+				fmt.Fprintf(&b, "mavg(%d)", int(s.arg))
+			case "wmavg":
+				b.WriteString("wmavg(")
+				for j, w := range s.ws {
+					if j > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(strconv.FormatFloat(w, 'g', -1, 64))
+				}
+				b.WriteByte(')')
+			case "reverse":
+				b.WriteString("reverse()")
+			default:
+				fmt.Fprintf(&b, "%s(%s)", s.kind, strconv.FormatFloat(s.arg, 'g', -1, 64))
+			}
+		}
+	}
+	if t.cost != 0 {
+		fmt.Fprintf(&b, "@cost=%s", strconv.FormatFloat(t.cost, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// ParseTransform parses the query language's transformation syntax — e.g.
+// "mavg(20)", "reverse()|mavg(20)", "warp(2)" — into a Transform. The
+// empty string is the identity. This is the wire format the HTTP server
+// accepts in its typed query endpoints.
+func ParseTransform(spec string) (Transform, error) {
+	calls, err := query.ParseTransformSpec(spec)
+	if err != nil {
+		return Transform{}, err
+	}
+	var t Transform
+	for _, c := range calls {
+		var step Transform
+		switch c.Name {
+		case "identity":
+			if err := wantTransformArgs(c, 0); err != nil {
+				return Transform{}, err
+			}
+			continue
+		case "mavg":
+			if err := wantTransformArgs(c, 1); err != nil {
+				return Transform{}, err
+			}
+			l, err := positiveIntArg(c, 0)
+			if err != nil {
+				return Transform{}, err
+			}
+			step = MovingAverage(l)
+		case "wmavg":
+			if len(c.Args) < 1 {
+				return Transform{}, fmt.Errorf("tsq: wmavg takes at least one weight")
+			}
+			step = WeightedMovingAverage(c.Args...)
+		case "reverse":
+			if err := wantTransformArgs(c, 0); err != nil {
+				return Transform{}, err
+			}
+			step = Reverse()
+		case "scale":
+			if err := wantTransformArgs(c, 1); err != nil {
+				return Transform{}, err
+			}
+			step = Scale(c.Args[0])
+		case "shift":
+			if err := wantTransformArgs(c, 1); err != nil {
+				return Transform{}, err
+			}
+			step = Shift(c.Args[0])
+		case "warp":
+			if err := wantTransformArgs(c, 1); err != nil {
+				return Transform{}, err
+			}
+			// Same bounds as the query language's TRANSFORM clause.
+			v := c.Args[0]
+			if v != math.Trunc(v) || v < 2 || v > 64 {
+				return Transform{}, fmt.Errorf("tsq: warp argument must be an integer in [2, 64], got %g", v)
+			}
+			if len(calls) != 1 {
+				return Transform{}, fmt.Errorf("tsq: warp cannot be composed with other transformations")
+			}
+			return Warp(int(v)), nil
+		default:
+			return Transform{}, fmt.Errorf("tsq: unknown transformation %q", c.Name)
+		}
+		t = t.Then(step)
+	}
+	return t, nil
+}
+
+func wantTransformArgs(c query.TransformCall, n int) error {
+	if len(c.Args) != n {
+		return fmt.Errorf("tsq: %s takes %d argument(s), got %d", c.Name, n, len(c.Args))
+	}
+	return nil
+}
+
+func positiveIntArg(c query.TransformCall, i int) (int, error) {
+	v := c.Args[i]
+	if v != math.Trunc(v) || v < 1 {
+		return 0, fmt.Errorf("tsq: %s argument must be a positive integer, got %g", c.Name, v)
+	}
+	return int(v), nil
 }
 
 // materialize builds the concrete transformation for series length n,

@@ -29,10 +29,25 @@
 //
 //	// Or the query language:
 //	out, _ := db.Query("RANGE SERIES 'BBA' EPS 2.75 TRANSFORM mavg(20)")
+//
+// # Serving
+//
+// A DB is safe for concurrent readers but not for writes. For a
+// long-lived concurrent service, wrap it in a Server: queries run in
+// parallel under a shared lock while inserts, updates, and deletes take
+// an exclusive lock, and an LRU cache absorbs repeated queries:
+//
+//	srv := tsq.NewServer(db, tsq.ServerOptions{})
+//	matches, stats, _ := srv.RangeByName("BBA", 2.75, tsq.MovingAverage(20))
+//
+// Command tsqd (cmd/tsqd) serves a Server over an HTTP/JSON API — see
+// repro/internal/server and the README's "Running the server" section —
+// and tsqcli's -remote flag sends query-language statements to it.
 package tsq
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/feature"
@@ -53,6 +68,19 @@ const (
 	// translations (Theorem 2).
 	Rect
 )
+
+// ParseSpace parses a feature-space name ("polar" or "rect", any case)
+// for command-line and wire use.
+func ParseSpace(s string) (Space, error) {
+	switch strings.ToLower(s) {
+	case "polar":
+		return Polar, nil
+	case "rect":
+		return Rect, nil
+	default:
+		return 0, fmt.Errorf("tsq: unknown space %q (want polar or rect)", s)
+	}
+}
 
 // Options configures a DB.
 type Options struct {
@@ -78,7 +106,8 @@ type Options struct {
 }
 
 // DB is an indexed time-series store. It is safe for concurrent reads;
-// writes require external synchronization.
+// writes require external synchronization (or wrap the DB in a Server,
+// which provides it).
 type DB struct {
 	eng    *core.DB
 	length int
