@@ -1,12 +1,21 @@
 GO ?= go
 
-.PHONY: build test vet fmt serve clean
+.PHONY: build test vet fmt serve clean bench-smoke bench-throughput
 
 build:
 	$(GO) build ./...
 
 test: vet
 	$(GO) test -race ./...
+
+# Run every benchmark exactly once — a rot check, not a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Measure concurrent mixed read/write queries/sec against a tsq.Server at
+# shard counts 1, 2, 4, 8 and write the report to BENCH_2.json.
+bench-throughput:
+	TSQ_BENCH_OUT=$(CURDIR)/BENCH_2.json $(GO) test -run TestThroughputReport -v .
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,200 @@
+// Concurrent server-throughput benchmarks for the sharded engine: mixed
+// read/write traffic against a tsq.Server at growing shard counts. The
+// single-store engine serializes every write against every reader behind
+// one RWMutex; the sharded engine locks only the written shard, so
+// mixed-workload queries/sec should grow with the shard count on a
+// multicore box.
+//
+// Two entry points share the workload:
+//
+//   - BenchmarkServerThroughput/shards-N — standard go-bench surface,
+//     exercised once per CI run (-benchtime=1x) so it cannot rot;
+//   - TestThroughputReport — gated by TSQ_BENCH_OUT; measures QPS per
+//     shard count and writes the JSON report `make bench-throughput`
+//     publishes as BENCH_2.json.
+package tsq_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	tsq "repro"
+)
+
+const (
+	throughputSeries = 800
+	throughputLength = 64
+	// One write per writeEvery operations; the rest are range/NN queries.
+	throughputWriteEvery = 5
+)
+
+// newThroughputServer builds a Server over a bulk-loaded store. The
+// result cache is disabled: the benchmark measures engine and locking
+// throughput, not cache hits (a mixed workload would mostly purge it
+// anyway).
+func newThroughputServer(tb testing.TB, shards int) (*tsq.Server, []tsq.NamedSeries) {
+	tb.Helper()
+	walks := tsq.RandomWalks(throughputSeries, throughputLength, 1997)
+	db, err := tsq.Open(tsq.Options{Length: throughputLength, Shards: shards})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.InsertBulk(walks); err != nil {
+		tb.Fatal(err)
+	}
+	return tsq.NewServer(db, tsq.ServerOptions{CacheSize: -1}), walks
+}
+
+// throughputOp runs the i-th operation of a worker: mostly similarity
+// queries over stable series, with an insert/delete churn write mixed in
+// every throughputWriteEvery ops.
+func throughputOp(s *tsq.Server, walks []tsq.NamedSeries, worker, i int) error {
+	if i%throughputWriteEvery == 0 {
+		name := fmt.Sprintf("churn-%d-%d", worker, i)
+		if err := s.Insert(name, walks[i%len(walks)].Values); err != nil {
+			return err
+		}
+		if !s.Delete(name) {
+			return fmt.Errorf("churn series %s vanished", name)
+		}
+		return nil
+	}
+	name := walks[(worker*31+i)%len(walks)].Name
+	if i%2 == 0 {
+		_, _, err := s.RangeByName(name, 4, tsq.MovingAverage(10))
+		return err
+	}
+	_, _, err := s.NNByName(name, 3, tsq.Identity())
+	return err
+}
+
+func BenchmarkServerThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			s, walks := newThroughputServer(b, shards)
+			var worker atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(worker.Add(1))
+				i := 0
+				for pb.Next() {
+					if err := throughputOp(s, walks, w, i); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// throughputPoint is one row of BENCH_2.json.
+type throughputPoint struct {
+	Shards  int     `json:"shards"`
+	Ops     int     `json:"ops"`
+	Seconds float64 `json:"seconds"`
+	QPS     float64 `json:"qps"`
+}
+
+// measureThroughput runs workers*opsPerWorker mixed operations per trial
+// and returns the best of three trials (wall-clock noise on shared CI
+// hardware is one-sided: interference only ever slows a trial down).
+func measureThroughput(tb testing.TB, shards, workers, opsPerWorker int) throughputPoint {
+	best := throughputPoint{}
+	for trial := 0; trial < 3; trial++ {
+		p := measureThroughputOnce(tb, shards, workers, opsPerWorker)
+		if p.QPS > best.QPS {
+			best = p
+		}
+	}
+	return best
+}
+
+func measureThroughputOnce(tb testing.TB, shards, workers, opsPerWorker int) throughputPoint {
+	s, walks := newThroughputServer(tb, shards)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				if err := throughputOp(s, walks, w, i); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		tb.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	ops := workers * opsPerWorker
+	return throughputPoint{
+		Shards:  shards,
+		Ops:     ops,
+		Seconds: elapsed.Seconds(),
+		QPS:     float64(ops) / elapsed.Seconds(),
+	}
+}
+
+// TestThroughputReport writes the queries/sec-vs-shard-count report to
+// the path in TSQ_BENCH_OUT (skipped when unset — this is a measurement,
+// not a correctness test; `make bench-throughput` drives it).
+func TestThroughputReport(t *testing.T) {
+	out := os.Getenv("TSQ_BENCH_OUT")
+	if out == "" {
+		t.Skip("TSQ_BENCH_OUT not set; run via `make bench-throughput`")
+	}
+	// At least four concurrent clients even on small boxes, so the
+	// per-shard write locking is actually contended; capped so the report
+	// stays comparable across machines.
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	const opsPerWorker = 250
+	report := struct {
+		Benchmark string            `json:"benchmark"`
+		Series    int               `json:"series"`
+		Length    int               `json:"length"`
+		Workers   int               `json:"workers"`
+		WriteFrac float64           `json:"write_fraction"`
+		GoMaxProc int               `json:"gomaxprocs"`
+		Results   []throughputPoint `json:"results"`
+	}{
+		Benchmark: "concurrent server throughput, mixed read/write",
+		Series:    throughputSeries,
+		Length:    throughputLength,
+		Workers:   workers,
+		WriteFrac: 1.0 / throughputWriteEvery,
+		GoMaxProc: runtime.GOMAXPROCS(0),
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		p := measureThroughput(t, shards, workers, opsPerWorker)
+		t.Logf("shards=%d: %d ops in %.2fs -> %.0f qps", p.Shards, p.Ops, p.Seconds, p.QPS)
+		report.Results = append(report.Results, p)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,6 +9,7 @@
 //	tsqgen -count 500 -length 128 > walks.csv
 //	tsqd -data walks.csv -addr :8080
 //	tsqd -snapshot db.tsq -length 128        # empty DB, persisted on exit
+//	tsqd -data walks.csv -shards 8           # hash-partitioned, parallel fan-out
 //
 //	curl localhost:8080/healthz
 //	curl -X POST localhost:8080/query \
@@ -43,17 +44,18 @@ func main() {
 		k        = flag.Int("k", 2, "DFT coefficients kept in the index")
 		space    = flag.String("space", "polar", "feature space: polar or rect")
 		cache    = flag.Int("cache", tsq.DefaultCacheSize, "query result cache entries (0 disables)")
+		shards   = flag.Int("shards", 0, "hash-partitioned shards; queries fan out in parallel and writers lock only their shard (0 = a loaded snapshot's count, else 1)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dataPath, *snapPath, *length, *k, *space, *cache); err != nil {
+	if err := run(*addr, *dataPath, *snapPath, *length, *k, *space, *cache, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "tsqd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize int) error {
-	db, origin, err := loadDB(dataPath, snapPath, length, k, space)
+func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize, shards int) error {
+	db, origin, err := loadDB(dataPath, snapPath, length, k, space, shards)
 	if err != nil {
 		return err
 	}
@@ -61,7 +63,7 @@ func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize
 		cacheSize = -1 // ServerOptions: negative disables, zero means default
 	}
 	srv := tsq.NewServer(db, tsq.ServerOptions{CacheSize: cacheSize})
-	log.Printf("tsqd: loaded %d series of length %d from %s", srv.Len(), srv.Length(), origin)
+	log.Printf("tsqd: loaded %d series of length %d from %s (%d shard(s))", srv.Len(), srv.Length(), origin, db.Shards())
 
 	httpSrv := &http.Server{
 		Addr:              addr,
@@ -100,14 +102,17 @@ func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize
 }
 
 // loadDB builds the database, preferring an existing snapshot over CSV
-// data over an empty store.
-func loadDB(dataPath, snapPath string, length, k int, space string) (*tsq.DB, string, error) {
+// data over an empty store. shards: 0 honors a loaded snapshot's recorded
+// shard count (and means 1 for fresh stores); n >= 1 forces n shards —
+// re-sharding a snapshot on load is always possible because partition
+// assignment is a pure hash of the series name.
+func loadDB(dataPath, snapPath string, length, k int, space string, shards int) (*tsq.DB, string, error) {
 	if snapPath != "" {
 		f, err := os.Open(snapPath)
 		switch {
 		case err == nil:
 			defer f.Close()
-			db, err := tsq.ReadFrom(f)
+			db, err := tsq.ReadFromShards(f, shards)
 			if err != nil {
 				return nil, "", fmt.Errorf("snapshot %s: %w", snapPath, err)
 			}
@@ -122,7 +127,7 @@ func loadDB(dataPath, snapPath string, length, k int, space string) (*tsq.DB, st
 		if err != nil {
 			return nil, "", err
 		}
-		db, err := openEmpty(len(batch[0].Values), k, space)
+		db, err := openEmpty(len(batch[0].Values), k, space, shards)
 		if err != nil {
 			return nil, "", err
 		}
@@ -135,19 +140,19 @@ func loadDB(dataPath, snapPath string, length, k int, space string) (*tsq.DB, st
 	if length <= 0 {
 		return nil, "", fmt.Errorf("-length is required when starting without -data or an existing snapshot")
 	}
-	db, err := openEmpty(length, k, space)
+	db, err := openEmpty(length, k, space, shards)
 	if err != nil {
 		return nil, "", err
 	}
 	return db, "empty store", nil
 }
 
-func openEmpty(length, k int, space string) (*tsq.DB, error) {
+func openEmpty(length, k int, space string, shards int) (*tsq.DB, error) {
 	sp, err := tsq.ParseSpace(space)
 	if err != nil {
 		return nil, err
 	}
-	return tsq.Open(tsq.Options{Length: length, K: k, Space: sp})
+	return tsq.Open(tsq.Options{Length: length, K: k, Space: sp, Shards: shards})
 }
 
 // saveSnapshot writes the snapshot atomically: temp file, then rename.

@@ -16,14 +16,35 @@ import (
 // (see the bulk-load ablation). The DB must be empty; names must be unique
 // and non-empty; all series must have the DB length.
 func (db *DB) InsertBulk(names []string, values [][]float64) error {
+	ids := make([]int64, len(names))
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	return db.insertBulkIDs(names, values, ids, nil)
+}
+
+// insertBulkIDs is InsertBulk with caller-chosen IDs (one per series,
+// unique). A Sharded store uses it to bulk-load each shard with globally
+// unique IDs, passing the feature points it already extracted during
+// batch validation so extraction — the dominant bulk-load cost — runs
+// once per series; points == nil extracts here instead.
+func (db *DB) insertBulkIDs(names []string, values [][]float64, ids []int64, points []geom.Point) error {
 	if db.Len() != 0 || db.nextID != 0 {
 		return fmt.Errorf("core: InsertBulk requires a fresh DB (have %d live series, %d ever inserted)", db.Len(), db.nextID)
 	}
-	if len(names) != len(values) {
-		return fmt.Errorf("core: %d names but %d series", len(names), len(values))
+	if len(names) != len(values) || len(names) != len(ids) {
+		return fmt.Errorf("core: %d names but %d series and %d ids", len(names), len(values), len(ids))
 	}
-	points := make([]geom.Point, len(values))
-	ids := make([]int64, len(values))
+	if points == nil {
+		points = make([]geom.Point, len(values))
+		for i := range values {
+			p, err := db.schema.Extract(values[i])
+			if err != nil {
+				return err
+			}
+			points[i] = p
+		}
+	}
 	seen := make(map[string]bool, len(names))
 	for i, name := range names {
 		if name == "" {
@@ -36,12 +57,6 @@ func (db *DB) InsertBulk(names []string, values [][]float64) error {
 		if len(values[i]) != db.length {
 			return fmt.Errorf("core: series %q has length %d, DB expects %d", name, len(values[i]), db.length)
 		}
-		p, err := db.schema.Extract(values[i])
-		if err != nil {
-			return err
-		}
-		points[i] = p
-		ids[i] = int64(i)
 	}
 	if err := db.idx.BulkLoad(points, ids); err != nil {
 		return err
@@ -58,8 +73,11 @@ func (db *DB) InsertBulk(names []string, values [][]float64) error {
 		db.points[id] = points[i]
 		db.names[id] = name
 		db.byName[name] = id
+		db.idPos[id] = len(db.ids)
 		db.ids = append(db.ids, id)
+		if id >= db.nextID {
+			db.nextID = id + 1
+		}
 	}
-	db.nextID = int64(len(names))
 	return nil
 }

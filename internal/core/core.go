@@ -25,6 +25,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/dft"
@@ -68,7 +69,8 @@ type DB struct {
 	points  map[int64]geom.Point
 	names   map[int64]string
 	byName  map[string]int64
-	ids     []int64
+	ids     []int64       // live IDs, arbitrary order (swap-delete); see IDs()
+	idPos   map[int64]int // id -> position in ids, for O(1) Delete
 	nextID  int64
 	perm    []int // energy-order permutation for length-n spectra
 }
@@ -101,6 +103,7 @@ func NewDB(length int, opts Options) (*DB, error) {
 		points:  make(map[int64]geom.Point),
 		names:   make(map[int64]string),
 		byName:  make(map[string]int64),
+		idPos:   make(map[int64]int),
 		perm:    relation.EnergyOrder(length),
 	}
 	if opts.BufferPoolPages > 0 {
@@ -126,11 +129,29 @@ func (db *DB) Schema() feature.Schema { return db.schema }
 // Index exposes the underlying k-index (diagnostics, ablations).
 func (db *DB) Index() *index.KIndex { return db.idx }
 
-// IDs returns stored IDs in insertion order; callers must not modify it.
-func (db *DB) IDs() []int64 { return db.ids }
+// IDs returns the live stored IDs in insertion order. IDs are assigned
+// monotonically, so ascending ID order is insertion order; the returned
+// slice is a fresh copy the caller may keep. (Internally the live-ID list
+// is kept in arbitrary order so Delete can swap-delete in O(1).)
+func (db *DB) IDs() []int64 {
+	out := make([]int64, len(db.ids))
+	copy(out, db.ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Name returns the name stored for an ID.
 func (db *DB) Name(id int64) string { return db.names[id] }
+
+// Names returns the live series names in insertion order.
+func (db *DB) Names() []string {
+	ids := db.IDs()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = db.names[id]
+	}
+	return out
+}
 
 // IDByName resolves a series name.
 func (db *DB) IDByName(name string) (int64, bool) {
@@ -147,44 +168,73 @@ func (db *DB) FeaturePoint(id int64) (geom.Point, bool) {
 // Insert adds a named series, indexing its features and storing both
 // relations. Names must be unique and non-empty; lengths must match the DB.
 func (db *DB) Insert(name string, values []float64) (int64, error) {
+	id := db.nextID
+	if err := db.insertAt(id, name, values); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// validateInsert runs the cheap structural checks of an insert — name
+// present and unique, length matching — without touching storage, so a
+// caller can reject bad inserts before committing resources (a Sharded
+// store uses it to avoid burning a global ID on a doomed insert).
+func (db *DB) validateInsert(name string, values []float64) error {
 	if name == "" {
-		return 0, fmt.Errorf("core: empty series name")
+		return fmt.Errorf("core: empty series name")
 	}
 	if _, dup := db.byName[name]; dup {
-		return 0, fmt.Errorf("core: duplicate series name %q", name)
+		return fmt.Errorf("core: duplicate series name %q", name)
 	}
 	if len(values) != db.length {
-		return 0, fmt.Errorf("core: series %q has length %d, DB expects %d", name, len(values), db.length)
+		return fmt.Errorf("core: series %q has length %d, DB expects %d", name, len(values), db.length)
 	}
-	id := db.nextID
+	return nil
+}
+
+// insertAt stores a series under a caller-chosen ID, which must be unused
+// and unique across the DB's lifetime. A Sharded store uses it to assign
+// globally unique IDs across its shards; DB.Insert uses it with the DB's
+// own counter. nextID advances past id so later plain Inserts never
+// collide.
+func (db *DB) insertAt(id int64, name string, values []float64) error {
+	if err := db.validateInsert(name, values); err != nil {
+		return err
+	}
 	p, err := db.schema.Extract(values)
 	if err != nil {
-		return 0, err
+		return err
 	}
 	if err := db.idx.Insert(id, p); err != nil {
-		return 0, err
+		return err
 	}
 	if err := db.timeRel.Insert(id, values); err != nil {
-		return 0, err
+		return err
 	}
 	spec := dft.TransformReal(series.NormalForm(values))
 	if err := db.freqRel.Insert(id, relation.EncodeComplex(relation.Permute(spec, db.perm))); err != nil {
-		return 0, err
+		return err
 	}
 	db.points[id] = p
 	db.names[id] = name
 	db.byName[name] = id
+	db.idPos[id] = len(db.ids)
 	db.ids = append(db.ids, id)
-	db.nextID++
-	return id, nil
+	if id >= db.nextID {
+		db.nextID = id + 1
+	}
+	return nil
 }
 
 // Delete removes a series by name: its feature point leaves the index and
 // it disappears from all query and scan results. The relation pages it
 // occupied are not reclaimed (the storage substrate is append-only, like
 // a heap file awaiting compaction); page-read accounting of later scans is
-// unaffected because scans iterate live IDs. Delete reports whether the
-// name was present.
+// unaffected because scans iterate live IDs. Removal from the live-ID list
+// is O(1) via the id→position map and swap-delete, so deletes stay cheap
+// at scale; scan iteration order is consequently arbitrary, which is
+// harmless because every query re-sorts its results deterministically.
+// Delete reports whether the name was present.
 func (db *DB) Delete(name string) bool {
 	id, ok := db.byName[name]
 	if !ok {
@@ -196,11 +246,13 @@ func (db *DB) Delete(name string) bool {
 	delete(db.points, id)
 	delete(db.names, id)
 	delete(db.byName, name)
-	for i, v := range db.ids {
-		if v == id {
-			db.ids = append(db.ids[:i], db.ids[i+1:]...)
-			break
-		}
+	if pos, ok := db.idPos[id]; ok {
+		last := len(db.ids) - 1
+		moved := db.ids[last]
+		db.ids[pos] = moved
+		db.idPos[moved] = pos
+		db.ids = db.ids[:last]
+		delete(db.idPos, id)
 	}
 	return true
 }

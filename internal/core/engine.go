@@ -1,0 +1,60 @@
+package core
+
+import (
+	"io"
+
+	"repro/internal/feature"
+	"repro/internal/transform"
+)
+
+// Engine is the query-processor surface shared by the single-store DB and
+// the hash-partitioned Sharded store. The public tsq layer, the query
+// language, and the HTTP server all program against this interface, so a
+// store can be swapped from one R*-tree behind one lock to N independent
+// shards with parallel fan-out without touching any caller.
+//
+// Concurrency contracts differ by implementation and are part of each
+// type's documentation: a *DB is safe for concurrent readers but needs
+// external synchronization around writes; a *Sharded synchronizes
+// internally with one RWMutex per shard.
+type Engine interface {
+	// Store shape.
+	Len() int
+	Length() int
+	Schema() feature.Schema
+
+	// Catalog access. IDs are unique across the whole store (global across
+	// shards) and assigned in insertion order. Names returns a consistent
+	// snapshot of the live names in insertion order.
+	IDs() []int64
+	Names() []string
+	Name(id int64) string
+	IDByName(name string) (int64, bool)
+	Series(id int64) ([]float64, error)
+
+	// Writes.
+	Insert(name string, values []float64) (int64, error)
+	InsertBulk(names []string, values [][]float64) error
+	Update(name string, values []float64) (int64, error)
+	Delete(name string) bool
+	Compact() (pagesReclaimed int, err error)
+
+	// Persistence.
+	WriteTo(w io.Writer) (int64, error)
+
+	// Queries. Result orderings are deterministic: (distance, ID) for
+	// range/NN/subsequence answers, (A, B) for join pairs.
+	RangeIndexed(q RangeQuery) ([]Result, ExecStats, error)
+	RangeScanFreq(q RangeQuery) ([]Result, ExecStats, error)
+	RangeScanTime(q RangeQuery) ([]Result, ExecStats, error)
+	NNIndexed(q NNQuery) ([]Result, ExecStats, error)
+	NNScan(q NNQuery) ([]Result, ExecStats, error)
+	SelfJoin(eps float64, t transform.T, method JoinMethod) ([]JoinPair, ExecStats, error)
+	JoinTwoSided(eps float64, left, right transform.T) ([]JoinPair, ExecStats, error)
+	SubsequenceScan(q []float64, eps float64) ([]SubseqResult, ExecStats, error)
+}
+
+var (
+	_ Engine = (*DB)(nil)
+	_ Engine = (*Sharded)(nil)
+)

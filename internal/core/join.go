@@ -53,6 +53,17 @@ type JoinPair struct {
 	Dist float64
 }
 
+// orderedPair normalizes an unordered scan-join answer so A < B by ID.
+// Scan iteration order is arbitrary after deletes (swap-delete), so the
+// emission side can no longer guarantee the direction; normalizing keeps
+// scan-method output deterministic.
+func orderedPair(a, b int64, dist float64) JoinPair {
+	if a > b {
+		a, b = b, a
+	}
+	return JoinPair{A: a, B: b, Dist: dist}
+}
+
 // SelfJoin finds all pairs (x, y) of distinct stored series with
 // D(T(nf(x)), T(nf(y))) <= eps, using the given Table 1 method. Scan
 // methods (a, b) report each unordered pair once; index methods (c, d)
@@ -121,10 +132,11 @@ func (db *DB) selfJoinScan(eps float64, t transform.T, earlyAbandon bool) ([]Joi
 			}
 			st.DistanceTerms += int64(terms)
 			if !abandoned && sum <= limit {
-				out = append(out, JoinPair{A: db.ids[i], B: db.ids[j], Dist: math.Sqrt(sum)})
+				out = append(out, orderedPair(db.ids[i], db.ids[j], math.Sqrt(sum)))
 			}
 		}
 	}
+	sortPairs(out)
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
 	st.Elapsed = timer.Elapsed()
@@ -183,6 +195,7 @@ func (db *DB) selfJoinIndex(eps float64, t transform.T) ([]JoinPair, ExecStats, 
 			}
 		}
 	}
+	sortPairs(out)
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
 	st.Elapsed = timer.Elapsed()
@@ -249,6 +262,7 @@ func (db *DB) JoinTwoSided(eps float64, left, right transform.T) ([]JoinPair, Ex
 			}
 		}
 	}
+	sortPairs(out)
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
 	st.Elapsed = timer.Elapsed()

@@ -4,7 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"repro/internal/index"
 	"repro/internal/stats"
@@ -22,11 +22,15 @@ type NNQuery struct {
 	BothSides  bool
 }
 
-// resultHeap is a max-heap of Results by distance (the current k best).
+// resultHeap is a max-heap of Results under the (Dist, ID) total order:
+// the root is the worst of the current k best, so it is the first to be
+// displaced. Breaking distance ties by ID makes the retained k-set — and
+// therefore NN output — independent of candidate arrival order, which is
+// what lets shard searches share one bound without losing determinism.
 type resultHeap []Result
 
 func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Less(i, j int) bool  { return resultLess(h[j], h[i]) }
 func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
 func (h *resultHeap) Pop() interface{} {
@@ -37,6 +41,101 @@ func (h *resultHeap) Pop() interface{} {
 	return it
 }
 
+// topK is the current k-best set of a nearest-neighbor search, safe for
+// concurrent use. A single-DB search owns one privately; a sharded search
+// shares one instance across all shard workers, so every worker prunes
+// against the globally best k-th distance and sharding does not inflate
+// candidate counts.
+type topK struct {
+	mu sync.Mutex
+	k  int
+	h  resultHeap
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+// threshold returns the current k-th best distance, or +Inf while the set
+// is still filling. Verification may use it as an early-abandoning bound;
+// it only ever tightens.
+func (t *topK) threshold() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.h.Len() < t.k {
+		return math.Inf(1)
+	}
+	return t.h[0].Dist
+}
+
+// offer admits r if it beats the current worst of the k best under the
+// (Dist, ID) order.
+func (t *topK) offer(r Result) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.h.Len() < t.k {
+		heap.Push(&t.h, r)
+		return
+	}
+	if resultLess(r, t.h[0]) {
+		t.h[0] = r
+		heap.Fix(&t.h, 0)
+	}
+}
+
+// results returns the final k best, sorted ascending by (Dist, ID).
+func (t *topK) results() []Result {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Result, t.h.Len())
+	copy(out, t.h)
+	sortResults(out)
+	return out
+}
+
+// planNN validates q and builds the plan of its equivalent open-threshold
+// range query.
+func planNN(db *DB, q NNQuery) (*rangePlan, error) {
+	if q.K < 1 {
+		return nil, fmt.Errorf("core: K must be >= 1, got %d", q.K)
+	}
+	rq := RangeQuery{Values: q.Values, Eps: math.Inf(1), Transform: q.Transform, WarpFactor: q.WarpFactor, BothSides: q.BothSides}
+	return db.planRange(rq)
+}
+
+// nnIndexedInto runs the transform-aware branch-and-bound of Section 4
+// against this DB, feeding verified answers into best — which may be
+// shared with searches over sibling shards — and accumulating filter-side
+// costs into st (NodeAccesses, Candidates, DistanceTerms). Candidates
+// stream out of the index in order of their k-coefficient lower bound;
+// the traversal stops as soon as the next lower bound exceeds the current
+// k-th best verified distance (lower bound <= true distance by Parseval,
+// so stopping is exact).
+func (db *DB) nnIndexedInto(p *rangePlan, best *topK, st *ExecStats) error {
+	verify := db.verifierFor(p, st)
+
+	var verr error
+	searchStats := db.idx.NearestFunc(p.qp, p.m, func(c index.Candidate) bool {
+		// eps is the shared k-th-best distance: it bounds both the decision
+		// to continue the traversal and the early abandoning inside
+		// verification. +Inf while the k-set is filling.
+		eps := best.threshold()
+		if c.PartialDistSq > eps*eps {
+			return false // no remaining candidate can beat the k-th best
+		}
+		st.Candidates++
+		within, dist, err := verify(c.ID, eps)
+		if err != nil {
+			verr = err
+			return false
+		}
+		if within {
+			best.offer(Result{ID: c.ID, Name: db.names[c.ID], Dist: dist})
+		}
+		return true
+	})
+	st.NodeAccesses += searchStats.NodesVisited
+	return verr
+}
+
 // NNIndexed answers the query with the transform-aware branch-and-bound of
 // Section 4 ("as we go down the tree, we apply T to all entries of the node
 // we visit ... use any kind of metric such as MINDIST for pruning"),
@@ -44,74 +143,43 @@ func (h *resultHeap) Pop() interface{} {
 // their k-coefficient lower bound; each is verified against its full
 // record; the search stops as soon as the next lower bound exceeds the
 // k-th best verified distance. Lower bound <= true distance (Parseval), so
-// the result is exact.
+// the result is exact. Results sort by (distance, ID).
 func (db *DB) NNIndexed(q NNQuery) ([]Result, ExecStats, error) {
 	var st ExecStats
-	if q.K < 1 {
-		return nil, st, fmt.Errorf("core: K must be >= 1, got %d", q.K)
-	}
-	rq := RangeQuery{Values: q.Values, Eps: math.Inf(1), Transform: q.Transform, WarpFactor: q.WarpFactor, BothSides: q.BothSides}
-	if err := db.validateRange(rq); err != nil {
+	p, err := planNN(db, q)
+	if err != nil {
 		return nil, st, err
 	}
 	timer := stats.StartTimer()
 	reads0 := db.pageReads()
 
-	qp, err := db.queryFeaturePoint(rq)
-	if err != nil {
+	best := newTopK(q.K)
+	if err := db.nnIndexedInto(p, best, &st); err != nil {
 		return nil, st, err
 	}
-	m, err := db.schema.Map(q.Transform)
-	if err != nil {
-		return nil, st, err
-	}
-	if q.BothSides && !m.Identity() {
-		qp = m.ApplyPoint(qp)
-	}
-	verify := db.makeVerifier(rq, &st)
-
-	best := &resultHeap{}
-	var verr error
-	searchStats := db.idx.NearestFunc(qp, m, func(c index.Candidate) bool {
-		if best.Len() == q.K && c.PartialDistSq > (*best)[0].Dist*(*best)[0].Dist {
-			return false // no remaining candidate can beat the k-th best
-		}
-		st.Candidates++
-		// While the heap is filling, verify with an open threshold; after
-		// that, only distances under the k-th best matter, so early
-		// abandoning can use it.
-		eps := math.MaxFloat64
-		if best.Len() == q.K {
-			eps = (*best)[0].Dist
-		}
-		within, dist, err := verify(c.ID, eps)
-		if err != nil {
-			verr = err
-			return false
-		}
-		if !within {
-			return true
-		}
-		if best.Len() < q.K {
-			heap.Push(best, Result{ID: c.ID, Name: db.names[c.ID], Dist: dist})
-		} else if dist < (*best)[0].Dist {
-			(*best)[0] = Result{ID: c.ID, Name: db.names[c.ID], Dist: dist}
-			heap.Fix(best, 0)
-		}
-		return true
-	})
-	if verr != nil {
-		return nil, st, verr
-	}
-	st.NodeAccesses = searchStats.NodesVisited
-
-	out := make([]Result, best.Len())
-	copy(out, *best)
-	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	out := best.results()
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
 	st.Elapsed = timer.Elapsed()
 	return out, st, nil
+}
+
+// nnScanInto is the scan analogue of nnIndexedInto: it verifies every
+// stored series, with a pruning threshold that tightens to the (possibly
+// shared) current k-th best distance.
+func (db *DB) nnScanInto(p *rangePlan, best *topK, st *ExecStats) error {
+	verify := db.verifierFor(p, st)
+	for _, id := range db.ids {
+		st.Candidates++
+		within, dist, err := verify(id, best.threshold())
+		if err != nil {
+			return err
+		}
+		if within {
+			best.offer(Result{ID: id, Name: db.names[id], Dist: dist})
+		}
+	}
+	return nil
 }
 
 // NNScan is the sequential-scan baseline for nearest-neighbor queries: it
@@ -119,41 +187,18 @@ func (db *DB) NNIndexed(q NNQuery) ([]Result, ExecStats, error) {
 // the current k-th best distance (the scan analogue of early abandoning).
 func (db *DB) NNScan(q NNQuery) ([]Result, ExecStats, error) {
 	var st ExecStats
-	if q.K < 1 {
-		return nil, st, fmt.Errorf("core: K must be >= 1, got %d", q.K)
-	}
-	rq := RangeQuery{Values: q.Values, Eps: math.Inf(1), Transform: q.Transform, WarpFactor: q.WarpFactor, BothSides: q.BothSides}
-	if err := db.validateRange(rq); err != nil {
+	p, err := planNN(db, q)
+	if err != nil {
 		return nil, st, err
 	}
 	timer := stats.StartTimer()
 	reads0 := db.pageReads()
 
-	verify := db.makeVerifier(rq, &st)
-	best := &resultHeap{}
-	for _, id := range db.ids {
-		st.Candidates++
-		eps := math.MaxFloat64
-		if best.Len() == q.K {
-			eps = (*best)[0].Dist
-		}
-		within, dist, err := verify(id, eps)
-		if err != nil {
-			return nil, st, err
-		}
-		if !within {
-			continue
-		}
-		if best.Len() < q.K {
-			heap.Push(best, Result{ID: id, Name: db.names[id], Dist: dist})
-		} else if dist < (*best)[0].Dist {
-			(*best)[0] = Result{ID: id, Name: db.names[id], Dist: dist}
-			heap.Fix(best, 0)
-		}
+	best := newTopK(q.K)
+	if err := db.nnScanInto(p, best, &st); err != nil {
+		return nil, st, err
 	}
-	out := make([]Result, best.Len())
-	copy(out, *best)
-	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	out := best.results()
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
 	st.Elapsed = timer.Elapsed()

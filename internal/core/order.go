@@ -1,0 +1,49 @@
+package core
+
+import "sort"
+
+// Deterministic result orderings. Every query kind re-sorts its output
+// with a total order — distance first, ties broken by ID — so that two
+// executions over the same logical store produce byte-identical slices
+// regardless of scan iteration order, index structure, or how many shards
+// the execution fanned out across. This is what lets the sharded engine's
+// merge step be a plain sort, and parity tests compare exact slices.
+
+// sortResults orders range/NN answers by (Dist, ID).
+func sortResults(out []Result) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+}
+
+// sortPairs orders join answers by (A, B).
+func sortPairs(out []JoinPair) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+}
+
+// sortSubseq orders subsequence answers by (Dist, ID).
+func sortSubseq(out []SubseqResult) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+}
+
+// resultLess is the (Dist, ID) total order on individual results, used by
+// the nearest-neighbor bound to decide replacements at the boundary.
+func resultLess(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/relation"
@@ -84,7 +83,7 @@ func (db *DB) SelfJoinScanParallel(eps float64, t transform.T, workers int) ([]J
 					}
 					out.terms += int64(terms)
 					if !abandoned && sum <= limit {
-						out.pairs = append(out.pairs, JoinPair{A: db.ids[i], B: db.ids[j], Dist: math.Sqrt(sum)})
+						out.pairs = append(out.pairs, orderedPair(db.ids[i], db.ids[j], math.Sqrt(sum)))
 					}
 				}
 			}
@@ -101,12 +100,7 @@ func (db *DB) SelfJoinScanParallel(eps float64, t transform.T, workers int) ([]J
 		st.DistanceTerms += r.terms
 		st.Candidates += r.candidates
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
+	sortPairs(out)
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
 	st.Elapsed = timer.Elapsed()

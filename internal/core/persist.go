@@ -10,7 +10,9 @@ import (
 	"repro/internal/feature"
 )
 
-// Snapshot format: a small self-describing binary layout (little endian).
+// Snapshot formats: small self-describing binary layouts (little endian).
+//
+// Version 1 ("TSQ1"), written by single-store DBs:
 //
 //	magic   [4]byte  "TSQ1"
 //	space   uint8    0 = rect, 1 = polar
@@ -22,140 +24,276 @@ import (
 //	  nameLen uint16, name [nameLen]byte
 //	  values  [length]float64
 //
+// Version 2 ("TSQ2"), written by Sharded stores, is identical except one
+// field — the shard count — inserted between length and count:
+//
+//	...
+//	length  uint32
+//	shards  uint16   shard count the store ran with
+//	count   uint32
+//	...
+//
 // Only the raw series are stored: normal forms, spectra, feature points,
-// and the index are all derived data and are rebuilt (with bulk loading)
-// on read. This keeps snapshots compact and the format independent of
-// index implementation details.
+// and the indexes are all derived data and are rebuilt (with bulk loading)
+// on read. Shard *assignment* is likewise derived — it is a pure hash of
+// the series name — so any snapshot can be loaded at any shard count; the
+// recorded count is only the default when the loader does not override
+// it. Every reader accepts both versions.
 
-var snapshotMagic = [4]byte{'T', 'S', 'Q', '1'}
+var (
+	snapshotMagic   = [4]byte{'T', 'S', 'Q', '1'}
+	snapshotMagicV2 = [4]byte{'T', 'S', 'Q', '2'}
+)
 
-// WriteTo serializes the DB's contents. It returns the number of bytes
-// written.
-func (db *DB) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	var n int64
-	write := func(data interface{}) error {
-		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
-			return err
-		}
-		n += int64(binary.Size(data))
-		return nil
-	}
-	if err := write(snapshotMagic); err != nil {
-		return n, err
-	}
-	var space uint8
-	if db.schema.Space == feature.Polar {
-		space = 1
-	}
-	if err := write(space); err != nil {
-		return n, err
-	}
-	if err := write(uint16(db.schema.K)); err != nil {
-		return n, err
-	}
-	var moments uint8
-	if db.schema.Moments {
-		moments = 1
-	}
-	if err := write(moments); err != nil {
-		return n, err
-	}
-	if err := write(uint32(db.length)); err != nil {
-		return n, err
-	}
-	if err := write(uint32(len(db.ids))); err != nil {
-		return n, err
-	}
-	for _, id := range db.ids {
-		name := db.names[id]
-		if len(name) > math.MaxUint16 {
-			return n, fmt.Errorf("core: series name of %d bytes exceeds snapshot limit", len(name))
-		}
-		if err := write(uint16(len(name))); err != nil {
-			return n, err
-		}
-		if err := write([]byte(name)); err != nil {
-			return n, err
-		}
-		vals, err := db.Series(id)
-		if err != nil {
-			return n, err
-		}
-		if err := write(vals); err != nil {
-			return n, err
-		}
-	}
-	return n, bw.Flush()
+// snapshotHeader is the decoded fixed-size prefix of either format.
+type snapshotHeader struct {
+	schema feature.Schema
+	length int
+	shards int // 1 for TSQ1 snapshots
+	count  int
 }
 
-// ReadFrom deserializes a snapshot produced by WriteTo into a fresh DB,
-// rebuilding derived state (spectra, feature points, index) with bulk
-// loading. The opts' Schema is ignored — the snapshot records its own —
-// but storage options (page size, R-tree capacity) apply.
-func ReadFrom(r io.Reader, opts Options) (*DB, error) {
-	br := bufio.NewReader(r)
+// countingWriter tracks bytes through binary.Write.
+type snapshotWriter struct {
+	bw *bufio.Writer
+	n  int64
+}
+
+func (w *snapshotWriter) write(data interface{}) error {
+	if err := binary.Write(w.bw, binary.LittleEndian, data); err != nil {
+		return err
+	}
+	w.n += int64(binary.Size(data))
+	return nil
+}
+
+// writeHeader emits the fixed-size prefix; shards < 1 selects the TSQ1
+// layout, shards >= 1 the TSQ2 layout with that shard count.
+func (w *snapshotWriter) writeHeader(sc feature.Schema, length, shards, count int) error {
+	magic := snapshotMagic
+	if shards >= 1 {
+		magic = snapshotMagicV2
+	}
+	if err := w.write(magic); err != nil {
+		return err
+	}
+	var space uint8
+	if sc.Space == feature.Polar {
+		space = 1
+	}
+	if err := w.write(space); err != nil {
+		return err
+	}
+	if err := w.write(uint16(sc.K)); err != nil {
+		return err
+	}
+	var moments uint8
+	if sc.Moments {
+		moments = 1
+	}
+	if err := w.write(moments); err != nil {
+		return err
+	}
+	if err := w.write(uint32(length)); err != nil {
+		return err
+	}
+	if shards >= 1 {
+		if err := w.write(uint16(shards)); err != nil {
+			return err
+		}
+	}
+	return w.write(uint32(count))
+}
+
+// writeSeries emits one name/values record.
+func (w *snapshotWriter) writeSeries(name string, vals []float64) error {
+	if len(name) > math.MaxUint16 {
+		return fmt.Errorf("core: series name of %d bytes exceeds snapshot limit", len(name))
+	}
+	if err := w.write(uint16(len(name))); err != nil {
+		return err
+	}
+	if err := w.write([]byte(name)); err != nil {
+		return err
+	}
+	return w.write(vals)
+}
+
+// WriteTo serializes the DB's contents in the TSQ1 format. It returns the
+// number of bytes written.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	sw := &snapshotWriter{bw: bufio.NewWriter(w)}
+	if err := sw.writeHeader(db.schema, db.length, 0, len(db.ids)); err != nil {
+		return sw.n, err
+	}
+	for _, id := range db.IDs() {
+		vals, err := db.Series(id)
+		if err != nil {
+			return sw.n, err
+		}
+		if err := sw.writeSeries(db.names[id], vals); err != nil {
+			return sw.n, err
+		}
+	}
+	return sw.n, sw.bw.Flush()
+}
+
+// WriteTo serializes the sharded store's contents in the TSQ2 format,
+// recording the shard count and every series in global insertion order —
+// so a snapshot round-trip reproduces the exact ID assignment. All shard
+// locks are held in shared mode for the duration: the snapshot is a
+// consistent cut of the whole store.
+func (s *Sharded) WriteTo(w io.Writer) (int64, error) {
+	entries := s.pinAll()
+	defer s.runlockAll()
+
+	sw := &snapshotWriter{bw: bufio.NewWriter(w)}
+	if err := sw.writeHeader(s.Schema(), s.length, len(s.shards), len(entries)); err != nil {
+		return sw.n, err
+	}
+	for _, e := range entries {
+		vals, err := e.sh.Series(e.id)
+		if err != nil {
+			return sw.n, err
+		}
+		if err := sw.writeSeries(e.sh.Name(e.id), vals); err != nil {
+			return sw.n, err
+		}
+	}
+	return sw.n, sw.bw.Flush()
+}
+
+// readHeader decodes either snapshot version's fixed-size prefix.
+func readHeader(br *bufio.Reader) (snapshotHeader, error) {
+	var h snapshotHeader
 	read := func(data interface{}) error {
 		return binary.Read(br, binary.LittleEndian, data)
 	}
 	var magic [4]byte
 	if err := read(&magic); err != nil {
-		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+		return h, fmt.Errorf("core: reading snapshot header: %w", err)
 	}
-	if magic != snapshotMagic {
-		return nil, fmt.Errorf("core: not a tsq snapshot (magic %q)", magic[:])
+	v2 := magic == snapshotMagicV2
+	if magic != snapshotMagic && !v2 {
+		return h, fmt.Errorf("core: not a tsq snapshot (magic %q)", magic[:])
 	}
 	var space, moments uint8
-	var k uint16
+	var k, shards uint16
 	var length, count uint32
 	if err := read(&space); err != nil {
-		return nil, err
+		return h, err
 	}
 	if err := read(&k); err != nil {
-		return nil, err
+		return h, err
 	}
 	if err := read(&moments); err != nil {
-		return nil, err
+		return h, err
 	}
 	if err := read(&length); err != nil {
-		return nil, err
+		return h, err
+	}
+	if v2 {
+		if err := read(&shards); err != nil {
+			return h, err
+		}
+		if shards == 0 {
+			return h, fmt.Errorf("core: snapshot records zero shards")
+		}
+	} else {
+		shards = 1
 	}
 	if err := read(&count); err != nil {
-		return nil, err
+		return h, err
 	}
 	if space > 1 {
-		return nil, fmt.Errorf("core: snapshot has unknown space %d", space)
+		return h, fmt.Errorf("core: snapshot has unknown space %d", space)
 	}
-	sc := feature.Schema{Space: feature.Rect, K: int(k), Moments: moments == 1}
+	h.schema = feature.Schema{Space: feature.Rect, K: int(k), Moments: moments == 1}
 	if space == 1 {
-		sc.Space = feature.Polar
+		h.schema.Space = feature.Polar
 	}
-	opts.Schema = sc
-	db, err := NewDB(int(length), opts)
-	if err != nil {
-		return nil, err
-	}
+	h.length = int(length)
+	h.shards = int(shards)
+	h.count = int(count)
+	return h, nil
+}
 
-	names := make([]string, count)
-	values := make([][]float64, count)
-	for i := uint32(0); i < count; i++ {
+// readSeries decodes the record section following a header.
+func readSeries(br *bufio.Reader, h snapshotHeader) ([]string, [][]float64, error) {
+	names := make([]string, h.count)
+	values := make([][]float64, h.count)
+	for i := 0; i < h.count; i++ {
 		var nameLen uint16
-		if err := read(&nameLen); err != nil {
-			return nil, fmt.Errorf("core: reading series %d: %w", i, err)
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, nil, fmt.Errorf("core: reading series %d: %w", i, err)
 		}
 		nameBuf := make([]byte, nameLen)
 		if _, err := io.ReadFull(br, nameBuf); err != nil {
-			return nil, fmt.Errorf("core: reading series %d name: %w", i, err)
+			return nil, nil, fmt.Errorf("core: reading series %d name: %w", i, err)
 		}
-		vals := make([]float64, length)
-		if err := read(vals); err != nil {
-			return nil, fmt.Errorf("core: reading series %q values: %w", nameBuf, err)
+		vals := make([]float64, h.length)
+		if err := binary.Read(br, binary.LittleEndian, vals); err != nil {
+			return nil, nil, fmt.Errorf("core: reading series %q values: %w", nameBuf, err)
 		}
 		names[i] = string(nameBuf)
 		values[i] = vals
 	}
-	if err := db.InsertBulk(names, values); err != nil {
+	return names, values, nil
+}
+
+// ReadEngine deserializes a snapshot (either version) into a fresh store,
+// rebuilding derived state with bulk loading. shards selects the
+// partitioning of the loaded store: 0 honors the count recorded in the
+// snapshot (1 for TSQ1 snapshots), 1 forces a single unsharded DB, and
+// n > 1 forces an n-way Sharded store — re-sharding is always possible
+// because partition assignment is a pure hash of the series name. The
+// opts' Schema is ignored (the snapshot records its own) but storage
+// options apply to every shard.
+func ReadEngine(r io.Reader, opts Options, shards int) (Engine, error) {
+	br := bufio.NewReader(r)
+	h, err := readHeader(br)
+	if err != nil {
 		return nil, err
 	}
-	return db, nil
+	if shards == 0 {
+		shards = h.shards
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("core: shard count %d must be >= 0", shards)
+	}
+	names, values, err := readSeries(br, h)
+	if err != nil {
+		return nil, err
+	}
+	opts.Schema = h.schema
+	if shards == 1 {
+		db, err := NewDB(h.length, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.InsertBulk(names, values); err != nil {
+			return nil, err
+		}
+		return db, nil
+	}
+	s, err := NewSharded(h.length, shards, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.InsertBulk(names, values); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReadFrom deserializes a snapshot (either version) into a fresh single
+// DB, regardless of any shard count the snapshot records. The opts'
+// Schema is ignored — the snapshot records its own — but storage options
+// (page size, R-tree capacity) apply.
+func ReadFrom(r io.Reader, opts Options) (*DB, error) {
+	eng, err := ReadEngine(r, opts, 1)
+	if err != nil {
+		return nil, err
+	}
+	return eng.(*DB), nil
 }

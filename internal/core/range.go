@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/feature"
 	"repro/internal/series"
@@ -84,15 +83,73 @@ func (db *DB) queryFeaturePoint(q RangeQuery) ([]float64, error) {
 // refinement tighten the abandonment threshold as better answers arrive.
 type verifier func(id int64, eps float64) (bool, float64, error)
 
-// makeVerifier builds the post-processing step of Algorithm 2: exact
-// distance on full records with early abandoning. Frequency-domain
-// verification serves every length-preserving transformation; warped
-// queries verify in the time domain on warped normal forms. The query-side
-// spectra and permuted transformation vectors are computed once.
-func (db *DB) makeVerifier(q RangeQuery, st *ExecStats) verifier {
+// rangePlan is the query-side preprocessing of Algorithm 2: the query
+// feature point, the transformation's affine index action, and the
+// precomputed verification vectors (query spectrum and energy-ordered
+// transformation coefficients — or the query normal form for warped
+// queries). None of it depends on a store's contents, only on the shared
+// schema and length, so a sharded execution computes one plan and reuses
+// it across every shard's traversal instead of redoing two FFTs and the
+// feature extraction per shard.
+type rangePlan struct {
+	q  RangeQuery
+	qp []float64
+	m  transform.AffineMap
+	// Verification precomputation: qn for warped queries, (a, b, Q) for
+	// frequency-domain verification.
+	qn   []float64
+	a, b []complex128
+	Q    []complex128
+}
+
+// planRange validates q and builds its execution plan.
+func (db *DB) planRange(q RangeQuery) (*rangePlan, error) {
+	if err := db.validateRange(q); err != nil {
+		return nil, err
+	}
+	p := &rangePlan{q: q}
+	qp, err := db.queryFeaturePoint(q)
+	if err != nil {
+		return nil, err
+	}
+	m, err := db.schema.Map(q.Transform)
+	if err != nil {
+		return nil, err
+	}
+	if q.ForceTransform {
+		m.Force = true
+	}
+	if q.BothSides && !m.Identity() {
+		// Two-sided semantics: the search centers on the transformed query
+		// point, so the filter compares T(x) against T(q).
+		qp = m.ApplyPoint(qp)
+	}
+	p.qp, p.m = qp, m
 	if q.WarpFactor >= 2 {
-		qn := series.NormalForm(q.Values)
-		m := q.WarpFactor
+		p.qn = series.NormalForm(q.Values)
+		return p, nil
+	}
+	p.a, p.b = db.permuteTransform(q.Transform)
+	Q := db.querySpectrum(q.Values)
+	if q.BothSides {
+		tQ := make([]complex128, len(Q))
+		for f := range Q {
+			tQ[f] = p.a[f]*Q[f] + p.b[f]
+		}
+		Q = tQ
+	}
+	p.Q = Q
+	return p, nil
+}
+
+// verifierFor builds the post-processing step of Algorithm 2 from a plan:
+// exact distance on full records with early abandoning. Frequency-domain
+// verification serves every length-preserving transformation; warped
+// queries verify in the time domain on warped normal forms.
+func (db *DB) verifierFor(p *rangePlan, st *ExecStats) verifier {
+	if p.q.WarpFactor >= 2 {
+		m := p.q.WarpFactor
+		qn := p.qn
 		return func(id int64, eps float64) (bool, float64, error) {
 			raw, err := db.Series(id)
 			if err != nil {
@@ -107,15 +164,7 @@ func (db *DB) makeVerifier(q RangeQuery, st *ExecStats) verifier {
 			return true, series.EuclideanDistance(warped, qn), nil
 		}
 	}
-	a, b := db.permuteTransform(q.Transform)
-	Q := db.querySpectrum(q.Values)
-	if q.BothSides {
-		tQ := make([]complex128, len(Q))
-		for f := range Q {
-			tQ[f] = a[f]*Q[f] + b[f]
-		}
-		Q = tQ
-	}
+	a, b, Q := p.a, p.b, p.Q
 	return func(id int64, eps float64) (bool, float64, error) {
 		within, dist, terms, err := db.viewTransformedWithin(id, a, b, Q, eps)
 		if err != nil {
@@ -126,56 +175,67 @@ func (db *DB) makeVerifier(q RangeQuery, st *ExecStats) verifier {
 	}
 }
 
-// RangeIndexed answers a range query with the paper's Algorithm 2:
-// (1) preprocessing — extract the query feature point and the
-// transformation's affine index action; (2) search — traverse the index
-// applying the transformation to every rectangle on the fly; (3)
-// post-processing — verify every candidate against its full record.
-// Results are sorted by distance.
-func (db *DB) RangeIndexed(q RangeQuery) ([]Result, ExecStats, error) {
-	var st ExecStats
-	if err := db.validateRange(q); err != nil {
-		return nil, st, err
-	}
-	timer := stats.StartTimer()
-	reads0 := db.pageReads()
+// rangeIndexedPlanned runs the search and post-processing phases of
+// Algorithm 2 against this store, accumulating filter costs into st.
+func (db *DB) rangeIndexedPlanned(p *rangePlan, st *ExecStats) ([]Result, error) {
+	cands, searchStats := db.idx.Range(p.qp, p.q.Eps, p.m, p.q.Moments, !db.opts.DisablePartialPrune)
+	st.NodeAccesses += searchStats.NodesVisited
+	st.Candidates += len(cands)
 
-	qp, err := db.queryFeaturePoint(q)
-	if err != nil {
-		return nil, st, err
-	}
-	m, err := db.schema.Map(q.Transform)
-	if err != nil {
-		return nil, st, err
-	}
-	if q.ForceTransform {
-		m.Force = true
-	}
-	if q.BothSides && !m.Identity() {
-		// Two-sided semantics: the search centers on the transformed query
-		// point, so the filter compares T(x) against T(q).
-		qp = m.ApplyPoint(qp)
-	}
-	cands, searchStats := db.idx.Range(qp, q.Eps, m, q.Moments, !db.opts.DisablePartialPrune)
-	st.NodeAccesses = searchStats.NodesVisited
-	st.Candidates = len(cands)
-
-	verify := db.makeVerifier(q, &st)
+	verify := db.verifierFor(p, st)
 	var out []Result
 	for _, c := range cands {
-		within, dist, err := verify(c.ID, q.Eps)
+		within, dist, err := verify(c.ID, p.q.Eps)
 		if err != nil {
-			return nil, st, err
+			return nil, err
 		}
 		if within {
 			out = append(out, Result{ID: c.ID, Name: db.names[c.ID], Dist: dist})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out, nil
+}
+
+// RangeIndexed answers a range query with the paper's Algorithm 2:
+// (1) preprocessing — extract the query feature point and the
+// transformation's affine index action; (2) search — traverse the index
+// applying the transformation to every rectangle on the fly; (3)
+// post-processing — verify every candidate against its full record.
+// Results are sorted by (distance, ID).
+func (db *DB) RangeIndexed(q RangeQuery) ([]Result, ExecStats, error) {
+	var st ExecStats
+	p, err := db.planRange(q)
+	if err != nil {
+		return nil, st, err
+	}
+	timer := stats.StartTimer()
+	reads0 := db.pageReads()
+	out, err := db.rangeIndexedPlanned(p, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	sortResults(out)
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
 	st.Elapsed = timer.Elapsed()
 	return out, st, nil
+}
+
+// rangeScanFreqPlanned runs the frequency-domain scan against this store.
+func (db *DB) rangeScanFreqPlanned(p *rangePlan, st *ExecStats) ([]Result, error) {
+	verify := db.verifierFor(p, st)
+	var out []Result
+	for _, id := range db.ids {
+		st.Candidates++
+		within, dist, err := verify(id, p.q.Eps)
+		if err != nil {
+			return nil, err
+		}
+		if within {
+			out = append(out, Result{ID: id, Name: db.names[id], Dist: dist})
+		}
+	}
+	return out, nil
 }
 
 // RangeScanFreq answers the same query by sequentially scanning the
@@ -186,25 +246,17 @@ func (db *DB) RangeIndexed(q RangeQuery) ([]Result, ExecStats, error) {
 // coefficients").
 func (db *DB) RangeScanFreq(q RangeQuery) ([]Result, ExecStats, error) {
 	var st ExecStats
-	if err := db.validateRange(q); err != nil {
+	p, err := db.planRange(q)
+	if err != nil {
 		return nil, st, err
 	}
 	timer := stats.StartTimer()
 	reads0 := db.pageReads()
-	verify := db.makeVerifier(q, &st)
-
-	var out []Result
-	for _, id := range db.ids {
-		st.Candidates++
-		within, dist, err := verify(id, q.Eps)
-		if err != nil {
-			return nil, st, err
-		}
-		if within {
-			out = append(out, Result{ID: id, Name: db.names[id], Dist: dist})
-		}
+	out, err := db.rangeScanFreqPlanned(p, &st)
+	if err != nil {
+		return nil, st, err
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	sortResults(out)
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
 	st.Elapsed = timer.Elapsed()
@@ -255,7 +307,7 @@ func (db *DB) RangeScanTime(q RangeQuery) ([]Result, ExecStats, error) {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	sortResults(out)
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
 	st.Elapsed = timer.Elapsed()

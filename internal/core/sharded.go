@@ -1,0 +1,811 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/feature"
+	"repro/internal/geom"
+	"repro/internal/relation"
+	"repro/internal/stats"
+	"repro/internal/transform"
+)
+
+// Sharded is a hash-partitioned store: N independent DB shards, each with
+// its own k-index, relations, and read-write lock, partitioned by series
+// name (FNV-1a). Queries fan out to every shard in parallel — the paper's
+// Algorithm 2 filter runs the same index traversal on each partition and
+// exact verification composes by merging — and a merge step aggregates
+// ExecStats and re-sorts results under the deterministic (distance, ID)
+// order, so a Sharded store returns byte-identical answers to a single DB
+// holding the same series. Nearest-neighbor searches share one k-th-best
+// bound across all shard traversals, so sharding does not inflate
+// candidate counts.
+//
+// Unlike DB, a Sharded store synchronizes internally: every method is safe
+// for concurrent use. Writes take only the owning shard's exclusive lock,
+// so a writer to one shard never blocks readers of the others; queries
+// take each shard's shared lock for just that shard's portion of the
+// fan-out. A query therefore sees each shard at a consistent point in
+// time, but two shards may be observed at slightly different moments when
+// writes race the query — per-shard consistency, the standard partitioned
+// reading.
+//
+// IDs are global: a catalog maps every ID to its owning shard, and shards
+// store series under the globally assigned ID, so merged results need no
+// translation and ID-based orderings match the unsharded store exactly.
+type Sharded struct {
+	length int
+	shards []*DB
+	locks  []sync.RWMutex // index-aligned with shards
+
+	// catalog: global ID space. Lock order is shard lock(s) first, then mu.
+	mu     sync.RWMutex
+	owner  map[int64]int // global id -> shard index
+	ids    []int64       // live ids, arbitrary order (swap-delete)
+	idPos  map[int64]int // id -> position in ids
+	nextID int64
+}
+
+// NewSharded creates an empty sharded store of n hash-partitioned shards
+// for series of the given length. n must be >= 1; every shard gets the
+// same Options.
+func NewSharded(length, n int, opts Options) (*Sharded, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: shard count %d must be >= 1", n)
+	}
+	s := &Sharded{
+		length: length,
+		shards: make([]*DB, n),
+		locks:  make([]sync.RWMutex, n),
+		owner:  make(map[int64]int),
+		idPos:  make(map[int64]int),
+	}
+	for i := range s.shards {
+		db, err := NewDB(length, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = db
+	}
+	return s, nil
+}
+
+// shardFor maps a series name to its owning shard.
+func (s *Sharded) shardFor(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Length returns the fixed series length.
+func (s *Sharded) Length() int { return s.length }
+
+// Schema returns the feature schema (identical on every shard).
+func (s *Sharded) Schema() feature.Schema { return s.shards[0].Schema() }
+
+// Len returns the number of stored series across all shards.
+func (s *Sharded) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ids)
+}
+
+// IDs returns the live global IDs in insertion order (ascending — IDs are
+// assigned monotonically).
+func (s *Sharded) IDs() []int64 {
+	s.mu.RLock()
+	out := make([]int64, len(s.ids))
+	copy(out, s.ids)
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Names returns the live series names in insertion order, pinned as one
+// consistent snapshot: a delete racing the listing can neither blank an
+// entry nor tear the list (per-ID lookups over a changing catalog could).
+func (s *Sharded) Names() []string {
+	entries := s.pinAll()
+	defer s.runlockAll()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.sh.Name(e.id)
+	}
+	return out
+}
+
+// Name returns the name stored under a global ID ("" if absent).
+func (s *Sharded) Name(id int64) string {
+	s.mu.RLock()
+	si, ok := s.owner[id]
+	s.mu.RUnlock()
+	if !ok {
+		return ""
+	}
+	s.locks[si].RLock()
+	defer s.locks[si].RUnlock()
+	return s.shards[si].Name(id)
+}
+
+// IDByName resolves a series name to its global ID.
+func (s *Sharded) IDByName(name string) (int64, bool) {
+	si := s.shardFor(name)
+	s.locks[si].RLock()
+	defer s.locks[si].RUnlock()
+	return s.shards[si].IDByName(name)
+}
+
+// Series fetches the raw values stored under a global ID.
+func (s *Sharded) Series(id int64) ([]float64, error) {
+	s.mu.RLock()
+	si, ok := s.owner[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: id %d not found", id)
+	}
+	s.locks[si].RLock()
+	defer s.locks[si].RUnlock()
+	return s.shards[si].Series(id)
+}
+
+// Insert stores a named series in its hash-assigned shard under a fresh
+// global ID, taking only that shard's exclusive lock.
+func (s *Sharded) Insert(name string, values []float64) (int64, error) {
+	si := s.shardFor(name)
+	sh := s.shards[si]
+	s.locks[si].Lock()
+	defer s.locks[si].Unlock()
+	if err := sh.validateInsert(name, values); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.mu.Unlock()
+	if err := sh.insertAt(id, name, values); err != nil {
+		// Unreachable after validateInsert for well-formed input (e.g. a
+		// non-finite series rejected by feature extraction); the reserved
+		// ID stays burned — a gap in the ID space, never a collision.
+		return 0, err
+	}
+	s.mu.Lock()
+	s.owner[id] = si
+	s.idPos[id] = len(s.ids)
+	s.ids = append(s.ids, id)
+	s.mu.Unlock()
+	return id, nil
+}
+
+// InsertBulk loads a batch into an empty sharded store, bulk-loading every
+// shard's index in parallel. Global IDs are assigned in batch order, so
+// the resulting store is ID-identical to an unsharded InsertBulk of the
+// same batch.
+func (s *Sharded) InsertBulk(names []string, values [][]float64) error {
+	if len(names) != len(values) {
+		return fmt.Errorf("core: %d names but %d series", len(names), len(values))
+	}
+	s.lockAll()
+	defer s.unlockAll()
+	if len(s.ids) > 0 || s.nextID != 0 {
+		return fmt.Errorf("core: InsertBulk requires a fresh store (have %d live series, %d ever inserted)", len(s.ids), s.nextID)
+	}
+	// Validate the entire batch — including feature extraction, the only
+	// check that can fail on well-formed names — before any shard loads,
+	// so a bad series cannot leave sibling shards populated behind an
+	// empty catalog (the unsharded InsertBulk is all-or-nothing too). The
+	// extracted points ride along to the shard loads, so the dominant
+	// bulk-load cost runs once per series.
+	points := make([]geom.Point, len(values))
+	seen := make(map[string]bool, len(names))
+	for i, name := range names {
+		if name == "" {
+			return fmt.Errorf("core: empty series name at position %d", i)
+		}
+		if seen[name] {
+			return fmt.Errorf("core: duplicate series name %q", name)
+		}
+		seen[name] = true
+		if len(values[i]) != s.length {
+			return fmt.Errorf("core: series %q has length %d, DB expects %d", name, len(values[i]), s.length)
+		}
+		p, err := s.Schema().Extract(values[i])
+		if err != nil {
+			return err
+		}
+		points[i] = p
+	}
+	n := len(s.shards)
+	partNames := make([][]string, n)
+	partValues := make([][][]float64, n)
+	partIDs := make([][]int64, n)
+	partPoints := make([][]geom.Point, n)
+	for i, name := range names {
+		si := s.shardFor(name)
+		partNames[si] = append(partNames[si], name)
+		partValues[si] = append(partValues[si], values[i])
+		partIDs[si] = append(partIDs[si], int64(i))
+		partPoints[si] = append(partPoints[si], points[i])
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for si := 0; si < n; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			errs[si] = s.shards[si].insertBulkIDs(partNames[si], partValues[si], partIDs[si], partPoints[si])
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	for i := range names {
+		id := int64(i)
+		s.owner[id] = s.shardFor(names[i])
+		s.idPos[id] = len(s.ids)
+		s.ids = append(s.ids, id)
+	}
+	s.nextID = int64(len(names))
+	s.mu.Unlock()
+	return nil
+}
+
+// Update replaces the values stored under an existing name, reindexing the
+// series in its shard under a fresh global ID (Delete + Insert semantics,
+// matching DB.Update).
+func (s *Sharded) Update(name string, values []float64) (int64, error) {
+	si := s.shardFor(name)
+	sh := s.shards[si]
+	s.locks[si].Lock()
+	defer s.locks[si].Unlock()
+	oldID, ok := sh.IDByName(name)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown series %q", name)
+	}
+	if len(values) != s.length {
+		return 0, fmt.Errorf("core: series %q has length %d, DB expects %d", name, len(values), s.length)
+	}
+	if _, err := sh.Schema().Extract(values); err != nil {
+		return 0, err
+	}
+	sh.Delete(name)
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.removeCatalogLocked(oldID)
+	s.mu.Unlock()
+	if err := sh.insertAt(id, name, values); err != nil {
+		return 0, err // unreachable after validation
+	}
+	s.mu.Lock()
+	s.owner[id] = si
+	s.idPos[id] = len(s.ids)
+	s.ids = append(s.ids, id)
+	s.mu.Unlock()
+	return id, nil
+}
+
+// Delete removes a series by name, taking only its shard's exclusive
+// lock. It reports whether the name was present.
+func (s *Sharded) Delete(name string) bool {
+	si := s.shardFor(name)
+	sh := s.shards[si]
+	s.locks[si].Lock()
+	defer s.locks[si].Unlock()
+	id, ok := sh.IDByName(name)
+	if !ok {
+		return false
+	}
+	sh.Delete(name)
+	s.mu.Lock()
+	s.removeCatalogLocked(id)
+	s.mu.Unlock()
+	return true
+}
+
+// removeCatalogLocked drops a global ID from the catalog (caller holds
+// s.mu).
+func (s *Sharded) removeCatalogLocked(id int64) {
+	delete(s.owner, id)
+	if pos, ok := s.idPos[id]; ok {
+		last := len(s.ids) - 1
+		moved := s.ids[last]
+		s.ids[pos] = moved
+		s.idPos[moved] = pos
+		s.ids = s.ids[:last]
+		delete(s.idPos, id)
+	}
+}
+
+// Compact rebuilds every shard's storage pages, returning the total pages
+// reclaimed.
+func (s *Sharded) Compact() (int, error) {
+	s.lockAll()
+	defer s.unlockAll()
+	total := 0
+	for _, sh := range s.shards {
+		n, err := sh.Compact()
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// lockAll / unlockAll take every shard's exclusive lock in ascending
+// order (the global lock order, so whole-store operations cannot deadlock
+// against per-shard writers).
+func (s *Sharded) lockAll() {
+	for i := range s.locks {
+		s.locks[i].Lock()
+	}
+}
+
+func (s *Sharded) unlockAll() {
+	for i := len(s.locks) - 1; i >= 0; i-- {
+		s.locks[i].Unlock()
+	}
+}
+
+// rlockAll / runlockAll are the shared-mode counterparts, used by
+// cross-shard reads (joins, snapshots) that need every shard pinned at
+// once.
+func (s *Sharded) rlockAll() {
+	for i := range s.locks {
+		s.locks[i].RLock()
+	}
+}
+
+func (s *Sharded) runlockAll() {
+	for i := len(s.locks) - 1; i >= 0; i-- {
+		s.locks[i].RUnlock()
+	}
+}
+
+// fanOut runs fn for every shard under that shard's shared lock — shard 0
+// on the calling goroutine, the rest concurrently — returning the
+// lowest-indexed error. Running one partition inline keeps the
+// single-shard configuration goroutine-free and saves one spawn/wakeup
+// per query otherwise.
+func (s *Sharded) fanOut(fn func(si int, sh *DB) error) error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := 1; i < len(s.shards); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.locks[i].RLock()
+			defer s.locks[i].RUnlock()
+			errs[i] = fn(i, s.shards[i])
+		}(i)
+	}
+	s.locks[0].RLock()
+	errs[0] = fn(0, s.shards[0])
+	s.locks[0].RUnlock()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeStats folds per-shard execution costs into one ExecStats. Elapsed
+// is deliberately left to the caller's wall clock — summing per-shard
+// elapsed times would double-count parallel work.
+func mergeStats(parts []ExecStats) ExecStats {
+	var st ExecStats
+	for _, p := range parts {
+		st.NodeAccesses += p.NodeAccesses
+		st.PageReads += p.PageReads
+		st.Candidates += p.Candidates
+		st.DistanceTerms += p.DistanceTerms
+	}
+	return st
+}
+
+// rangeFanPlanned plans a range-shaped query once — the plan depends only
+// on the schema and length, which every shard shares — and fans the
+// planned execution out to every shard, merging answers and costs.
+func (s *Sharded) rangeFanPlanned(q RangeQuery, run func(*DB, *rangePlan, *ExecStats) ([]Result, error)) ([]Result, ExecStats, error) {
+	p, err := s.shards[0].planRange(q)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	timer := stats.StartTimer()
+	parts := make([][]Result, len(s.shards))
+	sts := make([]ExecStats, len(s.shards))
+	if err := s.fanOut(func(si int, sh *DB) error {
+		reads0 := sh.pageReads()
+		r, err := run(sh, p, &sts[si])
+		sts[si].PageReads = sh.pageReads() - reads0
+		parts[si] = r
+		return err
+	}); err != nil {
+		return nil, ExecStats{}, err
+	}
+	var out []Result
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	sortResults(out)
+	st := mergeStats(sts)
+	st.Results = len(out)
+	st.Elapsed = timer.Elapsed()
+	return out, st, nil
+}
+
+// RangeIndexed answers a range query with Algorithm 2 on every shard in
+// parallel, merging verified answers.
+func (s *Sharded) RangeIndexed(q RangeQuery) ([]Result, ExecStats, error) {
+	return s.rangeFanPlanned(q, (*DB).rangeIndexedPlanned)
+}
+
+// RangeScanFreq runs the frequency-domain scan baseline on every shard in
+// parallel.
+func (s *Sharded) RangeScanFreq(q RangeQuery) ([]Result, ExecStats, error) {
+	return s.rangeFanPlanned(q, (*DB).rangeScanFreqPlanned)
+}
+
+// RangeScanTime runs the naive time-domain scan baseline on every shard
+// in parallel (the baseline carries no reusable plan — it transforms in
+// the time domain per record).
+func (s *Sharded) RangeScanTime(q RangeQuery) ([]Result, ExecStats, error) {
+	timer := stats.StartTimer()
+	parts := make([][]Result, len(s.shards))
+	sts := make([]ExecStats, len(s.shards))
+	if err := s.fanOut(func(si int, sh *DB) error {
+		r, pst, err := sh.RangeScanTime(q)
+		parts[si], sts[si] = r, pst
+		return err
+	}); err != nil {
+		return nil, ExecStats{}, err
+	}
+	var out []Result
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	sortResults(out)
+	st := mergeStats(sts)
+	st.Results = len(out)
+	st.Elapsed = timer.Elapsed()
+	return out, st, nil
+}
+
+// nnFan fans a nearest-neighbor search out to every shard with one shared
+// k-th-best bound: every shard traversal verifies against — and tightens —
+// the same global threshold, the cross-shard analogue of
+// SelfJoinScanParallel's worker partitioning, so the union of shard
+// searches verifies no more candidates than a single-store search would
+// (up to bound-propagation timing).
+func (s *Sharded) nnFan(q NNQuery, run func(*DB, *rangePlan, *topK, *ExecStats) error) ([]Result, ExecStats, error) {
+	p, err := planNN(s.shards[0], q)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	timer := stats.StartTimer()
+	best := newTopK(q.K)
+	sts := make([]ExecStats, len(s.shards))
+	if err := s.fanOut(func(si int, sh *DB) error {
+		reads0 := sh.pageReads()
+		err := run(sh, p, best, &sts[si])
+		sts[si].PageReads = sh.pageReads() - reads0
+		return err
+	}); err != nil {
+		return nil, ExecStats{}, err
+	}
+	out := best.results()
+	st := mergeStats(sts)
+	st.Results = len(out)
+	st.Elapsed = timer.Elapsed()
+	return out, st, nil
+}
+
+// NNIndexed answers a k-nearest-neighbor query with the branch-and-bound
+// traversal on every shard in parallel, sharing the k-th-best bound.
+func (s *Sharded) NNIndexed(q NNQuery) ([]Result, ExecStats, error) {
+	return s.nnFan(q, (*DB).nnIndexedInto)
+}
+
+// NNScan runs the scan baseline on every shard in parallel, sharing the
+// k-th-best bound.
+func (s *Sharded) NNScan(q NNQuery) ([]Result, ExecStats, error) {
+	return s.nnFan(q, (*DB).nnScanInto)
+}
+
+// SubsequenceScan runs the time-domain subsequence scan on every shard in
+// parallel.
+func (s *Sharded) SubsequenceScan(q []float64, eps float64) ([]SubseqResult, ExecStats, error) {
+	timer := stats.StartTimer()
+	parts := make([][]SubseqResult, len(s.shards))
+	sts := make([]ExecStats, len(s.shards))
+	if err := s.fanOut(func(si int, sh *DB) error {
+		r, pst, err := sh.SubsequenceScan(q, eps)
+		parts[si], sts[si] = r, pst
+		return err
+	}); err != nil {
+		return nil, ExecStats{}, err
+	}
+	var out []SubseqResult
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sortSubseq(out)
+	st := mergeStats(sts)
+	st.Results = len(out)
+	st.Elapsed = timer.Elapsed()
+	return out, st, nil
+}
+
+// entry is one live series pinned for a cross-shard join: its global ID
+// and owning shard.
+type entry struct {
+	id int64
+	sh *DB
+}
+
+// pinAll takes every shard's shared lock and snapshots the catalog in
+// ascending global-ID (insertion) order. The caller must runlockAll when
+// done.
+func (s *Sharded) pinAll() []entry {
+	s.rlockAll()
+	s.mu.RLock()
+	out := make([]entry, 0, len(s.ids))
+	for _, id := range s.ids {
+		out = append(out, entry{id: id, sh: s.shards[s.owner[id]]})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// SelfJoin finds all pairs of distinct stored series within eps under the
+// given Table 1 method, across all shards: scan methods run one global
+// nested scan partitioned across workers; index methods probe every
+// shard's index with every stored series in parallel. Output matches the
+// unsharded SelfJoin exactly (same pairs, same (A, B) order, same
+// once/twice reporting per method).
+func (s *Sharded) SelfJoin(eps float64, t transform.T, method JoinMethod) ([]JoinPair, ExecStats, error) {
+	switch method {
+	case JoinScanNaive:
+		return s.selfJoinScan(eps, t, false)
+	case JoinScanEarlyAbandon:
+		return s.selfJoinScan(eps, t, true)
+	case JoinIndexPlain:
+		return s.joinIndexFan(eps, transform.Identity(s.length), transform.Identity(s.length), false)
+	case JoinIndexTransform:
+		return s.joinIndexFan(eps, t, t, false)
+	default:
+		return nil, ExecStats{}, fmt.Errorf("core: unknown join method %d", method)
+	}
+}
+
+// JoinTwoSided finds all ordered pairs (x, y), x != y, with
+// D(L(nf(x)), R(nf(y))) <= eps across all shards.
+func (s *Sharded) JoinTwoSided(eps float64, left, right transform.T) ([]JoinPair, ExecStats, error) {
+	return s.joinIndexFan(eps, left, right, true)
+}
+
+// selfJoinScan is the global nested scan (methods a and b): outer rows are
+// strided across workers like SelfJoinScanParallel, but rows come from
+// every shard. All shard locks are held in shared mode for the duration.
+func (s *Sharded) selfJoinScan(eps float64, t transform.T, earlyAbandon bool) ([]JoinPair, ExecStats, error) {
+	if err := s.shards[0].validateJoin(eps, t); err != nil {
+		return nil, ExecStats{}, err
+	}
+	timer := stats.StartTimer()
+	entries := s.pinAll()
+	defer s.runlockAll()
+	reads0 := s.pageReadsLocked()
+
+	a, b := s.shards[0].permuteTransform(t)
+	limit := eps * eps
+	n := len(entries)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n && n > 0 {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type partial struct {
+		pairs      []JoinPair
+		terms      int64
+		candidates int
+		err        error
+	}
+	results := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := &results[w]
+			for i := w; i < n; i += workers {
+				X, err := entries[i].sh.spectrum(entries[i].id)
+				if err != nil {
+					out.err = err
+					return
+				}
+				tx := make([]complex128, len(X))
+				for f := range X {
+					tx[f] = a[f]*X[f] + b[f]
+				}
+				for j := i + 1; j < n; j++ {
+					rel := entries[j].sh.freqRel
+					pages, err := rel.ViewPages(entries[j].id)
+					if err != nil {
+						out.err = err
+						return
+					}
+					ps := rel.PageSize()
+					out.candidates++
+					var sum float64
+					terms := 0
+					abandoned := false
+					for f := range tx {
+						y := relation.ComplexAt(pages, ps, f)
+						d := tx[f] - (a[f]*y + b[f])
+						sum += real(d)*real(d) + imag(d)*imag(d)
+						terms++
+						if earlyAbandon && sum > limit {
+							abandoned = true
+							break
+						}
+					}
+					out.terms += int64(terms)
+					if !abandoned && sum <= limit {
+						out.pairs = append(out.pairs, orderedPair(entries[i].id, entries[j].id, math.Sqrt(sum)))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var st ExecStats
+	var out []JoinPair
+	for _, r := range results {
+		if r.err != nil {
+			return nil, st, fmt.Errorf("core: sharded join worker: %w", r.err)
+		}
+		out = append(out, r.pairs...)
+		st.DistanceTerms += r.terms
+		st.Candidates += r.candidates
+	}
+	sortPairs(out)
+	st.Results = len(out)
+	st.PageReads = s.pageReadsLocked() - reads0
+	st.Elapsed = timer.Elapsed()
+	return out, st, nil
+}
+
+// joinIndexFan is the index-nested-loop join over a sharded store
+// (self-join methods c/d and the two-sided join): every stored series, in
+// parallel batches partitioned by its owning shard, probes every shard's
+// index with the right-side transformation applied to its point, and
+// candidates verify in their owning shard against the left-side
+// transformation. twoSided selects JoinTwoSided's (candidate, probe) pair
+// orientation; otherwise pairs are (probe, candidate) as in selfJoinIndex.
+func (s *Sharded) joinIndexFan(eps float64, left, right transform.T, twoSided bool) ([]JoinPair, ExecStats, error) {
+	if err := s.shards[0].validateJoin(eps, left); err != nil {
+		return nil, ExecStats{}, err
+	}
+	if err := s.shards[0].validateJoin(eps, right); err != nil {
+		return nil, ExecStats{}, err
+	}
+	timer := stats.StartTimer()
+	s.rlockAll()
+	defer s.runlockAll()
+	reads0 := s.pageReadsLocked()
+
+	lm, err := s.Schema().Map(left)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	rm, err := s.Schema().Map(right)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	la, lb := s.shards[0].permuteTransform(left)
+	ra, rb := s.shards[0].permuteTransform(right)
+
+	type partial struct {
+		pairs        []JoinPair
+		nodeAccesses int
+		candidates   int
+		terms        int64
+		err          error
+	}
+	results := make([]partial, len(s.shards))
+	var wg sync.WaitGroup
+	for pi := range s.shards {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			out := &results[pi]
+			probe := s.shards[pi]
+			for _, qid := range probe.ids {
+				qp := probe.points[qid]
+				tq := qp
+				if !rm.Identity() {
+					tq = rm.ApplyPoint(qp)
+				}
+				QX, err := probe.spectrum(qid)
+				if err != nil {
+					out.err = err
+					return
+				}
+				tQ := make([]complex128, len(QX))
+				for f := range QX {
+					tQ[f] = ra[f]*QX[f] + rb[f]
+				}
+				for _, target := range s.shards {
+					cands, searchStats := target.idx.Range(tq, eps, lm, feature.MomentBounds{}, !target.opts.DisablePartialPrune)
+					out.nodeAccesses += searchStats.NodesVisited
+					for _, c := range cands {
+						if c.ID == qid {
+							continue
+						}
+						out.candidates++
+						within, dist, terms, err := target.viewTransformedWithin(c.ID, la, lb, tQ, eps)
+						if err != nil {
+							out.err = err
+							return
+						}
+						out.terms += int64(terms)
+						if within {
+							if twoSided {
+								out.pairs = append(out.pairs, JoinPair{A: c.ID, B: qid, Dist: dist})
+							} else {
+								out.pairs = append(out.pairs, JoinPair{A: qid, B: c.ID, Dist: dist})
+							}
+						}
+					}
+				}
+			}
+		}(pi)
+	}
+	wg.Wait()
+
+	var st ExecStats
+	var out []JoinPair
+	for _, r := range results {
+		if r.err != nil {
+			return nil, st, fmt.Errorf("core: sharded join worker: %w", r.err)
+		}
+		out = append(out, r.pairs...)
+		st.NodeAccesses += r.nodeAccesses
+		st.Candidates += r.candidates
+		st.DistanceTerms += r.terms
+	}
+	sortPairs(out)
+	st.Results = len(out)
+	st.PageReads = s.pageReadsLocked() - reads0
+	st.Elapsed = timer.Elapsed()
+	return out, st, nil
+}
+
+// pageReadsLocked sums relation read counters across shards (caller holds
+// all shard locks in at least shared mode).
+func (s *Sharded) pageReadsLocked() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		total += sh.pageReads()
+	}
+	return total
+}

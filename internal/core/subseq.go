@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/relation"
 	"repro/internal/series"
@@ -51,7 +50,7 @@ func (db *DB) SubsequenceScan(q []float64, eps float64) ([]SubseqResult, ExecSta
 			out = append(out, SubseqResult{ID: id, Name: db.names[id], Offset: off, Dist: dist})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	sortSubseq(out)
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
 	st.Elapsed = timer.Elapsed()

@@ -203,8 +203,9 @@ func AblationPartialPrune(cfg Config) (AblationResult, error) {
 	}
 	mavg := transform.MovingAverage(length, 20)
 	var on, off int
+	onIDs := dbOn.IDs()
 	for i := 0; i < cfg.Queries; i++ {
-		vals, err := dbOn.Series(dbOn.IDs()[(i*47)%count])
+		vals, err := dbOn.Series(onIDs[(i*47)%count])
 		if err != nil {
 			return AblationResult{}, err
 		}
@@ -260,8 +261,9 @@ func AblationK(ks []int, cfg Config) ([]KTradeoffRow, error) {
 			}
 		}
 		var cands, nodes int
+		ids := db.IDs()
 		ms, err := msPerQuery(cfg.Queries, func(i int) error {
-			vals, err := db.Series(db.IDs()[(i*53)%count])
+			vals, err := db.Series(ids[(i*53)%count])
 			if err != nil {
 				return err
 			}

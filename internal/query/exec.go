@@ -17,8 +17,9 @@ type Output struct {
 	Stats   core.ExecStats
 }
 
-// Run parses and executes src against db.
-func Run(db *core.DB, src string) (*Output, error) {
+// Run parses and executes src against db — a single DB or a Sharded
+// store; the query language is engine-agnostic.
+func Run(db core.Engine, src string) (*Output, error) {
 	stmt, err := Parse(src)
 	if err != nil {
 		return nil, err
@@ -27,7 +28,7 @@ func Run(db *core.DB, src string) (*Output, error) {
 }
 
 // Exec executes a parsed statement against db.
-func Exec(db *core.DB, stmt *Statement) (*Output, error) {
+func Exec(db core.Engine, stmt *Statement) (*Output, error) {
 	tr, warp, err := buildTransform(db.Length(), stmt.Transform)
 	if err != nil {
 		return nil, err
@@ -131,7 +132,7 @@ func intArg(c TransformCall, i, lo, hi int) (int, error) {
 }
 
 // querySeries resolves the query-side series of a statement.
-func querySeries(db *core.DB, stmt *Statement) ([]float64, error) {
+func querySeries(db core.Engine, stmt *Statement) ([]float64, error) {
 	if stmt.SeriesName != "" {
 		id, ok := db.IDByName(stmt.SeriesName)
 		if !ok {
@@ -159,7 +160,7 @@ func momentBounds(stmt *Statement) feature.MomentBounds {
 	return mb
 }
 
-func execRange(db *core.DB, stmt *Statement, tr transform.T, warp int) (*Output, error) {
+func execRange(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Output, error) {
 	values, err := querySeries(db, stmt)
 	if err != nil {
 		return nil, err
@@ -195,7 +196,7 @@ func execRange(db *core.DB, stmt *Statement, tr transform.T, warp int) (*Output,
 	return &Output{Kind: StmtRange, Results: res, Stats: st}, nil
 }
 
-func execNN(db *core.DB, stmt *Statement, tr transform.T, warp int) (*Output, error) {
+func execNN(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Output, error) {
 	values, err := querySeries(db, stmt)
 	if err != nil {
 		return nil, err
@@ -222,7 +223,7 @@ func execNN(db *core.DB, stmt *Statement, tr transform.T, warp int) (*Output, er
 	return &Output{Kind: StmtNN, Results: res, Stats: st}, nil
 }
 
-func execSelfJoin(db *core.DB, stmt *Statement, tr transform.T, warp int) (*Output, error) {
+func execSelfJoin(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Output, error) {
 	if warp != 0 {
 		return nil, fmt.Errorf("query: warp is not supported in SELFJOIN")
 	}

@@ -153,6 +153,7 @@ type HealthResponse struct {
 type StatsResponse struct {
 	Series        int     `json:"series"`
 	Length        int     `json:"length"`
+	Shards        int     `json:"shards"`
 	Queries       int64   `json:"queries"`
 	Writes        int64   `json:"writes"`
 	CacheHits     int64   `json:"cache_hits"`

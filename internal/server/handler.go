@@ -109,6 +109,7 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Series:        st.Series,
 		Length:        st.Length,
+		Shards:        st.Shards,
 		Queries:       st.Queries,
 		Writes:        st.Writes,
 		CacheHits:     st.CacheHits,

@@ -1,0 +1,138 @@
+package server_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	tsq "repro"
+	"repro/internal/server"
+)
+
+// TestShardedHTTPParity serves the same data from an unsharded and a
+// sharded server and checks the wire answers agree, plus that /stats
+// reports the shard count.
+func TestShardedHTTPParity(t *testing.T) {
+	walks := tsq.RandomWalks(testCount, testLength, testSeed)
+	mkClient := func(shards int) *server.Client {
+		db := tsq.MustOpen(tsq.Options{Length: testLength, Shards: shards})
+		if err := db.InsertAll(walks); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(server.New(tsq.NewServer(db, tsq.ServerOptions{})))
+		t.Cleanup(ts.Close)
+		return server.NewClient(ts.URL)
+	}
+	plain, sharded := mkClient(1), mkClient(4)
+
+	stmts := []string{
+		"RANGE SERIES 'W0003' EPS 5 TRANSFORM mavg(10)",
+		"NN SERIES 'W0007' K 5",
+		"SELFJOIN EPS 3 TRANSFORM mavg(10) METHOD d",
+	}
+	for _, stmt := range stmts {
+		want, err := plain.QueryOutput(stmt)
+		if err != nil {
+			t.Fatalf("%s: plain: %v", stmt, err)
+		}
+		got, err := sharded.QueryOutput(stmt)
+		if err != nil {
+			t.Fatalf("%s: sharded: %v", stmt, err)
+		}
+		if !reflect.DeepEqual(got.Matches, want.Matches) || !reflect.DeepEqual(got.Pairs, want.Pairs) {
+			t.Errorf("%s: sharded answer diverges over HTTP", stmt)
+		}
+	}
+
+	st, err := sharded.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 4 {
+		t.Fatalf("/stats shards = %d, want 4", st.Shards)
+	}
+}
+
+// TestShardedHTTPStress hammers a sharded server over the wire with
+// concurrent queries and writes; run with -race.
+func TestShardedHTTPStress(t *testing.T) {
+	const (
+		stable  = 24
+		readers = 4
+		writers = 2
+		iters   = 40
+	)
+	walks := tsq.RandomWalks(stable+writers, testLength, 5)
+	db := tsq.MustOpen(tsq.Options{Length: testLength, Shards: 4})
+	if err := db.InsertAll(walks[:stable]); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(tsq.NewServer(db, tsq.ServerOptions{CacheSize: 32})))
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+writers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			client := server.NewClient(ts.URL)
+			for i := 0; i < iters; i++ {
+				name := fmt.Sprintf("W%04d", (r*7+i)%stable)
+				switch i % 3 {
+				case 0:
+					if _, err := client.Query(fmt.Sprintf("RANGE SERIES '%s' EPS 3 TRANSFORM mavg(10)", name)); err != nil {
+						errs <- fmt.Errorf("reader %d range: %w", r, err)
+						return
+					}
+				case 1:
+					if _, err := client.Query(fmt.Sprintf("NN SERIES '%s' K 3", name)); err != nil {
+						errs <- fmt.Errorf("reader %d nn: %w", r, err)
+						return
+					}
+				case 2:
+					if _, err := client.Series(name); err != nil {
+						errs <- fmt.Errorf("reader %d series: %w", r, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := server.NewClient(ts.URL)
+			vals := walks[stable+w].Values
+			for i := 0; i < iters; i++ {
+				name := fmt.Sprintf("churn-%d-%d", w, i)
+				if err := client.Insert(name, vals); err != nil {
+					errs <- fmt.Errorf("writer %d insert: %w", w, err)
+					return
+				}
+				if i%2 == 0 {
+					if ok, err := client.Delete(name); err != nil || !ok {
+						errs <- fmt.Errorf("writer %d delete %s: ok=%t err=%v", w, name, ok, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every stable series must have survived.
+	client := server.NewClient(ts.URL)
+	for i := 0; i < stable; i++ {
+		if _, err := client.Series(fmt.Sprintf("W%04d", i)); err != nil {
+			t.Fatalf("stable series lost: %v", err)
+		}
+	}
+}

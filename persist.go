@@ -27,13 +27,29 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 	return db.eng.WriteTo(w)
 }
 
-// ReadFrom loads a snapshot produced by WriteTo, rebuilding the index with
-// bulk loading. The snapshot records its own feature schema; storage
-// options of the returned DB take defaults.
+// ReadFrom loads a snapshot produced by WriteTo, rebuilding the indexes
+// with bulk loading. Both snapshot versions load: the sharded TSQ2 format
+// restores the shard count it was written with, and the original
+// single-store TSQ1 format yields an unsharded DB. The snapshot records
+// its own feature schema; storage options of the returned DB take
+// defaults.
 func ReadFrom(r io.Reader) (*DB, error) {
-	eng, err := core.ReadFrom(r, core.Options{})
+	return ReadFromShards(r, 0)
+}
+
+// ReadFromShards is ReadFrom with an explicit shard count: 0 honors the
+// count recorded in the snapshot (1 for old single-store snapshots), any
+// n >= 1 re-partitions the store to n shards on load — always possible,
+// because shard assignment is a pure hash of the series name, so the
+// snapshot format carries no per-shard layout.
+func ReadFromShards(r io.Reader, shards int) (*DB, error) {
+	eng, err := core.ReadEngine(r, core.Options{}, shards)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng, length: eng.Length()}, nil
+	n := 1
+	if s, ok := eng.(*core.Sharded); ok {
+		n = s.Shards()
+	}
+	return &DB{eng: eng, length: eng.Length(), shards: n}, nil
 }

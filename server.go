@@ -18,20 +18,40 @@ import (
 )
 
 // Server wraps a DB for long-lived concurrent use: many readers execute
-// queries against the index simultaneously while writers insert, update,
-// and delete under an exclusive lock. It also keeps a small LRU cache of
-// query results, keyed by the query's canonical encoding (source, eps/k,
-// Transform.Canonical, strategy, bounds), so repeated queries — the common
-// shape of dashboard and monitoring traffic — skip the index entirely.
-// Every write purges the cache, which keeps cached answers exactly
-// consistent with the store.
+// queries simultaneously while writers insert, update, and delete. It
+// also keeps a small LRU cache of query results, keyed by the query's
+// canonical encoding (source, eps/k, Transform.Canonical, strategy,
+// bounds), so repeated queries — the common shape of dashboard and
+// monitoring traffic — skip the engine entirely.
+//
+// Locking depends on the store. Over an unsharded DB the Server provides
+// the synchronization itself: one RWMutex serializes writers against the
+// whole store, and the cache stays exactly consistent because purges and
+// adds are ordered by that lock. Over a sharded DB (Options.Shards > 1)
+// the engine synchronizes internally with one lock per shard, so the
+// Server takes no lock at all: a writer to one shard no longer blocks
+// readers of the others, and only the written shard's portion of a
+// concurrent fan-out query waits. Cache consistency then comes from a
+// write-version counter: every mutation bumps the version and purges the
+// whole cache — any cached query may contain answers from any shard, so
+// selective per-shard purging would be unsound, and whole-cache purge is
+// the documented choice — and a query result is cached only if no write
+// landed between the query starting and finishing, so a reader that
+// overlapped a purge can never re-insert a stale answer.
 //
 // Server is the session layer behind cmd/tsqd's HTTP API, and equally
 // usable embedded in any concurrent program.
 type Server struct {
-	mu    sync.RWMutex
-	db    *DB
-	cache *lru.Cache
+	mu      sync.RWMutex // unsharded stores only; unused when sharded
+	sharded bool
+	version atomic.Int64 // write-version guard for the sharded cache
+	// cacheGuard makes a sharded reader's version re-check and cache Add
+	// one atomic step relative to a writer's purge; without it a reader
+	// could pass the check, lose the CPU across an entire
+	// mutate+bump+purge, and then re-insert its stale result.
+	cacheGuard sync.Mutex
+	db         *DB
+	cache      *lru.Cache
 
 	started time.Time
 
@@ -66,6 +86,7 @@ func NewServer(db *DB, opts ServerOptions) *Server {
 	}
 	return &Server{
 		db:      db,
+		sharded: db.Shards() > 1,
 		cache:   lru.New(size),
 		started: time.Now(),
 	}
@@ -78,6 +99,7 @@ func NewServer(db *DB, opts ServerOptions) *Server {
 type ServerStats struct {
 	Series int
 	Length int
+	Shards int
 
 	Queries     int64
 	Writes      int64
@@ -97,13 +119,14 @@ type ServerStats struct {
 
 // Stats returns the Server's cumulative counters.
 func (s *Server) Stats() ServerStats {
-	s.mu.RLock()
+	s.rlock()
 	series, length := s.db.Len(), s.db.Length()
-	s.mu.RUnlock()
+	s.runlock()
 	hits, misses := s.cache.HitsMisses()
 	return ServerStats{
 		Series:       series,
 		Length:       length,
+		Shards:       s.db.Shards(),
 		Queries:      s.queries.Load(),
 		Writes:       s.writes.Load(),
 		CacheHits:    hits,
@@ -125,17 +148,30 @@ func (s *Server) record(st Stats) {
 	s.elapsed.Add(int64(st.Elapsed))
 }
 
-// write runs fn under the exclusive lock. fn reports whether it (possibly)
-// mutated the store; only then is the result cache purged and the write
-// counter bumped — a rejected insert or a delete of a missing name is a
-// no-op and must not evict cached results.
+// write runs fn — which must report whether it (possibly) mutated the
+// store — and on mutation bumps the write counter and purges the result
+// cache; a rejected insert or a delete of a missing name is a no-op and
+// must not evict cached results. Over an unsharded store fn runs under
+// the Server's exclusive lock. Over a sharded store the engine locks only
+// the shard fn touches; the version bump is ordered after the mutation
+// and before the purge, so any query that read pre-mutation data observes
+// the changed version before it could cache a stale result.
 func (s *Server) write(fn func() (mutated bool, err error)) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !s.sharded {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	mutated, err := fn()
 	if mutated {
 		s.writes.Add(1)
-		s.cache.Purge()
+		if s.sharded {
+			s.version.Add(1)
+			s.cacheGuard.Lock()
+			s.cache.Purge()
+			s.cacheGuard.Unlock()
+		} else {
+			s.cache.Purge()
+		}
 	}
 	return err
 }
@@ -159,7 +195,13 @@ func (s *Server) InsertAll(batch []NamedSeries) error {
 				for j := i - 1; j >= 0; j-- {
 					s.db.Delete(batch[j].Name)
 				}
-				return false, err
+				// The store is back to its pre-batch state, but on a
+				// sharded engine the rolled-back inserts were visible to
+				// concurrent queries (writes lock per shard, not the
+				// store), so the rollback must still count as a mutation
+				// — otherwise a mid-batch reader could cache a result
+				// containing a rolled-back series.
+				return i > 0, err
 			}
 		}
 		return len(batch) > 0, nil
@@ -202,38 +244,58 @@ func (s *Server) Compact() (int, error) {
 	return n, err
 }
 
+// rlock / runlock take the Server's shared lock for unsharded stores;
+// sharded engines synchronize internally, so they are no-ops there.
+func (s *Server) rlock() {
+	if !s.sharded {
+		s.mu.RLock()
+	}
+}
+
+func (s *Server) runlock() {
+	if !s.sharded {
+		s.mu.RUnlock()
+	}
+}
+
 // Len returns the number of stored series.
 func (s *Server) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	return s.db.Len()
 }
 
 // Length returns the fixed series length.
 func (s *Server) Length() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	return s.db.Length()
 }
 
+// Shards returns the number of hash partitions the wrapped store runs
+// with (1 for the classic single-store engine).
+func (s *Server) Shards() int { return s.db.Shards() }
+
 // Names returns the stored series names in insertion order.
 func (s *Server) Names() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	return s.db.Names()
 }
 
 // Series returns a copy of the stored values for a name.
 func (s *Server) Series(name string) ([]float64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	return s.db.Series(name)
 }
 
-// WriteTo serializes a consistent snapshot of the DB. See DB.WriteTo.
+// WriteTo serializes a consistent snapshot of the DB. See DB.WriteTo (a
+// sharded store pins every shard for the duration, so the snapshot is a
+// consistent cut even under concurrent writers).
 func (s *Server) WriteTo(w io.Writer) (int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	return s.db.WriteTo(w)
 }
 
@@ -247,13 +309,44 @@ type cachedResult struct {
 	stats   Stats
 }
 
-// readQuery serves one query under the shared lock, consulting the result
-// cache first. The cache Add happens while the read lock is still held, so
-// a concurrent writer's purge can never leave a stale entry behind: purge
-// runs under the exclusive lock, strictly before or after this critical
-// section.
+// readQuery serves one query, consulting the result cache first.
+//
+// Unsharded: the query runs under the shared lock and the cache Add
+// happens while the read lock is still held, so a concurrent writer's
+// purge can never leave a stale entry behind — purge runs under the
+// exclusive lock, strictly before or after this critical section.
+//
+// Sharded: the engine takes its own per-shard read locks during the
+// fan-out, so the Server takes none. The result is cached only if the
+// write version is unchanged across the whole computation: a writer bumps
+// the version after mutating and before purging, so a query that read any
+// pre-mutation shard state started before the bump and fails the
+// comparison. The re-check and the Add happen as one atomic step under
+// cacheGuard — the same mutex the writer's purge takes — so the check
+// cannot go stale between passing and the Add landing; the purge cannot
+// be undone by a slow reader.
 func (s *Server) readQuery(key string, compute func() (cachedResult, error)) (cachedResult, Stats, error) {
 	s.queries.Add(1)
+	if s.sharded {
+		if v, ok := s.cache.Get(key); ok {
+			r := v.(cachedResult)
+			st := r.stats
+			st.Cached = true
+			return r, st, nil
+		}
+		v0 := s.version.Load()
+		r, err := compute()
+		if err != nil {
+			return cachedResult{}, Stats{}, err
+		}
+		s.cacheGuard.Lock()
+		if s.version.Load() == v0 {
+			s.cache.Add(key, r)
+		}
+		s.cacheGuard.Unlock()
+		s.record(r.stats)
+		return r, r.stats, nil
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if v, ok := s.cache.Get(key); ok {

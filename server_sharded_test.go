@@ -1,0 +1,209 @@
+package tsq_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	tsq "repro"
+)
+
+// openParityPair loads the same walks into an unsharded store and a
+// sharded one.
+func openParityPair(t *testing.T, count, length, shards int) (*tsq.DB, *tsq.DB) {
+	t.Helper()
+	walks := tsq.RandomWalks(count, length, 11)
+	single := tsq.MustOpen(tsq.Options{Length: length})
+	sharded := tsq.MustOpen(tsq.Options{Length: length, Shards: shards})
+	if err := single.InsertAll(walks); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.InsertAll(walks); err != nil {
+		t.Fatal(err)
+	}
+	return single, sharded
+}
+
+// TestShardedDBParity checks the public tsq API returns identical answers
+// from sharded and unsharded stores for every query kind, including the
+// query language.
+func TestShardedDBParity(t *testing.T) {
+	const (
+		count  = 80
+		length = 64
+	)
+	for _, shards := range []int{2, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			single, sharded := openParityPair(t, count, length, shards)
+			if got := sharded.Shards(); got != shards {
+				t.Fatalf("Shards() = %d, want %d", got, shards)
+			}
+
+			check := func(label string, run func(*tsq.DB) (any, error)) {
+				t.Helper()
+				want, err := run(single)
+				if err != nil {
+					t.Fatalf("%s: unsharded: %v", label, err)
+				}
+				got, err := run(sharded)
+				if err != nil {
+					t.Fatalf("%s: sharded: %v", label, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s diverges:\n got %+v\nwant %+v", label, got, want)
+				}
+			}
+
+			check("range", func(db *tsq.DB) (any, error) {
+				m, _, err := db.RangeByName("W0003", 6, tsq.MovingAverage(10))
+				return m, err
+			})
+			check("range/scan", func(db *tsq.DB) (any, error) {
+				m, _, err := db.RangeByName("W0003", 6, tsq.MovingAverage(10), tsq.With(tsq.UseScan))
+				return m, err
+			})
+			check("range/both", func(db *tsq.DB) (any, error) {
+				m, _, err := db.RangeByName("W0003", 6, tsq.MovingAverage(10), tsq.TransformBoth())
+				return m, err
+			})
+			check("range/moments", func(db *tsq.DB) (any, error) {
+				m, _, err := db.RangeByName("W0003", 8, tsq.Identity(), tsq.MeanRange(20, 90))
+				return m, err
+			})
+			check("nn", func(db *tsq.DB) (any, error) {
+				m, _, err := db.NNByName("W0005", 7, tsq.Identity())
+				return m, err
+			})
+			check("selfjoin", func(db *tsq.DB) (any, error) {
+				p, _, err := db.SelfJoin(4, tsq.MovingAverage(10), tsq.JoinIndexTransform)
+				return p, err
+			})
+			check("join-two-sided", func(db *tsq.DB) (any, error) {
+				p, _, err := db.JoinTwoSided(3, tsq.Reverse().Then(tsq.MovingAverage(10)), tsq.MovingAverage(10))
+				return p, err
+			})
+			check("subsequence", func(db *tsq.DB) (any, error) {
+				q, err := single.Series("W0002")
+				if err != nil {
+					return nil, err
+				}
+				m, _, err := db.Subsequence(q[:16], 25)
+				return m, err
+			})
+			check("query-language", func(db *tsq.DB) (any, error) {
+				out, err := db.Query("RANGE SERIES 'W0004' EPS 5 TRANSFORM mavg(10)")
+				if err != nil {
+					return nil, err
+				}
+				return out.Matches, nil
+			})
+			check("query-language/selfjoin", func(db *tsq.DB) (any, error) {
+				out, err := db.Query("SELFJOIN EPS 3 TRANSFORM mavg(10) METHOD b")
+				if err != nil {
+					return nil, err
+				}
+				return out.Pairs, nil
+			})
+		})
+	}
+}
+
+// TestShardedSnapshotTSQLayer round-trips a sharded store through the tsq
+// persistence API: the recorded shard count survives, and loading at a
+// different width still answers identically.
+func TestShardedSnapshotTSQLayer(t *testing.T) {
+	single, sharded := openParityPair(t, 50, 64, 4)
+
+	var buf bytes.Buffer
+	if _, err := sharded.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	back, err := tsq.ReadFrom(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Shards() != 4 {
+		t.Fatalf("snapshot round-trip lost shard count: got %d, want 4", back.Shards())
+	}
+	reshard, err := tsq.ReadFromShards(bytes.NewReader(snap), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reshard.Shards() != 2 {
+		t.Fatalf("forced re-shard: got %d, want 2", reshard.Shards())
+	}
+
+	want, _, err := single.RangeByName("W0001", 6, tsq.MovingAverage(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, db := range map[string]*tsq.DB{"recorded": back, "resharded": reshard} {
+		got, _, err := db.RangeByName("W0001", 6, tsq.MovingAverage(10))
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s snapshot load diverges", label)
+		}
+	}
+}
+
+// TestShardedServerCacheConsistency drives the version-guarded cache of a
+// sharded Server: repeats hit the cache, any write purges it, and the
+// post-write answer reflects the write.
+func TestShardedServerCacheConsistency(t *testing.T) {
+	const length = 64
+	walks := tsq.RandomWalks(20, length, 3)
+	db := tsq.MustOpen(tsq.Options{Length: length, Shards: 4})
+	if err := db.InsertAll(walks[:16]); err != nil {
+		t.Fatal(err)
+	}
+	s := tsq.NewServer(db, tsq.ServerOptions{CacheSize: 32})
+
+	m1, st1, err := s.Range(walks[0].Values, 6, tsq.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Cached {
+		t.Fatal("first query reported cached")
+	}
+	_, st2, err := s.Range(walks[0].Values, 6, tsq.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached {
+		t.Fatal("repeat query missed the cache")
+	}
+
+	// Insert a series identical to the query: it must appear in the next
+	// answer, i.e. the write purged the cached result.
+	if err := s.Insert("clone", walks[0].Values); err != nil {
+		t.Fatal(err)
+	}
+	m3, st3, err := s.Range(walks[0].Values, 6, tsq.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Cached {
+		t.Fatal("post-write query served a stale cache entry")
+	}
+	if len(m3) != len(m1)+1 {
+		t.Fatalf("post-write answer has %d matches, want %d", len(m3), len(m1)+1)
+	}
+	found := false
+	for _, m := range m3 {
+		if m.Name == "clone" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("newly inserted series missing from post-write answer")
+	}
+	if st := s.Stats(); st.Shards != 4 || st.Writes != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

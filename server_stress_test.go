@@ -10,8 +10,19 @@ import (
 
 // TestServerConcurrentReadsAndWrites hammers one Server with parallel
 // Range/NN/Query readers while writers insert, update, and delete — the
-// acceptance stress test for the RWMutex session layer. Run with -race.
+// acceptance stress test for the session layer, run over both engines: the
+// single store behind the Server's RWMutex, and the sharded store with its
+// per-shard locks and version-guarded cache. Run with -race.
 func TestServerConcurrentReadsAndWrites(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			stressServer(t, shards)
+		})
+	}
+}
+
+func stressServer(t *testing.T, shards int) {
 	const (
 		stable  = 40 // series never touched by writers
 		churn   = 20 // series writers cycle through
@@ -21,7 +32,7 @@ func TestServerConcurrentReadsAndWrites(t *testing.T) {
 		iters   = 120
 	)
 	walks := tsq.RandomWalks(stable+churn+writers, length, 7)
-	db := tsq.MustOpen(tsq.Options{Length: length})
+	db := tsq.MustOpen(tsq.Options{Length: length, Shards: shards})
 	if err := db.InsertAll(walks[:stable]); err != nil {
 		t.Fatal(err)
 	}

@@ -30,15 +30,22 @@
 //	// Or the query language:
 //	out, _ := db.Query("RANGE SERIES 'BBA' EPS 2.75 TRANSFORM mavg(20)")
 //
-// # Serving
+// # Serving and sharding
 //
-// A DB is safe for concurrent readers but not for writes. For a
-// long-lived concurrent service, wrap it in a Server: queries run in
+// An unsharded DB is safe for concurrent readers but not for writes. For
+// a long-lived concurrent service, wrap it in a Server: queries run in
 // parallel under a shared lock while inserts, updates, and deletes take
 // an exclusive lock, and an LRU cache absorbs repeated queries:
 //
 //	srv := tsq.NewServer(db, tsq.ServerOptions{})
 //	matches, stats, _ := srv.RangeByName("BBA", 2.75, tsq.MovingAverage(20))
+//
+// Options.Shards > 1 partitions the store into hash-partitioned shards
+// (by series name), each with its own index and lock: queries fan out to
+// every shard in parallel and merge — answers are identical to an
+// unsharded store — while a writer blocks only its own shard. A sharded
+// DB synchronizes internally and is safe for concurrent use as-is;
+// wrapping it in a Server adds the cache and traffic counters on top.
 //
 // Command tsqd (cmd/tsqd) serves a Server over an HTTP/JSON API — see
 // repro/internal/server and the README's "Running the server" section —
@@ -103,14 +110,25 @@ type Options struct {
 	// buffer pools of this many pages, so Stats.PageReads counts physical
 	// reads (pool misses) as a real buffer manager would. Default off.
 	BufferPoolPages int
+	// Shards partitions the store into this many hash-partitioned shards
+	// (by series name), each with its own index, storage, and lock.
+	// Queries fan out to every shard in parallel and merge; answers are
+	// identical to an unsharded store holding the same series. A sharded
+	// DB is safe for concurrent use without a Server (writes lock only the
+	// owning shard). 0 or 1 selects the classic single-store engine.
+	Shards int
 }
 
-// DB is an indexed time-series store. It is safe for concurrent reads;
-// writes require external synchronization (or wrap the DB in a Server,
-// which provides it).
+// DB is an indexed time-series store. An unsharded DB (Options.Shards <=
+// 1) is safe for concurrent reads but writes require external
+// synchronization — wrap it in a Server, which provides it. A sharded DB
+// (Options.Shards > 1) synchronizes internally with one lock per shard
+// and is safe for concurrent use as-is; wrapping it in a Server adds
+// result caching and traffic counters without re-serializing access.
 type DB struct {
-	eng    *core.DB
+	eng    core.Engine
 	length int
+	shards int
 }
 
 // Open creates an empty DB.
@@ -131,16 +149,24 @@ func Open(opts Options) (*DB, error) {
 	default:
 		return nil, fmt.Errorf("tsq: unknown space %d", int(opts.Space))
 	}
-	eng, err := core.NewDB(opts.Length, core.Options{
+	coreOpts := core.Options{
 		Schema:          feature.Schema{Space: space, K: k, Moments: !opts.NoMoments},
 		PageSize:        opts.PageSize,
 		RTree:           rtree.Options{MaxEntries: opts.NodeCapacity},
 		BufferPoolPages: opts.BufferPoolPages,
-	})
+	}
+	if opts.Shards > 1 {
+		eng, err := core.NewSharded(opts.Length, opts.Shards, coreOpts)
+		if err != nil {
+			return nil, err
+		}
+		return &DB{eng: eng, length: opts.Length, shards: opts.Shards}, nil
+	}
+	eng, err := core.NewDB(opts.Length, coreOpts)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng, length: opts.Length}, nil
+	return &DB{eng: eng, length: opts.Length, shards: 1}, nil
 }
 
 // MustOpen is Open for static configurations; it panics on error.
@@ -165,14 +191,10 @@ func (db *DB) Len() int { return db.eng.Len() }
 // Length returns the fixed series length.
 func (db *DB) Length() int { return db.length }
 
-// Names returns the stored series names in insertion order.
+// Names returns the stored series names in insertion order (a consistent
+// snapshot, also on sharded stores under concurrent writes).
 func (db *DB) Names() []string {
-	ids := db.eng.IDs()
-	out := make([]string, len(ids))
-	for i, id := range ids {
-		out[i] = db.eng.Name(id)
-	}
-	return out
+	return db.eng.Names()
 }
 
 // Series returns a copy of the stored values for a name.
@@ -192,8 +214,13 @@ func (db *DB) Delete(name string) bool {
 }
 
 // Engine exposes the underlying query engine for advanced use (experiment
-// harnesses, ablations). Most callers should use the DB methods.
-func (db *DB) Engine() *core.DB { return db.eng }
+// harnesses, ablations) — a *core.DB for unsharded stores, a
+// *core.Sharded for sharded ones. Most callers should use the DB methods.
+func (db *DB) Engine() core.Engine { return db.eng }
+
+// Shards returns the number of hash partitions the store runs with
+// (1 for the classic single-store engine).
+func (db *DB) Shards() int { return db.shards }
 
 // Compact rebuilds the storage pages, reclaiming space left behind by
 // Delete and Update. It returns the number of simulated pages reclaimed.
