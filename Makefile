@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt serve clean bench-smoke bench-throughput
+.PHONY: build test vet fmt serve clean bench-smoke bench-throughput bench-append
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,11 @@ bench-smoke:
 # shard counts 1, 2, 4, 8 and write the report to BENCH_2.json.
 bench-throughput:
 	TSQ_BENCH_OUT=$(CURDIR)/BENCH_2.json $(GO) test -run TestThroughputReport -v .
+
+# Measure streaming appends/sec vs whole-series re-inserts at shard counts
+# 1, 4, 8 and windows 256, 1024; write the report to BENCH_3.json.
+bench-append:
+	TSQ_BENCH_OUT=$(CURDIR)/BENCH_3.json $(GO) test -run TestAppendReport -timeout 20m -v .
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,211 @@
+// Streaming-ingest benchmarks: appends/sec through a tsq.Server against
+// the whole-series re-insert (Update) baseline, at growing shard counts
+// and window sizes. The append path maintains the feature point with the
+// O(K) sliding-DFT recurrence and rewrites storage and the index entry in
+// place; Update re-extracts features with O(n*K) trigonometry and
+// delete+reinserts, so the gap should widen with the window.
+//
+// Two entry points share the workload:
+//
+//   - BenchmarkAppend — standard go-bench surface, exercised once per CI
+//     run (-benchtime 1x) so it cannot rot;
+//   - TestAppendReport — gated by TSQ_BENCH_OUT; measures both paths per
+//     (shards, window) configuration and writes the JSON report
+//     `make bench-append` publishes as BENCH_3.json.
+package tsq_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	tsq "repro"
+)
+
+const appendBenchSeries = 256
+
+// newAppendServer builds a cache-less Server over bulk-loaded walks.
+func newAppendServer(tb testing.TB, shards, window int) (*tsq.Server, []tsq.NamedSeries) {
+	tb.Helper()
+	walks := tsq.RandomWalks(appendBenchSeries, window, 1997)
+	db, err := tsq.Open(tsq.Options{Length: window, Shards: shards})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.InsertBulk(walks); err != nil {
+		tb.Fatal(err)
+	}
+	return tsq.NewServer(db, tsq.ServerOptions{CacheSize: -1}), walks
+}
+
+func BenchmarkAppend(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			s, walks := newAppendServer(b, shards, 256)
+			b.ResetTimer()
+			i := 0
+			for n := 0; n < b.N; n++ {
+				w := walks[i%len(walks)]
+				if err := s.Append(w.Name, []float64{50 + float64(i%9)}); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	}
+}
+
+// appendPoint is one row of BENCH_3.json.
+type appendPoint struct {
+	Shards          int     `json:"shards"`
+	Window          int     `json:"window"`
+	Appends         int     `json:"appends"`
+	AppendsPerSec   float64 `json:"appends_per_sec"`
+	Reinserts       int     `json:"reinserts"`
+	ReinsertsPerSec float64 `json:"reinserts_per_sec"`
+	// Speedup is appends/sec over whole-series re-inserts/sec — the
+	// streaming path's advantage.
+	Speedup float64 `json:"speedup"`
+}
+
+func benchWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 4 {
+		w = 4
+	}
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// measureAppends runs workers*perWorker single-point appends, each worker
+// striding over its own series subset, and returns the best-of-three rate.
+func measureAppends(tb testing.TB, shards, window, workers, perWorker int) float64 {
+	best := 0.0
+	for trial := 0; trial < 3; trial++ {
+		s, walks := newAppendServer(tb, shards, window)
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					name := walks[(w+workers*i)%len(walks)].Name
+					if err := s.Append(name, []float64{50 + float64(i%9)}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			tb.Fatal(err)
+		}
+		if rate := float64(workers*perWorker) / time.Since(start).Seconds(); rate > best {
+			best = rate
+		}
+	}
+	return best
+}
+
+// measureReinserts is the baseline: the same write traffic expressed as
+// whole-series Updates (what every "tick" cost before the append path).
+func measureReinserts(tb testing.TB, shards, window, workers, perWorker int) float64 {
+	best := 0.0
+	for trial := 0; trial < 3; trial++ {
+		s, walks := newAppendServer(tb, shards, window)
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					idx := (w + workers*i) % len(walks)
+					name := walks[idx].Name
+					values := walks[(idx+1)%len(walks)].Values
+					if err := s.Update(name, values); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			tb.Fatal(err)
+		}
+		if rate := float64(workers*perWorker) / time.Since(start).Seconds(); rate > best {
+			best = rate
+		}
+	}
+	return best
+}
+
+// TestAppendReport writes the appends/sec-vs-reinserts/sec report to the
+// path in TSQ_BENCH_OUT (skipped when unset — this is a measurement, not
+// a correctness test; `make bench-append` drives it). The acceptance bar
+// rides along: at window 1024 the append path must beat whole-series
+// re-insertion by at least 5x.
+func TestAppendReport(t *testing.T) {
+	out := os.Getenv("TSQ_BENCH_OUT")
+	if out == "" {
+		t.Skip("TSQ_BENCH_OUT not set; run via `make bench-append`")
+	}
+	workers := benchWorkers()
+	report := struct {
+		Benchmark string        `json:"benchmark"`
+		Series    int           `json:"series"`
+		Workers   int           `json:"workers"`
+		GoMaxProc int           `json:"gomaxprocs"`
+		Results   []appendPoint `json:"results"`
+	}{
+		Benchmark: "streaming append throughput vs whole-series re-insert",
+		Series:    appendBenchSeries,
+		Workers:   workers,
+		GoMaxProc: runtime.GOMAXPROCS(0),
+	}
+	for _, window := range []int{256, 1024} {
+		// Fewer ops at the bigger window / for the slower baseline keeps
+		// the run under a minute without starving the measurement.
+		appendsPer := 4000 / (window / 256)
+		reinsertsPer := 400 / (window / 256)
+		for _, shards := range []int{1, 4, 8} {
+			ap := measureAppends(t, shards, window, workers, appendsPer)
+			rp := measureReinserts(t, shards, window, workers, reinsertsPer)
+			p := appendPoint{
+				Shards:          shards,
+				Window:          window,
+				Appends:         workers * appendsPer,
+				AppendsPerSec:   ap,
+				Reinserts:       workers * reinsertsPer,
+				ReinsertsPerSec: rp,
+				Speedup:         ap / rp,
+			}
+			t.Logf("shards=%d window=%d: %.0f appends/s vs %.0f reinserts/s (%.1fx)",
+				shards, window, ap, rp, p.Speedup)
+			report.Results = append(report.Results, p)
+			if window == 1024 && p.Speedup < 5 {
+				t.Errorf("shards=%d window=%d: append speedup %.2fx below the 5x bar", shards, window, p.Speedup)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,9 @@
 // Command tsqcli executes statements of the tsq query language, either
 // against a CSV loaded into an embedded engine or — with -remote —
 // against a running tsqd server, from -query or interactively from
-// standard input (one statement per line).
+// standard input (one statement per line). Two subcommands drive the
+// streaming subsystem against a remote server: `append` slides series
+// windows forward, `watch` follows a standing query's enter/leave events.
 //
 // Usage:
 //
@@ -12,6 +14,12 @@
 //	tsqd -data walks.csv &
 //	tsqcli -remote http://localhost:8080 -query "NN SERIES 'W0007' K 5"
 //	tsqcli -remote http://localhost:8080 -data walks.csv   # upload CSV, then query
+//
+//	# Streaming:
+//	tsqcli -remote http://localhost:8080 append W0007 101.5 102 103.25
+//	tsqcli -remote http://localhost:8080 append -ticks ticks.csv
+//	tsqcli -remote http://localhost:8080 watch -kind range -series W0007 -eps 2 -transform "mavg(20)"
+//	tsqcli -remote http://localhost:8080 watch -kind nn -series W0007 -k 5
 //
 // The query language:
 //
@@ -26,9 +34,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
 
 	tsq "repro"
@@ -46,6 +57,23 @@ func main() {
 	)
 	flag.Parse()
 
+	if args := flag.Args(); len(args) > 0 {
+		var err error
+		switch args[0] {
+		case "append":
+			err = runAppend(*remote, args[1:])
+		case "watch":
+			err = runWatch(*remote, args[1:])
+		default:
+			err = fmt.Errorf("unknown subcommand %q (want append or watch)", args[0])
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tsqcli:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *dataPath == "" && *remote == "" {
 		fmt.Fprintln(os.Stderr, "tsqcli: -data or -remote is required")
 		os.Exit(2)
@@ -60,6 +88,124 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tsqcli:", err)
 		os.Exit(1)
 	}
+}
+
+// runAppend sends appends to a tsqd server: either one series with
+// inline values, or a whole tick stream from a CSV file (replayed in
+// order, batched per series per step run).
+func runAppend(remote string, args []string) error {
+	if remote == "" {
+		return fmt.Errorf("append requires -remote")
+	}
+	fs := flag.NewFlagSet("append", flag.ContinueOnError)
+	ticksPath := fs.String("ticks", "", "CSV tick stream to replay: name,step,value")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := server.NewClient(remote)
+	if *ticksPath != "" {
+		if fs.NArg() > 0 {
+			return fmt.Errorf("append takes -ticks or inline values, not both")
+		}
+		ticks, err := tsq.ReadTicksCSVFile(*ticksPath)
+		if err != nil {
+			return err
+		}
+		// Coalesce consecutive ticks of the same series into one request;
+		// arrival order across series is preserved.
+		sent, requests := 0, 0
+		for i := 0; i < len(ticks); {
+			j := i
+			var batch []float64
+			for ; j < len(ticks) && ticks[j].Name == ticks[i].Name; j++ {
+				batch = append(batch, ticks[j].Value)
+			}
+			if err := client.Append(ticks[i].Name, batch); err != nil {
+				return fmt.Errorf("after %d ticks: %w", sent, err)
+			}
+			sent += len(batch)
+			requests++
+			i = j
+		}
+		fmt.Printf("appended %d ticks from %s (%d requests)\n", sent, *ticksPath, requests)
+		return nil
+	}
+	rest := fs.Args()
+	if len(rest) < 2 {
+		return fmt.Errorf("usage: append NAME v1 [v2 ...]  |  append -ticks FILE")
+	}
+	name := rest[0]
+	values := make([]float64, len(rest)-1)
+	for i, s := range rest[1:] {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("bad value %q: %w", s, err)
+		}
+		values[i] = v
+	}
+	if err := client.Append(name, values); err != nil {
+		return err
+	}
+	fmt.Printf("appended %d point(s) to %s\n", len(values), name)
+	return nil
+}
+
+// runWatch registers (or attaches to) a monitor and prints its events
+// until interrupted.
+func runWatch(remote string, args []string) error {
+	if remote == "" {
+		return fmt.Errorf("watch requires -remote")
+	}
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	var (
+		kind      = fs.String("kind", "range", "monitor kind: range or nn")
+		series    = fs.String("series", "", "stored series to use as the query")
+		eps       = fs.Float64("eps", 1, "range threshold (range monitors)")
+		kNear     = fs.Int("k", 5, "neighbor count (nn monitors)")
+		transform = fs.String("transform", "", "transformation pipeline, e.g. \"mavg(20)\"")
+		both      = fs.Bool("both", false, "apply the transformation to the query side too")
+		monitor   = fs.Int64("monitor", 0, "attach to an existing monitor ID instead of registering")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := server.NewClient(remote)
+	id := *monitor
+	if id == 0 {
+		if *series == "" {
+			return fmt.Errorf("watch needs -series (or -monitor to attach to an existing one)")
+		}
+		resp, err := client.CreateMonitor(server.MonitorRequest{
+			Kind: *kind, Series: *series, Eps: *eps, K: *kNear,
+			Transform: *transform, Both: *both,
+		})
+		if err != nil {
+			return err
+		}
+		id = resp.ID
+		fmt.Printf("monitor %d registered (%s), %d initial member(s)\n", id, *kind, len(resp.Members))
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ws, err := client.Watch(ctx, id, -1)
+	if err != nil {
+		return err
+	}
+	defer ws.Close()
+	for _, m := range ws.Members {
+		fmt.Printf("  member %-10s D=%.4f\n", m.Name, m.Distance)
+	}
+	for ev := range ws.Events {
+		if ev.Kind == "enter" {
+			fmt.Printf("  enter  %-10s D=%.4f  (seq %d)\n", ev.Name, ev.Distance, ev.Seq)
+		} else {
+			fmt.Printf("  leave  %-10s           (seq %d)\n", ev.Name, ev.Seq)
+		}
+	}
+	if err := ws.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
 }
 
 // executor runs one query-language statement — embedded or remote.

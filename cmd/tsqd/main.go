@@ -1,8 +1,11 @@
 // Command tsqd serves a tsq database over HTTP — the similarity-query
 // engine of Rafiei & Mendelzon (SIGMOD 1997) as a long-lived concurrent
 // service. It loads series from a binary snapshot (-snapshot) or a CSV
-// (-data), serves the JSON API of repro/internal/server, and on shutdown
-// (SIGINT/SIGTERM) writes the snapshot back if -snapshot was given.
+// (-data), serves the JSON API of repro/internal/server — including the
+// streaming surface: window-sliding appends, standing-query monitors, and
+// the /watch SSE event stream — and on shutdown (SIGINT/SIGTERM) writes
+// the snapshot back if -snapshot was given. -retain bounds the events
+// kept per monitor for gapless /watch reconnects.
 //
 // Usage:
 //
@@ -10,10 +13,13 @@
 //	tsqd -data walks.csv -addr :8080
 //	tsqd -snapshot db.tsq -length 128        # empty DB, persisted on exit
 //	tsqd -data walks.csv -shards 8           # hash-partitioned, parallel fan-out
+//	tsqd -data walks.csv -retain 1024        # deeper /watch replay buffer
 //
 //	curl localhost:8080/healthz
 //	curl -X POST localhost:8080/query \
 //	    -d '{"q": "RANGE SERIES '\''W0007'\'' EPS 2 TRANSFORM mavg(20)"}'
+//	curl -X POST localhost:8080/series/W0007/append -d '{"values": [101.5]}'
+//	curl -N 'localhost:8080/watch?monitor=1'
 //
 // See the repository README for the full endpoint list.
 package main
@@ -24,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,16 +52,17 @@ func main() {
 		space    = flag.String("space", "polar", "feature space: polar or rect")
 		cache    = flag.Int("cache", tsq.DefaultCacheSize, "query result cache entries (0 disables)")
 		shards   = flag.Int("shards", 0, "hash-partitioned shards; queries fan out in parallel and writers lock only their shard (0 = a loaded snapshot's count, else 1)")
+		retain   = flag.Int("retain", tsq.DefaultMonitorRetain, "events retained per monitor so reconnecting /watch clients can resume gaplessly (0 disables replay)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dataPath, *snapPath, *length, *k, *space, *cache, *shards); err != nil {
+	if err := run(*addr, *dataPath, *snapPath, *length, *k, *space, *cache, *shards, *retain); err != nil {
 		fmt.Fprintln(os.Stderr, "tsqd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize, shards int) error {
+func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize, shards, retain int) error {
 	db, origin, err := loadDB(dataPath, snapPath, length, k, space, shards)
 	if err != nil {
 		return err
@@ -62,13 +70,22 @@ func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize
 	if cacheSize == 0 {
 		cacheSize = -1 // ServerOptions: negative disables, zero means default
 	}
-	srv := tsq.NewServer(db, tsq.ServerOptions{CacheSize: cacheSize})
+	if retain == 0 {
+		retain = -1 // ServerOptions: negative retains none, zero means default
+	}
+	srv := tsq.NewServer(db, tsq.ServerOptions{CacheSize: cacheSize, MonitorRetain: retain})
 	log.Printf("tsqd: loaded %d series of length %d from %s (%d shard(s))", srv.Len(), srv.Length(), origin, db.Shards())
 
+	// Request contexts derive from baseCtx so long-lived /watch SSE
+	// streams end promptly at shutdown — otherwise graceful Shutdown
+	// would block on them until its deadline.
+	baseCtx, closeStreams := context.WithCancel(context.Background())
+	defer closeStreams()
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           server.New(srv),
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -87,6 +104,7 @@ func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize
 	}
 
 	log.Printf("tsqd: shutting down")
+	closeStreams() // end /watch subscribers so Shutdown can drain
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

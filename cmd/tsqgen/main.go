@@ -1,12 +1,20 @@
 // Command tsqgen emits synthetic time-series data sets as CSV, using the
 // generators of the paper's experiments (Section 5): plain random walks,
-// or the stock-like ensemble with planted similar / reversed pairs that
-// substitutes for the paper's 1067x128 stock relation.
+// the stock-like ensemble with planted similar / reversed pairs that
+// substitutes for the paper's 1067x128 stock relation, or — for the
+// streaming subsystem — random walks plus their live continuation as
+// timestamped appends, so benchmarks and examples share one data source.
 //
 // Usage:
 //
 //	tsqgen -count 1000 -length 128 -seed 7 > walks.csv
 //	tsqgen -stock -seed 7 > stocks.csv
+//
+//	# Initial windows to stdout, the append stream to ticks.csv:
+//	tsqgen -stream -count 100 -length 128 -steps 200 -seed 7 \
+//	    -ticks ticks.csv > walks.csv
+//	tsqd -data walks.csv &
+//	tsqcli -remote http://localhost:8080 append -ticks ticks.csv
 package main
 
 import (
@@ -19,12 +27,23 @@ import (
 
 func main() {
 	var (
-		count  = flag.Int("count", 1000, "number of series (random-walk mode)")
-		length = flag.Int("length", 128, "series length (random-walk mode)")
+		count  = flag.Int("count", 1000, "number of series (random-walk and stream modes)")
+		length = flag.Int("length", 128, "series length (random-walk and stream modes)")
 		seed   = flag.Int64("seed", 1997, "RNG seed")
 		stock  = flag.Bool("stock", false, "generate the 1067x128 stock-like ensemble instead")
+		stream = flag.Bool("stream", false, "stream mode: emit initial windows to stdout and timestamped appends to -ticks")
+		steps  = flag.Int("steps", 100, "appended points per series (stream mode)")
+		ticks  = flag.String("ticks", "", "output file for the append stream (required in stream mode): name,step,value")
 	)
 	flag.Parse()
+
+	if *stream {
+		if err := runStream(*count, *length, *steps, *seed, *ticks); err != nil {
+			fmt.Fprintln(os.Stderr, "tsqgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var batch []tsq.NamedSeries
 	if *stock {
@@ -42,4 +61,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tsqgen:", err)
 		os.Exit(1)
 	}
+}
+
+func runStream(count, length, steps int, seed int64, ticksPath string) error {
+	if count < 1 || length < 4 || steps < 1 {
+		return fmt.Errorf("stream mode needs count >= 1, length >= 4, steps >= 1")
+	}
+	if ticksPath == "" {
+		return fmt.Errorf("-ticks is required in stream mode")
+	}
+	initial, ticks := tsq.StreamTicks(count, length, steps, seed)
+	f, err := os.Create(ticksPath)
+	if err != nil {
+		return err
+	}
+	if err := tsq.WriteTicksCSV(f, ticks); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tsqgen: %d series of length %d to stdout, %d ticks to %s\n",
+		count, length, len(ticks), ticksPath)
+	return tsq.WriteCSV(os.Stdout, initial)
 }

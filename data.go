@@ -1,9 +1,12 @@
 package tsq
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/series"
@@ -41,6 +44,97 @@ func convert(in []dataset.Series) []NamedSeries {
 		out[i] = NamedSeries{Name: s.Name, Values: s.Values}
 	}
 	return out
+}
+
+// Tick is one streamed append: a point arriving on a named series at a
+// step index (the stream's logical timestamp).
+type Tick struct {
+	Name  string
+	Step  int
+	Value float64
+}
+
+// StreamTicks generates the streaming companion of RandomWalks: count
+// random walks whose first length values form the initial windows and
+// whose next steps values arrive as appends. Ticks are emitted in arrival
+// order — step-major round-robin across the series, the interleaving a
+// live feed produces. Benchmarks, examples, and `tsqgen -stream` all draw
+// from this one generator, so a data set and its live continuation always
+// agree. Deterministic for a fixed seed.
+func StreamTicks(count, length, steps int, seed int64) ([]NamedSeries, []Tick) {
+	walks := RandomWalks(count, length+steps, seed)
+	initial := make([]NamedSeries, count)
+	for i, w := range walks {
+		initial[i] = NamedSeries{Name: w.Name, Values: w.Values[:length]}
+	}
+	ticks := make([]Tick, 0, count*steps)
+	for step := 0; step < steps; step++ {
+		for _, w := range walks {
+			ticks = append(ticks, Tick{Name: w.Name, Step: step, Value: w.Values[length+step]})
+		}
+	}
+	return initial, ticks
+}
+
+// WriteTicksCSV writes ticks as CSV rows of the form "name,step,value".
+func WriteTicksCSV(w io.Writer, ticks []Tick) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range ticks {
+		if _, err := fmt.Fprintf(bw, "%s,%d,%s\n", t.Name, t.Step, strconv.FormatFloat(t.Value, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTicksCSV loads ticks from CSV rows of the form "name,step,value".
+// Blank lines and lines starting with '#' are skipped.
+func ReadTicksCSV(r io.Reader) ([]Tick, error) {
+	var out []Tick
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("tsq: ticks line %d: want name,step,value", line)
+		}
+		step, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("tsq: ticks line %d: bad step %q", line, parts[1])
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("tsq: ticks line %d: bad value %q", line, parts[2])
+		}
+		out = append(out, Tick{Name: strings.TrimSpace(parts[0]), Step: step, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadTicksCSVFile loads ticks from a CSV file, rejecting an empty stream.
+func ReadTicksCSVFile(path string) ([]Tick, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ticks, err := ReadTicksCSV(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(ticks) == 0 {
+		return nil, fmt.Errorf("tsq: no ticks in %s", path)
+	}
+	return ticks, nil
 }
 
 // InsertAll inserts a batch of named series, stopping at the first error.

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/dft"
+	"repro/internal/feature"
+	"repro/internal/geom"
+	"repro/internal/relation"
+	"repro/internal/series"
+	"repro/internal/stream"
+	"repro/internal/transform"
+)
+
+// spectrumRefreshEvery bounds how many appended points a series' stored
+// spectrum record may lag behind its window before Append rewrites it
+// with the exact FFT. Between refreshes the record is marked stale and
+// every read of the series' spectrum derives it on demand from the window
+// (the same canonical computation, so answers never change) — the ingest
+// path thus amortizes the O(n log n) FFT over many O(K) appends.
+const spectrumRefreshEvery = 32
+
+// streamState is the per-series streaming bookkeeping: the incremental
+// window tracker plus the staleness of the stored spectrum record.
+type streamState struct {
+	tr *stream.Tracker
+	// specStale marks the freqRel record as lagging the window.
+	specStale bool
+	// sinceRefresh counts appended points since the record was rewritten.
+	sinceRefresh int
+	// derived memoizes the on-demand spectrum of the current window while
+	// the record is stale, so repeated reads between appends pay the FFT
+	// once. Atomic because readers under shared locks memoize
+	// concurrently; racing derivations store identical bits, so whichever
+	// pointer wins is equivalent. Cleared by every append.
+	derived atomic.Pointer[[]complex128]
+}
+
+// AppendInfo reports what one Append committed.
+type AppendInfo struct {
+	// ID is the series' stable internal ID: unlike Update, Append never
+	// reassigns it.
+	ID int64
+	// Point is the committed feature point after the append (a copy the
+	// caller may keep; the server layer feeds it to monitor prefilters and
+	// cache invalidation).
+	Point geom.Point
+	// InPlace reports that the index entry was rewritten in place rather
+	// than deleted and reinserted — the cheap path, taken whenever the
+	// feature point moved little.
+	InPlace bool
+}
+
+// Append slides a stored series' window forward by the given points: the
+// oldest len(points) values fall off the front, the new points arrive at
+// the back, and the series keeps its length, name, and ID. This is the
+// streaming-ingest fast path the whole-series Insert/Update pair cannot
+// provide:
+//
+//   - the feature point (mean, std, X_1..X_K of the normal form) is
+//     maintained incrementally by a sliding-DFT recurrence in O(K) per
+//     point (stream.Tracker), not re-extracted with O(n*K) trigonometry;
+//   - the R*-tree entry moves in place when the feature drifted little
+//     (rtree.Tree.Update), instead of a delete + reinsert;
+//   - the raw window is overwritten in place (relation.Replace), so
+//     storage does not grow and no pages are orphaned;
+//   - the full-spectrum record is refreshed with the exact FFT only every
+//     spectrumRefreshEvery appended points; in between it is marked stale
+//     and reads derive the exact spectrum on demand (specViewOf).
+//
+// Every spectrum a query ever observes — whether decoded from a fresh
+// record or derived on demand from a stale one — is the same canonical
+// computation the insert path runs on the same window bits, so a series
+// built by appends answers every query byte-identically to the same
+// window inserted whole.
+//
+// Appending more points than the window holds is allowed; only the last
+// n survive, but every point still passes through the tracker so the
+// recurrence state stays exact. Like all DB writes, Append requires
+// external synchronization on an unsharded store.
+func (db *DB) Append(name string, points []float64) (AppendInfo, error) {
+	id, ok := db.byName[name]
+	if !ok {
+		return AppendInfo{}, fmt.Errorf("core: unknown series %q", name)
+	}
+	if len(points) == 0 {
+		return AppendInfo{}, fmt.Errorf("core: append to %q carries no points", name)
+	}
+	for i, x := range points {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return AppendInfo{}, fmt.Errorf("core: append to %q has non-finite value at position %d", name, i)
+		}
+	}
+	st, err := db.streamStateFor(id)
+	if err != nil {
+		return AppendInfo{}, err
+	}
+	for _, x := range points {
+		st.tr.Append(x)
+	}
+	window := st.tr.Window()
+
+	// Commit the raw window in place (same-length records never change
+	// size), then the spectrum record — eagerly on the refresh cadence,
+	// otherwise just mark it stale.
+	if err := db.timeRel.Replace(id, window); err != nil {
+		return AppendInfo{}, err
+	}
+	st.specStale = true
+	st.derived.Store(nil)
+	st.sinceRefresh += len(points)
+	if st.sinceRefresh >= spectrumRefreshEvery {
+		if err := db.refreshSpectrum(id, st, window); err != nil {
+			return AppendInfo{}, err
+		}
+	}
+
+	// Commit the index: incremental feature point, in-place entry move
+	// when it stayed inside its leaf region.
+	mean, std := st.tr.Moments()
+	newPoint := db.schema.Point(mean, std, st.tr.Coeffs())
+	old := db.points[id]
+	inPlace, found := db.idx.Update(id, old, newPoint)
+	if !found {
+		return AppendInfo{}, fmt.Errorf("core: index entry for %q (id %d) missing", name, id)
+	}
+	db.points[id] = newPoint
+	return AppendInfo{ID: id, Point: newPoint.Clone(), InPlace: inPlace}, nil
+}
+
+// refreshSpectrum rewrites the stored spectrum record from the window —
+// the exact computation the insert path runs — and clears staleness. The
+// caller must hold the DB's write access.
+func (db *DB) refreshSpectrum(id int64, st *streamState, window []float64) error {
+	spec := dft.TransformReal(series.NormalForm(window))
+	if err := db.freqRel.Replace(id, relation.EncodeComplex(relation.Permute(spec, db.perm))); err != nil {
+		return err
+	}
+	st.specStale = false
+	st.sinceRefresh = 0
+	st.derived.Store(nil)
+	return nil
+}
+
+// flushSpectra rewrites every stale spectrum record, so operations that
+// read records wholesale (Compact) see fresh pages. The caller must hold
+// the DB's write access.
+func (db *DB) flushSpectra() error {
+	for id, st := range db.streams {
+		if !st.specStale {
+			continue
+		}
+		if err := db.refreshSpectrum(id, st, st.tr.Window()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamStateFor returns the series' streaming state, materializing the
+// tracker from the stored values on the first append (so series loaded
+// from snapshots or bulk loads are appendable with no special setup).
+func (db *DB) streamStateFor(id int64) (*streamState, error) {
+	if st, ok := db.streams[id]; ok {
+		return st, nil
+	}
+	values, err := db.timeRel.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := stream.NewTracker(values, db.schema.K)
+	if err != nil {
+		return nil, err
+	}
+	st := &streamState{tr: tr}
+	db.streams[id] = st
+	return st, nil
+}
+
+// CheckWithin verifies a single stored series against a range query
+// exactly — the same planning, moment filtering, and full-spectrum
+// early-abandoning distance the indexed range query applies to its
+// candidates, addressed to one name. The standing-query monitors use it to
+// re-verify a series after an append without running the whole query. A
+// name not currently stored is simply not within (dist 0, within false):
+// monitor semantics treat deletion as leaving the answer set.
+func (db *DB) CheckWithin(name string, q RangeQuery) (dist float64, within bool, err error) {
+	p, err := db.planRange(q)
+	if err != nil {
+		return 0, false, err
+	}
+	id, ok := db.byName[name]
+	if !ok {
+		return 0, false, nil
+	}
+	if q.Moments != (feature.MomentBounds{}) {
+		// Index answers respect the moment bounds via the search rectangle;
+		// replicate that here so membership semantics agree.
+		mean, std := db.schema.MomentsOf(db.points[id])
+		mb := q.Moments
+		if mean < mb.MeanLo || mean > mb.MeanHi || std < mb.StdLo || std > mb.StdHi {
+			return 0, false, nil
+		}
+	}
+	var st ExecStats
+	verify := db.verifierFor(p, &st)
+	within, dist, err = verify(id, q.Eps)
+	if err != nil {
+		return 0, false, err
+	}
+	return dist, within, nil
+}
+
+// Prefilter is the query-side geometry of a standing range/NN monitor: the
+// query's feature point, the transformation's affine index action, and the
+// moment bounds — everything needed to run the Lemma 1 rectangle test
+// against a single stored feature point. Building one costs a feature
+// extraction; each Hit costs O(dims).
+type Prefilter struct {
+	schema  feature.Schema
+	m       transform.AffineMap
+	qp      geom.Point
+	moments feature.MomentBounds
+	angular []bool
+}
+
+// PlanPrefilter builds the prefilter for a range-shaped query spec (Eps is
+// ignored — the threshold is supplied per Hit, which is what lets NN
+// monitors reuse one prefilter as their k-th-best distance tightens).
+func (db *DB) PlanPrefilter(q RangeQuery) (*Prefilter, error) {
+	if err := db.validateRange(q); err != nil {
+		return nil, err
+	}
+	qp, err := db.queryFeaturePoint(q)
+	if err != nil {
+		return nil, err
+	}
+	m, err := db.schema.Map(q.Transform)
+	if err != nil {
+		return nil, err
+	}
+	if q.BothSides && !m.Identity() {
+		qp = m.ApplyPoint(qp)
+	}
+	return &Prefilter{
+		schema:  db.schema,
+		m:       m,
+		qp:      qp,
+		moments: q.Moments,
+		angular: db.schema.Angular(),
+	}, nil
+}
+
+// Hit reports whether a series whose feature point is p could belong to
+// the query's answer set at threshold eps: the transformed point is tested
+// against the Section 3.1 search rectangle, with the polar space's
+// modulo-2*pi angle semantics. By Lemma 1 a full-spectrum distance within
+// eps implies the feature point lies in the rectangle, so a miss soundly
+// proves non-membership — no false dismissals, exactly like the index
+// filter step.
+func (p *Prefilter) Hit(pt geom.Point, eps float64) bool {
+	if math.IsInf(eps, 1) {
+		return true
+	}
+	tp := pt
+	if !p.m.Identity() {
+		tp = p.m.ApplyPoint(pt)
+	}
+	rect := p.schema.SearchRect(p.qp, eps, p.moments)
+	return geom.ContainsPointMixed(rect, tp, p.angular)
+}
+
+// Append slides a series' window forward in its owning shard, taking only
+// that shard's exclusive lock. The global ID is stable across appends, so
+// the catalog needs no update — an appender to one shard never touches
+// another shard's locks or the catalog mutex. See DB.Append for the
+// committed state.
+func (s *Sharded) Append(name string, points []float64) (AppendInfo, error) {
+	si := s.shardFor(name)
+	s.locks[si].Lock()
+	defer s.locks[si].Unlock()
+	return s.shards[si].Append(name, points)
+}
+
+// CheckWithin verifies one stored series against a range query under its
+// shard's shared lock. See DB.CheckWithin.
+func (s *Sharded) CheckWithin(name string, q RangeQuery) (float64, bool, error) {
+	si := s.shardFor(name)
+	s.locks[si].RLock()
+	defer s.locks[si].RUnlock()
+	return s.shards[si].CheckWithin(name, q)
+}
+
+// PlanPrefilter builds a monitor prefilter; planning depends only on the
+// schema and length shared by every shard, so no locks are taken.
+func (s *Sharded) PlanPrefilter(q RangeQuery) (*Prefilter, error) {
+	return s.shards[0].PlanPrefilter(q)
+}
+
+// FeaturePoint returns the indexed feature point stored under a global ID.
+func (s *Sharded) FeaturePoint(id int64) (geom.Point, bool) {
+	s.mu.RLock()
+	si, ok := s.owner[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	s.locks[si].RLock()
+	defer s.locks[si].RUnlock()
+	return s.shards[si].FeaturePoint(id)
+}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/transform"
+)
+
+// appendWalks builds count walks of total length; the first windowLen
+// values seed the stores, the rest arrive as appends.
+func appendWalks(count, total int, seed int64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([][]float64, count)
+	for i := range out {
+		out[i] = dataset.RandomWalk(r, total)
+	}
+	return out
+}
+
+// buildByAppends seeds eng with each walk's initial window and streams the
+// remainder in uneven chunks.
+func buildByAppends(t *testing.T, eng Engine, walks [][]float64, windowLen int) {
+	t.Helper()
+	for i, w := range walks {
+		if _, err := eng.Insert(fmt.Sprintf("W%04d", i), w[:windowLen]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range walks {
+		rest := w[windowLen:]
+		chunk := 1 + i%5
+		for off := 0; off < len(rest); off += chunk {
+			end := off + chunk
+			if end > len(rest) {
+				end = len(rest)
+			}
+			if _, err := eng.Append(fmt.Sprintf("W%04d", i), rest[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// buildWhole inserts each walk's final window directly, in the same name
+// and ID order as buildByAppends.
+func buildWhole(t *testing.T, eng Engine, walks [][]float64, windowLen int) {
+	t.Helper()
+	for i, w := range walks {
+		if _, err := eng.Insert(fmt.Sprintf("W%04d", i), w[len(w)-windowLen:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAppendParity is the core-level half of the acceptance criterion: a
+// store built by appends answers range, NN, and subsequence queries
+// byte-identically to a store holding the same final windows inserted
+// whole, at shard counts 1 and 4.
+func TestAppendParity(t *testing.T) {
+	const (
+		windowLen = 64
+		total     = windowLen + 150 // several wrap-arounds of streamed points
+		count     = 60
+	)
+	walks := appendWalks(count, total, 1997)
+
+	build := func(mk func() Engine, streamed bool) Engine {
+		eng := mk()
+		if streamed {
+			buildByAppends(t, eng, walks, windowLen)
+		} else {
+			buildWhole(t, eng, walks, windowLen)
+		}
+		return eng
+	}
+	mkDB := func() Engine {
+		db, err := NewDB(windowLen, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	mkSharded := func() Engine {
+		s, err := NewSharded(windowLen, 4, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	for _, tc := range []struct {
+		label string
+		mk    func() Engine
+	}{{"shards=1", mkDB}, {"shards=4", mkSharded}} {
+		streamed := build(tc.mk, true)
+		whole := build(tc.mk, false)
+
+		// Stored values must be bitwise identical.
+		for i := 0; i < count; i++ {
+			id, ok := streamed.IDByName(fmt.Sprintf("W%04d", i))
+			if !ok {
+				t.Fatalf("%s: W%04d missing from streamed store", tc.label, i)
+			}
+			got, err := streamed.Series(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := walks[i][len(walks[i])-windowLen:]
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: W%04d stored window differs after appends", tc.label, i)
+			}
+		}
+
+		q := walks[3][len(walks[3])-windowLen:]
+		mavg := transform.MovingAverage(windowLen, 8)
+		for _, query := range []struct {
+			label string
+			run   func(Engine) (any, error)
+		}{
+			{"range-identity", func(e Engine) (any, error) {
+				r, _, err := e.RangeIndexed(RangeQuery{Values: q, Eps: 4, Transform: transform.Identity(windowLen)})
+				return r, err
+			}},
+			{"range-mavg-both", func(e Engine) (any, error) {
+				r, _, err := e.RangeIndexed(RangeQuery{Values: q, Eps: 3, Transform: mavg, BothSides: true})
+				return r, err
+			}},
+			{"range-scan", func(e Engine) (any, error) {
+				r, _, err := e.RangeScanFreq(RangeQuery{Values: q, Eps: 4, Transform: transform.Identity(windowLen)})
+				return r, err
+			}},
+			{"nn", func(e Engine) (any, error) {
+				r, _, err := e.NNIndexed(NNQuery{Values: q, K: 7, Transform: transform.Identity(windowLen)})
+				return r, err
+			}},
+			{"nn-mavg", func(e Engine) (any, error) {
+				r, _, err := e.NNIndexed(NNQuery{Values: q, K: 5, Transform: mavg})
+				return r, err
+			}},
+			{"subseq", func(e Engine) (any, error) {
+				r, _, err := e.SubsequenceScan(q[:16], 10)
+				return r, err
+			}},
+		} {
+			got, err := query.run(streamed)
+			if err != nil {
+				t.Fatalf("%s/%s: streamed: %v", tc.label, query.label, err)
+			}
+			want, err := query.run(whole)
+			if err != nil {
+				t.Fatalf("%s/%s: whole: %v", tc.label, query.label, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: streamed store diverges from whole-insert store:\n got %+v\nwant %+v", tc.label, query.label, got, want)
+			}
+		}
+	}
+}
+
+// TestAppendParityJoins pins the join paths — including the parallel scan
+// join, which reads spectra from worker goroutines — on stores whose
+// spectrum records are deliberately stale (fewer appended points than the
+// refresh cadence, so every join must derive spectra on demand).
+func TestAppendParityJoins(t *testing.T) {
+	const windowLen = 32
+	walks := appendWalks(24, windowLen+5, 17) // 5 appends < spectrumRefreshEvery
+	streamed, _ := NewDB(windowLen, Options{})
+	whole, _ := NewDB(windowLen, Options{})
+	buildByAppends(t, streamed, walks, windowLen)
+	buildWhole(t, whole, walks, windowLen)
+
+	tr := transform.MovingAverage(windowLen, 4)
+	for _, tc := range []struct {
+		label string
+		run   func(*DB) (any, error)
+	}{
+		{"scan-join", func(db *DB) (any, error) {
+			p, _, err := db.SelfJoin(8, tr, JoinScanEarlyAbandon)
+			return p, err
+		}},
+		{"parallel-scan-join", func(db *DB) (any, error) {
+			p, _, err := db.SelfJoinScanParallel(8, tr, 4)
+			return p, err
+		}},
+		{"index-join", func(db *DB) (any, error) {
+			p, _, err := db.SelfJoin(8, tr, JoinIndexTransform)
+			return p, err
+		}},
+		{"two-sided", func(db *DB) (any, error) {
+			p, _, err := db.JoinTwoSided(8, transform.Reverse(windowLen), tr)
+			return p, err
+		}},
+	} {
+		got, err := tc.run(streamed)
+		if err != nil {
+			t.Fatalf("%s: streamed: %v", tc.label, err)
+		}
+		want, err := tc.run(whole)
+		if err != nil {
+			t.Fatalf("%s: whole: %v", tc.label, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: streamed store diverges on stale spectra:\n got %+v\nwant %+v", tc.label, got, want)
+		}
+	}
+}
+
+// TestAppendInPlaceShare checks that the in-place index path actually
+// carries the bulk of streaming updates (single-point drifts rarely leave
+// their leaf).
+func TestAppendInPlaceShare(t *testing.T) {
+	const windowLen = 64
+	walks := appendWalks(30, windowLen+100, 7)
+	db, err := NewDB(windowLen, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range walks {
+		if _, err := db.Insert(fmt.Sprintf("W%04d", i), w[:windowLen]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var inPlace, total int
+	for i, w := range walks {
+		for _, x := range w[windowLen:] {
+			info, err := db.Append(fmt.Sprintf("W%04d", i), []float64{x})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if info.InPlace {
+				inPlace++
+			}
+			if info.ID != int64(i) {
+				t.Fatalf("append reassigned ID: got %d want %d", info.ID, i)
+			}
+		}
+	}
+	if inPlace*2 < total {
+		t.Fatalf("in-place share too low: %d of %d", inPlace, total)
+	}
+	if err := db.idx.Tree().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendStorageStable: in-place rewrites must not grow the relations.
+func TestAppendStorageStable(t *testing.T) {
+	const windowLen = 64
+	db, err := NewDB(windowLen, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := appendWalks(1, windowLen+500, 3)[0]
+	if _, err := db.Insert("W", w[:windowLen]); err != nil {
+		t.Fatal(err)
+	}
+	timePages, freqPages := db.timeRel.Pages(), db.freqRel.Pages()
+	for _, x := range w[windowLen:] {
+		if _, err := db.Append("W", []float64{x}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.timeRel.Pages() != timePages || db.freqRel.Pages() != freqPages {
+		t.Fatalf("appends grew storage: time %d->%d, freq %d->%d pages",
+			timePages, db.timeRel.Pages(), freqPages, db.freqRel.Pages())
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	db, err := NewDB(64, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := appendWalks(1, 64, 5)[0]
+	if _, err := db.Insert("W", w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Append("missing", []float64{1}); err == nil {
+		t.Fatal("append to unknown series succeeded")
+	}
+	if _, err := db.Append("W", nil); err == nil {
+		t.Fatal("empty append succeeded")
+	}
+	if _, err := db.Append("W", []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN append succeeded")
+	}
+	if _, err := db.Append("W", []float64{math.Inf(1)}); err == nil {
+		t.Fatal("Inf append succeeded")
+	}
+	// A rejected append must leave the stored window untouched.
+	got, err := db.Series(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, w) {
+		t.Fatal("rejected append mutated the stored series")
+	}
+}
+
+// TestAppendLongerThanWindow: streaming more points than the window holds
+// keeps only the tail, exactly like inserting the tail whole.
+func TestAppendLongerThanWindow(t *testing.T) {
+	const windowLen = 32
+	w := appendWalks(1, 3*windowLen, 9)[0]
+	db, _ := NewDB(windowLen, Options{})
+	if _, err := db.Insert("W", w[:windowLen]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Append("W", w[windowLen:]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Series(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, w[len(w)-windowLen:]) {
+		t.Fatal("oversized append did not keep the window tail")
+	}
+}
+
+// TestCheckWithinMatchesRange: per-name verification must agree exactly
+// with the indexed range answer, including after appends and for unknown
+// names.
+func TestCheckWithinMatchesRange(t *testing.T) {
+	const windowLen = 64
+	walks := appendWalks(40, windowLen+60, 13)
+	for _, shards := range []int{1, 4} {
+		var eng Engine
+		if shards == 1 {
+			db, _ := NewDB(windowLen, Options{})
+			eng = db
+		} else {
+			s, _ := NewSharded(windowLen, shards, Options{})
+			eng = s
+		}
+		buildByAppends(t, eng, walks, windowLen)
+
+		q := RangeQuery{
+			Values:    walks[0][len(walks[0])-windowLen:],
+			Eps:       5,
+			Transform: transform.MovingAverage(windowLen, 8),
+			BothSides: true,
+		}
+		res, _, err := eng.RangeIndexed(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inAnswer := map[string]float64{}
+		for _, r := range res {
+			inAnswer[r.Name] = r.Dist
+		}
+		for i := range walks {
+			name := fmt.Sprintf("W%04d", i)
+			dist, within, err := eng.CheckWithin(name, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantDist, wantIn := inAnswer[name]
+			if within != wantIn {
+				t.Fatalf("shards=%d: CheckWithin(%s) = %v, range answer says %v", shards, name, within, wantIn)
+			}
+			if within && dist != wantDist {
+				t.Fatalf("shards=%d: CheckWithin(%s) dist %g != range dist %g", shards, name, dist, wantDist)
+			}
+		}
+		if _, within, err := eng.CheckWithin("missing", q); err != nil || within {
+			t.Fatalf("shards=%d: CheckWithin of unknown name = (%v, %v)", shards, within, err)
+		}
+	}
+}
+
+// TestPrefilterSound: every range answer's feature point must hit the
+// prefilter rectangle (Lemma 1 — a miss proves non-membership).
+func TestPrefilterSound(t *testing.T) {
+	const windowLen = 64
+	walks := appendWalks(50, windowLen+40, 21)
+	db, _ := NewDB(windowLen, Options{})
+	buildByAppends(t, db, walks, windowLen)
+
+	for _, tr := range []transform.T{
+		transform.Identity(windowLen),
+		transform.MovingAverage(windowLen, 8),
+		transform.Reverse(windowLen),
+	} {
+		for _, eps := range []float64{0.5, 2, 6} {
+			q := RangeQuery{Values: walks[1][len(walks[1])-windowLen:], Eps: eps, Transform: tr}
+			pf, err := db.PlanPrefilter(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, _, err := db.RangeIndexed(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range res {
+				p, ok := db.FeaturePoint(r.ID)
+				if !ok {
+					t.Fatalf("no feature point for %s", r.Name)
+				}
+				if !pf.Hit(p, eps) {
+					t.Fatalf("transform %v eps %g: answer %s (dist %g) missed the prefilter", tr, eps, r.Name, r.Dist)
+				}
+			}
+			// +Inf threshold admits everything.
+			if !pf.Hit(db.points[0], math.Inf(1)) {
+				t.Fatal("prefilter rejected a point at eps=+Inf")
+			}
+		}
+	}
+}

@@ -73,6 +73,10 @@ type DB struct {
 	idPos   map[int64]int // id -> position in ids, for O(1) Delete
 	nextID  int64
 	perm    []int // energy-order permutation for length-n spectra
+	// streams holds the incremental sliding-window state of series that
+	// have been appended to (see Append); materialized lazily on the first
+	// append and dropped when the series is deleted or replaced.
+	streams map[int64]*streamState
 }
 
 // NewDB creates an empty DB for series of the given length.
@@ -105,6 +109,7 @@ func NewDB(length int, opts Options) (*DB, error) {
 		byName:  make(map[string]int64),
 		idPos:   make(map[int64]int),
 		perm:    relation.EnergyOrder(length),
+		streams: make(map[int64]*streamState),
 	}
 	if opts.BufferPoolPages > 0 {
 		if err := db.timeRel.AttachPool(opts.BufferPoolPages); err != nil {
@@ -246,6 +251,7 @@ func (db *DB) Delete(name string) bool {
 	delete(db.points, id)
 	delete(db.names, id)
 	delete(db.byName, name)
+	delete(db.streams, id)
 	if pos, ok := db.idPos[id]; ok {
 		last := len(db.ids) - 1
 		moved := db.ids[last]
@@ -262,14 +268,64 @@ func (db *DB) Series(id int64) ([]float64, error) {
 	return db.timeRel.Get(id)
 }
 
+// staleSpectrum returns the energy-ordered normal-form spectrum of a
+// series whose stored record lags its window (streaming appends defer the
+// FFT refresh), derived on demand with the exact computation the insert
+// path runs — so observed spectra are bit-identical either way. ok is
+// false when the stored record is current.
+func (db *DB) staleSpectrum(id int64) ([]complex128, bool) {
+	st, tracked := db.streams[id]
+	if !tracked || !st.specStale {
+		return nil, false
+	}
+	if p := st.derived.Load(); p != nil {
+		return *p, true
+	}
+	spec := relation.Permute(dft.TransformReal(series.NormalForm(st.tr.Window())), db.perm)
+	st.derived.Store(&spec)
+	return spec, true
+}
+
 // spectrum fetches the energy-ordered normal-form spectrum of a stored
 // series.
 func (db *DB) spectrum(id int64) ([]complex128, error) {
+	if spec, ok := db.staleSpectrum(id); ok {
+		return spec, nil
+	}
 	vec, err := db.freqRel.Get(id)
 	if err != nil {
 		return nil, err
 	}
 	return relation.DecodeComplex(vec)
+}
+
+// specView abstracts a stored spectrum for distance loops: page views
+// with lazy per-coefficient decoding in the common case, or an in-memory
+// spectrum when the stored record is stale.
+type specView struct {
+	pages [][]byte
+	ps    int
+	vec   []complex128
+}
+
+// at returns the f-th energy-ordered coefficient.
+func (v specView) at(f int) complex128 {
+	if v.vec != nil {
+		return v.vec[f]
+	}
+	return relation.ComplexAt(v.pages, v.ps, f)
+}
+
+// specViewOf opens a series' spectrum for a distance loop.
+func (db *DB) specViewOf(id int64) (specView, error) {
+	if spec, ok := db.staleSpectrum(id); ok {
+		return specView{vec: spec}, nil
+	}
+	pages, err := db.freqRel.ViewPages(id)
+	if err != nil {
+		return specView{}, err
+	}
+	return specView{pages: pages, ps: db.freqRel.PageSize()}, nil
 }
 
 // pageReads snapshots the combined relation read counters.
@@ -329,15 +385,14 @@ func (db *DB) querySpectrum(q []float64) []complex128 {
 // returns the decision, the exact distance when within, and the number of
 // accumulated terms.
 func (db *DB) viewTransformedWithin(id int64, a, b, q []complex128, eps float64) (bool, float64, int, error) {
-	pages, err := db.freqRel.ViewPages(id)
+	view, err := db.specViewOf(id)
 	if err != nil {
 		return false, 0, 0, err
 	}
-	ps := db.freqRel.PageSize()
 	limit := eps * eps
 	var sum float64
 	for f := range q {
-		x := relation.ComplexAt(pages, ps, f)
+		x := view.at(f)
 		d := a[f]*x + b[f] - q[f]
 		sum += real(d)*real(d) + imag(d)*imag(d)
 		if sum > limit {

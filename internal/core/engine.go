@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/feature"
+	"repro/internal/geom"
 	"repro/internal/transform"
 )
 
@@ -31,13 +32,24 @@ type Engine interface {
 	Name(id int64) string
 	IDByName(name string) (int64, bool)
 	Series(id int64) ([]float64, error)
+	FeaturePoint(id int64) (geom.Point, bool)
 
-	// Writes.
+	// Writes. Append is the streaming path: it slides a series' window
+	// forward in place (stable ID, incremental feature maintenance, in-place
+	// index and storage updates) where Update is a delete + reinsert under a
+	// fresh ID.
 	Insert(name string, values []float64) (int64, error)
 	InsertBulk(names []string, values [][]float64) error
 	Update(name string, values []float64) (int64, error)
+	Append(name string, points []float64) (AppendInfo, error)
 	Delete(name string) bool
 	Compact() (pagesReclaimed int, err error)
+
+	// Standing-query support: exact single-series verification and the
+	// Lemma 1 rectangle prefilter, used by monitors and by the server's
+	// append-aware cache invalidation.
+	CheckWithin(name string, q RangeQuery) (dist float64, within bool, err error)
+	PlanPrefilter(q RangeQuery) (*Prefilter, error)
 
 	// Persistence.
 	WriteTo(w io.Writer) (int64, error)

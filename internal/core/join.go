@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"repro/internal/feature"
-	"repro/internal/relation"
 	"repro/internal/stats"
 	"repro/internal/transform"
 )
@@ -111,17 +110,16 @@ func (db *DB) selfJoinScan(eps float64, t transform.T, earlyAbandon bool) ([]Joi
 			tx[f] = a[f]*X[f] + b[f]
 		}
 		for j := i + 1; j < n; j++ {
-			pages, err := db.freqRel.ViewPages(db.ids[j])
+			view, err := db.specViewOf(db.ids[j])
 			if err != nil {
 				return nil, st, err
 			}
-			ps := db.freqRel.PageSize()
 			st.Candidates++
 			var sum float64
 			terms := 0
 			abandoned := false
 			for f := range tx {
-				y := relation.ComplexAt(pages, ps, f)
+				y := view.at(f)
 				d := tx[f] - (a[f]*y + b[f])
 				sum += real(d)*real(d) + imag(d)*imag(d)
 				terms++

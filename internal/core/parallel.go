@@ -6,7 +6,6 @@ import (
 	"runtime"
 	"sync"
 
-	"repro/internal/relation"
 	"repro/internal/stats"
 	"repro/internal/transform"
 )
@@ -34,7 +33,6 @@ func (db *DB) SelfJoinScanParallel(eps float64, t transform.T, workers int) ([]J
 	a, b := db.permuteTransform(t)
 	limit := eps * eps
 	n := len(db.ids)
-	ps := db.freqRel.PageSize()
 
 	type partial struct {
 		pairs      []JoinPair
@@ -62,7 +60,7 @@ func (db *DB) SelfJoinScanParallel(eps float64, t transform.T, workers int) ([]J
 					tx[f] = a[f]*X[f] + b[f]
 				}
 				for j := i + 1; j < n; j++ {
-					pages, err := db.freqRel.ViewPages(db.ids[j])
+					view, err := db.specViewOf(db.ids[j])
 					if err != nil {
 						out.err = err
 						return
@@ -72,7 +70,7 @@ func (db *DB) SelfJoinScanParallel(eps float64, t transform.T, workers int) ([]J
 					terms := 0
 					abandoned := false
 					for f := range tx {
-						y := relation.ComplexAt(pages, ps, f)
+						y := view.at(f)
 						d := tx[f] - (a[f]*y + b[f])
 						sum += real(d)*real(d) + imag(d)*imag(d)
 						terms++

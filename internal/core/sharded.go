@@ -10,7 +10,6 @@ import (
 
 	"repro/internal/feature"
 	"repro/internal/geom"
-	"repro/internal/relation"
 	"repro/internal/stats"
 	"repro/internal/transform"
 )
@@ -646,19 +645,17 @@ func (s *Sharded) selfJoinScan(eps float64, t transform.T, earlyAbandon bool) ([
 					tx[f] = a[f]*X[f] + b[f]
 				}
 				for j := i + 1; j < n; j++ {
-					rel := entries[j].sh.freqRel
-					pages, err := rel.ViewPages(entries[j].id)
+					view, err := entries[j].sh.specViewOf(entries[j].id)
 					if err != nil {
 						out.err = err
 						return
 					}
-					ps := rel.PageSize()
 					out.candidates++
 					var sum float64
 					terms := 0
 					abandoned := false
 					for f := range tx {
-						y := relation.ComplexAt(pages, ps, f)
+						y := view.at(f)
 						d := tx[f] - (a[f]*y + b[f])
 						sum += real(d)*real(d) + imag(d)*imag(d)
 						terms++

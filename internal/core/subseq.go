@@ -93,6 +93,11 @@ func (db *DB) Update(name string, values []float64) (int64, error) {
 // Delete and Update. Live IDs, names, feature points, and the index are
 // untouched; only storage shrinks. Returns the number of pages reclaimed.
 func (db *DB) Compact() (pagesReclaimed int, err error) {
+	// Materialize any spectra deferred by streaming appends, so the
+	// rebuilt relation holds current records.
+	if err := db.flushSpectra(); err != nil {
+		return 0, err
+	}
 	before := db.timeRel.Pages() + db.freqRel.Pages()
 	newTime := relation.New(db.opts.PageSize)
 	newFreq := relation.New(db.opts.PageSize)

@@ -1,0 +1,124 @@
+package dft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// slidingMaxErr is the drift budget for the incremental recurrence against
+// exact recomputation — the bound the streaming subsystem's correctness
+// argument leans on.
+const slidingMaxErr = 1e-9
+
+func randomWindow(r *rand.Rand, n int) []float64 {
+	w := make([]float64, n)
+	v := 20 + 80*r.Float64()
+	for i := range w {
+		v += 8*r.Float64() - 4
+		w[i] = v
+	}
+	return w
+}
+
+// TestSlidingMatchesTransform drives random append sequences — including
+// many full window wrap-arounds — and checks every tracked coefficient
+// against a fresh full Transform of the same window.
+func TestSlidingMatchesTransform(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, n := range []int{8, 61, 128, 256} {
+		for _, k := range []int{1, 3, 5} {
+			if k > n {
+				continue
+			}
+			window := randomWindow(r, n)
+			s, err := NewSliding(window, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 3n slides: the window wraps fully three times.
+			cur := append([]float64(nil), window...)
+			for step := 0; step < 3*n; step++ {
+				x := cur[len(cur)-1] + 8*r.Float64() - 4
+				old := cur[0]
+				cur = append(cur[1:], x)
+				s.Slide(old, x)
+
+				if step%7 != 0 {
+					continue // exact check every few steps keeps the test fast
+				}
+				want := Transform(ToComplex(cur))
+				for f := 0; f < k; f++ {
+					got := s.Coeff(f)
+					if d := cabs(got - want[f]); d > slidingMaxErr {
+						t.Fatalf("n=%d k=%d step=%d: coeff %d drifted by %g (got %v want %v)", n, k, step, f, d, got, want[f])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSlidingResync(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 64
+	window := randomWindow(r, n)
+	s, err := NewSliding(window, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := append([]float64(nil), window...)
+	for i := 0; i < 10; i++ {
+		x := r.Float64() * 100
+		old := cur[0]
+		cur = append(cur[1:], x)
+		s.Slide(old, x)
+	}
+	if s.Slides() != 10 {
+		t.Fatalf("Slides() = %d, want 10", s.Slides())
+	}
+	if err := s.Resync(cur); err != nil {
+		t.Fatal(err)
+	}
+	if s.Slides() != 0 {
+		t.Fatalf("Slides() after resync = %d, want 0", s.Slides())
+	}
+	want := FirstK(cur, 4)
+	for f, w := range want {
+		if s.Coeff(f) != w {
+			t.Fatalf("resynced coeff %d = %v, want exact %v", f, s.Coeff(f), w)
+		}
+	}
+	if err := s.Resync(cur[:n-1]); err == nil {
+		t.Fatal("Resync accepted a wrong-length window")
+	}
+}
+
+func TestSlidingValidation(t *testing.T) {
+	if _, err := NewSliding(make([]float64, 8), 0); err == nil {
+		t.Fatal("NewSliding accepted k=0")
+	}
+	if _, err := NewSliding(make([]float64, 8), 9); err == nil {
+		t.Fatal("NewSliding accepted k > n")
+	}
+	s, err := NewSliding(make([]float64, 8), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 8 || s.K() != 8 {
+		t.Fatalf("N, K = %d, %d; want 8, 8", s.N(), s.K())
+	}
+}
+
+func cabs(c complex128) float64 {
+	re, im := real(c), imag(c)
+	if re < 0 {
+		re = -re
+	}
+	if im < 0 {
+		im = -im
+	}
+	if re > im {
+		return re + im // upper bound on |c| is fine for a test threshold
+	}
+	return im + re
+}

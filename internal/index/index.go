@@ -93,6 +93,14 @@ func (ix *KIndex) Delete(id int64, p geom.Point) bool {
 	return ix.tree.Delete(geom.PointRect(p), id)
 }
 
+// Update moves the point stored under (old, id) to new, in place when the
+// new point still lies inside its leaf's bounding rectangle (the common
+// case for the small per-append feature drift of streaming ingest) and via
+// delete + reinsert otherwise. See rtree.Tree.Update.
+func (ix *KIndex) Update(id int64, old, new geom.Point) (inPlace, found bool) {
+	return ix.tree.Update(geom.PointRect(old), geom.PointRect(new), id)
+}
+
 // Candidate is one index hit from the filter phase of Algorithm 2: a stored
 // feature point whose transformed image falls in the query's search
 // rectangle, together with the (squared) partial distance computed from the

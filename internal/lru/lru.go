@@ -75,6 +75,28 @@ func (c *Cache) Add(key string, value any) {
 	c.entries[key] = c.order.PushFront(&entry{key: key, value: value})
 }
 
+// RemoveIf deletes every entry for which pred returns true, returning how
+// many were removed. The predicate runs under the cache lock and must not
+// call back into the cache. The server layer uses it for selective
+// invalidation: an append evicts only the cached answers it could have
+// changed, where whole-store writes still Purge.
+func (c *Cache) RemoveIf(pred func(key string, value any) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry)
+		if pred(e.key, e.value) {
+			c.order.Remove(el)
+			delete(c.entries, e.key)
+			removed++
+		}
+		el = next
+	}
+	return removed
+}
+
 // Purge empties the cache. Hit/miss counters are preserved.
 func (c *Cache) Purge() {
 	c.mu.Lock()

@@ -9,8 +9,10 @@ import (
 
 // BufferPool is an LRU cache of pages over a File. A hit serves the page
 // without charging the file's read counter; a miss charges one read and
-// caches the page. Because the File is append-only (pages never change
-// after Append), cached views are trivially coherent.
+// caches the page. The pool caches page *indices*, not copies: every hit
+// re-reads through the file's live page buffer, so cached views stay
+// coherent both for the append-only path and for in-place Overwrite (the
+// streaming append path rewrites records under the owner's write lock).
 //
 // The 1997 system ran over a real buffer manager; with the paper's 1067 x
 // 128 relation occupying ~2 MB, its nested-loop joins mostly hit the pool

@@ -7,6 +7,7 @@
 package pagefile
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 )
@@ -78,6 +79,37 @@ func (f *File) Append(data []byte) (firstPage, pageCount int) {
 		pageCount++
 	}
 	return firstPage, pageCount
+}
+
+// ErrSizeMismatch reports an Overwrite whose payload does not match the
+// record's existing on-page footprint; callers fall back to appending a
+// fresh copy (the old pages stay orphaned until compaction).
+var ErrSizeMismatch = errors.New("pagefile: overwrite size mismatch")
+
+// Overwrite replaces the contents of an existing record's pages in place,
+// charging one write per page. The payload must have exactly the record's
+// current byte size (same-length records always do, which is what the
+// streaming append path relies on); otherwise ErrSizeMismatch is returned
+// and nothing changes. Like Append, Overwrite requires external
+// synchronization against concurrent readers: the page slices are mutated
+// directly, so any view handed out earlier observes the new contents.
+func (f *File) Overwrite(firstPage, pageCount int, data []byte) error {
+	if firstPage < 0 || pageCount < 1 || firstPage+pageCount > len(f.pages) {
+		return fmt.Errorf("pagefile: overwrite [%d, %d) out of range of %d pages", firstPage, firstPage+pageCount, len(f.pages))
+	}
+	var size int
+	for i := firstPage; i < firstPage+pageCount; i++ {
+		size += len(f.pages[i])
+	}
+	if size != len(data) {
+		return fmt.Errorf("%w: record holds %d bytes, payload has %d", ErrSizeMismatch, size, len(data))
+	}
+	off := 0
+	for i := firstPage; i < firstPage+pageCount; i++ {
+		off += copy(f.pages[i], data[off:])
+		f.writes.Add(1)
+	}
+	return nil
 }
 
 // View returns direct references to the pages of a record (no copying),

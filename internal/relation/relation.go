@@ -12,6 +12,7 @@ package relation
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -68,6 +69,32 @@ func (r *Relation) Insert(id int64, vec []float64) error {
 	first, count := r.file.Append(encodeFloats(vec))
 	r.locs[id] = location{firstPage: first, pageCount: count}
 	r.ids = append(r.ids, id)
+	return nil
+}
+
+// Replace overwrites the record stored under id. When the new encoding has
+// the record's existing byte size — always true for the fixed-length
+// series and spectra of a streaming append — the pages are rewritten in
+// place: the record keeps its location, no storage grows, and any attached
+// buffer pool stays coherent for free because pool entries reference the
+// same page buffers. A size-changing replacement falls back to appending a
+// fresh copy and repointing the record, leaving the old pages orphaned
+// until Compact (exactly like Delete).
+func (r *Relation) Replace(id int64, vec []float64) error {
+	loc, ok := r.locs[id]
+	if !ok {
+		return fmt.Errorf("relation: id %d not found", id)
+	}
+	data := encodeFloats(vec)
+	err := r.file.Overwrite(loc.firstPage, loc.pageCount, data)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, pagefile.ErrSizeMismatch) {
+		return err
+	}
+	first, count := r.file.Append(data)
+	r.locs[id] = location{firstPage: first, pageCount: count}
 	return nil
 }
 

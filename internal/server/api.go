@@ -141,6 +141,79 @@ type SubseqResponse struct {
 	Stats   StatsPayload         `json:"stats"`
 }
 
+// AppendRequest carries points to append to a stored series (the window
+// slides forward; see tsq.Server.Append).
+type AppendRequest struct {
+	Values []float64 `json:"values"`
+}
+
+// AppendResponse acknowledges an append.
+type AppendResponse struct {
+	// Appended is the number of points accepted.
+	Appended int `json:"appended"`
+	// Length is the (unchanged) series window length.
+	Length int `json:"length"`
+}
+
+// MonitorRequest registers a standing query. Kind is "range" or "nn".
+// Exactly one of Series (a stored name, snapshotted at registration) or
+// Values must be set. Range monitors use Eps; NN monitors use K.
+type MonitorRequest struct {
+	Kind      string    `json:"kind"`
+	Series    string    `json:"series,omitempty"`
+	Values    []float64 `json:"values,omitempty"`
+	Eps       float64   `json:"eps,omitempty"`
+	K         int       `json:"k,omitempty"`
+	Transform string    `json:"transform,omitempty"`
+	Both      bool      `json:"both,omitempty"`
+}
+
+// MonitorResponse acknowledges a registration with the initial answer set.
+type MonitorResponse struct {
+	ID      int64          `json:"id"`
+	Kind    string         `json:"kind"`
+	Members []MatchPayload `json:"members"`
+}
+
+// MonitorInfoPayload describes one registered monitor.
+type MonitorInfoPayload struct {
+	ID       int64  `json:"id"`
+	Kind     string `json:"kind"`
+	Members  int    `json:"members"`
+	Watchers int    `json:"watchers"`
+}
+
+// MonitorsResponse lists the registered monitors.
+type MonitorsResponse struct {
+	Monitors []MonitorInfoPayload `json:"monitors"`
+}
+
+// RemoveResponse acknowledges a monitor removal.
+type RemoveResponse struct {
+	Removed bool `json:"removed"`
+}
+
+// WatchInit is the first SSE message of a watch stream ("init" event):
+// the monitor's sequence number at subscription and — unless the stream
+// resumed from a retained position, in which case the missed events follow
+// as ordinary enter/leave events — the current membership snapshot.
+type WatchInit struct {
+	Monitor int64          `json:"monitor"`
+	Seq     int64          `json:"seq"`
+	Resumed bool           `json:"resumed,omitempty"`
+	Members []MatchPayload `json:"members,omitempty"`
+}
+
+// WatchEvent is one membership change on the wire (SSE "enter"/"leave"
+// events).
+type WatchEvent struct {
+	Monitor  int64   `json:"monitor"`
+	Seq      int64   `json:"seq"`
+	Kind     string  `json:"kind"`
+	Name     string  `json:"name"`
+	Distance float64 `json:"distance,omitempty"`
+}
+
 // HealthResponse reports liveness.
 type HealthResponse struct {
 	Status        string  `json:"status"`
@@ -156,6 +229,8 @@ type StatsResponse struct {
 	Shards        int     `json:"shards"`
 	Queries       int64   `json:"queries"`
 	Writes        int64   `json:"writes"`
+	Appends       int64   `json:"appends"`
+	Monitors      int     `json:"monitors"`
 	CacheHits     int64   `json:"cache_hits"`
 	CacheMisses   int64   `json:"cache_misses"`
 	CacheLen      int     `json:"cache_len"`

@@ -25,7 +25,12 @@ const maxBodyBytes = 64 << 20
 //	POST   /series/batch          insert many [{"name": ..., "values": [...]}, ...]
 //	GET    /series/{name}         fetch stored values
 //	PUT    /series/{name}         replace values (reindexes)
+//	POST   /series/{name}/append  slide the window forward {"values": [...]}
 //	DELETE /series/{name}         remove
+//	POST   /monitors              register a standing query (range or nn)
+//	GET    /monitors              list registered monitors
+//	DELETE /monitors/{id}         remove a monitor
+//	GET    /watch?monitor=ID      SSE stream of enter/leave events
 //	POST   /query                 raw query-language statement {"q": "RANGE ..."}
 //	POST   /query/range           typed range query
 //	POST   /query/nn              typed k-NN query
@@ -42,7 +47,12 @@ func New(s *tsq.Server) http.Handler {
 	mux.HandleFunc("POST /series/batch", h.insertBatch)
 	mux.HandleFunc("GET /series/{name}", h.getSeries)
 	mux.HandleFunc("PUT /series/{name}", h.update)
+	mux.HandleFunc("POST /series/{name}/append", h.append)
 	mux.HandleFunc("DELETE /series/{name}", h.delete)
+	mux.HandleFunc("POST /monitors", h.createMonitor)
+	mux.HandleFunc("GET /monitors", h.listMonitors)
+	mux.HandleFunc("DELETE /monitors/{id}", h.removeMonitor)
+	mux.HandleFunc("GET /watch", h.watch)
 	mux.HandleFunc("POST /query", h.query)
 	mux.HandleFunc("POST /query/range", h.rangeQuery)
 	mux.HandleFunc("POST /query/nn", h.nnQuery)
@@ -112,6 +122,8 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		Shards:        st.Shards,
 		Queries:       st.Queries,
 		Writes:        st.Writes,
+		Appends:       st.Appends,
+		Monitors:      st.Monitors,
 		CacheHits:     st.CacheHits,
 		CacheMisses:   st.CacheMisses,
 		CacheLen:      st.CacheLen,

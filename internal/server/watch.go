@@ -1,0 +1,204 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	tsq "repro"
+)
+
+// watchHeartbeat is the SSE keep-alive comment interval.
+const watchHeartbeat = 15 * time.Second
+
+// watchBuffer is the per-watcher event buffer; a client that falls more
+// than this far behind starts losing events (counted server-side, and
+// visible client-side as sequence gaps).
+const watchBuffer = 256
+
+func (h *handler) append(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req AppendRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Values) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("values are required"))
+		return
+	}
+	if err := h.s.Append(name, req.Values); err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AppendResponse{Appended: len(req.Values), Length: h.s.Length()})
+}
+
+func (h *handler) createMonitor(w http.ResponseWriter, r *http.Request) {
+	var req MonitorRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	t, err := tsq.ParseTransform(req.Transform)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var opts []tsq.QueryOpt
+	if req.Both {
+		opts = append(opts, tsq.TransformBoth())
+	}
+	if req.Series != "" && len(req.Values) > 0 {
+		writeError(w, http.StatusBadRequest, errors.New("set series or values, not both"))
+		return
+	}
+	if req.Series == "" && len(req.Values) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("one of series or values is required"))
+		return
+	}
+	var (
+		id      int64
+		members []tsq.Match
+	)
+	switch req.Kind {
+	case "range":
+		if req.Series != "" {
+			id, members, err = h.s.MonitorRangeByName(req.Series, req.Eps, t, opts...)
+		} else {
+			id, members, err = h.s.MonitorRange(req.Values, req.Eps, t, opts...)
+		}
+	case "nn":
+		if req.K < 1 {
+			writeError(w, http.StatusBadRequest, errors.New("k must be a positive integer"))
+			return
+		}
+		if req.Series != "" {
+			id, members, err = h.s.MonitorNNByName(req.Series, req.K, t, opts...)
+		} else {
+			id, members, err = h.s.MonitorNN(req.Values, req.K, t, opts...)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown monitor kind %q (want range or nn)", req.Kind))
+		return
+	}
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	resp := MonitorResponse{ID: id, Kind: req.Kind, Members: make([]MatchPayload, len(members))}
+	for i, m := range members {
+		resp.Members[i] = MatchPayload{Name: m.Name, Distance: m.Distance}
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (h *handler) listMonitors(w http.ResponseWriter, r *http.Request) {
+	infos := h.s.Monitors()
+	resp := MonitorsResponse{Monitors: make([]MonitorInfoPayload, len(infos))}
+	for i, in := range infos {
+		resp.Monitors[i] = MonitorInfoPayload{ID: in.ID, Kind: in.Kind, Members: in.Members, Watchers: in.Watchers}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *handler) removeMonitor(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad monitor id %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, RemoveResponse{Removed: h.s.Unmonitor(id)})
+}
+
+// watch serves GET /watch?monitor=ID[&after=SEQ] as a Server-Sent Events
+// stream. The first message is always an "init" event carrying the
+// monitor's sequence number: with a membership snapshot when starting (or
+// resuming from too far back), or with "resumed":true when the retained
+// ring covers the requested position — the missed events then follow as
+// ordinary enter/leave events, gapless. The Last-Event-ID header is an
+// alternative to ?after, so EventSource reconnects resume automatically.
+func (h *handler) watch(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.URL.Query().Get("monitor"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("monitor query parameter is required"))
+		return
+	}
+	after := int64(-1)
+	if s := r.URL.Query().Get("after"); s != "" {
+		if after, err = strconv.ParseInt(s, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad after %q", s))
+			return
+		}
+	} else if s := r.Header.Get("Last-Event-ID"); s != "" {
+		if after, err = strconv.ParseInt(s, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad Last-Event-ID %q", s))
+			return
+		}
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	ws, err := h.s.Watch(id, after, watchBuffer)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	defer ws.Cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	init := WatchInit{Monitor: id, Seq: ws.Seq}
+	if ws.Snapshot == nil && after >= 0 {
+		init.Resumed = true
+		init.Seq = after
+	} else {
+		init.Members = make([]MatchPayload, len(ws.Snapshot))
+		for i, m := range ws.Snapshot {
+			init.Members[i] = MatchPayload{Name: m.Name, Distance: m.Distance}
+		}
+	}
+	writeSSE(w, "init", init.Seq, init)
+	for _, ev := range ws.Replay {
+		writeSSE(w, ev.Kind, ev.Seq, toWatchEvent(ev))
+	}
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(watchHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, ok := <-ws.Events:
+			if !ok {
+				return // monitor removed
+			}
+			writeSSE(w, ev.Kind, ev.Seq, toWatchEvent(ev))
+			flusher.Flush()
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": ping\n\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func toWatchEvent(ev tsq.MonitorEvent) WatchEvent {
+	return WatchEvent{Monitor: ev.Monitor, Seq: ev.Seq, Kind: ev.Kind, Name: ev.Name, Distance: ev.Distance}
+}
+
+// writeSSE emits one Server-Sent Events message: event name, id (the
+// monitor sequence number, which doubles as the reconnect cursor), and a
+// single JSON data line.
+func writeSSE(w http.ResponseWriter, event string, id int64, data any) {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, id, payload)
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	tsq "repro"
+)
+
+func newStreamTestServer(t *testing.T) (*httptest.Server, *Client, *tsq.Server) {
+	t.Helper()
+	db := tsq.MustOpen(tsq.Options{Length: 16, Shards: 2})
+	s := tsq.NewServer(db, tsq.ServerOptions{})
+	ts := httptest.NewServer(New(s))
+	t.Cleanup(ts.Close)
+	return ts, NewClient(ts.URL), s
+}
+
+func rampSeries(base float64) []float64 {
+	out := make([]float64, 16)
+	for i := range out {
+		out[i] = base + float64(i*i%23)
+	}
+	return out
+}
+
+func waitEvent(t *testing.T, ws *WatchStream) WatchEvent {
+	t.Helper()
+	select {
+	case ev, ok := <-ws.Events:
+		if !ok {
+			t.Fatalf("watch stream closed early (err: %v)", ws.Err())
+		}
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for a watch event")
+	}
+	return WatchEvent{}
+}
+
+func TestAppendEndpoint(t *testing.T) {
+	_, c, s := newStreamTestServer(t)
+	if err := c.Insert("A", rampSeries(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append("A", []float64{99, 100}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Series("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Series("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16 || got[15] != 100 || got[14] != 99 {
+		t.Fatalf("appended series = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("client and server disagree: %v vs %v", got, want)
+		}
+	}
+	if err := c.Append("missing", []float64{1}); err == nil {
+		t.Fatal("append to unknown series succeeded over HTTP")
+	}
+	if err := c.Append("A", nil); err == nil {
+		t.Fatal("empty append succeeded over HTTP")
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Appends != 1 {
+		t.Fatalf("stats.appends = %d, want 1", st.Appends)
+	}
+}
+
+func TestMonitorAndWatchOverHTTP(t *testing.T) {
+	_, c, _ := newStreamTestServer(t)
+	if err := c.Insert("A", rampSeries(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("B", rampSeries(500)); err != nil {
+		t.Fatal(err)
+	}
+	aVals, err := c.Series("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mon, err := c.CreateMonitor(MonitorRequest{Kind: "range", Series: "A", Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mon.Members) != 2 {
+		// rampSeries differ only by base level, which normal forms remove:
+		// both are members at distance ~0.
+		t.Fatalf("initial members = %v, want A and B", mon.Members)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ws, err := c.Watch(ctx, mon.ID, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Resumed || len(ws.Members) != 2 {
+		t.Fatalf("watch init = resumed=%v members=%v", ws.Resumed, ws.Members)
+	}
+
+	// Drive B out of the answer set with a shape change.
+	spike := make([]float64, 16)
+	for i := range spike {
+		spike[i] = 500 + 40*float64(i%2)
+	}
+	if err := c.Append("B", spike); err != nil {
+		t.Fatal(err)
+	}
+	ev := waitEvent(t, ws)
+	if ev.Kind != "leave" || ev.Name != "B" {
+		t.Fatalf("event = %+v, want leave B", ev)
+	}
+	// And back in: identical values to A.
+	if err := c.Append("B", aVals); err != nil {
+		t.Fatal(err)
+	}
+	ev = waitEvent(t, ws)
+	if ev.Kind != "enter" || ev.Name != "B" || ev.Distance != 0 {
+		t.Fatalf("event = %+v, want enter B at 0", ev)
+	}
+	lastSeq := ev.Seq
+	ws.Close()
+
+	// Resume from the last seen sequence number: gapless, no snapshot.
+	if err := c.Append("B", spike); err != nil { // leave again while detached
+		t.Fatal(err)
+	}
+	ws2, err := c.Watch(context.Background(), mon.ID, lastSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws2.Close()
+	if !ws2.Resumed {
+		t.Fatalf("resume fell back to a snapshot: %+v", ws2)
+	}
+	ev = waitEvent(t, ws2)
+	if ev.Kind != "leave" || ev.Name != "B" || ev.Seq != lastSeq+1 {
+		t.Fatalf("replayed event = %+v, want leave B seq %d", ev, lastSeq+1)
+	}
+
+	mons, err := c.Monitors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mons) != 1 || mons[0].ID != mon.ID || mons[0].Kind != "range" {
+		t.Fatalf("monitors = %+v", mons)
+	}
+	removed, err := c.DeleteMonitor(mon.ID)
+	if err != nil || !removed {
+		t.Fatalf("DeleteMonitor = (%v, %v)", removed, err)
+	}
+	if _, ok := <-ws2.Events; ok {
+		t.Fatal("watch stream survived monitor removal")
+	}
+	if removed, _ := c.DeleteMonitor(mon.ID); removed {
+		t.Fatal("double delete reported removal")
+	}
+	if _, err := c.Watch(context.Background(), mon.ID, -1); err == nil {
+		t.Fatal("watch of a removed monitor succeeded")
+	}
+}
+
+func TestMonitorValidationOverHTTP(t *testing.T) {
+	_, c, _ := newStreamTestServer(t)
+	if err := c.Insert("A", rampSeries(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateMonitor(MonitorRequest{Kind: "blimp", Series: "A", Eps: 1}); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	if _, err := c.CreateMonitor(MonitorRequest{Kind: "nn", Series: "A"}); err == nil {
+		t.Fatal("nn monitor without k accepted")
+	}
+	if _, err := c.CreateMonitor(MonitorRequest{Kind: "range", Eps: 1}); err == nil {
+		t.Fatal("monitor without a query accepted")
+	}
+	if _, err := c.CreateMonitor(MonitorRequest{Kind: "range", Series: "missing", Eps: 1}); err == nil {
+		t.Fatal("monitor of unknown series accepted")
+	}
+}

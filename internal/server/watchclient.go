@@ -1,0 +1,208 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Append slides a stored series' window forward on the server.
+func (c *Client) Append(name string, values []float64) error {
+	return c.do(http.MethodPost, "/series/"+url.PathEscape(name)+"/append", AppendRequest{Values: values}, nil)
+}
+
+// CreateMonitor registers a standing query and returns its ID and initial
+// membership.
+func (c *Client) CreateMonitor(req MonitorRequest) (*MonitorResponse, error) {
+	var out MonitorResponse
+	if err := c.do(http.MethodPost, "/monitors", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Monitors lists the server's registered monitors.
+func (c *Client) Monitors() ([]MonitorInfoPayload, error) {
+	var out MonitorsResponse
+	if err := c.do(http.MethodGet, "/monitors", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Monitors, nil
+}
+
+// DeleteMonitor removes a monitor, reporting whether it existed.
+func (c *Client) DeleteMonitor(id int64) (bool, error) {
+	var out RemoveResponse
+	if err := c.do(http.MethodDelete, "/monitors/"+strconv.FormatInt(id, 10), nil, &out); err != nil {
+		return false, err
+	}
+	return out.Removed, nil
+}
+
+// WatchStream is a live subscription to a monitor's SSE event stream.
+type WatchStream struct {
+	// Monitor and Seq echo the server's init message; events continue
+	// from Seq+1.
+	Monitor int64
+	Seq     int64
+	// Resumed reports that the server replayed retained events instead of
+	// sending a snapshot (Members is then nil and the missed events arrive
+	// on Events first).
+	Resumed bool
+	// Members is the membership snapshot at subscription.
+	Members []MatchPayload
+	// Events delivers enter/leave events until the stream ends.
+	Events <-chan WatchEvent
+
+	cancel context.CancelFunc
+	mu     sync.Mutex
+	err    error
+	done   chan struct{}
+}
+
+// Close tears the stream down. Events is closed.
+func (ws *WatchStream) Close() { ws.cancel() }
+
+// Err returns the terminal stream error, if any, once Events is closed
+// (nil after a clean server-side close or a local Close).
+func (ws *WatchStream) Err() error {
+	<-ws.done
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.err
+}
+
+func (ws *WatchStream) setErr(err error) {
+	ws.mu.Lock()
+	ws.err = err
+	ws.mu.Unlock()
+}
+
+// Watch opens the SSE stream of a monitor. after < 0 asks for a fresh
+// snapshot; after >= 0 resumes from that sequence number (gapless when the
+// server still retains the span, snapshot fallback otherwise). Watch
+// blocks until the server's init message arrives, then streams events on
+// the returned channel until the context ends, Close is called, the
+// monitor is removed, or the connection drops.
+func (c *Client) Watch(ctx context.Context, monitor, after int64) (*WatchStream, error) {
+	u := fmt.Sprintf("%s/watch?monitor=%d", c.BaseURL, monitor)
+	if after >= 0 {
+		u += "&after=" + strconv.FormatInt(after, 10)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	// Streaming must not inherit the client's request timeout; reuse its
+	// transport only.
+	hc := &http.Client{}
+	if c.HTTPClient != nil {
+		hc.Transport = c.HTTPClient.Transport
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		var e ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			cancel()
+			return nil, fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		cancel()
+		return nil, fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+
+	events := make(chan WatchEvent, 64)
+	ws := &WatchStream{Monitor: monitor, Events: events, cancel: cancel, done: make(chan struct{})}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), maxBodyBytes)
+
+	// The init message is synchronous: read it before returning.
+	event, data, err := nextSSE(sc)
+	if err != nil {
+		cancel()
+		resp.Body.Close()
+		return nil, err
+	}
+	if event != "init" {
+		cancel()
+		resp.Body.Close()
+		return nil, fmt.Errorf("server: watch stream began with %q, want init", event)
+	}
+	var init WatchInit
+	if err := json.Unmarshal(data, &init); err != nil {
+		cancel()
+		resp.Body.Close()
+		return nil, fmt.Errorf("server: bad init payload: %w", err)
+	}
+	ws.Seq = init.Seq
+	ws.Resumed = init.Resumed
+	ws.Members = init.Members
+
+	go func() {
+		defer close(ws.done)
+		defer close(events)
+		defer resp.Body.Close()
+		for {
+			event, data, err := nextSSE(sc)
+			if err != nil {
+				if ctx.Err() == nil {
+					ws.setErr(err)
+				}
+				return
+			}
+			var ev WatchEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				ws.setErr(fmt.Errorf("server: bad %s payload: %w", event, err))
+				return
+			}
+			select {
+			case events <- ev:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ws, nil
+}
+
+// nextSSE reads one Server-Sent Events message (event name + data line),
+// skipping comments and id fields. io errors and stream end surface as an
+// error.
+func nextSSE(sc *bufio.Scanner) (event string, data []byte, err error) {
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data != nil {
+				return event, data, nil
+			}
+			// Blank line with nothing accumulated (e.g. after a comment):
+			// keep reading.
+		case strings.HasPrefix(line, ":"):
+			// Heartbeat comment.
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = []byte(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		case strings.HasPrefix(line, "id:"):
+			// The sequence number already rides in the payload.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", nil, err
+	}
+	return "", nil, fmt.Errorf("server: watch stream ended")
+}

@@ -1,0 +1,448 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Member is one element of a monitor's current answer set.
+type Member struct {
+	Name string
+	Dist float64
+}
+
+// Event kinds.
+const (
+	// Enter reports a series joining a monitor's answer set; Dist carries
+	// its distance at entry.
+	Enter = "enter"
+	// Leave reports a series dropping out of the answer set.
+	Leave = "leave"
+)
+
+// Event is one membership change of a standing query. Seq increases by one
+// per event within a monitor; subscribers receive events in Seq order
+// (gaps mean the subscriber's buffer overflowed and events were dropped —
+// see Sub.Dropped).
+type Event struct {
+	Monitor int64   `json:"monitor"`
+	Seq     int64   `json:"seq"`
+	Kind    string  `json:"kind"`
+	Name    string  `json:"name"`
+	Dist    float64 `json:"distance,omitempty"`
+}
+
+// Funcs are the engine-side callbacks of one monitor, supplied by the
+// layer that owns the query engine (the hub itself never imports it). The
+// hub serializes all calls per monitor, so the closures need no internal
+// locking beyond whatever read-locking the engine requires.
+type Funcs struct {
+	// Eval runs the standing query in full and returns the current answer
+	// set (every within-eps series for a range monitor, the top-k for an
+	// NN monitor). Required.
+	Eval func() ([]Member, error)
+	// CheckOne returns one series' membership and distance in the current
+	// answer set. Provide it for monitors whose per-series membership is
+	// independent of other series (range monitors): a relevant write then
+	// costs one exact verification instead of a full Eval. Leave nil for
+	// relative monitors (NN), where any relevant write re-Evals.
+	CheckOne func(name string) (Member, bool, error)
+	// Relevant is the MBR prefilter: it reports whether a series whose
+	// feature point now sits at p could belong to the answer set, given
+	// the current k-th member distance (+Inf while a bounded monitor is
+	// unfilled; 0 for unbounded monitors, which ignore it). A nil point —
+	// an upsert whose position the caller does not know — must return
+	// true. Never consulted for current members, whose writes are always
+	// relevant. Nil means every write is relevant.
+	Relevant func(p []float64, kth float64) bool
+}
+
+// Monitor is one registered standing query: its membership bookkeeping,
+// retained event ring, and subscribers.
+type Monitor struct {
+	ID   int64
+	Kind string
+
+	limit  int // answer-set size bound (k for NN monitors; 0 = unbounded)
+	f      Funcs
+	retain int
+
+	mu      sync.Mutex
+	closed  bool
+	members map[string]float64
+	seq     int64
+	events  []Event // last retain events, oldest first
+	subs    map[int64]*Sub
+	nextSub int64
+}
+
+// Sub is one subscriber of a monitor's event stream.
+type Sub struct {
+	m       *Monitor
+	id      int64
+	ch      chan Event
+	dropped atomic.Int64
+}
+
+// Events returns the subscriber's channel. It is closed when the
+// subscription is cancelled or the monitor removed.
+func (s *Sub) Events() <-chan Event { return s.ch }
+
+// Dropped returns how many events were discarded because the subscriber's
+// buffer was full (the stream is ordered but lossy under backpressure;
+// resubscribe to resynchronize from a snapshot).
+func (s *Sub) Dropped() int64 { return s.dropped.Load() }
+
+// Cancel detaches the subscriber and closes its channel. Safe to call more
+// than once.
+func (s *Sub) Cancel() {
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
+	if _, ok := s.m.subs[s.id]; ok {
+		delete(s.m.subs, s.id)
+		close(s.ch)
+	}
+}
+
+// Hub is the standing-query registry: monitors indexed by ID, notified on
+// every store write. All methods are safe for concurrent use; per-monitor
+// work (verification, event emission) runs under that monitor's own lock,
+// so monitors never block one another.
+type Hub struct {
+	retain int
+
+	mu       sync.RWMutex
+	monitors map[int64]*Monitor
+	nextID   int64
+}
+
+// NewHub creates an empty registry retaining the given number of events
+// per monitor for reconnect replay (<= 0 retains none).
+func NewHub(retain int) *Hub {
+	if retain < 0 {
+		retain = 0
+	}
+	return &Hub{retain: retain, monitors: make(map[int64]*Monitor)}
+}
+
+// Add registers a monitor, running Eval once for the initial membership.
+// limit is the answer-set bound (0 for range monitors). The monitor is
+// published to the registry *before* the initial evaluation, with its own
+// lock held across it: a write committing while Eval runs either lands in
+// Eval's answer or blocks on the monitor lock and re-verifies right after
+// — no window in which a write is reflected nowhere.
+func (h *Hub) Add(kind string, limit int, f Funcs) (*Monitor, error) {
+	if f.Eval == nil {
+		return nil, fmt.Errorf("stream: monitor needs an Eval func")
+	}
+	m := &Monitor{
+		Kind:    kind,
+		limit:   limit,
+		f:       f,
+		retain:  h.retain,
+		members: make(map[string]float64),
+		subs:    make(map[int64]*Sub),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h.mu.Lock()
+	h.nextID++
+	m.ID = h.nextID
+	h.monitors[m.ID] = m
+	h.mu.Unlock()
+	initial, err := f.Eval()
+	if err != nil {
+		h.mu.Lock()
+		delete(h.monitors, m.ID)
+		h.mu.Unlock()
+		m.closed = true
+		return nil, err
+	}
+	for _, mem := range initial {
+		m.members[mem.Name] = mem.Dist
+	}
+	return m, nil
+}
+
+// Get returns a registered monitor.
+func (h *Hub) Get(id int64) (*Monitor, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	m, ok := h.monitors[id]
+	return m, ok
+}
+
+// Remove unregisters a monitor and closes every subscriber channel,
+// reporting whether the ID was registered.
+func (h *Hub) Remove(id int64) bool {
+	h.mu.Lock()
+	m, ok := h.monitors[id]
+	delete(h.monitors, id)
+	h.mu.Unlock()
+	if !ok {
+		return false
+	}
+	m.mu.Lock()
+	m.closed = true
+	for id, s := range m.subs {
+		delete(m.subs, id)
+		close(s.ch)
+	}
+	m.mu.Unlock()
+	return true
+}
+
+// Info describes a monitor for listings.
+type Info struct {
+	ID      int64
+	Kind    string
+	Members int
+	Subs    int
+}
+
+// List snapshots the registered monitors in ID order.
+func (h *Hub) List() []Info {
+	h.mu.RLock()
+	ms := make([]*Monitor, 0, len(h.monitors))
+	for _, m := range h.monitors {
+		ms = append(ms, m)
+	}
+	h.mu.RUnlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	out := make([]Info, len(ms))
+	for i, m := range ms {
+		m.mu.Lock()
+		out[i] = Info{ID: m.ID, Kind: m.Kind, Members: len(m.members), Subs: len(m.subs)}
+		m.mu.Unlock()
+	}
+	return out
+}
+
+// snapshotMonitors copies the monitor set for iteration without holding
+// the hub lock during per-monitor work.
+func (h *Hub) snapshotMonitors() []*Monitor {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]*Monitor, 0, len(h.monitors))
+	for _, m := range h.monitors {
+		out = append(out, m)
+	}
+	return out
+}
+
+// NotifyWrite re-evaluates every monitor's membership of name after its
+// series was appended to, inserted, or updated; p is the series' new
+// feature point (nil when unknown, which skips the prefilter). Membership
+// is always verified against the live store, so when writes race, skipped
+// intermediate states collapse into the final one — monitors converge on
+// the store's current answer sets.
+func (h *Hub) NotifyWrite(name string, p []float64) {
+	for _, m := range h.snapshotMonitors() {
+		m.notifyWrite(name, p)
+	}
+}
+
+// NotifyDelete records that name left the store: members emit a leave
+// (bounded monitors also re-Eval to backfill the freed slot).
+func (h *Hub) NotifyDelete(name string) {
+	for _, m := range h.snapshotMonitors() {
+		m.notifyDelete(name)
+	}
+}
+
+// RefreshAll re-evaluates every monitor in full — the recovery hammer for
+// bulk operations that rewrite the store wholesale.
+func (h *Hub) RefreshAll() {
+	for _, m := range h.snapshotMonitors() {
+		m.mu.Lock()
+		m.evalAndDiffLocked()
+		m.mu.Unlock()
+	}
+}
+
+// kthLocked returns the current answer-set threshold for the prefilter:
+// +Inf while a bounded monitor is unfilled (anything may enter), the worst
+// member distance once full, 0 for unbounded monitors (ignored — their
+// Relevant closures carry a fixed eps).
+func (m *Monitor) kthLocked() float64 {
+	if m.limit <= 0 {
+		return 0
+	}
+	if len(m.members) < m.limit {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for _, d := range m.members {
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func (m *Monitor) notifyWrite(name string, p []float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	_, isMember := m.members[name]
+	if !isMember && m.f.Relevant != nil && !m.f.Relevant(p, m.kthLocked()) {
+		return // MBR prefilter: provably cannot enter
+	}
+	if m.f.CheckOne == nil {
+		// Relative membership (NN): any relevant change re-evaluates.
+		m.evalAndDiffLocked()
+		return
+	}
+	mem, within, err := m.f.CheckOne(name)
+	if err != nil {
+		m.evalAndDiffLocked() // repair from a full answer
+		return
+	}
+	switch {
+	case within && !isMember:
+		m.members[name] = mem.Dist
+		m.emitLocked(Enter, name, mem.Dist)
+	case within && isMember:
+		m.members[name] = mem.Dist // distance moved, membership unchanged
+	case !within && isMember:
+		delete(m.members, name)
+		m.emitLocked(Leave, name, 0)
+	}
+}
+
+func (m *Monitor) notifyDelete(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	if _, isMember := m.members[name]; !isMember {
+		return
+	}
+	if m.limit > 0 {
+		// A bounded answer set backfills from the store.
+		m.evalAndDiffLocked()
+		return
+	}
+	delete(m.members, name)
+	m.emitLocked(Leave, name, 0)
+}
+
+// evalAndDiffLocked re-runs the standing query and emits the membership
+// delta: leaves first (sorted by name), then enters (sorted by distance,
+// then name) — a deterministic order for a deterministic answer set.
+func (m *Monitor) evalAndDiffLocked() {
+	fresh, err := m.f.Eval()
+	if err != nil {
+		return // keep the old membership; the next notification retries
+	}
+	next := make(map[string]float64, len(fresh))
+	for _, mem := range fresh {
+		next[mem.Name] = mem.Dist
+	}
+	var leaves []string
+	for name := range m.members {
+		if _, ok := next[name]; !ok {
+			leaves = append(leaves, name)
+		}
+	}
+	sort.Strings(leaves)
+	var enters []Member
+	for _, mem := range fresh {
+		if _, ok := m.members[mem.Name]; !ok {
+			enters = append(enters, mem)
+		}
+	}
+	sort.Slice(enters, func(i, j int) bool {
+		if enters[i].Dist != enters[j].Dist {
+			return enters[i].Dist < enters[j].Dist
+		}
+		return enters[i].Name < enters[j].Name
+	})
+	m.members = next
+	for _, name := range leaves {
+		m.emitLocked(Leave, name, 0)
+	}
+	for _, mem := range enters {
+		m.emitLocked(Enter, mem.Name, mem.Dist)
+	}
+}
+
+func (m *Monitor) emitLocked(kind, name string, dist float64) {
+	m.seq++
+	ev := Event{Monitor: m.ID, Seq: m.seq, Kind: kind, Name: name, Dist: dist}
+	if m.retain > 0 {
+		if len(m.events) == m.retain {
+			copy(m.events, m.events[1:])
+			m.events = m.events[:m.retain-1]
+		}
+		m.events = append(m.events, ev)
+	}
+	for _, s := range m.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+}
+
+// Members returns the current answer set sorted by (distance, name).
+func (m *Monitor) Members() []Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.membersLocked()
+}
+
+func (m *Monitor) membersLocked() []Member {
+	out := make([]Member, 0, len(m.members))
+	for name, d := range m.members {
+		out = append(out, Member{Name: name, Dist: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Subscribe attaches a buffered subscriber. after selects the catch-up
+// mode: after < 0 requests a snapshot of the current membership; after
+// >= 0 asks for a replay of the retained events with Seq > after, which
+// succeeds (snapshot == nil) only when the retained ring still covers that
+// point — otherwise the caller gets a fresh snapshot and the replay is
+// nil. seq is the monitor's sequence number as of the snapshot: events on
+// the channel continue from seq+1 with no gap.
+func (m *Monitor) Subscribe(after int64, buf int) (sub *Sub, snapshot []Member, replay []Event, seq int64) {
+	if buf < 1 {
+		buf = 64
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextSub++
+	sub = &Sub{m: m, id: m.nextSub, ch: make(chan Event, buf)}
+	if m.closed {
+		close(sub.ch)
+		return sub, nil, nil, m.seq
+	}
+	m.subs[sub.id] = sub
+	if after >= 0 && after <= m.seq {
+		missed := m.seq - after
+		if missed == 0 {
+			return sub, nil, nil, m.seq
+		}
+		if int64(len(m.events)) >= missed {
+			replay = make([]Event, missed)
+			copy(replay, m.events[int64(len(m.events))-missed:])
+			return sub, nil, replay, m.seq
+		}
+	}
+	return sub, m.membersLocked(), nil, m.seq
+}

@@ -1,0 +1,270 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// fakeStore drives a Hub the way the server layer does, with a plain map
+// of name -> distance standing in for the engine.
+type fakeStore struct {
+	mu   sync.Mutex
+	dist map[string]float64
+}
+
+func (f *fakeStore) set(name string, d float64) {
+	f.mu.Lock()
+	f.dist[name] = d
+	f.mu.Unlock()
+}
+
+func (f *fakeStore) del(name string) {
+	f.mu.Lock()
+	delete(f.dist, name)
+	f.mu.Unlock()
+}
+
+// rangeFuncs builds range-monitor callbacks answering "within eps".
+func (f *fakeStore) rangeFuncs(eps float64) Funcs {
+	return Funcs{
+		Eval: func() ([]Member, error) {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			var out []Member
+			for name, d := range f.dist {
+				if d <= eps {
+					out = append(out, Member{Name: name, Dist: d})
+				}
+			}
+			return out, nil
+		},
+		CheckOne: func(name string) (Member, bool, error) {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			d, ok := f.dist[name]
+			if !ok || d > eps {
+				return Member{}, false, nil
+			}
+			return Member{Name: name, Dist: d}, true, nil
+		},
+		Relevant: func(p []float64, _ float64) bool {
+			// Feature point stands in for the distance itself: the MBR
+			// prefilter admits anything at or below eps.
+			return p == nil || p[0] <= eps
+		},
+	}
+}
+
+func drain(t *testing.T, s *Sub, n int) []Event {
+	t.Helper()
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		select {
+		case ev, ok := <-s.Events():
+			if !ok {
+				t.Fatalf("channel closed after %d of %d events", i, n)
+			}
+			out = append(out, ev)
+		default:
+			t.Fatalf("only %d of %d events delivered: %v", i, n, out)
+		}
+	}
+	select {
+	case ev := <-s.Events():
+		t.Fatalf("unexpected extra event %+v", ev)
+	default:
+	}
+	return out
+}
+
+func TestRangeMonitorEnterLeave(t *testing.T) {
+	f := &fakeStore{dist: map[string]float64{"a": 1, "b": 5}}
+	h := NewHub(16)
+	m, err := h.Add("range", 0, f.rangeFuncs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Members(); len(got) != 1 || got[0].Name != "a" {
+		t.Fatalf("initial members = %v, want [a]", got)
+	}
+	sub, snap, replay, seq := m.Subscribe(-1, 8)
+	if len(snap) != 1 || replay != nil || seq != 0 {
+		t.Fatalf("Subscribe = (%v, %v, %d)", snap, replay, seq)
+	}
+
+	f.set("b", 1.5) // enters
+	h.NotifyWrite("b", []float64{1.5})
+	f.set("a", 9) // leaves
+	h.NotifyWrite("a", []float64{9})
+	f.set("c", 8) // prefilter-rejected: no verification, no event
+	h.NotifyWrite("c", []float64{8})
+
+	evs := drain(t, sub, 2)
+	if evs[0].Kind != Enter || evs[0].Name != "b" || evs[0].Dist != 1.5 {
+		t.Fatalf("event 0 = %+v, want enter b", evs[0])
+	}
+	if evs[1].Kind != Leave || evs[1].Name != "a" {
+		t.Fatalf("event 1 = %+v, want leave a", evs[1])
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("sequence numbers %d, %d; want 1, 2", evs[0].Seq, evs[1].Seq)
+	}
+
+	// Delete of a member emits leave without any engine call.
+	f.del("b")
+	h.NotifyDelete("b")
+	evs = drain(t, sub, 1)
+	if evs[0].Kind != Leave || evs[0].Name != "b" {
+		t.Fatalf("delete event = %+v", evs[0])
+	}
+	sub.Cancel()
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("cancelled subscription channel still open")
+	}
+}
+
+func TestNNMonitorReEval(t *testing.T) {
+	f := &fakeStore{dist: map[string]float64{"a": 1, "b": 2, "c": 3}}
+	h := NewHub(16)
+	evals := 0
+	top2 := Funcs{
+		Eval: func() ([]Member, error) {
+			evals++
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			var all []Member
+			for name, d := range f.dist {
+				all = append(all, Member{Name: name, Dist: d})
+			}
+			// Tiny top-2 selection.
+			for i := 0; i < len(all); i++ {
+				for j := i + 1; j < len(all); j++ {
+					if all[j].Dist < all[i].Dist {
+						all[i], all[j] = all[j], all[i]
+					}
+				}
+			}
+			if len(all) > 2 {
+				all = all[:2]
+			}
+			return all, nil
+		},
+		Relevant: func(p []float64, kth float64) bool {
+			return p == nil || math.IsInf(kth, 1) || p[0] <= kth
+		},
+	}
+	m, err := h.Add("nn", 2, top2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _, _, _ := m.Subscribe(-1, 8)
+	evals = 0
+
+	// Far outside the current 2nd-best distance: prefilter skips the eval.
+	f.set("d", 50)
+	h.NotifyWrite("d", []float64{50})
+	if evals != 0 {
+		t.Fatalf("irrelevant write triggered %d evals", evals)
+	}
+	drain(t, sub, 0)
+
+	// Beats the 2nd best: displaces b.
+	f.set("d", 1.5)
+	h.NotifyWrite("d", []float64{1.5})
+	if evals != 1 {
+		t.Fatalf("relevant write triggered %d evals, want 1", evals)
+	}
+	evs := drain(t, sub, 2)
+	if evs[0].Kind != Leave || evs[0].Name != "b" || evs[1].Kind != Enter || evs[1].Name != "d" {
+		t.Fatalf("events = %+v", evs)
+	}
+
+	// Deleting a member backfills from the store.
+	f.del("a")
+	h.NotifyDelete("a")
+	evs = drain(t, sub, 2)
+	if evs[0].Kind != Leave || evs[0].Name != "a" || evs[1].Kind != Enter || evs[1].Name != "b" {
+		t.Fatalf("backfill events = %+v", evs)
+	}
+}
+
+func TestSubscribeReplay(t *testing.T) {
+	f := &fakeStore{dist: map[string]float64{}}
+	h := NewHub(4) // retain only 4 events
+	m, err := h.Add("range", 0, f.rangeFuncs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("s%d", i)
+		f.set(name, 1)
+		h.NotifyWrite(name, []float64{1})
+	}
+	// Resume within the retained window: gapless replay, no snapshot.
+	sub, snap, replay, seq := m.Subscribe(4, 8)
+	if snap != nil || len(replay) != 2 || replay[0].Seq != 5 || replay[1].Seq != 6 || seq != 6 {
+		t.Fatalf("replay subscribe = (%v, %v, %d)", snap, replay, seq)
+	}
+	sub.Cancel()
+	// Resume past the retained window: snapshot fallback.
+	sub, snap, replay, _ = m.Subscribe(1, 8)
+	if replay != nil || len(snap) != 6 {
+		t.Fatalf("stale resume = (%v, %v)", snap, replay)
+	}
+	sub.Cancel()
+	// Up to date: nothing to do.
+	sub, snap, replay, _ = m.Subscribe(6, 8)
+	if snap != nil || replay != nil {
+		t.Fatalf("current resume = (%v, %v)", snap, replay)
+	}
+	sub.Cancel()
+}
+
+func TestSlowSubscriberDrops(t *testing.T) {
+	f := &fakeStore{dist: map[string]float64{}}
+	h := NewHub(0)
+	m, err := h.Add("range", 0, f.rangeFuncs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _, _, _ := m.Subscribe(-1, 2)
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("s%d", i)
+		f.set(name, 1)
+		h.NotifyWrite(name, []float64{1})
+	}
+	if got := sub.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+	evs := drain(t, sub, 2)
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("delivered events %+v", evs)
+	}
+}
+
+func TestHubRemove(t *testing.T) {
+	f := &fakeStore{dist: map[string]float64{"a": 1}}
+	h := NewHub(0)
+	m, err := h.Add("range", 0, f.rangeFuncs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _, _, _ := m.Subscribe(-1, 2)
+	if !h.Remove(m.ID) {
+		t.Fatal("Remove reported unknown monitor")
+	}
+	if h.Remove(m.ID) {
+		t.Fatal("double Remove succeeded")
+	}
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("subscriber channel survived monitor removal")
+	}
+	// Notifications after removal are no-ops.
+	h.NotifyWrite("a", nil)
+	h.NotifyDelete("a")
+	if got := len(h.List()); got != 0 {
+		t.Fatalf("List after remove has %d monitors", got)
+	}
+}

@@ -1,0 +1,166 @@
+// Package stream is the engine-independent half of tsqlive, the streaming
+// subsystem: sliding-window feature maintenance for append-oriented ingest
+// (Tracker) and a standing-query registry with enter/leave event delivery
+// (Hub). The query engine in internal/core owns one Tracker per live-updated
+// series; the tsq server layer owns one Hub and wires its monitors to the
+// engine through closures, so this package never imports the engine.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dft"
+)
+
+// resyncInterval bounds the number of incremental slides between exact
+// recomputations of the tracked sums and DFT coefficients. The sliding
+// recurrence and the running moment sums drift linearly with the slide
+// count; resyncing every few hundred points keeps the error orders of
+// magnitude below the 1e-9 the property tests pin, at an amortized cost of
+// O(n/resyncInterval) work per appended point.
+const resyncInterval = 256
+
+// Tracker maintains the streaming state of one fixed-length series under
+// appends: the ring buffer holding the current window, compensated running
+// first and second moments, and the sliding DFT coefficients X_0..X_K of
+// the raw window. Everything a feature point needs — mean, standard
+// deviation, and the normal form's coefficients X_1..X_K — comes out in
+// O(K) per appended point instead of the O(n*K) of a fresh extraction.
+//
+// The normal-form coefficients derive from the raw ones by linearity of
+// the DFT: nf = (w - mean)/std, and the DFT of the all-ones vector is
+// sqrt(n)*delta_0, so X_f(nf) = X_f(w)/std for every f >= 1 (the mean only
+// ever lands in X_0). A zero-deviation (constant) window has the all-zero
+// normal form, matching series.NormalForm.
+//
+// A Tracker is not safe for concurrent use; the engine serializes appends
+// per series with its shard locks.
+type Tracker struct {
+	ring []float64
+	head int // index of the oldest value
+	k    int // retained normal-form coefficients X_1..X_K
+
+	// Compensated (Kahan) accumulators for sum and sum of squares: the
+	// plain running versions lose ~n*eps*sum relative accuracy over a
+	// window's worth of slides, which after the mean^2 cancellation in the
+	// variance would exceed the 1e-9 feature tolerance at large windows.
+	sum, sumC     float64
+	sumSq, sumSqC float64
+
+	sdft        *dft.Sliding // X_0..X_K of the raw window
+	sinceResync int
+}
+
+// NewTracker copies window (the series' current stored values, oldest
+// first) and computes the initial sums and coefficients exactly. k is the
+// number of normal-form coefficients X_1..X_K to maintain; the window must
+// be longer than k.
+func NewTracker(window []float64, k int) (*Tracker, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("stream: coefficient count %d must be >= 1", k)
+	}
+	if len(window) < k+1 {
+		return nil, fmt.Errorf("stream: window length %d too short for K=%d", len(window), k)
+	}
+	t := &Tracker{
+		ring: make([]float64, len(window)),
+		k:    k,
+	}
+	copy(t.ring, window)
+	sd, err := dft.NewSliding(window, k+1)
+	if err != nil {
+		return nil, err
+	}
+	t.sdft = sd
+	t.recomputeSums()
+	return t, nil
+}
+
+// add folds v into a compensated accumulator.
+func add(sum, comp *float64, v float64) {
+	y := v - *comp
+	s := *sum + y
+	*comp = (s - *sum) - y
+	*sum = s
+}
+
+// Append slides the window by one point: the oldest value leaves, x enters
+// at the back. O(K) amortized.
+func (t *Tracker) Append(x float64) {
+	old := t.ring[t.head]
+	t.ring[t.head] = x
+	t.head++
+	if t.head == len(t.ring) {
+		t.head = 0
+	}
+	add(&t.sum, &t.sumC, x-old)
+	add(&t.sumSq, &t.sumSqC, x*x-old*old)
+	t.sdft.Slide(old, x)
+	t.sinceResync++
+	if t.sinceResync >= resyncInterval {
+		t.Resync()
+	}
+}
+
+// Len returns the window length.
+func (t *Tracker) Len() int { return len(t.ring) }
+
+// K returns the number of maintained normal-form coefficients.
+func (t *Tracker) K() int { return t.k }
+
+// Window materializes the current window, oldest value first.
+func (t *Tracker) Window() []float64 {
+	out := make([]float64, len(t.ring))
+	n := copy(out, t.ring[t.head:])
+	copy(out[n:], t.ring[:t.head])
+	return out
+}
+
+// Moments returns the window's mean and population standard deviation from
+// the running sums.
+func (t *Tracker) Moments() (mean, std float64) {
+	n := float64(len(t.ring))
+	mean = t.sum / n
+	v := t.sumSq/n - mean*mean
+	if v < 0 {
+		v = 0 // rounding may push a near-constant window's variance negative
+	}
+	return mean, math.Sqrt(v)
+}
+
+// Coeffs returns the normal form's DFT coefficients X_1..X_K of the
+// current window — the feature-point coefficients — derived from the
+// sliding raw coefficients in O(K). A constant window yields zeros.
+func (t *Tracker) Coeffs() []complex128 {
+	out := make([]complex128, t.k)
+	_, std := t.Moments()
+	if std == 0 {
+		return out
+	}
+	inv := complex(1/std, 0)
+	for f := 1; f <= t.k; f++ {
+		out[f-1] = t.sdft.Coeff(f) * inv
+	}
+	return out
+}
+
+// Resync recomputes the sums and coefficients exactly from the window,
+// discarding accumulated drift.
+func (t *Tracker) Resync() {
+	t.recomputeSums()
+	_ = t.sdft.Resync(t.Window()) // length always matches
+	t.sinceResync = 0
+}
+
+// SinceResync returns the number of appends since the last exact
+// recomputation (diagnostics and tests).
+func (t *Tracker) SinceResync() int { return t.sinceResync }
+
+func (t *Tracker) recomputeSums() {
+	t.sum, t.sumC, t.sumSq, t.sumSqC = 0, 0, 0, 0
+	for _, v := range t.ring {
+		add(&t.sum, &t.sumC, v)
+		add(&t.sumSq, &t.sumSqC, v*v)
+	}
+}

@@ -1,0 +1,120 @@
+package stream
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dft"
+	"repro/internal/series"
+)
+
+const featureTol = 1e-9
+
+func randomWalkWindow(r *rand.Rand, n int) []float64 {
+	w := make([]float64, n)
+	v := 20 + 80*r.Float64()
+	for i := range w {
+		v += 8*r.Float64() - 4
+		w[i] = v
+	}
+	return w
+}
+
+// TestTrackerMatchesRecomputation is the streaming-correctness property
+// test: over long random append sequences — spanning many window
+// wrap-arounds and internal resyncs — the incrementally maintained mean,
+// standard deviation, and normal-form DFT coefficients must match a full
+// recomputation (series.NormalForm + dft.Transform) to 1e-9.
+func TestTrackerMatchesRecomputation(t *testing.T) {
+	r := rand.New(rand.NewSource(1997))
+	for _, n := range []int{16, 128, 1024} {
+		for _, k := range []int{2, 3} {
+			tr, err := NewTracker(randomWalkWindow(r, n), k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps := 3*n + 37 // several wrap-arounds, ending off-cycle
+			for step := 0; step < steps; step++ {
+				last := tr.Window()[n-1]
+				tr.Append(last + 8*r.Float64() - 4)
+
+				if step%13 != 0 && step != steps-1 {
+					continue
+				}
+				w := tr.Window()
+				wantMean, wantStd := series.Mean(w), series.Std(w)
+				mean, std := tr.Moments()
+				if math.Abs(mean-wantMean) > featureTol || math.Abs(std-wantStd) > featureTol {
+					t.Fatalf("n=%d step=%d: moments (%g, %g), want (%g, %g)", n, step, mean, std, wantMean, wantStd)
+				}
+				spec := dft.Transform(dft.ToComplex(series.NormalForm(w)))
+				for f, c := range tr.Coeffs() {
+					if d := cmplx.Abs(c - spec[f+1]); d > featureTol {
+						t.Fatalf("n=%d step=%d: coeff X_%d off by %g (got %v want %v)", n, step, f+1, d, c, spec[f+1])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTrackerWindowOrder(t *testing.T) {
+	tr, err := NewTracker([]float64{1, 2, 3, 4, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Append(6)
+	tr.Append(7)
+	got := tr.Window()
+	want := []float64{3, 4, 5, 6, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Window() = %v, want %v", got, want)
+		}
+	}
+	if tr.Len() != 5 || tr.K() != 2 {
+		t.Fatalf("Len, K = %d, %d; want 5, 2", tr.Len(), tr.K())
+	}
+}
+
+func TestTrackerConstantWindow(t *testing.T) {
+	tr, err := NewTracker([]float64{3, 3, 3, 3, 3, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Append(3)
+	mean, std := tr.Moments()
+	if mean != 3 || std != 0 {
+		t.Fatalf("constant window moments (%g, %g), want (3, 0)", mean, std)
+	}
+	for f, c := range tr.Coeffs() {
+		if c != 0 {
+			t.Fatalf("constant window coeff X_%d = %v, want 0", f+1, c)
+		}
+	}
+}
+
+func TestTrackerResyncCadence(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tr, err := NewTracker(randomWalkWindow(r, 32), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < resyncInterval+5; i++ {
+		tr.Append(r.Float64() * 100)
+	}
+	if got := tr.SinceResync(); got != 5 {
+		t.Fatalf("SinceResync = %d after %d appends, want 5", got, resyncInterval+5)
+	}
+}
+
+func TestTrackerValidation(t *testing.T) {
+	if _, err := NewTracker([]float64{1, 2}, 2); err == nil {
+		t.Fatal("NewTracker accepted a too-short window")
+	}
+	if _, err := NewTracker([]float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("NewTracker accepted k=0")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/feature"
 	"repro/internal/lru"
+	"repro/internal/stream"
 )
 
 // Server wraps a DB for long-lived concurrent use: many readers execute
@@ -32,12 +33,20 @@ import (
 // Server takes no lock at all: a writer to one shard no longer blocks
 // readers of the others, and only the written shard's portion of a
 // concurrent fan-out query waits. Cache consistency then comes from a
-// write-version counter: every mutation bumps the version and purges the
-// whole cache — any cached query may contain answers from any shard, so
-// selective per-shard purging would be unsound, and whole-cache purge is
-// the documented choice — and a query result is cached only if no write
-// landed between the query starting and finishing, so a reader that
-// overlapped a purge can never re-insert a stale answer.
+// write-version counter: every mutation — appends included — bumps the
+// version and evicts from the cache, and a query result is cached only if
+// no write landed between the query starting and finishing, so a reader
+// that overlapped an eviction can never re-insert a stale answer.
+//
+// Eviction granularity differs by write kind. Insert, Update, and Delete
+// purge the whole cache: any cached query may contain answers from any
+// shard, so selective per-shard purging would be unsound, and whole-cache
+// purge is the documented choice. Append evicts selectively: a cached
+// range or NN answer provably unaffected by the append — the appended
+// series is not the query series, is not among the cached matches, and
+// its new feature point misses the query's Lemma 1 search rectangle —
+// survives; join, subsequence, and query-language entries are always
+// evicted (see stream.go).
 //
 // Server is the session layer behind cmd/tsqd's HTTP API, and equally
 // usable embedded in any concurrent program.
@@ -52,11 +61,13 @@ type Server struct {
 	cacheGuard sync.Mutex
 	db         *DB
 	cache      *lru.Cache
+	hub        *stream.Hub // standing-query monitors (tsqlive)
 
 	started time.Time
 
 	queries      atomic.Int64
 	writes       atomic.Int64
+	appends      atomic.Int64
 	nodeAccesses atomic.Int64
 	pageReads    atomic.Int64
 	candidates   atomic.Int64
@@ -68,11 +79,19 @@ type ServerOptions struct {
 	// CacheSize is the number of query results kept in the LRU cache.
 	// 0 selects the default (256); negative disables caching.
 	CacheSize int
+	// MonitorRetain is the number of recent events retained per monitor
+	// for watcher reconnect replay. 0 selects the default (256); negative
+	// retains none (reconnecting watchers always get a fresh snapshot).
+	MonitorRetain int
 }
 
 // DefaultCacheSize is the result-cache capacity used when
 // ServerOptions.CacheSize is zero.
 const DefaultCacheSize = 256
+
+// DefaultMonitorRetain is the per-monitor event retention used when
+// ServerOptions.MonitorRetain is zero.
+const DefaultMonitorRetain = 256
 
 // NewServer wraps db. The Server owns the DB from here on: all access must
 // go through Server methods or the locking guarantees are void.
@@ -84,10 +103,18 @@ func NewServer(db *DB, opts ServerOptions) *Server {
 	if size < 0 {
 		size = 0
 	}
+	retain := opts.MonitorRetain
+	if retain == 0 {
+		retain = DefaultMonitorRetain
+	}
+	if retain < 0 {
+		retain = 0
+	}
 	return &Server{
 		db:      db,
 		sharded: db.Shards() > 1,
 		cache:   lru.New(size),
+		hub:     stream.NewHub(retain),
 		started: time.Now(),
 	}
 }
@@ -103,6 +130,8 @@ type ServerStats struct {
 
 	Queries     int64
 	Writes      int64
+	Appends     int64
+	Monitors    int
 	CacheHits   int64
 	CacheMisses int64
 	CacheLen    int
@@ -129,6 +158,8 @@ func (s *Server) Stats() ServerStats {
 		Shards:       s.db.Shards(),
 		Queries:      s.queries.Load(),
 		Writes:       s.writes.Load(),
+		Appends:      s.appends.Load(),
+		Monitors:     len(s.hub.List()),
 		CacheHits:    hits,
 		CacheMisses:  misses,
 		CacheLen:     s.cache.Len(),
@@ -178,10 +209,14 @@ func (s *Server) write(fn func() (mutated bool, err error)) error {
 
 // Insert stores a named series. See DB.Insert.
 func (s *Server) Insert(name string, values []float64) error {
-	return s.write(func() (bool, error) {
+	err := s.write(func() (bool, error) {
 		err := s.db.Insert(name, values)
 		return err == nil, err
 	})
+	if err == nil {
+		s.notifyWrite(name)
+	}
+	return err
 }
 
 // InsertAll inserts a batch atomically: on any error (duplicate name,
@@ -189,7 +224,7 @@ func (s *Server) Insert(name string, values []float64) error {
 // is unchanged — unlike DB.InsertAll, which stops at the first error and
 // keeps the prefix. Atomicity makes failed uploads cleanly retryable.
 func (s *Server) InsertAll(batch []NamedSeries) error {
-	return s.write(func() (bool, error) {
+	err := s.write(func() (bool, error) {
 		for i, b := range batch {
 			if err := s.db.Insert(b.Name, b.Values); err != nil {
 				for j := i - 1; j >= 0; j-- {
@@ -206,21 +241,35 @@ func (s *Server) InsertAll(batch []NamedSeries) error {
 		}
 		return len(batch) > 0, nil
 	})
+	if err == nil {
+		for _, b := range batch {
+			s.notifyWrite(b.Name)
+		}
+	}
+	return err
 }
 
 // InsertBulk bulk-loads a batch into an empty DB. See DB.InsertBulk.
 func (s *Server) InsertBulk(batch []NamedSeries) error {
 	// Conservatively treat even a failed bulk load as a mutation: unlike
 	// Insert/Update, a late error can leave partial state behind.
-	return s.write(func() (bool, error) { return true, s.db.InsertBulk(batch) })
+	err := s.write(func() (bool, error) { return true, s.db.InsertBulk(batch) })
+	// Rebuild every monitor's membership from scratch — the store was
+	// rewritten wholesale.
+	s.hub.RefreshAll()
+	return err
 }
 
 // Update replaces the values stored under an existing name.
 func (s *Server) Update(name string, values []float64) error {
-	return s.write(func() (bool, error) {
+	err := s.write(func() (bool, error) {
 		err := s.db.Update(name, values)
 		return err == nil, err
 	})
+	if err == nil {
+		s.notifyWrite(name)
+	}
+	return err
 }
 
 // Delete removes a series by name, reporting whether it was present.
@@ -230,6 +279,9 @@ func (s *Server) Delete(name string) bool {
 		present = s.db.Delete(name)
 		return present, nil
 	})
+	if present {
+		s.hub.NotifyDelete(name)
+	}
 	return present
 }
 
@@ -307,6 +359,10 @@ type cachedResult struct {
 	subseq  []SubseqMatch
 	output  *Output
 	stats   Stats
+	// affected decides whether one committed append could change this
+	// result (see Server.Append's selective invalidation); nil means the
+	// entry is always evicted on append.
+	affected func(appendEvent) bool
 }
 
 // readQuery serves one query, consulting the result cache first.
@@ -415,7 +471,7 @@ func (s *Server) Range(q []float64, eps float64, t Transform, opts ...QueryOpt) 
 	key := fmt.Sprintf("range|v=%s|eps=%g|t=%s|%s", valuesKey(q), eps, t.Canonical(), optsKey(opts))
 	return s.matchQuery(key, func() ([]Match, Stats, error) {
 		return s.db.Range(q, eps, t, opts...)
-	})
+	}, s.rangeAffected("", q, eps, t, opts))
 }
 
 // RangeByName runs DB.RangeByName under the shared lock, with result
@@ -424,7 +480,7 @@ func (s *Server) RangeByName(name string, eps float64, t Transform, opts ...Quer
 	key := fmt.Sprintf("range|n=%q|eps=%g|t=%s|%s", name, eps, t.Canonical(), optsKey(opts))
 	return s.matchQuery(key, func() ([]Match, Stats, error) {
 		return s.db.RangeByName(name, eps, t, opts...)
-	})
+	}, s.rangeAffected(name, nil, eps, t, opts))
 }
 
 // NN runs DB.NN under the shared lock, with result caching.
@@ -432,7 +488,7 @@ func (s *Server) NN(q []float64, k int, t Transform, opts ...QueryOpt) ([]Match,
 	key := fmt.Sprintf("nn|v=%s|k=%d|t=%s|%s", valuesKey(q), k, t.Canonical(), optsKey(opts))
 	return s.matchQuery(key, func() ([]Match, Stats, error) {
 		return s.db.NN(q, k, t, opts...)
-	})
+	}, s.nnAffected("", q, k, t, opts))
 }
 
 // NNByName runs DB.NNByName under the shared lock, with result caching.
@@ -440,16 +496,24 @@ func (s *Server) NNByName(name string, k int, t Transform, opts ...QueryOpt) ([]
 	key := fmt.Sprintf("nn|n=%q|k=%d|t=%s|%s", name, k, t.Canonical(), optsKey(opts))
 	return s.matchQuery(key, func() ([]Match, Stats, error) {
 		return s.db.NNByName(name, k, t, opts...)
-	})
+	}, s.nnAffected(name, nil, k, t, opts))
 }
 
-func (s *Server) matchQuery(key string, run func() ([]Match, Stats, error)) ([]Match, Stats, error) {
+// matchQuery serves a match-shaped query through the cache. affectedFor,
+// when non-nil, builds the entry's append-invalidation predicate from the
+// computed matches (inside the compute critical section, so the predicate
+// observes the same store state the answer did).
+func (s *Server) matchQuery(key string, run func() ([]Match, Stats, error), affectedFor func([]Match) func(appendEvent) bool) ([]Match, Stats, error) {
 	r, st, err := s.readQuery(key, func() (cachedResult, error) {
 		m, qst, err := run()
 		if err != nil {
 			return cachedResult{}, err
 		}
-		return cachedResult{matches: m, stats: qst}, nil
+		out := cachedResult{matches: m, stats: qst}
+		if affectedFor != nil {
+			out.affected = affectedFor(m)
+		}
+		return out, nil
 	})
 	if err != nil {
 		return nil, Stats{}, err

@@ -1,0 +1,522 @@
+package tsq
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/geom"
+	"repro/internal/stream"
+)
+
+// This file is the public surface of tsqlive, the streaming subsystem:
+// append-oriented ingest (DB.Append, Server.Append) and continuous
+// standing queries (Server.MonitorRange / MonitorNN / Watch).
+//
+// # Appends
+//
+// Append slides a stored series' fixed-length window forward: the oldest
+// points fall off, the new points arrive at the back, and the series keeps
+// its name and internal ID. Per appended point the engine maintains the
+// indexed feature point with a sliding-DFT recurrence in O(K) (instead of
+// re-extracting in O(n*K)), moves the R*-tree entry in place when the
+// feature drifted little, and rewrites both storage records in place. The
+// full spectrum used for exact verification is recomputed exactly, so a
+// series built by appends answers every query byte-identically to the
+// same window inserted whole.
+//
+// # Monitors
+//
+// A monitor is a registered range or k-NN query whose answer set the
+// server maintains continuously: whenever a write could change membership
+// — decided cheaply per append by testing the new feature point against
+// the query's Section 3.1 search rectangle (the same Lemma 1 geometry the
+// index filter uses), before any exact verification — the server verifies
+// exactly and emits enter/leave events to every watcher.
+//
+// Event semantics: per monitor, events carry a strictly increasing Seq and
+// every watcher receives them in Seq order. Membership is always verified
+// against the live store, so when appends race, intermediate states may
+// collapse — monitors converge on the store's current answer set rather
+// than narrating every transient. A slow watcher's buffer may overflow, in
+// which case events are dropped (counted by Watch.Dropped) and the watcher
+// should resubscribe for a fresh snapshot; the server retains the last
+// ServerOptions.MonitorRetain events per monitor so a reconnecting watcher
+// that asks to resume after a recent Seq gets a gapless replay instead.
+//
+// # Cache interaction
+//
+// Where Insert/Update/Delete purge the whole result cache, an append
+// evicts selectively: a cached range or NN answer survives when the
+// appended series is not the query series, is not among the cached
+// matches, and its new feature point misses the query's search rectangle —
+// the Lemma 1 test proving the answer unchanged. Join, subsequence, and
+// query-language entries are always evicted. The write-version guard is
+// unchanged: an append bumps the version, so any query racing the append
+// can never cache a stale answer.
+
+// Append slides a stored series' window forward by the given points. Like
+// every DB write, it requires external synchronization on an unsharded
+// store (wrap the DB in a Server); a sharded DB locks only the owning
+// shard.
+func (db *DB) Append(name string, points []float64) error {
+	_, err := db.eng.Append(name, points)
+	return err
+}
+
+// planPrefilter builds the engine's Lemma 1 rectangle test for a query
+// spec; shared by monitors and append-aware cache invalidation.
+func (db *DB) planPrefilter(values []float64, t Transform, qo queryOpts) (*core.Prefilter, error) {
+	tr, warp, err := t.materialize(db.length)
+	if err != nil {
+		return nil, err
+	}
+	return db.eng.PlanPrefilter(core.RangeQuery{
+		Values:     values,
+		Transform:  tr,
+		Moments:    qo.moments,
+		WarpFactor: warp,
+		BothSides:  qo.both,
+	})
+}
+
+// checkWithin verifies one stored series against a range query exactly.
+func (db *DB) checkWithin(name string, values []float64, eps float64, t Transform, qo queryOpts) (float64, bool, error) {
+	tr, warp, err := t.materialize(db.length)
+	if err != nil {
+		return 0, false, err
+	}
+	return db.eng.CheckWithin(name, core.RangeQuery{
+		Values:     values,
+		Eps:        eps,
+		Transform:  tr,
+		Moments:    qo.moments,
+		WarpFactor: warp,
+		BothSides:  qo.both,
+	})
+}
+
+// appendEvent describes one committed append for cache invalidation.
+type appendEvent struct {
+	name  string
+	point geom.Point // new feature point; nil disables prefiltering
+}
+
+// Append slides a stored series' window forward through the Server: the
+// engine append commits under the write locking, the result cache is
+// invalidated selectively (see the file comment), and monitors are
+// notified. See DB.Append for the storage semantics.
+func (s *Server) Append(name string, points []float64) error {
+	var info core.AppendInfo
+	var err error
+	ev := appendEvent{name: name}
+	if !s.sharded {
+		s.mu.Lock()
+		info, err = s.db.eng.Append(name, points)
+		if err == nil {
+			s.appends.Add(1)
+			ev.point = info.Point
+			s.invalidateForAppend(ev)
+		}
+		s.mu.Unlock()
+	} else {
+		info, err = s.db.eng.Append(name, points)
+		if err == nil {
+			s.appends.Add(1)
+			ev.point = info.Point
+			// Same discipline as write(): the version bump is ordered after
+			// the mutation and before the eviction, so a query that read any
+			// pre-append state fails the version re-check and cannot cache.
+			s.version.Add(1)
+			s.cacheGuard.Lock()
+			s.invalidateForAppend(ev)
+			s.cacheGuard.Unlock()
+		}
+	}
+	if err != nil {
+		return err
+	}
+	s.hub.NotifyWrite(name, info.Point)
+	return nil
+}
+
+// invalidateForAppend evicts the cached results the append could have
+// changed. Entries without an affected predicate (joins, subsequence
+// scans, raw statements) always go.
+func (s *Server) invalidateForAppend(ev appendEvent) {
+	s.cache.RemoveIf(func(_ string, v any) bool {
+		r := v.(cachedResult)
+		if r.affected == nil {
+			return true
+		}
+		return r.affected(ev)
+	})
+}
+
+// notifyWrite tells the monitors a series was inserted or replaced,
+// handing them its current feature point for prefiltering.
+func (s *Server) notifyWrite(name string) {
+	var p geom.Point
+	s.rlock()
+	if id, ok := s.db.eng.IDByName(name); ok {
+		if fp, ok := s.db.eng.FeaturePoint(id); ok {
+			p = fp.Clone()
+		}
+	}
+	s.runlock()
+	s.hub.NotifyWrite(name, p)
+}
+
+// rangeAffected builds the cached-entry invalidation predicate for a range
+// answer: the entry survives an append unless the appended series is the
+// query series, is among the cached matches, or lands its new feature
+// point inside the query's search rectangle (in which case it may have
+// entered the answer). A nil return means "cannot prove anything — always
+// invalidate".
+func (s *Server) rangeAffected(queryName string, values []float64, eps float64, t Transform, opts []QueryOpt) func([]Match) func(appendEvent) bool {
+	return func(matches []Match) func(appendEvent) bool {
+		var qo queryOpts
+		for _, o := range opts {
+			o(&qo)
+		}
+		vals := values
+		if vals == nil {
+			v, err := s.db.Series(queryName)
+			if err != nil {
+				return nil
+			}
+			vals = v
+		}
+		// Scan strategies verify every series without consulting the index,
+		// so their answers ignore moment bounds; widen the prefilter to
+		// match, or a moment-filtered rectangle could wrongly retain an
+		// entry the scan answer would include.
+		if qo.strategy != UseIndex {
+			qo.moments = feature.MomentBounds{}
+		}
+		pf, err := s.db.planPrefilter(vals, t, qo)
+		if err != nil {
+			return nil
+		}
+		members := make(map[string]bool, len(matches))
+		for _, m := range matches {
+			members[m.Name] = true
+		}
+		return func(ev appendEvent) bool {
+			if ev.name == queryName || members[ev.name] || ev.point == nil {
+				return true
+			}
+			return pf.Hit(ev.point, eps)
+		}
+	}
+}
+
+// nnAffected is the NN analogue: the search rectangle's threshold is the
+// cached k-th best distance — a new point outside it provably cannot
+// displace any cached neighbor.
+func (s *Server) nnAffected(queryName string, values []float64, k int, t Transform, opts []QueryOpt) func([]Match) func(appendEvent) bool {
+	return func(matches []Match) func(appendEvent) bool {
+		if len(matches) < k {
+			return nil // unfilled answer: any append may enter
+		}
+		var qo queryOpts
+		for _, o := range opts {
+			o(&qo)
+		}
+		qo.moments = feature.MomentBounds{} // NN queries carry no moment bounds
+		vals := values
+		if vals == nil {
+			v, err := s.db.Series(queryName)
+			if err != nil {
+				return nil
+			}
+			vals = v
+		}
+		pf, err := s.db.planPrefilter(vals, t, qo)
+		if err != nil {
+			return nil
+		}
+		kth := matches[len(matches)-1].Distance
+		members := make(map[string]bool, len(matches))
+		for _, m := range matches {
+			members[m.Name] = true
+		}
+		return func(ev appendEvent) bool {
+			if ev.name == queryName || members[ev.name] || ev.point == nil {
+				return true
+			}
+			return pf.Hit(ev.point, kth)
+		}
+	}
+}
+
+// MonitorEvent is one membership change of a monitored query.
+type MonitorEvent struct {
+	Monitor int64
+	// Seq increases by one per event within a monitor; a gap at the
+	// receiver means events were dropped under backpressure.
+	Seq  int64
+	Kind string // "enter" or "leave"
+	Name string
+	// Distance at entry (0 for leave events).
+	Distance float64
+}
+
+func fromStreamEvent(ev stream.Event) MonitorEvent {
+	return MonitorEvent{Monitor: ev.Monitor, Seq: ev.Seq, Kind: ev.Kind, Name: ev.Name, Distance: ev.Dist}
+}
+
+func membersToMatches(ms []stream.Member) []Match {
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{Name: m.Name, Distance: m.Dist}
+	}
+	return out
+}
+
+func matchesToMembers(ms []Match) []stream.Member {
+	out := make([]stream.Member, len(ms))
+	for i, m := range ms {
+		out[i] = stream.Member{Name: m.Name, Dist: m.Distance}
+	}
+	return out
+}
+
+// MonitorInfo describes one registered monitor.
+type MonitorInfo struct {
+	ID       int64
+	Kind     string // "range" or "nn"
+	Members  int
+	Watchers int
+}
+
+// MonitorRange registers a standing range query: the returned monitor
+// continuously tracks every stored series within eps of q under the
+// transformation, emitting enter/leave events as writes change the answer
+// set. The initial membership is returned. q is captured by reference; do
+// not mutate it afterwards.
+func (s *Server) MonitorRange(q []float64, eps float64, t Transform, opts ...QueryOpt) (int64, []Match, error) {
+	var qo queryOpts
+	for _, o := range opts {
+		o(&qo)
+	}
+	pf, pfErr := s.db.planPrefilter(q, t, qo)
+	// Scan strategies verify every series without consulting the index, so
+	// their answers ignore moment bounds; align the prefilter and the
+	// per-series check with Eval or membership verdicts would flip-flop.
+	qoCheck := qo
+	if qo.strategy != UseIndex {
+		qoCheck.moments = feature.MomentBounds{}
+		if qo.moments != (feature.MomentBounds{}) {
+			pf = nil // conservative: re-verify every write
+		}
+	}
+	eval := func() ([]stream.Member, error) {
+		s.rlock()
+		defer s.runlock()
+		matches, _, err := s.db.Range(q, eps, t, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return matchesToMembers(matches), nil
+	}
+	if pfErr != nil {
+		// Validate eagerly: a spec the prefilter rejects would also fail
+		// every evaluation.
+		if _, err := eval(); err != nil {
+			return 0, nil, err
+		}
+	}
+	checkOne := func(name string) (stream.Member, bool, error) {
+		s.rlock()
+		defer s.runlock()
+		dist, within, err := s.db.checkWithin(name, q, eps, t, qoCheck)
+		return stream.Member{Name: name, Dist: dist}, within, err
+	}
+	relevant := func(p []float64, _ float64) bool {
+		if pf == nil || p == nil {
+			return true
+		}
+		return pf.Hit(geom.Point(p), eps)
+	}
+	m, err := s.hub.Add("range", 0, stream.Funcs{Eval: eval, CheckOne: checkOne, Relevant: relevant})
+	if err != nil {
+		return 0, nil, err
+	}
+	return m.ID, membersToMatches(m.Members()), nil
+}
+
+// MonitorRangeByName is MonitorRange with a stored series as the query;
+// the query values are snapshotted at registration (later appends to the
+// query series do not re-center the monitor).
+func (s *Server) MonitorRangeByName(name string, eps float64, t Transform, opts ...QueryOpt) (int64, []Match, error) {
+	values, err := s.Series(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	return s.MonitorRange(values, eps, t, opts...)
+}
+
+// MonitorNN registers a standing k-nearest-neighbor query: the monitor
+// tracks the current top-k and emits enter/leave events as appends move
+// series in and out of it. Per append, the candidate filter is the range
+// rectangle at the current k-th best distance — the same no-false-
+// dismissals geometry as the index filter — so most appends cost one
+// containment test.
+func (s *Server) MonitorNN(q []float64, k int, t Transform, opts ...QueryOpt) (int64, []Match, error) {
+	if k < 1 {
+		return 0, nil, fmt.Errorf("tsq: monitor k must be >= 1, got %d", k)
+	}
+	var qo queryOpts
+	for _, o := range opts {
+		o(&qo)
+	}
+	qo.moments = feature.MomentBounds{}
+	pf, pfErr := s.db.planPrefilter(q, t, qo)
+	eval := func() ([]stream.Member, error) {
+		s.rlock()
+		defer s.runlock()
+		matches, _, err := s.db.NN(q, k, t, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return matchesToMembers(matches), nil
+	}
+	if pfErr != nil {
+		if _, err := eval(); err != nil {
+			return 0, nil, err
+		}
+	}
+	relevant := func(p []float64, kth float64) bool {
+		if pf == nil || p == nil {
+			return true
+		}
+		return pf.Hit(geom.Point(p), kth)
+	}
+	m, err := s.hub.Add("nn", k, stream.Funcs{Eval: eval, Relevant: relevant})
+	if err != nil {
+		return 0, nil, err
+	}
+	return m.ID, membersToMatches(m.Members()), nil
+}
+
+// MonitorNNByName is MonitorNN with a stored series as the query
+// (snapshotted at registration).
+func (s *Server) MonitorNNByName(name string, k int, t Transform, opts ...QueryOpt) (int64, []Match, error) {
+	values, err := s.Series(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	return s.MonitorNN(values, k, t, opts...)
+}
+
+// Unmonitor removes a monitor, closing every watcher's event channel. It
+// reports whether the ID was registered.
+func (s *Server) Unmonitor(id int64) bool { return s.hub.Remove(id) }
+
+// Monitors lists the registered monitors in ID order.
+func (s *Server) Monitors() []MonitorInfo {
+	infos := s.hub.List()
+	out := make([]MonitorInfo, len(infos))
+	for i, in := range infos {
+		out[i] = MonitorInfo{ID: in.ID, Kind: in.Kind, Members: in.Members, Watchers: in.Subs}
+	}
+	return out
+}
+
+// MonitorMembers returns a monitor's current answer set sorted by
+// (distance, name).
+func (s *Server) MonitorMembers(id int64) ([]Match, error) {
+	m, ok := s.hub.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("tsq: unknown monitor %d", id)
+	}
+	return membersToMatches(m.Members()), nil
+}
+
+// Watch is one live subscription to a monitor's events.
+type Watch struct {
+	Monitor int64
+	// Seq is the monitor's sequence number at subscription; events on the
+	// channel continue from Seq+1 with no gap.
+	Seq int64
+	// Snapshot holds the membership at subscription, unless Replay covers
+	// the catch-up instead.
+	Snapshot []Match
+	// Replay holds the retained events after the requested resume point,
+	// when the server still retains them all (then Snapshot is nil).
+	Replay []MonitorEvent
+	// Events delivers subsequent membership changes in Seq order. Closed
+	// on Cancel and when the monitor is removed.
+	Events <-chan MonitorEvent
+
+	sub  *stream.Sub
+	done chan struct{}
+	once sync.Once
+}
+
+// Cancel detaches the watcher; Events is closed.
+func (w *Watch) Cancel() {
+	w.once.Do(func() {
+		close(w.done)
+		w.sub.Cancel()
+	})
+}
+
+// Dropped reports how many events were discarded because the watcher fell
+// behind its buffer.
+func (w *Watch) Dropped() int64 { return w.sub.Dropped() }
+
+// Watch subscribes to a monitor's event stream. after < 0 requests a
+// fresh membership snapshot; after >= 0 asks to resume from that sequence
+// number, replaying the retained events when possible (falling back to a
+// snapshot when not). buf bounds the watcher's event buffer (<= 0 selects
+// a default).
+func (s *Server) Watch(id int64, after int64, buf int) (*Watch, error) {
+	m, ok := s.hub.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("tsq: unknown monitor %d", id)
+	}
+	sub, snapshot, replay, seq := m.Subscribe(after, buf)
+	if buf < 1 {
+		buf = 64
+	}
+	out := make(chan MonitorEvent, buf)
+	w := &Watch{
+		Monitor:  id,
+		Seq:      seq,
+		Snapshot: membersToMatches(snapshot),
+		Events:   out,
+		sub:      sub,
+		done:     make(chan struct{}),
+	}
+	if snapshot == nil {
+		w.Snapshot = nil
+	}
+	if len(replay) > 0 {
+		w.Replay = make([]MonitorEvent, len(replay))
+		for i, ev := range replay {
+			w.Replay[i] = fromStreamEvent(ev)
+		}
+	}
+	go func() {
+		defer close(out)
+		for {
+			select {
+			case ev, ok := <-sub.Events():
+				if !ok {
+					return
+				}
+				select {
+				case out <- fromStreamEvent(ev):
+				case <-w.done:
+					return
+				}
+			case <-w.done:
+				return
+			}
+		}
+	}()
+	return w, nil
+}

@@ -1,0 +1,528 @@
+package tsq_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	tsq "repro"
+)
+
+const (
+	streamLen   = 32
+	streamCount = 40
+)
+
+// streamWalks returns walks of total length; the first streamLen values
+// seed the store, the rest arrive as appends.
+func streamWalks(count, total int, seed int64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([][]float64, count)
+	for i := range out {
+		w := make([]float64, total)
+		v := 20 + 80*r.Float64()
+		for j := range w {
+			v += 8*r.Float64() - 4
+			w[j] = v
+		}
+		out[i] = w
+	}
+	return out
+}
+
+func streamName(i int) string { return fmt.Sprintf("W%04d", i) }
+
+// TestServerAppendParity is the tsq-layer acceptance parity test: a Server
+// whose series were built by appends answers range, NN, and subsequence
+// queries byte-identically to one whose series were inserted whole, at
+// shard counts 1 and 4.
+func TestServerAppendParity(t *testing.T) {
+	walks := streamWalks(streamCount, streamLen+90, 1)
+	for _, shards := range []int{1, 4} {
+		streamed := tsq.NewServer(tsq.MustOpen(tsq.Options{Length: streamLen, Shards: shards}), tsq.ServerOptions{})
+		whole := tsq.NewServer(tsq.MustOpen(tsq.Options{Length: streamLen, Shards: shards}), tsq.ServerOptions{})
+		for i, w := range walks {
+			if err := streamed.Insert(streamName(i), w[:streamLen]); err != nil {
+				t.Fatal(err)
+			}
+			if err := whole.Insert(streamName(i), w[len(w)-streamLen:]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, w := range walks {
+			rest := w[streamLen:]
+			chunk := 1 + i%4
+			for off := 0; off < len(rest); off += chunk {
+				end := off + chunk
+				if end > len(rest) {
+					end = len(rest)
+				}
+				if err := streamed.Append(streamName(i), rest[off:end]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		q, err := whole.Series(streamName(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct {
+			label string
+			run   func(*tsq.Server) (any, error)
+		}{
+			{"range", func(s *tsq.Server) (any, error) {
+				m, _, err := s.Range(q, 5, tsq.Identity())
+				return m, err
+			}},
+			{"range-mavg-both", func(s *tsq.Server) (any, error) {
+				m, _, err := s.Range(q, 4, tsq.MovingAverage(6), tsq.TransformBoth())
+				return m, err
+			}},
+			{"nn", func(s *tsq.Server) (any, error) {
+				m, _, err := s.NN(q, 6, tsq.Identity())
+				return m, err
+			}},
+			{"subseq", func(s *tsq.Server) (any, error) {
+				m, _, err := s.Subsequence(q[:10], 8)
+				return m, err
+			}},
+		} {
+			got, err := tc.run(streamed)
+			if err != nil {
+				t.Fatalf("shards=%d %s: streamed: %v", shards, tc.label, err)
+			}
+			want, err := tc.run(whole)
+			if err != nil {
+				t.Fatalf("shards=%d %s: whole: %v", shards, tc.label, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("shards=%d %s: streamed diverges:\n got %+v\nwant %+v", shards, tc.label, got, want)
+			}
+		}
+	}
+}
+
+// TestAppendCacheSelective pins the append path's cache semantics: an
+// append provably outside a cached answer's search rectangle keeps the
+// entry; an append that enters, touches a cached match, or touches the
+// query series evicts it; join-shaped entries always evict.
+func TestAppendCacheSelective(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		s := tsq.NewServer(tsq.MustOpen(tsq.Options{Length: streamLen, Shards: shards}), tsq.ServerOptions{})
+		// Two tight clusters of different *shape* (distances are between
+		// normal forms, so different base levels alone would not separate
+		// them): perturbations of two independent walks.
+		shapes := streamWalks(2, streamLen, 99)
+		mk := func(shape []float64, jitter int64) []float64 {
+			r := rand.New(rand.NewSource(jitter))
+			w := make([]float64, streamLen)
+			for j := range w {
+				w[j] = shape[j] + r.Float64()*0.05
+			}
+			return w
+		}
+		for i := 0; i < 6; i++ {
+			if err := s.Insert(fmt.Sprintf("A%d", i), mk(shapes[0], int64(i))); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Insert(fmt.Sprintf("B%d", i), mk(shapes[1], int64(100+i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The clusters must actually be distant for the test to mean
+		// anything.
+		if d, err := tsq.Distance(shapes[0], shapes[1], tsq.Identity()); err != nil || d < 5 {
+			t.Fatalf("cluster shapes too close (d=%g, err=%v); pick another seed", d, err)
+		}
+		cached := func(run func() (tsq.Stats, error)) bool {
+			t.Helper()
+			st, err := run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st.Cached
+		}
+		rangeByA0 := func() (tsq.Stats, error) {
+			_, st, err := s.RangeByName("A0", 3, tsq.Identity())
+			return st, err
+		}
+
+		if cached(rangeByA0) {
+			t.Fatal("first query reported cached")
+		}
+		if !cached(rangeByA0) {
+			t.Fatal("repeat query missed the cache")
+		}
+		// A small append to a far-away non-member keeps the entry.
+		if err := s.Append("B5", []float64{shapes[1][0] + 0.3}); err != nil {
+			t.Fatal(err)
+		}
+		if !cached(rangeByA0) {
+			t.Fatal("irrelevant append evicted the cached range entry")
+		}
+		// Appending a window that lands inside the answer evicts it.
+		a0, err := s.Series("A0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append("B5", a0); err != nil {
+			t.Fatal(err)
+		}
+		if cached(rangeByA0) {
+			t.Fatal("entering append kept the cached range entry")
+		}
+		matches, _, err := s.RangeByName("A0", 3, tsq.Identity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, m := range matches {
+			found = found || m.Name == "B5"
+		}
+		if !found {
+			t.Fatal("B5 missing from the refreshed answer after entering append")
+		}
+		// An append to a cached match always evicts (the matches call above
+		// shares the cache key, so the entry is warm again).
+		if !cached(rangeByA0) {
+			t.Fatal("warming query missed")
+		}
+		if err := s.Append("A1", []float64{50.5}); err != nil { // A1 is a member
+			t.Fatal(err)
+		}
+		if cached(rangeByA0) {
+			t.Fatal("append to a cached match kept the entry")
+		}
+		// An append to the query series always evicts.
+		if !cached(rangeByA0) {
+			t.Fatal("warming query missed")
+		}
+		if err := s.Append("A0", []float64{50.5}); err != nil {
+			t.Fatal(err)
+		}
+		if cached(rangeByA0) {
+			t.Fatal("append to the query series kept the entry")
+		}
+		// Join entries carry no predicate: any append evicts.
+		join := func() (tsq.Stats, error) {
+			_, st, err := s.SelfJoin(1, tsq.Identity(), tsq.JoinScanEarlyAbandon)
+			return st, err
+		}
+		if cached(join) {
+			t.Fatal("first join reported cached")
+		}
+		if !cached(join) {
+			t.Fatal("repeat join missed the cache")
+		}
+		if err := s.Append("B5", []float64{5001}); err != nil {
+			t.Fatal(err)
+		}
+		if cached(join) {
+			t.Fatal("append kept a cached join entry")
+		}
+		// Non-append writes still purge everything. (Warm first: the
+		// join-section append evicted the range entry too, B5 being a
+		// member by then.)
+		if _, err := rangeByA0(); err != nil {
+			t.Fatal(err)
+		}
+		if !cached(rangeByA0) {
+			t.Fatal("warming query missed")
+		}
+		if err := s.Insert("C0", mk(shapes[1], 55)); err != nil {
+			t.Fatal(err)
+		}
+		if cached(rangeByA0) {
+			t.Fatal("insert did not purge the cache")
+		}
+	}
+}
+
+// TestMonitorRangeEvents drives a range monitor end to end over the real
+// engine: snapshot, enter on approach, distance updates without events,
+// leave on divergence, leave on delete.
+func TestMonitorRangeEvents(t *testing.T) {
+	walks := streamWalks(10, streamLen, 3)
+	s := tsq.NewServer(tsq.MustOpen(tsq.Options{Length: streamLen, Shards: 2}), tsq.ServerOptions{})
+	for i, w := range walks {
+		if err := s.Insert(streamName(i), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := s.Series(streamName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, initial, err := s.MonitorRangeByName(streamName(0), 2, tsq.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(initial) == 0 || initial[0].Name != streamName(0) {
+		t.Fatalf("initial members %v should contain the query series at distance 0", initial)
+	}
+	w, err := s.Watch(id, -1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Cancel()
+	if !reflect.DeepEqual(w.Snapshot, initial) {
+		t.Fatalf("watch snapshot %v != initial members %v", w.Snapshot, initial)
+	}
+
+	// Make W0005 identical to the query: it must enter at distance 0.
+	if err := s.Append(streamName(5), q); err != nil {
+		t.Fatal(err)
+	}
+	ev := <-w.Events
+	if ev.Kind != "enter" || ev.Name != streamName(5) || ev.Distance != 0 {
+		t.Fatalf("event = %+v, want enter W0005 at 0", ev)
+	}
+	// Drive it far away: leave.
+	far := make([]float64, streamLen)
+	for i := range far {
+		far[i] = 9000 + 13*float64(i%5)
+	}
+	if err := s.Append(streamName(5), far); err != nil {
+		t.Fatal(err)
+	}
+	ev = <-w.Events
+	if ev.Kind != "leave" || ev.Name != streamName(5) {
+		t.Fatalf("event = %+v, want leave W0005", ev)
+	}
+	// Deleting a member emits leave.
+	if !s.Delete(streamName(0)) {
+		t.Fatal("delete failed")
+	}
+	ev = <-w.Events
+	if ev.Kind != "leave" || ev.Name != streamName(0) {
+		t.Fatalf("event = %+v, want leave W0000", ev)
+	}
+	got, err := s.MonitorMembers(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _, err := s.Range(q, 2, tsq.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, fresh) {
+		t.Fatalf("members after churn = %v, fresh answer = %v", got, fresh)
+	}
+	if !s.Unmonitor(id) {
+		t.Fatal("Unmonitor failed")
+	}
+	if _, ok := <-w.Events; ok {
+		t.Fatal("events channel survived Unmonitor")
+	}
+}
+
+// TestMonitorNNEvents: an NN monitor tracks the top-k as appends displace
+// neighbors.
+func TestMonitorNNEvents(t *testing.T) {
+	s := tsq.NewServer(tsq.MustOpen(tsq.Options{Length: streamLen}), tsq.ServerOptions{})
+	walks := streamWalks(8, streamLen, 5)
+	for i, w := range walks {
+		if err := s.Insert(streamName(i), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, _ := s.Series(streamName(0))
+	id, initial, err := s.MonitorNN(q, 3, tsq.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(initial) != 3 {
+		t.Fatalf("initial top-3 has %d members", len(initial))
+	}
+	w, err := s.Watch(id, -1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Cancel()
+
+	// Find a series outside the top-3 and make it identical to the query.
+	inTop := map[string]bool{}
+	for _, m := range initial {
+		inTop[m.Name] = true
+	}
+	outsider := ""
+	for i := range walks {
+		if !inTop[streamName(i)] {
+			outsider = streamName(i)
+			break
+		}
+	}
+	if err := s.Append(outsider, q); err != nil {
+		t.Fatal(err)
+	}
+	ev1, ev2 := <-w.Events, <-w.Events
+	if ev1.Kind != "leave" {
+		t.Fatalf("first event = %+v, want a leave", ev1)
+	}
+	if ev2.Kind != "enter" || ev2.Name != outsider || ev2.Distance != 0 {
+		t.Fatalf("second event = %+v, want enter %s at 0", ev2, outsider)
+	}
+	members, err := s.MonitorMembers(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _, err := s.NN(q, 3, tsq.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(members, fresh) {
+		t.Fatalf("monitor members %v != fresh NN answer %v", members, fresh)
+	}
+}
+
+// TestStreamStress is the -race stress test: concurrent appenders,
+// watchers, queriers, and churn writers against a sharded Server with
+// registered monitors. Afterwards every monitor's membership must equal a
+// fresh evaluation of its standing query.
+func TestStreamStress(t *testing.T) {
+	walks := streamWalks(60, streamLen+200, 11)
+	s := tsq.NewServer(tsq.MustOpen(tsq.Options{Length: streamLen, Shards: 4}), tsq.ServerOptions{})
+	for i, w := range walks {
+		if err := s.Insert(streamName(i), w[:streamLen]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q0, _ := s.Series(streamName(0))
+	q1, _ := s.Series(streamName(1))
+	idRange, _, err := s.MonitorRange(q0, 6, tsq.MovingAverage(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idNN, _, err := s.MonitorNN(q1, 5, tsq.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	stopWatch := make(chan struct{})
+
+	// Watchers drain events until told to stop.
+	for _, mid := range []int64{idRange, idNN} {
+		w, err := s.Watch(mid, -1, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w *tsq.Watch) {
+			defer wg.Done()
+			for {
+				select {
+				case _, ok := <-w.Events:
+					if !ok {
+						return
+					}
+				case <-stopWatch:
+					w.Cancel()
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Appenders stream each walk's tail.
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := g; i < len(walks); i += 4 {
+				rest := walks[i][streamLen:]
+				for off := 0; off < len(rest); off += 5 {
+					end := off + 5
+					if end > len(rest) {
+						end = len(rest)
+					}
+					if err := s.Append(streamName(i), rest[off:end]); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// Churn writer: insert/delete cycles.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 30; i++ {
+			name := fmt.Sprintf("churn-%d", i)
+			if err := s.Insert(name, walks[i%len(walks)][:streamLen]); err != nil {
+				errs <- err
+				return
+			}
+			if err := s.Append(name, walks[(i+1)%len(walks)][:streamLen]); err != nil {
+				errs <- err
+				return
+			}
+			if !s.Delete(name) {
+				errs <- fmt.Errorf("churn series %s vanished", name)
+				return
+			}
+		}
+	}()
+	// Queriers mix cached reads.
+	for g := 0; g < 3; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 50; i++ {
+				name := streamName((g*17 + i) % len(walks))
+				var err error
+				if i%2 == 0 {
+					_, _, err = s.RangeByName(name, 4, tsq.MovingAverage(5))
+				} else {
+					_, _, err = s.NNByName(name, 3, tsq.Identity())
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+
+	writers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiescent store: monitor membership must equal a fresh evaluation.
+	members, err := s.MonitorMembers(idRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _, err := s.Range(q0, 6, tsq.MovingAverage(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(members, fresh) {
+		t.Fatalf("range monitor drifted from the store:\n monitor %v\n   fresh %v", members, fresh)
+	}
+	members, err = s.MonitorMembers(idNN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshNN, _, err := s.NN(q1, 5, tsq.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(members, freshNN) {
+		t.Fatalf("nn monitor drifted from the store:\n monitor %v\n   fresh %v", members, freshNN)
+	}
+
+	close(stopWatch)
+	wg.Wait()
+	if st := s.Stats(); st.Appends == 0 || st.Monitors != 2 {
+		t.Fatalf("stats = %+v, want appends > 0 and 2 monitors", st)
+	}
+}

@@ -47,6 +47,18 @@
 // DB synchronizes internally and is safe for concurrent use as-is;
 // wrapping it in a Server adds the cache and traffic counters on top.
 //
+// # Streaming (tsqlive)
+//
+// Live series ingest goes through Append rather than whole-series
+// updates: appending points slides a series' fixed-length window forward,
+// maintaining the indexed feature point with an O(K)-per-point
+// sliding-DFT recurrence and updating index and storage in place. A
+// Server additionally hosts standing queries — MonitorRange and MonitorNN
+// register a query whose answer set is kept current as writes land, with
+// enter/leave events delivered to Watch subscribers (and over HTTP as a
+// Server-Sent Events stream at GET /watch). See stream.go and the
+// README's "Streaming and continuous queries" section.
+//
 // Command tsqd (cmd/tsqd) serves a Server over an HTTP/JSON API — see
 // repro/internal/server and the README's "Running the server" section —
 // and tsqcli's -remote flag sends query-language statements to it.
