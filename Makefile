@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt serve clean bench-smoke bench-throughput bench-append
+.PHONY: build test vet fmt serve clean bench-smoke bench-throughput bench-append bench-plan
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ bench-throughput:
 # 1, 4, 8 and windows 256, 1024; write the report to BENCH_3.json.
 bench-append:
 	TSQ_BENCH_OUT=$(CURDIR)/BENCH_3.json $(GO) test -run TestAppendReport -timeout 20m -v .
+
+# Measure the query planner against forced index/scan on low- and
+# high-selectivity regimes, plus tagged-cache retention under a mixed
+# append/query load; write the report to BENCH_4.json.
+bench-plan:
+	TSQ_BENCH_OUT=$(CURDIR)/BENCH_4.json $(GO) test -run TestPlanReport -v .
 
 vet:
 	$(GO) vet ./...

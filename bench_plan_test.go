@@ -1,0 +1,260 @@
+// Planner benchmarks: the plan-first executor against the forced
+// strategies on both selectivity regimes, plus the dependency-tagged
+// result cache under a mixed append/query load.
+//
+// Two entry points share the workload:
+//
+//   - BenchmarkPlannedRange — standard go-bench surface, exercised once
+//     per CI run (-benchtime=1x) so it cannot rot;
+//   - TestPlanReport — gated by TSQ_BENCH_OUT; measures QPS per strategy
+//     and regime plus cache retention and writes the JSON report
+//     `make bench-plan` publishes as BENCH_4.json.
+package tsq_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	tsq "repro"
+)
+
+const (
+	planBenchSeries = 1500
+	planBenchLength = 64
+	// The two selectivity regimes: epsLow selects a handful of answers
+	// (index territory), epsHigh selects most of the store (scan
+	// territory — the index would pay node accesses on top of verifying
+	// nearly everything).
+	planBenchEpsLow  = 1.5
+	planBenchEpsHigh = 60
+)
+
+func planBenchDB(tb testing.TB, shards int) *tsq.DB {
+	tb.Helper()
+	db, err := tsq.Open(tsq.Options{Length: planBenchLength, Shards: shards})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.InsertBulk(tsq.RandomWalks(planBenchSeries, planBenchLength, 1997)); err != nil {
+		tb.Fatal(err)
+	}
+	return db
+}
+
+func planBenchOpts(strategy string) []tsq.QueryOpt {
+	switch strategy {
+	case "auto":
+		return []tsq.QueryOpt{tsq.With(tsq.UseAuto)}
+	case "index":
+		return []tsq.QueryOpt{tsq.With(tsq.UseIndex)}
+	default:
+		return []tsq.QueryOpt{tsq.With(tsq.UseScan)}
+	}
+}
+
+func BenchmarkPlannedRange(b *testing.B) {
+	db := planBenchDB(b, 4)
+	for _, regime := range []struct {
+		name string
+		eps  float64
+	}{{"low", planBenchEpsLow}, {"high", planBenchEpsHigh}} {
+		for _, strategy := range []string{"auto", "index", "scan"} {
+			opts := planBenchOpts(strategy)
+			b.Run(regime.name+"-"+strategy, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					name := fmt.Sprintf("W%04d", i%planBenchSeries)
+					if _, _, err := db.RangeByName(name, regime.eps, tsq.MovingAverage(10), opts...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// planPoint is one row of BENCH_4.json's planner section.
+type planPoint struct {
+	Regime   string  `json:"regime"`
+	Strategy string  `json:"strategy"`
+	Queries  int     `json:"queries"`
+	Seconds  float64 `json:"seconds"`
+	QPS      float64 `json:"qps"`
+	// Chosen is the strategy the planner resolved to (auto rows only).
+	Chosen string `json:"chosen,omitempty"`
+}
+
+func measurePlanned(tb testing.TB, db *tsq.DB, regime string, eps float64, strategy string, queries int) planPoint {
+	opts := planBenchOpts(strategy)
+	best := planPoint{Regime: regime, Strategy: strategy, Queries: queries}
+	for trial := 0; trial < 3; trial++ {
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			name := fmt.Sprintf("W%04d", (i*37)%planBenchSeries)
+			if _, _, err := db.RangeByName(name, eps, tsq.MovingAverage(10), opts...); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		if qps := float64(queries) / elapsed; qps > best.QPS {
+			best.QPS = qps
+			best.Seconds = elapsed
+		}
+	}
+	if strategy == "auto" {
+		out, err := db.Query(fmt.Sprintf("EXPLAIN RANGE SERIES 'W0000' EPS %g TRANSFORM mavg(10)", eps))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		best.Chosen = out.Explain.Strategy
+	}
+	return best
+}
+
+// cacheReport is BENCH_4.json's tagged-cache section: a warm set of
+// cluster queries under a burst of writes confined to far-away series and
+// untouched shards.
+type cacheReport struct {
+	WarmQueries     int     `json:"warm_queries"`
+	UnrelatedWrites int     `json:"unrelated_writes"`
+	Requeries       int     `json:"requeries"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	HitRate         float64 `json:"hit_rate"`
+	RetainedEntries int     `json:"retained_entries"`
+}
+
+// measureTaggedCache builds the deterministic cluster/outlier layout (all
+// cluster energy in X_1, outliers at high frequency, so cluster query
+// rectangles provably exclude every outlier) and measures how the cache
+// behaves when every write is one the Lemma 1 tags dismiss.
+func measureTaggedCache(tb testing.TB) cacheReport {
+	db, err := tsq.Open(tsq.Options{Length: 64, Shards: 4})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sine := func(turns float64) float64 { return math.Sin(2 * math.Pi * turns) }
+	clusterN, outlierN := 24, 400
+	for i := 0; i < clusterN; i++ {
+		vals := make([]float64, 64)
+		for j := range vals {
+			vals[j] = 10*sine(float64(j)/64) + 0.0004*float64(i)*sine(float64(3*j)/64)
+		}
+		if err := db.Insert(fmt.Sprintf("C%03d", i), vals); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	outlier := func(i int) []float64 {
+		vals := make([]float64, 64)
+		for j := range vals {
+			vals[j] = 20 * sine(float64(13*j)/64+float64(i))
+		}
+		return vals
+	}
+	for i := 0; i < outlierN; i++ {
+		if err := db.Insert(fmt.Sprintf("Z%03d", i), outlier(i)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	s := tsq.NewServer(db, tsq.ServerOptions{})
+
+	rep := cacheReport{WarmQueries: clusterN / 2}
+	for i := 0; i < rep.WarmQueries; i++ {
+		if _, _, err := s.RangeByName(fmt.Sprintf("C%03d", i), 0.5, tsq.Identity()); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	hits0, misses0 := s.Stats().CacheHits, s.Stats().CacheMisses
+
+	// The write burst: appends to outliers, churn inserts/deletes of new
+	// outliers — every one provably outside every cached rectangle.
+	for i := 0; i < 200; i++ {
+		switch i % 3 {
+		case 0:
+			if err := s.Append(fmt.Sprintf("Z%03d", i%outlierN), []float64{float64(i), -float64(i)}); err != nil {
+				tb.Fatal(err)
+			}
+		case 1:
+			if err := s.Insert(fmt.Sprintf("ZN%03d", i), outlier(i)); err != nil {
+				tb.Fatal(err)
+			}
+		default:
+			s.Delete(fmt.Sprintf("ZN%03d", i-1))
+		}
+		rep.UnrelatedWrites++
+		if i%10 == 0 {
+			if _, _, err := s.RangeByName(fmt.Sprintf("C%03d", (i/10)%rep.WarmQueries), 0.5, tsq.Identity()); err != nil {
+				tb.Fatal(err)
+			}
+			rep.Requeries++
+		}
+	}
+	st := s.Stats()
+	rep.CacheHits = st.CacheHits - hits0
+	rep.CacheMisses = st.CacheMisses - misses0
+	if rep.CacheHits+rep.CacheMisses > 0 {
+		rep.HitRate = float64(rep.CacheHits) / float64(rep.CacheHits+rep.CacheMisses)
+	}
+	rep.RetainedEntries = st.CacheLen
+	return rep
+}
+
+// TestPlanReport writes the planner-vs-forced-strategy and tagged-cache
+// report to the path in TSQ_BENCH_OUT (skipped when unset — this is a
+// measurement, not a correctness test; `make bench-plan` drives it).
+func TestPlanReport(t *testing.T) {
+	out := os.Getenv("TSQ_BENCH_OUT")
+	if out == "" {
+		t.Skip("TSQ_BENCH_OUT not set; run via `make bench-plan`")
+	}
+	db := planBenchDB(t, 4)
+	// Warm the planner's feedback loop before measuring auto.
+	for i := 0; i < 8; i++ {
+		for _, eps := range []float64{planBenchEpsLow, planBenchEpsHigh} {
+			if _, _, err := db.RangeByName(fmt.Sprintf("W%04d", i), eps, tsq.MovingAverage(10), tsq.With(tsq.UseAuto)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	report := struct {
+		Benchmark string      `json:"benchmark"`
+		Series    int         `json:"series"`
+		Length    int         `json:"length"`
+		Shards    int         `json:"shards"`
+		EpsLow    float64     `json:"eps_low"`
+		EpsHigh   float64     `json:"eps_high"`
+		Planner   []planPoint `json:"planner"`
+		Cache     cacheReport `json:"tagged_cache"`
+	}{
+		Benchmark: "planner vs forced strategies; tagged cache under mixed append/query load",
+		Series:    planBenchSeries,
+		Length:    planBenchLength,
+		Shards:    4,
+		EpsLow:    planBenchEpsLow,
+		EpsHigh:   planBenchEpsHigh,
+	}
+	const queries = 300
+	for _, regime := range []struct {
+		name string
+		eps  float64
+	}{{"low", planBenchEpsLow}, {"high", planBenchEpsHigh}} {
+		for _, strategy := range []string{"index", "scan", "auto"} {
+			p := measurePlanned(t, db, regime.name, regime.eps, strategy, queries)
+			t.Logf("%s/%s: %.0f qps %s", p.Regime, p.Strategy, p.QPS, p.Chosen)
+			report.Planner = append(report.Planner, p)
+		}
+	}
+	report.Cache = measureTaggedCache(t)
+	t.Logf("tagged cache: hit rate %.2f, %d entries retained after %d unrelated writes",
+		report.Cache.HitRate, report.Cache.RetainedEntries, report.Cache.UnrelatedWrites)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,12 +18,14 @@
 //	# Streaming:
 //	tsqcli -remote http://localhost:8080 append W0007 101.5 102 103.25
 //	tsqcli -remote http://localhost:8080 append -ticks ticks.csv
+//	tsqcli -remote http://localhost:8080 append -ticks ticks.csv -rate 500   # paced soak replay
 //	tsqcli -remote http://localhost:8080 watch -kind range -series W0007 -eps 2 -transform "mavg(20)"
 //	tsqcli -remote http://localhost:8080 watch -kind nn -series W0007 -k 5
 //
 // The query language:
 //
-//	RANGE  SERIES 'name' EPS e [TRANSFORM t] [BOTH] [USING INDEX|SCAN|SCANTIME] [MEAN [lo,hi]] [STD [lo,hi]]
+//	RANGE  SERIES 'name' EPS e [TRANSFORM t] [BOTH] [USING AUTO|INDEX|SCAN|SCANTIME] [MEAN [lo,hi]] [STD [lo,hi]]
+//	EXPLAIN RANGE ...   (any statement; prints the plan + estimated vs actual cost)
 //	RANGE  VALUES (v1, v2, ...) EPS e ...
 //	NN     SERIES 'name' K k [TRANSFORM t] [USING ...]
 //	SELFJOIN EPS e [TRANSFORM t] [METHOD a|b|c|d]
@@ -41,6 +43,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	tsq "repro"
 	"repro/internal/server"
@@ -99,6 +102,7 @@ func runAppend(remote string, args []string) error {
 	}
 	fs := flag.NewFlagSet("append", flag.ContinueOnError)
 	ticksPath := fs.String("ticks", "", "CSV tick stream to replay: name,step,value")
+	rate := fs.Float64("rate", 0, "pace -ticks replay to this many ticks/sec (0 = full speed) for realistic soak demos")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,18 +111,31 @@ func runAppend(remote string, args []string) error {
 		if fs.NArg() > 0 {
 			return fmt.Errorf("append takes -ticks or inline values, not both")
 		}
+		if *rate < 0 {
+			return fmt.Errorf("-rate must be >= 0, got %g", *rate)
+		}
 		ticks, err := tsq.ReadTicksCSVFile(*ticksPath)
 		if err != nil {
 			return err
 		}
 		// Coalesce consecutive ticks of the same series into one request;
-		// arrival order across series is preserved.
+		// arrival order across series is preserved. With -rate, each batch
+		// waits for its first tick's scheduled arrival time, so the replay
+		// tracks the target throughput without drifting (sleep error does
+		// not accumulate: the schedule is absolute, not relative).
+		start := time.Now()
 		sent, requests := 0, 0
 		for i := 0; i < len(ticks); {
 			j := i
 			var batch []float64
 			for ; j < len(ticks) && ticks[j].Name == ticks[i].Name; j++ {
 				batch = append(batch, ticks[j].Value)
+			}
+			if *rate > 0 {
+				due := start.Add(time.Duration(float64(sent) / *rate * float64(time.Second)))
+				if wait := time.Until(due); wait > 0 {
+					time.Sleep(wait)
+				}
 			}
 			if err := client.Append(ticks[i].Name, batch); err != nil {
 				return fmt.Errorf("after %d ticks: %w", sent, err)
@@ -127,7 +144,13 @@ func runAppend(remote string, args []string) error {
 			requests++
 			i = j
 		}
-		fmt.Printf("appended %d ticks from %s (%d requests)\n", sent, *ticksPath, requests)
+		elapsed := time.Since(start)
+		if *rate > 0 {
+			fmt.Printf("appended %d ticks from %s (%d requests, %.1f ticks/sec over %s)\n",
+				sent, *ticksPath, requests, float64(sent)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+		} else {
+			fmt.Printf("appended %d ticks from %s (%d requests)\n", sent, *ticksPath, requests)
+		}
 		return nil
 	}
 	rest := fs.Args()
@@ -275,10 +298,41 @@ func loop(exec executor, queryStr string, maxRows int) error {
 	return sc.Err()
 }
 
+// printExplain renders an EXPLAIN plan: the planner's choice and
+// reasoning, the search rectangle, and estimated vs actual cost.
+func printExplain(e *tsq.ExplainInfo) {
+	forced := ""
+	if e.Forced {
+		forced = " (forced)"
+	}
+	fmt.Printf("plan: %s via %s%s over %d series, %d shard(s)\n",
+		e.Kind, e.Strategy, forced, e.Series, len(e.Shards))
+	fmt.Printf("  reason: %s\n", e.Reason)
+	if e.Transform != "" {
+		fmt.Printf("  transform: %s\n", e.Transform)
+	}
+	if len(e.RectLo) > 0 {
+		fmt.Printf("  rectangle: lo=%v hi=%v\n", e.RectLo, e.RectHi)
+	}
+	if e.EstIndexCost > 0 || e.EstScanCost > 0 {
+		fmt.Printf("  estimated: selectivity %.4f, %.1f candidates, %.1f nodes (index cost %.1f, scan cost %.1f)\n",
+			e.Selectivity, e.EstCandidates, e.EstNodeAccesses, e.EstIndexCost, e.EstScanCost)
+	}
+	fmt.Printf("  actual:    %d candidates, %d node accesses\n",
+		e.ActualCandidates, e.ActualNodeAccesses)
+	for _, sh := range e.PerShard {
+		fmt.Printf("    shard %d: %d candidates, %d nodes, %d pages, %d results\n",
+			sh.Shard, sh.Candidates, sh.NodeAccesses, sh.PageReads, sh.Results)
+	}
+}
+
 func execute(exec executor, src string, maxRows int) error {
 	out, err := exec(src)
 	if err != nil {
 		return err
+	}
+	if out.Explain != nil {
+		printExplain(out.Explain)
 	}
 	cached := ""
 	if out.Stats.Cached {

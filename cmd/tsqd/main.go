@@ -53,17 +53,18 @@ func main() {
 		cache    = flag.Int("cache", tsq.DefaultCacheSize, "query result cache entries (0 disables)")
 		shards   = flag.Int("shards", 0, "hash-partitioned shards; queries fan out in parallel and writers lock only their shard (0 = a loaded snapshot's count, else 1)")
 		retain   = flag.Int("retain", tsq.DefaultMonitorRetain, "events retained per monitor so reconnecting /watch clients can resume gaplessly (0 disables replay)")
+		refresh  = flag.Int("refresh", 0, "appends a series may accumulate before its stored spectrum is refreshed with the exact FFT (0 = default 32; applies to stores built from -data or empty — snapshots load with the default); lower favors read-heavy workloads, higher favors ingest bursts — answers are identical either way")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dataPath, *snapPath, *length, *k, *space, *cache, *shards, *retain); err != nil {
+	if err := run(*addr, *dataPath, *snapPath, *length, *k, *space, *cache, *shards, *retain, *refresh); err != nil {
 		fmt.Fprintln(os.Stderr, "tsqd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize, shards, retain int) error {
-	db, origin, err := loadDB(dataPath, snapPath, length, k, space, shards)
+func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize, shards, retain, refresh int) error {
+	db, origin, err := loadDB(dataPath, snapPath, length, k, space, shards, refresh)
 	if err != nil {
 		return err
 	}
@@ -124,7 +125,7 @@ func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize
 // shard count (and means 1 for fresh stores); n >= 1 forces n shards —
 // re-sharding a snapshot on load is always possible because partition
 // assignment is a pure hash of the series name.
-func loadDB(dataPath, snapPath string, length, k int, space string, shards int) (*tsq.DB, string, error) {
+func loadDB(dataPath, snapPath string, length, k int, space string, shards, refresh int) (*tsq.DB, string, error) {
 	if snapPath != "" {
 		f, err := os.Open(snapPath)
 		switch {
@@ -145,7 +146,7 @@ func loadDB(dataPath, snapPath string, length, k int, space string, shards int) 
 		if err != nil {
 			return nil, "", err
 		}
-		db, err := openEmpty(len(batch[0].Values), k, space, shards)
+		db, err := openEmpty(len(batch[0].Values), k, space, shards, refresh)
 		if err != nil {
 			return nil, "", err
 		}
@@ -158,19 +159,19 @@ func loadDB(dataPath, snapPath string, length, k int, space string, shards int) 
 	if length <= 0 {
 		return nil, "", fmt.Errorf("-length is required when starting without -data or an existing snapshot")
 	}
-	db, err := openEmpty(length, k, space, shards)
+	db, err := openEmpty(length, k, space, shards, refresh)
 	if err != nil {
 		return nil, "", err
 	}
 	return db, "empty store", nil
 }
 
-func openEmpty(length, k int, space string, shards int) (*tsq.DB, error) {
+func openEmpty(length, k int, space string, shards, refresh int) (*tsq.DB, error) {
 	sp, err := tsq.ParseSpace(space)
 	if err != nil {
 		return nil, err
 	}
-	return tsq.Open(tsq.Options{Length: length, K: k, Space: sp, Shards: shards})
+	return tsq.Open(tsq.Options{Length: length, K: k, Space: sp, Shards: shards, RefreshEvery: refresh})
 }
 
 // saveSnapshot writes the snapshot atomically: temp file, then rename.

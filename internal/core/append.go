@@ -14,12 +14,13 @@ import (
 	"repro/internal/transform"
 )
 
-// spectrumRefreshEvery bounds how many appended points a series' stored
-// spectrum record may lag behind its window before Append rewrites it
-// with the exact FFT. Between refreshes the record is marked stale and
-// every read of the series' spectrum derives it on demand from the window
-// (the same canonical computation, so answers never change) — the ingest
-// path thus amortizes the O(n log n) FFT over many O(K) appends.
+// spectrumRefreshEvery is the default bound on how many appended points a
+// series' stored spectrum record may lag behind its window before Append
+// rewrites it with the exact FFT (Options.SpectrumRefreshEvery overrides
+// it). Between refreshes the record is marked stale and every read of the
+// series' spectrum derives it on demand from the window (the same
+// canonical computation, so answers never change) — the ingest path thus
+// amortizes the O(n log n) FFT over many O(K) appends.
 const spectrumRefreshEvery = 32
 
 // streamState is the per-series streaming bookkeeping: the incremental
@@ -111,7 +112,7 @@ func (db *DB) Append(name string, points []float64) (AppendInfo, error) {
 	st.specStale = true
 	st.derived.Store(nil)
 	st.sinceRefresh += len(points)
-	if st.sinceRefresh >= spectrumRefreshEvery {
+	if st.sinceRefresh >= db.refreshEvery {
 		if err := db.refreshSpectrum(id, st, window); err != nil {
 			return AppendInfo{}, err
 		}
@@ -270,6 +271,22 @@ func (p *Prefilter) Hit(pt geom.Point, eps float64) bool {
 	}
 	rect := p.schema.SearchRect(p.qp, eps, p.moments)
 	return geom.ContainsPointMixed(rect, tp, p.angular)
+}
+
+// IndexableRect returns the prefilter's search rectangle at threshold eps
+// when — and only when — Hit reduces to rectangle containment of the raw
+// feature point: the transformation's affine index action must be the
+// identity, so the rectangle is fixed for the query's lifetime. The
+// standing-query hub indexes such rectangles in a shared R-tree (one
+// spatial probe per write instead of one containment test per monitor);
+// prefilters with a non-identity action transform the point before the
+// containment test, so their geometry cannot live in a shared tree and ok
+// is false.
+func (p *Prefilter) IndexableRect(eps float64) (rect geom.Rect, angular []bool, ok bool) {
+	if p == nil || !p.m.Identity() || math.IsInf(eps, 1) || eps < 0 {
+		return geom.Rect{}, nil, false
+	}
+	return p.schema.SearchRect(p.qp, eps, p.moments), p.angular, true
 }
 
 // Append slides a series' window forward in its owning shard, taking only

@@ -32,6 +32,7 @@ import (
 	"repro/internal/feature"
 	"repro/internal/geom"
 	"repro/internal/index"
+	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/rtree"
 	"repro/internal/series"
@@ -56,6 +57,14 @@ type Options struct {
 	// relations get one pool apiece). ExecStats.PageReads then counts
 	// physical reads — pool misses — as a 1997 buffer manager would.
 	BufferPoolPages int
+	// SpectrumRefreshEvery bounds how many appended points a series'
+	// stored spectrum record may lag its window before Append rewrites it
+	// with the exact FFT (<= 0 selects the default, 32). 1 refreshes on
+	// every append — cheapest reads, costliest ingest; larger values
+	// amortize the O(n log n) FFT over more O(K) appends at the price of
+	// on-demand spectrum derivation for reads of stale series. Answers are
+	// byte-identical at any cadence.
+	SpectrumRefreshEvery int
 }
 
 // DB is an indexed collection of equal-length time series.
@@ -77,6 +86,11 @@ type DB struct {
 	// have been appended to (see Append); materialized lazily on the first
 	// append and dropped when the series is deleted or replaced.
 	streams map[int64]*streamState
+	// refreshEvery is the resolved spectrum-refresh cadence (see
+	// Options.SpectrumRefreshEvery).
+	refreshEvery int
+	// tracker feeds measured selectivity back to the query planner.
+	tracker *plan.Tracker
 }
 
 // NewDB creates an empty DB for series of the given length.
@@ -110,6 +124,11 @@ func NewDB(length int, opts Options) (*DB, error) {
 		idPos:   make(map[int64]int),
 		perm:    relation.EnergyOrder(length),
 		streams: make(map[int64]*streamState),
+		tracker: plan.NewTracker(),
+	}
+	db.refreshEvery = opts.SpectrumRefreshEvery
+	if db.refreshEvery <= 0 {
+		db.refreshEvery = spectrumRefreshEvery
 	}
 	if opts.BufferPoolPages > 0 {
 		if err := db.timeRel.AttachPool(opts.BufferPoolPages); err != nil {
@@ -352,6 +371,11 @@ type ExecStats struct {
 	// distance computations; early abandoning shows up as a small value
 	// relative to Candidates * length.
 	DistanceTerms int64
+	// Shards is the per-shard provenance of a fan-out execution: one entry
+	// per shard with its share of the filter cost and its contribution to
+	// the merged answer. Nil on single-store executions (and on the global
+	// nested scan join, whose workers stride across shards).
+	Shards []ShardExec
 }
 
 // Result is one similarity-query answer.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/feature"
 	"repro/internal/geom"
+	"repro/internal/plan"
 	"repro/internal/transform"
 )
 
@@ -23,6 +24,12 @@ type Engine interface {
 	Len() int
 	Length() int
 	Schema() feature.Schema
+	// Shards reports the partition count (1 for a single-store DB);
+	// ShardOf maps a series name to its hash-assigned partition. Together
+	// they give every consumer — plans, per-shard provenance, the server's
+	// dependency-tagged cache — one shard vocabulary.
+	Shards() int
+	ShardOf(name string) int
 
 	// Catalog access. IDs are unique across the whole store (global across
 	// shards) and assigned in insertion order. Names returns a consistent
@@ -54,8 +61,23 @@ type Engine interface {
 	// Persistence.
 	WriteTo(w io.Writer) (int64, error)
 
+	// Plan-first execution. PlanRange/PlanNN build a first-class plan.Plan
+	// — resolving the index-vs-scan decision per query from maintained
+	// store statistics when asked for plan.Auto — and ExecRange/ExecNN run
+	// it, reusing the plan's precomputed transforms and spectra and (on
+	// sharded stores) recording per-shard provenance in ExecStats.Shards.
+	// Plans are engine-specific: execute a plan only on the engine that
+	// built it. PlannerStats exposes the feedback the planner decides from.
+	PlanRange(q RangeQuery, want plan.Strategy) (*plan.Plan, error)
+	ExecRange(q RangeQuery, pl *plan.Plan) ([]Result, ExecStats, error)
+	PlanNN(q NNQuery, want plan.Strategy) (*plan.Plan, error)
+	ExecNN(q NNQuery, pl *plan.Plan) ([]Result, ExecStats, error)
+	PlannerStats() plan.Snapshot
+
 	// Queries. Result orderings are deterministic: (distance, ID) for
-	// range/NN/subsequence answers, (A, B) for join pairs.
+	// range/NN/subsequence answers, (A, B) for join pairs. The Range*/NN*
+	// methods are the strategy-pinned primitives plans dispatch to; they
+	// answer byte-identically to the planned paths.
 	RangeIndexed(q RangeQuery) ([]Result, ExecStats, error)
 	RangeScanFreq(q RangeQuery) ([]Result, ExecStats, error)
 	RangeScanTime(q RangeQuery) ([]Result, ExecStats, error)

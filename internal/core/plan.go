@@ -1,0 +1,369 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/feature"
+	"repro/internal/geom"
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// This file is the engine half of plan-first query execution: both store
+// implementations build first-class plan.Plan values — resolving the
+// index-vs-scan decision per query from the store's own statistics — and
+// execute them, reusing the plan's precomputed transforms and spectra so
+// planning is paid once per query, not once per strategy probe or shard.
+//
+// The planner compares the query's Lemma 1 search rectangle against the
+// store's feature-space extent (the k-index root MBR, mapped through the
+// query transformation — the exact space the traversal intersects in) and
+// calibrates the geometric estimate with an EWMA of measured candidate
+// counts fed back after every planned indexed execution. See package plan
+// for the cost model.
+
+// Shards returns 1: a DB is a single partition. (Sharded returns its
+// partition count; the shared method lets every Engine consumer speak the
+// shard-target vocabulary of plans, provenance, and cache tags.)
+func (db *DB) Shards() int { return 1 }
+
+// ShardOf returns 0: every series of a single-store DB lives in the one
+// partition.
+func (db *DB) ShardOf(name string) int { return 0 }
+
+// ShardOf returns the hash-assigned shard index of a series name (whether
+// or not the name is currently stored — partition assignment is a pure
+// hash, which is what lets the server tag cached results with shard sets
+// without consulting the catalog).
+func (s *Sharded) ShardOf(name string) int { return s.shardFor(name) }
+
+// ShardExec is one shard's share of a fan-out execution — the per-shard
+// provenance the merge step records so EXPLAIN can show where cost and
+// answers came from and the server can tag cached results.
+type ShardExec struct {
+	Shard        int
+	NodeAccesses int
+	PageReads    int64
+	Candidates   int
+	Results      int
+}
+
+// plannerInput assembles the planner's view of this store for a planned
+// range query.
+func (db *DB) plannerInput(p *rangePlan) plan.Input {
+	in := plan.Input{
+		Series:  db.Len(),
+		Height:  db.idx.Tree().Height(),
+		LeafCap: db.opts.RTree.MaxEntries,
+		Angular: db.schema.Angular(),
+		Rect:    db.schema.SearchRect(p.qp, p.q.Eps, p.q.Moments),
+	}
+	in.Bounds = transformedBounds(db.idx.Tree().Bounds(), p)
+	return in
+}
+
+// transformedBounds maps a store's feature-space MBR through the query
+// transformation — the space the index traversal compares rectangles in.
+// The zero rect (empty store) passes through.
+func transformedBounds(b geom.Rect, p *rangePlan) geom.Rect {
+	if b.Dims() == 0 || p.m.Identity() {
+		return b
+	}
+	return p.m.ApplyRect(b)
+}
+
+// buildRangePlan resolves the strategy for a validated range query. want
+// is the caller's request: plan.Auto lets the planner choose between the
+// index and the frequency-domain scan; anything else is forced. Moment-
+// bounded queries pin the index even under Auto — the scan baselines
+// deliberately ignore mean/std bounds, so the strategies are not
+// answer-equivalent there.
+func buildRangePlan(q RangeQuery, p *rangePlan, want plan.Strategy, in plan.Input, tr *plan.Tracker, shards []int, kind string) *plan.Plan {
+	choice, est, reason := plan.Choose(in, tr)
+	pl := &plan.Plan{
+		Kind:      kind,
+		Transform: q.Transform.String(),
+		Eps:       q.Eps,
+		Strategy:  choice,
+		Reason:    reason,
+		Rect:      in.Rect,
+		Shards:    shards,
+		Est:       est,
+		Internal:  p,
+	}
+	switch {
+	case want != plan.Auto:
+		pl.Forced = true
+		pl.Strategy = want
+		pl.Reason = fmt.Sprintf("forced %v by caller; planner would pick %v (%s)", want, choice, reason)
+	case q.Moments != (feature.MomentBounds{}):
+		pl.Strategy = plan.Index
+		pl.Reason = "index: moment-bounded query (scan baselines ignore mean/std bounds)"
+	}
+	return pl
+}
+
+// PlanRange validates a range query and builds its execution plan; want
+// plan.Auto defers the index-vs-scan choice to the planner. The returned
+// plan carries this engine's precomputed query spectrum and transformation
+// coefficients — execute it on the same engine with ExecRange.
+func (db *DB) PlanRange(q RangeQuery, want plan.Strategy) (*plan.Plan, error) {
+	p, err := db.planRange(q)
+	if err != nil {
+		return nil, err
+	}
+	return buildRangePlan(q, p, want, db.plannerInput(p), db.tracker, plan.AllShards(1), "range"), nil
+}
+
+// rangePlanOf recovers the engine-side precomputation from a plan,
+// replanning when the plan came from elsewhere (defensive; plans are
+// documented engine-specific).
+func (db *DB) rangePlanOf(q RangeQuery, pl *plan.Plan) (*rangePlan, error) {
+	if rp, ok := pl.Internal.(*rangePlan); ok && rp != nil {
+		return rp, nil
+	}
+	return db.planRange(q)
+}
+
+// ExecRange executes a plan built by PlanRange, feeding measured
+// selectivity back to the planner after indexed executions.
+func (db *DB) ExecRange(q RangeQuery, pl *plan.Plan) ([]Result, ExecStats, error) {
+	if pl.Strategy == plan.ScanTime {
+		return db.RangeScanTime(q)
+	}
+	rp, err := db.rangePlanOf(q, pl)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	var st ExecStats
+	timer := stats.StartTimer()
+	reads0 := db.pageReads()
+	var out []Result
+	switch pl.Strategy {
+	case plan.Index:
+		out, err = db.rangeIndexedPlanned(rp, &st)
+	case plan.ScanFreq:
+		out, err = db.rangeScanFreqPlanned(rp, &st)
+	default:
+		err = fmt.Errorf("core: plan carries unresolved strategy %v", pl.Strategy)
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	sortResults(out)
+	st.Results = len(out)
+	st.PageReads = db.pageReads() - reads0
+	st.Elapsed = timer.Elapsed()
+	if feedRange(q, pl) {
+		db.tracker.ObserveRange(pl.Est.Candidates, st.Candidates, st.NodeAccesses, db.Len())
+	}
+	return out, st, nil
+}
+
+// feedRange reports whether an execution's measured costs may calibrate
+// the planner: indexed runs only, and never moment-bounded queries — the
+// moment bounds shrink the rectangle in ways the selectivity estimate
+// does not model, so their candidate counts would drag the calibration
+// toward zero and mislead every later unbounded query.
+func feedRange(q RangeQuery, pl *plan.Plan) bool {
+	return pl.Strategy == plan.Index && q.Moments == (feature.MomentBounds{})
+}
+
+// PlanNN validates a nearest-neighbor query and builds its plan. NN
+// queries carry no threshold at planning time, so the decision comes from
+// measured NN feedback (index is the cold default).
+func (db *DB) PlanNN(q NNQuery, want plan.Strategy) (*plan.Plan, error) {
+	p, err := planNN(db, q)
+	if err != nil {
+		return nil, err
+	}
+	return buildNNPlan(q, p, want, db.Len(), db.tracker, plan.AllShards(1)), nil
+}
+
+func buildNNPlan(q NNQuery, p *rangePlan, want plan.Strategy, series int, tr *plan.Tracker, shards []int) *plan.Plan {
+	choice, est, reason := plan.ChooseNN(series, tr)
+	pl := &plan.Plan{
+		Kind:      "nn",
+		Transform: q.Transform.String(),
+		K:         q.K,
+		Strategy:  choice,
+		Reason:    reason,
+		Shards:    shards,
+		Est:       est,
+		Internal:  p,
+	}
+	if want != plan.Auto {
+		pl.Forced = true
+		pl.Strategy = want
+		pl.Reason = fmt.Sprintf("forced %v by caller; planner would pick %v (%s)", want, choice, reason)
+	}
+	return pl
+}
+
+// ExecNN executes a plan built by PlanNN.
+func (db *DB) ExecNN(q NNQuery, pl *plan.Plan) ([]Result, ExecStats, error) {
+	rp, ok := pl.Internal.(*rangePlan)
+	if !ok || rp == nil {
+		var err error
+		rp, err = planNN(db, q)
+		if err != nil {
+			return nil, ExecStats{}, err
+		}
+	}
+	var st ExecStats
+	timer := stats.StartTimer()
+	reads0 := db.pageReads()
+	best := newTopK(q.K)
+	var err error
+	switch pl.Strategy {
+	case plan.Index:
+		err = db.nnIndexedInto(rp, best, &st)
+	case plan.ScanFreq, plan.ScanTime:
+		err = db.nnScanInto(rp, best, &st)
+	default:
+		err = fmt.Errorf("core: plan carries unresolved strategy %v", pl.Strategy)
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	out := best.results()
+	st.Results = len(out)
+	st.PageReads = db.pageReads() - reads0
+	st.Elapsed = timer.Elapsed()
+	if pl.Strategy == plan.Index {
+		db.tracker.ObserveNN(st.Candidates, st.NodeAccesses, db.Len())
+	}
+	return out, st, nil
+}
+
+// featureBounds returns the union of every shard index's MBR plus the
+// maximum index height — the sharded store's feature-space extent, taken
+// under each shard's shared lock in turn (per-shard consistency, like the
+// fan-out itself).
+func (s *Sharded) featureBounds() (geom.Rect, int) {
+	var union geom.Rect
+	height := 0
+	for si := range s.shards {
+		s.locks[si].RLock()
+		b := s.shards[si].idx.Tree().Bounds()
+		if h := s.shards[si].idx.Tree().Height(); h > height {
+			height = h
+		}
+		s.locks[si].RUnlock()
+		if b.Dims() == 0 {
+			continue
+		}
+		if union.Dims() == 0 {
+			union = b.Clone()
+			continue
+		}
+		for d := range union.Lo {
+			if b.Lo[d] < union.Lo[d] {
+				union.Lo[d] = b.Lo[d]
+			}
+			if b.Hi[d] > union.Hi[d] {
+				union.Hi[d] = b.Hi[d]
+			}
+		}
+	}
+	return union, height
+}
+
+// PlanRange plans a range query across the whole sharded store: one plan
+// (the preprocessing depends only on the shared schema and length), priced
+// against the union of the shards' feature-space extents and the store's
+// own execution feedback.
+func (s *Sharded) PlanRange(q RangeQuery, want plan.Strategy) (*plan.Plan, error) {
+	p, err := s.shards[0].planRange(q)
+	if err != nil {
+		return nil, err
+	}
+	bounds, height := s.featureBounds()
+	in := plan.Input{
+		Series:  s.Len(),
+		Height:  height,
+		LeafCap: s.shards[0].opts.RTree.MaxEntries,
+		Angular: s.Schema().Angular(),
+		Rect:    s.Schema().SearchRect(p.qp, q.Eps, q.Moments),
+		Bounds:  transformedBounds(bounds, p),
+	}
+	return buildRangePlan(q, p, want, in, s.tracker, plan.AllShards(len(s.shards)), "range"), nil
+}
+
+// ExecRange executes a range plan with the planned strategy fanned out to
+// every shard, recording per-shard provenance in the merged ExecStats.
+func (s *Sharded) ExecRange(q RangeQuery, pl *plan.Plan) ([]Result, ExecStats, error) {
+	if pl.Strategy == plan.ScanTime {
+		return s.RangeScanTime(q)
+	}
+	rp, ok := pl.Internal.(*rangePlan)
+	if !ok || rp == nil {
+		var err error
+		rp, err = s.shards[0].planRange(q)
+		if err != nil {
+			return nil, ExecStats{}, err
+		}
+	}
+	var run func(*DB, *rangePlan, *ExecStats) ([]Result, error)
+	switch pl.Strategy {
+	case plan.Index:
+		run = (*DB).rangeIndexedPlanned
+	case plan.ScanFreq:
+		run = (*DB).rangeScanFreqPlanned
+	default:
+		return nil, ExecStats{}, fmt.Errorf("core: plan carries unresolved strategy %v", pl.Strategy)
+	}
+	out, st, err := s.rangeFanWith(rp, run)
+	if err != nil {
+		return nil, st, err
+	}
+	if feedRange(q, pl) {
+		s.tracker.ObserveRange(pl.Est.Candidates, st.Candidates, st.NodeAccesses, s.Len())
+	}
+	return out, st, nil
+}
+
+// PlanNN plans a nearest-neighbor query across the sharded store.
+func (s *Sharded) PlanNN(q NNQuery, want plan.Strategy) (*plan.Plan, error) {
+	p, err := planNN(s.shards[0], q)
+	if err != nil {
+		return nil, err
+	}
+	return buildNNPlan(q, p, want, s.Len(), s.tracker, plan.AllShards(len(s.shards))), nil
+}
+
+// ExecNN executes an NN plan with the planned strategy fanned out to every
+// shard under one shared k-th-best bound.
+func (s *Sharded) ExecNN(q NNQuery, pl *plan.Plan) ([]Result, ExecStats, error) {
+	rp, ok := pl.Internal.(*rangePlan)
+	if !ok || rp == nil {
+		var err error
+		rp, err = planNN(s.shards[0], q)
+		if err != nil {
+			return nil, ExecStats{}, err
+		}
+	}
+	var run func(*DB, *rangePlan, *topK, *ExecStats) error
+	switch pl.Strategy {
+	case plan.Index:
+		run = (*DB).nnIndexedInto
+	case plan.ScanFreq, plan.ScanTime:
+		run = (*DB).nnScanInto
+	default:
+		return nil, ExecStats{}, fmt.Errorf("core: plan carries unresolved strategy %v", pl.Strategy)
+	}
+	out, st, err := s.nnFanWith(q.K, rp, run)
+	if err != nil {
+		return nil, st, err
+	}
+	if pl.Strategy == plan.Index {
+		s.tracker.ObserveNN(st.Candidates, st.NodeAccesses, s.Len())
+	}
+	return out, st, nil
+}
+
+// PlannerStats exposes the store's planner feedback (diagnostics, tests).
+func (db *DB) PlannerStats() plan.Snapshot { return db.tracker.Stats() }
+
+// PlannerStats exposes the sharded store's planner feedback.
+func (s *Sharded) PlannerStats() plan.Snapshot { return s.tracker.Stats() }

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/feature"
+	"repro/internal/plan"
+	"repro/internal/transform"
+)
+
+// planTestEngine builds an engine of n random-walk series (length 32).
+func planTestEngine(t *testing.T, shards, n int) Engine {
+	t.Helper()
+	var eng Engine
+	var err error
+	if shards > 1 {
+		eng, err = NewSharded(32, shards, Options{})
+	} else {
+		eng, err = NewDB(32, Options{})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		vals := make([]float64, 32)
+		v := 50 + 10*rng.Float64()
+		for j := range vals {
+			v += rng.Float64()*4 - 2
+			vals[j] = v
+		}
+		if _, err := eng.Insert(fmt.Sprintf("S%04d", i), vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// TestPlannedRangeParity pins planned executions byte-identical to every
+// forced strategy, on single-store and sharded engines.
+func TestPlannedRangeParity(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			eng := planTestEngine(t, shards, 160)
+			tr := transform.MovingAverage(32, 5)
+			for _, eps := range []float64{0.5, 3, 50} {
+				q := RangeQuery{Values: mustSeries(t, eng, "S0007"), Eps: eps, Transform: tr}
+				pl, err := eng.PlanRange(q, plan.Auto)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pl.Strategy == plan.Auto {
+					t.Fatal("plan left strategy unresolved")
+				}
+				got, _, err := eng.ExecRange(q, pl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantIdx, _, err := eng.RangeIndexed(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantScan, _, err := eng.RangeScanFreq(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, wantIdx) || !reflect.DeepEqual(got, wantScan) {
+					t.Fatalf("eps=%g strategy=%v: planned answers diverge\n got %v\n idx %v\n scan %v",
+						eps, pl.Strategy, got, wantIdx, wantScan)
+				}
+			}
+		})
+	}
+}
+
+func mustSeries(t *testing.T, eng Engine, name string) []float64 {
+	t.Helper()
+	id, ok := eng.IDByName(name)
+	if !ok {
+		t.Fatalf("unknown series %s", name)
+	}
+	v, err := eng.Series(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestPlannerChoosesByRegime checks the planner picks the index for tight
+// thresholds and the scan for thresholds selecting most of the store.
+func TestPlannerChoosesByRegime(t *testing.T) {
+	eng := planTestEngine(t, 1, 400)
+	q := mustSeries(t, eng, "S0001")
+	id := transform.Identity(32)
+
+	tight := RangeQuery{Values: q, Eps: 0.2, Transform: id}
+	pl, err := eng.PlanRange(tight, plan.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Strategy != plan.Index {
+		t.Fatalf("tight query planned %v (%s), want index", pl.Strategy, pl.Reason)
+	}
+
+	wide := RangeQuery{Values: q, Eps: 1000, Transform: id}
+	pl, err = eng.PlanRange(wide, plan.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Strategy != plan.ScanFreq {
+		t.Fatalf("wide query planned %v (%s), want scan", pl.Strategy, pl.Reason)
+	}
+	if pl.Est.Selectivity < 0.9 {
+		t.Fatalf("wide query selectivity = %g, want ~1", pl.Est.Selectivity)
+	}
+}
+
+// TestPlannedNNParityAndFeedback checks NN plan parity and that executing
+// planned queries feeds the tracker.
+func TestPlannedNNParityAndFeedback(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		eng := planTestEngine(t, shards, 120)
+		q := NNQuery{Values: mustSeries(t, eng, "S0002"), K: 7, Transform: transform.Identity(32)}
+		pl, err := eng.PlanNN(q, plan.Auto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := eng.ExecNN(q, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := eng.NNIndexed(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantScan, _, err := eng.NNScan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) || !reflect.DeepEqual(got, wantScan) {
+			t.Fatalf("shards=%d: planned NN diverges", shards)
+		}
+		if eng.PlannerStats().NNSamples == 0 {
+			t.Fatalf("shards=%d: planned NN execution left no feedback", shards)
+		}
+	}
+}
+
+// TestMomentBoundsPinIndex: scan baselines ignore mean/std bounds, so the
+// planner must never pick them for moment-bounded queries.
+func TestMomentBoundsPinIndex(t *testing.T) {
+	eng := planTestEngine(t, 1, 50)
+	q := RangeQuery{
+		Values:    mustSeries(t, eng, "S0003"),
+		Eps:       1000, // wide enough that an unbounded query would plan a scan
+		Transform: transform.Identity(32),
+		Moments:   feature.Unbounded(),
+	}
+	pl, err := eng.PlanRange(q, plan.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Strategy != plan.Index || pl.Forced {
+		t.Fatalf("moment-bounded query planned %+v, want unforced index pin", pl)
+	}
+}
+
+// TestShardProvenance checks fan-out merges record per-shard provenance
+// that sums to the merged totals.
+func TestShardProvenance(t *testing.T) {
+	eng := planTestEngine(t, 4, 100)
+	q := RangeQuery{Values: mustSeries(t, eng, "S0004"), Eps: 3, Transform: transform.Identity(32)}
+	res, st, err := eng.RangeIndexed(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("provenance has %d shards, want 4", len(st.Shards))
+	}
+	sumResults, sumCand, sumNodes := 0, 0, 0
+	for _, sh := range st.Shards {
+		sumResults += sh.Results
+		sumCand += sh.Candidates
+		sumNodes += sh.NodeAccesses
+	}
+	if sumResults != len(res) || sumCand != st.Candidates || sumNodes != st.NodeAccesses {
+		t.Fatalf("provenance does not sum to totals: %+v vs results=%d stats=%+v", st.Shards, len(res), st)
+	}
+
+	nn := NNQuery{Values: mustSeries(t, eng, "S0004"), K: 5, Transform: transform.Identity(32)}
+	nres, nst, err := eng.NNIndexed(nn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, sh := range nst.Shards {
+		total += sh.Results
+	}
+	if total != len(nres) {
+		t.Fatalf("NN provenance results = %d, want %d", total, len(nres))
+	}
+}
+
+// TestRefreshCadenceOption checks a custom spectrum-refresh cadence
+// answers byte-identically to the default.
+func TestRefreshCadenceOption(t *testing.T) {
+	build := func(every int) *DB {
+		db, err := NewDB(16, Options{SpectrumRefreshEvery: every})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 20; i++ {
+			vals := make([]float64, 16)
+			for j := range vals {
+				vals[j] = rng.Float64() * 10
+			}
+			if _, err := db.Insert(fmt.Sprintf("A%02d", i), vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for step := 0; step < 40; step++ {
+			name := fmt.Sprintf("A%02d", step%20)
+			if _, err := db.Append(name, []float64{float64(step) * 0.7}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db
+	}
+	base := build(0)  // default cadence (32)
+	eager := build(1) // refresh on every append
+	if base.refreshEvery != 32 || eager.refreshEvery != 1 {
+		t.Fatalf("cadences resolved to %d and %d", base.refreshEvery, eager.refreshEvery)
+	}
+	q := RangeQuery{Values: mustSeries(t, base, "A05"), Eps: 5, Transform: transform.Identity(16)}
+	r1, _, err := base.RangeScanFreq(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := eager.RangeScanFreq(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("refresh cadences answer differently:\n %v\n %v", r1, r2)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/feature"
 	"repro/internal/geom"
+	"repro/internal/plan"
 	"repro/internal/stats"
 	"repro/internal/transform"
 )
@@ -42,6 +43,10 @@ type Sharded struct {
 	shards []*DB
 	locks  []sync.RWMutex // index-aligned with shards
 
+	// tracker feeds merged execution feedback to the query planner (the
+	// per-shard DB trackers stay cold: planning happens at this level).
+	tracker *plan.Tracker
+
 	// catalog: global ID space. Lock order is shard lock(s) first, then mu.
 	mu     sync.RWMutex
 	owner  map[int64]int // global id -> shard index
@@ -58,11 +63,12 @@ func NewSharded(length, n int, opts Options) (*Sharded, error) {
 		return nil, fmt.Errorf("core: shard count %d must be >= 1", n)
 	}
 	s := &Sharded{
-		length: length,
-		shards: make([]*DB, n),
-		locks:  make([]sync.RWMutex, n),
-		owner:  make(map[int64]int),
-		idPos:  make(map[int64]int),
+		length:  length,
+		shards:  make([]*DB, n),
+		locks:   make([]sync.RWMutex, n),
+		tracker: plan.NewTracker(),
+		owner:   make(map[int64]int),
+		idPos:   make(map[int64]int),
 	}
 	for i := range s.shards {
 		db, err := NewDB(length, opts)
@@ -416,6 +422,25 @@ func mergeStats(parts []ExecStats) ExecStats {
 	return st
 }
 
+// shardProvenance folds per-shard costs and result counts into the merged
+// stats' provenance — what EXPLAIN's per-shard breakdown and the server's
+// dependency-tagged cache consume.
+func shardProvenance(sts []ExecStats, results []int) []ShardExec {
+	out := make([]ShardExec, len(sts))
+	for si := range sts {
+		out[si] = ShardExec{
+			Shard:        si,
+			NodeAccesses: sts[si].NodeAccesses,
+			PageReads:    sts[si].PageReads,
+			Candidates:   sts[si].Candidates,
+		}
+		if results != nil {
+			out[si].Results = results[si]
+		}
+	}
+	return out
+}
+
 // rangeFanPlanned plans a range-shaped query once — the plan depends only
 // on the schema and length, which every shard shares — and fans the
 // planned execution out to every shard, merging answers and costs.
@@ -424,6 +449,12 @@ func (s *Sharded) rangeFanPlanned(q RangeQuery, run func(*DB, *rangePlan, *ExecS
 	if err != nil {
 		return nil, ExecStats{}, err
 	}
+	return s.rangeFanWith(p, run)
+}
+
+// rangeFanWith fans a preplanned range-shaped execution out to every
+// shard, merging answers, costs, and per-shard provenance.
+func (s *Sharded) rangeFanWith(p *rangePlan, run func(*DB, *rangePlan, *ExecStats) ([]Result, error)) ([]Result, ExecStats, error) {
 	timer := stats.StartTimer()
 	parts := make([][]Result, len(s.shards))
 	sts := make([]ExecStats, len(s.shards))
@@ -437,12 +468,15 @@ func (s *Sharded) rangeFanPlanned(q RangeQuery, run func(*DB, *rangePlan, *ExecS
 		return nil, ExecStats{}, err
 	}
 	var out []Result
-	for _, part := range parts {
+	counts := make([]int, len(parts))
+	for si, part := range parts {
+		counts[si] = len(part)
 		out = append(out, part...)
 	}
 	sortResults(out)
 	st := mergeStats(sts)
 	st.Results = len(out)
+	st.Shards = shardProvenance(sts, counts)
 	st.Elapsed = timer.Elapsed()
 	return out, st, nil
 }
@@ -474,12 +508,15 @@ func (s *Sharded) RangeScanTime(q RangeQuery) ([]Result, ExecStats, error) {
 		return nil, ExecStats{}, err
 	}
 	var out []Result
-	for _, part := range parts {
+	counts := make([]int, len(parts))
+	for si, part := range parts {
+		counts[si] = len(part)
 		out = append(out, part...)
 	}
 	sortResults(out)
 	st := mergeStats(sts)
 	st.Results = len(out)
+	st.Shards = shardProvenance(sts, counts)
 	st.Elapsed = timer.Elapsed()
 	return out, st, nil
 }
@@ -495,8 +532,15 @@ func (s *Sharded) nnFan(q NNQuery, run func(*DB, *rangePlan, *topK, *ExecStats) 
 	if err != nil {
 		return nil, ExecStats{}, err
 	}
+	return s.nnFanWith(q.K, p, run)
+}
+
+// nnFanWith fans a preplanned nearest-neighbor search out to every shard.
+// The merged answer's per-shard provenance attributes each neighbor to its
+// owning shard through the catalog.
+func (s *Sharded) nnFanWith(k int, p *rangePlan, run func(*DB, *rangePlan, *topK, *ExecStats) error) ([]Result, ExecStats, error) {
 	timer := stats.StartTimer()
-	best := newTopK(q.K)
+	best := newTopK(k)
 	sts := make([]ExecStats, len(s.shards))
 	if err := s.fanOut(func(si int, sh *DB) error {
 		reads0 := sh.pageReads()
@@ -507,8 +551,17 @@ func (s *Sharded) nnFan(q NNQuery, run func(*DB, *rangePlan, *topK, *ExecStats) 
 		return nil, ExecStats{}, err
 	}
 	out := best.results()
+	counts := make([]int, len(s.shards))
+	s.mu.RLock()
+	for _, r := range out {
+		if si, ok := s.owner[r.ID]; ok {
+			counts[si]++
+		}
+	}
+	s.mu.RUnlock()
 	st := mergeStats(sts)
 	st.Results = len(out)
+	st.Shards = shardProvenance(sts, counts)
 	st.Elapsed = timer.Elapsed()
 	return out, st, nil
 }
@@ -539,12 +592,15 @@ func (s *Sharded) SubsequenceScan(q []float64, eps float64) ([]SubseqResult, Exe
 		return nil, ExecStats{}, err
 	}
 	var out []SubseqResult
-	for _, p := range parts {
+	counts := make([]int, len(parts))
+	for si, p := range parts {
+		counts[si] = len(p)
 		out = append(out, p...)
 	}
 	sortSubseq(out)
 	st := mergeStats(sts)
 	st.Results = len(out)
+	st.Shards = shardProvenance(sts, counts)
 	st.Elapsed = timer.Elapsed()
 	return out, st, nil
 }
@@ -781,14 +837,21 @@ func (s *Sharded) joinIndexFan(eps float64, left, right transform.T, twoSided bo
 
 	var st ExecStats
 	var out []JoinPair
-	for _, r := range results {
+	st.Shards = make([]ShardExec, len(results))
+	for pi, r := range results {
 		if r.err != nil {
-			return nil, st, fmt.Errorf("core: sharded join worker: %w", r.err)
+			return nil, ExecStats{}, fmt.Errorf("core: sharded join worker: %w", r.err)
 		}
 		out = append(out, r.pairs...)
 		st.NodeAccesses += r.nodeAccesses
 		st.Candidates += r.candidates
 		st.DistanceTerms += r.terms
+		st.Shards[pi] = ShardExec{
+			Shard:        pi,
+			NodeAccesses: r.nodeAccesses,
+			Candidates:   r.candidates,
+			Results:      len(r.pairs),
+		}
 	}
 	sortPairs(out)
 	st.Results = len(out)

@@ -1,0 +1,385 @@
+// Package plan is the query planner of the reproduction: one first-class
+// Plan value shared by every layer that answers similarity queries — the
+// core engine (single-store and sharded), the query language, the HTTP
+// server, the result cache, and the standing-query monitors.
+//
+// The paper's query answering is one pipeline: build the Section 3.1
+// search rectangle from the transformed query's DFT features (Lemma 1/2),
+// prefilter candidates — through the k-index or a sequential scan — and
+// verify exactly against full records. The strategy choice between the
+// index and the scan is a genuine optimization decision: the index wins
+// when the rectangle selects few candidates, the frequency-domain scan
+// wins when most of the store would be verified anyway (the index then
+// pays its node accesses on top of the same verification work). Following
+// the Lernaean Hydra evaluations (Echihabi et al. 2020), the planner
+// answers "index or scan?" per query from measured per-store statistics
+// rather than a global default: a geometric selectivity estimate from the
+// query rectangle against the store's (transformed) feature-space extent,
+// calibrated by an EWMA of observed candidate counts.
+//
+// Every strategy answers queries byte-identically (both are exact; answers
+// carry deterministic orderings), so the planner only ever trades cost —
+// never answers. The one exception is moment-bounded range queries, whose
+// scan baselines deliberately ignore the mean/std bounds; the planner pins
+// those to the index (see Choose).
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// Strategy is the execution strategy of a planned query.
+type Strategy int
+
+const (
+	// Auto defers the choice to the planner (a request value only; a built
+	// Plan always carries a concrete strategy).
+	Auto Strategy = iota
+	// Index runs the paper's Algorithm 2 over the k-index.
+	Index
+	// ScanFreq runs the frequency-domain sequential scan with early
+	// abandoning.
+	ScanFreq
+	// ScanTime runs the naive time-domain scan.
+	ScanTime
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Index:
+		return "index"
+	case ScanFreq:
+		return "scan"
+	case ScanTime:
+		return "scantime"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Plan is one query's execution plan: what will run, where, and what the
+// planner expects it to cost. Plans are built by an engine (core.DB or
+// core.Sharded) and are engine-specific — Internal carries the engine's
+// precomputed transforms and spectra, so executing a plan never redoes the
+// planning FFTs.
+type Plan struct {
+	// Kind is the query kind: "range", "nn", "selfjoin", "join", or
+	// "subsequence".
+	Kind string
+	// Transform is the canonical transformation pipeline (display form).
+	Transform string
+	// Eps is the range/join threshold (0 for NN).
+	Eps float64
+	// K is the neighbor count (NN only).
+	K int
+	// Strategy is the resolved execution strategy — never Auto.
+	Strategy Strategy
+	// Forced reports that the caller pinned the strategy (USING INDEX /
+	// UseScan / a moment-bounded query) rather than the planner choosing.
+	Forced bool
+	// Reason is the planner's human-readable justification.
+	Reason string
+	// Rect is the Lemma 1 feature-space search rectangle of range-shaped
+	// queries (zero for NN, joins, and subsequence scans, whose thresholds
+	// are unknown or absent at planning time).
+	Rect geom.Rect
+	// Shards lists the shard targets of the fan-out (always every shard
+	// today; recorded so the merge's per-shard provenance and the cache's
+	// dependency tags share one vocabulary).
+	Shards []int
+	// Est is the planner's cost estimate, to compare against the actual
+	// ExecStats after execution (EXPLAIN's "estimated vs actual").
+	Est Estimate
+
+	// Internal is the engine's opaque execution payload (precomputed query
+	// spectrum, transformation coefficients, feature point). It is reused
+	// by the engine that built the plan and must not be interpreted — or
+	// handed to a different engine — by callers.
+	Internal any
+}
+
+// Estimate is the planner's cost model output for one query.
+type Estimate struct {
+	// Series is the store size the estimate was computed against.
+	Series int
+	// Selectivity is the estimated fraction of stored series whose feature
+	// points fall in the search rectangle.
+	Selectivity float64
+	// Candidates is the estimated number of series reaching exact
+	// verification under the index strategy.
+	Candidates float64
+	// NodeAccesses is the estimated index nodes visited.
+	NodeAccesses float64
+	// IndexCost and ScanCost are the modeled costs (in verification units)
+	// the strategies were compared under.
+	IndexCost float64
+	ScanCost  float64
+}
+
+// Cost model constants, in units of "one full candidate verification".
+// The frequency-domain scan touches every stored series but abandons most
+// distance computations within a few coefficients, so a scanned series
+// costs a fraction of a full verification; an index node access costs
+// about one verification (a capacity-M rectangle pass over the node).
+const (
+	// scanUnit is the cost of one early-abandoned scan check.
+	scanUnit = 0.25
+	// nodeUnit is the cost of one index node access.
+	nodeUnit = 1.0
+)
+
+// Input is what the planner knows about one range-shaped query before
+// executing it.
+type Input struct {
+	// Series is the live store size.
+	Series int
+	// Height is the index height (levels) and LeafCap its node capacity.
+	Height  int
+	LeafCap int
+	// Rect is the query's search rectangle; Bounds is the store's feature-
+	// space extent mapped through the query transformation — the same
+	// space the index traversal compares in. Angular flags wrap-around
+	// dimensions. (Unbounded moment dimensions need no special handling:
+	// their rectangle intervals cover the whole extent, so their
+	// selectivity factor is 1.)
+	Rect    geom.Rect
+	Bounds  geom.Rect
+	Angular []bool
+}
+
+// Selectivity estimates the fraction of stored feature points falling in
+// the query rectangle: per dimension, the query interval's share of the
+// store's extent (angular dimensions use their share of the full circle),
+// multiplied under an independence assumption. Degenerate store dimensions
+// count 1 when intersected, 0 when missed — a miss in any dimension proves
+// an empty answer by Lemma 1.
+func Selectivity(in Input) float64 {
+	if in.Rect.Dims() == 0 || in.Bounds.Dims() != in.Rect.Dims() {
+		return 1
+	}
+	sel := 1.0
+	for d := 0; d < in.Rect.Dims(); d++ {
+		if d < len(in.Angular) && in.Angular[d] {
+			width := in.Rect.Hi[d] - in.Rect.Lo[d]
+			if width < 2*math.Pi {
+				sel *= width / (2 * math.Pi)
+			}
+			continue
+		}
+		lo := math.Max(in.Rect.Lo[d], in.Bounds.Lo[d])
+		hi := math.Min(in.Rect.Hi[d], in.Bounds.Hi[d])
+		if lo > hi {
+			return 0
+		}
+		spread := in.Bounds.Hi[d] - in.Bounds.Lo[d]
+		if spread <= 0 {
+			continue // all points share this coordinate and the rect covers it
+		}
+		frac := (hi - lo) / spread
+		if frac < 1 {
+			sel *= frac
+		}
+	}
+	return sel
+}
+
+// Choose resolves the index-vs-scan decision for a range-shaped query and
+// returns the estimate both strategies were priced under plus the
+// human-readable reason. t may be nil (cold store: calibration 1).
+func Choose(in Input, t *Tracker) (Strategy, Estimate, string) {
+	n := float64(in.Series)
+	est := Estimate{Series: in.Series}
+	if in.Series == 0 {
+		return Index, est, "empty store: trivial traversal"
+	}
+	sel := Selectivity(in)
+	cal := 1.0
+	var nodeFrac float64
+	haveFeedback := false
+	if t != nil {
+		cal, nodeFrac, haveFeedback = t.rangeModel()
+	}
+	est.Selectivity = sel
+	est.Candidates = math.Min(n, sel*cal*n)
+	if haveFeedback {
+		est.NodeAccesses = nodeFrac * n
+	} else {
+		// Cold model: the traversal opens the root path plus roughly one
+		// leaf per LeafCap candidates, with interior fan-in overhead.
+		leaf := float64(in.LeafCap)
+		if leaf <= 0 {
+			leaf = 40
+		}
+		est.NodeAccesses = float64(in.Height) + 2*est.Candidates/leaf
+	}
+	// Both strategies verify (approximately) the true answers in full; the
+	// index additionally pays node accesses for its candidate set, the
+	// scan pays a cheap early-abandoned check for every stored series.
+	est.IndexCost = nodeUnit*est.NodeAccesses + est.Candidates
+	est.ScanCost = scanUnit*n + (1-scanUnit)*est.Candidates
+	if est.IndexCost <= est.ScanCost {
+		return Index, est, fmt.Sprintf(
+			"index: est %.1f candidates + %.1f nodes (cost %.1f) <= scan cost %.1f over %d series",
+			est.Candidates, est.NodeAccesses, est.IndexCost, est.ScanCost, in.Series)
+	}
+	return ScanFreq, est, fmt.Sprintf(
+		"scan: selectivity %.3f makes index cost %.1f exceed scan cost %.1f over %d series",
+		sel, est.IndexCost, est.ScanCost, in.Series)
+}
+
+// ChooseNN resolves index-vs-scan for a nearest-neighbor query. NN queries
+// carry no threshold at planning time, so there is no rectangle to price;
+// the decision comes from measured NN feedback — the branch-and-bound's
+// observed candidate and node fractions — with the index as the cold
+// default (the paper's setting; the traversal self-terminates at the k-th
+// best bound).
+func ChooseNN(series int, t *Tracker) (Strategy, Estimate, string) {
+	est := Estimate{Series: series}
+	n := float64(series)
+	if t != nil {
+		if candFrac, nodeFrac, ok := t.nnModel(); ok {
+			est.Candidates = candFrac * n
+			est.NodeAccesses = nodeFrac * n
+			est.IndexCost = nodeUnit*est.NodeAccesses + est.Candidates
+			est.ScanCost = scanUnit*n + (1-scanUnit)*est.Candidates
+			if est.IndexCost > est.ScanCost {
+				return ScanFreq, est, fmt.Sprintf(
+					"scan: measured NN traversal verifies %.0f%% of the store (cost %.1f > scan %.1f)",
+					100*candFrac, est.IndexCost, est.ScanCost)
+			}
+			return Index, est, fmt.Sprintf(
+				"index: measured NN traversal cost %.1f <= scan cost %.1f over %d series",
+				est.IndexCost, est.ScanCost, series)
+		}
+	}
+	return Index, est, "index: branch-and-bound default (no NN feedback yet)"
+}
+
+// ewmaAlpha weights recent executions; ~the last 2/alpha queries dominate.
+const ewmaAlpha = 0.2
+
+// Tracker accumulates per-store execution feedback for the planner: an
+// EWMA calibration of the geometric selectivity estimate (observed over
+// predicted candidates) and EWMA node/candidate fractions. One Tracker
+// lives on each store (every core.DB and each core.Sharded as a whole);
+// all methods are safe for concurrent use.
+type Tracker struct {
+	mu sync.Mutex
+
+	rangeSamples int
+	calibration  float64 // EWMA of observed/predicted candidate ratio
+	nodeFrac     float64 // EWMA of NodeAccesses / Series (indexed ranges)
+
+	nnSamples  int
+	nnCandFrac float64 // EWMA of Candidates / Series (indexed NN)
+	nnNodeFrac float64 // EWMA of NodeAccesses / Series (indexed NN)
+}
+
+// NewTracker returns an empty tracker (calibration 1 until fed).
+func NewTracker() *Tracker { return &Tracker{calibration: 1} }
+
+// ObserveRange feeds one indexed range execution back: the planner's
+// predicted candidate count and the measured candidates and node accesses.
+func (t *Tracker) ObserveRange(predicted float64, candidates, nodes, series int) {
+	if t == nil || series <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := float64(series)
+	if predicted >= 1 {
+		ratio := float64(candidates) / predicted
+		// Bound single-sample influence: a wildly mispredicted query nudges
+		// the calibration, it does not take it over.
+		ratio = math.Min(ratio, 16)
+		t.calibration = ewma(t.calibration, ratio, t.rangeSamples)
+	}
+	t.nodeFrac = ewma(t.nodeFrac, float64(nodes)/n, t.rangeSamples)
+	t.rangeSamples++
+}
+
+// ObserveNN feeds one indexed NN execution back.
+func (t *Tracker) ObserveNN(candidates, nodes, series int) {
+	if t == nil || series <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := float64(series)
+	t.nnCandFrac = ewma(t.nnCandFrac, float64(candidates)/n, t.nnSamples)
+	t.nnNodeFrac = ewma(t.nnNodeFrac, float64(nodes)/n, t.nnSamples)
+	t.nnSamples++
+}
+
+func ewma(prev, x float64, samples int) float64 {
+	if samples == 0 {
+		return x
+	}
+	return (1-ewmaAlpha)*prev + ewmaAlpha*x
+}
+
+func (t *Tracker) rangeModel() (calibration, nodeFrac float64, ok bool) {
+	if t == nil {
+		return 1, 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rangeSamples == 0 {
+		return 1, 0, false
+	}
+	return t.calibration, t.nodeFrac, true
+}
+
+func (t *Tracker) nnModel() (candFrac, nodeFrac float64, ok bool) {
+	if t == nil {
+		return 0, 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.nnSamples == 0 {
+		return 0, 0, false
+	}
+	return t.nnCandFrac, t.nnNodeFrac, true
+}
+
+// Snapshot is a point-in-time view of a tracker for diagnostics.
+type Snapshot struct {
+	RangeSamples int
+	Calibration  float64
+	NodeFrac     float64
+	NNSamples    int
+	NNCandFrac   float64
+	NNNodeFrac   float64
+}
+
+// Stats returns the tracker's current state.
+func (t *Tracker) Stats() Snapshot {
+	if t == nil {
+		return Snapshot{Calibration: 1}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Snapshot{
+		RangeSamples: t.rangeSamples,
+		Calibration:  t.calibration,
+		NodeFrac:     t.nodeFrac,
+		NNSamples:    t.nnSamples,
+		NNCandFrac:   t.nnCandFrac,
+		NNNodeFrac:   t.nnNodeFrac,
+	}
+}
+
+// AllShards returns the canonical shard-target list [0, n).
+func AllShards(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

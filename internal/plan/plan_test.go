@@ -1,0 +1,156 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func rect(pairs ...float64) geom.Rect {
+	if len(pairs)%2 != 0 {
+		panic("rect wants lo,hi pairs")
+	}
+	n := len(pairs) / 2
+	r := geom.Rect{Lo: make(geom.Point, n), Hi: make(geom.Point, n)}
+	for i := 0; i < n; i++ {
+		r.Lo[i], r.Hi[i] = pairs[2*i], pairs[2*i+1]
+	}
+	return r
+}
+
+func TestSelectivityGeometry(t *testing.T) {
+	in := Input{
+		Series: 100,
+		Rect:   rect(0, 1, 0, 2),
+		Bounds: rect(0, 10, 0, 10),
+	}
+	if got, want := Selectivity(in), 0.1*0.2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("selectivity = %g, want %g", got, want)
+	}
+
+	// Disjoint in one dimension proves an empty answer.
+	in.Rect = rect(20, 21, 0, 2)
+	if got := Selectivity(in); got != 0 {
+		t.Fatalf("disjoint selectivity = %g, want 0", got)
+	}
+
+	// A rectangle covering the whole extent selects everything.
+	in.Rect = rect(-100, 100, -100, 100)
+	if got := Selectivity(in); got != 1 {
+		t.Fatalf("covering selectivity = %g, want 1", got)
+	}
+}
+
+func TestSelectivityAngularAndDegenerate(t *testing.T) {
+	// dim 1 is angular: share of the full circle, bounds ignored.
+	in := Input{
+		Series:  50,
+		Rect:    rect(0, 10, -math.Pi/2, math.Pi/2),
+		Bounds:  rect(0, 10, -3, 3),
+		Angular: []bool{false, true},
+	}
+	if got, want := Selectivity(in), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("angular selectivity = %g, want %g", got, want)
+	}
+
+	// Degenerate store dimension: covered -> factor 1, missed -> 0.
+	in = Input{Series: 5, Rect: rect(0, 1), Bounds: rect(0.5, 0.5)}
+	if got := Selectivity(in); got != 1 {
+		t.Fatalf("degenerate covered = %g, want 1", got)
+	}
+	in.Rect = rect(2, 3)
+	if got := Selectivity(in); got != 0 {
+		t.Fatalf("degenerate missed = %g, want 0", got)
+	}
+}
+
+func TestChooseLowSelectivityPicksIndex(t *testing.T) {
+	in := Input{
+		Series:  10000,
+		Height:  3,
+		LeafCap: 40,
+		Rect:    rect(0, 0.1, 0, 0.1),
+		Bounds:  rect(0, 100, 0, 100),
+	}
+	s, est, reason := Choose(in, nil)
+	if s != Index {
+		t.Fatalf("strategy = %v (%s), want Index", s, reason)
+	}
+	if est.IndexCost > est.ScanCost {
+		t.Fatalf("estimate inconsistent with choice: %+v", est)
+	}
+}
+
+func TestChooseHighSelectivityPicksScan(t *testing.T) {
+	in := Input{
+		Series:  10000,
+		Height:  3,
+		LeafCap: 40,
+		Rect:    rect(-1000, 1000, -1000, 1000),
+		Bounds:  rect(0, 100, 0, 100),
+	}
+	s, est, reason := Choose(in, nil)
+	if s != ScanFreq {
+		t.Fatalf("strategy = %v (%s), want ScanFreq", s, reason)
+	}
+	if est.Selectivity != 1 {
+		t.Fatalf("selectivity = %g, want 1", est.Selectivity)
+	}
+	if !strings.Contains(reason, "scan") {
+		t.Fatalf("reason %q does not explain the scan choice", reason)
+	}
+}
+
+func TestTrackerCalibration(t *testing.T) {
+	tr := NewTracker()
+	// The geometric estimate consistently overpredicts 4x; the calibration
+	// should converge toward 0.25.
+	for i := 0; i < 50; i++ {
+		tr.ObserveRange(400, 100, 12, 1000)
+	}
+	cal, nodeFrac, ok := tr.rangeModel()
+	if !ok {
+		t.Fatal("tracker reports no feedback after 50 samples")
+	}
+	if math.Abs(cal-0.25) > 0.01 {
+		t.Fatalf("calibration = %g, want ~0.25", cal)
+	}
+	if math.Abs(nodeFrac-0.012) > 0.001 {
+		t.Fatalf("nodeFrac = %g, want ~0.012", nodeFrac)
+	}
+}
+
+func TestTrackerFeedbackFlipsNNChoice(t *testing.T) {
+	tr := NewTracker()
+	if s, _, _ := ChooseNN(1000, tr); s != Index {
+		t.Fatalf("cold NN strategy = %v, want Index", s)
+	}
+	// NN traversals that verify nearly the whole store should flip to scan.
+	for i := 0; i < 30; i++ {
+		tr.ObserveNN(950, 60, 1000)
+	}
+	if s, _, reason := ChooseNN(1000, tr); s != ScanFreq {
+		t.Fatalf("fed NN strategy = %v (%s), want ScanFreq", s, reason)
+	}
+}
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	tr.ObserveRange(1, 1, 1, 1)
+	tr.ObserveNN(1, 1, 1)
+	if s := tr.Stats(); s.Calibration != 1 {
+		t.Fatalf("nil tracker snapshot = %+v", s)
+	}
+	if s, _, _ := Choose(Input{Series: 1000, Rect: rect(0, 0.01), Bounds: rect(0, 1)}, tr); s != Index {
+		t.Fatalf("nil tracker choice = %v", s)
+	}
+}
+
+func TestAllShards(t *testing.T) {
+	got := AllShards(3)
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("AllShards(3) = %v", got)
+	}
+}

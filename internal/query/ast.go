@@ -32,6 +32,11 @@ type Statement struct {
 	// For RANGE queries the results are distance-sorted, so LIMIT returns
 	// the closest n answers.
 	Limit int
+
+	// Explain marks an EXPLAIN-prefixed statement: the query executes
+	// normally and the output additionally carries the execution plan —
+	// planner choice, search rectangle, estimated vs actual cost.
+	Explain bool
 }
 
 // StatementKind discriminates query kinds.
@@ -70,13 +75,17 @@ type TransformCall struct {
 type ExecStrategy int
 
 const (
-	// ExecIndex uses the k-index (Algorithm 2). The default.
+	// ExecIndex uses the k-index (Algorithm 2).
 	ExecIndex ExecStrategy = iota
 	// ExecScan uses the frequency-domain sequential scan with early
 	// abandoning.
 	ExecScan
 	// ExecScanTime uses the naive time-domain scan.
 	ExecScanTime
+	// ExecAuto lets the planner choose between the index and the scan per
+	// query from maintained store statistics. The default when no USING
+	// clause is given.
+	ExecAuto
 )
 
 func (e ExecStrategy) String() string {
@@ -87,6 +96,8 @@ func (e ExecStrategy) String() string {
 		return "SCAN"
 	case ExecScanTime:
 		return "SCANTIME"
+	case ExecAuto:
+		return "AUTO"
 	default:
 		return "UNKNOWN"
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/feature"
+	"repro/internal/plan"
 	"repro/internal/transform"
 )
 
@@ -15,6 +16,10 @@ type Output struct {
 	Results []core.Result   // range and NN queries
 	Pairs   []core.JoinPair // self joins
 	Stats   core.ExecStats
+	// Plan is the executed plan, populated for EXPLAIN statements:
+	// strategy, planner reasoning, search rectangle, shard targets, and
+	// the estimate to hold against Stats.
+	Plan *plan.Plan
 }
 
 // Run parses and executes src against db — a single DB or a Sharded
@@ -160,6 +165,26 @@ func momentBounds(stmt *Statement) feature.MomentBounds {
 	return mb
 }
 
+// wantStrategy maps the USING clause onto the planner's request
+// vocabulary.
+func wantStrategy(e ExecStrategy) (plan.Strategy, error) {
+	switch e {
+	case ExecAuto:
+		return plan.Auto, nil
+	case ExecIndex:
+		return plan.Index, nil
+	case ExecScan:
+		return plan.ScanFreq, nil
+	case ExecScanTime:
+		return plan.ScanTime, nil
+	default:
+		return plan.Auto, fmt.Errorf("query: unknown execution strategy %v", e)
+	}
+}
+
+// execRange runs a range statement plan-first: the engine builds the plan
+// — resolving AUTO against its store statistics — and executes it, so the
+// language, the HTTP server, and EXPLAIN all share one pipeline.
 func execRange(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Output, error) {
 	values, err := querySeries(db, stmt)
 	if err != nil {
@@ -173,27 +198,26 @@ func execRange(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Outp
 		WarpFactor: warp,
 		BothSides:  stmt.Both,
 	}
-	var (
-		res []core.Result
-		st  core.ExecStats
-	)
-	switch stmt.Exec {
-	case ExecIndex:
-		res, st, err = db.RangeIndexed(rq)
-	case ExecScan:
-		res, st, err = db.RangeScanFreq(rq)
-	case ExecScanTime:
-		res, st, err = db.RangeScanTime(rq)
-	default:
-		err = fmt.Errorf("query: unknown execution strategy %v", stmt.Exec)
+	want, err := wantStrategy(stmt.Exec)
+	if err != nil {
+		return nil, err
 	}
+	pl, err := db.PlanRange(rq, want)
+	if err != nil {
+		return nil, err
+	}
+	res, st, err := db.ExecRange(rq, pl)
 	if err != nil {
 		return nil, err
 	}
 	if stmt.Limit > 0 && len(res) > stmt.Limit {
 		res = res[:stmt.Limit]
 	}
-	return &Output{Kind: StmtRange, Results: res, Stats: st}, nil
+	out := &Output{Kind: StmtRange, Results: res, Stats: st}
+	if stmt.Explain {
+		out.Plan = pl
+	}
+	return out, nil
 }
 
 func execNN(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Output, error) {
@@ -202,25 +226,31 @@ func execNN(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Output,
 		return nil, err
 	}
 	nq := core.NNQuery{Values: values, K: stmt.K, Transform: tr, WarpFactor: warp, BothSides: stmt.Both}
-	var (
-		res []core.Result
-		st  core.ExecStats
-	)
-	switch stmt.Exec {
-	case ExecIndex:
-		res, st, err = db.NNIndexed(nq)
-	case ExecScan, ExecScanTime:
-		res, st, err = db.NNScan(nq)
-	default:
-		err = fmt.Errorf("query: unknown execution strategy %v", stmt.Exec)
+	want, err := wantStrategy(stmt.Exec)
+	if err != nil {
+		return nil, err
 	}
+	if want == plan.ScanTime {
+		// The language has no time-domain NN baseline; SCANTIME selects the
+		// frequency scan, as before.
+		want = plan.ScanFreq
+	}
+	pl, err := db.PlanNN(nq, want)
+	if err != nil {
+		return nil, err
+	}
+	res, st, err := db.ExecNN(nq, pl)
 	if err != nil {
 		return nil, err
 	}
 	if stmt.Limit > 0 && len(res) > stmt.Limit {
 		res = res[:stmt.Limit]
 	}
-	return &Output{Kind: StmtNN, Results: res, Stats: st}, nil
+	out := &Output{Kind: StmtNN, Results: res, Stats: st}
+	if stmt.Explain {
+		out.Plan = pl
+	}
+	return out, nil
 }
 
 func execSelfJoin(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Output, error) {
@@ -247,5 +277,45 @@ func execSelfJoin(db core.Engine, stmt *Statement, tr transform.T, warp int) (*O
 	if stmt.Limit > 0 && len(pairs) > stmt.Limit {
 		pairs = pairs[:stmt.Limit]
 	}
-	return &Output{Kind: StmtSelfJoin, Pairs: pairs, Stats: st}, nil
+	out := &Output{Kind: StmtSelfJoin, Pairs: pairs, Stats: st}
+	if stmt.Explain {
+		// Self joins have no index-vs-scan freedom — Table 1's methods
+		// differ in semantics (once/twice reporting), so the plan is
+		// descriptive: what ran, where, at what measured cost.
+		out.Plan = &plan.Plan{
+			Kind:      "selfjoin",
+			Transform: tr.String(),
+			Eps:       stmt.Eps,
+			Strategy:  selfJoinStrategy(method),
+			Forced:    true,
+			Reason:    fmt.Sprintf("Table 1 method (%s): %s", stmt.JoinMethod, joinMethodName(method)),
+			Shards:    plan.AllShards(db.Shards()),
+			Est:       plan.Estimate{Series: db.Len()},
+		}
+	}
+	return out, nil
+}
+
+func selfJoinStrategy(m core.JoinMethod) plan.Strategy {
+	switch m {
+	case core.JoinScanNaive:
+		return plan.ScanTime
+	case core.JoinScanEarlyAbandon:
+		return plan.ScanFreq
+	default:
+		return plan.Index
+	}
+}
+
+func joinMethodName(m core.JoinMethod) string {
+	switch m {
+	case core.JoinScanNaive:
+		return "nested sequential scan, no early abandoning"
+	case core.JoinScanEarlyAbandon:
+		return "nested scan with early abandoning"
+	case core.JoinIndexPlain:
+		return "index-nested-loop without the transformation"
+	default:
+		return "index-nested-loop with the transformation"
+	}
 }

@@ -99,16 +99,30 @@ func (p *parser) number() (float64, error) {
 
 func (p *parser) parseStatement() (*Statement, error) {
 	head := p.next()
+	explain := false
+	if keywordIs(head, "EXPLAIN") {
+		explain = true
+		head = p.next()
+	}
+	var (
+		stmt *Statement
+		err  error
+	)
 	switch {
 	case keywordIs(head, "RANGE"):
-		return p.parseRange()
+		stmt, err = p.parseRange()
 	case keywordIs(head, "NN"):
-		return p.parseNN()
+		stmt, err = p.parseNN()
 	case keywordIs(head, "SELFJOIN"):
-		return p.parseSelfJoin()
+		stmt, err = p.parseSelfJoin()
 	default:
 		return nil, fmt.Errorf("query: expected RANGE, NN, or SELFJOIN at %d, got %q", head.pos, head.text)
 	}
+	if err != nil {
+		return nil, err
+	}
+	stmt.Explain = explain
+	return stmt, nil
 }
 
 func (p *parser) parseSource(stmt *Statement) error {
@@ -145,7 +159,7 @@ func (p *parser) parseSource(stmt *Statement) error {
 }
 
 func (p *parser) parseRange() (*Statement, error) {
-	stmt := &Statement{Kind: StmtRange}
+	stmt := &Statement{Kind: StmtRange, Exec: ExecAuto}
 	if err := p.parseSource(stmt); err != nil {
 		return nil, err
 	}
@@ -164,7 +178,7 @@ func (p *parser) parseRange() (*Statement, error) {
 }
 
 func (p *parser) parseNN() (*Statement, error) {
-	stmt := &Statement{Kind: StmtNN}
+	stmt := &Statement{Kind: StmtNN, Exec: ExecAuto}
 	if err := p.parseSource(stmt); err != nil {
 		return nil, err
 	}
@@ -186,7 +200,7 @@ func (p *parser) parseNN() (*Statement, error) {
 }
 
 func (p *parser) parseSelfJoin() (*Statement, error) {
-	stmt := &Statement{Kind: StmtSelfJoin, JoinMethod: "d"}
+	stmt := &Statement{Kind: StmtSelfJoin, JoinMethod: "d", Exec: ExecAuto}
 	if err := p.expectKeyword("EPS"); err != nil {
 		return nil, err
 	}
@@ -230,8 +244,10 @@ func (p *parser) parseTail(stmt *Statement) error {
 				stmt.Exec = ExecScan
 			case keywordIs(u, "SCANTIME"):
 				stmt.Exec = ExecScanTime
+			case keywordIs(u, "AUTO"):
+				stmt.Exec = ExecAuto
 			default:
-				return fmt.Errorf("query: expected INDEX, SCAN, or SCANTIME at %d, got %q", u.pos, u.text)
+				return fmt.Errorf("query: expected AUTO, INDEX, SCAN, or SCANTIME at %d, got %q", u.pos, u.text)
 			}
 		case keywordIs(t, "METHOD"):
 			if stmt.Kind != StmtSelfJoin {

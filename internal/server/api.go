@@ -84,13 +84,116 @@ type QueryResponse struct {
 	Matches []MatchPayload `json:"matches,omitempty"`
 	Pairs   []PairPayload  `json:"pairs,omitempty"`
 	Stats   StatsPayload   `json:"stats"`
+	// Explain carries the execution plan of EXPLAIN-prefixed statements.
+	Explain *ExplainPayload `json:"explain,omitempty"`
+}
+
+// ExplainPayload is an execution plan on the wire: the planner's choice
+// and reasoning, the Lemma 1 search rectangle, the shard fan-out, and
+// estimated vs actual cost.
+type ExplainPayload struct {
+	Kind               string             `json:"kind"`
+	Strategy           string             `json:"strategy"`
+	Forced             bool               `json:"forced,omitempty"`
+	Reason             string             `json:"reason"`
+	Transform          string             `json:"transform,omitempty"`
+	Series             int                `json:"series"`
+	Shards             []int              `json:"shards,omitempty"`
+	Selectivity        float64            `json:"selectivity,omitempty"`
+	EstCandidates      float64            `json:"est_candidates,omitempty"`
+	EstNodeAccesses    float64            `json:"est_node_accesses,omitempty"`
+	EstIndexCost       float64            `json:"est_index_cost,omitempty"`
+	EstScanCost        float64            `json:"est_scan_cost,omitempty"`
+	RectLo             []float64          `json:"rect_lo,omitempty"`
+	RectHi             []float64          `json:"rect_hi,omitempty"`
+	ActualCandidates   int                `json:"actual_candidates"`
+	ActualNodeAccesses int                `json:"actual_node_accesses"`
+	PerShard           []ShardExecPayload `json:"per_shard,omitempty"`
+}
+
+// ShardExecPayload is one shard's share of a fan-out execution.
+type ShardExecPayload struct {
+	Shard        int   `json:"shard"`
+	NodeAccesses int   `json:"node_accesses"`
+	PageReads    int64 `json:"page_reads"`
+	Candidates   int   `json:"candidates"`
+	Results      int   `json:"results"`
+}
+
+func toExplainPayload(e *tsq.ExplainInfo) *ExplainPayload {
+	if e == nil {
+		return nil
+	}
+	out := &ExplainPayload{
+		Kind:               e.Kind,
+		Strategy:           e.Strategy,
+		Forced:             e.Forced,
+		Reason:             e.Reason,
+		Transform:          e.Transform,
+		Series:             e.Series,
+		Shards:             e.Shards,
+		Selectivity:        e.Selectivity,
+		EstCandidates:      e.EstCandidates,
+		EstNodeAccesses:    e.EstNodeAccesses,
+		EstIndexCost:       e.EstIndexCost,
+		EstScanCost:        e.EstScanCost,
+		RectLo:             e.RectLo,
+		RectHi:             e.RectHi,
+		ActualCandidates:   e.ActualCandidates,
+		ActualNodeAccesses: e.ActualNodeAccesses,
+	}
+	for _, sh := range e.PerShard {
+		out.PerShard = append(out.PerShard, ShardExecPayload{
+			Shard:        sh.Shard,
+			NodeAccesses: sh.NodeAccesses,
+			PageReads:    sh.PageReads,
+			Candidates:   sh.Candidates,
+			Results:      sh.Results,
+		})
+	}
+	return out
+}
+
+func fromExplainPayload(e *ExplainPayload) *tsq.ExplainInfo {
+	if e == nil {
+		return nil
+	}
+	out := &tsq.ExplainInfo{
+		Kind:               e.Kind,
+		Strategy:           e.Strategy,
+		Forced:             e.Forced,
+		Reason:             e.Reason,
+		Transform:          e.Transform,
+		Series:             e.Series,
+		Shards:             e.Shards,
+		Selectivity:        e.Selectivity,
+		EstCandidates:      e.EstCandidates,
+		EstNodeAccesses:    e.EstNodeAccesses,
+		EstIndexCost:       e.EstIndexCost,
+		EstScanCost:        e.EstScanCost,
+		RectLo:             e.RectLo,
+		RectHi:             e.RectHi,
+		ActualCandidates:   e.ActualCandidates,
+		ActualNodeAccesses: e.ActualNodeAccesses,
+	}
+	for _, sh := range e.PerShard {
+		out.PerShard = append(out.PerShard, tsq.ShardExecInfo{
+			Shard:        sh.Shard,
+			NodeAccesses: sh.NodeAccesses,
+			PageReads:    sh.PageReads,
+			Candidates:   sh.Candidates,
+			Results:      sh.Results,
+		})
+	}
+	return out
 }
 
 // RangeRequest asks for all series within Eps of the query under the
 // transformation. Exactly one of Series (a stored name) or Values (a
 // literal series) must be set. Transform uses the query language's
 // pipeline syntax (e.g. "mavg(20)", "reverse()|mavg(20)"); empty means
-// identity. Using selects "index" (default), "scan", or "scantime".
+// identity. Using selects "auto" (the default: the planner chooses per
+// query), "index", "scan", or "scantime".
 type RangeRequest struct {
 	Series    string      `json:"series,omitempty"`
 	Values    []float64   `json:"values,omitempty"`

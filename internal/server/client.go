@@ -161,7 +161,8 @@ func (c *Client) QueryOutput(q string) (*tsq.Output, error) {
 		return nil, err
 	}
 	out := &tsq.Output{
-		Kind: resp.Kind,
+		Kind:    resp.Kind,
+		Explain: fromExplainPayload(resp.Explain),
 		Stats: tsq.Stats{
 			Elapsed:      time.Duration(resp.Stats.ElapsedUS * float64(time.Microsecond)),
 			NodeAccesses: resp.Stats.NodeAccesses,

@@ -227,19 +227,25 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		writeEngineError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toQueryResponse(out.Kind, out.Matches, out.Pairs, out.Stats))
+	resp := toQueryResponse(out.Kind, out.Matches, out.Pairs, out.Stats)
+	resp.Explain = toExplainPayload(out.Explain)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func parseUsing(using string) ([]tsq.QueryOpt, error) {
 	switch strings.ToLower(using) {
-	case "", "index":
-		return nil, nil
+	case "", "auto":
+		// The planner chooses per query; answers are identical under every
+		// strategy, so auto is the service default.
+		return []tsq.QueryOpt{tsq.With(tsq.UseAuto)}, nil
+	case "index":
+		return []tsq.QueryOpt{tsq.With(tsq.UseIndex)}, nil
 	case "scan":
 		return []tsq.QueryOpt{tsq.With(tsq.UseScan)}, nil
 	case "scantime":
 		return []tsq.QueryOpt{tsq.With(tsq.UseScanTime)}, nil
 	default:
-		return nil, fmt.Errorf("unknown strategy %q (want index, scan, or scantime)", using)
+		return nil, fmt.Errorf("unknown strategy %q (want auto, index, scan, or scantime)", using)
 	}
 }
 

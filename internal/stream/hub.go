@@ -6,6 +6,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
 )
 
 // Member is one element of a monitor's current answer set.
@@ -58,6 +61,20 @@ type Funcs struct {
 	// true. Never consulted for current members, whose writes are always
 	// relevant. Nil means every write is relevant.
 	Relevant func(p []float64, kth float64) bool
+	// Rect, when non-empty, asserts that Relevant reduces to rectangle
+	// containment of the raw feature point in this fixed rectangle (the
+	// query's Lemma 1 search rectangle — only valid for unbounded monitors
+	// whose transformation acts as the identity on the feature space, so
+	// the rectangle never moves). The hub then indexes the monitor in a
+	// shared R-tree over monitor rectangles: a write probes the tree once
+	// instead of consulting every monitor serially, which is what makes
+	// thousands of standing queries per store cheap. Angular carries the
+	// per-dimension wrap-around flags of the rectangle's feature space.
+	// Leave Rect zero for monitors whose relevance can change shape (NN
+	// monitors, transformed queries); they are consulted on every write,
+	// exactly as before.
+	Rect    geom.Rect
+	Angular []bool
 }
 
 // Monitor is one registered standing query: its membership bookkeeping,
@@ -69,6 +86,7 @@ type Monitor struct {
 	limit  int // answer-set size bound (k for NN monitors; 0 = unbounded)
 	f      Funcs
 	retain int
+	hub    *Hub // owning registry; carries the member reverse index
 
 	mu      sync.Mutex
 	closed  bool
@@ -77,6 +95,24 @@ type Monitor struct {
 	events  []Event // last retain events, oldest first
 	subs    map[int64]*Sub
 	nextSub int64
+}
+
+// setMemberLocked / dropMemberLocked are the only paths that mutate a
+// monitor's membership; they keep the hub's name -> monitors reverse index
+// exactly in sync (which NotifyWrite and NotifyDelete rely on to find the
+// monitors a name can leave). Caller holds m.mu.
+func (m *Monitor) setMemberLocked(name string, dist float64) {
+	if _, ok := m.members[name]; !ok {
+		m.hub.memberAdd(name, m)
+	}
+	m.members[name] = dist
+}
+
+func (m *Monitor) dropMemberLocked(name string) {
+	if _, ok := m.members[name]; ok {
+		m.hub.memberRemove(name, m)
+		delete(m.members, name)
+	}
 }
 
 // Sub is one subscriber of a monitor's event stream.
@@ -111,12 +147,40 @@ func (s *Sub) Cancel() {
 // every store write. All methods are safe for concurrent use; per-monitor
 // work (verification, event emission) runs under that monitor's own lock,
 // so monitors never block one another.
+//
+// Monitors with a fixed search rectangle (Funcs.Rect) are additionally
+// indexed in a shared R-tree, so a write resolves the monitors it could
+// possibly concern with one spatial probe — the indexed-monitor analogue
+// of the k-index's own filter step — plus a reverse-index lookup for the
+// monitors the written name currently belongs to (leave detection).
+// Monitors without a fixed rectangle stay on the serial path.
 type Hub struct {
 	retain int
 
 	mu       sync.RWMutex
 	monitors map[int64]*Monitor
 	nextID   int64
+
+	// Spatial index over fixed monitor rectangles. Rectangles are
+	// immutable for a monitor's lifetime (Funcs.Rect's contract), so
+	// entries change only at Add and Remove — probes never race a moving
+	// rectangle. The tree is created lazily with the first indexable
+	// monitor's dimensionality.
+	idxMu     sync.RWMutex
+	idx       *rtree.Tree
+	angular   []bool
+	indexed   map[int64]indexedMonitor
+	unindexed map[int64]*Monitor
+
+	// memberOf is the name -> monitors reverse index, maintained by the
+	// monitors' membership mutations (lock order: Monitor.mu, then memMu).
+	memMu    sync.Mutex
+	memberOf map[string]map[int64]*Monitor
+}
+
+type indexedMonitor struct {
+	m    *Monitor
+	rect geom.Rect
 }
 
 // NewHub creates an empty registry retaining the given number of events
@@ -125,7 +189,51 @@ func NewHub(retain int) *Hub {
 	if retain < 0 {
 		retain = 0
 	}
-	return &Hub{retain: retain, monitors: make(map[int64]*Monitor)}
+	return &Hub{
+		retain:    retain,
+		monitors:  make(map[int64]*Monitor),
+		indexed:   make(map[int64]indexedMonitor),
+		unindexed: make(map[int64]*Monitor),
+		memberOf:  make(map[string]map[int64]*Monitor),
+	}
+}
+
+func (h *Hub) memberAdd(name string, m *Monitor) {
+	h.memMu.Lock()
+	set := h.memberOf[name]
+	if set == nil {
+		set = make(map[int64]*Monitor)
+		h.memberOf[name] = set
+	}
+	set[m.ID] = m
+	h.memMu.Unlock()
+}
+
+func (h *Hub) memberRemove(name string, m *Monitor) {
+	h.memMu.Lock()
+	if set := h.memberOf[name]; set != nil {
+		delete(set, m.ID)
+		if len(set) == 0 {
+			delete(h.memberOf, name)
+		}
+	}
+	h.memMu.Unlock()
+}
+
+// rectLimit clamps rectangle coordinates for R-tree storage: unbounded
+// moment dimensions arrive as +/-MaxFloat64, whose interval widths
+// overflow the tree's area and margin arithmetic to Inf (and Inf - Inf to
+// NaN in split decisions). Clamping to +/-1e18 keeps every real mean/std
+// inside while the geometry stays finite.
+const rectLimit = 1e18
+
+func clampRect(r geom.Rect) geom.Rect {
+	out := r.Clone()
+	for i := range out.Lo {
+		out.Lo[i] = math.Max(out.Lo[i], -rectLimit)
+		out.Hi[i] = math.Min(out.Hi[i], rectLimit)
+	}
+	return out
 }
 
 // Add registers a monitor, running Eval once for the initial membership.
@@ -143,6 +251,7 @@ func (h *Hub) Add(kind string, limit int, f Funcs) (*Monitor, error) {
 		limit:   limit,
 		f:       f,
 		retain:  h.retain,
+		hub:     h,
 		members: make(map[string]float64),
 		subs:    make(map[int64]*Sub),
 	}
@@ -153,18 +262,67 @@ func (h *Hub) Add(kind string, limit int, f Funcs) (*Monitor, error) {
 	m.ID = h.nextID
 	h.monitors[m.ID] = m
 	h.mu.Unlock()
+	// Reachable by NotifyWrite from here on — via the serial set until the
+	// initial evaluation commits (a racing write blocks on m.mu and
+	// re-verifies right after, preserving the no-lost-write invariant),
+	// then via the spatial index when the monitor carries a fixed rect.
+	h.idxMu.Lock()
+	h.unindexed[m.ID] = m
+	h.idxMu.Unlock()
 	initial, err := f.Eval()
 	if err != nil {
 		h.mu.Lock()
 		delete(h.monitors, m.ID)
 		h.mu.Unlock()
+		h.idxMu.Lock()
+		delete(h.unindexed, m.ID)
+		h.idxMu.Unlock()
 		m.closed = true
 		return nil, err
 	}
 	for _, mem := range initial {
-		m.members[mem.Name] = mem.Dist
+		m.setMemberLocked(mem.Name, mem.Dist)
+	}
+	if limit == 0 && f.Rect.Dims() > 0 {
+		h.indexMonitor(m, f)
 	}
 	return m, nil
+}
+
+// indexMonitor moves a freshly added monitor from the serial set into the
+// spatial index. The registration re-check under idxMu closes the race
+// with a concurrent Remove: Remove deregisters (h.mu) before its own
+// idxMu cleanup, so either this check sees the monitor gone and skips
+// indexing, or the insert lands first and Remove's cleanup — serialized
+// behind the same idxMu — finds and deletes it. Without the re-check a
+// Remove that cleaned the index before this insert would leak the closed
+// monitor's rectangle in the tree forever.
+func (h *Hub) indexMonitor(m *Monitor, f Funcs) {
+	rect := clampRect(f.Rect)
+	h.idxMu.Lock()
+	defer h.idxMu.Unlock()
+	h.mu.RLock()
+	_, alive := h.monitors[m.ID]
+	h.mu.RUnlock()
+	if !alive {
+		return
+	}
+	if h.idx == nil {
+		t, err := rtree.New(rect.Dims(), rtree.Options{})
+		if err != nil {
+			return // unindexable geometry; stay on the serial path
+		}
+		h.idx = t
+		h.angular = f.Angular
+	}
+	if h.idx.Dims() != rect.Dims() {
+		return // mismatched schema; stay on the serial path
+	}
+	if err := h.idx.Insert(rect, m.ID); err != nil {
+		return
+	}
+	h.indexed[m.ID] = indexedMonitor{m: m, rect: rect}
+	delete(h.unindexed, m.ID)
 }
 
 // Get returns a registered monitor.
@@ -185,8 +343,19 @@ func (h *Hub) Remove(id int64) bool {
 	if !ok {
 		return false
 	}
+	h.idxMu.Lock()
+	if im, ok := h.indexed[id]; ok {
+		h.idx.Delete(im.rect, id)
+		delete(h.indexed, id)
+	}
+	delete(h.unindexed, id)
+	h.idxMu.Unlock()
 	m.mu.Lock()
 	m.closed = true
+	for name := range m.members {
+		h.memberRemove(name, m)
+	}
+	m.members = make(map[string]float64)
 	for id, s := range m.subs {
 		delete(m.subs, id)
 		close(s.ch)
@@ -233,22 +402,82 @@ func (h *Hub) snapshotMonitors() []*Monitor {
 	return out
 }
 
-// NotifyWrite re-evaluates every monitor's membership of name after its
-// series was appended to, inserted, or updated; p is the series' new
-// feature point (nil when unknown, which skips the prefilter). Membership
-// is always verified against the live store, so when writes race, skipped
-// intermediate states collapse into the final one — monitors converge on
-// the store's current answer sets.
+// NotifyWrite re-evaluates the concerned monitors' membership of name
+// after its series was appended to, inserted, or updated; p is the
+// series' new feature point (nil when unknown, which disables spatial
+// filtering). A monitor is concerned when the written point falls in its
+// indexed rectangle (it may enter the answer set), when name is currently
+// a member (it may leave or move), or when the monitor is unindexed.
+// Membership is always verified against the live store, so when writes
+// race, skipped intermediate states collapse into the final one —
+// monitors converge on the store's current answer sets.
 func (h *Hub) NotifyWrite(name string, p []float64) {
-	for _, m := range h.snapshotMonitors() {
+	for _, m := range h.writeTargets(name, p) {
 		m.notifyWrite(name, p)
 	}
 }
 
+// writeTargets resolves the monitors one write concerns: the serial set,
+// the spatial probe's hits, and the written name's current memberships,
+// deduplicated and ordered by ID for deterministic processing.
+func (h *Hub) writeTargets(name string, p []float64) []*Monitor {
+	seen := make(map[int64]*Monitor)
+	h.idxMu.RLock()
+	for id, m := range h.unindexed {
+		seen[id] = m
+	}
+	if h.idx != nil {
+		if p == nil || len(p) != h.idx.Dims() {
+			for id, im := range h.indexed {
+				seen[id] = im.m
+			}
+		} else {
+			q := geom.PointRect(geom.Point(p))
+			var overlap rtree.Overlap
+			if h.angular != nil {
+				ang := h.angular
+				overlap = func(tr, qr geom.Rect) bool { return geom.IntersectsMixed(tr, qr, ang) }
+			}
+			identity := func(r geom.Rect) geom.Rect { return r }
+			h.idx.TransformedSearch(q, identity, overlap, func(it rtree.Item, _ geom.Rect) bool {
+				if im, ok := h.indexed[it.ID]; ok {
+					seen[it.ID] = im.m
+				}
+				return true
+			})
+		}
+	}
+	h.idxMu.RUnlock()
+	h.memMu.Lock()
+	for id, m := range h.memberOf[name] {
+		seen[id] = m
+	}
+	h.memMu.Unlock()
+	return sortedMonitors(seen)
+}
+
+func sortedMonitors(set map[int64]*Monitor) []*Monitor {
+	out := make([]*Monitor, 0, len(set))
+	for _, m := range set {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // NotifyDelete records that name left the store: members emit a leave
-// (bounded monitors also re-Eval to backfill the freed slot).
+// (bounded monitors also re-Eval to backfill the freed slot). Only the
+// monitors name currently belongs to can be affected, so the reverse
+// index resolves them directly — a delete of an unwatched series costs
+// one map lookup regardless of how many monitors are registered.
 func (h *Hub) NotifyDelete(name string) {
-	for _, m := range h.snapshotMonitors() {
+	h.memMu.Lock()
+	set := make(map[int64]*Monitor, len(h.memberOf[name]))
+	for id, m := range h.memberOf[name] {
+		set[id] = m
+	}
+	h.memMu.Unlock()
+	for _, m := range sortedMonitors(set) {
 		m.notifyDelete(name)
 	}
 }
@@ -305,12 +534,12 @@ func (m *Monitor) notifyWrite(name string, p []float64) {
 	}
 	switch {
 	case within && !isMember:
-		m.members[name] = mem.Dist
+		m.setMemberLocked(name, mem.Dist)
 		m.emitLocked(Enter, name, mem.Dist)
 	case within && isMember:
 		m.members[name] = mem.Dist // distance moved, membership unchanged
 	case !within && isMember:
-		delete(m.members, name)
+		m.dropMemberLocked(name)
 		m.emitLocked(Leave, name, 0)
 	}
 }
@@ -329,7 +558,7 @@ func (m *Monitor) notifyDelete(name string) {
 		m.evalAndDiffLocked()
 		return
 	}
-	delete(m.members, name)
+	m.dropMemberLocked(name)
 	m.emitLocked(Leave, name, 0)
 }
 
@@ -364,7 +593,12 @@ func (m *Monitor) evalAndDiffLocked() {
 		}
 		return enters[i].Name < enters[j].Name
 	})
-	m.members = next
+	for _, name := range leaves {
+		m.dropMemberLocked(name)
+	}
+	for name, dist := range next {
+		m.setMemberLocked(name, dist)
+	}
 	for _, name := range leaves {
 		m.emitLocked(Leave, name, 0)
 	}

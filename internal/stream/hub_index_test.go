@@ -1,0 +1,182 @@
+package stream
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// indexProbe is a test monitor harness counting engine callbacks.
+type indexProbe struct {
+	evals  atomic.Int64
+	checks atomic.Int64
+	within map[string]float64 // name -> dist considered "within"
+}
+
+func (p *indexProbe) funcs(rect geom.Rect) Funcs {
+	f := Funcs{
+		Eval: func() ([]Member, error) {
+			p.evals.Add(1)
+			out := make([]Member, 0, len(p.within))
+			for n, d := range p.within {
+				out = append(out, Member{Name: n, Dist: d})
+			}
+			return out, nil
+		},
+		CheckOne: func(name string) (Member, bool, error) {
+			p.checks.Add(1)
+			d, ok := p.within[name]
+			return Member{Name: name, Dist: d}, ok, nil
+		},
+	}
+	if rect.Dims() > 0 {
+		f.Rect = rect
+		f.Relevant = func(pt []float64, _ float64) bool {
+			return pt == nil || geom.ContainsPointMixed(rect, geom.Point(pt), nil)
+		}
+	}
+	return f
+}
+
+func rect2(loX, hiX, loY, hiY float64) geom.Rect {
+	return geom.Rect{Lo: geom.Point{loX, loY}, Hi: geom.Point{hiX, hiY}}
+}
+
+// TestIndexedMonitorsSkipIrrelevantWrites: a write whose point misses a
+// monitor's rectangle must not touch that monitor at all.
+func TestIndexedMonitorsSkipIrrelevantWrites(t *testing.T) {
+	h := NewHub(16)
+	a, b := &indexProbe{within: map[string]float64{}}, &indexProbe{within: map[string]float64{}}
+	ma, err := h.Add("range", 0, a.funcs(rect2(0, 1, 0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := h.Add("range", 0, b.funcs(rect2(10, 11, 10, 11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks0a, checks0b := a.checks.Load(), b.checks.Load()
+
+	// Point inside A's rect only.
+	a.within["x"] = 0.5
+	h.NotifyWrite("x", []float64{0.5, 0.5})
+	if a.checks.Load() == checks0a {
+		t.Fatal("monitor A was not consulted for a point in its rectangle")
+	}
+	if b.checks.Load() != checks0b {
+		t.Fatal("monitor B was consulted for a point far outside its rectangle")
+	}
+	if got := len(ma.Members()); got != 1 {
+		t.Fatalf("monitor A members = %d, want 1", got)
+	}
+	if got := len(mb.Members()); got != 0 {
+		t.Fatalf("monitor B members = %d, want 0", got)
+	}
+}
+
+// TestIndexedMonitorLeaveViaMemberIndex: when a member's point moves out
+// of the rectangle, the reverse index must still route the write so the
+// leave is detected.
+func TestIndexedMonitorLeaveViaMemberIndex(t *testing.T) {
+	h := NewHub(16)
+	p := &indexProbe{within: map[string]float64{"x": 0.4}}
+	m, err := h.Add("range", 0, p.funcs(rect2(0, 1, 0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Members()); got != 1 {
+		t.Fatalf("initial members = %d, want 1", got)
+	}
+	sub, _, _, _ := m.Subscribe(-1, 8)
+	defer sub.Cancel()
+
+	// The series drifts far outside the rectangle and out of the answer.
+	delete(p.within, "x")
+	h.NotifyWrite("x", []float64{50, 50})
+	if got := len(m.Members()); got != 0 {
+		t.Fatalf("members after leave = %d, want 0", got)
+	}
+	ev := <-sub.Events()
+	if ev.Kind != Leave || ev.Name != "x" {
+		t.Fatalf("event = %+v, want leave x", ev)
+	}
+}
+
+// TestNotifyDeleteOnlyTouchesMembers: deletes resolve monitors through the
+// member reverse index.
+func TestNotifyDeleteOnlyTouchesMembers(t *testing.T) {
+	h := NewHub(16)
+	member := &indexProbe{within: map[string]float64{"x": 0.2}}
+	other := &indexProbe{within: map[string]float64{}}
+	mm, err := h.Add("range", 0, member.funcs(rect2(0, 1, 0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Add("range", 0, other.funcs(rect2(5, 6, 5, 6))); err != nil {
+		t.Fatal(err)
+	}
+	evals0 := other.evals.Load()
+	delete(member.within, "x")
+	h.NotifyDelete("x")
+	if got := len(mm.Members()); got != 0 {
+		t.Fatalf("members after delete = %d, want 0", got)
+	}
+	if other.evals.Load() != evals0 || other.checks.Load() != 0 {
+		t.Fatal("non-member monitor was touched by an unrelated delete")
+	}
+}
+
+// TestUnindexedMonitorsAlwaysNotified: monitors without a fixed rectangle
+// stay on the serial path, and nil points reach everyone.
+func TestUnindexedMonitorsAlwaysNotified(t *testing.T) {
+	h := NewHub(16)
+	serial := &indexProbe{within: map[string]float64{}}
+	indexed := &indexProbe{within: map[string]float64{}}
+	if _, err := h.Add("range", 0, serial.funcs(geom.Rect{})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Add("range", 0, indexed.funcs(rect2(0, 1, 0, 1))); err != nil {
+		t.Fatal(err)
+	}
+
+	h.NotifyWrite("y", []float64{100, 100}) // far from the indexed rect
+	if serial.checks.Load() == 0 {
+		t.Fatal("unindexed monitor missed a write")
+	}
+	if indexed.checks.Load() != 0 {
+		t.Fatal("indexed monitor consulted for a far point")
+	}
+
+	// Unknown position: everyone must be consulted.
+	h.NotifyWrite("y", nil)
+	if indexed.checks.Load() == 0 {
+		t.Fatal("indexed monitor missed a nil-point write")
+	}
+}
+
+// TestIndexedMonitorRemove: removal cleans the spatial index and the
+// member reverse index.
+func TestIndexedMonitorRemove(t *testing.T) {
+	h := NewHub(16)
+	p := &indexProbe{within: map[string]float64{"x": 0.1}}
+	m, err := h.Add("range", 0, p.funcs(rect2(0, 1, 0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Remove(m.ID) {
+		t.Fatal("Remove reported missing monitor")
+	}
+	checks0 := p.checks.Load()
+	h.NotifyWrite("x", []float64{0.5, 0.5})
+	h.NotifyDelete("x")
+	if p.checks.Load() != checks0 {
+		t.Fatal("removed monitor still receives notifications")
+	}
+	h.memMu.Lock()
+	left := len(h.memberOf)
+	h.memMu.Unlock()
+	if left != 0 {
+		t.Fatalf("member reverse index not cleaned: %d names", left)
+	}
+}

@@ -1,6 +1,8 @@
 package tsq
 
 import (
+	"repro/internal/core"
+	"repro/internal/plan"
 	"repro/internal/query"
 )
 
@@ -14,6 +16,93 @@ type Output struct {
 	Pairs []Pair
 	// Stats reports the execution cost.
 	Stats Stats
+	// Explain carries the execution plan for EXPLAIN-prefixed statements
+	// (nil otherwise): the planner's choice and reasoning, the Lemma 1
+	// search rectangle, the shard targets, and the estimated cost to hold
+	// against Stats' actuals.
+	Explain *ExplainInfo
+}
+
+// ExplainInfo is the rendered execution plan of one EXPLAIN statement.
+type ExplainInfo struct {
+	// Kind is the planned query kind ("range", "nn", "selfjoin").
+	Kind string
+	// Strategy is the resolved execution strategy ("index", "scan",
+	// "scantime"); Forced reports the caller pinned it (USING clause,
+	// moment bounds make the planner pin without Forced). Reason is the
+	// planner's justification.
+	Strategy string
+	Forced   bool
+	Reason   string
+	// Transform is the canonical transformation pipeline.
+	Transform string
+	// Series is the store size at planning; Shards the fan-out targets.
+	Series int
+	Shards []int
+	// Selectivity, EstCandidates, EstNodeAccesses, EstIndexCost, and
+	// EstScanCost are the planner's cost model outputs (zero for plans
+	// with no index-vs-scan freedom).
+	Selectivity     float64
+	EstCandidates   float64
+	EstNodeAccesses float64
+	EstIndexCost    float64
+	EstScanCost     float64
+	// RectLo/RectHi are the corners of the feature-space search rectangle
+	// (nil when the query kind carries none, e.g. NN).
+	RectLo []float64
+	RectHi []float64
+	// ActualCandidates and ActualNodeAccesses echo the execution's
+	// measured cost — EXPLAIN's "estimated vs actual".
+	ActualCandidates   int
+	ActualNodeAccesses int
+	// PerShard is the fan-out's per-shard provenance (nil on single-store
+	// executions).
+	PerShard []ShardExecInfo
+}
+
+// ShardExecInfo is one shard's share of a fan-out execution.
+type ShardExecInfo struct {
+	Shard        int
+	NodeAccesses int
+	PageReads    int64
+	Candidates   int
+	Results      int
+}
+
+func explainFrom(pl *plan.Plan, st core.ExecStats) *ExplainInfo {
+	if pl == nil {
+		return nil
+	}
+	out := &ExplainInfo{
+		Kind:               pl.Kind,
+		Strategy:           pl.Strategy.String(),
+		Forced:             pl.Forced,
+		Reason:             pl.Reason,
+		Transform:          pl.Transform,
+		Series:             pl.Est.Series,
+		Shards:             append([]int(nil), pl.Shards...),
+		Selectivity:        pl.Est.Selectivity,
+		EstCandidates:      pl.Est.Candidates,
+		EstNodeAccesses:    pl.Est.NodeAccesses,
+		EstIndexCost:       pl.Est.IndexCost,
+		EstScanCost:        pl.Est.ScanCost,
+		ActualCandidates:   st.Candidates,
+		ActualNodeAccesses: st.NodeAccesses,
+	}
+	if pl.Rect.Dims() > 0 {
+		out.RectLo = append([]float64(nil), pl.Rect.Lo...)
+		out.RectHi = append([]float64(nil), pl.Rect.Hi...)
+	}
+	for _, sh := range st.Shards {
+		out.PerShard = append(out.PerShard, ShardExecInfo{
+			Shard:        sh.Shard,
+			NodeAccesses: sh.NodeAccesses,
+			PageReads:    sh.PageReads,
+			Candidates:   sh.Candidates,
+			Results:      sh.Results,
+		})
+	}
+	return out
 }
 
 // Query parses and executes one statement of the query language:
@@ -23,12 +112,17 @@ type Output struct {
 //	NN SERIES 'BBA' K 5 TRANSFORM reverse() | mavg(20)
 //	SELFJOIN EPS 1.0 TRANSFORM mavg(20) METHOD d
 //	RANGE SERIES 'ZTR' EPS 3 MEAN [5, 15] STD [0.5, 2]
+//	EXPLAIN RANGE SERIES 'IBM' EPS 2.5 TRANSFORM mavg(20)
 //
 // Keywords are case-insensitive. Available transformations: identity(),
 // mavg(l), wmavg(w1, ..., wm), reverse(), scale(c), shift(c), warp(m);
-// they compose left-to-right with '|'. USING selects INDEX (default),
-// SCAN (frequency-domain sequential scan), or SCANTIME (naive scan).
-// SELFJOIN's METHOD is one of Table 1's a, b, c, d (default d).
+// they compose left-to-right with '|'. USING selects AUTO (the default:
+// the planner chooses between the index and the scan per query from
+// per-store statistics), INDEX, SCAN (frequency-domain sequential scan),
+// or SCANTIME (naive scan). SELFJOIN's METHOD is one of Table 1's a, b,
+// c, d (default d). An EXPLAIN prefix executes the statement and attaches
+// the plan — strategy, planner reasoning, search rectangle, estimated vs
+// actual cost — as Output.Explain.
 func (db *DB) Query(src string) (*Output, error) {
 	out, err := query.Run(db.eng, src)
 	if err != nil {
@@ -39,6 +133,7 @@ func (db *DB) Query(src string) (*Output, error) {
 		Matches: toMatches(out.Results),
 		Pairs:   db.toPairs(out.Pairs),
 		Stats:   fromExec(out.Stats),
+		Explain: explainFrom(out.Plan, out.Stats),
 	}
 	return res, nil
 }

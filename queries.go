@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/feature"
+	"repro/internal/plan"
 )
 
 // Match is one similarity-query answer: a stored series and its Euclidean
@@ -51,13 +52,21 @@ func fromExec(st core.ExecStats) Stats {
 type Strategy int
 
 const (
-	// UseIndex runs the paper's Algorithm 2 over the k-index. The default.
+	// UseIndex runs the paper's Algorithm 2 over the k-index. The default
+	// for the library API (the query language and HTTP API default to
+	// UseAuto instead).
 	UseIndex Strategy = iota
 	// UseScan runs the frequency-domain sequential scan with early
 	// abandoning (the paper's stronger baseline).
 	UseScan
 	// UseScanTime runs the naive time-domain scan.
 	UseScanTime
+	// UseAuto lets the query planner choose between UseIndex and UseScan
+	// per query from maintained per-store statistics (series count,
+	// feature-space spread, measured selectivity). Answers are identical
+	// under every strategy; only cost differs. Moment-bounded queries pin
+	// the index (the scan baselines deliberately ignore mean/std bounds).
+	UseAuto
 )
 
 // QueryOpt refines Range and NN queries.
@@ -134,6 +143,11 @@ func (db *DB) rangeQuery(values []float64, eps float64, t Transform, opts []Quer
 		res, st, err = db.eng.RangeScanFreq(rq)
 	case UseScanTime:
 		res, st, err = db.eng.RangeScanTime(rq)
+	case UseAuto:
+		var pl *plan.Plan
+		if pl, err = db.eng.PlanRange(rq, plan.Auto); err == nil {
+			res, st, err = db.eng.ExecRange(rq, pl)
+		}
 	default:
 		err = fmt.Errorf("tsq: unknown strategy %d", int(qo.strategy))
 	}
@@ -186,6 +200,11 @@ func (db *DB) NN(q []float64, k int, t Transform, opts ...QueryOpt) ([]Match, St
 	switch qo.strategy {
 	case UseIndex:
 		res, st, err = db.eng.NNIndexed(nq)
+	case UseAuto:
+		var pl *plan.Plan
+		if pl, err = db.eng.PlanNN(nq, plan.Auto); err == nil {
+			res, st, err = db.eng.ExecNN(nq, pl)
+		}
 	default:
 		res, st, err = db.eng.NNScan(nq)
 	}

@@ -38,15 +38,18 @@ import (
 // no write landed between the query starting and finishing, so a reader
 // that overlapped an eviction can never re-insert a stale answer.
 //
-// Eviction granularity differs by write kind. Insert, Update, and Delete
-// purge the whole cache: any cached query may contain answers from any
-// shard, so selective per-shard purging would be unsound, and whole-cache
-// purge is the documented choice. Append evicts selectively: a cached
-// range or NN answer provably unaffected by the append — the appended
-// series is not the query series, is not among the cached matches, and
-// its new feature point misses the query's Lemma 1 search rectangle —
-// survives; join, subsequence, and query-language entries are always
-// evicted (see stream.go).
+// The cache is dependency-tagged. Every cached range or NN answer carries
+// an invalidation predicate built from its own plan geometry — the
+// query's Lemma 1 search rectangle, its membership set, and the shard set
+// those members live in — and every single-series write (insert, update,
+// delete, append) is checked against it: an entry survives when the
+// written series is not the query series, is not among the cached
+// matches, and (for writes that move a feature point) the committed point
+// misses the rectangle; a delete in a shard outside the entry's tag set
+// is dismissed by the tag alone. Only whole-store writes (batch inserts,
+// bulk loads, compaction) still purge everything. Join, subsequence, and
+// query-language entries carry no predicate and are evicted on any write
+// (see stream.go).
 //
 // Server is the session layer behind cmd/tsqd's HTTP API, and equally
 // usable embedded in any concurrent program.
@@ -59,9 +62,19 @@ type Server struct {
 	// could pass the check, lose the CPU across an entire
 	// mutate+bump+purge, and then re-insert its stale result.
 	cacheGuard sync.Mutex
-	db         *DB
-	cache      *lru.Cache
-	hub        *stream.Hub // standing-query monitors (tsqlive)
+	// writeLog holds the recent committed writes (guarded by cacheGuard):
+	// a sharded reader that overlapped writes replays them against its
+	// entry's affected predicate, so an append burst that provably cannot
+	// change a result no longer starves the cache (see readQuery).
+	writeLog []loggedWrite
+	db       *DB
+	cache    *lru.Cache
+	hub      *stream.Hub // standing-query monitors (tsqlive)
+
+	// testHookAfterCompute, when set, runs between a sharded cache-miss
+	// computation and the version re-check — test instrumentation for the
+	// write-overlap window.
+	testHookAfterCompute func()
 
 	started time.Time
 
@@ -180,14 +193,23 @@ func (s *Server) record(st Stats) {
 }
 
 // write runs fn — which must report whether it (possibly) mutated the
-// store — and on mutation bumps the write counter and purges the result
-// cache; a rejected insert or a delete of a missing name is a no-op and
-// must not evict cached results. Over an unsharded store fn runs under
-// the Server's exclusive lock. Over a sharded store the engine locks only
-// the shard fn touches; the version bump is ordered after the mutation
-// and before the purge, so any query that read pre-mutation data observes
-// the changed version before it could cache a stale result.
-func (s *Server) write(fn func() (mutated bool, err error)) error {
+// store — and on mutation bumps the write counter and invalidates the
+// result cache according to the event evf describes; a rejected insert or
+// a delete of a missing name is a no-op and must not evict cached
+// results. Over an unsharded store fn runs under the Server's exclusive
+// lock. Over a sharded store the engine locks only the shard fn touches;
+// the version bump is ordered after the mutation and before the
+// invalidation, so any query that read pre-mutation data observes the
+// changed version before it could cache a stale result (or proves itself
+// unaffected against the write log — see readQuery).
+//
+// evf runs after the mutation commits, so the event carries the
+// committed feature point. Under concurrent writes to the same name the
+// point may belong to a later write; that is sound: each racing write
+// issues its own event, and an entry is retained only if unaffected by
+// every final state — transiently stale reads in the commit-to-invalidate
+// window are the same linearization the whole-cache purge already had.
+func (s *Server) write(fn func() (mutated bool, err error), evf func() writeEvent) error {
 	if !s.sharded {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -195,24 +217,90 @@ func (s *Server) write(fn func() (mutated bool, err error)) error {
 	mutated, err := fn()
 	if mutated {
 		s.writes.Add(1)
+		ev := evf()
 		if s.sharded {
-			s.version.Add(1)
+			v := s.version.Add(1)
 			s.cacheGuard.Lock()
-			s.cache.Purge()
+			s.logWriteLocked(v, ev)
+			s.invalidateFor(ev)
 			s.cacheGuard.Unlock()
 		} else {
-			s.cache.Purge()
+			s.invalidateFor(ev)
 		}
 	}
 	return err
 }
 
-// Insert stores a named series. See DB.Insert.
+// barrier is the whole-store write event: purge everything, cache nothing
+// across it.
+func barrier() writeEvent { return writeEvent{kind: writeBarrier} }
+
+// namedEvent builds the write event of a committed single-series write,
+// reading the committed feature point (nil for deletes and when the name
+// vanished again).
+func (s *Server) namedEvent(kind writeKind, name string) func() writeEvent {
+	return func() writeEvent {
+		ev := writeEvent{kind: kind, name: name, shard: s.db.eng.ShardOf(name)}
+		if kind == writeDelete {
+			return ev
+		}
+		if id, ok := s.db.eng.IDByName(name); ok {
+			if fp, ok := s.db.eng.FeaturePoint(id); ok {
+				ev.point = fp.Clone()
+			}
+		}
+		return ev
+	}
+}
+
+// writeLogCap bounds the recent-write log used by readQuery's replay; a
+// query overlapping more writes than this simply isn't cached.
+const writeLogCap = 128
+
+// loggedWrite is one committed write with its version, kept under
+// cacheGuard so an in-flight query can replay the writes it overlapped.
+type loggedWrite struct {
+	version int64
+	ev      writeEvent
+}
+
+// logWriteLocked records a committed write (caller holds cacheGuard).
+func (s *Server) logWriteLocked(version int64, ev writeEvent) {
+	if len(s.writeLog) >= writeLogCap {
+		s.writeLog = append(s.writeLog[:0], s.writeLog[1:]...)
+	}
+	s.writeLog = append(s.writeLog, loggedWrite{version: version, ev: ev})
+}
+
+// writesSince returns the events of versions (v0, v1] when the log still
+// holds every one of them, in version order (caller holds cacheGuard).
+// complete is false when any were evicted — or not yet logged, which a
+// writer between its version bump and its log append looks like.
+func (s *Server) writesSince(v0, v1 int64) (events []writeEvent, complete bool) {
+	want := v1 - v0
+	if want <= 0 || int64(len(s.writeLog)) < want {
+		return nil, false
+	}
+	events = make([]writeEvent, want)
+	found := int64(0)
+	for _, lw := range s.writeLog {
+		if lw.version > v0 && lw.version <= v1 {
+			events[lw.version-v0-1] = lw.ev
+			found++
+		}
+	}
+	return events, found == want
+}
+
+// Insert stores a named series. See DB.Insert. The cache is invalidated
+// selectively: a cached range or NN answer provably out of the new
+// series' reach — its feature point misses the answer's Lemma 1 search
+// rectangle — survives.
 func (s *Server) Insert(name string, values []float64) error {
 	err := s.write(func() (bool, error) {
 		err := s.db.Insert(name, values)
 		return err == nil, err
-	})
+	}, s.namedEvent(writeInsert, name))
 	if err == nil {
 		s.notifyWrite(name)
 	}
@@ -240,7 +328,7 @@ func (s *Server) InsertAll(batch []NamedSeries) error {
 			}
 		}
 		return len(batch) > 0, nil
-	})
+	}, barrier)
 	if err == nil {
 		for _, b := range batch {
 			s.notifyWrite(b.Name)
@@ -253,19 +341,21 @@ func (s *Server) InsertAll(batch []NamedSeries) error {
 func (s *Server) InsertBulk(batch []NamedSeries) error {
 	// Conservatively treat even a failed bulk load as a mutation: unlike
 	// Insert/Update, a late error can leave partial state behind.
-	err := s.write(func() (bool, error) { return true, s.db.InsertBulk(batch) })
+	err := s.write(func() (bool, error) { return true, s.db.InsertBulk(batch) }, barrier)
 	// Rebuild every monitor's membership from scratch — the store was
 	// rewritten wholesale.
 	s.hub.RefreshAll()
 	return err
 }
 
-// Update replaces the values stored under an existing name.
+// Update replaces the values stored under an existing name. Cached
+// entries survive when the replaced series was not among their answers
+// and its new feature point misses their search rectangles.
 func (s *Server) Update(name string, values []float64) error {
 	err := s.write(func() (bool, error) {
 		err := s.db.Update(name, values)
 		return err == nil, err
-	})
+	}, s.namedEvent(writeUpdate, name))
 	if err == nil {
 		s.notifyWrite(name)
 	}
@@ -273,12 +363,14 @@ func (s *Server) Update(name string, values []float64) error {
 }
 
 // Delete removes a series by name, reporting whether it was present.
+// Cached entries whose answers the deleted series did not appear in —
+// checked through their shard tags first — survive.
 func (s *Server) Delete(name string) bool {
 	var present bool
 	_ = s.write(func() (bool, error) {
 		present = s.db.Delete(name)
 		return present, nil
-	})
+	}, s.namedEvent(writeDelete, name))
 	if present {
 		s.hub.NotifyDelete(name)
 	}
@@ -292,7 +384,7 @@ func (s *Server) Compact() (int, error) {
 		var err error
 		n, err = s.db.Compact()
 		return true, err
-	})
+	}, barrier)
 	return n, err
 }
 
@@ -359,10 +451,15 @@ type cachedResult struct {
 	subseq  []SubseqMatch
 	output  *Output
 	stats   Stats
-	// affected decides whether one committed append could change this
-	// result (see Server.Append's selective invalidation); nil means the
-	// entry is always evicted on append.
-	affected func(appendEvent) bool
+	// affected decides whether one committed write could change this
+	// result (see invalidateFor); nil means the entry is always evicted on
+	// any write.
+	affected func(writeEvent) bool
+	// shards is the entry's dependency tag: every shard a cached member or
+	// the query series lives in (sorted). The affected predicate consults
+	// it for member-removal writes; nil means untagged (depends on the
+	// whole store).
+	shards []int
 }
 
 // readQuery serves one query, consulting the result cache first.
@@ -373,14 +470,21 @@ type cachedResult struct {
 // exclusive lock, strictly before or after this critical section.
 //
 // Sharded: the engine takes its own per-shard read locks during the
-// fan-out, so the Server takes none. The result is cached only if the
-// write version is unchanged across the whole computation: a writer bumps
-// the version after mutating and before purging, so a query that read any
-// pre-mutation shard state started before the bump and fails the
-// comparison. The re-check and the Add happen as one atomic step under
-// cacheGuard — the same mutex the writer's purge takes — so the check
-// cannot go stale between passing and the Add landing; the purge cannot
-// be undone by a slow reader.
+// fan-out, so the Server takes none. The result is cached only if no
+// write it cannot account for landed during the computation: a writer
+// bumps the version after mutating and before invalidating, so a query
+// that read any pre-mutation shard state started before the bump and
+// fails the version comparison — but when the write log still holds every
+// overlapped write and the entry's own affected predicate proves each one
+// could not change this answer (the Lemma 1 rectangle/membership proof,
+// the same test invalidation runs on entries already cached), the result
+// is cached anyway. That is what keeps the cache warm under append
+// bursts: an append to a far-away series no longer blocks every in-flight
+// query from caching. The re-check and the Add happen as one atomic step
+// under cacheGuard — the same mutex the writer's invalidation takes — so
+// the check cannot go stale between passing and the Add landing; an
+// eviction cannot be undone by a slow reader whose overlapped writes did
+// affect it.
 func (s *Server) readQuery(key string, compute func() (cachedResult, error)) (cachedResult, Stats, error) {
 	s.queries.Add(1)
 	if s.sharded {
@@ -395,8 +499,11 @@ func (s *Server) readQuery(key string, compute func() (cachedResult, error)) (ca
 		if err != nil {
 			return cachedResult{}, Stats{}, err
 		}
+		if s.testHookAfterCompute != nil {
+			s.testHookAfterCompute()
+		}
 		s.cacheGuard.Lock()
-		if s.version.Load() == v0 {
+		if s.cacheableLocked(v0, &r) {
 			s.cache.Add(key, r)
 		}
 		s.cacheGuard.Unlock()
@@ -418,6 +525,30 @@ func (s *Server) readQuery(key string, compute func() (cachedResult, error)) (ca
 	s.cache.Add(key, r)
 	s.record(r.stats)
 	return r, r.stats, nil
+}
+
+// cacheableLocked decides whether a result computed while the version
+// moved from v0 to the current value may still enter the cache (caller
+// holds cacheGuard): either nothing was written, or every overlapped
+// write is in the log and provably cannot affect this entry.
+func (s *Server) cacheableLocked(v0 int64, r *cachedResult) bool {
+	v1 := s.version.Load()
+	if v1 == v0 {
+		return true
+	}
+	if r.affected == nil {
+		return false
+	}
+	events, complete := s.writesSince(v0, v1)
+	if !complete {
+		return false
+	}
+	for _, ev := range events {
+		if ev.kind == writeBarrier || r.affected(ev) {
+			return false
+		}
+	}
+	return true
 }
 
 func cloneMatches(in []Match) []Match {
@@ -500,10 +631,11 @@ func (s *Server) NNByName(name string, k int, t Transform, opts ...QueryOpt) ([]
 }
 
 // matchQuery serves a match-shaped query through the cache. affectedFor,
-// when non-nil, builds the entry's append-invalidation predicate from the
-// computed matches (inside the compute critical section, so the predicate
-// observes the same store state the answer did).
-func (s *Server) matchQuery(key string, run func() ([]Match, Stats, error), affectedFor func([]Match) func(appendEvent) bool) ([]Match, Stats, error) {
+// when non-nil, builds the entry's write-invalidation predicate and shard
+// dependency tags from the computed matches (inside the compute critical
+// section, so the predicate observes the same store state the answer
+// did).
+func (s *Server) matchQuery(key string, run func() ([]Match, Stats, error), affectedFor func([]Match) (func(writeEvent) bool, []int)) ([]Match, Stats, error) {
 	r, st, err := s.readQuery(key, func() (cachedResult, error) {
 		m, qst, err := run()
 		if err != nil {
@@ -511,7 +643,7 @@ func (s *Server) matchQuery(key string, run func() ([]Match, Stats, error), affe
 		}
 		out := cachedResult{matches: m, stats: qst}
 		if affectedFor != nil {
-			out.affected = affectedFor(m)
+			out.affected, out.shards = affectedFor(m)
 		}
 		return out, nil
 	})
@@ -573,8 +705,21 @@ func (s *Server) Subsequence(q []float64, eps float64) ([]SubseqMatch, Stats, er
 // shared lock, with result caching keyed by the statement text. Only
 // leading/trailing space is trimmed: interior whitespace can be
 // significant inside quoted series names, so two statements share a cache
-// entry only when they are literally the same statement.
+// entry only when they are literally the same statement. EXPLAIN
+// statements bypass the cache: their value is the live plan and the
+// estimated-vs-actual comparison, which a cached answer would fossilize.
 func (s *Server) Query(src string) (*Output, error) {
+	if isExplainStatement(src) {
+		s.queries.Add(1)
+		s.rlock()
+		out, err := s.db.Query(src)
+		s.runlock()
+		if err != nil {
+			return nil, err
+		}
+		s.record(out.Stats)
+		return out, nil
+	}
 	key := "q|" + strings.TrimSpace(src)
 	r, st, err := s.readQuery(key, func() (cachedResult, error) {
 		out, err := s.db.Query(src)
@@ -592,4 +737,11 @@ func (s *Server) Query(src string) (*Output, error) {
 		Pairs:   clonePairs(r.output.Pairs),
 		Stats:   st,
 	}, nil
+}
+
+// isExplainStatement reports whether a statement's first word is EXPLAIN
+// (case-insensitive), without parsing it.
+func isExplainStatement(src string) bool {
+	f := strings.Fields(src)
+	return len(f) > 0 && strings.EqualFold(f[0], "EXPLAIN")
 }

@@ -1,0 +1,218 @@
+package tsq
+
+// Internal-package tests for the dependency-tagged result cache: write
+// events, shard tags, and the write-log replay that keeps the cache warm
+// under append bursts (the "skip the unconditional version starvation"
+// fix — a naive skip of the version bump would be unsound for in-flight
+// queries the append *does* affect, so the bump stays and provably
+// unaffected results replay past it).
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// cacheFixture builds a sharded server over deterministic series: a tight
+// cluster (identical shapes "C*") and far-away outliers ("Z*"), so range
+// rectangles around a cluster member never contain an outlier's feature
+// point.
+func cacheFixture(t *testing.T) *Server {
+	t.Helper()
+	db, err := Open(Options{Length: 32, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster: one-cycle sines with tiny perturbations — all the normal-
+	// form energy sits in X_1, so the cluster's search rectangles pin a
+	// large |X_1|. Outliers: pure high-frequency sines, whose |X_1| is ~0
+	// — far outside any cluster rectangle in the indexed dimensions.
+	for i := 0; i < 6; i++ {
+		vals := clusterSeries(0.0005 * float64(i))
+		if err := db.Insert(fmt.Sprintf("C%02d", i), vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		vals := make([]float64, 32)
+		for j := range vals {
+			vals[j] = 20 * sin(float64(8*j)/32+float64(i))
+		}
+		if err := db.Insert(fmt.Sprintf("Z%02d", i), vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewServer(db, ServerOptions{})
+}
+
+func sin(turns float64) float64 {
+	return math.Sin(2 * math.Pi * turns)
+}
+
+func clusterSeries(delta float64) []float64 {
+	vals := make([]float64, 32)
+	for j := range vals {
+		vals[j] = 10*sin(float64(j)/32) + delta*sin(float64(3*j)/32)
+	}
+	return vals
+}
+
+func cacheLen(s *Server) int { return s.cache.Len() }
+
+// TestAppendBurstDoesNotStarveCache: a query whose computation overlaps
+// an append the Lemma 1 proof shows irrelevant must still cache its
+// result (the write-log replay); one the append could affect must not.
+func TestAppendBurstDoesNotStarveCache(t *testing.T) {
+	s := cacheFixture(t)
+
+	// Irrelevant overlap: mid-compute, append to a far-away outlier.
+	s.testHookAfterCompute = func() {
+		s.testHookAfterCompute = nil // fire once
+		if err := s.Append("Z00", []float64{123.5, -321}); err != nil {
+			t.Error(err)
+		}
+	}
+	if _, _, err := s.RangeByName("C00", 0.5, Identity()); err != nil {
+		t.Fatal(err)
+	}
+	if got := cacheLen(s); got != 1 {
+		t.Fatalf("cache has %d entries after overlapped-but-unaffected append, want 1", got)
+	}
+	_, st, err := s.RangeByName("C00", 0.5, Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cached {
+		t.Fatal("repeat query missed the cache")
+	}
+
+	// Affecting overlap: mid-compute, append to the query series itself.
+	s.testHookAfterCompute = func() {
+		s.testHookAfterCompute = nil
+		if err := s.Append("C01", []float64{4}); err != nil {
+			t.Error(err)
+		}
+	}
+	before := cacheLen(s)
+	if _, _, err := s.RangeByName("C01", 0.5, Identity()); err != nil {
+		t.Fatal(err)
+	}
+	// The append also evicts the earlier C00 entry (C01 is one of its
+	// members), so the cache must not have grown.
+	if got := cacheLen(s); got >= before+1 {
+		t.Fatalf("cache grew to %d entries despite an affecting overlapped append", got)
+	}
+	_, st, err = s.RangeByName("C01", 0.5, Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cached {
+		t.Fatal("query overlapping an affecting append was wrongly cached")
+	}
+}
+
+// TestTaggedCacheSurvivesUnrelatedWrites: inserts and deletes that the
+// entry's rectangle, membership, and shard tags prove irrelevant retain
+// the entry; related writes evict it.
+func TestTaggedCacheSurvivesUnrelatedWrites(t *testing.T) {
+	s := cacheFixture(t)
+	warm := func() []Match {
+		m, _, err := s.RangeByName("C00", 0.5, Identity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	matches := warm()
+	if len(matches) < 2 {
+		t.Fatalf("fixture cluster query found %d matches, want the cluster", len(matches))
+	}
+	if got := cacheLen(s); got != 1 {
+		t.Fatalf("cache len = %d, want 1", got)
+	}
+
+	// Insert of a far-away series: retained.
+	far := make([]float64, 32)
+	for j := range far {
+		far[j] = 5 * sin(float64(9*j)/32)
+	}
+	if err := s.Insert("Z99", far); err != nil {
+		t.Fatal(err)
+	}
+	if got := cacheLen(s); got != 1 {
+		t.Fatalf("cache len after unrelated insert = %d, want 1", got)
+	}
+
+	// Delete of a non-member: retained.
+	if !s.Delete("Z99") {
+		t.Fatal("Z99 vanished")
+	}
+	if got := cacheLen(s); got != 1 {
+		t.Fatalf("cache len after non-member delete = %d, want 1", got)
+	}
+	if _, st, _ := s.RangeByName("C00", 0.5, Identity()); !st.Cached {
+		t.Fatal("entry did not survive unrelated writes")
+	}
+
+	// Delete of a member: evicted.
+	if !s.Delete(matches[len(matches)-1].Name) {
+		t.Fatal("member vanished")
+	}
+	if got := cacheLen(s); got != 0 {
+		t.Fatalf("cache len after member delete = %d, want 0", got)
+	}
+}
+
+// TestInsertIntoRectangleEvicts: a new series whose feature point lands
+// inside a cached answer's search rectangle must evict the entry — it may
+// belong to the answer now.
+func TestInsertIntoRectangleEvicts(t *testing.T) {
+	s := cacheFixture(t)
+	if _, _, err := s.RangeByName("C00", 0.5, Identity()); err != nil {
+		t.Fatal(err)
+	}
+	if got := cacheLen(s); got != 1 {
+		t.Fatalf("cache len = %d, want 1", got)
+	}
+	if err := s.Insert("C99", clusterSeries(0.004)); err != nil {
+		t.Fatal(err)
+	}
+	if got := cacheLen(s); got != 0 {
+		t.Fatalf("cache len after in-rectangle insert = %d, want 0", got)
+	}
+	m, _, err := s.RangeByName("C00", 0.5, Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, match := range m {
+		if match.Name == "C99" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fresh answer misses the inserted cluster member (fixture assumption broken)")
+	}
+}
+
+// TestEntryShardTags: cached entries carry the shard set their answers
+// live in.
+func TestEntryShardTags(t *testing.T) {
+	s := cacheFixture(t)
+	if _, _, err := s.RangeByName("C00", 0.5, Identity()); err != nil {
+		t.Fatal(err)
+	}
+	var tagged []int
+	s.cache.RemoveIf(func(_ string, v any) bool {
+		tagged = v.(cachedResult).shards
+		return false
+	})
+	if len(tagged) == 0 {
+		t.Fatal("cached entry carries no shard tags")
+	}
+	for _, sh := range tagged {
+		if sh < 0 || sh >= s.Shards() {
+			t.Fatalf("tag %d outside shard range", sh)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package tsq
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -97,10 +98,36 @@ func (db *DB) checkWithin(name string, values []float64, eps float64, t Transfor
 	})
 }
 
-// appendEvent describes one committed append for cache invalidation.
-type appendEvent struct {
+// writeKind discriminates committed writes for cache invalidation.
+type writeKind int
+
+const (
+	// writeAppend slid a series' window forward (point carries the new
+	// feature point).
+	writeAppend writeKind = iota
+	// writeInsert added a new series; writeUpdate replaced one in place
+	// (point carries the committed feature point for both).
+	writeInsert
+	writeUpdate
+	// writeDelete removed a series (no point: only membership matters — a
+	// deleted non-member cannot change any cached answer).
+	writeDelete
+	// writeBarrier is a whole-store mutation (bulk loads, batch inserts,
+	// compaction): every cached entry is invalidated and no in-flight
+	// query may cache across it.
+	writeBarrier
+)
+
+// writeEvent describes one committed write for the dependency-tagged
+// cache: what happened, to which series, in which shard, and where its
+// feature point landed. Cached entries carry an affected predicate over
+// these events (Lemma 1 rectangle tests plus membership and shard tags),
+// so a write purges only the entries it could actually have changed.
+type writeEvent struct {
+	kind  writeKind
 	name  string
-	point geom.Point // new feature point; nil disables prefiltering
+	shard int
+	point geom.Point // committed feature point; nil when unknown
 }
 
 // Append slides a stored series' window forward through the Server: the
@@ -110,14 +137,14 @@ type appendEvent struct {
 func (s *Server) Append(name string, points []float64) error {
 	var info core.AppendInfo
 	var err error
-	ev := appendEvent{name: name}
+	ev := writeEvent{kind: writeAppend, name: name, shard: s.db.eng.ShardOf(name)}
 	if !s.sharded {
 		s.mu.Lock()
 		info, err = s.db.eng.Append(name, points)
 		if err == nil {
 			s.appends.Add(1)
 			ev.point = info.Point
-			s.invalidateForAppend(ev)
+			s.invalidateFor(ev)
 		}
 		s.mu.Unlock()
 	} else {
@@ -127,10 +154,13 @@ func (s *Server) Append(name string, points []float64) error {
 			ev.point = info.Point
 			// Same discipline as write(): the version bump is ordered after
 			// the mutation and before the eviction, so a query that read any
-			// pre-append state fails the version re-check and cannot cache.
-			s.version.Add(1)
+			// pre-append state fails the version re-check — unless the write
+			// log proves the append could not have affected it (see
+			// readQuery's replay).
+			v := s.version.Add(1)
 			s.cacheGuard.Lock()
-			s.invalidateForAppend(ev)
+			s.logWriteLocked(v, ev)
+			s.invalidateFor(ev)
 			s.cacheGuard.Unlock()
 		}
 	}
@@ -141,10 +171,14 @@ func (s *Server) Append(name string, points []float64) error {
 	return nil
 }
 
-// invalidateForAppend evicts the cached results the append could have
+// invalidateFor evicts the cached results one committed write could have
 // changed. Entries without an affected predicate (joins, subsequence
-// scans, raw statements) always go.
-func (s *Server) invalidateForAppend(ev appendEvent) {
+// scans, raw statements) always go; barriers purge everything.
+func (s *Server) invalidateFor(ev writeEvent) {
+	if ev.kind == writeBarrier {
+		s.cache.Purge()
+		return
+	}
 	s.cache.RemoveIf(func(_ string, v any) bool {
 		r := v.(cachedResult)
 		if r.affected == nil {
@@ -168,14 +202,69 @@ func (s *Server) notifyWrite(name string) {
 	s.hub.NotifyWrite(name, p)
 }
 
+// memberTags collects a cached answer's membership map and shard tags:
+// every shard a member (or the query series) lives in. The shard set is
+// the entry's dependency tag — a delete in an untagged shard cannot name
+// a member, so the entry provably survives it without even a map lookup.
+func (s *Server) memberTags(queryName string, matches []Match) (map[string]bool, []int) {
+	members := make(map[string]bool, len(matches))
+	shardSet := make(map[int]bool, 4)
+	for _, m := range matches {
+		members[m.Name] = true
+		shardSet[s.db.eng.ShardOf(m.Name)] = true
+	}
+	if queryName != "" {
+		shardSet[s.db.eng.ShardOf(queryName)] = true
+	}
+	shards := make([]int, 0, len(shardSet))
+	for sh := range shardSet {
+		shards = append(shards, sh)
+	}
+	sort.Ints(shards)
+	return members, shards
+}
+
+// affectedPredicate is the shared core of the range and NN invalidation
+// predicates: an entry is affected by a write when the written series is
+// the query series or a cached member (it may leave or move), or when its
+// committed feature point lands inside the answer's search rectangle at
+// threshold eps (it may enter — Lemma 1's no-false-dismissals geometry,
+// the same test the index filter runs). Deletes carry no point and decide
+// on membership alone: a deleted non-member cannot change the answer.
+func affectedPredicate(queryName string, members map[string]bool, memberShards []int, pf *core.Prefilter, eps float64) func(writeEvent) bool {
+	inShards := make(map[int]bool, len(memberShards))
+	for _, sh := range memberShards {
+		inShards[sh] = true
+	}
+	return func(ev writeEvent) bool {
+		switch ev.kind {
+		case writeDelete:
+			if ev.name == queryName {
+				return true
+			}
+			if !inShards[ev.shard] {
+				return false // shard tag: no member lives there
+			}
+			return members[ev.name]
+		case writeAppend, writeInsert, writeUpdate:
+			if ev.name == queryName || members[ev.name] || ev.point == nil {
+				return true
+			}
+			return pf.Hit(ev.point, eps)
+		default:
+			return true
+		}
+	}
+}
+
 // rangeAffected builds the cached-entry invalidation predicate for a range
-// answer: the entry survives an append unless the appended series is the
-// query series, is among the cached matches, or lands its new feature
-// point inside the query's search rectangle (in which case it may have
-// entered the answer). A nil return means "cannot prove anything — always
-// invalidate".
-func (s *Server) rangeAffected(queryName string, values []float64, eps float64, t Transform, opts []QueryOpt) func([]Match) func(appendEvent) bool {
-	return func(matches []Match) func(appendEvent) bool {
+// answer: the entry survives a write unless the written series is the
+// query series, is among the cached matches, was deleted while a member,
+// or lands its new feature point inside the query's search rectangle (in
+// which case it may have entered the answer). A nil return means "cannot
+// prove anything — always invalidate".
+func (s *Server) rangeAffected(queryName string, values []float64, eps float64, t Transform, opts []QueryOpt) func([]Match) (func(writeEvent) bool, []int) {
+	return func(matches []Match) (func(writeEvent) bool, []int) {
 		var qo queryOpts
 		for _, o := range opts {
 			o(&qo)
@@ -184,41 +273,35 @@ func (s *Server) rangeAffected(queryName string, values []float64, eps float64, 
 		if vals == nil {
 			v, err := s.db.Series(queryName)
 			if err != nil {
-				return nil
+				return nil, nil
 			}
 			vals = v
 		}
 		// Scan strategies verify every series without consulting the index,
 		// so their answers ignore moment bounds; widen the prefilter to
 		// match, or a moment-filtered rectangle could wrongly retain an
-		// entry the scan answer would include.
+		// entry the scan answer would include. UseAuto only ever resolves
+		// to a scan when no moment bounds are set, so the widening is a
+		// no-op there.
 		if qo.strategy != UseIndex {
 			qo.moments = feature.MomentBounds{}
 		}
 		pf, err := s.db.planPrefilter(vals, t, qo)
 		if err != nil {
-			return nil
+			return nil, nil
 		}
-		members := make(map[string]bool, len(matches))
-		for _, m := range matches {
-			members[m.Name] = true
-		}
-		return func(ev appendEvent) bool {
-			if ev.name == queryName || members[ev.name] || ev.point == nil {
-				return true
-			}
-			return pf.Hit(ev.point, eps)
-		}
+		members, shards := s.memberTags(queryName, matches)
+		return affectedPredicate(queryName, members, shards, pf, eps), shards
 	}
 }
 
 // nnAffected is the NN analogue: the search rectangle's threshold is the
 // cached k-th best distance — a new point outside it provably cannot
 // displace any cached neighbor.
-func (s *Server) nnAffected(queryName string, values []float64, k int, t Transform, opts []QueryOpt) func([]Match) func(appendEvent) bool {
-	return func(matches []Match) func(appendEvent) bool {
+func (s *Server) nnAffected(queryName string, values []float64, k int, t Transform, opts []QueryOpt) func([]Match) (func(writeEvent) bool, []int) {
+	return func(matches []Match) (func(writeEvent) bool, []int) {
 		if len(matches) < k {
-			return nil // unfilled answer: any append may enter
+			return nil, nil // unfilled answer: any write may enter
 		}
 		var qo queryOpts
 		for _, o := range opts {
@@ -229,25 +312,17 @@ func (s *Server) nnAffected(queryName string, values []float64, k int, t Transfo
 		if vals == nil {
 			v, err := s.db.Series(queryName)
 			if err != nil {
-				return nil
+				return nil, nil
 			}
 			vals = v
 		}
 		pf, err := s.db.planPrefilter(vals, t, qo)
 		if err != nil {
-			return nil
+			return nil, nil
 		}
 		kth := matches[len(matches)-1].Distance
-		members := make(map[string]bool, len(matches))
-		for _, m := range matches {
-			members[m.Name] = true
-		}
-		return func(ev appendEvent) bool {
-			if ev.name == queryName || members[ev.name] || ev.point == nil {
-				return true
-			}
-			return pf.Hit(ev.point, kth)
-		}
+		members, shards := s.memberTags(queryName, matches)
+		return affectedPredicate(queryName, members, shards, pf, kth), shards
 	}
 }
 
@@ -340,7 +415,16 @@ func (s *Server) MonitorRange(q []float64, eps float64, t Transform, opts ...Que
 		}
 		return pf.Hit(geom.Point(p), eps)
 	}
-	m, err := s.hub.Add("range", 0, stream.Funcs{Eval: eval, CheckOne: checkOne, Relevant: relevant})
+	funcs := stream.Funcs{Eval: eval, CheckOne: checkOne, Relevant: relevant}
+	if pf != nil {
+		// Identity-action range monitors carry their fixed Lemma 1
+		// rectangle, so the hub's R-tree can resolve an append's concerned
+		// monitors with one spatial probe instead of a per-monitor test.
+		if rect, ang, ok := pf.IndexableRect(eps); ok {
+			funcs.Rect, funcs.Angular = rect, ang
+		}
+	}
+	m, err := s.hub.Add("range", 0, funcs)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -122,6 +122,14 @@ type Options struct {
 	// buffer pools of this many pages, so Stats.PageReads counts physical
 	// reads (pool misses) as a real buffer manager would. Default off.
 	BufferPoolPages int
+	// RefreshEvery bounds how many appended points a series' stored
+	// spectrum record may lag its sliding window before the streaming
+	// ingest path rewrites it with the exact FFT (0 selects the default,
+	// 32). Smaller values favor read-heavy workloads (records stay fresh,
+	// no on-demand derivation); larger values favor ingest bursts (the
+	// O(n log n) FFT amortizes over more O(K) appends). Answers are
+	// byte-identical at any cadence — only where the FFT is paid moves.
+	RefreshEvery int
 	// Shards partitions the store into this many hash-partitioned shards
 	// (by series name), each with its own index, storage, and lock.
 	// Queries fan out to every shard in parallel and merge; answers are
@@ -162,10 +170,11 @@ func Open(opts Options) (*DB, error) {
 		return nil, fmt.Errorf("tsq: unknown space %d", int(opts.Space))
 	}
 	coreOpts := core.Options{
-		Schema:          feature.Schema{Space: space, K: k, Moments: !opts.NoMoments},
-		PageSize:        opts.PageSize,
-		RTree:           rtree.Options{MaxEntries: opts.NodeCapacity},
-		BufferPoolPages: opts.BufferPoolPages,
+		Schema:               feature.Schema{Space: space, K: k, Moments: !opts.NoMoments},
+		PageSize:             opts.PageSize,
+		RTree:                rtree.Options{MaxEntries: opts.NodeCapacity},
+		BufferPoolPages:      opts.BufferPoolPages,
+		SpectrumRefreshEvery: opts.RefreshEvery,
 	}
 	if opts.Shards > 1 {
 		eng, err := core.NewSharded(opts.Length, opts.Shards, coreOpts)
