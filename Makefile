@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt serve clean bench-smoke bench-throughput bench-append bench-plan
+.PHONY: build test vet fmt serve clean bench-smoke bench-throughput bench-append bench-plan bench-join
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,12 @@ bench-append:
 # append/query load; write the report to BENCH_4.json.
 bench-plan:
 	TSQ_BENCH_OUT=$(CURDIR)/BENCH_4.json $(GO) test -run TestPlanReport -v .
+
+# Measure the join planner against each forced Table 1 method across a
+# small/large-eps regime and a small/large-store regime; write the report
+# to BENCH_5.json.
+bench-join:
+	TSQ_BENCH_OUT=$(CURDIR)/BENCH_5.json $(GO) test -run TestJoinReport -timeout 20m -v .
 
 vet:
 	$(GO) vet ./...

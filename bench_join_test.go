@@ -1,0 +1,177 @@
+// Join-planner benchmarks: the planned join executor against each forced
+// method across the two regime axes the paper's Table 1 flips on — eps
+// selectivity and store size.
+//
+// Two entry points share the workload:
+//
+//   - BenchmarkPlannedJoin — standard go-bench surface, exercised once
+//     per CI run (-benchtime=1x) so it cannot rot;
+//   - TestJoinReport — gated by TSQ_BENCH_OUT; measures joins/sec per
+//     strategy and regime and writes the JSON report `make bench-join`
+//     publishes as BENCH_5.json.
+package tsq_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	tsq "repro"
+)
+
+// The two regime axes of the paper's Table 1 flip: eps selectivity and
+// store size. On the small store the quadratic scan's cheap pair checks
+// beat the per-probe index overhead at any eps; the large store at a
+// selective eps flips to the index-nested-loop.
+const (
+	joinBenchLength  = 64
+	joinBenchSmall   = 160
+	joinBenchLarge   = 3000
+	joinBenchEpsLow  = 0.9
+	joinBenchEpsHigh = 45
+)
+
+func joinBenchDB(tb testing.TB, series, shards int) *tsq.DB {
+	tb.Helper()
+	db, err := tsq.Open(tsq.Options{Length: joinBenchLength, Shards: shards})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.InsertBulk(tsq.RandomWalks(series, joinBenchLength, 1997)); err != nil {
+		tb.Fatal(err)
+	}
+	return db
+}
+
+func joinBenchStrategy(name string) tsq.Strategy {
+	switch name {
+	case "auto":
+		return tsq.UseAuto
+	case "index":
+		return tsq.UseIndex
+	case "scan":
+		return tsq.UseScan
+	default:
+		return tsq.UseScanTime
+	}
+}
+
+func BenchmarkPlannedJoin(b *testing.B) {
+	db := joinBenchDB(b, joinBenchSmall, 4)
+	tr := tsq.MovingAverage(10)
+	for _, regime := range []struct {
+		name string
+		eps  float64
+	}{{"low", joinBenchEpsLow}, {"high", joinBenchEpsHigh}} {
+		for _, strategy := range []string{"auto", "index", "scan", "scannaive"} {
+			s := joinBenchStrategy(strategy)
+			b.Run(regime.name+"-"+strategy, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := db.SelfJoinPlanned(regime.eps, tr, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// joinPoint is one row of BENCH_5.json: a (store, eps) regime measured
+// under one strategy.
+type joinPoint struct {
+	Store    string  `json:"store"`
+	Series   int     `json:"series"`
+	Regime   string  `json:"regime"`
+	Eps      float64 `json:"eps"`
+	Strategy string  `json:"strategy"`
+	Joins    int     `json:"joins"`
+	Seconds  float64 `json:"seconds"`
+	JoinsPS  float64 `json:"joins_per_sec"`
+	Pairs    int     `json:"pairs"`
+	// Chosen is the Table 1 method the planner resolved to (auto rows
+	// only).
+	Chosen string `json:"chosen,omitempty"`
+}
+
+func measureJoin(tb testing.TB, db *tsq.DB, store string, series int, regime string, eps float64, strategy string, joins int) joinPoint {
+	s := joinBenchStrategy(strategy)
+	best := joinPoint{Store: store, Series: series, Regime: regime, Eps: eps, Strategy: strategy, Joins: joins}
+	tr := tsq.MovingAverage(10)
+	for trial := 0; trial < 3; trial++ {
+		start := time.Now()
+		for i := 0; i < joins; i++ {
+			pairs, _, err := db.SelfJoinPlanned(eps, tr, s)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			best.Pairs = len(pairs)
+		}
+		elapsed := time.Since(start).Seconds()
+		if jps := float64(joins) / elapsed; jps > best.JoinsPS {
+			best.JoinsPS = jps
+			best.Seconds = elapsed
+		}
+	}
+	if strategy == "auto" {
+		out, err := db.Query(fmt.Sprintf("EXPLAIN SELFJOIN EPS %g TRANSFORM mavg(10) USING AUTO", eps))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		best.Chosen = out.Explain.Method
+	}
+	return best
+}
+
+// TestJoinReport writes the join-planner-vs-forced-method report to the
+// path in TSQ_BENCH_OUT (skipped when unset — this is a measurement, not
+// a correctness test; `make bench-join` drives it).
+func TestJoinReport(t *testing.T) {
+	out := os.Getenv("TSQ_BENCH_OUT")
+	if out == "" {
+		t.Skip("TSQ_BENCH_OUT not set; run via `make bench-join`")
+	}
+	report := struct {
+		Benchmark string      `json:"benchmark"`
+		Length    int         `json:"length"`
+		Shards    int         `json:"shards"`
+		Rows      []joinPoint `json:"planner"`
+	}{
+		Benchmark: "join planner vs forced Table 1 methods across eps and store-size regimes",
+		Length:    joinBenchLength,
+		Shards:    4,
+	}
+	for _, store := range []struct {
+		name   string
+		series int
+		joins  int
+	}{{"small", joinBenchSmall, 12}, {"large", joinBenchLarge, 1}} {
+		db := joinBenchDB(t, store.series, 4)
+		// Warm the join calibrator before measuring auto.
+		for _, eps := range []float64{joinBenchEpsLow, joinBenchEpsHigh} {
+			for i := 0; i < 3; i++ {
+				if _, _, err := db.SelfJoinPlanned(eps, tsq.MovingAverage(10), tsq.UseAuto); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for _, regime := range []struct {
+			name string
+			eps  float64
+		}{{"low", joinBenchEpsLow}, {"high", joinBenchEpsHigh}} {
+			for _, strategy := range []string{"index", "scan", "scannaive", "auto"} {
+				p := measureJoin(t, db, store.name, store.series, regime.name, regime.eps, strategy, store.joins)
+				t.Logf("%s/%s/%s: %.2f joins/sec, %d pairs %s", p.Store, p.Regime, p.Strategy, p.JoinsPS, p.Pairs, p.Chosen)
+				report.Rows = append(report.Rows, p)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

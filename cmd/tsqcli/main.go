@@ -1,9 +1,11 @@
 // Command tsqcli executes statements of the tsq query language, either
 // against a CSV loaded into an embedded engine or — with -remote —
 // against a running tsqd server, from -query or interactively from
-// standard input (one statement per line). Two subcommands drive the
-// streaming subsystem against a remote server: `append` slides series
-// windows forward, `watch` follows a standing query's enter/leave events.
+// standard input (one statement per line). Subcommands against a remote
+// server: `append` slides series windows forward, `watch` follows a
+// standing query's enter/leave events, and `stats` prints the server's
+// counters (`stats -plans` adds the recent executed-plan ring with
+// estimated-vs-actual cost).
 //
 // Usage:
 //
@@ -21,6 +23,7 @@
 //	tsqcli -remote http://localhost:8080 append -ticks ticks.csv -rate 500   # paced soak replay
 //	tsqcli -remote http://localhost:8080 watch -kind range -series W0007 -eps 2 -transform "mavg(20)"
 //	tsqcli -remote http://localhost:8080 watch -kind nn -series W0007 -k 5
+//	tsqcli -remote http://localhost:8080 stats -plans
 //
 // The query language:
 //
@@ -28,7 +31,8 @@
 //	EXPLAIN RANGE ...   (any statement; prints the plan + estimated vs actual cost)
 //	RANGE  VALUES (v1, v2, ...) EPS e ...
 //	NN     SERIES 'name' K k [TRANSFORM t] [USING ...]
-//	SELFJOIN EPS e [TRANSFORM t] [METHOD a|b|c|d]
+//	SELFJOIN EPS e [TRANSFORM t] [METHOD a|b|c|d | USING ...]
+//	JOIN   EPS e [LEFT t] [RIGHT t] [USING ...]
 //
 // with transformations identity(), mavg(l), wmavg(w...), reverse(),
 // scale(c), shift(c), warp(m), composed left-to-right with '|'.
@@ -67,8 +71,10 @@ func main() {
 			err = runAppend(*remote, args[1:])
 		case "watch":
 			err = runWatch(*remote, args[1:])
+		case "stats":
+			err = runStats(*remote, args[1:])
 		default:
-			err = fmt.Errorf("unknown subcommand %q (want append or watch)", args[0])
+			err = fmt.Errorf("unknown subcommand %q (want append, watch, or stats)", args[0])
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tsqcli:", err)
@@ -170,6 +176,67 @@ func runAppend(remote string, args []string) error {
 		return err
 	}
 	fmt.Printf("appended %d point(s) to %s\n", len(values), name)
+	return nil
+}
+
+// runStats prints a tsqd server's cumulative counters; -plans adds the
+// engine's recent executed-plan ring with estimated-vs-actual cost, so
+// planner drift and mispredictions are visible from the command line.
+func runStats(remote string, args []string) error {
+	if remote == "" {
+		return fmt.Errorf("stats requires -remote")
+	}
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	plans := fs.Bool("plans", false, "print the recent executed plans (est vs actual)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := server.NewClient(remote)
+	var (
+		st  *server.StatsResponse
+		err error
+	)
+	if *plans {
+		st, err = client.StatsWithPlans()
+	} else {
+		st, err = client.Stats()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("series %d (length %d, %d shard(s)), uptime %.0fs\n",
+		st.Series, st.Length, st.Shards, st.UptimeSeconds)
+	fmt.Printf("queries %d, writes %d, appends %d, monitors %d\n",
+		st.Queries, st.Writes, st.Appends, st.Monitors)
+	fmt.Printf("cache %d/%d entries, %d hits / %d misses\n",
+		st.CacheLen, st.CacheCap, st.CacheHits, st.CacheMisses)
+	fmt.Printf("cost: %d node accesses, %d pages, %d verified, %.1f ms\n",
+		st.NodeAccesses, st.PageReads, st.Candidates, st.ElapsedUS/1000)
+	if *plans {
+		if len(st.Plans) == 0 {
+			fmt.Println("no executed plans recorded yet")
+			return nil
+		}
+		fmt.Printf("last %d executed plan(s):\n", len(st.Plans))
+		for _, p := range st.Plans {
+			method := ""
+			if p.Method != "" {
+				method = " method " + p.Method
+			}
+			forced := ""
+			if p.Forced {
+				forced = " (forced)"
+			}
+			drift := "-"
+			if p.EstCandidates > 0 {
+				drift = fmt.Sprintf("%.2fx", float64(p.ActualCandidates)/p.EstCandidates)
+			}
+			fmt.Printf("  #%-4d %-8s via %-8s%s%s  est %.1f cand (cost %.1f) -> actual %d cand, %d nodes, %d results, %.2f ms, drift %s\n",
+				p.Seq, p.Kind, p.Strategy, method, forced,
+				p.EstCandidates, p.EstCost, p.ActualCandidates, p.ActualNodeAccesses,
+				p.Results, p.ElapsedUS/1000, drift)
+		}
+	}
 	return nil
 }
 
@@ -305,8 +372,12 @@ func printExplain(e *tsq.ExplainInfo) {
 	if e.Forced {
 		forced = " (forced)"
 	}
-	fmt.Printf("plan: %s via %s%s over %d series, %d shard(s)\n",
-		e.Kind, e.Strategy, forced, e.Series, len(e.Shards))
+	method := ""
+	if e.Method != "" {
+		method = fmt.Sprintf(" (Table 1 method %s)", e.Method)
+	}
+	fmt.Printf("plan: %s via %s%s%s over %d series, %d shard(s)\n",
+		e.Kind, e.Strategy, method, forced, e.Series, len(e.Shards))
 	fmt.Printf("  reason: %s\n", e.Reason)
 	if e.Transform != "" {
 		fmt.Printf("  transform: %s\n", e.Transform)

@@ -89,8 +89,11 @@ type DB struct {
 	// refreshEvery is the resolved spectrum-refresh cadence (see
 	// Options.SpectrumRefreshEvery).
 	refreshEvery int
-	// tracker feeds measured selectivity back to the query planner.
+	// tracker feeds measured selectivity back to the query planner;
+	// history keeps the recent executed plans for est-vs-actual
+	// diagnostics.
 	tracker *plan.Tracker
+	history *plan.History
 }
 
 // NewDB creates an empty DB for series of the given length.
@@ -125,6 +128,7 @@ func NewDB(length int, opts Options) (*DB, error) {
 		perm:    relation.EnergyOrder(length),
 		streams: make(map[int64]*streamState),
 		tracker: plan.NewTracker(),
+		history: plan.NewHistory(0),
 	}
 	db.refreshEvery = opts.SpectrumRefreshEvery
 	if db.refreshEvery <= 0 {

@@ -72,7 +72,23 @@ type Engine interface {
 	ExecRange(q RangeQuery, pl *plan.Plan) ([]Result, ExecStats, error)
 	PlanNN(q NNQuery, want plan.Strategy) (*plan.Plan, error)
 	ExecNN(q NNQuery, pl *plan.Plan) ([]Result, ExecStats, error)
+	// PlanJoin/ExecJoin are the planned all-pairs path: the planner prices
+	// the paper's four Table 1 join methods (store cardinality, sampled
+	// eps selectivity against the transformed store extent, measured join
+	// feedback) and the execution fans the chosen method out with
+	// per-shard provenance. Planned self joins report each unordered pair
+	// once (A < B); two-sided joins report ordered pairs. The
+	// method-pinned SelfJoin below keeps the paper's exact Table 1
+	// accounting instead. JoinPrefilter builds the dependency geometry the
+	// server's cache uses to invalidate join results selectively.
+	PlanJoin(q JoinQuery, want plan.Strategy) (*plan.Plan, error)
+	ExecJoin(q JoinQuery, pl *plan.Plan) ([]JoinPair, ExecStats, error)
+	JoinPrefilter(q JoinQuery) (*JoinPrefilter, error)
 	PlannerStats() plan.Snapshot
+	// PlanHistory returns the recent executed plans (oldest first): every
+	// planned range/NN/join execution records its estimated-vs-actual
+	// cost, so drift and mispredictions stay observable behind /stats.
+	PlanHistory() []plan.Record
 
 	// Queries. Result orderings are deterministic: (distance, ID) for
 	// range/NN/subsequence answers, (A, B) for join pairs. The Range*/NN*

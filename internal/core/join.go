@@ -5,6 +5,8 @@ import (
 	"math"
 
 	"repro/internal/feature"
+	"repro/internal/geom"
+	"repro/internal/plan"
 	"repro/internal/stats"
 	"repro/internal/transform"
 )
@@ -63,11 +65,73 @@ func orderedPair(a, b int64, dist float64) JoinPair {
 	return JoinPair{A: a, B: b, Dist: dist}
 }
 
+// JoinQuery describes one planned all-pairs query. A self join (TwoSided
+// false, Left == Right) finds every unordered pair {x, y} of distinct
+// stored series with D(T(nf(x)), T(nf(y))) <= Eps, reported once with
+// A < B; the generalized two-sided join (Section 4) finds every ordered
+// pair (x, y), x != y, with D(Left(nf(x)), Right(nf(y))) <= Eps.
+//
+// Planned joins are the strategy-free statement of the paper's Table 1
+// experiment: every execution strategy — the nested scans and the
+// index-nested-loop — answers a JoinQuery identically, so the planner
+// chooses among them on cost alone. The method-pinned SelfJoin keeps the
+// paper's exact per-method accounting (index methods report pairs twice,
+// method c ignores the transformation).
+type JoinQuery struct {
+	Eps         float64
+	Left, Right transform.T
+	TwoSided    bool
+}
+
+// joinPlan is the query-side preprocessing of a planned join: both sides'
+// affine index actions and energy-permuted spectrum coefficients. Like
+// rangePlan it depends only on the shared schema and length, so a sharded
+// execution computes one and reuses it across every shard.
+//
+// mapErr records a transformation with no affine action in this feature
+// space (e.g. a translation in S_pol): the scans verify in the frequency
+// domain and never need the maps, so such joins stay answerable — the
+// planner just pins them to a scan and the index paths refuse.
+type joinPlan struct {
+	q      JoinQuery
+	lm, rm transform.AffineMap
+	mapErr error
+	la, lb []complex128
+	ra, rb []complex128
+}
+
+// planJoin validates q and builds its execution plan.
+func (db *DB) planJoin(q JoinQuery) (*joinPlan, error) {
+	if err := db.validateJoin(q.Eps, q.Left); err != nil {
+		return nil, err
+	}
+	if err := db.validateJoin(q.Eps, q.Right); err != nil {
+		return nil, err
+	}
+	jp := &joinPlan{q: q}
+	jp.la, jp.lb = db.permuteTransform(q.Left)
+	jp.ra, jp.rb = db.permuteTransform(q.Right)
+	var err error
+	if jp.lm, err = db.schema.Map(q.Left); err != nil {
+		jp.mapErr = err
+	} else if jp.rm, err = db.schema.Map(q.Right); err != nil {
+		jp.mapErr = err
+	}
+	return jp, nil
+}
+
+// selfJoinQuery lifts a method-pinned self join's parameters into the
+// planned vocabulary.
+func selfJoinQuery(eps float64, t transform.T) JoinQuery {
+	return JoinQuery{Eps: eps, Left: t, Right: t}
+}
+
 // SelfJoin finds all pairs (x, y) of distinct stored series with
 // D(T(nf(x)), T(nf(y))) <= eps, using the given Table 1 method. Scan
 // methods (a, b) report each unordered pair once; index methods (c, d)
 // report each pair twice — the paper's Table 1 counts preserved exactly.
-// Method (c) ignores the transformation by construction.
+// Method (c) ignores the transformation by construction. For cost-based
+// method selection use PlanJoin/ExecJoin instead.
 func (db *DB) SelfJoin(eps float64, t transform.T, method JoinMethod) ([]JoinPair, ExecStats, error) {
 	switch method {
 	case JoinScanNaive:
@@ -89,56 +153,13 @@ func (db *DB) SelfJoin(eps float64, t transform.T, method JoinMethod) ([]JoinPai
 // nested-loop cost profile that made method (a) cost 20 minutes in the
 // paper.
 func (db *DB) selfJoinScan(eps float64, t transform.T, earlyAbandon bool) ([]JoinPair, ExecStats, error) {
-	var st ExecStats
-	if err := db.validateJoin(eps, t); err != nil {
-		return nil, st, err
+	jp, err := db.planJoin(selfJoinQuery(eps, t))
+	if err != nil {
+		return nil, ExecStats{}, err
 	}
-	timer := stats.StartTimer()
-	reads0 := db.pageReads()
-	a, b := db.permuteTransform(t)
-	limit := eps * eps
-
-	var out []JoinPair
-	n := len(db.ids)
-	for i := 0; i < n; i++ {
-		X, err := db.spectrum(db.ids[i])
-		if err != nil {
-			return nil, st, err
-		}
-		tx := make([]complex128, len(X))
-		for f := range X {
-			tx[f] = a[f]*X[f] + b[f]
-		}
-		for j := i + 1; j < n; j++ {
-			view, err := db.specViewOf(db.ids[j])
-			if err != nil {
-				return nil, st, err
-			}
-			st.Candidates++
-			var sum float64
-			terms := 0
-			abandoned := false
-			for f := range tx {
-				y := view.at(f)
-				d := tx[f] - (a[f]*y + b[f])
-				sum += real(d)*real(d) + imag(d)*imag(d)
-				terms++
-				if earlyAbandon && sum > limit {
-					abandoned = true
-					break
-				}
-			}
-			st.DistanceTerms += int64(terms)
-			if !abandoned && sum <= limit {
-				out = append(out, orderedPair(db.ids[i], db.ids[j], math.Sqrt(sum)))
-			}
-		}
-	}
-	sortPairs(out)
-	st.Results = len(out)
-	st.PageReads = db.pageReads() - reads0
-	st.Elapsed = timer.Elapsed()
-	return out, st, nil
+	return db.execJoinTimed(jp, func(st *ExecStats) ([]JoinPair, error) {
+		return db.joinScanInto(jp, earlyAbandon, st)
+	})
 }
 
 // selfJoinIndex implements methods (c) and (d): an index-nested-loop join.
@@ -147,57 +168,16 @@ func (db *DB) selfJoinScan(eps float64, t transform.T, earlyAbandon bool) ([]Joi
 // records. Pairs are emitted in both directions, and self-matches are
 // skipped.
 func (db *DB) selfJoinIndex(eps float64, t transform.T) ([]JoinPair, ExecStats, error) {
-	var st ExecStats
-	if err := db.validateJoin(eps, t); err != nil {
-		return nil, st, err
-	}
-	timer := stats.StartTimer()
-	reads0 := db.pageReads()
-
-	m, err := db.schema.Map(t)
+	jp, err := db.planJoin(selfJoinQuery(eps, t))
 	if err != nil {
-		return nil, st, err
+		return nil, ExecStats{}, err
 	}
-	a, b := db.permuteTransform(t)
-	limit := eps
-
-	var out []JoinPair
-	for _, qid := range db.ids {
-		qp := db.points[qid]
-		tq := qp
-		if !m.Identity() {
-			tq = m.ApplyPoint(qp)
-		}
-		QX, err := db.spectrum(qid)
-		if err != nil {
-			return nil, st, err
-		}
-		tQ := make([]complex128, len(QX))
-		for f := range QX {
-			tQ[f] = a[f]*QX[f] + b[f]
-		}
-		cands, searchStats := db.idx.Range(tq, eps, m, feature.MomentBounds{}, !db.opts.DisablePartialPrune)
-		st.NodeAccesses += searchStats.NodesVisited
-		for _, c := range cands {
-			if c.ID == qid {
-				continue
-			}
-			st.Candidates++
-			within, dist, terms, err := db.viewTransformedWithin(c.ID, a, b, tQ, limit)
-			if err != nil {
-				return nil, st, err
-			}
-			st.DistanceTerms += int64(terms)
-			if within {
-				out = append(out, JoinPair{A: qid, B: c.ID, Dist: dist})
-			}
-		}
+	if jp.mapErr != nil {
+		return nil, ExecStats{}, jp.mapErr
 	}
-	sortPairs(out)
-	st.Results = len(out)
-	st.PageReads = db.pageReads() - reads0
-	st.Elapsed = timer.Elapsed()
-	return out, st, nil
+	return db.execJoinTimed(jp, func(st *ExecStats) ([]JoinPair, error) {
+		return db.joinIndexInto(jp, false, st)
+	})
 }
 
 // JoinTwoSided finds all ordered pairs (x, y), x != y, with
@@ -207,64 +187,160 @@ func (db *DB) selfJoinIndex(eps float64, t transform.T) ([]JoinPair, ExecStats, 
 // Example 2.2's "stocks moving opposite to each other". The index side
 // evaluates L on the fly; the probe side applies R to each query point.
 func (db *DB) JoinTwoSided(eps float64, left, right transform.T) ([]JoinPair, ExecStats, error) {
+	jp, err := db.planJoin(JoinQuery{Eps: eps, Left: left, Right: right, TwoSided: true})
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	if jp.mapErr != nil {
+		return nil, ExecStats{}, jp.mapErr
+	}
+	return db.execJoinTimed(jp, func(st *ExecStats) ([]JoinPair, error) {
+		return db.joinIndexInto(jp, false, st)
+	})
+}
+
+// execJoinTimed wraps a join body with the shared timing, sorting, and
+// page-read accounting.
+func (db *DB) execJoinTimed(jp *joinPlan, run func(*ExecStats) ([]JoinPair, error)) ([]JoinPair, ExecStats, error) {
 	var st ExecStats
-	if err := db.validateJoin(eps, left); err != nil {
-		return nil, st, err
-	}
-	if err := db.validateJoin(eps, right); err != nil {
-		return nil, st, err
-	}
 	timer := stats.StartTimer()
 	reads0 := db.pageReads()
-
-	lm, err := db.schema.Map(left)
+	out, err := run(&st)
 	if err != nil {
 		return nil, st, err
-	}
-	rm, err := db.schema.Map(right)
-	if err != nil {
-		return nil, st, err
-	}
-	la, lb := db.permuteTransform(left)
-	ra, rb := db.permuteTransform(right)
-
-	var out []JoinPair
-	for _, qid := range db.ids {
-		qp := db.points[qid]
-		tq := qp
-		if !rm.Identity() {
-			tq = rm.ApplyPoint(qp)
-		}
-		QX, err := db.spectrum(qid)
-		if err != nil {
-			return nil, st, err
-		}
-		tQ := make([]complex128, len(QX))
-		for f := range QX {
-			tQ[f] = ra[f]*QX[f] + rb[f]
-		}
-		cands, searchStats := db.idx.Range(tq, eps, lm, feature.MomentBounds{}, !db.opts.DisablePartialPrune)
-		st.NodeAccesses += searchStats.NodesVisited
-		for _, c := range cands {
-			if c.ID == qid {
-				continue
-			}
-			st.Candidates++
-			within, dist, terms, err := db.viewTransformedWithin(c.ID, la, lb, tQ, eps)
-			if err != nil {
-				return nil, st, err
-			}
-			st.DistanceTerms += int64(terms)
-			if within {
-				out = append(out, JoinPair{A: c.ID, B: qid, Dist: dist})
-			}
-		}
 	}
 	sortPairs(out)
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
 	st.Elapsed = timer.Elapsed()
 	return out, st, nil
+}
+
+// joinScanInto runs the nested scan over the frequency-domain relation:
+// every unordered pair of stored series is compared once, with (method b)
+// or without (method a) early abandoning. Self joins emit the pair's
+// single D(T x, T y) comparison; two-sided joins verify both orientations
+// — D(L x_i, R x_j) for pair (i, j) and D(L x_j, R x_i) for (j, i) — so
+// the scan answers exactly what the index-nested-loop answers.
+func (db *DB) joinScanInto(jp *joinPlan, earlyAbandon bool, st *ExecStats) ([]JoinPair, error) {
+	limit := jp.q.Eps * jp.q.Eps
+	n := len(db.ids)
+	var out []JoinPair
+	for i := 0; i < n; i++ {
+		X, err := db.spectrum(db.ids[i])
+		if err != nil {
+			return nil, err
+		}
+		lx := make([]complex128, len(X))
+		for f := range X {
+			lx[f] = jp.la[f]*X[f] + jp.lb[f]
+		}
+		var rx []complex128
+		if jp.q.TwoSided {
+			rx = make([]complex128, len(X))
+			for f := range X {
+				rx[f] = jp.ra[f]*X[f] + jp.rb[f]
+			}
+		}
+		for j := i + 1; j < n; j++ {
+			view, err := db.specViewOf(db.ids[j])
+			if err != nil {
+				return nil, err
+			}
+			if !jp.q.TwoSided {
+				// One comparison per unordered pair: D(T x_i, T x_j).
+				st.Candidates++
+				sum, terms, ok := scanPairDist(lx, jp.la, jp.lb, view, limit, earlyAbandon)
+				st.DistanceTerms += int64(terms)
+				if ok && sum <= limit {
+					out = append(out, orderedPair(db.ids[i], db.ids[j], math.Sqrt(sum)))
+				}
+				continue
+			}
+			// Ordered pair (i, j): D(L x_i, R x_j).
+			st.Candidates++
+			sum, terms, ok := scanPairDist(lx, jp.ra, jp.rb, view, limit, earlyAbandon)
+			st.DistanceTerms += int64(terms)
+			if ok && sum <= limit {
+				out = append(out, JoinPair{A: db.ids[i], B: db.ids[j], Dist: math.Sqrt(sum)})
+			}
+			// Ordered pair (j, i): D(L x_j, R x_i).
+			st.Candidates++
+			sum, terms, ok = scanPairDist(rx, jp.la, jp.lb, view, limit, earlyAbandon)
+			st.DistanceTerms += int64(terms)
+			if ok && sum <= limit {
+				out = append(out, JoinPair{A: db.ids[j], B: db.ids[i], Dist: math.Sqrt(sum)})
+			}
+		}
+	}
+	return out, nil
+}
+
+// scanPairDist accumulates the squared distance between a precomputed
+// transformed outer spectrum and the inner record's coefficients mapped
+// through (a, b), abandoning past limit when earlyAbandon is set. ok is
+// false only on abandonment, so sum <= limit decides membership exactly
+// as the index verifier does.
+func scanPairDist(outer, a, b []complex128, view specView, limit float64, earlyAbandon bool) (sum float64, terms int, ok bool) {
+	for f := range outer {
+		y := view.at(f)
+		d := outer[f] - (a[f]*y + b[f])
+		sum += real(d)*real(d) + imag(d)*imag(d)
+		terms++
+		if earlyAbandon && sum > limit {
+			return sum, terms, false
+		}
+	}
+	return sum, terms, true
+}
+
+// joinIndexInto runs the index-nested-loop join: every stored series, its
+// right-transformed feature point posed to the left-transformed index as
+// a range query, candidates verified against full records. selfOnce emits
+// each unordered pair exactly once — from its lower-ID probe, skipping
+// higher-to-lower candidates before verification, which also halves the
+// verification work versus the paper's twice-reporting methods c/d.
+func (db *DB) joinIndexInto(jp *joinPlan, selfOnce bool, st *ExecStats) ([]JoinPair, error) {
+	var out []JoinPair
+	for _, qid := range db.ids {
+		qp := db.points[qid]
+		tq := qp
+		if !jp.rm.Identity() {
+			tq = jp.rm.ApplyPoint(qp)
+		}
+		QX, err := db.spectrum(qid)
+		if err != nil {
+			return nil, err
+		}
+		tQ := make([]complex128, len(QX))
+		for f := range QX {
+			tQ[f] = jp.ra[f]*QX[f] + jp.rb[f]
+		}
+		cands, searchStats := db.idx.Range(tq, jp.q.Eps, jp.lm, feature.MomentBounds{}, !db.opts.DisablePartialPrune)
+		st.NodeAccesses += searchStats.NodesVisited
+		for _, c := range cands {
+			if c.ID == qid {
+				continue
+			}
+			if selfOnce && c.ID < qid {
+				continue
+			}
+			st.Candidates++
+			within, dist, terms, err := db.viewTransformedWithin(c.ID, jp.la, jp.lb, tQ, jp.q.Eps)
+			if err != nil {
+				return nil, err
+			}
+			st.DistanceTerms += int64(terms)
+			if within {
+				if jp.q.TwoSided {
+					out = append(out, JoinPair{A: c.ID, B: qid, Dist: dist})
+				} else {
+					out = append(out, JoinPair{A: qid, B: c.ID, Dist: dist})
+				}
+			}
+		}
+	}
+	return out, nil
 }
 
 func (db *DB) validateJoin(eps float64, t transform.T) error {
@@ -275,4 +351,291 @@ func (db *DB) validateJoin(eps float64, t transform.T) error {
 		return fmt.Errorf("core: transformation %s spans %d coefficients, DB length is %d", t, t.Dims(), db.length)
 	}
 	return nil
+}
+
+// JoinPrefilter is the dependency geometry of a cached join answer: the
+// join's transformed store extents at caching time, against which a
+// committed write's feature point is tested. A new or moved series could
+// change the join only if some stored series lies within eps of it in the
+// full spectra, which by Lemma 1 requires the stored side's transformed
+// extent to intersect the eps search rectangle around the written point —
+// a miss soundly proves the cached answer unchanged. Retained points are
+// absorbed into the extents, so two consecutive far-away writes that are
+// close to each other still evict.
+//
+// Hit mutates the extents and must be externally serialized (the server
+// calls it under its cache-invalidation lock).
+type JoinPrefilter struct {
+	schema   feature.Schema
+	angular  []bool
+	lm, rm   transform.AffineMap
+	eps      float64
+	twoSided bool
+	lB, rB   geom.Rect // left-/right-transformed store extents
+}
+
+func newJoinPrefilter(schema feature.Schema, jp *joinPlan, bounds geom.Rect) *JoinPrefilter {
+	return &JoinPrefilter{
+		schema:   schema,
+		angular:  schema.Angular(),
+		lm:       jp.lm,
+		rm:       jp.rm,
+		eps:      jp.q.Eps,
+		twoSided: jp.q.TwoSided,
+		lB:       applyBounds(bounds, jp.lm).Clone(),
+		rB:       applyBounds(bounds, jp.rm).Clone(),
+	}
+}
+
+// JoinPrefilter builds the cached-join invalidation geometry for q.
+func (db *DB) JoinPrefilter(q JoinQuery) (*JoinPrefilter, error) {
+	jp, err := db.planJoin(q)
+	if err != nil {
+		return nil, err
+	}
+	if jp.mapErr != nil {
+		return nil, jp.mapErr
+	}
+	return newJoinPrefilter(db.schema, jp, db.idx.Tree().Bounds()), nil
+}
+
+// JoinPrefilter builds the cached-join invalidation geometry across all
+// shards (the union of the shard extents).
+func (s *Sharded) JoinPrefilter(q JoinQuery) (*JoinPrefilter, error) {
+	jp, err := s.shards[0].planJoin(q)
+	if err != nil {
+		return nil, err
+	}
+	if jp.mapErr != nil {
+		return nil, jp.mapErr
+	}
+	bounds, _ := s.featureBounds()
+	return newJoinPrefilter(s.Schema(), jp, bounds), nil
+}
+
+// Hit reports whether a series committed at feature point pt could pair
+// with any series inside the tracked extents. On a miss the point is
+// absorbed into the extents — the written series is now part of the
+// store the cached answer must be defended against.
+func (p *JoinPrefilter) Hit(pt geom.Point) bool {
+	rp := pt
+	if !p.rm.Identity() {
+		rp = p.rm.ApplyPoint(pt)
+	}
+	// The written series on the probe (right) side against stored
+	// left-side points.
+	if p.rectHit(rp, p.lB) {
+		return true
+	}
+	lp := rp
+	if p.twoSided {
+		lp = pt
+		if !p.lm.Identity() {
+			lp = p.lm.ApplyPoint(pt)
+		}
+		// And on the left side against stored right-side points.
+		if p.rectHit(lp, p.rB) {
+			return true
+		}
+	}
+	absorb(&p.lB, lp)
+	absorb(&p.rB, rp)
+	return false
+}
+
+func (p *JoinPrefilter) rectHit(q geom.Point, bounds geom.Rect) bool {
+	if bounds.Dims() == 0 {
+		return false // empty store: nothing to pair with
+	}
+	rect := p.schema.SearchRect(q, p.eps, feature.MomentBounds{})
+	return geom.IntersectsMixed(rect, bounds, p.angular)
+}
+
+// absorb grows a (possibly empty) extent to cover p.
+func absorb(b *geom.Rect, p geom.Point) {
+	if b.Dims() == 0 {
+		*b = geom.Rect{Lo: p.Clone(), Hi: p.Clone()}
+		return
+	}
+	b.UnionInPlace(geom.PointRect(p))
+}
+
+// applyBounds maps a store's feature-space MBR through an affine index
+// action (the zero rect of an empty store passes through).
+func applyBounds(b geom.Rect, m transform.AffineMap) geom.Rect {
+	if b.Dims() == 0 || m.Identity() {
+		return b
+	}
+	return m.ApplyRect(b)
+}
+
+// joinSampleCap bounds the stored series sampled as probes when
+// estimating a join's per-probe selectivity.
+const joinSampleCap = 8
+
+// joinSelectivity estimates the average fraction of stored feature points
+// falling in one probe's eps search rectangle: up to joinSampleCap stored
+// series, evenly spaced over the sorted ID list, become probes; each is
+// transformed through the right-side action and priced with the planner's
+// geometric model against the left-transformed store extent — the same
+// rectangle-vs-extent comparison the index traversal performs.
+func joinSelectivity(ids []int64, point func(int64) (geom.Point, bool), schema feature.Schema, jp *joinPlan, bounds geom.Rect, series int) float64 {
+	if len(ids) == 0 {
+		return 0
+	}
+	step := len(ids) / joinSampleCap
+	if step < 1 {
+		step = 1
+	}
+	sum, cnt := 0.0, 0
+	angular := schema.Angular()
+	for i := 0; i < len(ids) && cnt < joinSampleCap; i += step {
+		p, ok := point(ids[i])
+		if !ok {
+			continue
+		}
+		tq := p
+		if !jp.rm.Identity() {
+			tq = jp.rm.ApplyPoint(p)
+		}
+		sum += plan.Selectivity(plan.Input{
+			Series:  series,
+			Rect:    schema.SearchRect(tq, jp.q.Eps, feature.MomentBounds{}),
+			Bounds:  bounds,
+			Angular: angular,
+		})
+		cnt++
+	}
+	if cnt == 0 {
+		return 1
+	}
+	return sum / float64(cnt)
+}
+
+// buildJoinPlan resolves the join method for a validated planned join.
+// want plan.Auto lets the planner choose among the Table 1 methods on
+// cost; anything else forces the corresponding mechanism (answers are
+// identical under every choice — canonical once-per-pair self joins,
+// ordered-pair two-sided joins).
+func buildJoinPlan(q JoinQuery, jp *joinPlan, want plan.Strategy, in plan.JoinInput, tr *plan.Tracker, shards []int) *plan.Plan {
+	choice, est, reason := plan.ChooseJoin(in, tr)
+	kind, tstr := "selfjoin", q.Left.String()
+	if q.TwoSided {
+		kind, tstr = "join", q.Left.String()+" / "+q.Right.String()
+	}
+	pl := &plan.Plan{
+		Kind:      kind,
+		Transform: tstr,
+		Eps:       q.Eps,
+		Strategy:  choice,
+		Method:    plan.JoinMethodLetter(choice, in.Identity),
+		Reason:    reason,
+		Shards:    shards,
+		Est:       est,
+		Internal:  jp,
+	}
+	if want != plan.Auto {
+		pl.Forced = true
+		pl.Strategy = want
+		pl.Method = plan.JoinMethodLetter(want, in.Identity)
+		pl.Reason = fmt.Sprintf("forced %v (method %s) by caller; planner would pick %v (%s)", want, pl.Method, choice, reason)
+	}
+	return pl
+}
+
+// scanOnlyJoinPlan builds the plan of a join whose transformation has no
+// affine index action: the scans still answer it, so the planner pins
+// method b (or the forced scan) and only a forced index is an error.
+func scanOnlyJoinPlan(q JoinQuery, jp *joinPlan, want plan.Strategy, series int, shards []int) (*plan.Plan, error) {
+	if want == plan.Index {
+		return nil, jp.mapErr
+	}
+	kind, tstr := "selfjoin", q.Left.String()
+	if q.TwoSided {
+		kind, tstr = "join", q.Left.String()+" / "+q.Right.String()
+	}
+	pl := &plan.Plan{
+		Kind:      kind,
+		Transform: tstr,
+		Eps:       q.Eps,
+		Strategy:  plan.ScanFreq,
+		Method:    "b",
+		Reason:    fmt.Sprintf("scan method b: index unavailable (%v)", jp.mapErr),
+		Shards:    shards,
+		Est:       plan.Estimate{Series: series},
+		Internal:  jp,
+	}
+	if want != plan.Auto {
+		pl.Forced = true
+		pl.Strategy = want
+		pl.Method = plan.JoinMethodLetter(want, false)
+	}
+	return pl, nil
+}
+
+// PlanJoin validates an all-pairs query and builds its execution plan,
+// pricing the paper's Table 1 methods from store cardinality, sampled eps
+// selectivity against the transformed store extent, and measured join
+// feedback; want plan.Auto defers the method choice to the planner.
+func (db *DB) PlanJoin(q JoinQuery, want plan.Strategy) (*plan.Plan, error) {
+	jp, err := db.planJoin(q)
+	if err != nil {
+		return nil, err
+	}
+	if jp.mapErr != nil {
+		return scanOnlyJoinPlan(q, jp, want, db.Len(), plan.AllShards(1))
+	}
+	bounds := applyBounds(db.idx.Tree().Bounds(), jp.lm)
+	sel := joinSelectivity(db.IDs(), db.FeaturePoint, db.schema, jp, bounds, db.Len())
+	in := plan.JoinInput{
+		Series:      db.Len(),
+		Height:      db.idx.Tree().Height(),
+		LeafCap:     db.opts.RTree.MaxEntries,
+		Selectivity: sel,
+		TwoSided:    q.TwoSided,
+		Identity:    jp.lm.Identity() && jp.rm.Identity(),
+	}
+	return buildJoinPlan(q, jp, want, in, db.tracker, plan.AllShards(1)), nil
+}
+
+// joinPlanOf recovers the engine-side precomputation from a plan,
+// replanning when the plan came from elsewhere.
+func (db *DB) joinPlanOf(q JoinQuery, pl *plan.Plan) (*joinPlan, error) {
+	if jp, ok := pl.Internal.(*joinPlan); ok && jp != nil {
+		return jp, nil
+	}
+	return db.planJoin(q)
+}
+
+// ExecJoin executes a plan built by PlanJoin, feeding measured candidate
+// counts back to the join calibrator after indexed executions and
+// recording the executed plan in the store's history ring.
+func (db *DB) ExecJoin(q JoinQuery, pl *plan.Plan) ([]JoinPair, ExecStats, error) {
+	jp, err := db.joinPlanOf(q, pl)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	out, st, err := db.execJoinTimed(jp, func(st *ExecStats) ([]JoinPair, error) {
+		switch pl.Strategy {
+		case plan.Index:
+			if jp.mapErr != nil {
+				return nil, jp.mapErr
+			}
+			return db.joinIndexInto(jp, !jp.q.TwoSided, st)
+		case plan.ScanFreq:
+			return db.joinScanInto(jp, true, st)
+		case plan.ScanTime:
+			return db.joinScanInto(jp, false, st)
+		default:
+			return nil, fmt.Errorf("core: plan carries unresolved strategy %v", pl.Strategy)
+		}
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	if pl.Strategy == plan.Index {
+		db.tracker.ObserveJoin(pl.Est.Candidates, st.Candidates, st.NodeAccesses, db.Len())
+	}
+	db.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
+	return out, st, nil
 }

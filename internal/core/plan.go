@@ -66,10 +66,7 @@ func (db *DB) plannerInput(p *rangePlan) plan.Input {
 // transformation — the space the index traversal compares rectangles in.
 // The zero rect (empty store) passes through.
 func transformedBounds(b geom.Rect, p *rangePlan) geom.Rect {
-	if b.Dims() == 0 || p.m.Identity() {
-		return b
-	}
-	return p.m.ApplyRect(b)
+	return applyBounds(b, p.m)
 }
 
 // buildRangePlan resolves the strategy for a validated range query. want
@@ -157,6 +154,7 @@ func (db *DB) ExecRange(q RangeQuery, pl *plan.Plan) ([]Result, ExecStats, error
 	if feedRange(q, pl) {
 		db.tracker.ObserveRange(pl.Est.Candidates, st.Candidates, st.NodeAccesses, db.Len())
 	}
+	db.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
 	return out, st, nil
 }
 
@@ -233,6 +231,7 @@ func (db *DB) ExecNN(q NNQuery, pl *plan.Plan) ([]Result, ExecStats, error) {
 	if pl.Strategy == plan.Index {
 		db.tracker.ObserveNN(st.Candidates, st.NodeAccesses, db.Len())
 	}
+	db.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
 	return out, st, nil
 }
 
@@ -320,6 +319,7 @@ func (s *Sharded) ExecRange(q RangeQuery, pl *plan.Plan) ([]Result, ExecStats, e
 	if feedRange(q, pl) {
 		s.tracker.ObserveRange(pl.Est.Candidates, st.Candidates, st.NodeAccesses, s.Len())
 	}
+	s.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
 	return out, st, nil
 }
 
@@ -359,6 +359,75 @@ func (s *Sharded) ExecNN(q NNQuery, pl *plan.Plan) ([]Result, ExecStats, error) 
 	if pl.Strategy == plan.Index {
 		s.tracker.ObserveNN(st.Candidates, st.NodeAccesses, s.Len())
 	}
+	s.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
+	return out, st, nil
+}
+
+// PlanJoin plans an all-pairs query across the whole sharded store: one
+// plan (the preprocessing depends only on the shared schema and length),
+// priced against the union of the shards' transformed extents and the
+// store's measured join feedback.
+func (s *Sharded) PlanJoin(q JoinQuery, want plan.Strategy) (*plan.Plan, error) {
+	jp, err := s.shards[0].planJoin(q)
+	if err != nil {
+		return nil, err
+	}
+	if jp.mapErr != nil {
+		return scanOnlyJoinPlan(q, jp, want, s.Len(), plan.AllShards(len(s.shards)))
+	}
+	bounds, height := s.featureBounds()
+	bounds = applyBounds(bounds, jp.lm)
+	sel := joinSelectivity(s.IDs(), s.FeaturePoint, s.Schema(), jp, bounds, s.Len())
+	in := plan.JoinInput{
+		Series:      s.Len(),
+		Height:      height,
+		LeafCap:     s.shards[0].opts.RTree.MaxEntries,
+		Selectivity: sel,
+		TwoSided:    q.TwoSided,
+		Identity:    jp.lm.Identity() && jp.rm.Identity(),
+	}
+	return buildJoinPlan(q, jp, want, in, s.tracker, plan.AllShards(len(s.shards))), nil
+}
+
+// ExecJoin executes a join plan with the planned method fanned out across
+// all shards — index probes partitioned by owning shard, scans striding
+// workers over the pinned catalog — recording per-shard provenance in the
+// merged ExecStats and feeding measured candidates back to the join
+// calibrator.
+func (s *Sharded) ExecJoin(q JoinQuery, pl *plan.Plan) ([]JoinPair, ExecStats, error) {
+	jp, ok := pl.Internal.(*joinPlan)
+	if !ok || jp == nil {
+		var err error
+		jp, err = s.shards[0].planJoin(q)
+		if err != nil {
+			return nil, ExecStats{}, err
+		}
+	}
+	var (
+		out []JoinPair
+		st  ExecStats
+		err error
+	)
+	switch pl.Strategy {
+	case plan.Index:
+		if jp.mapErr != nil {
+			return nil, ExecStats{}, jp.mapErr
+		}
+		out, st, err = s.joinIndexFan(jp, !jp.q.TwoSided)
+	case plan.ScanFreq:
+		out, st, err = s.joinScanFan(jp, true)
+	case plan.ScanTime:
+		out, st, err = s.joinScanFan(jp, false)
+	default:
+		return nil, ExecStats{}, fmt.Errorf("core: plan carries unresolved strategy %v", pl.Strategy)
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	if pl.Strategy == plan.Index {
+		s.tracker.ObserveJoin(pl.Est.Candidates, st.Candidates, st.NodeAccesses, s.Len())
+	}
+	s.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
 	return out, st, nil
 }
 
@@ -367,3 +436,9 @@ func (db *DB) PlannerStats() plan.Snapshot { return db.tracker.Stats() }
 
 // PlannerStats exposes the sharded store's planner feedback.
 func (s *Sharded) PlannerStats() plan.Snapshot { return s.tracker.Stats() }
+
+// PlanHistory returns the store's recent executed plans, oldest first.
+func (db *DB) PlanHistory() []plan.Record { return db.history.Recent() }
+
+// PlanHistory returns the sharded store's recent executed plans.
+func (s *Sharded) PlanHistory() []plan.Record { return s.history.Recent() }

@@ -44,8 +44,11 @@ type Sharded struct {
 	locks  []sync.RWMutex // index-aligned with shards
 
 	// tracker feeds merged execution feedback to the query planner (the
-	// per-shard DB trackers stay cold: planning happens at this level).
+	// per-shard DB trackers stay cold: planning happens at this level);
+	// history keeps the recent executed plans for est-vs-actual
+	// diagnostics.
 	tracker *plan.Tracker
+	history *plan.History
 
 	// catalog: global ID space. Lock order is shard lock(s) first, then mu.
 	mu     sync.RWMutex
@@ -67,6 +70,7 @@ func NewSharded(length, n int, opts Options) (*Sharded, error) {
 		shards:  make([]*DB, n),
 		locks:   make([]sync.RWMutex, n),
 		tracker: plan.NewTracker(),
+		history: plan.NewHistory(0),
 		owner:   make(map[int64]int),
 		idPos:   make(map[int64]int),
 	}
@@ -605,10 +609,11 @@ func (s *Sharded) SubsequenceScan(q []float64, eps float64) ([]SubseqResult, Exe
 	return out, st, nil
 }
 
-// entry is one live series pinned for a cross-shard join: its global ID
-// and owning shard.
+// entry is one live series pinned for a cross-shard join: its global ID,
+// owning shard index, and that shard's store.
 type entry struct {
 	id int64
+	si int
 	sh *DB
 }
 
@@ -620,7 +625,8 @@ func (s *Sharded) pinAll() []entry {
 	s.mu.RLock()
 	out := make([]entry, 0, len(s.ids))
 	for _, id := range s.ids {
-		out = append(out, entry{id: id, sh: s.shards[s.owner[id]]})
+		si := s.owner[id]
+		out = append(out, entry{id: id, si: si, sh: s.shards[si]})
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
@@ -632,42 +638,64 @@ func (s *Sharded) pinAll() []entry {
 // nested scan partitioned across workers; index methods probe every
 // shard's index with every stored series in parallel. Output matches the
 // unsharded SelfJoin exactly (same pairs, same (A, B) order, same
-// once/twice reporting per method).
+// once/twice reporting per method). For cost-based method selection use
+// PlanJoin/ExecJoin instead.
 func (s *Sharded) SelfJoin(eps float64, t transform.T, method JoinMethod) ([]JoinPair, ExecStats, error) {
+	var (
+		q    JoinQuery
+		scan bool
+		ea   bool
+	)
 	switch method {
 	case JoinScanNaive:
-		return s.selfJoinScan(eps, t, false)
+		q, scan = selfJoinQuery(eps, t), true
 	case JoinScanEarlyAbandon:
-		return s.selfJoinScan(eps, t, true)
+		q, scan, ea = selfJoinQuery(eps, t), true, true
 	case JoinIndexPlain:
-		return s.joinIndexFan(eps, transform.Identity(s.length), transform.Identity(s.length), false)
+		q = selfJoinQuery(eps, transform.Identity(s.length))
 	case JoinIndexTransform:
-		return s.joinIndexFan(eps, t, t, false)
+		q = selfJoinQuery(eps, t)
 	default:
 		return nil, ExecStats{}, fmt.Errorf("core: unknown join method %d", method)
 	}
+	jp, err := s.shards[0].planJoin(q)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	if scan {
+		return s.joinScanFan(jp, ea)
+	}
+	if jp.mapErr != nil {
+		return nil, ExecStats{}, jp.mapErr
+	}
+	return s.joinIndexFan(jp, false)
 }
 
 // JoinTwoSided finds all ordered pairs (x, y), x != y, with
 // D(L(nf(x)), R(nf(y))) <= eps across all shards.
 func (s *Sharded) JoinTwoSided(eps float64, left, right transform.T) ([]JoinPair, ExecStats, error) {
-	return s.joinIndexFan(eps, left, right, true)
-}
-
-// selfJoinScan is the global nested scan (methods a and b): outer rows are
-// strided across workers like SelfJoinScanParallel, but rows come from
-// every shard. All shard locks are held in shared mode for the duration.
-func (s *Sharded) selfJoinScan(eps float64, t transform.T, earlyAbandon bool) ([]JoinPair, ExecStats, error) {
-	if err := s.shards[0].validateJoin(eps, t); err != nil {
+	jp, err := s.shards[0].planJoin(JoinQuery{Eps: eps, Left: left, Right: right, TwoSided: true})
+	if err != nil {
 		return nil, ExecStats{}, err
 	}
+	if jp.mapErr != nil {
+		return nil, ExecStats{}, jp.mapErr
+	}
+	return s.joinIndexFan(jp, false)
+}
+
+// joinScanFan is the global nested scan (methods a and b): outer rows are
+// strided across workers like SelfJoinScanParallel, but rows come from
+// every shard. All shard locks are held in shared mode for the duration.
+// Costs and results are attributed to the outer row's owning shard in the
+// merged per-shard provenance.
+func (s *Sharded) joinScanFan(jp *joinPlan, earlyAbandon bool) ([]JoinPair, ExecStats, error) {
 	timer := stats.StartTimer()
 	entries := s.pinAll()
 	defer s.runlockAll()
 	reads0 := s.pageReadsLocked()
 
-	a, b := s.shards[0].permuteTransform(t)
-	limit := eps * eps
+	limit := jp.q.Eps * jp.q.Eps
 	n := len(entries)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n && n > 0 {
@@ -680,7 +708,8 @@ func (s *Sharded) selfJoinScan(eps float64, t transform.T, earlyAbandon bool) ([
 	type partial struct {
 		pairs      []JoinPair
 		terms      int64
-		candidates int
+		candidates []int // by outer row's shard
+		results    []int
 		err        error
 	}
 	results := make([]partial, workers)
@@ -690,39 +719,55 @@ func (s *Sharded) selfJoinScan(eps float64, t transform.T, earlyAbandon bool) ([
 		go func(w int) {
 			defer wg.Done()
 			out := &results[w]
+			out.candidates = make([]int, len(s.shards))
+			out.results = make([]int, len(s.shards))
 			for i := w; i < n; i += workers {
 				X, err := entries[i].sh.spectrum(entries[i].id)
 				if err != nil {
 					out.err = err
 					return
 				}
-				tx := make([]complex128, len(X))
+				lx := make([]complex128, len(X))
 				for f := range X {
-					tx[f] = a[f]*X[f] + b[f]
+					lx[f] = jp.la[f]*X[f] + jp.lb[f]
 				}
+				var rx []complex128
+				if jp.q.TwoSided {
+					rx = make([]complex128, len(X))
+					for f := range X {
+						rx[f] = jp.ra[f]*X[f] + jp.rb[f]
+					}
+				}
+				si := entries[i].si
 				for j := i + 1; j < n; j++ {
 					view, err := entries[j].sh.specViewOf(entries[j].id)
 					if err != nil {
 						out.err = err
 						return
 					}
-					out.candidates++
-					var sum float64
-					terms := 0
-					abandoned := false
-					for f := range tx {
-						y := view.at(f)
-						d := tx[f] - (a[f]*y + b[f])
-						sum += real(d)*real(d) + imag(d)*imag(d)
-						terms++
-						if earlyAbandon && sum > limit {
-							abandoned = true
-							break
+					if !jp.q.TwoSided {
+						out.candidates[si]++
+						sum, terms, ok := scanPairDist(lx, jp.la, jp.lb, view, limit, earlyAbandon)
+						out.terms += int64(terms)
+						if ok && sum <= limit {
+							out.pairs = append(out.pairs, orderedPair(entries[i].id, entries[j].id, math.Sqrt(sum)))
+							out.results[si]++
 						}
+						continue
 					}
+					out.candidates[si]++
+					sum, terms, ok := scanPairDist(lx, jp.ra, jp.rb, view, limit, earlyAbandon)
 					out.terms += int64(terms)
-					if !abandoned && sum <= limit {
-						out.pairs = append(out.pairs, orderedPair(entries[i].id, entries[j].id, math.Sqrt(sum)))
+					if ok && sum <= limit {
+						out.pairs = append(out.pairs, JoinPair{A: entries[i].id, B: entries[j].id, Dist: math.Sqrt(sum)})
+						out.results[si]++
+					}
+					out.candidates[si]++
+					sum, terms, ok = scanPairDist(rx, jp.la, jp.lb, view, limit, earlyAbandon)
+					out.terms += int64(terms)
+					if ok && sum <= limit {
+						out.pairs = append(out.pairs, JoinPair{A: entries[j].id, B: entries[i].id, Dist: math.Sqrt(sum)})
+						out.results[si]++
 					}
 				}
 			}
@@ -732,13 +777,21 @@ func (s *Sharded) selfJoinScan(eps float64, t transform.T, earlyAbandon bool) ([
 
 	var st ExecStats
 	var out []JoinPair
+	st.Shards = make([]ShardExec, len(s.shards))
+	for si := range st.Shards {
+		st.Shards[si].Shard = si
+	}
 	for _, r := range results {
 		if r.err != nil {
 			return nil, st, fmt.Errorf("core: sharded join worker: %w", r.err)
 		}
 		out = append(out, r.pairs...)
 		st.DistanceTerms += r.terms
-		st.Candidates += r.candidates
+		for si := range r.candidates {
+			st.Candidates += r.candidates[si]
+			st.Shards[si].Candidates += r.candidates[si]
+			st.Shards[si].Results += r.results[si]
+		}
 	}
 	sortPairs(out)
 	st.Results = len(out)
@@ -748,34 +801,20 @@ func (s *Sharded) selfJoinScan(eps float64, t transform.T, earlyAbandon bool) ([
 }
 
 // joinIndexFan is the index-nested-loop join over a sharded store
-// (self-join methods c/d and the two-sided join): every stored series, in
-// parallel batches partitioned by its owning shard, probes every shard's
-// index with the right-side transformation applied to its point, and
-// candidates verify in their owning shard against the left-side
-// transformation. twoSided selects JoinTwoSided's (candidate, probe) pair
-// orientation; otherwise pairs are (probe, candidate) as in selfJoinIndex.
-func (s *Sharded) joinIndexFan(eps float64, left, right transform.T, twoSided bool) ([]JoinPair, ExecStats, error) {
-	if err := s.shards[0].validateJoin(eps, left); err != nil {
-		return nil, ExecStats{}, err
-	}
-	if err := s.shards[0].validateJoin(eps, right); err != nil {
-		return nil, ExecStats{}, err
-	}
+// (self-join methods c/d, the two-sided join, and planned index joins):
+// every stored series, in parallel batches partitioned by its owning
+// shard, probes every shard's index with the right-side transformation
+// applied to its point, and candidates verify in their owning shard
+// against the left-side transformation. jp.q.TwoSided selects
+// JoinTwoSided's (candidate, probe) pair orientation; otherwise pairs are
+// (probe, candidate) as in selfJoinIndex. selfOnce emits each unordered
+// pair exactly once (from its lower-ID probe), the planned self join's
+// canonical accounting.
+func (s *Sharded) joinIndexFan(jp *joinPlan, selfOnce bool) ([]JoinPair, ExecStats, error) {
 	timer := stats.StartTimer()
 	s.rlockAll()
 	defer s.runlockAll()
 	reads0 := s.pageReadsLocked()
-
-	lm, err := s.Schema().Map(left)
-	if err != nil {
-		return nil, ExecStats{}, err
-	}
-	rm, err := s.Schema().Map(right)
-	if err != nil {
-		return nil, ExecStats{}, err
-	}
-	la, lb := s.shards[0].permuteTransform(left)
-	ra, rb := s.shards[0].permuteTransform(right)
 
 	type partial struct {
 		pairs        []JoinPair
@@ -795,8 +834,8 @@ func (s *Sharded) joinIndexFan(eps float64, left, right transform.T, twoSided bo
 			for _, qid := range probe.ids {
 				qp := probe.points[qid]
 				tq := qp
-				if !rm.Identity() {
-					tq = rm.ApplyPoint(qp)
+				if !jp.rm.Identity() {
+					tq = jp.rm.ApplyPoint(qp)
 				}
 				QX, err := probe.spectrum(qid)
 				if err != nil {
@@ -805,24 +844,27 @@ func (s *Sharded) joinIndexFan(eps float64, left, right transform.T, twoSided bo
 				}
 				tQ := make([]complex128, len(QX))
 				for f := range QX {
-					tQ[f] = ra[f]*QX[f] + rb[f]
+					tQ[f] = jp.ra[f]*QX[f] + jp.rb[f]
 				}
 				for _, target := range s.shards {
-					cands, searchStats := target.idx.Range(tq, eps, lm, feature.MomentBounds{}, !target.opts.DisablePartialPrune)
+					cands, searchStats := target.idx.Range(tq, jp.q.Eps, jp.lm, feature.MomentBounds{}, !target.opts.DisablePartialPrune)
 					out.nodeAccesses += searchStats.NodesVisited
 					for _, c := range cands {
 						if c.ID == qid {
 							continue
 						}
+						if selfOnce && c.ID < qid {
+							continue
+						}
 						out.candidates++
-						within, dist, terms, err := target.viewTransformedWithin(c.ID, la, lb, tQ, eps)
+						within, dist, terms, err := target.viewTransformedWithin(c.ID, jp.la, jp.lb, tQ, jp.q.Eps)
 						if err != nil {
 							out.err = err
 							return
 						}
 						out.terms += int64(terms)
 						if within {
-							if twoSided {
+							if jp.q.TwoSided {
 								out.pairs = append(out.pairs, JoinPair{A: c.ID, B: qid, Dist: dist})
 							} else {
 								out.pairs = append(out.pairs, JoinPair{A: qid, B: c.ID, Dist: dist})

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/geom"
 )
@@ -80,6 +81,10 @@ type Plan struct {
 	K int
 	// Strategy is the resolved execution strategy — never Auto.
 	Strategy Strategy
+	// Method is the paper's Table 1 method letter of a join plan ("a",
+	// "b", "d", or "c/d" when the identity action makes methods c and d
+	// coincide); empty for non-join plans.
+	Method string
 	// Forced reports that the caller pinned the strategy (USING INDEX /
 	// UseScan / a moment-bounded query) rather than the planner choosing.
 	Forced bool
@@ -132,6 +137,32 @@ const (
 	scanUnit = 0.25
 	// nodeUnit is the cost of one index node access.
 	nodeUnit = 1.0
+	// joinScanUnit is the cost of one early-abandoned pair check inside
+	// the nested scan join: the inner spectrum is already paged in and a
+	// non-matching pair abandons within the first couple of coefficients
+	// — a few multiply-adds, under a tenth of a full verification. (The
+	// range scan's scanUnit is higher because each of its checks opens a
+	// stored record on its own.)
+	joinScanUnit = 0.09
+	// joinNodeUnit is the cost of one node access during a join probe's
+	// rectangle search: a capacity-M pass of per-rectangle transform
+	// arithmetic, measurably about two verifications. Joins price nodes
+	// higher than single queries because every probe repeats the
+	// traversal's setup against already-warm caches, where a lone range
+	// query's node cost amortizes its misses.
+	joinNodeUnit = 2.0
+	// joinProbeUnit is the per-probe fixed overhead of the
+	// index-nested-loop join: one spectrum fetch and the transformed
+	// query setup per stored series.
+	joinProbeUnit = 3.0
+	// joinVisitExp models the node-visit fraction of one probe as
+	// (leafShare^e + selectivity^e) with e = 1/3 — the effective
+	// dimensionality of the K=2 polar coefficient space (two magnitude
+	// dimensions plus partially-selective angles). Few fat leaves are
+	// visited almost entirely regardless of eps; result selectivity alone
+	// badly underestimates node touching (node MBRs are much wider than
+	// answer density).
+	joinVisitExp = 1.0 / 3.0
 )
 
 // Input is what the planner knows about one range-shaped query before
@@ -261,6 +292,109 @@ func ChooseNN(series int, t *Tracker) (Strategy, Estimate, string) {
 	return Index, est, "index: branch-and-bound default (no NN feedback yet)"
 }
 
+// JoinInput is what the planner knows about an all-pairs join before
+// executing it. The paper's Table 1 compares four self-join methods whose
+// winner flips with store size and eps: the nested scans (a, b) pay a
+// quadratic number of pair comparisons regardless of eps, while the
+// index-nested-loop methods (c, d) pay one rectangle search per stored
+// series plus the candidates those rectangles select — cheap when eps is
+// selective, worse than the scan when every rectangle covers the store.
+type JoinInput struct {
+	// Series is the live store size.
+	Series int
+	// Height is the index height (levels) and LeafCap its node capacity.
+	Height  int
+	LeafCap int
+	// Selectivity is the estimated fraction of stored feature points
+	// falling in an average probe's eps search rectangle, sampled by the
+	// engine from stored series against the transformed store extent.
+	Selectivity float64
+	// TwoSided marks the generalized Section 4 join (ordered pairs, both
+	// orientations verified per unordered pair); self joins verify each
+	// unordered pair once.
+	TwoSided bool
+	// Identity reports that both join sides carry the identity index
+	// action, in which case Table 1's methods c and d coincide.
+	Identity bool
+}
+
+// JoinMethodLetter maps a resolved join strategy onto the paper's Table 1
+// method letter: the naive nested scan is method a, the early-abandoning
+// scan method b, and the index-nested-loop method d (c/d under the
+// identity action, where the two are the same algorithm).
+func JoinMethodLetter(s Strategy, identity bool) string {
+	switch s {
+	case ScanTime:
+		return "a"
+	case ScanFreq:
+		return "b"
+	case Index:
+		if identity {
+			return "c/d"
+		}
+		return "d"
+	default:
+		return ""
+	}
+}
+
+// ChooseJoin resolves the join method for an all-pairs query, pricing the
+// paper's four Table 1 methods from the store size, the sampled eps
+// selectivity, and the tracker's measured join feedback. All candidate
+// strategies answer the planned join identically (each qualifying pair
+// reported once for self joins, each ordered pair once for two-sided
+// joins), so — as with range queries — the planner only ever trades cost.
+// Method a (the naive scan) is priced for EXPLAIN but never wins: it does
+// strictly more work than the early-abandoning scan on every input.
+func ChooseJoin(in JoinInput, t *Tracker) (Strategy, Estimate, string) {
+	n := float64(in.Series)
+	est := Estimate{Series: in.Series}
+	if in.Series < 2 {
+		return Index, est, "fewer than two series: no pairs to join"
+	}
+	pairs := n * (n - 1) / 2
+	if in.TwoSided {
+		pairs = n * (n - 1)
+	}
+	sel := in.Selectivity
+	cal := 1.0
+	var nodeFrac float64
+	haveFeedback := false
+	if t != nil {
+		cal, nodeFrac, haveFeedback = t.joinModel()
+	}
+	est.Selectivity = sel
+	est.Candidates = math.Min(pairs, sel*cal*pairs)
+	if haveFeedback {
+		est.NodeAccesses = nodeFrac * n * n
+	} else {
+		// Cold model: each probe opens the root path plus a visit
+		// fraction of the ~2n/LeafCap index nodes (see joinVisitExp).
+		leaf := float64(in.LeafCap)
+		if leaf <= 0 {
+			leaf = 40
+		}
+		visitFrac := math.Min(1, math.Pow(leaf/n, joinVisitExp)+math.Pow(sel, joinVisitExp))
+		est.NodeAccesses = n * (float64(in.Height) + visitFrac*2*n/leaf)
+	}
+	// Index: per-probe setup plus node accesses for n rectangle searches
+	// plus one verification per selected candidate pair. Scan (b): one
+	// early-abandoned check per pair, completed to a full verification
+	// for the pairs that survive. Scan (a) is the same quadratic loop
+	// with every check completed.
+	est.IndexCost = joinProbeUnit*n + joinNodeUnit*est.NodeAccesses + est.Candidates
+	est.ScanCost = joinScanUnit*pairs + (1-joinScanUnit)*est.Candidates
+	naiveCost := pairs
+	if est.IndexCost <= est.ScanCost {
+		return Index, est, fmt.Sprintf(
+			"index method %s: est %.0f candidate pairs + %.0f nodes (cost %.0f) <= scan b cost %.0f (naive a: %.0f) over %d series",
+			JoinMethodLetter(Index, in.Identity), est.Candidates, est.NodeAccesses, est.IndexCost, est.ScanCost, naiveCost, in.Series)
+	}
+	return ScanFreq, est, fmt.Sprintf(
+		"scan method b: selectivity %.3f makes index cost %.0f exceed scan cost %.0f (naive a: %.0f) over %d series",
+		sel, est.IndexCost, est.ScanCost, naiveCost, in.Series)
+}
+
 // ewmaAlpha weights recent executions; ~the last 2/alpha queries dominate.
 const ewmaAlpha = 0.2
 
@@ -279,10 +413,14 @@ type Tracker struct {
 	nnSamples  int
 	nnCandFrac float64 // EWMA of Candidates / Series (indexed NN)
 	nnNodeFrac float64 // EWMA of NodeAccesses / Series (indexed NN)
+
+	joinSamples     int
+	joinCalibration float64 // EWMA of observed/predicted candidate-pair ratio
+	joinNodeFrac    float64 // EWMA of NodeAccesses / Series^2 (indexed joins)
 }
 
 // NewTracker returns an empty tracker (calibration 1 until fed).
-func NewTracker() *Tracker { return &Tracker{calibration: 1} }
+func NewTracker() *Tracker { return &Tracker{calibration: 1, joinCalibration: 1} }
 
 // ObserveRange feeds one indexed range execution back: the planner's
 // predicted candidate count and the measured candidates and node accesses.
@@ -315,6 +453,36 @@ func (t *Tracker) ObserveNN(candidates, nodes, series int) {
 	t.nnCandFrac = ewma(t.nnCandFrac, float64(candidates)/n, t.nnSamples)
 	t.nnNodeFrac = ewma(t.nnNodeFrac, float64(nodes)/n, t.nnSamples)
 	t.nnSamples++
+}
+
+// ObserveJoin feeds one indexed join execution back: the planner's
+// predicted candidate-pair count and the measured verified candidates and
+// total node accesses across all probes.
+func (t *Tracker) ObserveJoin(predicted float64, candidates, nodes, series int) {
+	if t == nil || series <= 1 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := float64(series)
+	if predicted >= 1 {
+		ratio := math.Min(float64(candidates)/predicted, 16)
+		t.joinCalibration = ewma(t.joinCalibration, ratio, t.joinSamples)
+	}
+	t.joinNodeFrac = ewma(t.joinNodeFrac, float64(nodes)/(n*n), t.joinSamples)
+	t.joinSamples++
+}
+
+func (t *Tracker) joinModel() (calibration, nodeFrac float64, ok bool) {
+	if t == nil {
+		return 1, 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.joinSamples == 0 {
+		return 1, 0, false
+	}
+	return t.joinCalibration, t.joinNodeFrac, true
 }
 
 func ewma(prev, x float64, samples int) float64 {
@@ -350,29 +518,137 @@ func (t *Tracker) nnModel() (candFrac, nodeFrac float64, ok bool) {
 
 // Snapshot is a point-in-time view of a tracker for diagnostics.
 type Snapshot struct {
-	RangeSamples int
-	Calibration  float64
-	NodeFrac     float64
-	NNSamples    int
-	NNCandFrac   float64
-	NNNodeFrac   float64
+	RangeSamples    int
+	Calibration     float64
+	NodeFrac        float64
+	NNSamples       int
+	NNCandFrac      float64
+	NNNodeFrac      float64
+	JoinSamples     int
+	JoinCalibration float64
+	JoinNodeFrac    float64
 }
 
 // Stats returns the tracker's current state.
 func (t *Tracker) Stats() Snapshot {
 	if t == nil {
-		return Snapshot{Calibration: 1}
+		return Snapshot{Calibration: 1, JoinCalibration: 1}
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return Snapshot{
-		RangeSamples: t.rangeSamples,
-		Calibration:  t.calibration,
-		NodeFrac:     t.nodeFrac,
-		NNSamples:    t.nnSamples,
-		NNCandFrac:   t.nnCandFrac,
-		NNNodeFrac:   t.nnNodeFrac,
+		RangeSamples:    t.rangeSamples,
+		Calibration:     t.calibration,
+		NodeFrac:        t.nodeFrac,
+		NNSamples:       t.nnSamples,
+		NNCandFrac:      t.nnCandFrac,
+		NNNodeFrac:      t.nnNodeFrac,
+		JoinSamples:     t.joinSamples,
+		JoinCalibration: t.joinCalibration,
+		JoinNodeFrac:    t.joinNodeFrac,
 	}
+}
+
+// Record is one executed plan, kept in a store's history ring so
+// estimated-vs-actual drift and mispredictions stay visible after the
+// query returns (EXPLAIN shows one query; the ring shows the recent
+// population).
+type Record struct {
+	// Seq increases by one per recorded execution on a store.
+	Seq int64
+	// Kind, Strategy, Method, Forced, and Reason echo the executed plan.
+	Kind     string
+	Strategy string
+	Method   string
+	Forced   bool
+	Reason   string
+	// Series and Shards are the store size and fan-out width at planning.
+	Series int
+	Shards int
+	// EstCandidates and EstCost are the planner's predictions for the
+	// chosen strategy; ActualCandidates and ActualNodeAccesses are what
+	// the execution measured.
+	EstCandidates      float64
+	EstCost            float64
+	ActualCandidates   int
+	ActualNodeAccesses int
+	Results            int
+	ElapsedUS          float64
+}
+
+// DefaultHistorySize is the executed-plan ring capacity.
+const DefaultHistorySize = 64
+
+// History is a fixed-capacity ring of executed plans. One History lives
+// on each store next to its Tracker; all methods are safe for concurrent
+// use.
+type History struct {
+	mu   sync.Mutex
+	seq  int64
+	buf  []Record
+	next int
+	full bool
+}
+
+// NewHistory returns an empty ring holding up to n records (n <= 0
+// selects DefaultHistorySize).
+func NewHistory(n int) *History {
+	if n <= 0 {
+		n = DefaultHistorySize
+	}
+	return &History{buf: make([]Record, n)}
+}
+
+// Observe appends one executed plan with its measured cost.
+func (h *History) Observe(pl *Plan, candidates, nodes, results int, elapsed time.Duration) {
+	if h == nil || pl == nil {
+		return
+	}
+	cost := pl.Est.ScanCost
+	if pl.Strategy == Index {
+		cost = pl.Est.IndexCost
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seq++
+	h.buf[h.next] = Record{
+		Seq:                h.seq,
+		Kind:               pl.Kind,
+		Strategy:           pl.Strategy.String(),
+		Method:             pl.Method,
+		Forced:             pl.Forced,
+		Reason:             pl.Reason,
+		Series:             pl.Est.Series,
+		Shards:             len(pl.Shards),
+		EstCandidates:      pl.Est.Candidates,
+		EstCost:            cost,
+		ActualCandidates:   candidates,
+		ActualNodeAccesses: nodes,
+		Results:            results,
+		ElapsedUS:          float64(elapsed) / float64(time.Microsecond),
+	}
+	h.next = (h.next + 1) % len(h.buf)
+	if h.next == 0 {
+		h.full = true
+	}
+}
+
+// Recent returns the retained records, oldest first.
+func (h *History) Recent() []Record {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.full {
+		out := make([]Record, h.next)
+		copy(out, h.buf[:h.next])
+		return out
+	}
+	out := make([]Record, 0, len(h.buf))
+	out = append(out, h.buf[h.next:]...)
+	out = append(out, h.buf[:h.next]...)
+	return out
 }
 
 // AllShards returns the canonical shard-target list [0, n).

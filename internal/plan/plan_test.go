@@ -154,3 +154,97 @@ func TestAllShards(t *testing.T) {
 		t.Fatalf("AllShards(3) = %v", got)
 	}
 }
+
+func TestChooseJoinByRegime(t *testing.T) {
+	// Selective eps on a large store: n rectangle probes beat the
+	// quadratic scan.
+	in := JoinInput{Series: 5000, Height: 3, LeafCap: 40, Selectivity: 0.0001}
+	s, est, reason := ChooseJoin(in, nil)
+	if s != Index {
+		t.Fatalf("selective large join chose %v (%s)", s, reason)
+	}
+	if est.IndexCost >= est.ScanCost {
+		t.Fatalf("est = %+v, index should be cheaper", est)
+	}
+	if !strings.Contains(reason, "method d") {
+		t.Fatalf("reason %q does not name the Table 1 method", reason)
+	}
+	// Small store: the per-probe overhead dominates; the scan's cheap
+	// quadratic loop wins even at the same selectivity.
+	small := in
+	small.Series = 200
+	if s, _, reason = ChooseJoin(small, nil); s != ScanFreq {
+		t.Fatalf("selective small join chose %v (%s)", s, reason)
+	}
+	// Exhaustive eps: every probe rectangle covers the store; the
+	// early-abandoning scan wins at any size.
+	in.Selectivity = 1
+	if s, _, reason = ChooseJoin(in, nil); s != ScanFreq {
+		t.Fatalf("exhaustive join chose %v (%s)", s, reason)
+	}
+	// Identity action: the method letter reports c/d coincide.
+	in.Selectivity = 0.0001
+	in.Identity = true
+	if _, _, reason = ChooseJoin(in, nil); !strings.Contains(reason, "c/d") {
+		t.Fatalf("identity join reason %q does not mention c/d", reason)
+	}
+	// Tiny stores are trivial.
+	if s, _, _ = ChooseJoin(JoinInput{Series: 1}, nil); s != Index {
+		t.Fatal("singleton store should be trivial")
+	}
+}
+
+func TestJoinMethodLetter(t *testing.T) {
+	cases := map[Strategy]string{ScanTime: "a", ScanFreq: "b", Index: "d"}
+	for s, want := range cases {
+		if got := JoinMethodLetter(s, false); got != want {
+			t.Fatalf("JoinMethodLetter(%v) = %q, want %q", s, got, want)
+		}
+	}
+	if got := JoinMethodLetter(Index, true); got != "c/d" {
+		t.Fatalf("identity index letter = %q, want c/d", got)
+	}
+}
+
+func TestTrackerJoinFeedbackFlipsChoice(t *testing.T) {
+	tr := NewTracker()
+	in := JoinInput{Series: 6000, Height: 3, LeafCap: 40, Selectivity: 0.001}
+	if s, _, _ := ChooseJoin(in, tr); s != Index {
+		t.Fatal("cold choice should be index on a large selective join")
+	}
+	// Measured executions show the traversal visiting half of n^2 nodes:
+	// the index is not actually cheap here.
+	for i := 0; i < 30; i++ {
+		tr.ObserveJoin(18000, 18000, 18_000_000, 6000)
+	}
+	if s, _, reason := ChooseJoin(in, tr); s != ScanFreq {
+		t.Fatalf("fed-back choice = %v (%s), want scan", s, reason)
+	}
+	snap := tr.Stats()
+	if snap.JoinSamples != 30 || snap.JoinCalibration <= 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestHistoryRing(t *testing.T) {
+	h := NewHistory(4)
+	for i := 0; i < 6; i++ {
+		h.Observe(&Plan{Kind: "range", Strategy: Index, Est: Estimate{Candidates: float64(i)}}, i, i, i, 0)
+	}
+	recs := h.Recent()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d records, want 4", len(recs))
+	}
+	if recs[0].Seq != 3 || recs[3].Seq != 6 {
+		t.Fatalf("ring order wrong: first seq %d, last seq %d", recs[0].Seq, recs[3].Seq)
+	}
+	if recs[3].ActualCandidates != 5 || recs[3].EstCandidates != 5 {
+		t.Fatalf("last record = %+v", recs[3])
+	}
+	// Nil-safety.
+	var nh *History
+	nh.Observe(nil, 0, 0, 0, 0)
+	if nh.Recent() != nil {
+		t.Fatal("nil history should be empty")
+	}
+}

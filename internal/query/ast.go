@@ -14,14 +14,24 @@ type Statement struct {
 	// Transform is the transformation pipeline, in application order.
 	Transform []TransformCall
 
+	// LeftTransform and RightTransform are the two sides' pipelines of a
+	// JOIN statement (LEFT/RIGHT clauses; empty means identity).
+	LeftTransform  []TransformCall
+	RightTransform []TransformCall
+
 	// Both applies the transformation to the query side as well (the BOTH
 	// clause): answers satisfy D(T(x), T(q)) <= Eps.
 	Both bool
 
-	// Exec selects the execution strategy (USING clause).
-	Exec ExecStrategy
+	// Exec selects the execution strategy (USING clause); UsingSet
+	// reports an explicit clause (METHOD and USING are mutually exclusive
+	// in SELFJOIN).
+	Exec     ExecStrategy
+	UsingSet bool
 
-	// JoinMethod is the Table 1 method letter for SELFJOIN ("a".."d").
+	// JoinMethod is the Table 1 method letter for SELFJOIN ("a".."d");
+	// empty (the default) defers the method to the planner (USING AUTO)
+	// with the planned joins' once-per-pair accounting.
 	JoinMethod string
 
 	// Moment bounds (MEAN [lo, hi] / STD [lo, hi]); nil when absent.
@@ -49,6 +59,9 @@ const (
 	StmtNN
 	// StmtSelfJoin is an all-pairs query over the stored relation.
 	StmtSelfJoin
+	// StmtJoin is the generalized two-sided join: ordered pairs (x, y)
+	// with D(L(nf(x)), R(nf(y))) <= Eps.
+	StmtJoin
 )
 
 func (k StatementKind) String() string {
@@ -59,6 +72,8 @@ func (k StatementKind) String() string {
 		return "NN"
 	case StmtSelfJoin:
 		return "SELFJOIN"
+	case StmtJoin:
+		return "JOIN"
 	default:
 		return "UNKNOWN"
 	}

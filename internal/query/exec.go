@@ -45,6 +45,8 @@ func Exec(db core.Engine, stmt *Statement) (*Output, error) {
 		return execNN(db, stmt, tr, warp)
 	case StmtSelfJoin:
 		return execSelfJoin(db, stmt, tr, warp)
+	case StmtJoin:
+		return execJoin(db, stmt)
 	default:
 		return nil, fmt.Errorf("query: unknown statement kind %v", stmt.Kind)
 	}
@@ -253,9 +255,19 @@ func execNN(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Output,
 	return out, nil
 }
 
+// execSelfJoin runs a SELFJOIN statement. Without a METHOD clause the
+// join is planned: the engine prices the Table 1 methods (USING AUTO, the
+// default) or runs the forced mechanism (USING INDEX/SCAN/SCANTIME), and
+// each qualifying pair is reported once. A METHOD clause pins the paper's
+// per-method semantics exactly (index methods report pairs twice, method
+// c ignores the transformation) and yields a descriptive EXPLAIN plan.
 func execSelfJoin(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Output, error) {
 	if warp != 0 {
 		return nil, fmt.Errorf("query: warp is not supported in SELFJOIN")
+	}
+	if stmt.JoinMethod == "" {
+		jq := core.JoinQuery{Eps: stmt.Eps, Left: tr, Right: tr}
+		return execPlannedJoin(db, stmt, jq, StmtSelfJoin)
 	}
 	var method core.JoinMethod
 	switch stmt.JoinMethod {
@@ -279,19 +291,62 @@ func execSelfJoin(db core.Engine, stmt *Statement, tr transform.T, warp int) (*O
 	}
 	out := &Output{Kind: StmtSelfJoin, Pairs: pairs, Stats: st}
 	if stmt.Explain {
-		// Self joins have no index-vs-scan freedom — Table 1's methods
-		// differ in semantics (once/twice reporting), so the plan is
-		// descriptive: what ran, where, at what measured cost.
+		// Method-pinned self joins carry the paper's per-method semantics
+		// (once/twice reporting), so the plan is descriptive: what ran,
+		// where, at what measured cost.
 		out.Plan = &plan.Plan{
 			Kind:      "selfjoin",
 			Transform: tr.String(),
 			Eps:       stmt.Eps,
 			Strategy:  selfJoinStrategy(method),
+			Method:    stmt.JoinMethod,
 			Forced:    true,
 			Reason:    fmt.Sprintf("Table 1 method (%s): %s", stmt.JoinMethod, joinMethodName(method)),
 			Shards:    plan.AllShards(db.Shards()),
 			Est:       plan.Estimate{Series: db.Len()},
 		}
+	}
+	return out, nil
+}
+
+// execJoin runs a two-sided JOIN statement through the planner.
+func execJoin(db core.Engine, stmt *Statement) (*Output, error) {
+	left, lw, err := buildTransform(db.Length(), stmt.LeftTransform)
+	if err != nil {
+		return nil, err
+	}
+	right, rw, err := buildTransform(db.Length(), stmt.RightTransform)
+	if err != nil {
+		return nil, err
+	}
+	if lw != 0 || rw != 0 {
+		return nil, fmt.Errorf("query: warp is not supported in JOIN")
+	}
+	jq := core.JoinQuery{Eps: stmt.Eps, Left: left, Right: right, TwoSided: true}
+	return execPlannedJoin(db, stmt, jq, StmtJoin)
+}
+
+// execPlannedJoin plans and executes an all-pairs query, attaching the
+// executed plan for EXPLAIN statements.
+func execPlannedJoin(db core.Engine, stmt *Statement, jq core.JoinQuery, kind StatementKind) (*Output, error) {
+	want, err := wantStrategy(stmt.Exec)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := db.PlanJoin(jq, want)
+	if err != nil {
+		return nil, err
+	}
+	pairs, st, err := db.ExecJoin(jq, pl)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Limit > 0 && len(pairs) > stmt.Limit {
+		pairs = pairs[:stmt.Limit]
+	}
+	out := &Output{Kind: kind, Pairs: pairs, Stats: st}
+	if stmt.Explain {
+		out.Plan = pl
 	}
 	return out, nil
 }

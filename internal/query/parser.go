@@ -115,8 +115,10 @@ func (p *parser) parseStatement() (*Statement, error) {
 		stmt, err = p.parseNN()
 	case keywordIs(head, "SELFJOIN"):
 		stmt, err = p.parseSelfJoin()
+	case keywordIs(head, "JOIN"):
+		stmt, err = p.parseJoin()
 	default:
-		return nil, fmt.Errorf("query: expected RANGE, NN, or SELFJOIN at %d, got %q", head.pos, head.text)
+		return nil, fmt.Errorf("query: expected RANGE, NN, SELFJOIN, or JOIN at %d, got %q", head.pos, head.text)
 	}
 	if err != nil {
 		return nil, err
@@ -200,7 +202,25 @@ func (p *parser) parseNN() (*Statement, error) {
 }
 
 func (p *parser) parseSelfJoin() (*Statement, error) {
-	stmt := &Statement{Kind: StmtSelfJoin, JoinMethod: "d", Exec: ExecAuto}
+	// No METHOD clause means USING AUTO: the planner chooses the join
+	// method and each qualifying pair is reported once.
+	stmt := &Statement{Kind: StmtSelfJoin, Exec: ExecAuto}
+	if err := p.expectKeyword("EPS"); err != nil {
+		return nil, err
+	}
+	eps, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Eps = eps
+	if err := p.parseTail(stmt); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseJoin() (*Statement, error) {
+	stmt := &Statement{Kind: StmtJoin, Exec: ExecAuto}
 	if err := p.expectKeyword("EPS"); err != nil {
 		return nil, err
 	}
@@ -224,17 +244,35 @@ func (p *parser) parseTail(stmt *Statement) error {
 		case t.kind == tokEOF:
 			return nil
 		case keywordIs(t, "TRANSFORM"):
+			if stmt.Kind == StmtJoin {
+				return fmt.Errorf("query: JOIN takes LEFT and RIGHT pipelines, not TRANSFORM (at %d)", t.pos)
+			}
 			p.next()
-			if err := p.parseTransformPipeline(stmt); err != nil {
+			if err := p.parseTransformPipeline(stmt, &stmt.Transform); err != nil {
+				return err
+			}
+		case keywordIs(t, "LEFT"), keywordIs(t, "RIGHT"):
+			if stmt.Kind != StmtJoin {
+				return fmt.Errorf("query: %s clause only applies to JOIN (at %d)", strings.ToUpper(t.text), t.pos)
+			}
+			into := &stmt.LeftTransform
+			if keywordIs(t, "RIGHT") {
+				into = &stmt.RightTransform
+			}
+			p.next()
+			if err := p.parseTransformPipeline(stmt, into); err != nil {
 				return err
 			}
 		case keywordIs(t, "BOTH"):
-			if stmt.Kind == StmtSelfJoin {
-				return fmt.Errorf("query: BOTH is implicit in SELFJOIN (at %d)", t.pos)
+			if stmt.Kind == StmtSelfJoin || stmt.Kind == StmtJoin {
+				return fmt.Errorf("query: BOTH is implicit in joins (at %d)", t.pos)
 			}
 			p.next()
 			stmt.Both = true
 		case keywordIs(t, "USING"):
+			if stmt.JoinMethod != "" {
+				return fmt.Errorf("query: METHOD and USING are mutually exclusive (at %d)", t.pos)
+			}
 			p.next()
 			u := p.next()
 			switch {
@@ -249,9 +287,13 @@ func (p *parser) parseTail(stmt *Statement) error {
 			default:
 				return fmt.Errorf("query: expected AUTO, INDEX, SCAN, or SCANTIME at %d, got %q", u.pos, u.text)
 			}
+			stmt.UsingSet = true
 		case keywordIs(t, "METHOD"):
 			if stmt.Kind != StmtSelfJoin {
 				return fmt.Errorf("query: METHOD clause only applies to SELFJOIN (at %d)", t.pos)
+			}
+			if stmt.UsingSet {
+				return fmt.Errorf("query: METHOD and USING are mutually exclusive (at %d)", t.pos)
 			}
 			p.next()
 			m := p.next()
@@ -314,13 +356,13 @@ func (p *parser) parseBounds() (*[2]float64, error) {
 	return &[2]float64{lo, hi}, nil
 }
 
-func (p *parser) parseTransformPipeline(stmt *Statement) error {
+func (p *parser) parseTransformPipeline(stmt *Statement, into *[]TransformCall) error {
 	for {
 		call, err := p.parseTransformCall()
 		if err != nil {
 			return err
 		}
-		stmt.Transform = append(stmt.Transform, call)
+		*into = append(*into, call)
 		if p.peek().kind != tokPipe {
 			return nil
 		}

@@ -99,13 +99,44 @@ func TestParseSelfJoin(t *testing.T) {
 	if stmt.Kind != StmtSelfJoin || stmt.JoinMethod != "b" || stmt.Eps != 1 {
 		t.Fatalf("stmt: %+v", stmt)
 	}
-	// Default method is d.
+	// No METHOD clause defers to the planner (USING AUTO).
 	stmt2, err := Parse("SELFJOIN EPS 2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stmt2.JoinMethod != "d" {
-		t.Fatalf("default method: %q", stmt2.JoinMethod)
+	if stmt2.JoinMethod != "" || stmt2.Exec != ExecAuto {
+		t.Fatalf("default: method %q exec %v", stmt2.JoinMethod, stmt2.Exec)
+	}
+	stmt3, err := Parse("SELFJOIN EPS 2 USING SCAN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt3.Exec != ExecScan || !stmt3.UsingSet {
+		t.Fatalf("forced: %+v", stmt3)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	stmt, err := Parse("JOIN EPS 1.5 LEFT reverse() | mavg(20) RIGHT mavg(20) USING INDEX LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Kind != StmtJoin || stmt.Eps != 1.5 || stmt.Limit != 5 || stmt.Exec != ExecIndex {
+		t.Fatalf("stmt: %+v", stmt)
+	}
+	if len(stmt.LeftTransform) != 2 || stmt.LeftTransform[0].Name != "reverse" {
+		t.Fatalf("left pipeline: %+v", stmt.LeftTransform)
+	}
+	if len(stmt.RightTransform) != 1 || stmt.RightTransform[0].Name != "mavg" {
+		t.Fatalf("right pipeline: %+v", stmt.RightTransform)
+	}
+	// Both sides default to the identity.
+	stmt2, err := Parse("JOIN EPS 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt2.LeftTransform) != 0 || len(stmt2.RightTransform) != 0 {
+		t.Fatalf("default sides: %+v", stmt2)
 	}
 }
 
@@ -139,7 +170,13 @@ func TestParseErrors(t *testing.T) {
 		"NN SERIES 'x' K 0",
 		"NN SERIES 'x' K 1.5",
 		"SELFJOIN EPS 1 METHOD z",
+		"SELFJOIN EPS 1 METHOD b USING SCAN",
+		"SELFJOIN EPS 1 USING SCAN METHOD b",
 		"RANGE SERIES 'x' EPS 1 METHOD a",
+		"RANGE SERIES 'x' EPS 1 LEFT mavg(3)",
+		"JOIN EPS 1 TRANSFORM mavg(3)",
+		"JOIN EPS 1 METHOD b",
+		"JOIN EPS 1 BOTH",
 		"RANGE SERIES 'x' EPS 1 MEAN [5, 1]",
 		"RANGE SERIES 'x' EPS 1 USING TURBO",
 		"RANGE SERIES 'x' EPS 1 TRANSFORM mavg",

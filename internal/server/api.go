@@ -94,6 +94,7 @@ type QueryResponse struct {
 type ExplainPayload struct {
 	Kind               string             `json:"kind"`
 	Strategy           string             `json:"strategy"`
+	Method             string             `json:"method,omitempty"`
 	Forced             bool               `json:"forced,omitempty"`
 	Reason             string             `json:"reason"`
 	Transform          string             `json:"transform,omitempty"`
@@ -127,6 +128,7 @@ func toExplainPayload(e *tsq.ExplainInfo) *ExplainPayload {
 	out := &ExplainPayload{
 		Kind:               e.Kind,
 		Strategy:           e.Strategy,
+		Method:             e.Method,
 		Forced:             e.Forced,
 		Reason:             e.Reason,
 		Transform:          e.Transform,
@@ -161,6 +163,7 @@ func fromExplainPayload(e *ExplainPayload) *tsq.ExplainInfo {
 	out := &tsq.ExplainInfo{
 		Kind:               e.Kind,
 		Strategy:           e.Strategy,
+		Method:             e.Method,
 		Forced:             e.Forced,
 		Reason:             e.Reason,
 		Transform:          e.Transform,
@@ -216,19 +219,27 @@ type NNRequest struct {
 }
 
 // SelfJoinRequest asks for all within-eps pairs under one transformation.
-// Method is one of Table 1's "a", "b", "c", "d" (default "d").
+// Method pins one of Table 1's "a", "b", "c", "d" with the paper's exact
+// per-method accounting; empty defers the method to the planner (each
+// qualifying pair reported once). Using optionally forces the planned
+// mechanism ("auto", "index", "scan", "scantime") and is mutually
+// exclusive with Method.
 type SelfJoinRequest struct {
 	Eps       float64 `json:"eps"`
 	Transform string  `json:"transform,omitempty"`
 	Method    string  `json:"method,omitempty"`
+	Using     string  `json:"using,omitempty"`
 }
 
 // JoinRequest asks for the two-sided join: ordered pairs (x, y) with
-// D(L(nf(x)), R(nf(y))) <= eps.
+// D(L(nf(x)), R(nf(y))) <= eps. Using selects the join method ("auto",
+// the default: the planner chooses; "index", "scan", "scantime" force
+// it).
 type JoinRequest struct {
 	Eps   float64 `json:"eps"`
 	Left  string  `json:"left,omitempty"`
 	Right string  `json:"right,omitempty"`
+	Using string  `json:"using,omitempty"`
 }
 
 // SubseqRequest asks for stored series containing a window within Eps of
@@ -325,24 +336,46 @@ type HealthResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
-// StatsResponse reports the server's cumulative counters.
+// StatsResponse reports the server's cumulative counters. Plans — the
+// engine's recent executed-plan ring, oldest first — is included only
+// when the request asks for it (GET /stats?plans=1).
 type StatsResponse struct {
-	Series        int     `json:"series"`
-	Length        int     `json:"length"`
-	Shards        int     `json:"shards"`
-	Queries       int64   `json:"queries"`
-	Writes        int64   `json:"writes"`
-	Appends       int64   `json:"appends"`
-	Monitors      int     `json:"monitors"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	CacheLen      int     `json:"cache_len"`
-	CacheCap      int     `json:"cache_cap"`
-	NodeAccesses  int64   `json:"node_accesses"`
-	PageReads     int64   `json:"page_reads"`
-	Candidates    int64   `json:"candidates"`
-	ElapsedUS     float64 `json:"elapsed_us"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Series        int                 `json:"series"`
+	Length        int                 `json:"length"`
+	Shards        int                 `json:"shards"`
+	Queries       int64               `json:"queries"`
+	Writes        int64               `json:"writes"`
+	Appends       int64               `json:"appends"`
+	Monitors      int                 `json:"monitors"`
+	CacheHits     int64               `json:"cache_hits"`
+	CacheMisses   int64               `json:"cache_misses"`
+	CacheLen      int                 `json:"cache_len"`
+	CacheCap      int                 `json:"cache_cap"`
+	NodeAccesses  int64               `json:"node_accesses"`
+	PageReads     int64               `json:"page_reads"`
+	Candidates    int64               `json:"candidates"`
+	ElapsedUS     float64             `json:"elapsed_us"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	Plans         []PlanRecordPayload `json:"plans,omitempty"`
+}
+
+// PlanRecordPayload is one executed plan from the engine's history ring
+// on the wire.
+type PlanRecordPayload struct {
+	Seq                int64   `json:"seq"`
+	Kind               string  `json:"kind"`
+	Strategy           string  `json:"strategy"`
+	Method             string  `json:"method,omitempty"`
+	Forced             bool    `json:"forced,omitempty"`
+	Reason             string  `json:"reason"`
+	Series             int     `json:"series"`
+	Shards             int     `json:"shards"`
+	EstCandidates      float64 `json:"est_candidates"`
+	EstCost            float64 `json:"est_cost"`
+	ActualCandidates   int     `json:"actual_candidates"`
+	ActualNodeAccesses int     `json:"actual_node_accesses"`
+	Results            int     `json:"results"`
+	ElapsedUS          float64 `json:"elapsed_us"`
 }
 
 // ErrorResponse carries an error message.

@@ -92,6 +92,16 @@ func (c *Client) Stats() (*StatsResponse, error) {
 	return &out, nil
 }
 
+// StatsWithPlans fetches /stats?plans=1: the cumulative counters plus the
+// engine's recent executed-plan ring (estimated vs actual cost per plan).
+func (c *Client) StatsWithPlans() (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.do(http.MethodGet, "/stats?plans=1", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Names lists stored series names.
 func (c *Client) Names() ([]string, error) {
 	var out NamesResponse

@@ -75,6 +75,86 @@ func TestExplainForcedStrategy(t *testing.T) {
 	}
 }
 
+// TestExplainJoinRoundTrip: EXPLAIN SELFJOIN ... USING AUTO returns the
+// full join plan — method, reasoning, estimated vs actual cost, per-shard
+// provenance — through the HTTP client, and the two-sided JOIN statement
+// explains the same way.
+func TestExplainJoinRoundTrip(t *testing.T) {
+	fx := newFixture(t)
+
+	plain, err := fx.client.QueryOutput("SELFJOIN EPS 2 TRANSFORM mavg(20) USING AUTO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fx.client.QueryOutput("EXPLAIN SELFJOIN EPS 2 TRANSFORM mavg(20) USING AUTO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Pairs, plain.Pairs) {
+		t.Fatal("EXPLAIN changed the join answers")
+	}
+	e := out.Explain
+	if e == nil {
+		t.Fatal("EXPLAIN SELFJOIN returned no plan over the wire")
+	}
+	if e.Kind != "selfjoin" || e.Forced {
+		t.Fatalf("plan = %+v, want an unforced selfjoin plan", e)
+	}
+	if e.Method == "" || e.Reason == "" || e.Series == 0 {
+		t.Fatalf("plan missing method/reasoning: %+v", e)
+	}
+	if e.EstIndexCost <= 0 || e.EstScanCost <= 0 {
+		t.Fatalf("plan missing estimated costs: %+v", e)
+	}
+	// Estimated vs actual: the executed cost came back alongside.
+	if e.ActualCandidates == 0 && len(plain.Pairs) > 0 {
+		t.Fatalf("plan carries no actuals: %+v", e)
+	}
+
+	// Two-sided JOIN explains with ordered-pair answers and a method.
+	jout, err := fx.client.QueryOutput("EXPLAIN JOIN EPS 2 LEFT reverse() | mavg(20) RIGHT mavg(20)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jout.Explain == nil || jout.Explain.Kind != "join" || jout.Explain.Method == "" {
+		t.Fatalf("join plan = %+v", jout.Explain)
+	}
+}
+
+// TestStatsPlansRing: executed plans (joins included) show up behind
+// /stats?plans=1 with estimated-vs-actual cost, and the plain /stats
+// stays light.
+func TestStatsPlansRing(t *testing.T) {
+	fx := newFixture(t)
+	if _, err := fx.client.QueryOutput("RANGE SERIES 'W0007' EPS 2 TRANSFORM mavg(20)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.client.QueryOutput("SELFJOIN EPS 1.5 TRANSFORM mavg(20) USING AUTO"); err != nil {
+		t.Fatal(err)
+	}
+	light, err := fx.client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(light.Plans) != 0 {
+		t.Fatalf("plain /stats carried %d plans, want none", len(light.Plans))
+	}
+	st, err := fx.client.StatsWithPlans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]bool{}
+	for _, p := range st.Plans {
+		kinds[p.Kind] = true
+		if p.Strategy == "" || p.Seq == 0 {
+			t.Fatalf("malformed plan record: %+v", p)
+		}
+	}
+	if !kinds["range"] || !kinds["selfjoin"] {
+		t.Fatalf("plan ring kinds = %v, want range and selfjoin", kinds)
+	}
+}
+
 // TestExplainNotCached: EXPLAIN statements bypass the result cache, so
 // repeated EXPLAINs keep reporting live actuals.
 func TestExplainNotCached(t *testing.T) {

@@ -19,7 +19,8 @@ const maxBodyBytes = 64 << 20
 // Endpoints:
 //
 //	GET    /healthz               liveness + store size
-//	GET    /stats                 cumulative cost counters (paper's measures)
+//	GET    /stats                 cumulative cost counters (paper's measures);
+//	                              ?plans=1 adds the recent executed-plan ring
 //	GET    /series                stored names
 //	POST   /series                insert one {"name": ..., "values": [...]}
 //	POST   /series/batch          insert many [{"name": ..., "values": [...]}, ...]
@@ -34,8 +35,8 @@ const maxBodyBytes = 64 << 20
 //	POST   /query                 raw query-language statement {"q": "RANGE ..."}
 //	POST   /query/range           typed range query
 //	POST   /query/nn              typed k-NN query
-//	POST   /query/selfjoin        typed self join (Table 1 methods)
-//	POST   /query/join            typed two-sided join
+//	POST   /query/selfjoin        typed self join (planned by default; Table 1 methods via "method")
+//	POST   /query/join            typed two-sided join (planned by default)
 //	POST   /query/subsequence     typed subsequence scan
 func New(s *tsq.Server) http.Handler {
 	h := &handler{s: s}
@@ -116,6 +117,28 @@ func (h *handler) health(w http.ResponseWriter, r *http.Request) {
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 	st := h.s.Stats()
+	var plans []PlanRecordPayload
+	if r.URL.Query().Get("plans") == "1" {
+		plans = make([]PlanRecordPayload, len(st.Plans))
+		for i, p := range st.Plans {
+			plans[i] = PlanRecordPayload{
+				Seq:                p.Seq,
+				Kind:               p.Kind,
+				Strategy:           p.Strategy,
+				Method:             p.Method,
+				Forced:             p.Forced,
+				Reason:             p.Reason,
+				Series:             p.Series,
+				Shards:             p.Shards,
+				EstCandidates:      p.EstCandidates,
+				EstCost:            p.EstCost,
+				ActualCandidates:   p.ActualCandidates,
+				ActualNodeAccesses: p.ActualNodeAccesses,
+				Results:            p.Results,
+				ElapsedUS:          p.ElapsedUS,
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Series:        st.Series,
 		Length:        st.Length,
@@ -133,6 +156,7 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		Candidates:    st.Candidates,
 		ElapsedUS:     float64(st.Elapsed.Microseconds()),
 		UptimeSeconds: st.Uptime.Seconds(),
+		Plans:         plans,
 	})
 }
 
@@ -349,10 +373,27 @@ func parseJoinMethod(m string) (tsq.JoinMethod, error) {
 		return tsq.JoinScanEarlyAbandon, nil
 	case "c":
 		return tsq.JoinIndexPlain, nil
-	case "", "d":
+	case "d":
 		return tsq.JoinIndexTransform, nil
 	default:
 		return 0, fmt.Errorf("unknown join method %q (want a, b, c, or d)", m)
+	}
+}
+
+// parseJoinUsing maps a join Using value onto the library's strategy
+// request vocabulary for the planned join path.
+func parseJoinUsing(using string) (tsq.Strategy, error) {
+	switch strings.ToLower(using) {
+	case "", "auto":
+		return tsq.UseAuto, nil
+	case "index":
+		return tsq.UseIndex, nil
+	case "scan":
+		return tsq.UseScan, nil
+	case "scantime":
+		return tsq.UseScanTime, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want auto, index, scan, or scantime)", using)
 	}
 }
 
@@ -366,12 +407,32 @@ func (h *handler) selfJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	method, err := parseJoinMethod(req.Method)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	var (
+		pairs []tsq.Pair
+		st    tsq.Stats
+	)
+	switch {
+	case req.Method != "" && req.Using != "":
+		writeError(w, http.StatusBadRequest, errors.New("set method or using, not both"))
 		return
+	case req.Method != "":
+		// Table 1 per-method semantics, pinned.
+		method, merr := parseJoinMethod(req.Method)
+		if merr != nil {
+			writeError(w, http.StatusBadRequest, merr)
+			return
+		}
+		pairs, st, err = h.s.SelfJoin(req.Eps, t, method)
+	default:
+		// Planned: the planner chooses the method (or Using forces the
+		// mechanism); each qualifying pair is reported once.
+		strategy, serr := parseJoinUsing(req.Using)
+		if serr != nil {
+			writeError(w, http.StatusBadRequest, serr)
+			return
+		}
+		pairs, st, err = h.s.SelfJoinPlanned(req.Eps, t, strategy)
 	}
-	pairs, st, err := h.s.SelfJoin(req.Eps, t, method)
 	if err != nil {
 		writeEngineError(w, err)
 		return
@@ -394,7 +455,12 @@ func (h *handler) join(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	pairs, st, err := h.s.JoinTwoSided(req.Eps, left, right)
+	strategy, err := parseJoinUsing(req.Using)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pairs, st, err := h.s.JoinTwoSidedPlanned(req.Eps, left, right, strategy)
 	if err != nil {
 		writeEngineError(w, err)
 		return

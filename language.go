@@ -8,11 +8,11 @@ import (
 
 // Output is the result of a query-language statement.
 type Output struct {
-	// Kind is "RANGE", "NN", or "SELFJOIN".
+	// Kind is "RANGE", "NN", "SELFJOIN", or "JOIN".
 	Kind string
 	// Matches holds range/NN answers (sorted by distance).
 	Matches []Match
-	// Pairs holds self-join answers.
+	// Pairs holds join answers.
 	Pairs []Pair
 	// Stats reports the execution cost.
 	Stats Stats
@@ -25,7 +25,7 @@ type Output struct {
 
 // ExplainInfo is the rendered execution plan of one EXPLAIN statement.
 type ExplainInfo struct {
-	// Kind is the planned query kind ("range", "nn", "selfjoin").
+	// Kind is the planned query kind ("range", "nn", "selfjoin", "join").
 	Kind string
 	// Strategy is the resolved execution strategy ("index", "scan",
 	// "scantime"); Forced reports the caller pinned it (USING clause,
@@ -34,6 +34,10 @@ type ExplainInfo struct {
 	Strategy string
 	Forced   bool
 	Reason   string
+	// Method is the paper's Table 1 method letter of a join plan ("a",
+	// "b", "d", or "c/d" when the identity action makes c and d
+	// coincide); empty for range/NN plans.
+	Method string
 	// Transform is the canonical transformation pipeline.
 	Transform string
 	// Series is the store size at planning; Shards the fan-out targets.
@@ -78,6 +82,7 @@ func explainFrom(pl *plan.Plan, st core.ExecStats) *ExplainInfo {
 		Strategy:           pl.Strategy.String(),
 		Forced:             pl.Forced,
 		Reason:             pl.Reason,
+		Method:             pl.Method,
 		Transform:          pl.Transform,
 		Series:             pl.Est.Series,
 		Shards:             append([]int(nil), pl.Shards...),
@@ -110,19 +115,25 @@ func explainFrom(pl *plan.Plan, st core.ExecStats) *ExplainInfo {
 //	RANGE SERIES 'IBM' EPS 2.5 TRANSFORM mavg(20) USING INDEX
 //	RANGE VALUES (20, 21, 20, 23) EPS 1.0 TRANSFORM warp(2)
 //	NN SERIES 'BBA' K 5 TRANSFORM reverse() | mavg(20)
-//	SELFJOIN EPS 1.0 TRANSFORM mavg(20) METHOD d
+//	SELFJOIN EPS 1.0 TRANSFORM mavg(20)
+//	JOIN EPS 1.0 LEFT reverse() | mavg(20) RIGHT mavg(20)
 //	RANGE SERIES 'ZTR' EPS 3 MEAN [5, 15] STD [0.5, 2]
-//	EXPLAIN RANGE SERIES 'IBM' EPS 2.5 TRANSFORM mavg(20)
+//	EXPLAIN SELFJOIN EPS 1.0 TRANSFORM mavg(20) USING AUTO
 //
 // Keywords are case-insensitive. Available transformations: identity(),
 // mavg(l), wmavg(w1, ..., wm), reverse(), scale(c), shift(c), warp(m);
 // they compose left-to-right with '|'. USING selects AUTO (the default:
-// the planner chooses between the index and the scan per query from
-// per-store statistics), INDEX, SCAN (frequency-domain sequential scan),
-// or SCANTIME (naive scan). SELFJOIN's METHOD is one of Table 1's a, b,
-// c, d (default d). An EXPLAIN prefix executes the statement and attaches
-// the plan — strategy, planner reasoning, search rectangle, estimated vs
-// actual cost — as Output.Explain.
+// the planner chooses the execution per query from per-store statistics —
+// index vs scan for RANGE/NN, the Table 1 join method for joins), INDEX,
+// SCAN (frequency-domain sequential scan), or SCANTIME (naive scan).
+// Planned joins report each qualifying pair once; SELFJOIN's METHOD
+// clause instead pins one of Table 1's a, b, c, d with the paper's exact
+// per-method accounting (index methods report pairs twice). JOIN is the
+// generalized two-sided join: ordered pairs (x, y) with
+// D(L(nf(x)), R(nf(y))) <= eps, the sides given by LEFT and RIGHT
+// pipelines. An EXPLAIN prefix executes the statement and attaches the
+// plan — strategy, join method, planner reasoning, search rectangle,
+// estimated vs actual cost, per-shard provenance — as Output.Explain.
 func (db *DB) Query(src string) (*Output, error) {
 	out, err := query.Run(db.eng, src)
 	if err != nil {

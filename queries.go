@@ -238,8 +238,16 @@ const (
 	JoinIndexPlain
 	// JoinIndexTransform is method (d): index-nested-loop with the
 	// transformation applied to index and search rectangles (each pair
-	// reported twice). The default for the query language.
+	// reported twice).
 	JoinIndexTransform
+	// JoinAuto lets the query planner choose among the Table 1 methods per
+	// join from store cardinality, sampled eps selectivity, and measured
+	// join feedback. Planned joins answer canonically — each qualifying
+	// unordered pair reported once with A < B — so every strategy the
+	// planner may choose returns byte-identical pairs; the method-pinned
+	// constants above keep the paper's exact per-method accounting
+	// instead. The default for the query language and the HTTP API.
+	JoinAuto
 )
 
 func (m JoinMethod) engineMethod() (core.JoinMethod, error) {
@@ -257,11 +265,31 @@ func (m JoinMethod) engineMethod() (core.JoinMethod, error) {
 	}
 }
 
+// planWant maps the library's Strategy vocabulary onto the planner's.
+func planWant(s Strategy) (plan.Strategy, error) {
+	switch s {
+	case UseAuto:
+		return plan.Auto, nil
+	case UseIndex:
+		return plan.Index, nil
+	case UseScan:
+		return plan.ScanFreq, nil
+	case UseScanTime:
+		return plan.ScanTime, nil
+	default:
+		return plan.Auto, fmt.Errorf("tsq: unknown strategy %d", int(s))
+	}
+}
+
 // SelfJoin finds all pairs of distinct stored series (x, y) with
 // D(T(nf(x)), T(nf(y))) <= eps using the chosen method. Scan methods
 // report each unordered pair once; index methods report each pair twice
-// (Table 1's accounting).
+// (Table 1's accounting); JoinAuto defers the method to the planner and
+// reports each pair once (the planned joins' canonical accounting).
 func (db *DB) SelfJoin(eps float64, t Transform, method JoinMethod) ([]Pair, Stats, error) {
+	if method == JoinAuto {
+		return db.SelfJoinPlanned(eps, t, UseAuto)
+	}
 	tr, warp, err := t.materialize(db.length)
 	if err != nil {
 		return nil, Stats{}, err
@@ -280,11 +308,36 @@ func (db *DB) SelfJoin(eps float64, t Transform, method JoinMethod) ([]Pair, Sta
 	return db.toPairs(pairs), fromExec(st), nil
 }
 
+// SelfJoinPlanned runs the planned self join: the planner prices the
+// paper's Table 1 methods and executes the cheapest (strategy UseAuto),
+// or the forced mechanism (UseIndex = index-nested-loop, UseScan =
+// early-abandoning nested scan, UseScanTime = naive nested scan). Every
+// strategy answers identically: each qualifying unordered pair once,
+// A < B, sorted.
+func (db *DB) SelfJoinPlanned(eps float64, t Transform, strategy Strategy) ([]Pair, Stats, error) {
+	tr, warp, err := t.materialize(db.length)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if warp != 0 {
+		return nil, Stats{}, fmt.Errorf("tsq: warp is not supported in self joins")
+	}
+	return db.execJoinQuery(core.JoinQuery{Eps: eps, Left: tr, Right: tr}, strategy)
+}
+
 // JoinTwoSided finds all ordered pairs (x, y), x != y, with
 // D(L(nf(x)), R(nf(y))) <= eps — different transformations on the two join
 // sides, e.g. L = Reverse().Then(MovingAverage(20)), R = MovingAverage(20)
-// for Example 2.2's opposite-movement stocks.
+// for Example 2.2's opposite-movement stocks. The join method is chosen
+// by the planner (see JoinTwoSidedPlanned to force one); answers are
+// identical under every method.
 func (db *DB) JoinTwoSided(eps float64, left, right Transform) ([]Pair, Stats, error) {
+	return db.JoinTwoSidedPlanned(eps, left, right, UseAuto)
+}
+
+// JoinTwoSidedPlanned is JoinTwoSided with an explicit strategy request
+// (UseAuto lets the planner choose).
+func (db *DB) JoinTwoSidedPlanned(eps float64, left, right Transform, strategy Strategy) ([]Pair, Stats, error) {
 	lt, lw, err := left.materialize(db.length)
 	if err != nil {
 		return nil, Stats{}, err
@@ -296,7 +349,20 @@ func (db *DB) JoinTwoSided(eps float64, left, right Transform) ([]Pair, Stats, e
 	if lw != 0 || rw != 0 {
 		return nil, Stats{}, fmt.Errorf("tsq: warp is not supported in joins")
 	}
-	pairs, st, err := db.eng.JoinTwoSided(eps, lt, rt)
+	return db.execJoinQuery(core.JoinQuery{Eps: eps, Left: lt, Right: rt, TwoSided: true}, strategy)
+}
+
+// execJoinQuery plans and executes one all-pairs query.
+func (db *DB) execJoinQuery(jq core.JoinQuery, strategy Strategy) ([]Pair, Stats, error) {
+	want, err := planWant(strategy)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	pl, err := db.eng.PlanJoin(jq, want)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	pairs, st, err := db.eng.ExecJoin(jq, pl)
 	if err != nil {
 		return nil, Stats{}, err
 	}

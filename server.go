@@ -46,8 +46,12 @@ import (
 // written series is not the query series, is not among the cached
 // matches, and (for writes that move a feature point) the committed point
 // misses the rectangle; a delete in a shard outside the entry's tag set
-// is dismissed by the tag alone. Only whole-store writes (batch inserts,
-// bulk loads, compaction) still purge everything. Join, subsequence, and
+// is dismissed by the tag alone. Cached join answers carry the analogous
+// proof over the whole store: the written point is tested against the
+// join's transformed store extent expanded by eps (see joinAffected).
+// Only whole-store writes (large batch inserts, bulk loads, compaction)
+// still purge everything — batches of at most smallBatchThreshold series
+// emit per-name events instead (see InsertAll). Subsequence and
 // query-language entries carry no predicate and are evicted on any write
 // (see stream.go).
 //
@@ -156,7 +160,31 @@ type ServerStats struct {
 	Candidates   int64
 	Elapsed      time.Duration
 
+	// Plans is the engine's recent executed-plan ring (oldest first):
+	// every planned range/NN/join execution with its estimated-vs-actual
+	// cost, so planner drift and mispredictions stay visible behind
+	// /stats.
+	Plans []PlanRecord
+
 	Uptime time.Duration
+}
+
+// PlanRecord is one executed plan from the engine's history ring.
+type PlanRecord struct {
+	Seq                int64
+	Kind               string
+	Strategy           string
+	Method             string
+	Forced             bool
+	Reason             string
+	Series             int
+	Shards             int
+	EstCandidates      float64
+	EstCost            float64
+	ActualCandidates   int
+	ActualNodeAccesses int
+	Results            int
+	ElapsedUS          float64
 }
 
 // Stats returns the Server's cumulative counters.
@@ -181,8 +209,35 @@ func (s *Server) Stats() ServerStats {
 		PageReads:    s.pageReads.Load(),
 		Candidates:   s.candidates.Load(),
 		Elapsed:      time.Duration(s.elapsed.Load()),
+		Plans:        s.planHistory(),
 		Uptime:       time.Since(s.started),
 	}
+}
+
+// planHistory converts the engine's executed-plan ring to the public
+// record type.
+func (s *Server) planHistory() []PlanRecord {
+	recs := s.db.eng.PlanHistory()
+	out := make([]PlanRecord, len(recs))
+	for i, r := range recs {
+		out[i] = PlanRecord{
+			Seq:                r.Seq,
+			Kind:               r.Kind,
+			Strategy:           r.Strategy,
+			Method:             r.Method,
+			Forced:             r.Forced,
+			Reason:             r.Reason,
+			Series:             r.Series,
+			Shards:             r.Shards,
+			EstCandidates:      r.EstCandidates,
+			EstCost:            r.EstCost,
+			ActualCandidates:   r.ActualCandidates,
+			ActualNodeAccesses: r.ActualNodeAccesses,
+			Results:            r.Results,
+			ElapsedUS:          r.ElapsedUS,
+		}
+	}
+	return out
 }
 
 func (s *Server) record(st Stats) {
@@ -210,6 +265,14 @@ func (s *Server) record(st Stats) {
 // every final state — transiently stale reads in the commit-to-invalidate
 // window are the same linearization the whole-cache purge already had.
 func (s *Server) write(fn func() (mutated bool, err error), evf func() writeEvent) error {
+	return s.writeEvents(fn, func() []writeEvent { return []writeEvent{evf()} })
+}
+
+// writeEvents is write's multi-event form: a mutation that commits as
+// several independent single-series writes (a small batch insert) emits
+// one event per series, each with its own version, so the cache can
+// defend entries against the batch selectively instead of purging.
+func (s *Server) writeEvents(fn func() (mutated bool, err error), evsf func() []writeEvent) error {
 	if !s.sharded {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -217,15 +280,19 @@ func (s *Server) write(fn func() (mutated bool, err error), evf func() writeEven
 	mutated, err := fn()
 	if mutated {
 		s.writes.Add(1)
-		ev := evf()
+		evs := evsf()
 		if s.sharded {
-			v := s.version.Add(1)
 			s.cacheGuard.Lock()
-			s.logWriteLocked(v, ev)
-			s.invalidateFor(ev)
+			for _, ev := range evs {
+				v := s.version.Add(1)
+				s.logWriteLocked(v, ev)
+				s.invalidateFor(ev)
+			}
 			s.cacheGuard.Unlock()
 		} else {
-			s.invalidateFor(ev)
+			for _, ev := range evs {
+				s.invalidateFor(ev)
+			}
 		}
 	}
 	return err
@@ -307,12 +374,23 @@ func (s *Server) Insert(name string, values []float64) error {
 	return err
 }
 
+// smallBatchThreshold is the batch size up to which InsertAll emits
+// per-name write events instead of purging the whole cache: each event
+// costs one predicate pass over the cache, so a small batch stays cheap
+// while a bulk load (whose events would mostly purge everything anyway)
+// keeps the single barrier.
+const smallBatchThreshold = 16
+
 // InsertAll inserts a batch atomically: on any error (duplicate name,
 // wrong length) every series inserted so far is rolled back and the store
 // is unchanged — unlike DB.InsertAll, which stops at the first error and
 // keeps the prefix. Atomicity makes failed uploads cleanly retryable.
+// Batches of at most smallBatchThreshold series invalidate the cache
+// selectively (one per-name event per series, like Insert); larger
+// batches purge it.
 func (s *Server) InsertAll(batch []NamedSeries) error {
-	err := s.write(func() (bool, error) {
+	committed := false
+	err := s.writeEvents(func() (bool, error) {
 		for i, b := range batch {
 			if err := s.db.Insert(b.Name, b.Values); err != nil {
 				for j := i - 1; j >= 0; j-- {
@@ -327,8 +405,20 @@ func (s *Server) InsertAll(batch []NamedSeries) error {
 				return i > 0, err
 			}
 		}
+		committed = true
 		return len(batch) > 0, nil
-	}, barrier)
+	}, func() []writeEvent {
+		if !committed || len(batch) > smallBatchThreshold {
+			// A rolled-back batch exposed transient state with no committed
+			// points to defend against: purge.
+			return []writeEvent{barrier()}
+		}
+		evs := make([]writeEvent, len(batch))
+		for i, b := range batch {
+			evs[i] = s.namedEvent(writeInsert, b.Name)()
+		}
+		return evs
+	})
 	if err == nil {
 		for _, b := range batch {
 			s.notifyWrite(b.Name)
@@ -654,29 +744,63 @@ func (s *Server) matchQuery(key string, run func() ([]Match, Stats, error), affe
 }
 
 // SelfJoin runs DB.SelfJoin under the shared lock, with result caching.
+// Cached join entries are dependency-tagged with the join's transformed
+// store extent: single-series writes provably out of eps reach of every
+// stored series retain them (see joinAffected).
 func (s *Server) SelfJoin(eps float64, t Transform, method JoinMethod) ([]Pair, Stats, error) {
+	if method == JoinAuto {
+		return s.SelfJoinPlanned(eps, t, UseAuto)
+	}
+	// Method c ignores the transformation, so its dependency geometry is
+	// the identity join's.
+	pt := t
+	if method == JoinIndexPlain {
+		pt = Identity()
+	}
 	key := fmt.Sprintf("selfjoin|eps=%g|t=%s|m=%d", eps, t.Canonical(), int(method))
 	return s.pairsQuery(key, func() ([]Pair, Stats, error) {
 		return s.db.SelfJoin(eps, t, method)
-	})
+	}, s.joinAffected(eps, pt, pt, false))
+}
+
+// SelfJoinPlanned runs DB.SelfJoinPlanned (cost-based join method
+// selection under UseAuto) with result caching.
+func (s *Server) SelfJoinPlanned(eps float64, t Transform, strategy Strategy) ([]Pair, Stats, error) {
+	key := fmt.Sprintf("selfjoin|eps=%g|t=%s|u=%d", eps, t.Canonical(), int(strategy))
+	return s.pairsQuery(key, func() ([]Pair, Stats, error) {
+		return s.db.SelfJoinPlanned(eps, t, strategy)
+	}, s.joinAffected(eps, t, t, false))
 }
 
 // JoinTwoSided runs DB.JoinTwoSided under the shared lock, with result
 // caching.
 func (s *Server) JoinTwoSided(eps float64, left, right Transform) ([]Pair, Stats, error) {
-	key := fmt.Sprintf("join2|eps=%g|l=%s|r=%s", eps, left.Canonical(), right.Canonical())
-	return s.pairsQuery(key, func() ([]Pair, Stats, error) {
-		return s.db.JoinTwoSided(eps, left, right)
-	})
+	return s.JoinTwoSidedPlanned(eps, left, right, UseAuto)
 }
 
-func (s *Server) pairsQuery(key string, run func() ([]Pair, Stats, error)) ([]Pair, Stats, error) {
+// JoinTwoSidedPlanned is JoinTwoSided with an explicit strategy request,
+// with result caching.
+func (s *Server) JoinTwoSidedPlanned(eps float64, left, right Transform, strategy Strategy) ([]Pair, Stats, error) {
+	key := fmt.Sprintf("join2|eps=%g|l=%s|r=%s|u=%d", eps, left.Canonical(), right.Canonical(), int(strategy))
+	return s.pairsQuery(key, func() ([]Pair, Stats, error) {
+		return s.db.JoinTwoSidedPlanned(eps, left, right, strategy)
+	}, s.joinAffected(eps, left, right, true))
+}
+
+// pairsQuery serves a join-shaped query through the cache. affectedFor,
+// when non-nil, builds the entry's write-invalidation predicate and shard
+// tags from the computed pairs.
+func (s *Server) pairsQuery(key string, run func() ([]Pair, Stats, error), affectedFor func([]Pair) (func(writeEvent) bool, []int)) ([]Pair, Stats, error) {
 	r, st, err := s.readQuery(key, func() (cachedResult, error) {
 		p, qst, err := run()
 		if err != nil {
 			return cachedResult{}, err
 		}
-		return cachedResult{pairs: p, stats: qst}, nil
+		out := cachedResult{pairs: p, stats: qst}
+		if affectedFor != nil {
+			out.affected, out.shards = affectedFor(p)
+		}
+		return out, nil
 	})
 	if err != nil {
 		return nil, Stats{}, err

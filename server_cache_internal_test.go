@@ -195,6 +195,156 @@ func TestInsertIntoRectangleEvicts(t *testing.T) {
 	}
 }
 
+// twoCycle builds a series whose normal-form energy sits in X_2 — a
+// dimension where the fixture's store (cluster in X_1, outliers in X_8)
+// has essentially zero extent, so its feature point lies provably outside
+// the store's eps-expanded extent.
+func twoCycle(amp float64, phase float64) []float64 {
+	vals := make([]float64, 32)
+	for j := range vals {
+		vals[j] = amp * sin(float64(2*j)/32+phase)
+	}
+	return vals
+}
+
+// TestJoinCacheSelective: cached join answers carry the whole-store
+// dependency geometry — a write provably out of eps reach of every
+// stored series retains the entry, a delete of an unpaired series
+// retains it, and writes that could form or break a pair evict it
+// (including a pair between two successively retained far-away inserts,
+// which the absorbed extent catches).
+func TestJoinCacheSelective(t *testing.T) {
+	s := cacheFixture(t)
+	join := func() (int, bool) {
+		p, st, err := s.SelfJoin(0.5, Identity(), JoinAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(p), st.Cached
+	}
+	nPairs, _ := join()
+	if nPairs == 0 {
+		t.Fatal("fixture cluster produced no join pairs")
+	}
+	if _, cached := join(); !cached {
+		t.Fatal("repeat join missed the cache")
+	}
+
+	// Insert far outside every stored series' eps reach: retained.
+	if err := s.Insert("F00", twoCycle(20, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, cached := join(); !cached {
+		t.Fatal("unreachable insert evicted the cached join")
+	}
+	// A second insert close to the first: the absorbed extent must catch
+	// the new pair (F00, F01) even though both are far from the original
+	// store.
+	if err := s.Insert("F01", twoCycle(20, 0.001)); err != nil {
+		t.Fatal(err)
+	}
+	if _, cached := join(); cached {
+		t.Fatal("insert pairing with a retained far-away series kept the cached join")
+	}
+
+	// Re-warm with one unpaired far-away singleton in the store; deleting
+	// it retains the entry, deleting a paired member evicts it.
+	s.Delete("F00")
+	s.Delete("F01")
+	if err := s.Insert("F02", twoCycle(20, 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	pairs, _, err := s.SelfJoin(0.5, Identity(), JoinAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if p.A == "F02" || p.B == "F02" {
+			t.Fatal("fixture assumption broken: F02 joined a pair")
+		}
+	}
+	if _, cached := join(); !cached {
+		t.Fatal("warming join missed")
+	}
+	if !s.Delete("F02") {
+		t.Fatal("F02 vanished")
+	}
+	if _, cached := join(); !cached {
+		t.Fatal("unpaired delete evicted the cached join")
+	}
+	if !s.Delete(pairs[0].A) {
+		t.Fatal("paired member vanished")
+	}
+	if _, cached := join(); cached {
+		t.Fatal("paired-member delete kept the cached join")
+	}
+}
+
+// TestSmallBatchInsertAllSelective: InsertAll batches up to the
+// threshold emit per-name events — cached entries the batch provably
+// cannot affect survive — while larger batches still purge.
+func TestSmallBatchInsertAllSelective(t *testing.T) {
+	s := cacheFixture(t)
+	warm := func() bool {
+		_, st, err := s.RangeByName("C00", 0.5, Identity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cached
+	}
+	outlier := func(i int) []float64 {
+		vals := make([]float64, 32)
+		for j := range vals {
+			vals[j] = 20 * sin(float64(8*j)/32+float64(100+i))
+		}
+		return vals
+	}
+
+	// Small batch of far-away series: retained.
+	warm()
+	if !warm() {
+		t.Fatal("warming query missed")
+	}
+	small := make([]NamedSeries, 4)
+	for i := range small {
+		small[i] = NamedSeries{Name: fmt.Sprintf("S%02d", i), Values: outlier(i)}
+	}
+	if err := s.InsertAll(small); err != nil {
+		t.Fatal(err)
+	}
+	if !warm() {
+		t.Fatal("small unrelated batch purged the cache")
+	}
+
+	// Small batch containing one series inside the cached rectangle:
+	// evicted.
+	hit := []NamedSeries{
+		{Name: "S90", Values: outlier(90)},
+		{Name: "C90", Values: clusterSeries(0.003)},
+	}
+	if err := s.InsertAll(hit); err != nil {
+		t.Fatal(err)
+	}
+	if warm() {
+		t.Fatal("batch entering the rectangle kept the cached entry")
+	}
+
+	// Large batch: purges even when every series is far away.
+	if !warm() {
+		t.Fatal("warming query missed")
+	}
+	big := make([]NamedSeries, smallBatchThreshold+1)
+	for i := range big {
+		big[i] = NamedSeries{Name: fmt.Sprintf("B%02d", i), Values: outlier(200 + i)}
+	}
+	if err := s.InsertAll(big); err != nil {
+		t.Fatal(err)
+	}
+	if warm() {
+		t.Fatal("bulk batch did not purge the cache")
+	}
+}
+
 // TestEntryShardTags: cached entries carry the shard set their answers
 // live in.
 func TestEntryShardTags(t *testing.T) {

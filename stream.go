@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/feature"
 	"repro/internal/geom"
+	"repro/internal/plan"
 	"repro/internal/stream"
 )
 
@@ -48,14 +49,15 @@ import (
 //
 // # Cache interaction
 //
-// Where Insert/Update/Delete purge the whole result cache, an append
-// evicts selectively: a cached range or NN answer survives when the
-// appended series is not the query series, is not among the cached
-// matches, and its new feature point misses the query's search rectangle —
-// the Lemma 1 test proving the answer unchanged. Join, subsequence, and
-// query-language entries are always evicted. The write-version guard is
-// unchanged: an append bumps the version, so any query racing the append
-// can never cache a stale answer.
+// An append evicts from the result cache selectively: a cached range or
+// NN answer survives when the appended series is not the query series, is
+// not among the cached matches, and its new feature point misses the
+// query's search rectangle — the Lemma 1 test proving the answer
+// unchanged. A cached join answer survives when the appended series joins
+// no pair and its new point misses the join's eps-expanded store extent
+// (see joinAffected). Subsequence and query-language entries are always
+// evicted. The write-version guard is unchanged: an append bumps the
+// version, so any query racing the append can never cache a stale answer.
 
 // Append slides a stored series' window forward by the given points. Like
 // every DB write, it requires external synchronization on an unsharded
@@ -292,6 +294,52 @@ func (s *Server) rangeAffected(queryName string, values []float64, eps float64, 
 		}
 		members, shards := s.memberTags(queryName, matches)
 		return affectedPredicate(queryName, members, shards, pf, eps), shards
+	}
+}
+
+// joinAffected builds the cached-entry invalidation predicate for a join
+// answer. A join depends on every stored series, so the entry's shard tag
+// is the whole shard set and deletes decide on pair membership alone (a
+// deleted series in no pair removed nothing). For writes that commit a
+// feature point, the engine's JoinPrefilter tests the point against the
+// join's transformed store extent expanded by eps (Lemma 1 both ways): a
+// miss proves no stored series can pair with the written one, and the
+// missed point is absorbed into the extent so a later nearby write still
+// evicts. A nil return means "cannot prove anything — always invalidate"
+// (e.g. an index-unsafe transformation with no affine action).
+func (s *Server) joinAffected(eps float64, left, right Transform, twoSided bool) func([]Pair) (func(writeEvent) bool, []int) {
+	return func(pairs []Pair) (func(writeEvent) bool, []int) {
+		lt, lw, err := left.materialize(s.db.length)
+		if err != nil || lw != 0 {
+			return nil, nil
+		}
+		rt, rw, err := right.materialize(s.db.length)
+		if err != nil || rw != 0 {
+			return nil, nil
+		}
+		jp, err := s.db.eng.JoinPrefilter(core.JoinQuery{Eps: eps, Left: lt, Right: rt, TwoSided: twoSided})
+		if err != nil {
+			return nil, nil
+		}
+		members := make(map[string]bool, 2*len(pairs))
+		for _, p := range pairs {
+			members[p.A] = true
+			members[p.B] = true
+		}
+		shards := plan.AllShards(s.db.Shards())
+		return func(ev writeEvent) bool {
+			switch ev.kind {
+			case writeDelete:
+				return members[ev.name]
+			case writeAppend, writeInsert, writeUpdate:
+				if members[ev.name] || ev.point == nil {
+					return true
+				}
+				return jp.Hit(ev.point)
+			default:
+				return true
+			}
+		}, shards
 	}
 }
 

@@ -108,7 +108,7 @@ func TestServerAppendParity(t *testing.T) {
 // TestAppendCacheSelective pins the append path's cache semantics: an
 // append provably outside a cached answer's search rectangle keeps the
 // entry; an append that enters, touches a cached match, or touches the
-// query series evicts it; join-shaped entries always evict.
+// query series evicts it; join entries evict when a joined member moves.
 func TestAppendCacheSelective(t *testing.T) {
 	for _, shards := range []int{1, 4} {
 		s := tsq.NewServer(tsq.MustOpen(tsq.Options{Length: streamLen, Shards: shards}), tsq.ServerOptions{})
@@ -206,7 +206,10 @@ func TestAppendCacheSelective(t *testing.T) {
 		if cached(rangeByA0) {
 			t.Fatal("append to the query series kept the entry")
 		}
-		// Join entries carry no predicate: any append evicts.
+		// Join entries carry the whole-store dependency predicate: an
+		// append to a series that appears in a cached pair evicts. (B5 is
+		// a member — its window is a0's by now, deep inside the A
+		// cluster.)
 		join := func() (tsq.Stats, error) {
 			_, st, err := s.SelfJoin(1, tsq.Identity(), tsq.JoinScanEarlyAbandon)
 			return st, err
@@ -221,7 +224,7 @@ func TestAppendCacheSelective(t *testing.T) {
 			t.Fatal(err)
 		}
 		if cached(join) {
-			t.Fatal("append kept a cached join entry")
+			t.Fatal("append to a joined member kept the cached join entry")
 		}
 		// Non-append writes still purge everything. (Warm first: the
 		// join-section append evicted the range entry too, B5 being a
