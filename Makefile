@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt serve clean bench-smoke bench-throughput bench-append bench-plan bench-join
+.PHONY: build test vet fmt serve clean bench-smoke bench-throughput bench-append bench-plan bench-join bench-metrics-overhead
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ bench-plan:
 # to BENCH_5.json.
 bench-join:
 	TSQ_BENCH_OUT=$(CURDIR)/BENCH_5.json $(GO) test -run TestJoinReport -timeout 20m -v .
+
+# Measure the telemetry tax on the bench-plan query mix: the same
+# workload with the metrics registry enabled vs disabled must stay
+# within a 3% budget (median of paired chunk timings).
+bench-metrics-overhead:
+	TSQ_BENCH_OVERHEAD=1 $(GO) test -run TestMetricsOverhead -count=1 -v .
 
 vet:
 	$(GO) vet ./...

@@ -3,9 +3,12 @@
 // against a running tsqd server, from -query or interactively from
 // standard input (one statement per line). Subcommands against a remote
 // server: `append` slides series windows forward, `watch` follows a
-// standing query's enter/leave events, and `stats` prints the server's
+// standing query's enter/leave events, `stats` prints the server's
 // counters (`stats -plans` adds the recent executed-plan ring with
-// estimated-vs-actual cost).
+// estimated-vs-actual cost and per-kind error percentiles, `stats
+// -slow` the slow-query log with trace spans), and `metrics` scrapes
+// and validates the /metrics Prometheus exposition. A TRACE statement
+// prefix prints the execution's span tree with per-shard timings.
 //
 // Usage:
 //
@@ -24,6 +27,9 @@
 //	tsqcli -remote http://localhost:8080 watch -kind range -series W0007 -eps 2 -transform "mavg(20)"
 //	tsqcli -remote http://localhost:8080 watch -kind nn -series W0007 -k 5
 //	tsqcli -remote http://localhost:8080 stats -plans
+//	tsqcli -remote http://localhost:8080 stats -slow
+//	tsqcli -remote http://localhost:8080 metrics
+//	tsqcli -data walks.csv -query "TRACE RANGE SERIES 'W0007' EPS 2 TRANSFORM mavg(20)"
 //
 // The query language:
 //
@@ -43,14 +49,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	tsq "repro"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -73,8 +82,10 @@ func main() {
 			err = runWatch(*remote, args[1:])
 		case "stats":
 			err = runStats(*remote, args[1:])
+		case "metrics":
+			err = runMetrics(*remote)
 		default:
-			err = fmt.Errorf("unknown subcommand %q (want append, watch, or stats)", args[0])
+			err = fmt.Errorf("unknown subcommand %q (want append, watch, stats, or metrics)", args[0])
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tsqcli:", err)
@@ -187,7 +198,8 @@ func runStats(remote string, args []string) error {
 		return fmt.Errorf("stats requires -remote")
 	}
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
-	plans := fs.Bool("plans", false, "print the recent executed plans (est vs actual)")
+	plans := fs.Bool("plans", false, "print the recent executed plans (est vs actual) with per-kind cost-error percentiles")
+	slow := fs.Bool("slow", false, "print the server's slow-query log with trace spans")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -196,9 +208,12 @@ func runStats(remote string, args []string) error {
 		st  *server.StatsResponse
 		err error
 	)
-	if *plans {
+	switch {
+	case *plans:
 		st, err = client.StatsWithPlans()
-	} else {
+	case *slow:
+		st, err = client.StatsWithSlow()
+	default:
 		st, err = client.Stats()
 	}
 	if err != nil {
@@ -236,8 +251,90 @@ func runStats(remote string, args []string) error {
 				p.EstCandidates, p.EstCost, p.ActualCandidates, p.ActualNodeAccesses,
 				p.Results, p.ElapsedUS/1000, drift)
 		}
+		printCostErrors(st.Plans)
+	}
+	if *slow {
+		if len(st.Slow) == 0 {
+			fmt.Println("no slow queries recorded")
+			return nil
+		}
+		fmt.Printf("slow-query log (%d entries, oldest first):\n", len(st.Slow))
+		for _, q := range st.Slow {
+			fmt.Printf("  %s  %.2f ms  %s\n", q.When.Format("15:04:05"), q.ElapsedUS/1000, q.Query)
+			printSpanPayloads(q.Spans, 2)
+		}
 	}
 	return nil
+}
+
+// runMetrics fetches a tsqd server's /metrics exposition, validates it
+// with the strict parser, and prints it verbatim — so CI (and curl-less
+// humans) can both scrape and syntax-check in one command.
+func runMetrics(remote string) error {
+	if remote == "" {
+		return fmt.Errorf("metrics requires -remote")
+	}
+	text, err := server.NewClient(remote).Metrics()
+	if err != nil {
+		return err
+	}
+	samples, err := telemetry.ParseText(strings.NewReader(text))
+	if err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+	fmt.Print(text)
+	fmt.Fprintf(os.Stderr, "tsqcli: exposition OK, %d samples\n", len(samples))
+	return nil
+}
+
+// printCostErrors summarizes the planner's estimate quality per query
+// kind from the executed-plan ring: the p50/p95 of the absolute relative
+// candidate-count error |actual - est| / max(est, 1).
+func printCostErrors(plans []server.PlanRecordPayload) {
+	byKind := make(map[string][]float64)
+	for _, p := range plans {
+		e := math.Abs(float64(p.ActualCandidates)-p.EstCandidates) / math.Max(p.EstCandidates, 1)
+		byKind[p.Kind] = append(byKind[p.Kind], e)
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Println("planner cost error |actual-est|/max(est,1) per kind:")
+	for _, k := range kinds {
+		errs := byKind[k]
+		sort.Float64s(errs)
+		fmt.Printf("  %-8s p50 %.2f  p95 %.2f  (n=%d)\n",
+			k, percentile(errs, 0.50), percentile(errs, 0.95), len(errs))
+	}
+}
+
+// percentile returns the nearest-rank q-quantile of sorted values.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// printSpanPayloads renders a wire-format span tree, indented by depth.
+func printSpanPayloads(spans []server.SpanPayload, depth int) {
+	for _, sp := range spans {
+		name := sp.Name
+		if sp.Name == "shard" {
+			name = fmt.Sprintf("shard %d", sp.Shard)
+		}
+		fmt.Printf("%*s%-12s %8.3f ms\n", 2*depth, "", name, sp.DurationUS/1000)
+		printSpanPayloads(sp.Children, depth+1)
+	}
 }
 
 // runWatch registers (or attaches to) a monitor and prints its events
@@ -397,6 +494,26 @@ func printExplain(e *tsq.ExplainInfo) {
 	}
 }
 
+// printTrace renders a TRACE statement's span tree: the plan, fan-out
+// (with per-shard wall times), merge, and cache-tag steps, indented by
+// nesting depth.
+func printTrace(tr *tsq.TraceInfo) {
+	fmt.Printf("trace: %.3f ms total\n", float64(tr.Total.Microseconds())/1000)
+	var walk func(spans []tsq.SpanInfo, depth int)
+	walk = func(spans []tsq.SpanInfo, depth int) {
+		for _, sp := range spans {
+			name := sp.Name
+			if sp.Name == "shard" {
+				name = fmt.Sprintf("shard %d", sp.Shard)
+			}
+			fmt.Printf("%*s%-12s %8.3f ms\n", 2*depth, "", name,
+				float64(sp.Duration.Microseconds())/1000)
+			walk(sp.Children, depth+1)
+		}
+	}
+	walk(tr.Spans, 1)
+}
+
 func execute(exec executor, src string, maxRows int) error {
 	out, err := exec(src)
 	if err != nil {
@@ -404,6 +521,9 @@ func execute(exec executor, src string, maxRows int) error {
 	}
 	if out.Explain != nil {
 		printExplain(out.Explain)
+	}
+	if out.Trace != nil {
+		printTrace(out.Trace)
 	}
 	cached := ""
 	if out.Stats.Cached {

@@ -5,7 +5,11 @@
 // streaming surface: window-sliding appends, standing-query monitors, and
 // the /watch SSE event stream — and on shutdown (SIGINT/SIGTERM) writes
 // the snapshot back if -snapshot was given. -retain bounds the events
-// kept per monitor for gapless /watch reconnects.
+// kept per monitor for gapless /watch reconnects. GET /metrics exposes
+// the process's telemetry registry (query, cache, planner, shard, and
+// stream counters plus runtime gauges) in the Prometheus text format,
+// and -pprof mounts net/http/pprof on a side listener so profiling
+// stays off the query port.
 //
 // Usage:
 //
@@ -14,6 +18,7 @@
 //	tsqd -snapshot db.tsq -length 128        # empty DB, persisted on exit
 //	tsqd -data walks.csv -shards 8           # hash-partitioned, parallel fan-out
 //	tsqd -data walks.csv -retain 1024        # deeper /watch replay buffer
+//	tsqd -data walks.csv -pprof localhost:6060  # profiling side listener
 //
 //	curl localhost:8080/healthz
 //	curl -X POST localhost:8080/query \
@@ -32,14 +37,17 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only by the -pprof side listener
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"syscall"
 	"time"
 
 	tsq "repro"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -54,16 +62,17 @@ func main() {
 		shards   = flag.Int("shards", 0, "hash-partitioned shards; queries fan out in parallel and writers lock only their shard (0 = a loaded snapshot's count, else 1)")
 		retain   = flag.Int("retain", tsq.DefaultMonitorRetain, "events retained per monitor so reconnecting /watch clients can resume gaplessly (0 disables replay)")
 		refresh  = flag.Int("refresh", 0, "appends a series may accumulate before its stored spectrum is refreshed with the exact FFT (0 = default 32; applies to stores built from -data or empty — snapshots load with the default); lower favors read-heavy workloads, higher favors ingest bursts — answers are identical either way")
+		pprof    = flag.String("pprof", "", "address of a net/http/pprof side listener (e.g. localhost:6060; empty disables) — profiling stays off the query port")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dataPath, *snapPath, *length, *k, *space, *cache, *shards, *retain, *refresh); err != nil {
+	if err := run(*addr, *dataPath, *snapPath, *length, *k, *space, *cache, *shards, *retain, *refresh, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "tsqd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize, shards, retain, refresh int) error {
+func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize, shards, retain, refresh int, pprofAddr string) error {
 	db, origin, err := loadDB(dataPath, snapPath, length, k, space, shards, refresh)
 	if err != nil {
 		return err
@@ -82,6 +91,18 @@ func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize
 	// would block on them until its deadline.
 	baseCtx, closeStreams := context.WithCancel(context.Background())
 	defer closeStreams()
+
+	if pprofAddr != "" {
+		go func() {
+			log.Printf("tsqd: pprof listening on %s", pprofAddr)
+			// The blank net/http/pprof import registered /debug/pprof on
+			// the default mux; the main API handler below uses its own.
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				log.Printf("tsqd: pprof listener: %v", err)
+			}
+		}()
+	}
+	go sampleRuntime(baseCtx, 10*time.Second)
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           server.New(srv),
@@ -172,6 +193,36 @@ func openEmpty(length, k int, space string, shards, refresh int) (*tsq.DB, error
 		return nil, err
 	}
 	return tsq.Open(tsq.Options{Length: length, K: k, Space: sp, Shards: shards, RefreshEvery: refresh})
+}
+
+func init() {
+	telemetry.Describe("tsq_goroutines", "Live goroutines.")
+	telemetry.Describe("tsq_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	telemetry.Describe("tsq_heap_objects", "Allocated heap objects.")
+	telemetry.Describe("tsq_gc_pause_last_seconds", "Most recent GC stop-the-world pause.")
+	telemetry.Describe("tsq_gc_cycles_total", "Completed GC cycles.")
+}
+
+// sampleRuntime periodically feeds process health — goroutine count, heap
+// size, GC activity — into the telemetry registry, so /metrics shows the
+// runtime next to the query metrics without a scrape-time ReadMemStats.
+func sampleRuntime(ctx context.Context, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		telemetry.GaugeOf("tsq_goroutines").Set(float64(runtime.NumGoroutine()))
+		telemetry.GaugeOf("tsq_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+		telemetry.GaugeOf("tsq_heap_objects").Set(float64(ms.HeapObjects))
+		telemetry.GaugeOf("tsq_gc_pause_last_seconds").Set(float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9)
+		telemetry.GaugeOf("tsq_gc_cycles_total").Set(float64(ms.NumGC))
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
 }
 
 // saveSnapshot writes the snapshot atomically: temp file, then rename.

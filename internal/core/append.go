@@ -11,6 +11,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/series"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/transform"
 )
 
@@ -142,6 +143,9 @@ func (db *DB) refreshSpectrum(id int64, st *streamState, window []float64) error
 	st.specStale = false
 	st.sinceRefresh = 0
 	st.derived.Store(nil)
+	if telemetry.Enabled() {
+		telemetry.Count("tsq_spectrum_refreshes_total").Inc()
+	}
 	return nil
 }
 

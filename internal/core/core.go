@@ -380,6 +380,15 @@ type ExecStats struct {
 	// the merged answer. Nil on single-store executions (and on the global
 	// nested scan join, whose workers stride across shards).
 	Shards []ShardExec
+	// Strategy is the resolved execution strategy of a planned run
+	// ("index", "scan", "scantime"); empty when the caller pinned a
+	// method outside the planner.
+	Strategy string
+	// Spans is the execution's trace tree — named wall-time spans for the
+	// plan → fan-out → merge pipeline, with per-shard children. Populated
+	// by planned executions; TRACE statements and the server's slow-query
+	// log surface it.
+	Spans []Span
 }
 
 // Result is one similarity-query answer.

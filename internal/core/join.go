@@ -206,12 +206,15 @@ func (db *DB) execJoinTimed(jp *joinPlan, run func(*ExecStats) ([]JoinPair, erro
 	timer := stats.StartTimer()
 	reads0 := db.pageReads()
 	out, err := run(&st)
+	searchD := timer.Elapsed()
 	if err != nil {
 		return nil, st, err
 	}
+	mergeT := stats.StartTimer()
 	sortPairs(out)
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
+	st.Spans = []Span{span("search", searchD), span("merge", mergeT.Elapsed())}
 	st.Elapsed = timer.Elapsed()
 	return out, st, nil
 }
@@ -637,5 +640,6 @@ func (db *DB) ExecJoin(q JoinQuery, pl *plan.Plan) ([]JoinPair, ExecStats, error
 		db.tracker.ObserveJoin(pl.Est.Candidates, st.Candidates, st.NodeAccesses, db.Len())
 	}
 	db.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
+	finishExec(pl, &st, st.Spans)
 	return out, st, nil
 }

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"repro/internal/feature"
+	"repro/internal/plan"
 )
 
 // Snapshot formats: small self-describing binary layouts (little endian).
@@ -43,6 +44,19 @@ import (
 var (
 	snapshotMagic   = [4]byte{'T', 'S', 'Q', '1'}
 	snapshotMagicV2 = [4]byte{'T', 'S', 'Q', '2'}
+
+	// historyMagic introduces the optional plan-history trailer appended
+	// after the series records by either version:
+	//
+	//	magic [4]byte "PLNH"
+	//	seq   int64   history sequence counter
+	//	count uint32  retained records, oldest first
+	//	repeat count times: the plan.Record fields in order (strings as
+	//	  uint16 length + bytes, ints as int64, bools as uint8)
+	//
+	// A snapshot that ends after the series records simply has no trailer
+	// (the pre-trailer format); readers accept both.
+	historyMagic = [4]byte{'P', 'L', 'N', 'H'}
 )
 
 // snapshotHeader is the decoded fixed-size prefix of either format.
@@ -119,6 +133,54 @@ func (w *snapshotWriter) writeSeries(name string, vals []float64) error {
 	return w.write(vals)
 }
 
+// writeString emits a length-prefixed string for the history trailer.
+func (w *snapshotWriter) writeString(s string) error {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	if err := w.write(uint16(len(s))); err != nil {
+		return err
+	}
+	return w.write([]byte(s))
+}
+
+// writeHistory appends the plan-history trailer, so planner drift
+// diagnostics survive a snapshot round-trip.
+func (w *snapshotWriter) writeHistory(h *plan.History) error {
+	seq, recs := h.Export()
+	if err := w.write(historyMagic); err != nil {
+		return err
+	}
+	if err := w.write(seq); err != nil {
+		return err
+	}
+	if err := w.write(uint32(len(recs))); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		for _, s := range []string{r.Kind, r.Strategy, r.Method, r.Reason} {
+			if err := w.writeString(s); err != nil {
+				return err
+			}
+		}
+		var forced uint8
+		if r.Forced {
+			forced = 1
+		}
+		for _, v := range []interface{}{
+			r.Seq, forced, int64(r.Series), int64(r.Shards),
+			r.EstCandidates, r.EstCost,
+			int64(r.ActualCandidates), int64(r.ActualNodeAccesses),
+			int64(r.Results), r.ElapsedUS,
+		} {
+			if err := w.write(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // WriteTo serializes the DB's contents in the TSQ1 format. It returns the
 // number of bytes written.
 func (db *DB) WriteTo(w io.Writer) (int64, error) {
@@ -134,6 +196,9 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 		if err := sw.writeSeries(db.names[id], vals); err != nil {
 			return sw.n, err
 		}
+	}
+	if err := sw.writeHistory(db.history); err != nil {
+		return sw.n, err
 	}
 	return sw.n, sw.bw.Flush()
 }
@@ -159,6 +224,9 @@ func (s *Sharded) WriteTo(w io.Writer) (int64, error) {
 		if err := sw.writeSeries(e.sh.Name(e.id), vals); err != nil {
 			return sw.n, err
 		}
+	}
+	if err := sw.writeHistory(s.history); err != nil {
+		return sw.n, err
 	}
 	return sw.n, sw.bw.Flush()
 }
@@ -241,6 +309,74 @@ func readSeries(br *bufio.Reader, h snapshotHeader) ([]string, [][]float64, erro
 	return names, values, nil
 }
 
+// readString decodes a length-prefixed trailer string.
+func readString(br *bufio.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// readHistory decodes the optional plan-history trailer. A clean EOF
+// right after the series records means a pre-trailer snapshot: ok is
+// false and the error nil.
+func readHistory(br *bufio.Reader) (seq int64, recs []plan.Record, ok bool, err error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, false, nil
+		}
+		return 0, nil, false, fmt.Errorf("core: reading history trailer: %w", err)
+	}
+	if magic != historyMagic {
+		return 0, nil, false, fmt.Errorf("core: unexpected snapshot trailer (magic %q)", magic[:])
+	}
+	read := func(data interface{}) error {
+		return binary.Read(br, binary.LittleEndian, data)
+	}
+	var count uint32
+	if err := read(&seq); err != nil {
+		return 0, nil, false, fmt.Errorf("core: reading history trailer: %w", err)
+	}
+	if err := read(&count); err != nil {
+		return 0, nil, false, fmt.Errorf("core: reading history trailer: %w", err)
+	}
+	recs = make([]plan.Record, count)
+	for i := range recs {
+		r := &recs[i]
+		for _, dst := range []*string{&r.Kind, &r.Strategy, &r.Method, &r.Reason} {
+			s, err := readString(br)
+			if err != nil {
+				return 0, nil, false, fmt.Errorf("core: reading history record %d: %w", i, err)
+			}
+			*dst = s
+		}
+		var forced uint8
+		var series, shards, actualCand, actualNodes, results int64
+		for _, dst := range []interface{}{
+			&r.Seq, &forced, &series, &shards,
+			&r.EstCandidates, &r.EstCost,
+			&actualCand, &actualNodes, &results, &r.ElapsedUS,
+		} {
+			if err := read(dst); err != nil {
+				return 0, nil, false, fmt.Errorf("core: reading history record %d: %w", i, err)
+			}
+		}
+		r.Forced = forced == 1
+		r.Series = int(series)
+		r.Shards = int(shards)
+		r.ActualCandidates = int(actualCand)
+		r.ActualNodeAccesses = int(actualNodes)
+		r.Results = int(results)
+	}
+	return seq, recs, true, nil
+}
+
 // ReadEngine deserializes a snapshot (either version) into a fresh store,
 // rebuilding derived state with bulk loading. shards selects the
 // partitioning of the loaded store: 0 honors the count recorded in the
@@ -265,6 +401,10 @@ func ReadEngine(r io.Reader, opts Options, shards int) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	seq, recs, haveHist, err := readHistory(br)
+	if err != nil {
+		return nil, err
+	}
 	opts.Schema = h.schema
 	if shards == 1 {
 		db, err := NewDB(h.length, opts)
@@ -274,6 +414,9 @@ func ReadEngine(r io.Reader, opts Options, shards int) (Engine, error) {
 		if err := db.InsertBulk(names, values); err != nil {
 			return nil, err
 		}
+		if haveHist {
+			db.history.Import(seq, recs)
+		}
 		return db, nil
 	}
 	s, err := NewSharded(h.length, shards, opts)
@@ -282,6 +425,9 @@ func ReadEngine(r io.Reader, opts Options, shards int) (Engine, error) {
 	}
 	if err := s.InsertBulk(names, values); err != nil {
 		return nil, err
+	}
+	if haveHist {
+		s.history.Import(seq, recs)
 	}
 	return s, nil
 }

@@ -176,3 +176,77 @@ func TestReadFromErrors(t *testing.T) {
 		t.Error("truncated snapshot should fail")
 	}
 }
+
+func TestSnapshotHistoryRoundTrip(t *testing.T) {
+	run := func(t *testing.T, eng Engine, read func(*bytes.Buffer) (Engine, error)) {
+		walks := dataset.RandomWalks(80, 64, 11)
+		for _, w := range walks {
+			if _, err := eng.Insert(w.Name, w.Values); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mavg := transform.MovingAverage(64, 8)
+		for i := 0; i < 5; i++ {
+			vals, _ := eng.Series(eng.IDs()[i])
+			pl, err := eng.PlanRange(RangeQuery{Values: vals, Eps: 2 + float64(i), Transform: mavg, BothSides: true}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := eng.ExecRange(RangeQuery{Values: vals, Eps: 2 + float64(i), Transform: mavg, BothSides: true}, pl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := eng.PlanHistory()
+		if len(want) != 5 {
+			t.Fatalf("source history has %d records, want 5", len(want))
+		}
+		var buf bytes.Buffer
+		if _, err := eng.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have := got.PlanHistory()
+		if len(have) != len(want) {
+			t.Fatalf("restored history has %d records, want %d", len(have), len(want))
+		}
+		for i := range want {
+			if have[i] != want[i] {
+				t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, have[i], want[i])
+			}
+		}
+		// The restored ring keeps counting from the persisted sequence.
+		vals, _ := got.Series(got.IDs()[0])
+		pl, err := got.PlanRange(RangeQuery{Values: vals, Eps: 2, Transform: mavg, BothSides: true}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := got.ExecRange(RangeQuery{Values: vals, Eps: 2, Transform: mavg, BothSides: true}, pl); err != nil {
+			t.Fatal(err)
+		}
+		recs := got.PlanHistory()
+		if last := recs[len(recs)-1].Seq; last != want[len(want)-1].Seq+1 {
+			t.Fatalf("sequence after restore = %d, want %d", last, want[len(want)-1].Seq+1)
+		}
+	}
+	t.Run("db", func(t *testing.T) {
+		db, err := NewDB(64, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, db, func(buf *bytes.Buffer) (Engine, error) {
+			return ReadEngine(buf, Options{}, 0)
+		})
+	})
+	t.Run("sharded", func(t *testing.T) {
+		s, err := NewSharded(64, 3, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, s, func(buf *bytes.Buffer) (Engine, error) {
+			return ReadEngine(buf, Options{}, 3)
+		})
+	})
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/feature"
 	"repro/internal/geom"
@@ -46,6 +47,10 @@ type ShardExec struct {
 	PageReads    int64
 	Candidates   int
 	Results      int
+	// Elapsed is this shard's wall time inside the fan-out; zero when the
+	// execution strides workers across shards instead of fanning per shard
+	// (the global nested-scan join).
+	Elapsed time.Duration
 }
 
 // plannerInput assembles the planner's view of this store for a planned
@@ -126,7 +131,11 @@ func (db *DB) rangePlanOf(q RangeQuery, pl *plan.Plan) (*rangePlan, error) {
 // selectivity back to the planner after indexed executions.
 func (db *DB) ExecRange(q RangeQuery, pl *plan.Plan) ([]Result, ExecStats, error) {
 	if pl.Strategy == plan.ScanTime {
-		return db.RangeScanTime(q)
+		out, st, err := db.RangeScanTime(q)
+		if err == nil {
+			finishExec(pl, &st, []Span{span("search", st.Elapsed)})
+		}
+		return out, st, err
 	}
 	rp, err := db.rangePlanOf(q, pl)
 	if err != nil {
@@ -144,17 +153,21 @@ func (db *DB) ExecRange(q RangeQuery, pl *plan.Plan) ([]Result, ExecStats, error
 	default:
 		err = fmt.Errorf("core: plan carries unresolved strategy %v", pl.Strategy)
 	}
+	searchD := timer.Elapsed()
 	if err != nil {
 		return nil, st, err
 	}
+	mergeT := stats.StartTimer()
 	sortResults(out)
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
+	mergeD := mergeT.Elapsed()
 	st.Elapsed = timer.Elapsed()
 	if feedRange(q, pl) {
 		db.tracker.ObserveRange(pl.Est.Candidates, st.Candidates, st.NodeAccesses, db.Len())
 	}
 	db.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
+	finishExec(pl, &st, []Span{span("search", searchD), span("merge", mergeD)})
 	return out, st, nil
 }
 
@@ -221,17 +234,21 @@ func (db *DB) ExecNN(q NNQuery, pl *plan.Plan) ([]Result, ExecStats, error) {
 	default:
 		err = fmt.Errorf("core: plan carries unresolved strategy %v", pl.Strategy)
 	}
+	searchD := timer.Elapsed()
 	if err != nil {
 		return nil, st, err
 	}
+	mergeT := stats.StartTimer()
 	out := best.results()
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
+	mergeD := mergeT.Elapsed()
 	st.Elapsed = timer.Elapsed()
 	if pl.Strategy == plan.Index {
 		db.tracker.ObserveNN(st.Candidates, st.NodeAccesses, db.Len())
 	}
 	db.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
+	finishExec(pl, &st, []Span{span("search", searchD), span("merge", mergeD)})
 	return out, st, nil
 }
 
@@ -293,7 +310,11 @@ func (s *Sharded) PlanRange(q RangeQuery, want plan.Strategy) (*plan.Plan, error
 // every shard, recording per-shard provenance in the merged ExecStats.
 func (s *Sharded) ExecRange(q RangeQuery, pl *plan.Plan) ([]Result, ExecStats, error) {
 	if pl.Strategy == plan.ScanTime {
-		return s.RangeScanTime(q)
+		out, st, err := s.RangeScanTime(q)
+		if err == nil {
+			finishExec(pl, &st, st.Spans)
+		}
+		return out, st, err
 	}
 	rp, ok := pl.Internal.(*rangePlan)
 	if !ok || rp == nil {
@@ -320,6 +341,7 @@ func (s *Sharded) ExecRange(q RangeQuery, pl *plan.Plan) ([]Result, ExecStats, e
 		s.tracker.ObserveRange(pl.Est.Candidates, st.Candidates, st.NodeAccesses, s.Len())
 	}
 	s.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
+	finishExec(pl, &st, st.Spans)
 	return out, st, nil
 }
 
@@ -360,6 +382,7 @@ func (s *Sharded) ExecNN(q NNQuery, pl *plan.Plan) ([]Result, ExecStats, error) 
 		s.tracker.ObserveNN(st.Candidates, st.NodeAccesses, s.Len())
 	}
 	s.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
+	finishExec(pl, &st, st.Spans)
 	return out, st, nil
 }
 
@@ -428,6 +451,7 @@ func (s *Sharded) ExecJoin(q JoinQuery, pl *plan.Plan) ([]JoinPair, ExecStats, e
 		s.tracker.ObserveJoin(pl.Est.Candidates, st.Candidates, st.NodeAccesses, s.Len())
 	}
 	s.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
+	finishExec(pl, &st, st.Spans)
 	return out, st, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/feature"
 	"repro/internal/geom"
@@ -437,6 +438,7 @@ func shardProvenance(sts []ExecStats, results []int) []ShardExec {
 			NodeAccesses: sts[si].NodeAccesses,
 			PageReads:    sts[si].PageReads,
 			Candidates:   sts[si].Candidates,
+			Elapsed:      sts[si].Elapsed,
 		}
 		if results != nil {
 			out[si].Results = results[si]
@@ -463,14 +465,18 @@ func (s *Sharded) rangeFanWith(p *rangePlan, run func(*DB, *rangePlan, *ExecStat
 	parts := make([][]Result, len(s.shards))
 	sts := make([]ExecStats, len(s.shards))
 	if err := s.fanOut(func(si int, sh *DB) error {
+		shTimer := stats.StartTimer()
 		reads0 := sh.pageReads()
 		r, err := run(sh, p, &sts[si])
 		sts[si].PageReads = sh.pageReads() - reads0
+		sts[si].Elapsed = shTimer.Elapsed()
 		parts[si] = r
 		return err
 	}); err != nil {
 		return nil, ExecStats{}, err
 	}
+	fanD := timer.Elapsed()
+	mergeT := stats.StartTimer()
 	var out []Result
 	counts := make([]int, len(parts))
 	for si, part := range parts {
@@ -481,6 +487,7 @@ func (s *Sharded) rangeFanWith(p *rangePlan, run func(*DB, *rangePlan, *ExecStat
 	st := mergeStats(sts)
 	st.Results = len(out)
 	st.Shards = shardProvenance(sts, counts)
+	st.Spans = fanSpans(fanD, mergeT.Elapsed(), st.Shards)
 	st.Elapsed = timer.Elapsed()
 	return out, st, nil
 }
@@ -511,6 +518,8 @@ func (s *Sharded) RangeScanTime(q RangeQuery) ([]Result, ExecStats, error) {
 	}); err != nil {
 		return nil, ExecStats{}, err
 	}
+	fanD := timer.Elapsed()
+	mergeT := stats.StartTimer()
 	var out []Result
 	counts := make([]int, len(parts))
 	for si, part := range parts {
@@ -521,6 +530,7 @@ func (s *Sharded) RangeScanTime(q RangeQuery) ([]Result, ExecStats, error) {
 	st := mergeStats(sts)
 	st.Results = len(out)
 	st.Shards = shardProvenance(sts, counts)
+	st.Spans = fanSpans(fanD, mergeT.Elapsed(), st.Shards)
 	st.Elapsed = timer.Elapsed()
 	return out, st, nil
 }
@@ -547,13 +557,17 @@ func (s *Sharded) nnFanWith(k int, p *rangePlan, run func(*DB, *rangePlan, *topK
 	best := newTopK(k)
 	sts := make([]ExecStats, len(s.shards))
 	if err := s.fanOut(func(si int, sh *DB) error {
+		shTimer := stats.StartTimer()
 		reads0 := sh.pageReads()
 		err := run(sh, p, best, &sts[si])
 		sts[si].PageReads = sh.pageReads() - reads0
+		sts[si].Elapsed = shTimer.Elapsed()
 		return err
 	}); err != nil {
 		return nil, ExecStats{}, err
 	}
+	fanD := timer.Elapsed()
+	mergeT := stats.StartTimer()
 	out := best.results()
 	counts := make([]int, len(s.shards))
 	s.mu.RLock()
@@ -566,6 +580,7 @@ func (s *Sharded) nnFanWith(k int, p *rangePlan, run func(*DB, *rangePlan, *topK
 	st := mergeStats(sts)
 	st.Results = len(out)
 	st.Shards = shardProvenance(sts, counts)
+	st.Spans = fanSpans(fanD, mergeT.Elapsed(), st.Shards)
 	st.Elapsed = timer.Elapsed()
 	return out, st, nil
 }
@@ -595,6 +610,8 @@ func (s *Sharded) SubsequenceScan(q []float64, eps float64) ([]SubseqResult, Exe
 	}); err != nil {
 		return nil, ExecStats{}, err
 	}
+	fanD := timer.Elapsed()
+	mergeT := stats.StartTimer()
 	var out []SubseqResult
 	counts := make([]int, len(parts))
 	for si, p := range parts {
@@ -605,6 +622,7 @@ func (s *Sharded) SubsequenceScan(q []float64, eps float64) ([]SubseqResult, Exe
 	st := mergeStats(sts)
 	st.Results = len(out)
 	st.Shards = shardProvenance(sts, counts)
+	st.Spans = fanSpans(fanD, mergeT.Elapsed(), st.Shards)
 	st.Elapsed = timer.Elapsed()
 	return out, st, nil
 }
@@ -774,6 +792,8 @@ func (s *Sharded) joinScanFan(jp *joinPlan, earlyAbandon bool) ([]JoinPair, Exec
 		}(w)
 	}
 	wg.Wait()
+	scanD := timer.Elapsed()
+	mergeT := stats.StartTimer()
 
 	var st ExecStats
 	var out []JoinPair
@@ -796,6 +816,7 @@ func (s *Sharded) joinScanFan(jp *joinPlan, earlyAbandon bool) ([]JoinPair, Exec
 	sortPairs(out)
 	st.Results = len(out)
 	st.PageReads = s.pageReadsLocked() - reads0
+	st.Spans = []Span{span("scan", scanD), span("merge", mergeT.Elapsed())}
 	st.Elapsed = timer.Elapsed()
 	return out, st, nil
 }
@@ -821,6 +842,7 @@ func (s *Sharded) joinIndexFan(jp *joinPlan, selfOnce bool) ([]JoinPair, ExecSta
 		nodeAccesses int
 		candidates   int
 		terms        int64
+		elapsed      time.Duration
 		err          error
 	}
 	results := make([]partial, len(s.shards))
@@ -829,7 +851,9 @@ func (s *Sharded) joinIndexFan(jp *joinPlan, selfOnce bool) ([]JoinPair, ExecSta
 		wg.Add(1)
 		go func(pi int) {
 			defer wg.Done()
+			shTimer := stats.StartTimer()
 			out := &results[pi]
+			defer func() { out.elapsed = shTimer.Elapsed() }()
 			probe := s.shards[pi]
 			for _, qid := range probe.ids {
 				qp := probe.points[qid]
@@ -876,6 +900,8 @@ func (s *Sharded) joinIndexFan(jp *joinPlan, selfOnce bool) ([]JoinPair, ExecSta
 		}(pi)
 	}
 	wg.Wait()
+	fanD := timer.Elapsed()
+	mergeT := stats.StartTimer()
 
 	var st ExecStats
 	var out []JoinPair
@@ -893,11 +919,13 @@ func (s *Sharded) joinIndexFan(jp *joinPlan, selfOnce bool) ([]JoinPair, ExecSta
 			NodeAccesses: r.nodeAccesses,
 			Candidates:   r.candidates,
 			Results:      len(r.pairs),
+			Elapsed:      r.elapsed,
 		}
 	}
 	sortPairs(out)
 	st.Results = len(out)
 	st.PageReads = s.pageReadsLocked() - reads0
+	st.Spans = fanSpans(fanD, mergeT.Elapsed(), st.Shards)
 	st.Elapsed = timer.Elapsed()
 	return out, st, nil
 }

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/telemetry"
+)
+
+// Span is one timed step of a query execution: a node of the trace tree
+// ExecStats carries through the plan → fan-out → merge → cache-tag
+// pipeline. Spans record durations and nesting only (no absolute
+// offsets), which is all the TRACE surface and the slow-query log need
+// and keeps recording to two monotonic clock reads per span.
+type Span struct {
+	// Name identifies the step: "plan", "fanout", "shard", "search",
+	// "merge", "cache-tag".
+	Name string
+	// Shard is the shard index a shard-scoped span ran on; -1 otherwise.
+	Shard int
+	// Duration is the span's wall time.
+	Duration time.Duration
+	// Children are the nested steps, in execution order.
+	Children []Span
+}
+
+func span(name string, d time.Duration, children ...Span) Span {
+	return Span{Name: name, Shard: -1, Duration: d, Children: children}
+}
+
+func shardSpan(shard int, d time.Duration) Span {
+	return Span{Name: "shard", Shard: shard, Duration: d}
+}
+
+func init() {
+	telemetry.Describe("tsq_plan_executions_total", "Planned executions by query kind and resolved strategy.")
+	telemetry.Describe("tsq_plan_duration_seconds", "Engine execution latency of planned queries.")
+	telemetry.Describe("tsq_plan_cost_error_ratio", "Planner absolute relative candidate-count error |actual-est|/max(est,1) per query kind.")
+	telemetry.Describe("tsq_shard_candidates_total", "Verified candidates per shard across fan-out executions.")
+	telemetry.Describe("tsq_shard_node_accesses_total", "Index node accesses per shard across fan-out executions.")
+	telemetry.Describe("tsq_shard_results_total", "Merged answers contributed per shard across fan-out executions.")
+	telemetry.Describe("tsq_pair_checks_total", "Candidate pair checks per shard across join executions.")
+	telemetry.Describe("tsq_fanout_imbalance_ratio", "Max/mean per-shard candidate counts of multi-shard executions.")
+	telemetry.Describe("tsq_spectrum_refreshes_total", "Exact-FFT spectrum record rewrites on the append path.")
+}
+
+// finishExec stamps a completed planned execution with its resolved
+// strategy and span tree, then reports it to the metrics registry. Every
+// Exec* implementation calls it last, beside history.Observe.
+func finishExec(pl *plan.Plan, st *ExecStats, spans []Span) {
+	st.Strategy = pl.Strategy.String()
+	st.Spans = spans
+	observeExec(pl, st)
+}
+
+// fanSpans builds the span forest of a per-shard fan-out: a "fanout"
+// span with one child per shard, followed by the merge step.
+func fanSpans(fan, merge time.Duration, shards []ShardExec) []Span {
+	children := make([]Span, len(shards))
+	for i, sh := range shards {
+		children[i] = shardSpan(sh.Shard, sh.Elapsed)
+	}
+	return []Span{span("fanout", fan, children...), span("merge", merge)}
+}
+
+// execMetricCache memoizes the per-kind×strategy plan handles and
+// shardMetricCache the per-shard counters: observeExec runs on every
+// planned execution, and registry lookups (label-key building plus a map
+// read) are too expensive to repeat there.
+var (
+	execMetricCache  sync.Map // "kind\x00strategy" -> execMetrics
+	shardMetricCache sync.Map // shard int -> shardMetrics
+)
+
+type execMetrics struct {
+	count     *telemetry.Counter
+	latency   *telemetry.Histogram
+	costError *telemetry.Histogram
+	imbalance *telemetry.Histogram
+}
+
+type shardMetrics struct {
+	candidates   *telemetry.Counter
+	nodeAccesses *telemetry.Counter
+	results      *telemetry.Counter
+	pairChecks   *telemetry.Counter
+}
+
+func execHandles(kind, strat string) execMetrics {
+	key := kind + "\x00" + strat
+	if v, ok := execMetricCache.Load(key); ok {
+		return v.(execMetrics)
+	}
+	v, _ := execMetricCache.LoadOrStore(key, execMetrics{
+		count: telemetry.Count("tsq_plan_executions_total", "kind", kind, "strategy", strat),
+		latency: telemetry.HistogramOf("tsq_plan_duration_seconds", telemetry.LatencyBuckets,
+			"kind", kind, "strategy", strat),
+		costError: telemetry.HistogramOf("tsq_plan_cost_error_ratio", telemetry.RatioBuckets,
+			"kind", kind),
+		imbalance: telemetry.HistogramOf("tsq_fanout_imbalance_ratio", telemetry.RatioBuckets,
+			"kind", kind),
+	})
+	return v.(execMetrics)
+}
+
+func shardHandles(shard int) shardMetrics {
+	if v, ok := shardMetricCache.Load(shard); ok {
+		return v.(shardMetrics)
+	}
+	lbl := strconv.Itoa(shard)
+	v, _ := shardMetricCache.LoadOrStore(shard, shardMetrics{
+		candidates:   telemetry.Count("tsq_shard_candidates_total", "shard", lbl),
+		nodeAccesses: telemetry.Count("tsq_shard_node_accesses_total", "shard", lbl),
+		results:      telemetry.Count("tsq_shard_results_total", "shard", lbl),
+		pairChecks:   telemetry.Count("tsq_pair_checks_total", "shard", lbl),
+	})
+	return v.(shardMetrics)
+}
+
+// observeExec reports one planned execution to the process-wide metrics
+// registry: latency and count by kind×strategy, the planner's absolute
+// relative cost error, per-shard provenance counters, and the fan-out's
+// candidate imbalance. Called beside every history.Observe so the ring
+// and the scrape surface always agree.
+func observeExec(pl *plan.Plan, st *ExecStats) {
+	if !telemetry.Enabled() {
+		return
+	}
+	m := execHandles(pl.Kind, pl.Strategy.String())
+	m.count.Inc()
+	m.latency.Observe(st.Elapsed.Seconds())
+	if est := pl.Est.Candidates; est > 0 {
+		m.costError.Observe(math.Abs(float64(st.Candidates)-est) / math.Max(est, 1))
+	}
+	join := pl.Kind == "selfjoin" || pl.Kind == "join"
+	maxCand, sumCand := 0, 0
+	for _, sh := range st.Shards {
+		sm := shardHandles(sh.Shard)
+		sm.candidates.Add(int64(sh.Candidates))
+		sm.nodeAccesses.Add(int64(sh.NodeAccesses))
+		sm.results.Add(int64(sh.Results))
+		if join {
+			sm.pairChecks.Add(int64(sh.Candidates))
+		}
+		sumCand += sh.Candidates
+		if sh.Candidates > maxCand {
+			maxCand = sh.Candidates
+		}
+	}
+	if len(st.Shards) > 1 && sumCand > 0 {
+		mean := float64(sumCand) / float64(len(st.Shards))
+		m.imbalance.Observe(float64(maxCand) / mean)
+	}
+}

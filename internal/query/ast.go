@@ -47,6 +47,13 @@ type Statement struct {
 	// normally and the output additionally carries the execution plan —
 	// planner choice, search rectangle, estimated vs actual cost.
 	Explain bool
+
+	// Trace marks a TRACE-prefixed statement: the query executes normally
+	// and the output additionally carries the execution's span tree —
+	// plan, fan-out (with per-shard timings), and merge wall times — the
+	// way EXPLAIN carries the plan. The prefixes compose: TRACE EXPLAIN
+	// returns both.
+	Trace bool
 }
 
 // StatementKind discriminates query kinds.

@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/feature"
@@ -20,6 +21,20 @@ type Output struct {
 	// strategy, planner reasoning, search rectangle, shard targets, and
 	// the estimate to hold against Stats.
 	Plan *plan.Plan
+	// Traced marks a TRACE statement: consumers should surface
+	// Stats.Spans (which on planned executions carries the plan span
+	// prepended here, then the engine's fan-out/merge tree) alongside the
+	// results.
+	Traced bool
+}
+
+// withPlanSpan prepends the planning step's wall time to an execution's
+// span tree, completing the plan → fan-out → merge trace.
+func withPlanSpan(st *core.ExecStats, planD time.Duration) {
+	spans := make([]core.Span, 0, len(st.Spans)+1)
+	spans = append(spans, core.Span{Name: "plan", Shard: -1, Duration: planD})
+	spans = append(spans, st.Spans...)
+	st.Spans = spans
 }
 
 // Run parses and executes src against db — a single DB or a Sharded
@@ -204,18 +219,21 @@ func execRange(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Outp
 	if err != nil {
 		return nil, err
 	}
+	planT := time.Now()
 	pl, err := db.PlanRange(rq, want)
 	if err != nil {
 		return nil, err
 	}
+	planD := time.Since(planT)
 	res, st, err := db.ExecRange(rq, pl)
 	if err != nil {
 		return nil, err
 	}
+	withPlanSpan(&st, planD)
 	if stmt.Limit > 0 && len(res) > stmt.Limit {
 		res = res[:stmt.Limit]
 	}
-	out := &Output{Kind: StmtRange, Results: res, Stats: st}
+	out := &Output{Kind: StmtRange, Results: res, Stats: st, Traced: stmt.Trace}
 	if stmt.Explain {
 		out.Plan = pl
 	}
@@ -237,18 +255,21 @@ func execNN(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Output,
 		// frequency scan, as before.
 		want = plan.ScanFreq
 	}
+	planT := time.Now()
 	pl, err := db.PlanNN(nq, want)
 	if err != nil {
 		return nil, err
 	}
+	planD := time.Since(planT)
 	res, st, err := db.ExecNN(nq, pl)
 	if err != nil {
 		return nil, err
 	}
+	withPlanSpan(&st, planD)
 	if stmt.Limit > 0 && len(res) > stmt.Limit {
 		res = res[:stmt.Limit]
 	}
-	out := &Output{Kind: StmtNN, Results: res, Stats: st}
+	out := &Output{Kind: StmtNN, Results: res, Stats: st, Traced: stmt.Trace}
 	if stmt.Explain {
 		out.Plan = pl
 	}
@@ -289,7 +310,7 @@ func execSelfJoin(db core.Engine, stmt *Statement, tr transform.T, warp int) (*O
 	if stmt.Limit > 0 && len(pairs) > stmt.Limit {
 		pairs = pairs[:stmt.Limit]
 	}
-	out := &Output{Kind: StmtSelfJoin, Pairs: pairs, Stats: st}
+	out := &Output{Kind: StmtSelfJoin, Pairs: pairs, Stats: st, Traced: stmt.Trace}
 	if stmt.Explain {
 		// Method-pinned self joins carry the paper's per-method semantics
 		// (once/twice reporting), so the plan is descriptive: what ran,
@@ -333,18 +354,21 @@ func execPlannedJoin(db core.Engine, stmt *Statement, jq core.JoinQuery, kind St
 	if err != nil {
 		return nil, err
 	}
+	planT := time.Now()
 	pl, err := db.PlanJoin(jq, want)
 	if err != nil {
 		return nil, err
 	}
+	planD := time.Since(planT)
 	pairs, st, err := db.ExecJoin(jq, pl)
 	if err != nil {
 		return nil, err
 	}
+	withPlanSpan(&st, planD)
 	if stmt.Limit > 0 && len(pairs) > stmt.Limit {
 		pairs = pairs[:stmt.Limit]
 	}
-	out := &Output{Kind: kind, Pairs: pairs, Stats: st}
+	out := &Output{Kind: kind, Pairs: pairs, Stats: st, Traced: stmt.Trace}
 	if stmt.Explain {
 		out.Plan = pl
 	}

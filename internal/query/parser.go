@@ -99,10 +99,19 @@ func (p *parser) number() (float64, error) {
 
 func (p *parser) parseStatement() (*Statement, error) {
 	head := p.next()
-	explain := false
-	if keywordIs(head, "EXPLAIN") {
-		explain = true
-		head = p.next()
+	explain, trace := false, false
+	for {
+		if keywordIs(head, "EXPLAIN") && !explain {
+			explain = true
+			head = p.next()
+			continue
+		}
+		if keywordIs(head, "TRACE") && !trace {
+			trace = true
+			head = p.next()
+			continue
+		}
+		break
 	}
 	var (
 		stmt *Statement
@@ -124,6 +133,7 @@ func (p *parser) parseStatement() (*Statement, error) {
 		return nil, err
 	}
 	stmt.Explain = explain
+	stmt.Trace = trace
 	return stmt, nil
 }
 

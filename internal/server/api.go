@@ -86,6 +86,77 @@ type QueryResponse struct {
 	Stats   StatsPayload   `json:"stats"`
 	// Explain carries the execution plan of EXPLAIN-prefixed statements.
 	Explain *ExplainPayload `json:"explain,omitempty"`
+	// Trace carries the execution's span tree of TRACE-prefixed
+	// statements.
+	Trace *TracePayload `json:"trace,omitempty"`
+}
+
+// TracePayload is a TRACE statement's span tree on the wire.
+type TracePayload struct {
+	// TotalUS is the end-to-end engine wall time in microseconds.
+	TotalUS float64       `json:"total_us"`
+	Spans   []SpanPayload `json:"spans"`
+}
+
+// SpanPayload is one named span of an execution trace.
+type SpanPayload struct {
+	Name string `json:"name"`
+	// Shard is the shard index of per-shard spans; -1 otherwise.
+	Shard      int           `json:"shard"`
+	DurationUS float64       `json:"duration_us"`
+	Children   []SpanPayload `json:"children,omitempty"`
+}
+
+func toSpanPayloads(spans []tsq.SpanInfo) []SpanPayload {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanPayload, len(spans))
+	for i, sp := range spans {
+		out[i] = SpanPayload{
+			Name:       sp.Name,
+			Shard:      sp.Shard,
+			DurationUS: float64(sp.Duration) / float64(time.Microsecond),
+			Children:   toSpanPayloads(sp.Children),
+		}
+	}
+	return out
+}
+
+func fromSpanPayloads(spans []SpanPayload) []tsq.SpanInfo {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]tsq.SpanInfo, len(spans))
+	for i, sp := range spans {
+		out[i] = tsq.SpanInfo{
+			Name:     sp.Name,
+			Shard:    sp.Shard,
+			Duration: time.Duration(sp.DurationUS * float64(time.Microsecond)),
+			Children: fromSpanPayloads(sp.Children),
+		}
+	}
+	return out
+}
+
+func toTracePayload(t *tsq.TraceInfo) *TracePayload {
+	if t == nil {
+		return nil
+	}
+	return &TracePayload{
+		TotalUS: float64(t.Total) / float64(time.Microsecond),
+		Spans:   toSpanPayloads(t.Spans),
+	}
+}
+
+func fromTracePayload(t *TracePayload) *tsq.TraceInfo {
+	if t == nil {
+		return nil
+	}
+	return &tsq.TraceInfo{
+		Total: time.Duration(t.TotalUS * float64(time.Microsecond)),
+		Spans: fromSpanPayloads(t.Spans),
+	}
 }
 
 // ExplainPayload is an execution plan on the wire: the planner's choice
@@ -295,6 +366,8 @@ type MonitorInfoPayload struct {
 	Kind     string `json:"kind"`
 	Members  int    `json:"members"`
 	Watchers int    `json:"watchers"`
+	// Events is the monitor's replay-ring depth.
+	Events int `json:"events"`
 }
 
 // MonitorsResponse lists the registered monitors.
@@ -357,6 +430,19 @@ type StatsResponse struct {
 	ElapsedUS     float64             `json:"elapsed_us"`
 	UptimeSeconds float64             `json:"uptime_seconds"`
 	Plans         []PlanRecordPayload `json:"plans,omitempty"`
+	// Slow is the retained slow-query log, oldest first; included only
+	// when the request asks for it (GET /stats?slow=1).
+	Slow []SlowQueryPayload `json:"slow,omitempty"`
+}
+
+// SlowQueryPayload is one slow-query log entry on the wire: the query
+// (cache key or statement text), when it finished, its server-side wall
+// time, and its trace spans.
+type SlowQueryPayload struct {
+	Query     string        `json:"query"`
+	When      time.Time     `json:"when"`
+	ElapsedUS float64       `json:"elapsed_us"`
+	Spans     []SpanPayload `json:"spans,omitempty"`
 }
 
 // PlanRecordPayload is one executed plan from the engine's history ring

@@ -102,6 +102,41 @@ func (c *Client) StatsWithPlans() (*StatsResponse, error) {
 	return &out, nil
 }
 
+// StatsWithSlow fetches /stats?slow=1: the cumulative counters plus the
+// server's retained slow-query log with trace spans.
+func (c *Client) StatsWithSlow() (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.do(http.MethodGet, "/stats?slow=1", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the raw Prometheus text exposition from /metrics.
+func (c *Client) Metrics() (string, error) {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes+1))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode >= 400 {
+		return "", fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return string(raw), nil
+}
+
 // Names lists stored series names.
 func (c *Client) Names() ([]string, error) {
 	var out NamesResponse
@@ -173,6 +208,7 @@ func (c *Client) QueryOutput(q string) (*tsq.Output, error) {
 	out := &tsq.Output{
 		Kind:    resp.Kind,
 		Explain: fromExplainPayload(resp.Explain),
+		Trace:   fromTracePayload(resp.Trace),
 		Stats: tsq.Stats{
 			Elapsed:      time.Duration(resp.Stats.ElapsedUS * float64(time.Microsecond)),
 			NodeAccesses: resp.Stats.NodeAccesses,

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	tsq "repro"
+	"repro/internal/telemetry"
 )
 
 // maxBodyBytes bounds request bodies; the largest legitimate payload is a
@@ -19,8 +21,10 @@ const maxBodyBytes = 64 << 20
 // Endpoints:
 //
 //	GET    /healthz               liveness + store size
+//	GET    /metrics               Prometheus text exposition of the telemetry registry
 //	GET    /stats                 cumulative cost counters (paper's measures);
-//	                              ?plans=1 adds the recent executed-plan ring
+//	                              ?plans=1 adds the recent executed-plan ring;
+//	                              ?slow=1 adds the slow-query log with trace spans
 //	GET    /series                stored names
 //	POST   /series                insert one {"name": ..., "values": [...]}
 //	POST   /series/batch          insert many [{"name": ..., "values": [...]}, ...]
@@ -41,26 +45,44 @@ const maxBodyBytes = 64 << 20
 func New(s *tsq.Server) http.Handler {
 	h := &handler{s: s}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", h.health)
-	mux.HandleFunc("GET /stats", h.stats)
-	mux.HandleFunc("GET /series", h.names)
-	mux.HandleFunc("POST /series", h.insert)
-	mux.HandleFunc("POST /series/batch", h.insertBatch)
-	mux.HandleFunc("GET /series/{name}", h.getSeries)
-	mux.HandleFunc("PUT /series/{name}", h.update)
-	mux.HandleFunc("POST /series/{name}/append", h.append)
-	mux.HandleFunc("DELETE /series/{name}", h.delete)
-	mux.HandleFunc("POST /monitors", h.createMonitor)
-	mux.HandleFunc("GET /monitors", h.listMonitors)
-	mux.HandleFunc("DELETE /monitors/{id}", h.removeMonitor)
-	mux.HandleFunc("GET /watch", h.watch)
-	mux.HandleFunc("POST /query", h.query)
-	mux.HandleFunc("POST /query/range", h.rangeQuery)
-	mux.HandleFunc("POST /query/nn", h.nnQuery)
-	mux.HandleFunc("POST /query/selfjoin", h.selfJoin)
-	mux.HandleFunc("POST /query/join", h.join)
-	mux.HandleFunc("POST /query/subsequence", h.subsequence)
+	handle := func(pattern string, fn http.HandlerFunc) {
+		mux.HandleFunc(pattern, timed(pattern, fn))
+	}
+	handle("GET /healthz", h.health)
+	handle("GET /metrics", h.metrics)
+	handle("GET /stats", h.stats)
+	handle("GET /series", h.names)
+	handle("POST /series", h.insert)
+	handle("POST /series/batch", h.insertBatch)
+	handle("GET /series/{name}", h.getSeries)
+	handle("PUT /series/{name}", h.update)
+	handle("POST /series/{name}/append", h.append)
+	handle("DELETE /series/{name}", h.delete)
+	handle("POST /monitors", h.createMonitor)
+	handle("GET /monitors", h.listMonitors)
+	handle("DELETE /monitors/{id}", h.removeMonitor)
+	mux.HandleFunc("GET /watch", h.watch) // long-lived SSE: a duration histogram would only record hangups
+	handle("POST /query", h.query)
+	handle("POST /query/range", h.rangeQuery)
+	handle("POST /query/nn", h.nnQuery)
+	handle("POST /query/selfjoin", h.selfJoin)
+	handle("POST /query/join", h.join)
+	handle("POST /query/subsequence", h.subsequence)
 	return mux
+}
+
+// timed wraps a handler with a per-route request-duration histogram. The
+// route label is the registered mux pattern, not the raw URL, so
+// /series/{name} stays one series regardless of path cardinality.
+func timed(route string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		fn(w, r)
+		if telemetry.Enabled() {
+			telemetry.HistogramOf("tsq_http_request_duration_seconds", telemetry.LatencyBuckets,
+				"route", route).Observe(time.Since(start).Seconds())
+		}
+	}
 }
 
 type handler struct {
@@ -115,6 +137,13 @@ func (h *handler) health(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// metrics serves the Prometheus text exposition of the process-wide
+// telemetry registry (scrape-time store gauges refreshed per request).
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = h.s.WriteMetrics(w)
+}
+
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 	st := h.s.Stats()
 	var plans []PlanRecordPayload
@@ -139,6 +168,17 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	var slow []SlowQueryPayload
+	if r.URL.Query().Get("slow") == "1" {
+		for _, q := range h.s.SlowQueries() {
+			slow = append(slow, SlowQueryPayload{
+				Query:     q.Query,
+				When:      q.When,
+				ElapsedUS: float64(q.Elapsed) / float64(time.Microsecond),
+				Spans:     toSpanPayloads(q.Spans),
+			})
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Series:        st.Series,
 		Length:        st.Length,
@@ -157,6 +197,7 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		ElapsedUS:     float64(st.Elapsed.Microseconds()),
 		UptimeSeconds: st.Uptime.Seconds(),
 		Plans:         plans,
+		Slow:          slow,
 	})
 }
 
@@ -253,6 +294,7 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := toQueryResponse(out.Kind, out.Matches, out.Pairs, out.Stats)
 	resp.Explain = toExplainPayload(out.Explain)
+	resp.Trace = toTracePayload(out.Trace)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,224 @@
+package server_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	tsq "repro"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+func metricsClient(t *testing.T, shards int, opts tsq.ServerOptions) *server.Client {
+	t.Helper()
+	walks := tsq.RandomWalks(testCount, testLength, testSeed)
+	db := tsq.MustOpen(tsq.Options{Length: testLength, Shards: shards})
+	if err := db.InsertAll(walks); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(tsq.NewServer(db, opts)))
+	t.Cleanup(ts.Close)
+	return server.NewClient(ts.URL)
+}
+
+// scrape fetches /metrics and parses it with the strict exposition
+// parser — an unparseable document fails the test.
+func scrape(t *testing.T, c *server.Client) telemetry.Samples {
+	t.Helper()
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := telemetry.ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("unparseable /metrics exposition: %v", err)
+	}
+	return samples
+}
+
+// anyWithPrefix reports whether some sample key starts with prefix
+// (metric families carry labels, so exact keys vary by workload).
+func anyWithPrefix(s telemetry.Samples, prefix string) bool {
+	for k := range s {
+		if strings.HasPrefix(k, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMetricsEndpoint drives a scripted workload through the HTTP API
+// and checks /metrics: the exposition parses strictly, every expected
+// family is present — query, cache, planner, shard, stream — and
+// counters are monotone across scrapes.
+func TestMetricsEndpoint(t *testing.T) {
+	c := metricsClient(t, 2, tsq.ServerOptions{})
+
+	const q = "RANGE SERIES 'W0003' EPS 2 TRANSFORM mavg(20)"
+	if _, err := c.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(q); err != nil { // repeat: cache hit
+		t.Fatal(err)
+	}
+	if _, err := c.Query("NN SERIES 'W0004' K 3 TRANSFORM identity()"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append("W0003", []float64{101.5}); err != nil {
+		t.Fatal(err)
+	}
+
+	first := scrape(t, c)
+	for _, family := range []string{
+		"tsq_queries_total{",                        // query counts by kind × strategy × outcome
+		"tsq_query_duration_seconds_",               // query latency histogram
+		"tsq_cache_hits_total",                      // cache
+		"tsq_cache_misses_total",                    //
+		"tsq_plan_executions_total{",                // planner
+		"tsq_plan_duration_seconds_",                //
+		"tsq_shard_candidates_total{",               // per-shard fan-out provenance
+		"tsq_appends_total",                         // stream
+		"tsq_http_request_duration_seconds_bucket{", // HTTP surface
+	} {
+		if !anyWithPrefix(first, family) {
+			t.Errorf("/metrics missing family %q", family)
+		}
+	}
+	if got := first[telemetry.Key("tsq_series")]; got != testCount {
+		t.Errorf("tsq_series = %v, want %d", got, testCount)
+	}
+	if got := first[telemetry.Key("tsq_shards")]; got != 2 {
+		t.Errorf("tsq_shards = %v, want 2", got)
+	}
+	if first[telemetry.Key("tsq_cache_hits_total")] < 1 {
+		t.Errorf("tsq_cache_hits_total = %v, want >= 1", first[telemetry.Key("tsq_cache_hits_total")])
+	}
+	// Label keys are emitted sorted (kind, outcome, strategy); the
+	// strategy is the planner's to pick, so only pin kind and outcome.
+	if !anyWithPrefix(first, "tsq_queries_total{kind=range,outcome=ok") {
+		t.Error("no ok-outcome range sample in tsq_queries_total")
+	}
+	if !anyWithPrefix(first, "tsq_queries_total{kind=range,outcome=cached") {
+		t.Error("no cached-outcome range sample in tsq_queries_total")
+	}
+
+	// More work, then a second scrape: every cumulative sample —
+	// counters, histogram buckets, counts, sums — must be monotone.
+	for i := 0; i < 5; i++ {
+		stmt := fmt.Sprintf("RANGE SERIES 'W%04d' EPS 2 TRANSFORM mavg(10)", i)
+		if _, err := c.Query(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Append("W0005", []float64{99.0, 99.5}); err != nil {
+		t.Fatal(err)
+	}
+	second := scrape(t, c)
+	for k, v := range first {
+		cumulative := strings.Contains(k, "_total") ||
+			strings.Contains(k, "_bucket") ||
+			strings.Contains(k, "_count") ||
+			strings.Contains(k, "_sum")
+		if !cumulative {
+			continue
+		}
+		after, ok := second[k]
+		if !ok {
+			t.Errorf("sample %s disappeared from the second scrape", k)
+			continue
+		}
+		if after < v {
+			t.Errorf("counter %s went backwards: %v -> %v", k, v, after)
+		}
+	}
+	if second[telemetry.Key("tsq_appends_total")] <= first[telemetry.Key("tsq_appends_total")] {
+		t.Errorf("tsq_appends_total did not advance: %v -> %v",
+			first[telemetry.Key("tsq_appends_total")], second[telemetry.Key("tsq_appends_total")])
+	}
+}
+
+// TestTraceOverHTTP checks the TRACE span tree survives the wire: engine
+// → JSON payload → client Output, with per-shard timings intact.
+func TestTraceOverHTTP(t *testing.T) {
+	c := metricsClient(t, 4, tsq.ServerOptions{})
+
+	out, err := c.QueryOutput("TRACE RANGE SERIES 'W0007' EPS 2 TRANSFORM mavg(20)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil {
+		t.Fatal("TRACE over HTTP returned no trace")
+	}
+	if out.Trace.Total <= 0 {
+		t.Fatalf("trace total = %v, want > 0", out.Trace.Total)
+	}
+	var fanout *tsq.SpanInfo
+	for i := range out.Trace.Spans {
+		if out.Trace.Spans[i].Name == "fanout" {
+			fanout = &out.Trace.Spans[i]
+		}
+	}
+	if fanout == nil {
+		t.Fatalf("trace spans %v have no fanout", out.Trace.Spans)
+	}
+	if len(fanout.Children) != 4 {
+		t.Fatalf("fanout has %d shard children, want 4", len(fanout.Children))
+	}
+	seen := map[int]bool{}
+	for _, sh := range fanout.Children {
+		if sh.Name != "shard" {
+			t.Fatalf("fanout child named %q, want shard", sh.Name)
+		}
+		if sh.Shard < 0 || sh.Shard > 3 || seen[sh.Shard] {
+			t.Fatalf("bad or repeated shard index %d", sh.Shard)
+		}
+		seen[sh.Shard] = true
+		if sh.Duration < 0 {
+			t.Fatalf("shard %d has negative duration", sh.Shard)
+		}
+	}
+
+	// A plain statement carries no trace payload over the wire.
+	plain, err := c.QueryOutput("RANGE SERIES 'W0007' EPS 2 TRANSFORM mavg(20)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("plain statement returned a trace over HTTP")
+	}
+}
+
+// TestStatsSlowOverHTTP checks /stats?slow=1 returns the slow-query log
+// with spans while a plain /stats stays lean.
+func TestStatsSlowOverHTTP(t *testing.T) {
+	c := metricsClient(t, 1, tsq.ServerOptions{SlowThreshold: time.Nanosecond})
+
+	if _, err := c.Query("RANGE SERIES 'W0002' EPS 2 TRANSFORM mavg(20)"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.StatsWithSlow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Slow) == 0 {
+		t.Fatal("/stats?slow=1 returned no slow queries under a 1ns threshold")
+	}
+	e := st.Slow[0]
+	if e.Query == "" || e.ElapsedUS <= 0 || e.When.IsZero() {
+		t.Fatalf("incomplete slow payload: %+v", e)
+	}
+	if len(e.Spans) == 0 {
+		t.Fatal("slow payload lost its spans")
+	}
+
+	plain, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Slow) != 0 {
+		t.Fatalf("plain /stats carried %d slow entries", len(plain.Slow))
+	}
+}

@@ -98,7 +98,7 @@ func (h *handler) listMonitors(w http.ResponseWriter, r *http.Request) {
 	infos := h.s.Monitors()
 	resp := MonitorsResponse{Monitors: make([]MonitorInfoPayload, len(infos))}
 	for i, in := range infos {
-		resp.Monitors[i] = MonitorInfoPayload{ID: in.ID, Kind: in.Kind, Members: in.Members, Watchers: in.Watchers}
+		resp.Monitors[i] = MonitorInfoPayload{ID: in.ID, Kind: in.Kind, Members: in.Members, Watchers: in.Watchers, Events: in.Events}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -370,6 +370,9 @@ type Info struct {
 	Kind    string
 	Members int
 	Subs    int
+	// Events is the replay-ring depth: retained events available for
+	// reconnect resume.
+	Events int
 }
 
 // List snapshots the registered monitors in ID order.
@@ -384,7 +387,7 @@ func (h *Hub) List() []Info {
 	out := make([]Info, len(ms))
 	for i, m := range ms {
 		m.mu.Lock()
-		out[i] = Info{ID: m.ID, Kind: m.Kind, Members: len(m.members), Subs: len(m.subs)}
+		out[i] = Info{ID: m.ID, Kind: m.Kind, Members: len(m.members), Subs: len(m.subs), Events: len(m.events)}
 		m.mu.Unlock()
 	}
 	return out

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "kind", "range")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("reqs_total", "kind", "range"); again != c {
+		t.Fatalf("same labels returned a different counter")
+	}
+	if other := r.Counter("reqs_total", "kind", "nn"); other == c {
+		t.Fatalf("different labels shared a counter")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+
+	h := r.Histogram("lat_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("histogram count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("histogram sum = %g, want 56.05", h.Sum())
+	}
+}
+
+func TestLabelKeyCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m_total", "x", "1", "y", "2")
+	b := r.Counter("m_total", "y", "2", "x", "1")
+	if a != b {
+		t.Fatalf("label order changed the series identity")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("q_total", "queries served")
+	r.Counter("q_total", "kind", "range").Add(3)
+	r.Gauge("series").Set(42)
+	r.Histogram("dur_seconds", []float64{0.5, 1}).Observe(0.7)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP q_total queries served",
+		"# TYPE q_total counter",
+		`q_total{kind="range"} 3`,
+		"# TYPE series gauge",
+		"series 42",
+		"# TYPE dur_seconds histogram",
+		`dur_seconds_bucket{le="0.5"} 0`,
+		`dur_seconds_bucket{le="1"} 1`,
+		`dur_seconds_bucket{le="+Inf"} 1`,
+		"dur_seconds_sum 0.7",
+		"dur_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be name[{labels}] value.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, _, _, err := ParseLine(line); err != nil {
+			t.Fatalf("unparseable line %q: %v", line, err)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "q", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{q="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c_total", "w", "x").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", LatencyBuckets).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "w", "x").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Fatalf("gauge = %g, want 8000", got)
+	}
+	if got := r.Histogram("h", LatencyBuckets).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestEnabledToggle(t *testing.T) {
+	if !Enabled() {
+		t.Fatal("telemetry should default to enabled")
+	}
+	SetEnabled(false)
+	if Enabled() {
+		t.Fatal("SetEnabled(false) did not stick")
+	}
+	SetEnabled(true)
+}

@@ -1,6 +1,8 @@
 package tsq
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -21,6 +23,19 @@ type Output struct {
 	// search rectangle, the shard targets, and the estimated cost to hold
 	// against Stats' actuals.
 	Explain *ExplainInfo
+	// Trace carries the execution's span tree for TRACE-prefixed
+	// statements (nil otherwise): plan, fan-out with per-shard wall
+	// times, and merge — the way Explain carries the plan.
+	Trace *TraceInfo
+}
+
+// TraceInfo is the rendered span tree of one TRACE statement.
+type TraceInfo struct {
+	// Total is the statement's end-to-end wall time: planning plus
+	// execution.
+	Total time.Duration
+	// Spans is the trace forest, in execution order.
+	Spans []SpanInfo
 }
 
 // ExplainInfo is the rendered execution plan of one EXPLAIN statement.
@@ -145,6 +160,18 @@ func (db *DB) Query(src string) (*Output, error) {
 		Pairs:   db.toPairs(out.Pairs),
 		Stats:   fromExec(out.Stats),
 		Explain: explainFrom(out.Plan, out.Stats),
+	}
+	if out.Traced {
+		// Stats.Elapsed is engine execution only; fold the plan span back
+		// in so Total covers the statement end to end.
+		total := out.Stats.Elapsed
+		spans := spansFrom(out.Stats.Spans)
+		for _, sp := range spans {
+			if sp.Name == "plan" {
+				total += sp.Duration
+			}
+		}
+		res.Trace = &TraceInfo{Total: total, Spans: spans}
 	}
 	return res, nil
 }

@@ -1,0 +1,193 @@
+package tsq
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// This file is the Server's observability surface (tsqtrace): the query
+// counters and latency histograms the server layer feeds into the
+// process-wide telemetry registry, the bounded slow-query log, and
+// WriteMetrics — the Prometheus text exposition behind tsqd's
+// GET /metrics. Engine- and planner-level metrics (plan executions,
+// cost-model error, per-shard fan-out counters, spectrum refreshes) are
+// emitted by internal/core; this layer adds the session view: queries by
+// kind/strategy/outcome, cache traffic, and scrape-time store gauges.
+
+func init() {
+	telemetry.Describe("tsq_queries_total",
+		"Queries served, by kind, resolved strategy, and outcome (ok, error, cached).")
+	telemetry.Describe("tsq_query_duration_seconds",
+		"Server-side query wall time in seconds, cache hits included, by kind and strategy.")
+	telemetry.Describe("tsq_cache_hits_total", "Result-cache hits.")
+	telemetry.Describe("tsq_cache_misses_total", "Result-cache misses (each one runs the engine).")
+	telemetry.Describe("tsq_cache_evictions_total",
+		"Cached results evicted by writes, by reason (selective predicate test or whole-cache purge).")
+	telemetry.Describe("tsq_appends_total", "Window-sliding appends committed.")
+	telemetry.Describe("tsq_http_request_duration_seconds", "HTTP request wall time in seconds, by route.")
+	telemetry.Describe("tsq_series", "Stored series.")
+	telemetry.Describe("tsq_series_length", "Fixed series window length.")
+	telemetry.Describe("tsq_shards", "Hash partitions of the store.")
+	telemetry.Describe("tsq_cache_entries", "Result-cache entries currently held.")
+	telemetry.Describe("tsq_cache_capacity", "Result-cache capacity.")
+	telemetry.Describe("tsq_monitors", "Registered standing-query monitors.")
+	telemetry.Describe("tsq_monitor_subscribers", "Live watcher subscriptions across all monitors.")
+	telemetry.Describe("tsq_monitor_replay_events",
+		"Events held in monitor replay rings for reconnecting watchers.")
+	telemetry.Describe("tsq_uptime_seconds", "Seconds since the server started.")
+}
+
+// Fixed-label handles, resolved once: the query path is hot enough that
+// per-call registry lookups (label-key building plus a map read) show up
+// in the overhead benchmark.
+var (
+	mCacheHits   = telemetry.Count("tsq_cache_hits_total")
+	mCacheMisses = telemetry.Count("tsq_cache_misses_total")
+	mAppends     = telemetry.Count("tsq_appends_total")
+)
+
+// queryMetricCache memoizes the kind×strategy×outcome counter and
+// histogram handles; the label space is a handful of combinations.
+var queryMetricCache sync.Map // "kind\x00strategy\x00outcome" -> queryMetrics
+
+type queryMetrics struct {
+	count   *telemetry.Counter
+	latency *telemetry.Histogram
+}
+
+// DefaultSlowThreshold is the slow-query log threshold used when
+// ServerOptions.SlowThreshold is zero.
+const DefaultSlowThreshold = 25 * time.Millisecond
+
+// slowLogCap bounds the in-memory slow-query log; the newest entries win.
+const slowLogCap = 32
+
+// SlowQuery is one retained slow-query log entry: a query whose
+// server-side wall time crossed the slow threshold, with its trace spans
+// so the slow part (plan, a lagging shard, the merge, cache tagging) is
+// identifiable after the fact. Exposed via Server.SlowQueries and
+// GET /stats?slow=1.
+type SlowQuery struct {
+	// Query is the query's cache key (typed queries) or statement text
+	// (query-language and EXPLAIN/TRACE statements).
+	Query   string
+	When    time.Time
+	Elapsed time.Duration
+	Spans   []SpanInfo
+}
+
+// slowRecord retains one slow query, dropping the oldest entry when the
+// log is full. No-op when the threshold is disabled or not crossed.
+func (s *Server) slowRecord(query string, elapsed time.Duration, spans []SpanInfo) {
+	if s.slowThreshold <= 0 || elapsed < s.slowThreshold {
+		return
+	}
+	e := SlowQuery{Query: query, When: time.Now(), Elapsed: elapsed, Spans: spans}
+	s.slowMu.Lock()
+	if len(s.slow) >= slowLogCap {
+		copy(s.slow, s.slow[1:])
+		s.slow = s.slow[:slowLogCap-1]
+	}
+	s.slow = append(s.slow, e)
+	s.slowMu.Unlock()
+}
+
+// SlowQueries returns the retained slow-query log, oldest first.
+func (s *Server) SlowQueries() []SlowQuery {
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	out := make([]SlowQuery, len(s.slow))
+	copy(out, s.slow)
+	return out
+}
+
+// queryKindFromKey recovers the query kind from a cache key's prefix
+// ("range|...", "nn|...", "join2|...") for metric labels. Language
+// statements ("q|RANGE SERIES ...") are labeled by their leading
+// keyword, so typed and language-driven queries of the same kind share
+// one label value.
+func queryKindFromKey(key string) string {
+	i := strings.IndexByte(key, '|')
+	if i < 0 {
+		return "unknown"
+	}
+	switch k := key[:i]; k {
+	case "join2":
+		return "join"
+	case "q":
+		f := strings.Fields(key[i+1:])
+		if len(f) > 0 {
+			switch kw := strings.ToLower(f[0]); kw {
+			case "range", "nn", "selfjoin", "join":
+				return kw
+			}
+		}
+		return "statement"
+	default:
+		return k
+	}
+}
+
+// observeQuery feeds one served query into the registry. outcome is "ok",
+// "error", or "cached"; an empty strategy (errors, method-pinned joins,
+// subsequence scans) is labeled "none".
+func observeQuery(kind, strategy, outcome string, elapsed time.Duration) {
+	if !telemetry.Enabled() {
+		return
+	}
+	if strategy == "" {
+		strategy = "none"
+	}
+	key := kind + "\x00" + strategy + "\x00" + outcome
+	v, ok := queryMetricCache.Load(key)
+	if !ok {
+		v, _ = queryMetricCache.LoadOrStore(key, queryMetrics{
+			count: telemetry.Count("tsq_queries_total",
+				"kind", kind, "strategy", strategy, "outcome", outcome),
+			latency: telemetry.HistogramOf("tsq_query_duration_seconds", telemetry.LatencyBuckets,
+				"kind", kind, "strategy", strategy),
+		})
+	}
+	m := v.(queryMetrics)
+	m.count.Inc()
+	m.latency.Observe(elapsed.Seconds())
+}
+
+// withCacheTag appends the server-side "cache-tag" span — the time spent
+// building/checking the entry's dependency tag and landing it in the
+// cache — to a copy of the execution's span slice, so the cached entry's
+// own spans stay untouched.
+func withCacheTag(st Stats, d time.Duration) Stats {
+	spans := make([]SpanInfo, 0, len(st.Spans)+1)
+	spans = append(spans, st.Spans...)
+	spans = append(spans, SpanInfo{Name: "cache-tag", Shard: -1, Duration: d})
+	st.Spans = spans
+	return st
+}
+
+// WriteMetrics renders the process-wide telemetry registry in the
+// Prometheus text exposition format (version 0.0.4), refreshing the
+// scrape-time store gauges first. This is the body of tsqd's
+// GET /metrics; embedded programs can serve it from any handler.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	telemetry.GaugeOf("tsq_series").Set(float64(s.seriesCount.Load()))
+	telemetry.GaugeOf("tsq_series_length").Set(float64(s.db.Length()))
+	telemetry.GaugeOf("tsq_shards").Set(float64(s.db.Shards()))
+	telemetry.GaugeOf("tsq_cache_entries").Set(float64(s.cache.Len()))
+	telemetry.GaugeOf("tsq_cache_capacity").Set(float64(s.cache.Capacity()))
+	infos := s.hub.List()
+	subs, events := 0, 0
+	for _, in := range infos {
+		subs += in.Subs
+		events += in.Events
+	}
+	telemetry.GaugeOf("tsq_monitors").Set(float64(len(infos)))
+	telemetry.GaugeOf("tsq_monitor_subscribers").Set(float64(subs))
+	telemetry.GaugeOf("tsq_monitor_replay_events").Set(float64(events))
+	telemetry.GaugeOf("tsq_uptime_seconds").Set(time.Since(s.started).Seconds())
+	return telemetry.Default.WritePrometheus(w)
+}

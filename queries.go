@@ -37,6 +37,41 @@ type Stats struct {
 	// Cached reports that the result came from a Server's query cache;
 	// the remaining fields then describe the original execution.
 	Cached bool
+	// Strategy is the resolved execution strategy of a planned run
+	// ("index", "scan", "scantime"); empty on method-pinned paths.
+	Strategy string
+	// Spans is the execution's trace tree (plan → fan-out → merge with
+	// per-shard timings), recorded by planned executions.
+	Spans []SpanInfo
+}
+
+// SpanInfo is one timed step of a query execution's trace tree.
+type SpanInfo struct {
+	// Name identifies the step: "plan", "fanout", "shard", "search",
+	// "merge", "cache-tag".
+	Name string
+	// Shard is the shard a shard-scoped span ran on; -1 otherwise.
+	Shard int
+	// Duration is the span's wall time.
+	Duration time.Duration
+	// Children are the nested steps, in execution order.
+	Children []SpanInfo
+}
+
+func spansFrom(spans []core.Span) []SpanInfo {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanInfo, len(spans))
+	for i, s := range spans {
+		out[i] = SpanInfo{
+			Name:     s.Name,
+			Shard:    s.Shard,
+			Duration: s.Duration,
+			Children: spansFrom(s.Children),
+		}
+	}
+	return out
 }
 
 func fromExec(st core.ExecStats) Stats {
@@ -45,6 +80,8 @@ func fromExec(st core.ExecStats) Stats {
 		NodeAccesses: st.NodeAccesses,
 		PageReads:    st.PageReads,
 		Candidates:   st.Candidates,
+		Strategy:     st.Strategy,
+		Spans:        spansFrom(st.Spans),
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/feature"
 	"repro/internal/lru"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Server wraps a DB for long-lived concurrent use: many readers execute
@@ -82,6 +83,16 @@ type Server struct {
 
 	started time.Time
 
+	// seriesCount mirrors the store's series count so Stats can report it
+	// without taking any lock (see Stats).
+	seriesCount atomic.Int64
+
+	// slow is the bounded slow-query log (newest slowLogCap entries),
+	// guarded by slowMu; slowThreshold <= 0 disables it.
+	slowMu        sync.Mutex
+	slow          []SlowQuery
+	slowThreshold time.Duration
+
 	queries      atomic.Int64
 	writes       atomic.Int64
 	appends      atomic.Int64
@@ -100,6 +111,10 @@ type ServerOptions struct {
 	// for watcher reconnect replay. 0 selects the default (256); negative
 	// retains none (reconnecting watchers always get a fresh snapshot).
 	MonitorRetain int
+	// SlowThreshold is the server-side wall time beyond which a query is
+	// retained in the slow-query log (Server.SlowQueries, /stats?slow=1).
+	// 0 selects the default (25ms); negative disables the log.
+	SlowThreshold time.Duration
 }
 
 // DefaultCacheSize is the result-cache capacity used when
@@ -127,13 +142,23 @@ func NewServer(db *DB, opts ServerOptions) *Server {
 	if retain < 0 {
 		retain = 0
 	}
-	return &Server{
-		db:      db,
-		sharded: db.Shards() > 1,
-		cache:   lru.New(size),
-		hub:     stream.NewHub(retain),
-		started: time.Now(),
+	slow := opts.SlowThreshold
+	if slow == 0 {
+		slow = DefaultSlowThreshold
 	}
+	if slow < 0 {
+		slow = 0
+	}
+	s := &Server{
+		db:            db,
+		sharded:       db.Shards() > 1,
+		cache:         lru.New(size),
+		hub:           stream.NewHub(retain),
+		slowThreshold: slow,
+		started:       time.Now(),
+	}
+	s.seriesCount.Store(int64(db.Len()))
+	return s
 }
 
 // ServerStats is a point-in-time snapshot of a Server's cumulative
@@ -187,15 +212,17 @@ type PlanRecord struct {
 	ElapsedUS          float64
 }
 
-// Stats returns the Server's cumulative counters.
+// Stats returns the Server's cumulative counters. It takes no lock: the
+// series count is mirrored in an atomic maintained by the write paths,
+// the window length and shard count are immutable after Open, and every
+// other field is an atomic counter or internally synchronized — so a
+// stats scrape never contends with queries or writers, and a scrape
+// arriving during a writer's critical section cannot deadlock or stall.
 func (s *Server) Stats() ServerStats {
-	s.rlock()
-	series, length := s.db.Len(), s.db.Length()
-	s.runlock()
 	hits, misses := s.cache.HitsMisses()
 	return ServerStats{
-		Series:       series,
-		Length:       length,
+		Series:       int(s.seriesCount.Load()),
+		Length:       s.db.Length(),
 		Shards:       s.db.Shards(),
 		Queries:      s.queries.Load(),
 		Writes:       s.writes.Load(),
@@ -369,6 +396,7 @@ func (s *Server) Insert(name string, values []float64) error {
 		return err == nil, err
 	}, s.namedEvent(writeInsert, name))
 	if err == nil {
+		s.seriesCount.Add(1)
 		s.notifyWrite(name)
 	}
 	return err
@@ -420,6 +448,7 @@ func (s *Server) InsertAll(batch []NamedSeries) error {
 		return evs
 	})
 	if err == nil {
+		s.seriesCount.Add(int64(len(batch)))
 		for _, b := range batch {
 			s.notifyWrite(b.Name)
 		}
@@ -432,6 +461,9 @@ func (s *Server) InsertBulk(batch []NamedSeries) error {
 	// Conservatively treat even a failed bulk load as a mutation: unlike
 	// Insert/Update, a late error can leave partial state behind.
 	err := s.write(func() (bool, error) { return true, s.db.InsertBulk(batch) }, barrier)
+	// Re-read the store size under the lock: a failed bulk load may have
+	// left partial state.
+	s.seriesCount.Store(int64(s.Len()))
 	// Rebuild every monitor's membership from scratch — the store was
 	// rewritten wholesale.
 	s.hub.RefreshAll()
@@ -462,6 +494,7 @@ func (s *Server) Delete(name string) bool {
 		return present, nil
 	}, s.namedEvent(writeDelete, name))
 	if present {
+		s.seriesCount.Add(-1)
 		s.hub.NotifyDelete(name)
 	}
 	return present
@@ -577,28 +610,43 @@ type cachedResult struct {
 // affect it.
 func (s *Server) readQuery(key string, compute func() (cachedResult, error)) (cachedResult, Stats, error) {
 	s.queries.Add(1)
+	start := time.Now()
+	kind := queryKindFromKey(key)
 	if s.sharded {
 		if v, ok := s.cache.Get(key); ok {
 			r := v.(cachedResult)
 			st := r.stats
 			st.Cached = true
+			if telemetry.Enabled() {
+				mCacheHits.Inc()
+			}
+			observeQuery(kind, st.Strategy, "cached", time.Since(start))
 			return r, st, nil
+		}
+		if telemetry.Enabled() {
+			mCacheMisses.Inc()
 		}
 		v0 := s.version.Load()
 		r, err := compute()
 		if err != nil {
+			observeQuery(kind, "", "error", time.Since(start))
 			return cachedResult{}, Stats{}, err
 		}
 		if s.testHookAfterCompute != nil {
 			s.testHookAfterCompute()
 		}
+		tagStart := time.Now()
 		s.cacheGuard.Lock()
 		if s.cacheableLocked(v0, &r) {
 			s.cache.Add(key, r)
 		}
 		s.cacheGuard.Unlock()
+		st := withCacheTag(r.stats, time.Since(tagStart))
 		s.record(r.stats)
-		return r, r.stats, nil
+		elapsed := time.Since(start)
+		observeQuery(kind, st.Strategy, "ok", elapsed)
+		s.slowRecord(key, elapsed, st.Spans)
+		return r, st, nil
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -606,15 +654,28 @@ func (s *Server) readQuery(key string, compute func() (cachedResult, error)) (ca
 		r := v.(cachedResult)
 		st := r.stats
 		st.Cached = true
+		if telemetry.Enabled() {
+			mCacheHits.Inc()
+		}
+		observeQuery(kind, st.Strategy, "cached", time.Since(start))
 		return r, st, nil
+	}
+	if telemetry.Enabled() {
+		mCacheMisses.Inc()
 	}
 	r, err := compute()
 	if err != nil {
+		observeQuery(kind, "", "error", time.Since(start))
 		return cachedResult{}, Stats{}, err
 	}
+	tagStart := time.Now()
 	s.cache.Add(key, r)
+	st := withCacheTag(r.stats, time.Since(tagStart))
 	s.record(r.stats)
-	return r, r.stats, nil
+	elapsed := time.Since(start)
+	observeQuery(kind, st.Strategy, "ok", elapsed)
+	s.slowRecord(key, elapsed, st.Spans)
+	return r, st, nil
 }
 
 // cacheableLocked decides whether a result computed while the version
@@ -829,19 +890,25 @@ func (s *Server) Subsequence(q []float64, eps float64) ([]SubseqMatch, Stats, er
 // shared lock, with result caching keyed by the statement text. Only
 // leading/trailing space is trimmed: interior whitespace can be
 // significant inside quoted series names, so two statements share a cache
-// entry only when they are literally the same statement. EXPLAIN
-// statements bypass the cache: their value is the live plan and the
-// estimated-vs-actual comparison, which a cached answer would fossilize.
+// entry only when they are literally the same statement. EXPLAIN and
+// TRACE statements bypass the cache: their value is the live plan (and
+// the estimated-vs-actual comparison) or the live span timings, which a
+// cached answer would fossilize.
 func (s *Server) Query(src string) (*Output, error) {
-	if isExplainStatement(src) {
+	if isUncachedStatement(src) {
 		s.queries.Add(1)
+		start := time.Now()
 		s.rlock()
 		out, err := s.db.Query(src)
 		s.runlock()
+		elapsed := time.Since(start)
 		if err != nil {
+			observeQuery("statement", "", "error", elapsed)
 			return nil, err
 		}
 		s.record(out.Stats)
+		observeQuery(strings.ToLower(out.Kind), out.Stats.Strategy, "ok", elapsed)
+		s.slowRecord(strings.TrimSpace(src), elapsed, out.Stats.Spans)
 		return out, nil
 	}
 	key := "q|" + strings.TrimSpace(src)
@@ -863,9 +930,11 @@ func (s *Server) Query(src string) (*Output, error) {
 	}, nil
 }
 
-// isExplainStatement reports whether a statement's first word is EXPLAIN
-// (case-insensitive), without parsing it.
-func isExplainStatement(src string) bool {
+// isUncachedStatement reports whether a statement's first word is EXPLAIN
+// or TRACE (case-insensitive), without parsing it. The prefixes compose
+// in either order, so testing the first word catches every such
+// statement.
+func isUncachedStatement(src string) bool {
 	f := strings.Fields(src)
-	return len(f) > 0 && strings.EqualFold(f[0], "EXPLAIN")
+	return len(f) > 0 && (strings.EqualFold(f[0], "EXPLAIN") || strings.EqualFold(f[0], "TRACE"))
 }

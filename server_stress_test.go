@@ -2,6 +2,7 @@ package tsq_test
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -39,7 +40,29 @@ func stressServer(t *testing.T, shards int) {
 	s := tsq.NewServer(db, tsq.ServerOptions{CacheSize: 64})
 
 	var wg sync.WaitGroup
-	errs := make(chan error, readers+writers)
+	errs := make(chan error, readers+writers+1)
+
+	// A metrics scraper runs alongside the readers and writers: /metrics
+	// and /stats are served from live servers, so the snapshot paths must
+	// be race-free against every mutation above.
+	done := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = s.Stats()
+			if err := s.WriteMetrics(io.Discard); err != nil {
+				errs <- fmt.Errorf("scraper: %w", err)
+				return
+			}
+		}
+	}()
 
 	for r := 0; r < readers; r++ {
 		wg.Add(1)
@@ -108,6 +131,8 @@ func stressServer(t *testing.T, shards int) {
 	}
 
 	wg.Wait()
+	close(done)
+	scraper.Wait()
 	close(errs)
 	for err := range errs {
 		t.Error(err)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/plan"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // This file is the public surface of tsqlive, the streaming subsystem:
@@ -169,6 +170,9 @@ func (s *Server) Append(name string, points []float64) error {
 	if err != nil {
 		return err
 	}
+	if telemetry.Enabled() {
+		mAppends.Inc()
+	}
 	s.hub.NotifyWrite(name, info.Point)
 	return nil
 }
@@ -178,16 +182,23 @@ func (s *Server) Append(name string, points []float64) error {
 // scans, raw statements) always go; barriers purge everything.
 func (s *Server) invalidateFor(ev writeEvent) {
 	if ev.kind == writeBarrier {
+		n := s.cache.Len()
 		s.cache.Purge()
+		if n > 0 && telemetry.Enabled() {
+			telemetry.Count("tsq_cache_evictions_total", "reason", "purge").Add(int64(n))
+		}
 		return
 	}
-	s.cache.RemoveIf(func(_ string, v any) bool {
+	n := s.cache.RemoveIf(func(_ string, v any) bool {
 		r := v.(cachedResult)
 		if r.affected == nil {
 			return true
 		}
 		return r.affected(ev)
 	})
+	if n > 0 && telemetry.Enabled() {
+		telemetry.Count("tsq_cache_evictions_total", "reason", "selective").Add(int64(n))
+	}
 }
 
 // notifyWrite tells the monitors a series was inserted or replaced,
@@ -412,6 +423,9 @@ type MonitorInfo struct {
 	Kind     string // "range" or "nn"
 	Members  int
 	Watchers int
+	// Events is the monitor's replay-ring depth: retained events a
+	// reconnecting watcher can resume from.
+	Events int
 }
 
 // MonitorRange registers a standing range query: the returned monitor
@@ -552,7 +566,7 @@ func (s *Server) Monitors() []MonitorInfo {
 	infos := s.hub.List()
 	out := make([]MonitorInfo, len(infos))
 	for i, in := range infos {
-		out[i] = MonitorInfo{ID: in.ID, Kind: in.Kind, Members: in.Members, Watchers: in.Subs}
+		out[i] = MonitorInfo{ID: in.ID, Kind: in.Kind, Members: in.Members, Watchers: in.Subs, Events: in.Events}
 	}
 	return out
 }
