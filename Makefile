@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt serve clean bench-smoke bench-throughput bench-append bench-plan bench-join bench-metrics-overhead
+.PHONY: build test vet fmt serve clean bench-smoke bench-throughput bench-append bench-plan bench-join bench-metrics-overhead bench-perf bench-perf-baseline alloc-gate
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,22 @@ bench-plan:
 # to BENCH_5.json.
 bench-join:
 	TSQ_BENCH_OUT=$(CURDIR)/BENCH_5.json $(GO) test -run TestJoinReport -timeout 20m -v .
+
+# Measure per-op hot-path costs — ns/op, B/op, allocs/op per query kind
+# under GOMAXPROCS 1 and 4 — against the stored baseline
+# (bench/BENCH6_BASELINE.json) and write the comparison to BENCH_6.json.
+bench-perf:
+	TSQ_BENCH_OUT=$(CURDIR)/BENCH_6.json $(GO) test -run TestPerfReport -timeout 20m -v ./internal/core
+
+# Re-capture the hot-path baseline (run before a perf change, commit the
+# result; bench-perf compares against it).
+bench-perf-baseline:
+	TSQ_BENCH_BASELINE=$(CURDIR)/bench/BENCH6_BASELINE.json $(GO) test -run TestPerfBaseline -timeout 20m -v ./internal/core
+
+# Allocation-regression gate: warm planned range/NN executions through the
+# Into entry points must allocate nothing (fails CI otherwise).
+alloc-gate:
+	$(GO) test -run 'TestHotPathZeroAlloc|TestArenaSafetyRace' -count=1 -v ./internal/core
 
 # Measure the telemetry tax on the bench-plan query mix: the same
 # workload with the metrics registry enabled vs disabled must stay

@@ -24,6 +24,49 @@ import (
 // amortizes the O(n log n) FFT over many O(K) appends.
 const spectrumRefreshEvery = 32
 
+// Bounds and recomputation period of the adaptive refresh cadence (the
+// default when Options.SpectrumRefreshEvery is not pinned). The cadence
+// slides between eager (4, read-heavy stores: reads then always hit fresh
+// records and skip on-demand derivation) and lazy (256, append-heavy
+// stores: the O(n log n) FFT amortizes over many O(K) appends), retuned
+// from the store's cumulative query/append counters every
+// adaptiveRefreshPeriod appended points. Answers are byte-identical at
+// any cadence — only where the FFT cost lands changes.
+const (
+	adaptiveRefreshMin    = 4
+	adaptiveRefreshMax    = 256
+	adaptiveRefreshPeriod = 256
+)
+
+// refreshCadence returns the store's current spectrum-refresh bound: the
+// pinned Options.SpectrumRefreshEvery when positive, otherwise the
+// adaptive cadence.
+func (db *DB) refreshCadence() int {
+	if db.refreshEvery > 0 {
+		return db.refreshEvery
+	}
+	return int(db.adaptiveRefresh.Load())
+}
+
+// retuneRefreshCadence recomputes the adaptive cadence from the observed
+// workload mix: the append share of all hot-path operations interpolates
+// the cadence between the eager and lazy bounds.
+func (db *DB) retuneRefreshCadence() {
+	a := float64(db.appendCount.Load())
+	q := float64(db.queryCount.Load())
+	if a+q <= 0 {
+		return
+	}
+	every := adaptiveRefreshMin + int(a/(a+q)*float64(adaptiveRefreshMax-adaptiveRefreshMin))
+	if every < adaptiveRefreshMin {
+		every = adaptiveRefreshMin
+	}
+	if every > adaptiveRefreshMax {
+		every = adaptiveRefreshMax
+	}
+	db.adaptiveRefresh.Store(int64(every))
+}
+
 // streamState is the per-series streaming bookkeeping: the incremental
 // window tracker plus the staleness of the stored spectrum record.
 type streamState struct {
@@ -113,7 +156,11 @@ func (db *DB) Append(name string, points []float64) (AppendInfo, error) {
 	st.specStale = true
 	st.derived.Store(nil)
 	st.sinceRefresh += len(points)
-	if st.sinceRefresh >= db.refreshEvery {
+	total := db.appendCount.Add(uint64(len(points)))
+	if db.refreshEvery <= 0 && total%adaptiveRefreshPeriod < uint64(len(points)) {
+		db.retuneRefreshCadence()
+	}
+	if st.sinceRefresh >= db.refreshCadence() {
 		if err := db.refreshSpectrum(id, st, window); err != nil {
 			return AppendInfo{}, err
 		}

@@ -1,0 +1,448 @@
+// Per-operation cost benchmarks for the read hot path: ns/op, B/op and
+// allocs/op per query kind on a warm store, measured as paired-chunk
+// medians under GOMAXPROCS 1 and 4.
+//
+// Three entry points share one workload:
+//
+//   - BenchmarkExecHotPath — standard go-bench surface with ReportAllocs,
+//     exercised once per CI run (-benchtime=1x) so it cannot rot;
+//   - TestPerfBaseline — gated by TSQ_BENCH_BASELINE; captures the
+//     pre-change per-op costs to the given JSON path (run once before a
+//     perf pass, checked in as bench/BENCH6_BASELINE.json);
+//   - TestPerfReport — gated by TSQ_BENCH_OUT; re-measures, merges the
+//     stored baseline, and writes the report `make bench-perf` publishes
+//     as BENCH_6.json.
+//
+// Timing runs with telemetry enabled (the production default, so the
+// numbers include the metrics tax); allocation counts run with telemetry
+// disabled, because the span/metrics surface is the one deliberate
+// steady-state allocator left on the hot path.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/plan"
+	"repro/internal/telemetry"
+	"repro/internal/transform"
+)
+
+const (
+	perfSeries  = 4096
+	perfLen     = 128
+	perfSeed    = 1997
+	perfQueries = 16
+	perfK       = 10
+	perfEps     = 1.0
+	// perfEpsMavg is the radius of the transformed kind: its queries are
+	// smoothed series (D(T(nf(x)), nf(q)) compares against a raw query),
+	// whose nearest stored series sit a little further out.
+	perfEpsMavg = 1.5
+)
+
+// perfStore builds the warm store every perf entry point measures against:
+// seeded random walks with a planted block of near-duplicates so selective
+// range queries have answers.
+func perfStore(tb testing.TB) (*DB, [][]float64) {
+	tb.Helper()
+	db, err := NewDB(perfLen, Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(perfSeed))
+	data := make([][]float64, perfSeries)
+	names := make([]string, perfSeries)
+	for i := range data {
+		if i >= perfSeries/2 && i < perfSeries/2+perfSeries/10 {
+			src := data[i-perfSeries/2]
+			dup := make([]float64, perfLen)
+			for j := range dup {
+				dup[j] = src[j] + r.NormFloat64()*0.1
+			}
+			data[i] = dup
+		} else {
+			data[i] = dataset.RandomWalk(r, perfLen)
+		}
+		names[i] = fmt.Sprintf("W%04d", i)
+	}
+	if err := db.InsertBulk(names, data); err != nil {
+		tb.Fatal(err)
+	}
+	return db, data
+}
+
+// perfQueryVecs returns slightly perturbed copies of stored series, so
+// every query has at least its source (and that source's near-duplicate)
+// in range.
+func perfQueryVecs(data [][]float64) [][]float64 {
+	r := rand.New(rand.NewSource(perfSeed + 1))
+	qs := make([][]float64, perfQueries)
+	for i := range qs {
+		src := data[i]
+		q := make([]float64, perfLen)
+		for j := range q {
+			q[j] = src[j] + r.NormFloat64()*0.02
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// perfKind is one measured query kind: a pre-planned op the measurement
+// loop can run repeatedly with no per-op planning cost.
+type perfKind struct {
+	name string
+	// run executes op i and returns the number of results it produced.
+	run func(i int) int
+}
+
+// perfKinds pre-plans the benchmark's query mix against db. Plans are
+// built once per query vector; the hot loop is ExecRange/ExecNN only.
+func perfKinds(tb testing.TB, db *DB, data [][]float64) []perfKind {
+	tb.Helper()
+	qvecs := perfQueryVecs(data)
+	id := transform.Identity(perfLen)
+	mavg := transform.MovingAverage(perfLen, 8)
+
+	type rangeOp struct {
+		q  RangeQuery
+		pl *plan.Plan
+	}
+	type nnOp struct {
+		q  NNQuery
+		pl *plan.Plan
+	}
+	planRangeOps := func(vecs [][]float64, tr transform.T, eps float64, want plan.Strategy) []rangeOp {
+		ops := make([]rangeOp, len(vecs))
+		for i, v := range vecs {
+			q := RangeQuery{Values: v, Eps: eps, Transform: tr}
+			pl, err := db.PlanRange(q, want)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			ops[i] = rangeOp{q: q, pl: pl}
+		}
+		return ops
+	}
+	planNNOps := func(vecs [][]float64, tr transform.T, want plan.Strategy) []nnOp {
+		ops := make([]nnOp, len(vecs))
+		for i, v := range vecs {
+			q := NNQuery{Values: v, K: perfK, Transform: tr}
+			pl, err := db.PlanNN(q, want)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			ops[i] = nnOp{q: q, pl: pl}
+		}
+		return ops
+	}
+
+	riOps := planRangeOps(qvecs, id, perfEps, plan.Index)
+	rsOps := planRangeOps(qvecs, id, perfEps, plan.ScanFreq)
+	// The transformed kind queries with smoothed series: the query-language
+	// semantics compare T(nf(x)) against nf(q), so a raw-walk q matches
+	// nothing under mavg.
+	mavgVecs := make([][]float64, perfQueries)
+	for i := range mavgVecs {
+		mavgVecs[i] = mavg.ApplyTime(data[i])
+	}
+	rmOps := planRangeOps(mavgVecs, mavg, perfEpsMavg, plan.Index)
+	niOps := planNNOps(qvecs, id, plan.Index)
+	nsOps := planNNOps(qvecs, id, plan.ScanFreq)
+
+	// Each kind reuses one result buffer across ops via the Into entry
+	// points — the steady-state calling convention the zero-allocation
+	// contract is stated for (see TestHotPathZeroAlloc).
+	runRange := func(ops []rangeOp) func(i int) int {
+		var dst []Result
+		return func(i int) int {
+			op := &ops[i%len(ops)]
+			res, _, err := db.ExecRangeInto(op.q, op.pl, dst[:0])
+			if err != nil {
+				tb.Fatal(err)
+			}
+			dst = res
+			return len(res)
+		}
+	}
+	runNN := func(ops []nnOp) func(i int) int {
+		var dst []Result
+		return func(i int) int {
+			op := &ops[i%len(ops)]
+			res, _, err := db.ExecNNInto(op.q, op.pl, dst[:0])
+			if err != nil {
+				tb.Fatal(err)
+			}
+			dst = res
+			return len(res)
+		}
+	}
+
+	return []perfKind{
+		{name: "range_index", run: runRange(riOps)},
+		{name: "range_scan", run: runRange(rsOps)},
+		{name: "range_index_mavg", run: runRange(rmOps)},
+		{name: "nn_index", run: runNN(niOps)},
+		{name: "nn_scan", run: runNN(nsOps)},
+	}
+}
+
+// perfPoint is one measured (kind, GOMAXPROCS) cell.
+type perfPoint struct {
+	Kind       string  `json:"kind"`
+	Gomaxprocs int     `json:"gomaxprocs"`
+	NsOp       float64 `json:"ns_op"`
+	BOp        float64 `json:"b_op"`
+	AllocsOp   float64 `json:"allocs_op"`
+	QPS        float64 `json:"qps"`
+	AvgResults float64 `json:"avg_results"`
+}
+
+const (
+	perfChunks     = 15
+	perfChunkMinMs = 4
+)
+
+// measureKind times k as the median of perfChunks chunk means, then counts
+// allocations with telemetry disabled (see the package comment).
+func measureKind(k perfKind, procs int) perfPoint {
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+
+	// Warm up: fault pages in, settle pools and caches.
+	results := 0
+	for i := 0; i < 64; i++ {
+		results += k.run(i)
+	}
+
+	// Size a chunk to at least perfChunkMinMs of work.
+	start := time.Now()
+	probeOps := 32
+	for i := 0; i < probeOps; i++ {
+		k.run(i)
+	}
+	perOp := time.Since(start) / time.Duration(probeOps)
+	if perOp <= 0 {
+		perOp = time.Nanosecond
+	}
+	chunkOps := int(time.Duration(perfChunkMinMs)*time.Millisecond/perOp) + 1
+	if chunkOps < 16 {
+		chunkOps = 16
+	}
+	if chunkOps > 4096 {
+		chunkOps = 4096
+	}
+
+	// Chunked timing: median across chunks resists scheduler noise.
+	nsPerOp := make([]float64, perfChunks)
+	n := 0
+	resSum := 0
+	for c := 0; c < perfChunks; c++ {
+		t0 := time.Now()
+		for i := 0; i < chunkOps; i++ {
+			resSum += k.run(n)
+			n++
+		}
+		nsPerOp[c] = float64(time.Since(t0).Nanoseconds()) / float64(chunkOps)
+	}
+	sort.Float64s(nsPerOp)
+	med := nsPerOp[perfChunks/2]
+
+	// Allocation counts: telemetry off so the measured surface is the
+	// engine hot path, not the metrics registry.
+	wasEnabled := telemetry.Enabled()
+	telemetry.SetEnabled(false)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		k.run(i)
+		i++
+	})
+	var m0, m1 runtime.MemStats
+	const bytesOps = 200
+	runtime.ReadMemStats(&m0)
+	for j := 0; j < bytesOps; j++ {
+		k.run(j)
+	}
+	runtime.ReadMemStats(&m1)
+	telemetry.SetEnabled(wasEnabled)
+	bOp := float64(m1.TotalAlloc-m0.TotalAlloc) / bytesOps
+
+	return perfPoint{
+		Kind:       k.name,
+		Gomaxprocs: procs,
+		NsOp:       med,
+		BOp:        bOp,
+		AllocsOp:   allocs,
+		QPS:        1e9 / med,
+		AvgResults: float64(resSum) / float64(perfChunks*chunkOps),
+	}
+}
+
+func measureAll(tb testing.TB) []perfPoint {
+	db, data := perfStore(tb)
+	kinds := perfKinds(tb, db, data)
+	var pts []perfPoint
+	for _, procs := range []int{1, 4} {
+		for _, k := range kinds {
+			pts = append(pts, measureKind(k, procs))
+		}
+	}
+	return pts
+}
+
+// perfSnapshot is the JSON shape both the baseline file and the
+// before/after halves of BENCH_6.json use.
+type perfSnapshot struct {
+	Bench      string      `json:"bench"`
+	Phase      string      `json:"phase"`
+	Go         string      `json:"go"`
+	Series     int         `json:"series"`
+	Length     int         `json:"length"`
+	Eps        float64     `json:"eps"`
+	K          int         `json:"k"`
+	TimingNote string      `json:"timing_note"`
+	Points     []perfPoint `json:"points"`
+}
+
+func snapshotOf(phase string, pts []perfPoint) perfSnapshot {
+	return perfSnapshot{
+		Bench:      "perf",
+		Phase:      phase,
+		Go:         runtime.Version(),
+		Series:     perfSeries,
+		Length:     perfLen,
+		Eps:        perfEps,
+		K:          perfK,
+		TimingNote: "ns_op is the median of chunk means with telemetry enabled; allocs_op/b_op measured with telemetry disabled",
+		Points:     pts,
+	}
+}
+
+// TestPerfBaseline captures the pre-change per-op costs. Gated by
+// TSQ_BENCH_BASELINE naming the output path.
+func TestPerfBaseline(t *testing.T) {
+	out := os.Getenv("TSQ_BENCH_BASELINE")
+	if out == "" {
+		t.Skip("set TSQ_BENCH_BASELINE=<path> to capture a perf baseline")
+	}
+	snap := snapshotOf("baseline", measureAll(t))
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range snap.Points {
+		t.Logf("%-18s gomaxprocs=%d  %10.0f ns/op  %8.0f B/op  %6.1f allocs/op  avg_results=%.1f",
+			p.Kind, p.Gomaxprocs, p.NsOp, p.BOp, p.AllocsOp, p.AvgResults)
+	}
+	t.Logf("baseline written to %s", out)
+}
+
+// perfComparison is one row of BENCH_6.json: a (kind, GOMAXPROCS) cell
+// with its baseline, its current measurement, and the speedup.
+type perfComparison struct {
+	Kind       string     `json:"kind"`
+	Gomaxprocs int        `json:"gomaxprocs"`
+	Before     *perfPoint `json:"before,omitempty"`
+	After      perfPoint  `json:"after"`
+	Speedup    float64    `json:"speedup,omitempty"`
+}
+
+// TestPerfReport measures the current tree and merges the stored baseline
+// into BENCH_6.json. Gated by TSQ_BENCH_OUT.
+func TestPerfReport(t *testing.T) {
+	out := os.Getenv("TSQ_BENCH_OUT")
+	if out == "" {
+		t.Skip("set TSQ_BENCH_OUT=<path> to run the perf report")
+	}
+	baselinePath := os.Getenv("TSQ_BENCH_BASELINE_IN")
+	if baselinePath == "" {
+		baselinePath = "../../bench/BENCH6_BASELINE.json"
+	}
+	var base perfSnapshot
+	if buf, err := os.ReadFile(baselinePath); err == nil {
+		if err := json.Unmarshal(buf, &base); err != nil {
+			t.Fatalf("baseline %s: %v", baselinePath, err)
+		}
+	} else {
+		t.Logf("no baseline at %s; reporting current numbers only", baselinePath)
+	}
+	baseOf := func(kind string, procs int) *perfPoint {
+		for i := range base.Points {
+			if base.Points[i].Kind == kind && base.Points[i].Gomaxprocs == procs {
+				return &base.Points[i]
+			}
+		}
+		return nil
+	}
+
+	after := measureAll(t)
+	rows := make([]perfComparison, 0, len(after))
+	for _, p := range after {
+		row := perfComparison{Kind: p.Kind, Gomaxprocs: p.Gomaxprocs, After: p}
+		if b := baseOf(p.Kind, p.Gomaxprocs); b != nil {
+			row.Before = b
+			row.Speedup = b.NsOp / p.NsOp
+		}
+		rows = append(rows, row)
+		if row.Before != nil {
+			t.Logf("%-18s gomaxprocs=%d  %10.0f -> %10.0f ns/op (%.2fx)  allocs %5.1f -> %5.1f",
+				p.Kind, p.Gomaxprocs, row.Before.NsOp, p.NsOp, row.Speedup, row.Before.AllocsOp, p.AllocsOp)
+		} else {
+			t.Logf("%-18s gomaxprocs=%d  %10.0f ns/op  %6.1f allocs/op", p.Kind, p.Gomaxprocs, p.NsOp, p.AllocsOp)
+		}
+	}
+
+	report := struct {
+		Bench       string           `json:"bench"`
+		Go          string           `json:"go"`
+		Series      int              `json:"series"`
+		Length      int              `json:"length"`
+		Eps         float64          `json:"eps"`
+		K           int              `json:"k"`
+		TimingNote  string           `json:"timing_note"`
+		Comparisons []perfComparison `json:"comparisons"`
+	}{
+		Bench:       "perf",
+		Go:          runtime.Version(),
+		Series:      perfSeries,
+		Length:      perfLen,
+		Eps:         perfEps,
+		K:           perfK,
+		TimingNote:  snapshotOf("", nil).TimingNote,
+		Comparisons: rows,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report written to %s", out)
+}
+
+// BenchmarkExecHotPath is the standard go-bench surface over the same
+// kinds, with allocation reporting for `go test -bench -benchmem`.
+func BenchmarkExecHotPath(b *testing.B) {
+	db, data := perfStore(b)
+	kinds := perfKinds(b, db, data)
+	for _, k := range kinds {
+		b.Run(k.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k.run(i)
+			}
+		})
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dft"
@@ -59,11 +60,13 @@ type Options struct {
 	BufferPoolPages int
 	// SpectrumRefreshEvery bounds how many appended points a series'
 	// stored spectrum record may lag its window before Append rewrites it
-	// with the exact FFT (<= 0 selects the default, 32). 1 refreshes on
-	// every append — cheapest reads, costliest ingest; larger values
-	// amortize the O(n log n) FFT over more O(K) appends at the price of
-	// on-demand spectrum derivation for reads of stale series. Answers are
-	// byte-identical at any cadence.
+	// with the exact FFT. 1 refreshes on every append — cheapest reads,
+	// costliest ingest; larger values amortize the O(n log n) FFT over
+	// more O(K) appends at the price of on-demand spectrum derivation for
+	// reads of stale series. <= 0 (the default) selects the adaptive
+	// cadence: the store watches its own query/append mix and slides the
+	// bound between 4 (read-heavy) and 256 (append-heavy), starting from
+	// 32. Answers are byte-identical at any cadence.
 	SpectrumRefreshEvery int
 }
 
@@ -94,6 +97,20 @@ type DB struct {
 	// diagnostics.
 	tracker *plan.Tracker
 	history *plan.History
+	// exploreTick counts unforced scan-routed range executions; every
+	// exploreEvery-th one runs a count-only index probe so the range
+	// calibration keeps learning while scans win (see maybeExploreRange).
+	// joinExploreTick is the same counter for scan-routed joins (see
+	// maybeExploreJoin in join.go).
+	exploreTick     atomic.Uint64
+	joinExploreTick atomic.Uint64
+	// queryCount and appendCount drive the adaptive spectrum-refresh
+	// cadence (see refreshCadence in append.go): hot-path executions bump
+	// queryCount, appends bump appendCount.
+	queryCount  atomic.Uint64
+	appendCount atomic.Uint64
+	// adaptiveRefresh caches the adaptive cadence between recomputations.
+	adaptiveRefresh atomic.Int64
 }
 
 // NewDB creates an empty DB for series of the given length.
@@ -130,10 +147,13 @@ func NewDB(length int, opts Options) (*DB, error) {
 		tracker: plan.NewTracker(),
 		history: plan.NewHistory(0),
 	}
+	// Price plans with machine-measured cost constants (one calibration
+	// per process; see plan.Calibrate).
+	db.tracker.SetCosts(plan.Calibrated())
+	// refreshEvery <= 0 keeps the adaptive cadence (refreshCadence);
+	// positive values pin it.
 	db.refreshEvery = opts.SpectrumRefreshEvery
-	if db.refreshEvery <= 0 {
-		db.refreshEvery = spectrumRefreshEvery
-	}
+	db.adaptiveRefresh.Store(spectrumRefreshEvery)
 	if opts.BufferPoolPages > 0 {
 		if err := db.timeRel.AttachPool(opts.BufferPoolPages); err != nil {
 			return nil, err
@@ -422,9 +442,24 @@ func (db *DB) querySpectrum(q []float64) []complex128 {
 // returns the decision, the exact distance when within, and the number of
 // accumulated terms.
 func (db *DB) viewTransformedWithin(id int64, a, b, q []complex128, eps float64) (bool, float64, int, error) {
-	view, err := db.specViewOf(id)
-	if err != nil {
-		return false, 0, 0, err
+	var buf [][]byte
+	return db.viewTransformedWithinBuf(id, a, b, q, eps, &buf)
+}
+
+// viewTransformedWithinBuf is viewTransformedWithin with a caller-owned
+// page-view buffer (typically an arena's), so the hot verification loop
+// opens stored records without allocating.
+func (db *DB) viewTransformedWithinBuf(id int64, a, b, q []complex128, eps float64, pbuf *[][]byte) (bool, float64, int, error) {
+	var view specView
+	if spec, ok := db.staleSpectrum(id); ok {
+		view = specView{vec: spec}
+	} else {
+		pages, err := db.freqRel.ViewPagesInto(id, (*pbuf)[:0])
+		if err != nil {
+			return false, 0, 0, err
+		}
+		*pbuf = pages
+		view = specView{pages: pages, ps: db.freqRel.PageSize()}
 	}
 	limit := eps * eps
 	var sum float64

@@ -72,6 +72,13 @@ type Engine interface {
 	ExecRange(q RangeQuery, pl *plan.Plan) ([]Result, ExecStats, error)
 	PlanNN(q NNQuery, want plan.Strategy) (*plan.Plan, error)
 	ExecNN(q NNQuery, pl *plan.Plan) ([]Result, ExecStats, error)
+	// ExecRangeInto/ExecNNInto are the zero-allocation forms of
+	// ExecRange/ExecNN: answers append to dst (pass a [:0] slice to reuse
+	// its backing array). On a single-store DB a warm call whose dst has
+	// capacity allocates nothing; repeated callers (monitors, benchmarks,
+	// tight server loops) should prefer them.
+	ExecRangeInto(q RangeQuery, pl *plan.Plan, dst []Result) ([]Result, ExecStats, error)
+	ExecNNInto(q NNQuery, pl *plan.Plan, dst []Result) ([]Result, ExecStats, error)
 	// PlanJoin/ExecJoin are the planned all-pairs path: the planner prices
 	// the paper's four Table 1 join methods (store cardinality, sampled
 	// eps selectivity against the transformed store extent, measured join

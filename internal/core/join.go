@@ -639,7 +639,65 @@ func (db *DB) ExecJoin(q JoinQuery, pl *plan.Plan) ([]JoinPair, ExecStats, error
 	if pl.Strategy == plan.Index {
 		db.tracker.ObserveJoin(pl.Est.Candidates, st.Candidates, st.NodeAccesses, db.Len())
 	}
+	db.maybeExploreJoin(pl, jp)
 	db.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
 	finishExec(pl, &st, st.Spans)
 	return out, st, nil
+}
+
+// joinExploreEvery is the sampling period of the planner's join
+// exploration probes: every joinExploreEvery-th unforced scan-routed join
+// re-measures the index side with sampled count-only probes.
+const joinExploreEvery = 8
+
+// maybeExploreJoin occasionally probes the index after scan-routed joins.
+// Like maybeExploreRange, this keeps the join calibration learning while
+// scans win the pricing: up to joinSampleCap stored series (evenly spaced
+// over the live set) pose their transformed feature points to the index
+// as count-only range probes, and the scaled candidate and node counts
+// feed the join calibrator. Probe costs stay out of the join's ExecStats
+// — planner bookkeeping, not answer work.
+func (db *DB) maybeExploreJoin(pl *plan.Plan, jp *joinPlan) {
+	if pl.Strategy == plan.Index || pl.Forced || jp.mapErr != nil {
+		return
+	}
+	if db.joinExploreTick.Add(1)%joinExploreEvery != 0 {
+		return
+	}
+	n := len(db.ids)
+	if n < 2 {
+		return
+	}
+	step := n / joinSampleCap
+	if step < 1 {
+		step = 1
+	}
+	cand, nodes, probes := 0, 0, 0
+	for i := 0; i < n && probes < joinSampleCap; i += step {
+		qid := db.ids[i]
+		tq := db.points[qid]
+		if !jp.rm.Identity() {
+			tq = jp.rm.ApplyPoint(tq)
+		}
+		cands, searchStats := db.idx.Range(tq, jp.q.Eps, jp.lm, feature.MomentBounds{}, !db.opts.DisablePartialPrune)
+		nodes += searchStats.NodesVisited
+		for _, c := range cands {
+			if c.ID != qid {
+				cand++
+			}
+		}
+		probes++
+	}
+	if probes == 0 {
+		return
+	}
+	// Scale the sample to a full index-nested-loop run: n probes instead
+	// of `probes`. Self joins verify each unordered pair once, so their
+	// candidate count halves.
+	scale := float64(n) / float64(probes)
+	scaledCand := float64(cand) * scale
+	if !jp.q.TwoSided {
+		scaledCand /= 2
+	}
+	db.tracker.ObserveJoin(pl.Est.Candidates, int(scaledCand), int(float64(nodes)*scale), n)
 }

@@ -1,12 +1,10 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sync"
 
-	"repro/internal/index"
 	"repro/internal/stats"
 	"repro/internal/transform"
 )
@@ -22,37 +20,67 @@ type NNQuery struct {
 	BothSides  bool
 }
 
-// resultHeap is a max-heap of Results under the (Dist, ID) total order:
-// the root is the worst of the current k best, so it is the first to be
-// displaced. Breaking distance ties by ID makes the retained k-set — and
-// therefore NN output — independent of candidate arrival order, which is
-// what lets shard searches share one bound without losing determinism.
-type resultHeap []Result
-
-func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return resultLess(h[j], h[i]) }
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
 // topK is the current k-best set of a nearest-neighbor search, safe for
-// concurrent use. A single-DB search owns one privately; a sharded search
-// shares one instance across all shard workers, so every worker prunes
-// against the globally best k-th distance and sharding does not inflate
-// candidate counts.
+// concurrent use. A single-DB search owns one privately (usually an
+// arena's); a sharded search shares one instance across all shard workers,
+// so every worker prunes against the globally best k-th distance and
+// sharding does not inflate candidate counts.
+//
+// The set is a typed max-heap of Results under the (Dist, ID) total
+// order: the root is the worst of the current k best, so it is the first
+// to be displaced. Breaking distance ties by ID makes the retained k-set
+// — and therefore NN output — independent of candidate arrival order.
+// (Typed sift functions rather than container/heap: the interface-based
+// heap boxes every Result it pushes, which the zero-allocation hot path
+// cannot afford.)
 type topK struct {
 	mu sync.Mutex
 	k  int
-	h  resultHeap
+	h  []Result
 }
 
 func newTopK(k int) *topK { return &topK{k: k} }
+
+// reset reinitializes a (possibly pooled) set for a fresh search of k
+// neighbors, keeping the heap's capacity.
+func (t *topK) reset(k int) {
+	t.mu.Lock()
+	t.k = k
+	t.h = t.h[:0]
+	t.mu.Unlock()
+}
+
+// siftUp restores the max-heap order after appending at index i.
+func (t *topK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !resultLess(t.h[parent], t.h[i]) {
+			return
+		}
+		t.h[parent], t.h[i] = t.h[i], t.h[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the max-heap order after replacing the root.
+func (t *topK) siftDown(i int) {
+	n := len(t.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && resultLess(t.h[big], t.h[r]) {
+			big = r
+		}
+		if !resultLess(t.h[i], t.h[big]) {
+			return
+		}
+		t.h[i], t.h[big] = t.h[big], t.h[i]
+		i = big
+	}
+}
 
 // threshold returns the current k-th best distance, or +Inf while the set
 // is still filling. Verification may use it as an early-abandoning bound;
@@ -60,7 +88,7 @@ func newTopK(k int) *topK { return &topK{k: k} }
 func (t *topK) threshold() float64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.h.Len() < t.k {
+	if len(t.h) < t.k {
 		return math.Inf(1)
 	}
 	return t.h[0].Dist
@@ -71,24 +99,31 @@ func (t *topK) threshold() float64 {
 func (t *topK) offer(r Result) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.h.Len() < t.k {
-		heap.Push(&t.h, r)
+	if len(t.h) < t.k {
+		t.h = append(t.h, r)
+		t.siftUp(len(t.h) - 1)
 		return
 	}
 	if resultLess(r, t.h[0]) {
 		t.h[0] = r
-		heap.Fix(&t.h, 0)
+		t.siftDown(0)
 	}
+}
+
+// appendResults appends the final k best to dst and sorts dst ascending by
+// (Dist, ID). dst must carry only this search's answers (pass a [:0]
+// slice to reuse its backing array).
+func (t *topK) appendResults(dst []Result) []Result {
+	t.mu.Lock()
+	dst = append(dst, t.h...)
+	t.mu.Unlock()
+	sortResults(dst)
+	return dst
 }
 
 // results returns the final k best, sorted ascending by (Dist, ID).
 func (t *topK) results() []Result {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]Result, t.h.Len())
-	copy(out, t.h)
-	sortResults(out)
-	return out
+	return t.appendResults(nil)
 }
 
 // planNN validates q and builds the plan of its equivalent open-threshold
@@ -101,39 +136,72 @@ func planNN(db *DB, q NNQuery) (*rangePlan, error) {
 	return db.planRange(rq)
 }
 
-// nnIndexedInto runs the transform-aware branch-and-bound of Section 4
-// against this DB, feeding verified answers into best — which may be
-// shared with searches over sibling shards — and accumulating filter-side
-// costs into st (NodeAccesses, Candidates, DistanceTerms). Candidates
-// stream out of the index in order of their k-coefficient lower bound;
-// the traversal stops as soon as the next lower bound exceeds the current
-// k-th best verified distance (lower bound <= true distance by Parseval,
-// so stopping is exact).
-func (db *DB) nnIndexedInto(p *rangePlan, best *topK, st *ExecStats) error {
-	verify := db.verifierFor(p, st)
+// nnVisit is the FlatNNVisitor of a batch nearest-neighbor execution: the
+// per-candidate refinement step of the branch-and-bound, held in the
+// arena so handing it to the traversal as an interface never allocates.
+type nnVisit struct {
+	db   *DB
+	p    *rangePlan
+	best *topK
+	ar   *execArena
+	st   *ExecStats
+	warp bool
+	err  error
+}
 
-	var verr error
-	searchStats := db.idx.NearestFunc(p.qp, p.m, func(c index.Candidate) bool {
-		// eps is the shared k-th-best distance: it bounds both the decision
-		// to continue the traversal and the early abandoning inside
-		// verification. +Inf while the k-set is filling.
-		eps := best.threshold()
-		if c.PartialDistSq > eps*eps {
-			return false // no remaining candidate can beat the k-th best
-		}
-		st.Candidates++
-		within, dist, err := verify(c.ID, eps)
-		if err != nil {
-			verr = err
-			return false
-		}
-		if within {
-			best.offer(Result{ID: c.ID, Name: db.names[c.ID], Dist: dist})
-		}
-		return true
-	})
+func (v *nnVisit) VisitNear(id int64, partialDistSq float64) bool {
+	// eps is the shared k-th-best distance: it bounds both the decision
+	// to continue the traversal and the early abandoning inside
+	// verification. +Inf while the k-set is filling.
+	eps := v.best.threshold()
+	if partialDistSq > eps*eps {
+		return false // no remaining candidate can beat the k-th best
+	}
+	v.st.Candidates++
+	var (
+		within bool
+		dist   float64
+		err    error
+	)
+	if v.warp {
+		within, dist, err = v.db.verifyWarp(v.p, v.st, id, eps)
+	} else {
+		within, dist, err = v.db.verifyFreq(v.p, v.ar, v.st, id, eps)
+	}
+	if err != nil {
+		v.err = err
+		return false
+	}
+	if within {
+		v.best.offer(Result{ID: id, Name: v.db.names[id], Dist: dist})
+	}
+	return true
+}
+
+// nnIndexedArena runs the transform-aware branch-and-bound of Section 4
+// against this DB over the flat-slab batch traversal, feeding verified
+// answers into best — which may be shared with searches over sibling
+// shards — and accumulating filter-side costs into st (NodeAccesses,
+// Candidates, DistanceTerms). Candidates stream out of the index in order
+// of their k-coefficient lower bound; the traversal stops as soon as the
+// next lower bound exceeds the current k-th best verified distance (lower
+// bound <= true distance by Parseval, so stopping is exact). Steady state
+// it allocates nothing.
+func (db *DB) nnIndexedArena(p *rangePlan, best *topK, ar *execArena, st *ExecStats) error {
+	ar.nv = nnVisit{db: db, p: p, best: best, ar: ar, st: st, warp: p.q.WarpFactor >= 2}
+	searchStats := db.idx.NearestIDs(p.qp, p.m, &ar.sc, &ar.nv)
 	st.NodeAccesses += searchStats.NodesVisited
-	return verr
+	err := ar.nv.err
+	ar.nv = nnVisit{}
+	return err
+}
+
+// nnIndexedInto is nnIndexedArena over a pooled arena — the form the
+// sharded fan-out and the method-pinned entry points use.
+func (db *DB) nnIndexedInto(p *rangePlan, best *topK, st *ExecStats) error {
+	ar := getArena()
+	defer putArena(ar)
+	return db.nnIndexedArena(p, best, ar, st)
 }
 
 // NNIndexed answers the query with the transform-aware branch-and-bound of
@@ -164,14 +232,23 @@ func (db *DB) NNIndexed(q NNQuery) ([]Result, ExecStats, error) {
 	return out, st, nil
 }
 
-// nnScanInto is the scan analogue of nnIndexedInto: it verifies every
+// nnScanArena is the scan analogue of nnIndexedArena: it verifies every
 // stored series, with a pruning threshold that tightens to the (possibly
 // shared) current k-th best distance.
-func (db *DB) nnScanInto(p *rangePlan, best *topK, st *ExecStats) error {
-	verify := db.verifierFor(p, st)
+func (db *DB) nnScanArena(p *rangePlan, best *topK, ar *execArena, st *ExecStats) error {
+	warp := p.q.WarpFactor >= 2
 	for _, id := range db.ids {
 		st.Candidates++
-		within, dist, err := verify(id, best.threshold())
+		var (
+			within bool
+			dist   float64
+			err    error
+		)
+		if warp {
+			within, dist, err = db.verifyWarp(p, st, id, best.threshold())
+		} else {
+			within, dist, err = db.verifyFreq(p, ar, st, id, best.threshold())
+		}
 		if err != nil {
 			return err
 		}
@@ -180,6 +257,13 @@ func (db *DB) nnScanInto(p *rangePlan, best *topK, st *ExecStats) error {
 		}
 	}
 	return nil
+}
+
+// nnScanInto is nnScanArena over a pooled arena.
+func (db *DB) nnScanInto(p *rangePlan, best *topK, st *ExecStats) error {
+	ar := getArena()
+	defer putArena(ar)
+	return db.nnScanArena(p, best, ar, st)
 }
 
 // NNScan is the sequential-scan baseline for nearest-neighbor queries: it

@@ -1,6 +1,6 @@
 package core
 
-import "sort"
+import "slices"
 
 // Deterministic result orderings. Every query kind re-sorts its output
 // with a total order — distance first, ties broken by ID — so that two
@@ -8,36 +8,69 @@ import "sort"
 // regardless of scan iteration order, index structure, or how many shards
 // the execution fanned out across. This is what lets the sharded engine's
 // merge step be a plain sort, and parity tests compare exact slices.
+//
+// The comparators are package-level functions handed to slices.SortFunc:
+// unlike sort.Slice, which allocates a closure and a reflect-based
+// swapper per call, this sorts with zero allocations — and since each
+// order is total (IDs are unique per answer set), the unstable sort has
+// exactly one fixed point and determinism is unaffected.
+
+func cmpResults(a, b Result) int {
+	if a.Dist != b.Dist {
+		if a.Dist < b.Dist {
+			return -1
+		}
+		return 1
+	}
+	if a.ID != b.ID {
+		if a.ID < b.ID {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
 
 // sortResults orders range/NN answers by (Dist, ID).
-func sortResults(out []Result) {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
+func sortResults(out []Result) { slices.SortFunc(out, cmpResults) }
+
+func cmpPairs(a, b JoinPair) int {
+	if a.A != b.A {
+		if a.A < b.A {
+			return -1
 		}
-		return out[i].ID < out[j].ID
-	})
+		return 1
+	}
+	if a.B != b.B {
+		if a.B < b.B {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
 // sortPairs orders join answers by (A, B).
-func sortPairs(out []JoinPair) {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
+func sortPairs(out []JoinPair) { slices.SortFunc(out, cmpPairs) }
+
+func cmpSubseq(a, b SubseqResult) int {
+	if a.Dist != b.Dist {
+		if a.Dist < b.Dist {
+			return -1
 		}
-		return out[i].B < out[j].B
-	})
+		return 1
+	}
+	if a.ID != b.ID {
+		if a.ID < b.ID {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
 // sortSubseq orders subsequence answers by (Dist, ID).
-func sortSubseq(out []SubseqResult) {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
-	})
-}
+func sortSubseq(out []SubseqResult) { slices.SortFunc(out, cmpSubseq) }
 
 // resultLess is the (Dist, ID) total order on individual results, used by
 // the nearest-neighbor bound to decide replacements at the boundary.

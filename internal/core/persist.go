@@ -57,6 +57,20 @@ var (
 	// A snapshot that ends after the series records simply has no trailer
 	// (the pre-trailer format); readers accept both.
 	historyMagic = [4]byte{'P', 'L', 'N', 'H'}
+
+	// costsMagic introduces the optional cost-calibration trailer after
+	// the history trailer:
+	//
+	//	magic [4]byte "CCAL"
+	//	scanUnit, nodeUnit, joinScanUnit, joinNodeUnit, joinProbeUnit
+	//	  — five float64s, the plan.Costs fields in order
+	//
+	// It records the cost-model constants the store priced plans with, so
+	// a reloaded snapshot keeps the same index-vs-scan break-even points
+	// it had when written (planner continuity across restarts). Older
+	// snapshots end after the history trailer; readers then calibrate
+	// fresh.
+	costsMagic = [4]byte{'C', 'C', 'A', 'L'}
 )
 
 // snapshotHeader is the decoded fixed-size prefix of either format.
@@ -181,6 +195,16 @@ func (w *snapshotWriter) writeHistory(h *plan.History) error {
 	return nil
 }
 
+// writeCosts appends the cost-calibration trailer.
+func (w *snapshotWriter) writeCosts(c plan.Costs) error {
+	if err := w.write(costsMagic); err != nil {
+		return err
+	}
+	return w.write([]float64{
+		c.ScanUnit, c.NodeUnit, c.JoinScanUnit, c.JoinNodeUnit, c.JoinProbeUnit,
+	})
+}
+
 // WriteTo serializes the DB's contents in the TSQ1 format. It returns the
 // number of bytes written.
 func (db *DB) WriteTo(w io.Writer) (int64, error) {
@@ -198,6 +222,9 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	if err := sw.writeHistory(db.history); err != nil {
+		return sw.n, err
+	}
+	if err := sw.writeCosts(db.tracker.Costs()); err != nil {
 		return sw.n, err
 	}
 	return sw.n, sw.bw.Flush()
@@ -226,6 +253,9 @@ func (s *Sharded) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	if err := sw.writeHistory(s.history); err != nil {
+		return sw.n, err
+	}
+	if err := sw.writeCosts(s.tracker.Costs()); err != nil {
 		return sw.n, err
 	}
 	return sw.n, sw.bw.Flush()
@@ -377,6 +407,38 @@ func readHistory(br *bufio.Reader) (seq int64, recs []plan.Record, ok bool, err 
 	return seq, recs, true, nil
 }
 
+// readCosts decodes the optional cost-calibration trailer. A clean EOF
+// means a pre-CCAL snapshot: ok is false and the error nil.
+func readCosts(br *bufio.Reader) (c plan.Costs, ok bool, err error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		if err == io.EOF {
+			return c, false, nil
+		}
+		return c, false, fmt.Errorf("core: reading costs trailer: %w", err)
+	}
+	if magic != costsMagic {
+		return c, false, fmt.Errorf("core: unexpected snapshot trailer (magic %q)", magic[:])
+	}
+	var vals [5]float64
+	if err := binary.Read(br, binary.LittleEndian, vals[:]); err != nil {
+		return c, false, fmt.Errorf("core: reading costs trailer: %w", err)
+	}
+	c = plan.Costs{
+		ScanUnit:      vals[0],
+		NodeUnit:      vals[1],
+		JoinScanUnit:  vals[2],
+		JoinNodeUnit:  vals[3],
+		JoinProbeUnit: vals[4],
+	}
+	for _, v := range vals {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return plan.Costs{}, false, fmt.Errorf("core: costs trailer carries invalid constant %g", v)
+		}
+	}
+	return c, true, nil
+}
+
 // ReadEngine deserializes a snapshot (either version) into a fresh store,
 // rebuilding derived state with bulk loading. shards selects the
 // partitioning of the loaded store: 0 honors the count recorded in the
@@ -405,6 +467,13 @@ func ReadEngine(r io.Reader, opts Options, shards int) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	var costs plan.Costs
+	haveCosts := false
+	if haveHist {
+		if costs, haveCosts, err = readCosts(br); err != nil {
+			return nil, err
+		}
+	}
 	opts.Schema = h.schema
 	if shards == 1 {
 		db, err := NewDB(h.length, opts)
@@ -417,6 +486,9 @@ func ReadEngine(r io.Reader, opts Options, shards int) (Engine, error) {
 		if haveHist {
 			db.history.Import(seq, recs)
 		}
+		if haveCosts {
+			db.tracker.SetCosts(costs)
+		}
 		return db, nil
 	}
 	s, err := NewSharded(h.length, shards, opts)
@@ -428,6 +500,9 @@ func ReadEngine(r io.Reader, opts Options, shards int) (Engine, error) {
 	}
 	if haveHist {
 		s.history.Import(seq, recs)
+	}
+	if haveCosts {
+		s.tracker.SetCosts(costs)
 	}
 	return s, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/feature"
+	"repro/internal/plan"
 	"repro/internal/transform"
 )
 
@@ -249,4 +250,84 @@ func TestSnapshotHistoryRoundTrip(t *testing.T) {
 			return ReadEngine(buf, Options{}, 3)
 		})
 	})
+}
+
+// TestSnapshotCostsRoundTrip: the CCAL trailer carries the cost-model
+// constants across a snapshot round-trip, so a restored store keeps the
+// break-even points it priced plans with when written.
+func TestSnapshotCostsRoundTrip(t *testing.T) {
+	run := func(t *testing.T, eng Engine, tracker *plan.Tracker, read func(*bytes.Buffer) (Engine, error), restored func(Engine) *plan.Tracker) {
+		walks := dataset.RandomWalks(20, 32, 13)
+		for _, w := range walks {
+			if _, err := eng.Insert(w.Name, w.Values); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := plan.DefaultCosts()
+		want.ScanUnit = 0.31
+		want.NodeUnit = 1.25
+		want.JoinScanUnit = 0.11
+		tracker.SetCosts(want)
+
+		var buf bytes.Buffer
+		if _, err := eng.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if have := restored(got).Costs(); have != want {
+			t.Fatalf("restored costs = %+v, want %+v", have, want)
+		}
+	}
+	t.Run("db", func(t *testing.T) {
+		db, err := NewDB(32, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, db, db.tracker, func(buf *bytes.Buffer) (Engine, error) {
+			return ReadEngine(buf, Options{}, 0)
+		}, func(e Engine) *plan.Tracker { return e.(*DB).tracker })
+	})
+	t.Run("sharded", func(t *testing.T) {
+		s, err := NewSharded(32, 3, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, s, s.tracker, func(buf *bytes.Buffer) (Engine, error) {
+			return ReadEngine(buf, Options{}, 3)
+		}, func(e Engine) *plan.Tracker { return e.(*Sharded).tracker })
+	})
+}
+
+// TestSnapshotPreCostsTrailer: a snapshot ending after the history
+// trailer (pre-CCAL format) still loads; the store then calibrates
+// fresh.
+func TestSnapshotPreCostsTrailer(t *testing.T) {
+	db, err := NewDB(32, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range dataset.RandomWalks(10, 32, 17) {
+		if _, err := db.Insert(w.Name, w.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the CCAL trailer: 4 magic bytes + 5 float64s.
+	trimmed := buf.Bytes()[:buf.Len()-(4+5*8)]
+	got, err := ReadEngine(bytes.NewBuffer(trimmed), Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Fatalf("restored %d series, want %d", got.Len(), db.Len())
+	}
+	if got.(*DB).tracker.Costs() != plan.Calibrated() {
+		t.Fatalf("pre-CCAL snapshot should leave the fresh calibration in place")
+	}
 }

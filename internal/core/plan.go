@@ -7,7 +7,7 @@ import (
 	"repro/internal/feature"
 	"repro/internal/geom"
 	"repro/internal/plan"
-	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // This file is the engine half of plan-first query execution: both store
@@ -130,10 +130,25 @@ func (db *DB) rangePlanOf(q RangeQuery, pl *plan.Plan) (*rangePlan, error) {
 // ExecRange executes a plan built by PlanRange, feeding measured
 // selectivity back to the planner after indexed executions.
 func (db *DB) ExecRange(q RangeQuery, pl *plan.Plan) ([]Result, ExecStats, error) {
+	return db.ExecRangeInto(q, pl, nil)
+}
+
+// ExecRangeInto is ExecRange appending answers to dst (pass a [:0] slice
+// to reuse its backing array). This is the engine's zero-allocation hot
+// path: the whole execution — batch index traversal, page-view
+// verification, sorting, planner feedback, history, metrics bookkeeping —
+// runs inside a pooled arena, so a warm call whose dst has capacity
+// allocates nothing.
+func (db *DB) ExecRangeInto(q RangeQuery, pl *plan.Plan, dst []Result) ([]Result, ExecStats, error) {
 	if pl.Strategy == plan.ScanTime {
 		out, st, err := db.RangeScanTime(q)
 		if err == nil {
-			finishExec(pl, &st, []Span{span("search", st.Elapsed)})
+			if telemetry.Enabled() || pl.Trace {
+				finishExec(pl, &st, []Span{span("search", st.Elapsed)})
+			} else {
+				finishExec(pl, &st, nil)
+			}
+			out = append(dst, out...)
 		}
 		return out, st, err
 	}
@@ -141,34 +156,63 @@ func (db *DB) ExecRange(q RangeQuery, pl *plan.Plan) ([]Result, ExecStats, error
 	if err != nil {
 		return nil, ExecStats{}, err
 	}
+	db.queryCount.Add(1)
+	ar := getArena()
+	defer putArena(ar)
 	var st ExecStats
-	timer := stats.StartTimer()
+	start := time.Now()
 	reads0 := db.pageReads()
-	var out []Result
+	out := dst
 	switch pl.Strategy {
 	case plan.Index:
-		out, err = db.rangeIndexedPlanned(rp, &st)
+		out, err = db.rangeIndexedInto(rp, ar, &st, out)
 	case plan.ScanFreq:
-		out, err = db.rangeScanFreqPlanned(rp, &st)
+		out, err = db.rangeScanFreqInto(rp, ar, &st, out)
 	default:
 		err = fmt.Errorf("core: plan carries unresolved strategy %v", pl.Strategy)
 	}
-	searchD := timer.Elapsed()
+	searchD := time.Since(start)
 	if err != nil {
 		return nil, st, err
 	}
-	mergeT := stats.StartTimer()
+	mergeT := time.Now()
 	sortResults(out)
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
-	mergeD := mergeT.Elapsed()
-	st.Elapsed = timer.Elapsed()
+	mergeD := time.Since(mergeT)
+	st.Elapsed = time.Since(start)
 	if feedRange(q, pl) {
 		db.tracker.ObserveRange(pl.Est.Candidates, st.Candidates, st.NodeAccesses, db.Len())
 	}
+	db.maybeExploreRange(q, pl, rp, ar)
 	db.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
-	finishExec(pl, &st, []Span{span("search", searchD), span("merge", mergeD)})
+	finishExecSpans(pl, &st, searchD, mergeD)
 	return out, st, nil
+}
+
+// exploreEvery is the sampling period of the planner's range exploration
+// probes: every exploreEvery-th unforced scan-routed range execution
+// re-measures the index side with a count-only traversal.
+const exploreEvery = 16
+
+// maybeExploreRange occasionally probes the index on scan-routed range
+// queries. Scan executions produce no index feedback, so a planner that
+// settles on scans would otherwise never notice the index becoming
+// cheaper again (store shrinkage, eps drift, calibration overshoot); the
+// probe runs the batch traversal without verification — node accesses and
+// a candidate count only — and feeds the measurement to the range
+// calibrator. Probe costs stay out of the query's ExecStats: they are
+// planner bookkeeping, not answer work.
+func (db *DB) maybeExploreRange(q RangeQuery, pl *plan.Plan, rp *rangePlan, ar *execArena) {
+	if pl.Strategy != plan.ScanFreq || pl.Forced || q.Moments != (feature.MomentBounds{}) {
+		return
+	}
+	if db.exploreTick.Add(1)%exploreEvery != 0 {
+		return
+	}
+	ids, searchStats := db.idx.RangeIDs(rp.qp, rp.q.Eps, rp.m, rp.q.Moments, !db.opts.DisablePartialPrune, &ar.sc, ar.ids[:0])
+	ar.ids = ids
+	db.tracker.ObserveRange(pl.Est.Candidates, len(ids), searchStats.NodesVisited, db.Len())
 }
 
 // feedRange reports whether an execution's measured costs may calibrate
@@ -213,6 +257,13 @@ func buildNNPlan(q NNQuery, p *rangePlan, want plan.Strategy, series int, tr *pl
 
 // ExecNN executes a plan built by PlanNN.
 func (db *DB) ExecNN(q NNQuery, pl *plan.Plan) ([]Result, ExecStats, error) {
+	return db.ExecNNInto(q, pl, nil)
+}
+
+// ExecNNInto is ExecNN appending answers to dst (pass a [:0] slice to
+// reuse its backing array). Like ExecRangeInto, a warm call whose dst has
+// capacity for k results allocates nothing.
+func (db *DB) ExecNNInto(q NNQuery, pl *plan.Plan, dst []Result) ([]Result, ExecStats, error) {
 	rp, ok := pl.Internal.(*rangePlan)
 	if !ok || rp == nil {
 		var err error
@@ -221,35 +272,39 @@ func (db *DB) ExecNN(q NNQuery, pl *plan.Plan) ([]Result, ExecStats, error) {
 			return nil, ExecStats{}, err
 		}
 	}
-	var st ExecStats
-	timer := stats.StartTimer()
+	db.queryCount.Add(1)
+	ar := getArena()
+	defer putArena(ar)
+	st := ar.resetStats()
+	start := time.Now()
 	reads0 := db.pageReads()
-	best := newTopK(q.K)
+	best := &ar.top
+	best.reset(q.K)
 	var err error
 	switch pl.Strategy {
 	case plan.Index:
-		err = db.nnIndexedInto(rp, best, &st)
+		err = db.nnIndexedArena(rp, best, ar, st)
 	case plan.ScanFreq, plan.ScanTime:
-		err = db.nnScanInto(rp, best, &st)
+		err = db.nnScanArena(rp, best, ar, st)
 	default:
 		err = fmt.Errorf("core: plan carries unresolved strategy %v", pl.Strategy)
 	}
-	searchD := timer.Elapsed()
+	searchD := time.Since(start)
 	if err != nil {
-		return nil, st, err
+		return nil, *st, err
 	}
-	mergeT := stats.StartTimer()
-	out := best.results()
+	mergeT := time.Now()
+	out := best.appendResults(dst)
 	st.Results = len(out)
 	st.PageReads = db.pageReads() - reads0
-	mergeD := mergeT.Elapsed()
-	st.Elapsed = timer.Elapsed()
+	mergeD := time.Since(mergeT)
+	st.Elapsed = time.Since(start)
 	if pl.Strategy == plan.Index {
 		db.tracker.ObserveNN(st.Candidates, st.NodeAccesses, db.Len())
 	}
 	db.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
-	finishExec(pl, &st, []Span{span("search", searchD), span("merge", mergeD)})
-	return out, st, nil
+	finishExecSpans(pl, st, searchD, mergeD)
+	return out, *st, nil
 }
 
 // featureBounds returns the union of every shard index's MBR plus the
@@ -345,6 +400,18 @@ func (s *Sharded) ExecRange(q RangeQuery, pl *plan.Plan) ([]Result, ExecStats, e
 	return out, st, nil
 }
 
+// ExecRangeInto is ExecRange appending answers to dst. The fan-out's
+// per-shard buffers still allocate (parallel workers need private
+// slices); the Into form exists so Engine consumers can program against
+// one vocabulary — on a single-store DB it is the zero-allocation path.
+func (s *Sharded) ExecRangeInto(q RangeQuery, pl *plan.Plan, dst []Result) ([]Result, ExecStats, error) {
+	out, st, err := s.ExecRange(q, pl)
+	if err != nil {
+		return nil, st, err
+	}
+	return append(dst, out...), st, nil
+}
+
 // PlanNN plans a nearest-neighbor query across the sharded store.
 func (s *Sharded) PlanNN(q NNQuery, want plan.Strategy) (*plan.Plan, error) {
 	p, err := planNN(s.shards[0], q)
@@ -384,6 +451,15 @@ func (s *Sharded) ExecNN(q NNQuery, pl *plan.Plan) ([]Result, ExecStats, error) 
 	s.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
 	finishExec(pl, &st, st.Spans)
 	return out, st, nil
+}
+
+// ExecNNInto is ExecNN appending answers to dst (see ExecRangeInto).
+func (s *Sharded) ExecNNInto(q NNQuery, pl *plan.Plan, dst []Result) ([]Result, ExecStats, error) {
+	out, st, err := s.ExecNN(q, pl)
+	if err != nil {
+		return nil, st, err
+	}
+	return append(dst, out...), st, nil
 }
 
 // PlanJoin plans an all-pairs query across the whole sharded store: one

@@ -230,10 +230,10 @@ func TestRefreshCadenceOption(t *testing.T) {
 		}
 		return db
 	}
-	base := build(0)  // default cadence (32)
+	base := build(0)  // adaptive cadence (starts at the old default, 32)
 	eager := build(1) // refresh on every append
-	if base.refreshEvery != 32 || eager.refreshEvery != 1 {
-		t.Fatalf("cadences resolved to %d and %d", base.refreshEvery, eager.refreshEvery)
+	if base.refreshCadence() != 32 || eager.refreshCadence() != 1 {
+		t.Fatalf("cadences resolved to %d and %d", base.refreshCadence(), eager.refreshCadence())
 	}
 	q := RangeQuery{Values: mustSeries(t, base, "A05"), Eps: 5, Transform: transform.Identity(16)}
 	r1, _, err := base.RangeScanFreq(q)
@@ -246,5 +246,45 @@ func TestRefreshCadenceOption(t *testing.T) {
 	}
 	if !reflect.DeepEqual(r1, r2) {
 		t.Fatalf("refresh cadences answer differently:\n %v\n %v", r1, r2)
+	}
+}
+
+// TestJoinExplorationProbe: scan-routed joins leave no index feedback by
+// themselves, so every joinExploreEvery-th unforced one must run sampled
+// index probes that feed the join calibrator.
+func TestJoinExplorationProbe(t *testing.T) {
+	eng := planTestEngine(t, 1, 60)
+	db := eng.(*DB)
+	jq := JoinQuery{Eps: 500, Left: transform.Identity(32), Right: transform.Identity(32)}
+	pl, err := db.PlanJoin(jq, plan.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Strategy != plan.ScanFreq {
+		t.Skipf("wide join planned %v, not scan; probe not reachable", pl.Strategy)
+	}
+	for i := 0; i < joinExploreEvery; i++ {
+		if _, _, err := db.ExecJoin(jq, pl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.PlannerStats().JoinSamples; got == 0 {
+		t.Fatalf("%d scan joins left no join feedback; exploration probe never fired", joinExploreEvery)
+	}
+
+	// Forced scans never probe: the caller pinned the strategy, so the
+	// planner is not being asked to reconsider.
+	db2 := planTestEngine(t, 1, 60).(*DB)
+	fpl, err := db2.PlanJoin(jq, plan.ScanFreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*joinExploreEvery; i++ {
+		if _, _, err := db2.ExecJoin(jq, fpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db2.PlannerStats().JoinSamples; got != 0 {
+		t.Fatalf("forced scan joins fed %d join samples, want 0", got)
 	}
 }

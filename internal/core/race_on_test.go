@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary runs under the race detector,
+// whose instrumentation allocates on paths that are otherwise
+// allocation-free.
+const raceEnabled = true

@@ -175,25 +175,73 @@ func (db *DB) verifierFor(p *rangePlan, st *ExecStats) verifier {
 	}
 }
 
-// rangeIndexedPlanned runs the search and post-processing phases of
-// Algorithm 2 against this store, accumulating filter costs into st.
-func (db *DB) rangeIndexedPlanned(p *rangePlan, st *ExecStats) ([]Result, error) {
-	cands, searchStats := db.idx.Range(p.qp, p.q.Eps, p.m, p.q.Moments, !db.opts.DisablePartialPrune)
-	st.NodeAccesses += searchStats.NodesVisited
-	st.Candidates += len(cands)
+// verifyWarp is the warped-query branch of verifierFor as a direct method
+// call, so hot executions verify without building a closure.
+func (db *DB) verifyWarp(p *rangePlan, st *ExecStats, id int64, eps float64) (bool, float64, error) {
+	raw, err := db.Series(id)
+	if err != nil {
+		return false, 0, err
+	}
+	warped := series.Warp(series.NormalForm(raw), p.q.WarpFactor)
+	within, terms := series.EuclideanWithin(warped, p.qn, eps)
+	st.DistanceTerms += int64(terms)
+	if !within {
+		return false, 0, nil
+	}
+	return true, series.EuclideanDistance(warped, p.qn), nil
+}
 
-	verify := db.verifierFor(p, st)
-	var out []Result
-	for _, c := range cands {
-		within, dist, err := verify(c.ID, p.q.Eps)
+// verifyFreq is the frequency-domain branch of verifierFor as a direct
+// method call over an arena's page buffer: exact distance off stored page
+// views with early abandoning, allocating nothing.
+func (db *DB) verifyFreq(p *rangePlan, ar *execArena, st *ExecStats, id int64, eps float64) (bool, float64, error) {
+	within, dist, terms, err := db.viewTransformedWithinBuf(id, p.a, p.b, p.Q, eps, &ar.pages)
+	if err != nil {
+		return false, 0, err
+	}
+	st.DistanceTerms += int64(terms)
+	return within, dist, nil
+}
+
+// rangeIndexedInto runs the search and post-processing phases of
+// Algorithm 2 against this store, accumulating filter costs into st and
+// appending verified answers to dst. The filter runs over the index's
+// flat-slab batch traversal into arena scratch; steady state the whole
+// pass allocates nothing.
+func (db *DB) rangeIndexedInto(p *rangePlan, ar *execArena, st *ExecStats, dst []Result) ([]Result, error) {
+	ids, searchStats := db.idx.RangeIDs(p.qp, p.q.Eps, p.m, p.q.Moments, !db.opts.DisablePartialPrune, &ar.sc, ar.ids[:0])
+	ar.ids = ids
+	st.NodeAccesses += searchStats.NodesVisited
+	st.Candidates += len(ids)
+
+	warp := p.q.WarpFactor >= 2
+	for _, id := range ids {
+		var (
+			within bool
+			dist   float64
+			err    error
+		)
+		if warp {
+			within, dist, err = db.verifyWarp(p, st, id, p.q.Eps)
+		} else {
+			within, dist, err = db.verifyFreq(p, ar, st, id, p.q.Eps)
+		}
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		if within {
-			out = append(out, Result{ID: c.ID, Name: db.names[c.ID], Dist: dist})
+			dst = append(dst, Result{ID: id, Name: db.names[id], Dist: dist})
 		}
 	}
-	return out, nil
+	return dst, nil
+}
+
+// rangeIndexedPlanned is rangeIndexedInto over a pooled arena — the form
+// the sharded fan-out and the method-pinned entry points use.
+func (db *DB) rangeIndexedPlanned(p *rangePlan, st *ExecStats) ([]Result, error) {
+	ar := getArena()
+	defer putArena(ar)
+	return db.rangeIndexedInto(p, ar, st, nil)
 }
 
 // RangeIndexed answers a range query with the paper's Algorithm 2:
@@ -221,21 +269,39 @@ func (db *DB) RangeIndexed(q RangeQuery) ([]Result, ExecStats, error) {
 	return out, st, nil
 }
 
-// rangeScanFreqPlanned runs the frequency-domain scan against this store.
-func (db *DB) rangeScanFreqPlanned(p *rangePlan, st *ExecStats) ([]Result, error) {
-	verify := db.verifierFor(p, st)
-	var out []Result
+// rangeScanFreqInto runs the frequency-domain scan against this store,
+// appending verified answers to dst. Like rangeIndexedInto it verifies
+// through the arena's page buffer, so the steady-state scan allocates
+// nothing beyond result growth.
+func (db *DB) rangeScanFreqInto(p *rangePlan, ar *execArena, st *ExecStats, dst []Result) ([]Result, error) {
+	warp := p.q.WarpFactor >= 2
 	for _, id := range db.ids {
 		st.Candidates++
-		within, dist, err := verify(id, p.q.Eps)
+		var (
+			within bool
+			dist   float64
+			err    error
+		)
+		if warp {
+			within, dist, err = db.verifyWarp(p, st, id, p.q.Eps)
+		} else {
+			within, dist, err = db.verifyFreq(p, ar, st, id, p.q.Eps)
+		}
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		if within {
-			out = append(out, Result{ID: id, Name: db.names[id], Dist: dist})
+			dst = append(dst, Result{ID: id, Name: db.names[id], Dist: dist})
 		}
 	}
-	return out, nil
+	return dst, nil
+}
+
+// rangeScanFreqPlanned is rangeScanFreqInto over a pooled arena.
+func (db *DB) rangeScanFreqPlanned(p *rangePlan, st *ExecStats) ([]Result, error) {
+	ar := getArena()
+	defer putArena(ar)
+	return db.rangeScanFreqInto(p, ar, st, nil)
 }
 
 // RangeScanFreq answers the same query by sequentially scanning the

@@ -75,6 +75,7 @@ func NewSharded(length, n int, opts Options) (*Sharded, error) {
 		owner:   make(map[int64]int),
 		idPos:   make(map[int64]int),
 	}
+	s.tracker.SetCosts(plan.Calibrated())
 	for i := range s.shards {
 		db, err := NewDB(length, opts)
 		if err != nil {

@@ -56,6 +56,19 @@ func finishExec(pl *plan.Plan, st *ExecStats, spans []Span) {
 	observeExec(pl, st)
 }
 
+// finishExecSpans stamps a hot-path execution, building the two-span
+// search/merge trace only when something will read it — the process
+// metrics registry or a TRACE statement (pl.Trace). observeExec never
+// reads st.Spans, so skipping construction otherwise loses nothing and
+// keeps the steady-state hot path allocation-free.
+func finishExecSpans(pl *plan.Plan, st *ExecStats, searchD, mergeD time.Duration) {
+	if telemetry.Enabled() || pl.Trace {
+		finishExec(pl, st, []Span{span("search", searchD), span("merge", mergeD)})
+		return
+	}
+	finishExec(pl, st, nil)
+}
+
 // fanSpans builds the span forest of a per-shard fan-out: a "fanout"
 // span with one child per shard, followed by the merge step.
 func fanSpans(fan, merge time.Duration, shards []ShardExec) []Span {

@@ -63,8 +63,19 @@ func (s *Sliding) K() int { return len(s.coeffs) }
 // the front, newest the value entering at the back.
 func (s *Sliding) Slide(oldest, newest float64) {
 	d := complex((newest-oldest)*s.invN, 0)
-	for f := range s.coeffs {
-		s.coeffs[f] = s.twiddle[f] * (s.coeffs[f] + d)
+	co := s.coeffs
+	tw := s.twiddle[:len(co)]
+	// Each frequency updates independently, so the 4-wide unrolling is
+	// bit-identical to the per-coefficient loop.
+	f := 0
+	for ; f+3 < len(co); f += 4 {
+		co[f] = tw[f] * (co[f] + d)
+		co[f+1] = tw[f+1] * (co[f+1] + d)
+		co[f+2] = tw[f+2] * (co[f+2] + d)
+		co[f+3] = tw[f+3] * (co[f+3] + d)
+	}
+	for ; f < len(co); f++ {
+		co[f] = tw[f] * (co[f] + d)
 	}
 	s.slides++
 }

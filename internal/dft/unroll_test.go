@@ -1,0 +1,42 @@
+package dft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSlideUnrollParity pins the unrolled Slide recurrence to the scalar
+// reference bit-for-bit across coefficient counts covering every remainder
+// case (k mod 4 in {0, 1, 2, 3}).
+func TestSlideUnrollParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, k := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 13, 16} {
+		n := 64
+		window := make([]float64, n)
+		for i := range window {
+			window[i] = rng.NormFloat64()
+		}
+		s, err := NewSliding(window, k)
+		if err != nil {
+			t.Fatalf("k=%d: NewSliding: %v", k, err)
+		}
+		// Scalar reference tracking the same state.
+		ref := make([]complex128, k)
+		copy(ref, s.coeffs)
+		for step := 0; step < 200; step++ {
+			oldest := window[step%n]
+			newest := rng.NormFloat64()
+			window[step%n] = newest
+			s.Slide(oldest, newest)
+			d := complex((newest-oldest)*s.invN, 0)
+			for f := range ref {
+				ref[f] = s.twiddle[f] * (ref[f] + d)
+			}
+			for f := range ref {
+				if s.coeffs[f] != ref[f] {
+					t.Fatalf("k=%d step=%d coeff %d: unrolled %v, scalar %v", k, step, f, s.coeffs[f], ref[f])
+				}
+			}
+		}
+	}
+}

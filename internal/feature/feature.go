@@ -217,42 +217,9 @@ func Unbounded() MomentBounds {
 // (Figure 7), widening to the full circle when eps >= m; intervals may
 // extend past +/- pi and are meant for the modulo-2*pi overlap predicates.
 func (sc Schema) SearchRect(q geom.Point, eps float64, mb MomentBounds) geom.Rect {
-	if len(q) != sc.Dims() {
-		panic(fmt.Sprintf("feature: query point has %d dims, schema has %d", len(q), sc.Dims()))
-	}
-	if eps < 0 {
-		eps = 0
-	}
 	lo := make(geom.Point, sc.Dims())
 	hi := make(geom.Point, sc.Dims())
-	if sc.Moments {
-		if mb == (MomentBounds{}) {
-			mb = Unbounded()
-		}
-		lo[0], hi[0] = mb.MeanLo, mb.MeanHi
-		lo[1], hi[1] = mb.StdLo, mb.StdHi
-	}
-	off := sc.Skip()
-	for i := 0; i < sc.K; i++ {
-		mi, ai := off+2*i, off+2*i+1
-		if sc.Space == Rect {
-			lo[mi], hi[mi] = q[mi]-eps, q[mi]+eps
-			lo[ai], hi[ai] = q[ai]-eps, q[ai]+eps
-			continue
-		}
-		m := q[mi]
-		mLo := m - eps
-		if mLo < 0 {
-			mLo = 0
-		}
-		lo[mi], hi[mi] = mLo, m+eps
-		if eps >= m {
-			lo[ai], hi[ai] = q[ai]-math.Pi, q[ai]+math.Pi
-		} else {
-			half := math.Asin(eps / m)
-			lo[ai], hi[ai] = q[ai]-half, q[ai]+half
-		}
-	}
+	sc.SearchRectInto(q, eps, mb, lo, hi)
 	return geom.Rect{Lo: lo, Hi: hi}
 }
 

@@ -1,0 +1,167 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/transform"
+)
+
+// The flat kernels must be bit-identical to their allocating counterparts:
+// every parity check below compares with ==, not a tolerance.
+
+func randPoint(rng *rand.Rand, sc Schema) geom.Point {
+	p := make(geom.Point, sc.Dims())
+	for i := range p {
+		p[i] = rng.NormFloat64() * 3
+	}
+	if sc.Space == Polar {
+		off := sc.Skip()
+		for i := 0; i < sc.K; i++ {
+			p[off+2*i] = math.Abs(p[off+2*i])                       // magnitude
+			p[off+2*i+1] = geom.NormalizeAngle(rng.Float64() * 100) // angle
+		}
+	}
+	return p
+}
+
+func schemasUnderTest() []Schema {
+	return []Schema{
+		{Space: Polar, K: 2, Moments: true},
+		{Space: Rect, K: 2, Moments: true},
+		{Space: Polar, K: 3, Moments: false},
+		{Space: Rect, K: 1, Moments: false},
+		{Space: Rect, K: 5, Moments: true}, // coefficient dims not a multiple of 4: remainder path
+		{Space: Polar, K: 4, Moments: true},
+	}
+}
+
+func TestCoeffsIntoParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, sc := range schemasUnderTest() {
+		for trial := 0; trial < 200; trial++ {
+			p := randPoint(rng, sc)
+			want := sc.Coeffs(p)
+			got := make([]complex128, sc.K)
+			sc.CoeffsInto(p, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v: CoeffsInto[%d] = %v, Coeffs = %v", sc, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCoeffDistSqFlatParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, sc := range schemasUnderTest() {
+		qc := make([]complex128, sc.K)
+		for trial := 0; trial < 200; trial++ {
+			q := randPoint(rng, sc)
+			p := randPoint(rng, sc)
+			sc.CoeffsInto(q, qc)
+			want := sc.CoeffDistSq(p, q)
+			got := sc.CoeffDistSqFlat(p, qc, false)
+			if got != want {
+				t.Fatalf("%v: CoeffDistSqFlat = %v, CoeffDistSq = %v", sc, got, want)
+			}
+		}
+	}
+}
+
+// TestCoeffDistSqFlatRenormParity pins the transformed-point path: the flat
+// kernel over a slab-transformed point with renorm must equal CoeffDistSq
+// over AffineMap.ApplyPoint of the raw point (which re-normalizes angles).
+func TestCoeffDistSqFlatRenormParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, sc := range []Schema{
+		{Space: Polar, K: 2, Moments: true},
+		{Space: Polar, K: 3, Moments: false},
+		{Space: Rect, K: 2, Moments: true},
+	} {
+		tr := transform.T{
+			A: make([]complex128, sc.K+1),
+			B: make([]complex128, sc.K+1),
+		}
+		for i := range tr.A {
+			if sc.Space == Polar {
+				// S_pol safety (Theorem 3): zero translation, any stretch.
+				tr.A[i] = complex(1+rng.Float64(), rng.NormFloat64()*4)
+			} else {
+				// S_rect safety (Theorem 2): real stretch, any translation.
+				tr.A[i] = complex(1+rng.Float64(), 0)
+				tr.B[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+		}
+		m, err := sc.Map(tr)
+		if err != nil {
+			t.Fatalf("%v: Map: %v", sc, err)
+		}
+		qc := make([]complex128, sc.K)
+		for trial := 0; trial < 200; trial++ {
+			q := randPoint(rng, sc)
+			p := randPoint(rng, sc)
+			sc.CoeffsInto(q, qc)
+			// Slab transform of a degenerate rectangle: c*x + d per dim,
+			// no renormalization (what rtree.transformSlab produces).
+			tp := make([]float64, len(p))
+			for i := range p {
+				tp[i] = m.C[i]*p[i] + m.D[i]
+			}
+			want := sc.CoeffDistSq(m.ApplyPoint(p), q)
+			got := sc.CoeffDistSqFlat(tp, qc, true)
+			if got != want {
+				t.Fatalf("%v: renorm CoeffDistSqFlat = %v, CoeffDistSq(ApplyPoint) = %v", sc, got, want)
+			}
+		}
+	}
+}
+
+func TestLowerBoundDistSqFlatParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for _, sc := range schemasUnderTest() {
+		for trial := 0; trial < 300; trial++ {
+			q := randPoint(rng, sc)
+			a := randPoint(rng, sc)
+			b := randPoint(rng, sc)
+			lo := make(geom.Point, sc.Dims())
+			hi := make(geom.Point, sc.Dims())
+			for i := range lo {
+				lo[i], hi[i] = math.Min(a[i], b[i]), math.Max(a[i], b[i])
+			}
+			r := geom.Rect{Lo: lo, Hi: hi}
+			want := sc.LowerBoundDistSq(q, r)
+			got := sc.LowerBoundDistSqFlat(q, lo, hi)
+			if got != want {
+				t.Fatalf("%v: LowerBoundDistSqFlat = %v, LowerBoundDistSq = %v", sc, got, want)
+			}
+		}
+	}
+}
+
+func TestSearchRectIntoParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for _, sc := range schemasUnderTest() {
+		lo := make([]float64, sc.Dims())
+		hi := make([]float64, sc.Dims())
+		for trial := 0; trial < 200; trial++ {
+			q := randPoint(rng, sc)
+			eps := rng.Float64() * 3
+			var mb MomentBounds
+			if trial%3 == 0 {
+				mb = MomentBounds{MeanLo: -1, MeanHi: 1, StdLo: 0, StdHi: 2}
+			}
+			want := sc.SearchRect(q, eps, mb)
+			sc.SearchRectInto(q, eps, mb, lo, hi)
+			for i := range lo {
+				if lo[i] != want.Lo[i] || hi[i] != want.Hi[i] {
+					t.Fatalf("%v: SearchRectInto dim %d = [%v, %v], SearchRect = [%v, %v]",
+						sc, i, lo[i], hi[i], want.Lo[i], want.Hi[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/feature"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/transform"
+)
+
+// This file is the zero-allocation batch form of the k-index read path:
+// Range and NearestFunc restated over the R*-tree's flat node slabs with
+// caller-owned scratch. Answers are bit-identical to the per-entry
+// traversals — same candidates, same order, same partial distances — which
+// the core exactness-parity tests pin end to end.
+
+// Scratch is the reusable working memory of one batch index search: the
+// tree traversal scratch plus the query-side buffers (search-rectangle
+// corners and reconstructed query coefficients) and the embedded visitor
+// and kernel state, so interface conversions at the rtree boundary never
+// allocate. A Scratch may be reused across queries, never concurrently.
+type Scratch struct {
+	tree     rtree.Scratch
+	qc       []complex128
+	qlo, qhi []float64
+	rc       rangeCollector
+	kern     nnKernel
+}
+
+// rangeCollector is the FlatVisitor of a batch range search: it applies the
+// partial-distance prune (same threshold arithmetic as Range) and collects
+// surviving IDs.
+type rangeCollector struct {
+	schema feature.Schema
+	qc     []complex128
+	limit  float64 // epsSq * (1 + 1e-12), the Range prune threshold
+	prune  bool
+	ids    []int64
+}
+
+func (rc *rangeCollector) VisitFlat(id int64, tlo, thi []float64) bool {
+	// Phase angles in tlo may sit outside [-pi, pi); like Range, the
+	// coefficient reconstruction is angle-periodic so no renormalization —
+	// and bit-identity with Range requires not renormalizing.
+	dSq := rc.schema.CoeffDistSqFlat(tlo, rc.qc, false)
+	if rc.prune && dSq > rc.limit {
+		return true
+	}
+	rc.ids = append(rc.ids, id)
+	return true
+}
+
+// nnKernel supplies the feature-space geometry of a batch nearest-neighbor
+// traversal: LowerBoundDistSq over transformed child rectangles and
+// CoeffDistSq over transformed leaf points. renorm re-normalizes phase
+// angles on the transformed-point path, matching AffineMap.ApplyPoint in
+// NearestFunc's itemDist.
+type nnKernel struct {
+	schema feature.Schema
+	q      []float64
+	qc     []complex128
+	renorm bool
+}
+
+func (k *nnKernel) LowerBatch(lo, hi []float64, count, dims int, out []float64) {
+	for e := 0; e < count; e++ {
+		off := e * dims
+		out[e] = k.schema.LowerBoundDistSqFlat(k.q, lo[off:off+dims], hi[off:off+dims])
+	}
+}
+
+func (k *nnKernel) PointBatch(lo []float64, count, dims int, out []float64) {
+	for e := 0; e < count; e++ {
+		off := e * dims
+		out[e] = k.schema.CoeffDistSqFlat(lo[off:off+dims], k.qc, k.renorm)
+	}
+}
+
+// flatMap builds the tree-level affine action for m, attaching the angular
+// flags exactly when the per-entry traversals would use the seam-aware
+// overlap predicate.
+func (ix *KIndex) flatMap(m transform.AffineMap) rtree.FlatMap {
+	fm := rtree.FlatMap{C: m.C, D: m.D, Identity: m.Identity()}
+	if ix.angular != nil && !ix.plainOverlap {
+		fm.Angular = ix.angular
+	}
+	return fm
+}
+
+// RangeIDs is the batch form of Range, reduced to what the executor
+// consumes: it appends the IDs of surviving candidates to out (post-prune,
+// in the same order Range emits them) and returns the extended slice.
+// Steady state it allocates nothing: scratch is caller-owned and out is
+// reused across queries.
+func (ix *KIndex) RangeIDs(q geom.Point, eps float64, m transform.AffineMap, mb feature.MomentBounds, prune bool, sc *Scratch, out []int64) ([]int64, rtree.SearchStats) {
+	if len(q) != ix.schema.Dims() {
+		panic(fmt.Sprintf("index: query point has %d dims, schema has %d", len(q), ix.schema.Dims()))
+	}
+	dims := ix.schema.Dims()
+	if cap(sc.qlo) < dims {
+		sc.qlo = make([]float64, dims)
+		sc.qhi = make([]float64, dims)
+	}
+	sc.qlo, sc.qhi = sc.qlo[:dims], sc.qhi[:dims]
+	ix.schema.SearchRectInto(q, eps, mb, sc.qlo, sc.qhi)
+	if cap(sc.qc) < ix.schema.K {
+		sc.qc = make([]complex128, ix.schema.K)
+	}
+	sc.qc = sc.qc[:ix.schema.K]
+	ix.schema.CoeffsInto(q, sc.qc)
+
+	epsSq := eps * eps
+	sc.rc = rangeCollector{
+		schema: ix.schema,
+		qc:     sc.qc,
+		limit:  epsSq * (1 + 1e-12),
+		prune:  prune,
+		ids:    out,
+	}
+	st := ix.tree.FlatRange(sc.qlo, sc.qhi, ix.flatMap(m), &sc.tree, &sc.rc)
+	out = sc.rc.ids
+	sc.rc.ids = nil // do not retain the caller's buffer across queries
+	return out, st
+}
+
+// NearestIDs is the batch form of NearestFunc: it visits stored IDs in
+// increasing order of the transformed-coefficient lower bound, handing v
+// each item's exact k-coefficient (squared) partial distance. Steady state
+// it allocates nothing.
+func (ix *KIndex) NearestIDs(q geom.Point, m transform.AffineMap, sc *Scratch, v rtree.FlatNNVisitor) rtree.SearchStats {
+	if len(q) != ix.schema.Dims() {
+		panic(fmt.Sprintf("index: query point has %d dims, schema has %d", len(q), ix.schema.Dims()))
+	}
+	if cap(sc.qc) < ix.schema.K {
+		sc.qc = make([]complex128, ix.schema.K)
+	}
+	sc.qc = sc.qc[:ix.schema.K]
+	ix.schema.CoeffsInto(q, sc.qc)
+
+	fm := ix.flatMap(m)
+	sc.kern = nnKernel{schema: ix.schema, q: q, qc: sc.qc, renorm: !fm.Identity}
+	return ix.tree.NearestFlat(fm, &sc.kern, &sc.tree, v)
+}

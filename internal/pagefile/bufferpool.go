@@ -87,18 +87,23 @@ func (bp *BufferPool) Page(i int) ([]byte, error) {
 // View returns read-only views of a record's pages through the pool,
 // charging physical reads only for misses.
 func (bp *BufferPool) View(firstPage, pageCount int) ([][]byte, error) {
+	return bp.ViewInto(firstPage, pageCount, nil)
+}
+
+// ViewInto is View appending the page views to buf (pass buf[:0] to reuse
+// its backing array), so steady-state readers allocate nothing.
+func (bp *BufferPool) ViewInto(firstPage, pageCount int, buf [][]byte) ([][]byte, error) {
 	if firstPage < 0 || pageCount < 1 || firstPage+pageCount > len(bp.file.pages) {
 		return nil, fmt.Errorf("pagefile: view [%d, %d) out of range of %d pages", firstPage, firstPage+pageCount, len(bp.file.pages))
 	}
-	out := make([][]byte, pageCount)
 	for i := 0; i < pageCount; i++ {
 		pg, err := bp.Page(firstPage + i)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = pg
+		buf = append(buf, pg)
 	}
-	return out, nil
+	return buf, nil
 }
 
 // Read returns the concatenated contents of a record's pages through the

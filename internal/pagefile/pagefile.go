@@ -118,15 +118,20 @@ func (f *File) Overwrite(firstPage, pageCount int, data []byte) error {
 // straight off the buffer-pool page, so that early-abandoned comparisons
 // skip not just arithmetic but also record deserialization.
 func (f *File) View(firstPage, pageCount int) ([][]byte, error) {
+	return f.ViewInto(firstPage, pageCount, nil)
+}
+
+// ViewInto is View appending the page views to buf (pass buf[:0] to reuse
+// its backing array), so steady-state readers allocate nothing.
+func (f *File) ViewInto(firstPage, pageCount int, buf [][]byte) ([][]byte, error) {
 	if firstPage < 0 || pageCount < 1 || firstPage+pageCount > len(f.pages) {
 		return nil, fmt.Errorf("pagefile: view [%d, %d) out of range of %d pages", firstPage, firstPage+pageCount, len(f.pages))
 	}
-	out := make([][]byte, pageCount)
 	for i := 0; i < pageCount; i++ {
-		out[i] = f.pages[firstPage+i]
+		buf = append(buf, f.pages[firstPage+i])
 	}
 	f.reads.Add(int64(pageCount))
-	return out, nil
+	return buf, nil
 }
 
 // Read returns the concatenated contents of pageCount pages starting at

@@ -1,0 +1,77 @@
+package plan
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCalibrateStaysInBand: calibrated constants must land within the
+// clamp band around the defaults — calibration refines the model, it
+// cannot invert a planning decision by orders of magnitude.
+func TestCalibrateStaysInBand(t *testing.T) {
+	def := DefaultCosts()
+	c := Calibrate()
+	check := func(name string, got, d float64) {
+		t.Helper()
+		if math.IsNaN(got) || got < d/2 || got > d*2 {
+			t.Errorf("%s = %g outside clamp band [%g, %g]", name, got, d/2, d*2)
+		}
+	}
+	check("ScanUnit", c.ScanUnit, def.ScanUnit)
+	check("NodeUnit", c.NodeUnit, def.NodeUnit)
+	check("JoinScanUnit", c.JoinScanUnit, def.JoinScanUnit)
+	check("JoinNodeUnit", c.JoinNodeUnit, def.JoinNodeUnit)
+	if c.JoinProbeUnit != def.JoinProbeUnit {
+		t.Errorf("JoinProbeUnit = %g, want default %g (not measured)", c.JoinProbeUnit, def.JoinProbeUnit)
+	}
+	// The join constants scale with the measured single-query ratios.
+	if wantRatio := c.ScanUnit / def.ScanUnit; math.Abs(c.JoinScanUnit/def.JoinScanUnit-wantRatio) > 1e-9 {
+		t.Errorf("JoinScanUnit ratio %g does not track ScanUnit ratio %g", c.JoinScanUnit/def.JoinScanUnit, wantRatio)
+	}
+}
+
+// TestCalibratedIsStable: Calibrated measures once per process.
+func TestCalibratedIsStable(t *testing.T) {
+	if Calibrated() != Calibrated() {
+		t.Fatal("Calibrated returned different constants across calls")
+	}
+}
+
+// TestSetCostsDrivesChoice: the installed constants change where the
+// index-vs-scan break-even sits. With a free scan check the scan always
+// wins; with a scan check as dear as a verification the index wins.
+func TestSetCostsDrivesChoice(t *testing.T) {
+	in := Input{Series: 1000, Height: 3, LeafCap: 40,
+		Rect:   rect(0, 1, 0, 1),
+		Bounds: rect(0, 10, 0, 10),
+	}
+
+	cheapScan := NewTracker()
+	c := DefaultCosts()
+	c.ScanUnit = 1e-9
+	cheapScan.SetCosts(c)
+	if got, _, _ := Choose(in, cheapScan); got != ScanFreq {
+		t.Fatalf("near-free scan checks still planned %v", got)
+	}
+
+	dearScan := NewTracker()
+	c = DefaultCosts()
+	c.ScanUnit = 0.999
+	dearScan.SetCosts(c)
+	if got, _, _ := Choose(in, dearScan); got != Index {
+		t.Fatalf("verification-priced scan checks still planned %v", got)
+	}
+}
+
+// TestCostsZeroValueTracker: a zero-value Tracker and a nil Tracker both
+// price with the defaults.
+func TestCostsZeroValueTracker(t *testing.T) {
+	var zero Tracker
+	if zero.Costs() != DefaultCosts() {
+		t.Fatalf("zero-value tracker costs = %+v", zero.Costs())
+	}
+	var nilT *Tracker
+	if nilT.Costs() != DefaultCosts() {
+		t.Fatalf("nil tracker costs = %+v", nilT.Costs())
+	}
+}

@@ -88,6 +88,10 @@ type Plan struct {
 	// Forced reports that the caller pinned the strategy (USING INDEX /
 	// UseScan / a moment-bounded query) rather than the planner choosing.
 	Forced bool
+	// Trace asks the execution to record its span tree even when process
+	// metrics are off (TRACE statements). The zero-allocation hot path
+	// skips span construction when neither wants it.
+	Trace bool
 	// Reason is the planner's human-readable justification.
 	Reason string
 	// Rect is the Lemma 1 feature-space search rectangle of range-shaped
@@ -164,6 +168,39 @@ const (
 	// answer density).
 	joinVisitExp = 1.0 / 3.0
 )
+
+// Costs is the planner's cost model: the prices of its primitive
+// operations in units of one full candidate verification. The constants
+// above are the hand-measured defaults; Calibrate re-measures the ratios
+// on the running machine (cache sizes, SIMD width, and allocator behavior
+// all move them) and SetCosts installs the result on a store's Tracker,
+// so every Choose* decision prices strategies with machine-true numbers.
+type Costs struct {
+	// ScanUnit is the cost of one early-abandoned scan check.
+	ScanUnit float64
+	// NodeUnit is the cost of one index node access.
+	NodeUnit float64
+	// JoinScanUnit is the cost of one early-abandoned pair check inside
+	// the nested scan join.
+	JoinScanUnit float64
+	// JoinNodeUnit is the cost of one node access during a join probe.
+	JoinNodeUnit float64
+	// JoinProbeUnit is the per-probe fixed overhead of the
+	// index-nested-loop join.
+	JoinProbeUnit float64
+}
+
+// DefaultCosts returns the hand-measured cost constants the model shipped
+// with — the planner's behavior when no calibration has run.
+func DefaultCosts() Costs {
+	return Costs{
+		ScanUnit:      scanUnit,
+		NodeUnit:      nodeUnit,
+		JoinScanUnit:  joinScanUnit,
+		JoinNodeUnit:  joinNodeUnit,
+		JoinProbeUnit: joinProbeUnit,
+	}
+}
 
 // Input is what the planner knows about one range-shaped query before
 // executing it.
@@ -252,8 +289,9 @@ func Choose(in Input, t *Tracker) (Strategy, Estimate, string) {
 	// Both strategies verify (approximately) the true answers in full; the
 	// index additionally pays node accesses for its candidate set, the
 	// scan pays a cheap early-abandoned check for every stored series.
-	est.IndexCost = nodeUnit*est.NodeAccesses + est.Candidates
-	est.ScanCost = scanUnit*n + (1-scanUnit)*est.Candidates
+	c := t.Costs()
+	est.IndexCost = c.NodeUnit*est.NodeAccesses + est.Candidates
+	est.ScanCost = c.ScanUnit*n + (1-c.ScanUnit)*est.Candidates
 	if est.IndexCost <= est.ScanCost {
 		return Index, est, fmt.Sprintf(
 			"index: est %.1f candidates + %.1f nodes (cost %.1f) <= scan cost %.1f over %d series",
@@ -275,10 +313,11 @@ func ChooseNN(series int, t *Tracker) (Strategy, Estimate, string) {
 	n := float64(series)
 	if t != nil {
 		if candFrac, nodeFrac, ok := t.nnModel(); ok {
+			c := t.Costs()
 			est.Candidates = candFrac * n
 			est.NodeAccesses = nodeFrac * n
-			est.IndexCost = nodeUnit*est.NodeAccesses + est.Candidates
-			est.ScanCost = scanUnit*n + (1-scanUnit)*est.Candidates
+			est.IndexCost = c.NodeUnit*est.NodeAccesses + est.Candidates
+			est.ScanCost = c.ScanUnit*n + (1-c.ScanUnit)*est.Candidates
 			if est.IndexCost > est.ScanCost {
 				return ScanFreq, est, fmt.Sprintf(
 					"scan: measured NN traversal verifies %.0f%% of the store (cost %.1f > scan %.1f)",
@@ -382,8 +421,9 @@ func ChooseJoin(in JoinInput, t *Tracker) (Strategy, Estimate, string) {
 	// early-abandoned check per pair, completed to a full verification
 	// for the pairs that survive. Scan (a) is the same quadratic loop
 	// with every check completed.
-	est.IndexCost = joinProbeUnit*n + joinNodeUnit*est.NodeAccesses + est.Candidates
-	est.ScanCost = joinScanUnit*pairs + (1-joinScanUnit)*est.Candidates
+	c := t.Costs()
+	est.IndexCost = c.JoinProbeUnit*n + c.JoinNodeUnit*est.NodeAccesses + est.Candidates
+	est.ScanCost = c.JoinScanUnit*pairs + (1-c.JoinScanUnit)*est.Candidates
 	naiveCost := pairs
 	if est.IndexCost <= est.ScanCost {
 		return Index, est, fmt.Sprintf(
@@ -417,10 +457,42 @@ type Tracker struct {
 	joinSamples     int
 	joinCalibration float64 // EWMA of observed/predicted candidate-pair ratio
 	joinNodeFrac    float64 // EWMA of NodeAccesses / Series^2 (indexed joins)
+
+	// costs are the cost-model constants this store prices strategies
+	// with: DefaultCosts until SetCosts installs a calibrated set.
+	costs Costs
 }
 
-// NewTracker returns an empty tracker (calibration 1 until fed).
-func NewTracker() *Tracker { return &Tracker{calibration: 1, joinCalibration: 1} }
+// NewTracker returns an empty tracker (calibration 1 until fed, default
+// cost constants until SetCosts).
+func NewTracker() *Tracker {
+	return &Tracker{calibration: 1, joinCalibration: 1, costs: DefaultCosts()}
+}
+
+// SetCosts installs cost-model constants (normally Calibrated()); they
+// apply to every subsequent Choose* decision made against this tracker.
+func (t *Tracker) SetCosts(c Costs) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.costs = c
+	t.mu.Unlock()
+}
+
+// Costs returns the cost-model constants in effect. A zero-value Tracker
+// (not built by NewTracker) prices with the defaults.
+func (t *Tracker) Costs() Costs {
+	if t == nil {
+		return DefaultCosts()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.costs == (Costs{}) {
+		return DefaultCosts()
+	}
+	return t.costs
+}
 
 // ObserveRange feeds one indexed range execution back: the planner's
 // predicted candidate count and the measured candidates and node accesses.

@@ -1,0 +1,10 @@
+//go:build race
+
+package plan
+
+// raceEnabled reports that this binary runs under the race detector.
+// Its memory-access instrumentation inflates the calibration probes
+// unevenly (the branchy node pass far more than the arithmetic-dense
+// verification loop), so Calibrate does not trust measurements from
+// instrumented builds.
+const raceEnabled = true

@@ -225,6 +225,7 @@ func execRange(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Outp
 		return nil, err
 	}
 	planD := time.Since(planT)
+	pl.Trace = stmt.Trace
 	res, st, err := db.ExecRange(rq, pl)
 	if err != nil {
 		return nil, err
@@ -261,6 +262,7 @@ func execNN(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Output,
 		return nil, err
 	}
 	planD := time.Since(planT)
+	pl.Trace = stmt.Trace
 	res, st, err := db.ExecNN(nq, pl)
 	if err != nil {
 		return nil, err

@@ -152,14 +152,20 @@ func (r *Relation) IDs() []int64 { return r.ids }
 // lazily, so early abandonment skips both arithmetic and decoding — the
 // behavior the paper's scan baseline relies on.
 func (r *Relation) ViewPages(id int64) ([][]byte, error) {
+	return r.ViewPagesInto(id, nil)
+}
+
+// ViewPagesInto is ViewPages appending the page views to buf (pass buf[:0]
+// to reuse its backing array), so steady-state readers allocate nothing.
+func (r *Relation) ViewPagesInto(id int64, buf [][]byte) ([][]byte, error) {
 	loc, ok := r.locs[id]
 	if !ok {
 		return nil, fmt.Errorf("relation: id %d not found", id)
 	}
 	if r.pool != nil {
-		return r.pool.View(loc.firstPage, loc.pageCount)
+		return r.pool.ViewInto(loc.firstPage, loc.pageCount, buf)
 	}
-	return r.file.View(loc.firstPage, loc.pageCount)
+	return r.file.ViewInto(loc.firstPage, loc.pageCount, buf)
 }
 
 // ComplexAt decodes the i-th complex coefficient from a record's page view

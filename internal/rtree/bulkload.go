@@ -39,6 +39,7 @@ func (t *Tree) BulkLoad(items []Item) error {
 		level++
 	}
 	t.root = &node{level: level, entries: entries}
+	t.root.syncFlat(t.dims)
 	t.height = level + 1
 	t.size = len(items)
 	return nil
@@ -146,6 +147,9 @@ func (t *Tree) repairUnderfull(nodes []*node) []*node {
 			first.entries = append([]entry(nil), combined[:half]...)
 			second.entries = combined[half:]
 		}
+	}
+	for _, n := range nodes {
+		n.syncFlat(t.dims)
 	}
 	return nodes
 }

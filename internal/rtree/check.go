@@ -15,6 +15,8 @@ import "fmt"
 //     edge.
 //  4. The recorded size matches the number of leaf entries, and the
 //     recorded height matches the root level + 1.
+//  5. Every node's flat MBR slab (the struct-of-arrays copy batch
+//     traversals scan) agrees cell for cell with its entry rectangles.
 func (t *Tree) CheckInvariants() error {
 	if t.root == nil {
 		return fmt.Errorf("rtree: nil root")
@@ -42,6 +44,9 @@ func (t *Tree) checkNode(n *node, isRoot bool) (int, error) {
 	if !isRoot && len(n.entries) < t.minEntries {
 		return 0, fmt.Errorf("rtree: node at level %d has %d < min %d entries", n.level, len(n.entries), t.minEntries)
 	}
+	if err := n.checkFlat(t.dims); err != nil {
+		return 0, err
+	}
 	if n.leaf() {
 		return len(n.entries), nil
 	}
@@ -63,4 +68,21 @@ func (t *Tree) checkNode(n *node, isRoot bool) (int, error) {
 		total += c
 	}
 	return total, nil
+}
+
+// checkFlat verifies the flat slab mirrors the entry rectangles exactly.
+func (n *node) checkFlat(dims int) error {
+	c := len(n.entries)
+	if len(n.flat) != 2*c*dims {
+		return fmt.Errorf("rtree: flat slab has %d cells, want %d (level %d, %d entries)", len(n.flat), 2*c*dims, n.level, c)
+	}
+	lows, highs := n.flat[:c*dims], n.flat[c*dims:]
+	for i, e := range n.entries {
+		for j := 0; j < dims; j++ {
+			if lows[i*dims+j] != e.rect.Lo[j] || highs[i*dims+j] != e.rect.Hi[j] {
+				return fmt.Errorf("rtree: stale flat slab at level %d entry %d dim %d", n.level, i, j)
+			}
+		}
+	}
+	return nil
 }

@@ -16,6 +16,7 @@ func (t *Tree) Delete(r geom.Rect, id int64) bool {
 	}
 	leaf := path[len(path)-1]
 	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	leaf.syncFlat(t.dims)
 	t.size--
 	t.condense(path)
 	return true
@@ -63,6 +64,7 @@ func (t *Tree) condense(path []*node) {
 			for i := range parent.entries {
 				if parent.entries[i].child == n {
 					parent.entries = append(parent.entries[:i], parent.entries[i+1:]...)
+					parent.syncFlat(t.dims)
 					break
 				}
 			}
@@ -74,6 +76,7 @@ func (t *Tree) condense(path []*node) {
 			for i := range parent.entries {
 				if parent.entries[i].child == n {
 					parent.entries[i].rect = n.mbr()
+					parent.syncFlatEntry(i, t.dims)
 					break
 				}
 			}
@@ -83,7 +86,11 @@ func (t *Tree) condense(path []*node) {
 	// Reinsert orphans at the level of the node that held them, so subtree
 	// entries keep hanging at a consistent height. The root is never
 	// dissolved here, so that level still exists.
-	t.reinsertedAtLevel = map[int]bool{}
+	if t.reinsertedAtLevel == nil {
+		t.reinsertedAtLevel = map[int]bool{}
+	} else {
+		clear(t.reinsertedAtLevel)
+	}
 	for _, o := range orphans {
 		if o.level < t.root.level {
 			t.insertEntry(o.e, o.level)

@@ -1,0 +1,271 @@
+package rtree
+
+import "repro/internal/geom"
+
+// This file is the batch read path over the flat node slabs: range and
+// nearest-neighbor traversals that test all <=M entries of a node in one
+// tight loop over contiguous float64 blocks, with caller-owned scratch so
+// steady-state queries allocate nothing.
+
+// FlatMap is the per-dimension affine action y_i = C[i]*x_i + D[i] a batch
+// traversal applies to every node slab — the same map transform.AffineMap
+// describes, restated here so the tree stays free of transform imports.
+// Angular flags circle-valued dimensions for the overlap predicate (tested
+// modulo 2*pi); Identity short-circuits the transform entirely, letting
+// traversals read node slabs in place.
+type FlatMap struct {
+	C, D     []float64
+	Angular  []bool
+	Identity bool
+}
+
+// Scratch is the reusable working memory of one batch traversal: the DFS
+// stack, the transformed-slab buffer, the NN priority queue, and the batch
+// distance buffer. A Scratch may be reused across any number of
+// traversals, but never concurrently.
+type Scratch struct {
+	stack []*node
+	tbuf  []float64
+	heap  []flatHeapEntry
+	dists []float64
+}
+
+// FlatVisitor consumes the surviving leaf entries of a batch range
+// traversal. tlo and thi are the entry's transformed corners — views into
+// traversal scratch, valid only for the duration of the call (leaf entries
+// are typically degenerate, making tlo the transformed point). Returning
+// false stops the traversal.
+type FlatVisitor interface {
+	VisitFlat(id int64, tlo, thi []float64) bool
+}
+
+// FlatNNVisitor consumes items of a batch nearest-neighbor traversal in
+// non-decreasing order of their (lower-bounded) distance. Returning false
+// stops the traversal.
+type FlatNNVisitor interface {
+	VisitNear(id int64, distSq float64) bool
+}
+
+// FlatNNKernel supplies the geometry of a batch nearest-neighbor
+// traversal: batched lower bounds over transformed child rectangles and
+// batched exact (partial) distances over transformed leaf points. Both
+// receive entry-major blocks of count*dims values and must fill
+// out[:count].
+type FlatNNKernel interface {
+	// LowerBatch lower-bounds the distance from the query to anything
+	// inside each transformed rectangle (lo/hi corner blocks).
+	LowerBatch(lo, hi []float64, count, dims int, out []float64)
+	// PointBatch computes the exact per-item distance for each transformed
+	// leaf point (the lo corner of a degenerate rectangle).
+	PointBatch(lo []float64, count, dims int, out []float64)
+}
+
+// transformSlab maps a node slab through fm into the lows/highs halves of
+// dst, mirroring transform.AffineMap.ApplyRect exactly: per dimension
+// y = c*x + d with corner swap where a negative stretch flips the
+// interval, and no angular renormalization.
+func transformSlab(slab, dstLo, dstHi []float64, count, dims int, C, D []float64) {
+	srcLo, srcHi := slab[:count*dims], slab[count*dims:]
+	for e := 0; e < count; e++ {
+		off := e * dims
+		for j := 0; j < dims; j++ {
+			c, d := C[j], D[j]
+			lo := c*srcLo[off+j] + d
+			hi := c*srcHi[off+j] + d
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			dstLo[off+j], dstHi[off+j] = lo, hi
+		}
+	}
+}
+
+// flatOverlaps mirrors geom.IntersectsMixed over slab views: linear
+// interval intersection everywhere except the angular dimensions, which
+// wrap modulo 2*pi.
+func flatOverlaps(lo, hi, qlo, qhi []float64, dims int, angular []bool) bool {
+	if angular == nil {
+		for j := 0; j < dims; j++ {
+			if hi[j] < qlo[j] || qhi[j] < lo[j] {
+				return false
+			}
+		}
+		return true
+	}
+	for j := 0; j < dims; j++ {
+		if j < len(angular) && angular[j] {
+			if !geom.AngularIntervalsOverlap(lo[j], hi[j], qlo[j], qhi[j]) {
+				return false
+			}
+		} else if hi[j] < qlo[j] || qhi[j] < lo[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeSlabs resolves a node's transformed corner blocks: the node's own
+// slab under an identity map, the scratch buffer otherwise. The fallback
+// rebuild covers a slab that somehow went stale — correctness never
+// depends on the sync sites, only speed does.
+func (t *Tree) nodeSlabs(n *node, fm *FlatMap, sc *Scratch) (lows, highs []float64) {
+	c := len(n.entries)
+	if len(n.flat) != 2*c*t.dims {
+		n.syncFlat(t.dims)
+	}
+	if fm.Identity {
+		return n.flat[:c*t.dims], n.flat[c*t.dims:]
+	}
+	need := 2 * c * t.dims
+	if cap(sc.tbuf) < need {
+		sc.tbuf = make([]float64, need)
+	} else {
+		sc.tbuf = sc.tbuf[:need]
+	}
+	lows, highs = sc.tbuf[:c*t.dims], sc.tbuf[c*t.dims:]
+	transformSlab(n.flat, lows, highs, c, t.dims, fm.C, fm.D)
+	return lows, highs
+}
+
+// FlatRange is the batch form of TransformedSearch: a depth-first
+// traversal that transforms each node's slab in one pass, tests all
+// entries against the query box [qlo, qhi] in one tight loop, and emits
+// surviving leaf entries to v. It visits exactly the nodes and entries
+// the per-entry traversal visits, in the same order.
+func (t *Tree) FlatRange(qlo, qhi []float64, fm FlatMap, sc *Scratch, v FlatVisitor) SearchStats {
+	var st SearchStats
+	dims := t.dims
+	sc.stack = append(sc.stack[:0], t.root)
+	for len(sc.stack) > 0 {
+		n := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		st.NodesVisited++
+		c := len(n.entries)
+		if c == 0 {
+			continue
+		}
+		lows, highs := t.nodeSlabs(n, &fm, sc)
+		if n.leaf() {
+			for e := 0; e < c; e++ {
+				st.EntriesTested++
+				off := e * dims
+				if !flatOverlaps(lows[off:off+dims], highs[off:off+dims], qlo, qhi, dims, fm.Angular) {
+					continue
+				}
+				if !v.VisitFlat(n.entries[e].id, lows[off:off+dims], highs[off:off+dims]) {
+					return st
+				}
+			}
+			continue
+		}
+		// Push children in reverse so pop order matches the recursive
+		// traversal's first-entry-first descent.
+		for e := c - 1; e >= 0; e-- {
+			st.EntriesTested++
+			off := e * dims
+			if flatOverlaps(lows[off:off+dims], highs[off:off+dims], qlo, qhi, dims, fm.Angular) {
+				sc.stack = append(sc.stack, n.entries[e].child)
+			}
+		}
+	}
+	return st
+}
+
+// flatHeapEntry is one prioritized node or item of a batch best-first
+// nearest-neighbor traversal.
+type flatHeapEntry struct {
+	dist float64
+	node *node // nil for leaf items
+	id   int64
+}
+
+func flatHeapPush(h *[]flatHeapEntry, e flatHeapEntry) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p].dist <= q[i].dist {
+			break
+		}
+		q[p], q[i] = q[i], q[p]
+		i = p
+	}
+}
+
+func flatHeapPop(h *[]flatHeapEntry) flatHeapEntry {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= len(q) {
+			break
+		}
+		m := l
+		if r < len(q) && q[r].dist < q[l].dist {
+			m = r
+		}
+		if q[i].dist <= q[m].dist {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
+}
+
+// NearestFlat is the batch form of NearestScan: best-first traversal with
+// a typed binary heap in caller scratch, node slabs transformed in one
+// pass, and per-node batched kernel calls for lower bounds and item
+// distances. Items reach v in non-decreasing distance order, interleaved
+// correctly with node expansion, so stopping early leaves the rest of the
+// tree untouched.
+func (t *Tree) NearestFlat(fm FlatMap, kern FlatNNKernel, sc *Scratch, v FlatNNVisitor) SearchStats {
+	var st SearchStats
+	if t.size == 0 {
+		return st
+	}
+	dims := t.dims
+	sc.heap = sc.heap[:0]
+	flatHeapPush(&sc.heap, flatHeapEntry{dist: 0, node: t.root})
+	for len(sc.heap) > 0 {
+		head := flatHeapPop(&sc.heap)
+		if head.node == nil {
+			if !v.VisitNear(head.id, head.dist) {
+				return st
+			}
+			continue
+		}
+		n := head.node
+		st.NodesVisited++
+		c := len(n.entries)
+		if c == 0 {
+			continue
+		}
+		lows, highs := t.nodeSlabs(n, &fm, sc)
+		if cap(sc.dists) < c {
+			sc.dists = make([]float64, c)
+		} else {
+			sc.dists = sc.dists[:c]
+		}
+		if n.leaf() {
+			kern.PointBatch(lows, c, dims, sc.dists)
+			for e := 0; e < c; e++ {
+				st.EntriesTested++
+				flatHeapPush(&sc.heap, flatHeapEntry{dist: sc.dists[e], id: n.entries[e].id})
+			}
+		} else {
+			kern.LowerBatch(lows, highs, c, dims, sc.dists)
+			for e := 0; e < c; e++ {
+				st.EntriesTested++
+				flatHeapPush(&sc.heap, flatHeapEntry{dist: sc.dists[e], node: n.entries[e].child})
+			}
+		}
+	}
+	return st
+}

@@ -17,7 +17,11 @@ func (t *Tree) Insert(r geom.Rect, id int64) error {
 	if err := t.checkRect(r); err != nil {
 		return err
 	}
-	t.reinsertedAtLevel = map[int]bool{}
+	if t.reinsertedAtLevel == nil {
+		t.reinsertedAtLevel = map[int]bool{}
+	} else {
+		clear(t.reinsertedAtLevel)
+	}
 	t.insertEntry(entry{rect: r.Clone(), id: id}, 0)
 	t.size++
 	return nil
@@ -30,6 +34,7 @@ func (t *Tree) insertEntry(e entry, level int) {
 	leafPath := t.choosePath(e.rect, level)
 	n := leafPath[len(leafPath)-1]
 	n.entries = append(n.entries, e)
+	n.syncFlat(t.dims)
 	t.adjustPath(leafPath, e.rect)
 	if len(n.entries) > t.maxEntries {
 		t.overflow(leafPath)
@@ -44,6 +49,7 @@ func (t *Tree) choosePath(r geom.Rect, level int) []*node {
 	for n.level > level {
 		idx := t.chooseSubtree(n, r)
 		n.entries[idx].rect.UnionInPlace(r)
+		n.syncFlatEntry(idx, t.dims)
 		n = n.entries[idx].child
 		path = append(path, n)
 	}
@@ -127,22 +133,24 @@ func (t *Tree) overflow(path []*node) {
 				{rect: left.mbr(), child: left},
 				{rect: right.mbr(), child: right},
 			}}
+			newRoot.syncFlat(t.dims)
 			t.root = newRoot
 			t.height++
 			return
 		}
 		parent := path[depth-1]
-		replaceChild(parent, n, left, right)
+		t.replaceChild(parent, n, left, right)
 	}
 }
 
 // replaceChild swaps the entry of parent pointing at old for two entries
 // pointing at the split halves.
-func replaceChild(parent, old, left, right *node) {
+func (t *Tree) replaceChild(parent, old, left, right *node) {
 	for i := range parent.entries {
 		if parent.entries[i].child == old {
 			parent.entries[i] = entry{rect: left.mbr(), child: left}
 			parent.entries = append(parent.entries, entry{rect: right.mbr(), child: right})
+			parent.syncFlat(t.dims)
 			return
 		}
 	}
@@ -173,6 +181,7 @@ func (t *Tree) forcedReinsert(n *node, path []*node) {
 	for _, de := range des[:keep] {
 		n.entries = append(n.entries, de.e)
 	}
+	n.syncFlat(t.dims)
 	// Tighten ancestors' rectangles for the shrunken node.
 	t.recomputePathRects(path)
 
@@ -190,6 +199,7 @@ func (t *Tree) recomputePathRects(path []*node) {
 		for i := range parent.entries {
 			if parent.entries[i].child == child {
 				parent.entries[i].rect = child.mbr()
+				parent.syncFlatEntry(i, t.dims)
 				break
 			}
 		}

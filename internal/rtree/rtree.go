@@ -68,6 +68,13 @@ type Tree struct {
 type node struct {
 	level   int // 0 for leaves
 	entries []entry
+	// flat is the node's child MBRs as one contiguous struct-of-arrays
+	// slab: all low corners (entry-major), then all high corners. Batch
+	// traversals scan this cache-resident block instead of chasing the
+	// per-entry geom.Rect headers. Every mutation that changes entries
+	// resynchronizes the slab (syncFlat/syncFlatEntry); CheckInvariants
+	// verifies the two views agree.
+	flat []float64
 }
 
 type entry struct {
@@ -77,6 +84,35 @@ type entry struct {
 }
 
 func (n *node) leaf() bool { return n.level == 0 }
+
+// syncFlat rebuilds the flat MBR slab from the entries, reusing the slab's
+// backing array when capacity allows.
+func (n *node) syncFlat(dims int) {
+	c := len(n.entries)
+	need := 2 * c * dims
+	if cap(n.flat) < need {
+		n.flat = make([]float64, need)
+	} else {
+		n.flat = n.flat[:need]
+	}
+	lows, highs := n.flat[:c*dims], n.flat[c*dims:]
+	for i := range n.entries {
+		copy(lows[i*dims:(i+1)*dims], n.entries[i].rect.Lo)
+		copy(highs[i*dims:(i+1)*dims], n.entries[i].rect.Hi)
+	}
+}
+
+// syncFlatEntry rewrites one entry's slab cells after an in-place
+// rectangle change that did not alter the entry count.
+func (n *node) syncFlatEntry(i, dims int) {
+	c := len(n.entries)
+	if len(n.flat) != 2*c*dims {
+		n.syncFlat(dims)
+		return
+	}
+	copy(n.flat[i*dims:(i+1)*dims], n.entries[i].rect.Lo)
+	copy(n.flat[(c+i)*dims:(c+i+1)*dims], n.entries[i].rect.Hi)
+}
 
 func (n *node) mbr() geom.Rect {
 	if len(n.entries) == 0 {

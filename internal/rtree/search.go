@@ -128,17 +128,18 @@ func (t *Tree) Materialize(transform RectTransform) *Tree {
 		height:     t.height,
 		size:       t.size,
 	}
-	nt.root = materializeNode(t.root, transform)
+	nt.root = materializeNode(t.root, transform, t.dims)
 	return nt
 }
 
-func materializeNode(n *node, transform RectTransform) *node {
+func materializeNode(n *node, transform RectTransform, dims int) *node {
 	out := &node{level: n.level, entries: make([]entry, len(n.entries))}
 	for i, e := range n.entries {
 		out.entries[i] = entry{rect: transform(e.rect).Canonical(), id: e.id}
 		if e.child != nil {
-			out.entries[i].child = materializeNode(e.child, transform)
+			out.entries[i].child = materializeNode(e.child, transform, dims)
 		}
 	}
+	out.syncFlat(dims)
 	return out
 }

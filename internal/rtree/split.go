@@ -21,7 +21,11 @@ func (t *Tree) split(n *node) (left, right *node) {
 	copy(le, n.entries[:splitAt])
 	re := make([]entry, len(n.entries)-splitAt)
 	copy(re, n.entries[splitAt:])
-	return &node{level: n.level, entries: le}, &node{level: n.level, entries: re}
+	left = &node{level: n.level, entries: le}
+	right = &node{level: n.level, entries: re}
+	left.syncFlat(t.dims)
+	right.syncFlat(t.dims)
+	return left, right
 }
 
 // sortEntriesByAxis orders entries by lower value then upper value along

@@ -220,12 +220,32 @@ func EuclideanDistance(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("series: distance length mismatch %d vs %d", len(x), len(y)))
 	}
+	return math.Sqrt(euclideanDistSq(x, y))
+}
+
+// euclideanDistSq accumulates the squared terms through one accumulator in
+// index order — the 4-wide unrolling changes instruction scheduling, not
+// the float addition order, so the sum is bit-identical to the naive loop.
+func euclideanDistSq(x, y []float64) float64 {
+	n := len(x)
+	y = y[:n]
 	var s float64
-	for i := range x {
+	i := 0
+	for ; i+3 < n; i += 4 {
+		d0 := x[i] - y[i]
+		d1 := x[i+1] - y[i+1]
+		d2 := x[i+2] - y[i+2]
+		d3 := x[i+3] - y[i+3]
+		s += d0 * d0
+		s += d1 * d1
+		s += d2 * d2
+		s += d3 * d3
+	}
+	for ; i < n; i++ {
 		d := x[i] - y[i]
 		s += d * d
 	}
-	return math.Sqrt(s)
+	return s
 }
 
 // CityBlockDistance returns the L1 distance between equal-length series
@@ -253,15 +273,43 @@ func EuclideanWithin(x, y []float64, eps float64) (within bool, terms int) {
 		panic(fmt.Sprintf("series: distance length mismatch %d vs %d", len(x), len(y)))
 	}
 	limit := eps * eps
+	n := len(x)
+	y = y[:n]
 	var s float64
-	for i := range x {
+	i := 0
+	// Unrolled 4-wide with the per-term abandon check kept at every term,
+	// so both the accumulation order and the reported term count match the
+	// naive loop exactly.
+	for ; i+3 < n; i += 4 {
+		d := x[i] - y[i]
+		s += d * d
+		if s > limit {
+			return false, i + 1
+		}
+		d = x[i+1] - y[i+1]
+		s += d * d
+		if s > limit {
+			return false, i + 2
+		}
+		d = x[i+2] - y[i+2]
+		s += d * d
+		if s > limit {
+			return false, i + 3
+		}
+		d = x[i+3] - y[i+3]
+		s += d * d
+		if s > limit {
+			return false, i + 4
+		}
+	}
+	for ; i < n; i++ {
 		d := x[i] - y[i]
 		s += d * d
 		if s > limit {
 			return false, i + 1
 		}
 	}
-	return true, len(x)
+	return true, n
 }
 
 // MinSubsequenceDistance returns the minimum Euclidean distance between the

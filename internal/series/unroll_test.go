@@ -1,0 +1,65 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveDistSq is the scalar reference the unrolled kernels must match
+// bit-for-bit (single accumulator, index order).
+func naiveDistSq(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}
+
+func naiveWithin(x, y []float64, eps float64) (bool, int) {
+	limit := eps * eps
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+		if s > limit {
+			return false, i + 1
+		}
+	}
+	return true, len(x)
+}
+
+// TestEuclideanUnrollParity pins the unrolled distance kernels to the
+// scalar reference at every length, covering all remainder cases (n mod 4
+// in {0, 1, 2, 3}) and both abandon and non-abandon outcomes.
+func TestEuclideanUnrollParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	lengths := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 64, 127, 128, 129}
+	for trial := 0; trial < 50; trial++ {
+		lengths = append(lengths, rng.Intn(300))
+	}
+	for _, n := range lengths {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		wantSq := naiveDistSq(x, y)
+		if got := EuclideanDistance(x, y); got != math.Sqrt(wantSq) {
+			t.Fatalf("n=%d: EuclideanDistance = %v, want %v", n, got, math.Sqrt(wantSq))
+		}
+		// eps values that exercise early abandon at various depths, plus
+		// never-abandon and (for n>0) immediate-abandon.
+		epsCases := []float64{0, 0.1, 0.5, 1, 2, 5, 10, 100, math.Sqrt(wantSq)}
+		for _, eps := range epsCases {
+			wantOK, wantTerms := naiveWithin(x, y, eps)
+			gotOK, gotTerms := EuclideanWithin(x, y, eps)
+			if gotOK != wantOK || gotTerms != wantTerms {
+				t.Fatalf("n=%d eps=%v: EuclideanWithin = (%v, %d), want (%v, %d)",
+					n, eps, gotOK, gotTerms, wantOK, wantTerms)
+			}
+		}
+	}
+}

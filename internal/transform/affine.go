@@ -180,6 +180,21 @@ func PolarMinDistSq(q geom.Point, r geom.Rect, skip int) float64 {
 	return total
 }
 
+// PolarCoeffMinDistSq is the slab-view form of PolarMinDistSq restricted to
+// the coefficient dimensions: the moment dimensions (below skip) contribute
+// nothing, matching PolarMinDistSq over a query with zeroed moments and a
+// rectangle widened to the whole real line there (the masking
+// feature.LowerBoundDistSq applies). lo and hi are the rectangle's corner
+// views; the sector terms accumulate in the same order as PolarMinDistSq,
+// so the bound is bit-identical.
+func PolarCoeffMinDistSq(q, lo, hi []float64, skip int) float64 {
+	var total float64
+	for i := skip; i+1 < len(q); i += 2 {
+		total += sectorDistSq(q[i], q[i+1], lo[i], hi[i], lo[i+1], hi[i+1])
+	}
+	return total
+}
+
 // sectorDistSq returns the squared distance in the complex plane from the
 // point with polar coordinates (qr, qa) to the annular sector with radius
 // range [rLo, rHi] and angle arc [aLo, aHi] (an arc of width >= 2*pi is the

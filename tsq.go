@@ -124,11 +124,13 @@ type Options struct {
 	BufferPoolPages int
 	// RefreshEvery bounds how many appended points a series' stored
 	// spectrum record may lag its sliding window before the streaming
-	// ingest path rewrites it with the exact FFT (0 selects the default,
-	// 32). Smaller values favor read-heavy workloads (records stay fresh,
-	// no on-demand derivation); larger values favor ingest bursts (the
-	// O(n log n) FFT amortizes over more O(K) appends). Answers are
-	// byte-identical at any cadence — only where the FFT is paid moves.
+	// ingest path rewrites it with the exact FFT. Smaller values favor
+	// read-heavy workloads (records stay fresh, no on-demand derivation);
+	// larger values favor ingest bursts (the O(n log n) FFT amortizes
+	// over more O(K) appends). 0 (the default) lets each store adapt the
+	// cadence to its own observed query/append mix, sliding between 4 and
+	// 256 from a starting value of 32. Answers are byte-identical at any
+	// cadence — only where the FFT is paid moves.
 	RefreshEvery int
 	// Shards partitions the store into this many hash-partitioned shards
 	// (by series name), each with its own index, storage, and lock.
