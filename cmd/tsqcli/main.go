@@ -6,9 +6,15 @@
 // standing query's enter/leave events, `stats` prints the server's
 // counters (`stats -plans` adds the recent executed-plan ring with
 // estimated-vs-actual cost and per-kind error percentiles, `stats
-// -slow` the slow-query log with trace spans), and `metrics` scrapes
-// and validates the /metrics Prometheus exposition. A TRACE statement
-// prefix prints the execution's span tree with per-shard timings.
+// -slow` the slow-query log with trace spans), `metrics` scrapes
+// and validates the /metrics Prometheus exposition, `traces` fetches
+// retained execution traces from the server's flight recorder (by
+// request ID, kind, strategy, or outcome — span trees included even
+// when TRACE was never requested), and `top` renders a refreshing
+// console dashboard (per-kind qps and latency percentiles, cache hit
+// rate, planner drift, shard imbalance, streaming health; `top -once`
+// prints one snapshot and exits). A TRACE statement prefix prints the
+// execution's span tree with per-shard timings.
 //
 // Usage:
 //
@@ -29,6 +35,10 @@
 //	tsqcli -remote http://localhost:8080 stats -plans
 //	tsqcli -remote http://localhost:8080 stats -slow
 //	tsqcli -remote http://localhost:8080 metrics
+//	tsqcli -remote http://localhost:8080 traces -outcome error
+//	tsqcli -remote http://localhost:8080 traces -id 6fe2a1b3-1x
+//	tsqcli -remote http://localhost:8080 top
+//	tsqcli -remote http://localhost:8080 top -once
 //	tsqcli -data walks.csv -query "TRACE RANGE SERIES 'W0007' EPS 2 TRANSFORM mavg(20)"
 //
 // The query language:
@@ -84,8 +94,12 @@ func main() {
 			err = runStats(*remote, args[1:])
 		case "metrics":
 			err = runMetrics(*remote)
+		case "traces":
+			err = runTraces(*remote, args[1:])
+		case "top":
+			err = runTop(*remote, args[1:])
 		default:
-			err = fmt.Errorf("unknown subcommand %q (want append, watch, stats, or metrics)", args[0])
+			err = fmt.Errorf("unknown subcommand %q (want append, watch, stats, metrics, traces, or top)", args[0])
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tsqcli:", err)

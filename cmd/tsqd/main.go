@@ -11,6 +11,12 @@
 // and -pprof mounts net/http/pprof on a side listener so profiling
 // stays off the query port.
 //
+// Logging is structured: every line is one JSON object on stderr,
+// leveled by -log-level, and request lines carry the request's
+// correlation ID (X-TSQ-Request-ID). The newest lines are also kept in
+// memory and served from GET /logs. -slow sets the slow-query threshold
+// behind /stats?slow=1 and GET /traces.
+//
 // Usage:
 //
 //	tsqgen -count 500 -length 128 > walks.csv
@@ -19,6 +25,8 @@
 //	tsqd -data walks.csv -shards 8           # hash-partitioned, parallel fan-out
 //	tsqd -data walks.csv -retain 1024        # deeper /watch replay buffer
 //	tsqd -data walks.csv -pprof localhost:6060  # profiling side listener
+//	tsqd -data walks.csv -slow 5ms           # lower slow-query threshold
+//	tsqd -data walks.csv -log-level debug    # verbose JSON logs
 //
 //	curl localhost:8080/healthz
 //	curl -X POST localhost:8080/query \
@@ -34,7 +42,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only by the -pprof side listener
@@ -48,6 +55,7 @@ import (
 	tsq "repro"
 	"repro/internal/server"
 	"repro/internal/telemetry"
+	"repro/internal/tlog"
 )
 
 func main() {
@@ -63,16 +71,26 @@ func main() {
 		retain   = flag.Int("retain", tsq.DefaultMonitorRetain, "events retained per monitor so reconnecting /watch clients can resume gaplessly (0 disables replay)")
 		refresh  = flag.Int("refresh", 0, "appends a series may accumulate before its stored spectrum is refreshed with the exact FFT (0 = default 32; applies to stores built from -data or empty — snapshots load with the default); lower favors read-heavy workloads, higher favors ingest bursts — answers are identical either way")
 		pprof    = flag.String("pprof", "", "address of a net/http/pprof side listener (e.g. localhost:6060; empty disables) — profiling stays off the query port")
+		slow     = flag.Duration("slow", 0, "slow-query threshold: queries at or above it are retained with their trace spans in /stats?slow=1 and GET /traces (0 = default 25ms; negative disables)")
+		logLevel = flag.String("log-level", "info", "minimum log severity: debug, info, warn, or error")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dataPath, *snapPath, *length, *k, *space, *cache, *shards, *retain, *refresh, *pprof); err != nil {
+	min, err := tlog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsqd:", err)
+		os.Exit(1)
+	}
+	tlog.SetLevel(min)
+	tlog.SetOutput(os.Stderr)
+
+	if err := run(*addr, *dataPath, *snapPath, *length, *k, *space, *cache, *shards, *retain, *refresh, *pprof, *slow); err != nil {
 		fmt.Fprintln(os.Stderr, "tsqd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize, shards, retain, refresh int, pprofAddr string) error {
+func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize, shards, retain, refresh int, pprofAddr string, slow time.Duration) error {
 	db, origin, err := loadDB(dataPath, snapPath, length, k, space, shards, refresh)
 	if err != nil {
 		return err
@@ -83,8 +101,9 @@ func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize
 	if retain == 0 {
 		retain = -1 // ServerOptions: negative retains none, zero means default
 	}
-	srv := tsq.NewServer(db, tsq.ServerOptions{CacheSize: cacheSize, MonitorRetain: retain})
-	log.Printf("tsqd: loaded %d series of length %d from %s (%d shard(s))", srv.Len(), srv.Length(), origin, db.Shards())
+	srv := tsq.NewServer(db, tsq.ServerOptions{CacheSize: cacheSize, MonitorRetain: retain, SlowThreshold: slow})
+	tlog.Info("loaded store",
+		"series", srv.Len(), "length", srv.Length(), "origin", origin, "shards", db.Shards())
 
 	// Request contexts derive from baseCtx so long-lived /watch SSE
 	// streams end promptly at shutdown — otherwise graceful Shutdown
@@ -94,11 +113,11 @@ func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize
 
 	if pprofAddr != "" {
 		go func() {
-			log.Printf("tsqd: pprof listening on %s", pprofAddr)
+			tlog.Info("pprof listening", "addr", pprofAddr)
 			// The blank net/http/pprof import registered /debug/pprof on
 			// the default mux; the main API handler below uses its own.
 			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
-				log.Printf("tsqd: pprof listener: %v", err)
+				tlog.Error("pprof listener failed", "err", err)
 			}
 		}()
 	}
@@ -115,7 +134,7 @@ func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("tsqd: listening on %s", addr)
+		tlog.Info("listening", "addr", addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -125,18 +144,18 @@ func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize
 	case <-ctx.Done():
 	}
 
-	log.Printf("tsqd: shutting down")
+	tlog.Info("shutting down")
 	closeStreams() // end /watch subscribers so Shutdown can drain
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("tsqd: shutdown: %v", err)
+		tlog.Error("shutdown failed", "err", err)
 	}
 	if snapPath != "" {
 		if err := saveSnapshot(srv, snapPath); err != nil {
 			return fmt.Errorf("saving snapshot: %w", err)
 		}
-		log.Printf("tsqd: snapshot saved to %s", snapPath)
+		tlog.Info("snapshot saved", "path", snapPath)
 	}
 	return nil
 }

@@ -1,0 +1,159 @@
+package flight
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewIDUnique(t *testing.T) {
+	const n = 10000
+	seen := make(map[string]bool, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids := make([]string, 0, n/8)
+			for i := 0; i < n/8; i++ {
+				ids = append(ids, NewID())
+			}
+			mu.Lock()
+			for _, id := range ids {
+				if seen[id] {
+					t.Errorf("duplicate ID %q", id)
+				}
+				seen[id] = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+func entry(id, kind, strategy, outcome string, when time.Time, elapsed time.Duration) Entry[int] {
+	return Entry[int]{ID: id, Kind: kind, Strategy: strategy, Outcome: outcome, When: when, Elapsed: elapsed}
+}
+
+func TestRecorderRetainsRecentSlowestAndErrors(t *testing.T) {
+	r := NewRecorder[int](Options{RecentN: 3, SlowestN: 2, ErrorN: 4})
+	base := time.Now()
+
+	// One very slow early entry must survive the recent ring's churn.
+	r.Observe(entry("slow-1", "range", "index", OutcomeOK, base, time.Second))
+	for i := 0; i < 10; i++ {
+		r.Observe(entry(fmt.Sprintf("ok-%d", i), "range", "index", OutcomeOK,
+			base.Add(time.Duration(i+1)*time.Millisecond), time.Duration(i+1)*time.Microsecond))
+	}
+	if _, ok := r.Get("slow-1"); !ok {
+		t.Fatal("slowest entry evicted from slow list")
+	}
+	if _, ok := r.Get("ok-9"); !ok {
+		t.Fatal("most recent entry not retained")
+	}
+	if _, ok := r.Get("ok-2"); ok {
+		t.Fatal("old, fast entry should have been evicted")
+	}
+
+	// Errors always retained, in their own ring.
+	r.Observe(entry("err-1", "nn", "", OutcomeError, base.Add(time.Hour), time.Millisecond))
+	got, ok := r.Get("err-1")
+	if !ok || got.Outcome != OutcomeError {
+		t.Fatalf("error trace not retained: %+v ok=%v", got, ok)
+	}
+	if r.ErrorCount() != 1 {
+		t.Fatalf("ErrorCount = %d, want 1", r.ErrorCount())
+	}
+
+	// Filters narrow by kind and outcome; newest first.
+	ts := r.Traces(Filter{Kind: "range", Outcome: OutcomeOK})
+	if len(ts) == 0 {
+		t.Fatal("no range/ok traces")
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i].When.After(ts[i-1].When) {
+			t.Fatal("traces not newest-first")
+		}
+	}
+	if n := len(r.Traces(Filter{Kind: "nosuch"})); n != 0 {
+		t.Fatalf("kind filter leaked %d entries", n)
+	}
+}
+
+func TestRecorderWorstRecent(t *testing.T) {
+	r := NewRecorder[int](Options{})
+	base := time.Now()
+	r.Observe(entry("a", "range", "index", OutcomeOK, base, 5*time.Millisecond))
+	r.Observe(entry("b", "range", "index", OutcomeOK, base.Add(time.Second), time.Millisecond))
+	r.Observe(entry("c", "nn", "scan", OutcomeOK, base, 9*time.Millisecond))
+	w := r.WorstRecent()
+	if len(w) != 2 {
+		t.Fatalf("WorstRecent returned %d buckets, want 2", len(w))
+	}
+	if w[0].Kind != "nn" || w[0].ID != "c" {
+		t.Fatalf("bucket 0 = %+v, want nn/c", w[0])
+	}
+	if w[1].Kind != "range" || w[1].ID != "a" || w[1].Elapsed != 5*time.Millisecond {
+		t.Fatalf("bucket 1 = %+v, want range worst a@5ms", w[1])
+	}
+}
+
+func TestRecorderErrorRingBounded(t *testing.T) {
+	r := NewRecorder[int](Options{ErrorN: 3})
+	base := time.Now()
+	for i := 0; i < 7; i++ {
+		r.Observe(entry(fmt.Sprintf("e%d", i), "range", "", OutcomeError,
+			base.Add(time.Duration(i)*time.Second), time.Millisecond))
+	}
+	if r.ErrorCount() != 7 {
+		t.Fatalf("ErrorCount = %d, want 7", r.ErrorCount())
+	}
+	errs := r.Traces(Filter{Outcome: OutcomeError})
+	if len(errs) != 3 {
+		t.Fatalf("retained %d errors, want 3", len(errs))
+	}
+	if errs[0].ID != "e6" || errs[2].ID != "e4" {
+		t.Fatalf("wrong errors retained: %v %v %v", errs[0].ID, errs[1].ID, errs[2].ID)
+	}
+}
+
+func TestRecorderBucketCap(t *testing.T) {
+	r := NewRecorder[int](Options{MaxBuckets: 2})
+	base := time.Now()
+	r.Observe(entry("a", "k1", "", OutcomeOK, base, time.Millisecond))
+	r.Observe(entry("b", "k2", "", OutcomeOK, base, time.Millisecond))
+	r.Observe(entry("c", "k3", "", OutcomeOK, base, time.Millisecond)) // over cap: dropped
+	if _, ok := r.Get("c"); ok {
+		t.Fatal("entry beyond bucket cap retained")
+	}
+	// Errors bypass the bucket cap.
+	r.Observe(entry("d", "k4", "", OutcomeError, base, time.Millisecond))
+	if _, ok := r.Get("d"); !ok {
+		t.Fatal("error dropped by bucket cap")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder[int](Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				out := OutcomeOK
+				if i%5 == 0 {
+					out = OutcomeError
+				}
+				r.Observe(entry(NewID(), fmt.Sprintf("k%d", g%3), "s", out, time.Now(), time.Duration(i)))
+				if i%17 == 0 {
+					r.Traces(Filter{N: 5})
+					r.WorstRecent()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

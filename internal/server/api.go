@@ -41,6 +41,10 @@ type StatsPayload struct {
 	PageReads    int64   `json:"page_reads"`
 	Candidates   int     `json:"candidates"`
 	Cached       bool    `json:"cached"`
+	// RequestID is the execution's correlation ID: the same ID the
+	// response's X-TSQ-Request-ID header, the server's log lines, the
+	// slow-query log, and GET /traces carry for this request.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func toStatsPayload(st tsq.Stats) StatsPayload {
@@ -50,6 +54,7 @@ func toStatsPayload(st tsq.Stats) StatsPayload {
 		PageReads:    st.PageReads,
 		Candidates:   st.Candidates,
 		Cached:       st.Cached,
+		RequestID:    st.RequestID,
 	}
 }
 
@@ -443,6 +448,42 @@ type SlowQueryPayload struct {
 	When      time.Time     `json:"when"`
 	ElapsedUS float64       `json:"elapsed_us"`
 	Spans     []SpanPayload `json:"spans,omitempty"`
+	// RequestID correlates this entry with GET /traces and the log ring.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// TracesResponse is GET /traces: the retained execution traces matching
+// the request's filters (newest first) plus the per-{kind,strategy}
+// worst-recent index — the same entries the
+// tsq_query_worst_recent_seconds metric family labels by request_id.
+type TracesResponse struct {
+	Worst  []WorstTracePayload `json:"worst,omitempty"`
+	Traces []TraceEntryPayload `json:"traces"`
+}
+
+// TraceEntryPayload is one retained execution trace on the wire.
+type TraceEntryPayload struct {
+	RequestID string    `json:"request_id"`
+	Kind      string    `json:"kind"`
+	Strategy  string    `json:"strategy"`
+	Outcome   string    `json:"outcome"`
+	Query     string    `json:"query"`
+	Err       string    `json:"error,omitempty"`
+	When      time.Time `json:"when"`
+	ElapsedUS float64   `json:"elapsed_us"`
+	// Spans is the execution's full span tree — retained even when the
+	// query did not ask for TRACE.
+	Spans []SpanPayload `json:"spans,omitempty"`
+}
+
+// WorstTracePayload names the slowest retained execution of one
+// {kind, strategy} family.
+type WorstTracePayload struct {
+	Kind      string    `json:"kind"`
+	Strategy  string    `json:"strategy"`
+	RequestID string    `json:"request_id"`
+	ElapsedUS float64   `json:"elapsed_us"`
+	When      time.Time `json:"when"`
 }
 
 // PlanRecordPayload is one executed plan from the engine's history ring
@@ -464,7 +505,10 @@ type PlanRecordPayload struct {
 	ElapsedUS          float64 `json:"elapsed_us"`
 }
 
-// ErrorResponse carries an error message.
+// ErrorResponse carries an error message, stamped with the failing
+// request's correlation ID so the matching log line (GET /logs) and any
+// retained error trace (GET /traces?outcome=error) are findable.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }

@@ -10,6 +10,7 @@ import (
 
 	tsq "repro"
 	"repro/internal/telemetry"
+	"repro/internal/tlog"
 )
 
 // maxBodyBytes bounds request bodies; the largest legitimate payload is a
@@ -25,6 +26,11 @@ const maxBodyBytes = 64 << 20
 //	GET    /stats                 cumulative cost counters (paper's measures);
 //	                              ?plans=1 adds the recent executed-plan ring;
 //	                              ?slow=1 adds the slow-query log with trace spans
+//	GET    /traces                retained execution traces (tail-sampled: slowest,
+//	                              most recent, and errors) with full span trees;
+//	                              ?id= fetches one by request ID, ?kind=/?strategy=/
+//	                              ?outcome=/?n= filter
+//	GET    /logs                  in-memory log ring as NDJSON; ?n= and ?level= filter
 //	GET    /series                stored names
 //	POST   /series                insert one {"name": ..., "values": [...]}
 //	POST   /series/batch          insert many [{"name": ..., "values": [...]}, ...]
@@ -51,6 +57,8 @@ func New(s *tsq.Server) http.Handler {
 	handle("GET /healthz", h.health)
 	handle("GET /metrics", h.metrics)
 	handle("GET /stats", h.stats)
+	handle("GET /traces", h.traces)
+	handle("GET /logs", h.logs)
 	handle("GET /series", h.names)
 	handle("POST /series", h.insert)
 	handle("POST /series/batch", h.insertBatch)
@@ -61,7 +69,13 @@ func New(s *tsq.Server) http.Handler {
 	handle("POST /monitors", h.createMonitor)
 	handle("GET /monitors", h.listMonitors)
 	handle("DELETE /monitors/{id}", h.removeMonitor)
-	mux.HandleFunc("GET /watch", h.watch) // long-lived SSE: a duration histogram would only record hangups
+	// Long-lived SSE: a duration histogram would only record hangups, and
+	// the statusWriter wrapper would hide http.Flusher — so /watch gets
+	// only the request-ID stamp, not the timing wrapper.
+	mux.HandleFunc("GET /watch", func(w http.ResponseWriter, r *http.Request) {
+		r, _ = withRequestID(w, r)
+		h.watch(w, r)
+	})
 	handle("POST /query", h.query)
 	handle("POST /query/range", h.rangeQuery)
 	handle("POST /query/nn", h.nnQuery)
@@ -71,17 +85,33 @@ func New(s *tsq.Server) http.Handler {
 	return mux
 }
 
-// timed wraps a handler with a per-route request-duration histogram. The
-// route label is the registered mux pattern, not the raw URL, so
-// /series/{name} stays one series regardless of path cardinality.
+// timed wraps a handler with the correlation boundary: it adopts or mints
+// the request ID (echoed on the response header and readable downstream
+// via requestID), observes the per-route request-duration histogram, and
+// emits one request-ID-stamped access line per request. The route label
+// is the registered mux pattern, not the raw URL, so /series/{name} stays
+// one series regardless of path cardinality.
 func timed(route string, fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		fn(w, r)
+		r, id := withRequestID(w, r)
+		sw := &statusWriter{ResponseWriter: w}
+		fn(sw, r)
+		elapsed := time.Since(start)
 		if telemetry.Enabled() {
 			telemetry.HistogramOf("tsq_http_request_duration_seconds", telemetry.LatencyBuckets,
-				"route", route).Observe(time.Since(start).Seconds())
+				"route", route).Observe(elapsed.Seconds())
 		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		tlog.Info("request",
+			"method", r.Method,
+			"route", route,
+			"status", status,
+			"duration_ms", float64(elapsed)/float64(time.Millisecond),
+			"request_id", id)
 	}
 }
 
@@ -95,33 +125,43 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+// writeError sends a JSON error response stamped with the request's
+// correlation ID and emits the matching error log line, so a failing
+// request is findable in /logs by the ID the client received.
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	id := requestID(r)
+	tlog.Error("request failed",
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", status,
+		"err", err,
+		"request_id", id)
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), RequestID: id})
 }
 
 // writeEngineError maps engine errors onto HTTP statuses by their cause:
 // missing series are 404, duplicate names 409, anything else (malformed
 // transforms, bad parameters) 400.
-func writeEngineError(w http.ResponseWriter, err error) {
+func writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
 	msg := err.Error()
 	switch {
 	case strings.Contains(msg, "unknown series"):
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, r, http.StatusNotFound, err)
 	case strings.Contains(msg, "duplicate series"):
-		writeError(w, http.StatusConflict, err)
+		writeError(w, r, http.StatusConflict, err)
 	default:
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 	}
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
 	if dec.More() {
-		writeError(w, http.StatusBadRequest, errors.New("bad request body: trailing data"))
+		writeError(w, r, http.StatusBadRequest, errors.New("bad request body: trailing data"))
 		return false
 	}
 	return true
@@ -176,6 +216,7 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 				When:      q.When,
 				ElapsedUS: float64(q.Elapsed) / float64(time.Microsecond),
 				Spans:     toSpanPayloads(q.Spans),
+				RequestID: q.RequestID,
 			})
 		}
 	}
@@ -211,7 +252,7 @@ func (h *handler) insert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := h.s.Insert(req.Name, req.Values); err != nil {
-		writeEngineError(w, err)
+		writeEngineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, InsertResponse{Inserted: 1, Series: h.s.Len()})
@@ -227,7 +268,7 @@ func (h *handler) insertBatch(w http.ResponseWriter, r *http.Request) {
 		batch[i] = tsq.NamedSeries{Name: p.Name, Values: p.Values}
 	}
 	if err := h.s.InsertAll(batch); err != nil {
-		writeEngineError(w, err)
+		writeEngineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, InsertResponse{Inserted: len(batch), Series: h.s.Len()})
@@ -237,7 +278,7 @@ func (h *handler) getSeries(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	values, err := h.s.Series(name)
 	if err != nil {
-		writeEngineError(w, err)
+		writeEngineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SeriesPayload{Name: name, Values: values})
@@ -250,12 +291,12 @@ func (h *handler) update(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Name != "" && req.Name != name {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, r, http.StatusBadRequest,
 			fmt.Errorf("body name %q does not match path name %q", req.Name, name))
 		return
 	}
 	if err := h.s.Update(name, req.Values); err != nil {
-		writeEngineError(w, err)
+		writeEngineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, InsertResponse{Inserted: 1, Series: h.s.Len()})
@@ -284,12 +325,12 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if strings.TrimSpace(req.Q) == "" {
-		writeError(w, http.StatusBadRequest, errors.New("empty query"))
+		writeError(w, r, http.StatusBadRequest, errors.New("empty query"))
 		return
 	}
-	out, err := h.s.Query(req.Q)
+	out, err := h.s.Query(req.Q, tsq.WithRequest(requestID(r)))
 	if err != nil {
-		writeEngineError(w, err)
+		writeEngineError(w, r, err)
 		return
 	}
 	resp := toQueryResponse(out.Kind, out.Matches, out.Pairs, out.Stats)
@@ -322,12 +363,12 @@ func (h *handler) rangeQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := tsq.ParseTransform(req.Transform)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	opts, err := parseUsing(req.Using)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if req.Both {
@@ -339,24 +380,25 @@ func (h *handler) rangeQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Std != nil {
 		opts = append(opts, tsq.StdRange(req.Std[0], req.Std[1]))
 	}
+	opts = append(opts, tsq.WithRequest(requestID(r)))
 	var (
 		matches []tsq.Match
 		st      tsq.Stats
 	)
 	switch {
 	case req.Series != "" && len(req.Values) > 0:
-		writeError(w, http.StatusBadRequest, errors.New("set series or values, not both"))
+		writeError(w, r, http.StatusBadRequest, errors.New("set series or values, not both"))
 		return
 	case req.Series != "":
 		matches, st, err = h.s.RangeByName(req.Series, req.Eps, t, opts...)
 	case len(req.Values) > 0:
 		matches, st, err = h.s.Range(req.Values, req.Eps, t, opts...)
 	default:
-		writeError(w, http.StatusBadRequest, errors.New("one of series or values is required"))
+		writeError(w, r, http.StatusBadRequest, errors.New("one of series or values is required"))
 		return
 	}
 	if err != nil {
-		writeEngineError(w, err)
+		writeEngineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toQueryResponse("RANGE", matches, nil, st))
@@ -369,39 +411,40 @@ func (h *handler) nnQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := tsq.ParseTransform(req.Transform)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	opts, err := parseUsing(req.Using)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if req.Both {
 		opts = append(opts, tsq.TransformBoth())
 	}
 	if req.K < 1 {
-		writeError(w, http.StatusBadRequest, errors.New("k must be a positive integer"))
+		writeError(w, r, http.StatusBadRequest, errors.New("k must be a positive integer"))
 		return
 	}
+	opts = append(opts, tsq.WithRequest(requestID(r)))
 	var (
 		matches []tsq.Match
 		st      tsq.Stats
 	)
 	switch {
 	case req.Series != "" && len(req.Values) > 0:
-		writeError(w, http.StatusBadRequest, errors.New("set series or values, not both"))
+		writeError(w, r, http.StatusBadRequest, errors.New("set series or values, not both"))
 		return
 	case req.Series != "":
 		matches, st, err = h.s.NNByName(req.Series, req.K, t, opts...)
 	case len(req.Values) > 0:
 		matches, st, err = h.s.NN(req.Values, req.K, t, opts...)
 	default:
-		writeError(w, http.StatusBadRequest, errors.New("one of series or values is required"))
+		writeError(w, r, http.StatusBadRequest, errors.New("one of series or values is required"))
 		return
 	}
 	if err != nil {
-		writeEngineError(w, err)
+		writeEngineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toQueryResponse("NN", matches, nil, st))
@@ -446,7 +489,7 @@ func (h *handler) selfJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := tsq.ParseTransform(req.Transform)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	var (
@@ -455,28 +498,28 @@ func (h *handler) selfJoin(w http.ResponseWriter, r *http.Request) {
 	)
 	switch {
 	case req.Method != "" && req.Using != "":
-		writeError(w, http.StatusBadRequest, errors.New("set method or using, not both"))
+		writeError(w, r, http.StatusBadRequest, errors.New("set method or using, not both"))
 		return
 	case req.Method != "":
 		// Table 1 per-method semantics, pinned.
 		method, merr := parseJoinMethod(req.Method)
 		if merr != nil {
-			writeError(w, http.StatusBadRequest, merr)
+			writeError(w, r, http.StatusBadRequest, merr)
 			return
 		}
-		pairs, st, err = h.s.SelfJoin(req.Eps, t, method)
+		pairs, st, err = h.s.SelfJoin(req.Eps, t, method, tsq.WithRequest(requestID(r)))
 	default:
 		// Planned: the planner chooses the method (or Using forces the
 		// mechanism); each qualifying pair is reported once.
 		strategy, serr := parseJoinUsing(req.Using)
 		if serr != nil {
-			writeError(w, http.StatusBadRequest, serr)
+			writeError(w, r, http.StatusBadRequest, serr)
 			return
 		}
-		pairs, st, err = h.s.SelfJoinPlanned(req.Eps, t, strategy)
+		pairs, st, err = h.s.SelfJoinPlanned(req.Eps, t, strategy, tsq.WithRequest(requestID(r)))
 	}
 	if err != nil {
-		writeEngineError(w, err)
+		writeEngineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toQueryResponse("SELFJOIN", nil, pairs, st))
@@ -489,22 +532,22 @@ func (h *handler) join(w http.ResponseWriter, r *http.Request) {
 	}
 	left, err := tsq.ParseTransform(req.Left)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	right, err := tsq.ParseTransform(req.Right)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	strategy, err := parseJoinUsing(req.Using)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	pairs, st, err := h.s.JoinTwoSidedPlanned(req.Eps, left, right, strategy)
+	pairs, st, err := h.s.JoinTwoSidedPlanned(req.Eps, left, right, strategy, tsq.WithRequest(requestID(r)))
 	if err != nil {
-		writeEngineError(w, err)
+		writeEngineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toQueryResponse("JOIN", nil, pairs, st))
@@ -516,12 +559,12 @@ func (h *handler) subsequence(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Values) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("values are required"))
+		writeError(w, r, http.StatusBadRequest, errors.New("values are required"))
 		return
 	}
-	matches, st, err := h.s.Subsequence(req.Values, req.Eps)
+	matches, st, err := h.s.Subsequence(req.Values, req.Eps, tsq.WithRequest(requestID(r)))
 	if err != nil {
-		writeEngineError(w, err)
+		writeEngineError(w, r, err)
 		return
 	}
 	resp := SubseqResponse{Stats: toStatsPayload(st)}

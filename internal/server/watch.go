@@ -26,11 +26,11 @@ func (h *handler) append(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Values) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("values are required"))
+		writeError(w, r, http.StatusBadRequest, errors.New("values are required"))
 		return
 	}
 	if err := h.s.Append(name, req.Values); err != nil {
-		writeEngineError(w, err)
+		writeEngineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, AppendResponse{Appended: len(req.Values), Length: h.s.Length()})
@@ -43,7 +43,7 @@ func (h *handler) createMonitor(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := tsq.ParseTransform(req.Transform)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	var opts []tsq.QueryOpt
@@ -51,11 +51,11 @@ func (h *handler) createMonitor(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, tsq.TransformBoth())
 	}
 	if req.Series != "" && len(req.Values) > 0 {
-		writeError(w, http.StatusBadRequest, errors.New("set series or values, not both"))
+		writeError(w, r, http.StatusBadRequest, errors.New("set series or values, not both"))
 		return
 	}
 	if req.Series == "" && len(req.Values) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("one of series or values is required"))
+		writeError(w, r, http.StatusBadRequest, errors.New("one of series or values is required"))
 		return
 	}
 	var (
@@ -71,7 +71,7 @@ func (h *handler) createMonitor(w http.ResponseWriter, r *http.Request) {
 		}
 	case "nn":
 		if req.K < 1 {
-			writeError(w, http.StatusBadRequest, errors.New("k must be a positive integer"))
+			writeError(w, r, http.StatusBadRequest, errors.New("k must be a positive integer"))
 			return
 		}
 		if req.Series != "" {
@@ -80,11 +80,11 @@ func (h *handler) createMonitor(w http.ResponseWriter, r *http.Request) {
 			id, members, err = h.s.MonitorNN(req.Values, req.K, t, opts...)
 		}
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown monitor kind %q (want range or nn)", req.Kind))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("unknown monitor kind %q (want range or nn)", req.Kind))
 		return
 	}
 	if err != nil {
-		writeEngineError(w, err)
+		writeEngineError(w, r, err)
 		return
 	}
 	resp := MonitorResponse{ID: id, Kind: req.Kind, Members: make([]MatchPayload, len(members))}
@@ -106,7 +106,7 @@ func (h *handler) listMonitors(w http.ResponseWriter, r *http.Request) {
 func (h *handler) removeMonitor(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad monitor id %q", r.PathValue("id")))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad monitor id %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, RemoveResponse{Removed: h.s.Unmonitor(id)})
@@ -122,29 +122,29 @@ func (h *handler) removeMonitor(w http.ResponseWriter, r *http.Request) {
 func (h *handler) watch(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseInt(r.URL.Query().Get("monitor"), 10, 64)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("monitor query parameter is required"))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("monitor query parameter is required"))
 		return
 	}
 	after := int64(-1)
 	if s := r.URL.Query().Get("after"); s != "" {
 		if after, err = strconv.ParseInt(s, 10, 64); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad after %q", s))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad after %q", s))
 			return
 		}
 	} else if s := r.Header.Get("Last-Event-ID"); s != "" {
 		if after, err = strconv.ParseInt(s, 10, 64); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad Last-Event-ID %q", s))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad Last-Event-ID %q", s))
 			return
 		}
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		writeError(w, r, http.StatusInternalServerError, errors.New("streaming unsupported"))
 		return
 	}
 	ws, err := h.s.Watch(id, after, watchBuffer)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, r, http.StatusNotFound, err)
 		return
 	}
 	defer ws.Cancel()

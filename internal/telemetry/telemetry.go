@@ -307,6 +307,28 @@ func HistogramOf(name string, buckets []float64, labels ...string) *Histogram {
 // Describe is Default.Describe.
 func Describe(name, help string) { Default.Describe(name, help) }
 
+// Reset drops every series of the named family, keeping its type and
+// help text. It exists for scrape-time families whose label sets are
+// rebuilt per scrape (per-subscriber gauges, worst-recent exemplar
+// links): without it a departed label set would keep exporting its last
+// value forever. Handles returned before a Reset keep working but no
+// longer render; callers of such families must re-resolve per scrape.
+func (r *Registry) Reset(name string) {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.series = make(map[string]any)
+	f.order = make(map[string][]string)
+	f.mu.Unlock()
+}
+
+// Reset is Default.Reset.
+func Reset(name string) { Default.Reset(name) }
+
 func formatFloat(v float64) string {
 	switch {
 	case math.IsInf(v, 1):

@@ -1,0 +1,116 @@
+package tlog
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRenderedLinesAreJSON(t *testing.T) {
+	var buf strings.Builder
+	l := New(&buf, LevelDebug, 16)
+	l.Log(LevelInfo, "served", "route", "/query", "status", 200, "duration_ms", 1.25,
+		"request_id", "abc-1", "err", errors.New("boom"), "d", 150*time.Millisecond, "ok", true)
+	line := strings.TrimSpace(buf.String())
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(line), &obj); err != nil {
+		t.Fatalf("line is not valid JSON: %v\n%s", err, line)
+	}
+	if obj["level"] != "info" || obj["msg"] != "served" {
+		t.Fatalf("wrong level/msg: %v", obj)
+	}
+	if obj["request_id"] != "abc-1" || obj["status"] != float64(200) || obj["err"] != "boom" {
+		t.Fatalf("fields not preserved: %v", obj)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, obj["ts"].(string)); err != nil {
+		t.Fatalf("bad ts: %v", err)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf strings.Builder
+	l := New(&buf, LevelWarn, 16)
+	l.Log(LevelInfo, "dropped")
+	l.Log(LevelError, "kept")
+	if strings.Contains(buf.String(), "dropped") {
+		t.Fatal("below-threshold line written")
+	}
+	if !strings.Contains(buf.String(), "kept") {
+		t.Fatal("above-threshold line missing")
+	}
+	if got := len(l.Records(0, LevelDebug)); got != 1 {
+		t.Fatalf("ring holds %d records, want 1", got)
+	}
+	l.SetLevel(LevelDebug)
+	l.Log(LevelDebug, "now visible")
+	if got := len(l.Records(0, LevelDebug)); got != 2 {
+		t.Fatalf("ring holds %d records after SetLevel, want 2", got)
+	}
+}
+
+func TestRingBoundedAndOrdered(t *testing.T) {
+	l := New(nil, LevelDebug, 4)
+	for i := 0; i < 10; i++ {
+		l.Log(LevelInfo, "m", "i", i)
+	}
+	recs := l.Records(0, LevelDebug)
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recs))
+	}
+	for i, want := range []string{`"i":6`, `"i":7`, `"i":8`, `"i":9`} {
+		if !strings.Contains(recs[i].Line, want) {
+			t.Fatalf("record %d = %s, want %s", i, recs[i].Line, want)
+		}
+	}
+	// n bounds from the newest end.
+	recs = l.Records(2, LevelDebug)
+	if len(recs) != 2 || !strings.Contains(recs[1].Line, `"i":9`) {
+		t.Fatalf("Records(2) = %v", recs)
+	}
+}
+
+func TestRecordsMinLevel(t *testing.T) {
+	l := New(nil, LevelDebug, 16)
+	l.Log(LevelDebug, "d")
+	l.Log(LevelInfo, "i")
+	l.Log(LevelError, "e")
+	if got := len(l.Records(0, LevelWarn)); got != 1 {
+		t.Fatalf("Records(min=warn) = %d, want 1", got)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"debug": LevelDebug, "INFO": LevelInfo, "Warn": LevelWarn, "error": LevelError} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted junk")
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	l := New(nil, LevelDebug, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Log(LevelInfo, "m", "g", g, "i", i)
+				if i%13 == 0 {
+					l.Records(10, LevelDebug)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(l.Records(0, LevelDebug)); got != 64 {
+		t.Fatalf("ring holds %d, want 64", got)
+	}
+}

@@ -2,10 +2,12 @@ package tsq
 
 import (
 	"io"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/telemetry"
 )
 
@@ -39,6 +41,11 @@ func init() {
 	telemetry.Describe("tsq_monitor_replay_events",
 		"Events held in monitor replay rings for reconnecting watchers.")
 	telemetry.Describe("tsq_uptime_seconds", "Seconds since the server started.")
+	telemetry.Describe("tsq_watch_buffer_depth",
+		"Buffered events per live watch subscription (scrape-time; capacity in tsq_watch_buffer_capacity).")
+	telemetry.Describe("tsq_watch_buffer_capacity", "Event-buffer capacity per live watch subscription.")
+	telemetry.Describe("tsq_query_worst_recent_seconds",
+		"Slowest retained execution per kind and strategy; request_id links to its GET /traces entry.")
 }
 
 // Fixed-label handles, resolved once: the query path is hot enough that
@@ -78,15 +85,18 @@ type SlowQuery struct {
 	When    time.Time
 	Elapsed time.Duration
 	Spans   []SpanInfo
+	// RequestID is the query's correlation ID — the same ID its Stats,
+	// its retained flight-recorder trace, and its log lines carry.
+	RequestID string
 }
 
 // slowRecord retains one slow query, dropping the oldest entry when the
 // log is full. No-op when the threshold is disabled or not crossed.
-func (s *Server) slowRecord(query string, elapsed time.Duration, spans []SpanInfo) {
+func (s *Server) slowRecord(query string, elapsed time.Duration, spans []SpanInfo, reqID string) {
 	if s.slowThreshold <= 0 || elapsed < s.slowThreshold {
 		return
 	}
-	e := SlowQuery{Query: query, When: time.Now(), Elapsed: elapsed, Spans: spans}
+	e := SlowQuery{Query: query, When: time.Now(), Elapsed: elapsed, Spans: spans, RequestID: reqID}
 	s.slowMu.Lock()
 	if len(s.slow) >= slowLogCap {
 		copy(s.slow, s.slow[1:])
@@ -157,6 +167,130 @@ func observeQuery(kind, strategy, outcome string, elapsed time.Duration) {
 	m.latency.Observe(elapsed.Seconds())
 }
 
+// flightRecord retains one execution in the flight recorder. outcome is
+// "ok", "error", or "cached"; errMsg is empty unless outcome is "error".
+// No-op when trace retention is disabled.
+func (s *Server) flightRecord(reqID, kind, strategy, outcome, query, errMsg string, elapsed time.Duration, spans []SpanInfo) {
+	if s.flight == nil {
+		return
+	}
+	if strategy == "" {
+		strategy = "none"
+	}
+	s.flight.Observe(flight.Entry[[]SpanInfo]{
+		ID:       reqID,
+		Kind:     kind,
+		Strategy: strategy,
+		Outcome:  outcome,
+		Query:    query,
+		Err:      errMsg,
+		When:     time.Now(),
+		Elapsed:  elapsed,
+		Spans:    spans,
+	})
+}
+
+// TraceEntry is one retained execution trace from the flight recorder:
+// the request's correlation ID, classification, and full span tree.
+// Retention is tail-sampled — per-{kind,strategy} slowest-N and
+// most-recent-N, plus every error — so the interesting executions are
+// fetchable after the fact without TRACE having been requested.
+type TraceEntry struct {
+	RequestID string
+	Kind      string
+	Strategy  string
+	// Outcome is "ok", "error", or "cached".
+	Outcome string
+	// Query is the cache key or statement text that identifies the query.
+	Query string
+	// Err is the error message for error-outcome entries.
+	Err     string
+	When    time.Time
+	Elapsed time.Duration
+	Spans   []SpanInfo
+}
+
+// TraceFilter narrows Server.Traces. Zero fields match everything;
+// N bounds the result count (0 = recorder default).
+type TraceFilter struct {
+	RequestID string
+	Kind      string
+	Strategy  string
+	Outcome   string
+	N         int
+}
+
+// WorstTrace names the slowest retained execution for one
+// {kind, strategy} family; RequestID links it to its full TraceEntry.
+type WorstTrace struct {
+	Kind      string
+	Strategy  string
+	RequestID string
+	Elapsed   time.Duration
+	When      time.Time
+}
+
+func traceFromFlight(e flight.Entry[[]SpanInfo]) TraceEntry {
+	return TraceEntry{
+		RequestID: e.ID,
+		Kind:      e.Kind,
+		Strategy:  e.Strategy,
+		Outcome:   e.Outcome,
+		Query:     e.Query,
+		Err:       e.Err,
+		When:      e.When,
+		Elapsed:   e.Elapsed,
+		Spans:     e.Spans,
+	}
+}
+
+// Traces returns retained execution traces matching f, newest first.
+// Nil when trace retention is disabled.
+func (s *Server) Traces(f TraceFilter) []TraceEntry {
+	if s.flight == nil {
+		return nil
+	}
+	entries := s.flight.Traces(flight.Filter{
+		ID:       f.RequestID,
+		Kind:     f.Kind,
+		Strategy: f.Strategy,
+		Outcome:  f.Outcome,
+		N:        f.N,
+	})
+	out := make([]TraceEntry, len(entries))
+	for i, e := range entries {
+		out[i] = traceFromFlight(e)
+	}
+	return out
+}
+
+// TraceByID fetches one retained trace by its request ID.
+func (s *Server) TraceByID(id string) (TraceEntry, bool) {
+	if s.flight == nil {
+		return TraceEntry{}, false
+	}
+	e, ok := s.flight.Get(id)
+	if !ok {
+		return TraceEntry{}, false
+	}
+	return traceFromFlight(e), true
+}
+
+// WorstTraces reports the slowest retained execution per
+// {kind, strategy} family — the entries behind the
+// tsq_query_worst_recent_seconds metric.
+func (s *Server) WorstTraces() []WorstTrace {
+	if s.flight == nil {
+		return nil
+	}
+	ws := s.flight.WorstRecent()
+	out := make([]WorstTrace, len(ws))
+	for i, w := range ws {
+		out[i] = WorstTrace{Kind: w.Kind, Strategy: w.Strategy, RequestID: w.ID, Elapsed: w.Elapsed, When: w.When}
+	}
+	return out
+}
+
 // withCacheTag appends the server-side "cache-tag" span — the time spent
 // building/checking the entry's dependency tag and landing it in the
 // cache — to a copy of the execution's span slice, so the cached entry's
@@ -189,5 +323,22 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	telemetry.GaugeOf("tsq_monitor_subscribers").Set(float64(subs))
 	telemetry.GaugeOf("tsq_monitor_replay_events").Set(float64(events))
 	telemetry.GaugeOf("tsq_uptime_seconds").Set(time.Since(s.started).Seconds())
+	// Per-subscriber and worst-recent families are rebuilt from scratch
+	// each scrape: their label sets (monitor/sub IDs, trace request IDs)
+	// churn, and stale series would otherwise accumulate forever.
+	telemetry.Reset("tsq_watch_buffer_depth")
+	telemetry.Reset("tsq_watch_buffer_capacity")
+	for _, si := range s.hub.SubInfos() {
+		mon := strconv.FormatInt(si.Monitor, 10)
+		sub := strconv.FormatInt(si.Sub, 10)
+		telemetry.GaugeOf("tsq_watch_buffer_depth", "monitor", mon, "sub", sub).Set(float64(si.Depth))
+		telemetry.GaugeOf("tsq_watch_buffer_capacity", "monitor", mon, "sub", sub).Set(float64(si.Cap))
+	}
+	telemetry.Reset("tsq_query_worst_recent_seconds")
+	for _, wt := range s.WorstTraces() {
+		telemetry.GaugeOf("tsq_query_worst_recent_seconds",
+			"kind", wt.Kind, "strategy", wt.Strategy, "request_id", wt.RequestID).
+			Set(wt.Elapsed.Seconds())
+	}
 	return telemetry.Default.WritePrometheus(w)
 }

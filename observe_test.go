@@ -150,6 +150,194 @@ func TestSlowQueryLog(t *testing.T) {
 	}
 }
 
+// TestSlowLogRingSemantics pins down the ring behavior behind the slow
+// log: entries stay oldest-first, the capacity holds (32, newest win)
+// under both sequential and concurrent writers, and every retained entry
+// carries a correlation request ID even when the caller supplied none.
+func TestSlowLogRingSemantics(t *testing.T) {
+	const length = 64
+	walks := tsq.RandomWalks(8, length, 11)
+	db := tsq.MustOpen(tsq.Options{Length: length})
+	if err := db.InsertAll(walks); err != nil {
+		t.Fatal(err)
+	}
+	s := tsq.NewServer(db, tsq.ServerOptions{SlowThreshold: time.Nanosecond, CacheSize: -1})
+
+	const total = 50
+	for i := 0; i < total; i++ {
+		stmt := fmt.Sprintf("RANGE SERIES 'W%04d' EPS %d.5 TRANSFORM identity()", i%8, i)
+		if _, err := s.Query(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slow := s.SlowQueries()
+	if len(slow) != 32 {
+		t.Fatalf("ring holds %d entries after %d slow queries, want 32", len(slow), total)
+	}
+	// Oldest first, newest retained: the first 18 queries were evicted.
+	if !strings.Contains(slow[0].Query, "EPS 18.5") {
+		t.Fatalf("oldest retained entry is %q, want the 19th query", slow[0].Query)
+	}
+	if !strings.Contains(slow[len(slow)-1].Query, "EPS 49.5") {
+		t.Fatalf("newest entry is %q, want the last query", slow[len(slow)-1].Query)
+	}
+	ids := map[string]bool{}
+	for i, e := range slow {
+		if e.RequestID == "" {
+			t.Fatalf("entry %d (%q) has no request ID", i, e.Query)
+		}
+		if ids[e.RequestID] {
+			t.Fatalf("request ID %q retained twice", e.RequestID)
+		}
+		ids[e.RequestID] = true
+		if i > 0 && e.When.Before(slow[i-1].When) {
+			t.Fatalf("entries out of order: %v before %v", e.When, slow[i-1].When)
+		}
+	}
+
+	// Concurrent writers never grow the ring past its capacity, and every
+	// retained entry stays complete. Run with -race.
+	s2 := tsq.NewServer(db, tsq.ServerOptions{SlowThreshold: time.Nanosecond, CacheSize: -1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				stmt := fmt.Sprintf("NN SERIES 'W%04d' K %d TRANSFORM identity()", g, i+1)
+				if _, err := s2.Query(stmt); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	slow = s2.SlowQueries()
+	if len(slow) != 32 {
+		t.Fatalf("ring holds %d entries after concurrent writers, want 32", len(slow))
+	}
+	for i, e := range slow {
+		if e.Query == "" || e.Elapsed <= 0 || e.When.IsZero() || e.RequestID == "" {
+			t.Fatalf("incomplete entry %d after concurrent writes: %+v", i, e)
+		}
+	}
+}
+
+// TestTraceRetention exercises the flight recorder at the library layer:
+// executions are retained with their span trees without TRACE being
+// requested, fetchable by the caller's WithRequest ID (or a minted one),
+// cache hits and errors are classified, filters narrow, the worst-recent
+// index resolves, and TraceRetain: -1 disables the whole surface.
+func TestTraceRetention(t *testing.T) {
+	const length = 64
+	walks := tsq.RandomWalks(40, length, 7)
+	db := tsq.MustOpen(tsq.Options{Length: length, Shards: 2})
+	if err := db.InsertAll(walks); err != nil {
+		t.Fatal(err)
+	}
+	s := tsq.NewServer(db, tsq.ServerOptions{})
+
+	_, st, err := s.RangeByName("W0001", 2, tsq.MovingAverage(10), tsq.WithRequest("req-ok-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RequestID != "req-ok-1" {
+		t.Fatalf("Stats.RequestID = %q, want the WithRequest ID", st.RequestID)
+	}
+	tr, ok := s.TraceByID("req-ok-1")
+	if !ok {
+		t.Fatal("execution not retained under its request ID")
+	}
+	if tr.Kind != "range" || tr.Outcome != "ok" || tr.Strategy == "" {
+		t.Fatalf("trace classification: %+v", tr)
+	}
+	if len(tr.Spans) == 0 {
+		t.Fatal("retained trace has no spans (TRACE was never requested)")
+	}
+	if tr.Elapsed <= 0 || tr.When.IsZero() || tr.Query == "" {
+		t.Fatalf("incomplete trace: %+v", tr)
+	}
+
+	// A cache hit is retained under its own ID with the cached outcome.
+	_, st2, err := s.RangeByName("W0001", 2, tsq.MovingAverage(10), tsq.WithRequest("req-hit-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached || st2.RequestID != "req-hit-1" {
+		t.Fatalf("cache hit stats: %+v", st2)
+	}
+	if hit, ok := s.TraceByID("req-hit-1"); !ok || hit.Outcome != "cached" {
+		t.Fatalf("cache hit trace: %+v (ok=%v)", hit, ok)
+	}
+
+	// Without WithRequest the server mints an ID and still retains.
+	_, st3, err := s.NNByName("W0002", 3, tsq.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.RequestID == "" {
+		t.Fatal("no request ID minted")
+	}
+	if minted, ok := s.TraceByID(st3.RequestID); !ok || minted.Kind != "nn" {
+		t.Fatalf("minted-ID trace: %+v (ok=%v)", minted, ok)
+	}
+
+	// Errors are always retained.
+	if _, err := s.Query("RANGE SERIES 'NOPE' EPS 2 TRANSFORM identity()", tsq.WithRequest("req-err-1")); err == nil {
+		t.Fatal("query over a missing series succeeded")
+	}
+	bad, ok := s.TraceByID("req-err-1")
+	if !ok || bad.Outcome != "error" || bad.Err == "" {
+		t.Fatalf("error trace: %+v (ok=%v)", bad, ok)
+	}
+	errTraces := s.Traces(tsq.TraceFilter{Outcome: "error"})
+	found := false
+	for _, e := range errTraces {
+		if e.RequestID == "req-err-1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("error execution missing from outcome=error filter (%d entries)", len(errTraces))
+	}
+
+	// Filters narrow; the worst-recent index resolves to full traces.
+	for _, e := range s.Traces(tsq.TraceFilter{Kind: "range"}) {
+		if e.Kind != "range" {
+			t.Fatalf("kind filter leaked a %q trace", e.Kind)
+		}
+	}
+	ws := s.WorstTraces()
+	if len(ws) == 0 {
+		t.Fatal("worst-recent index is empty")
+	}
+	for _, w := range ws {
+		if _, ok := s.TraceByID(w.RequestID); !ok {
+			t.Fatalf("worst entry %s/%s names unresolvable request %s", w.Kind, w.Strategy, w.RequestID)
+		}
+	}
+
+	// TraceRetain: -1 disables retention without touching the query path.
+	off := tsq.NewServer(db, tsq.ServerOptions{TraceRetain: -1})
+	_, st4, err := off.RangeByName("W0003", 2, tsq.Identity(), tsq.WithRequest("req-off-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st4.RequestID != "req-off-1" {
+		t.Fatalf("disabled recorder broke ID threading: %+v", st4)
+	}
+	if _, ok := off.TraceByID("req-off-1"); ok {
+		t.Fatal("disabled recorder retained a trace")
+	}
+	if got := off.Traces(tsq.TraceFilter{}); got != nil {
+		t.Fatalf("disabled recorder returned %d traces", len(got))
+	}
+	if got := off.WorstTraces(); got != nil {
+		t.Fatalf("disabled recorder returned %d worst entries", len(got))
+	}
+}
+
 // TestTraceStatement checks the TRACE language prefix end to end at the
 // library layer: the span tree comes back, totals include planning, and
 // TRACE bypasses the result cache the way EXPLAIN does.

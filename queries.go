@@ -43,6 +43,11 @@ type Stats struct {
 	// Spans is the execution's trace tree (plan → fan-out → merge with
 	// per-shard timings), recorded by planned executions.
 	Spans []SpanInfo
+	// RequestID is the query's correlation ID, stamped by the Server
+	// layer: the same ID appears in slow-log entries, retained traces
+	// (GET /traces), and log lines, so any one signal resolves to the
+	// others. Empty on direct DB-level executions.
+	RequestID string
 }
 
 // SpanInfo is one timed step of a query execution's trace tree.
@@ -113,11 +118,27 @@ type queryOpts struct {
 	strategy Strategy
 	moments  feature.MomentBounds
 	both     bool
+	// reqID is the caller-supplied correlation ID (see WithRequest). It
+	// is deliberately excluded from cache keys: two identical queries
+	// with different request IDs are the same query.
+	reqID string
 }
 
 // With selects the execution strategy.
 func With(s Strategy) QueryOpt {
 	return func(o *queryOpts) { o.strategy = s }
+}
+
+// WithRequest attaches a correlation ID to a Server query: the ID is
+// stamped into the returned Stats, the slow-query log, the retained
+// flight-recorder trace, and (at the HTTP layer) log lines and error
+// responses. The server boundary adopts a client's X-TSQ-Request-ID
+// header through this option; embedded callers may pass their own.
+// Queries without one get a freshly minted ID. The ID never enters
+// cache keys, so it does not fragment the result cache. Ignored by
+// DB-level queries, which have no observability session.
+func WithRequest(id string) QueryOpt {
+	return func(o *queryOpts) { o.reqID = id }
 }
 
 // TransformBoth applies the transformation to the query as well as the

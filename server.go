@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/feature"
+	"repro/internal/flight"
 	"repro/internal/lru"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
@@ -93,6 +94,12 @@ type Server struct {
 	slow          []SlowQuery
 	slowThreshold time.Duration
 
+	// flight is the tail-sampled trace store: per-{kind,strategy}
+	// slowest-N and most-recent-N executions plus every error, each with
+	// its full span tree, keyed by request ID (see Traces/TraceByID).
+	// Nil disables retention.
+	flight *flight.Recorder[[]SpanInfo]
+
 	queries      atomic.Int64
 	writes       atomic.Int64
 	appends      atomic.Int64
@@ -115,6 +122,11 @@ type ServerOptions struct {
 	// retained in the slow-query log (Server.SlowQueries, /stats?slow=1).
 	// 0 selects the default (25ms); negative disables the log.
 	SlowThreshold time.Duration
+	// TraceRetain is the flight recorder's per-{kind,strategy} retention
+	// depth for both the most-recent and the slowest execution traces
+	// (errors are retained separately and always). 0 selects the default
+	// (8); negative disables trace retention entirely.
+	TraceRetain int
 }
 
 // DefaultCacheSize is the result-cache capacity used when
@@ -156,6 +168,12 @@ func NewServer(db *DB, opts ServerOptions) *Server {
 		hub:           stream.NewHub(retain),
 		slowThreshold: slow,
 		started:       time.Now(),
+	}
+	if opts.TraceRetain >= 0 {
+		s.flight = flight.NewRecorder[[]SpanInfo](flight.Options{
+			RecentN:  opts.TraceRetain,
+			SlowestN: opts.TraceRetain,
+		})
 	}
 	s.seriesCount.Store(int64(db.Len()))
 	return s
@@ -608,19 +626,30 @@ type cachedResult struct {
 // the check cannot go stale between passing and the Add landing; an
 // eviction cannot be undone by a slow reader whose overlapped writes did
 // affect it.
-func (s *Server) readQuery(key string, compute func() (cachedResult, error)) (cachedResult, Stats, error) {
+// Every served query also carries a correlation ID (reqID, minted here
+// when the caller supplied none via WithRequest): it is stamped on the
+// returned Stats, on any slow-log entry, and on the flight-recorder
+// trace, so one ID resolves to the same execution across /stats?slow=1,
+// /traces, and the server's log lines.
+func (s *Server) readQuery(key, reqID string, compute func() (cachedResult, error)) (cachedResult, Stats, error) {
 	s.queries.Add(1)
 	start := time.Now()
 	kind := queryKindFromKey(key)
+	if reqID == "" {
+		reqID = flight.NewID()
+	}
 	if s.sharded {
 		if v, ok := s.cache.Get(key); ok {
 			r := v.(cachedResult)
 			st := r.stats
 			st.Cached = true
+			st.RequestID = reqID
 			if telemetry.Enabled() {
 				mCacheHits.Inc()
 			}
-			observeQuery(kind, st.Strategy, "cached", time.Since(start))
+			elapsed := time.Since(start)
+			observeQuery(kind, st.Strategy, "cached", elapsed)
+			s.flightRecord(reqID, kind, st.Strategy, flight.OutcomeCached, key, "", elapsed, st.Spans)
 			return r, st, nil
 		}
 		if telemetry.Enabled() {
@@ -629,7 +658,9 @@ func (s *Server) readQuery(key string, compute func() (cachedResult, error)) (ca
 		v0 := s.version.Load()
 		r, err := compute()
 		if err != nil {
-			observeQuery(kind, "", "error", time.Since(start))
+			elapsed := time.Since(start)
+			observeQuery(kind, "", "error", elapsed)
+			s.flightRecord(reqID, kind, "", flight.OutcomeError, key, err.Error(), elapsed, nil)
 			return cachedResult{}, Stats{}, err
 		}
 		if s.testHookAfterCompute != nil {
@@ -642,10 +673,12 @@ func (s *Server) readQuery(key string, compute func() (cachedResult, error)) (ca
 		}
 		s.cacheGuard.Unlock()
 		st := withCacheTag(r.stats, time.Since(tagStart))
+		st.RequestID = reqID
 		s.record(r.stats)
 		elapsed := time.Since(start)
 		observeQuery(kind, st.Strategy, "ok", elapsed)
-		s.slowRecord(key, elapsed, st.Spans)
+		s.slowRecord(key, elapsed, st.Spans, reqID)
+		s.flightRecord(reqID, kind, st.Strategy, flight.OutcomeOK, key, "", elapsed, st.Spans)
 		return r, st, nil
 	}
 	s.mu.RLock()
@@ -654,10 +687,13 @@ func (s *Server) readQuery(key string, compute func() (cachedResult, error)) (ca
 		r := v.(cachedResult)
 		st := r.stats
 		st.Cached = true
+		st.RequestID = reqID
 		if telemetry.Enabled() {
 			mCacheHits.Inc()
 		}
-		observeQuery(kind, st.Strategy, "cached", time.Since(start))
+		elapsed := time.Since(start)
+		observeQuery(kind, st.Strategy, "cached", elapsed)
+		s.flightRecord(reqID, kind, st.Strategy, flight.OutcomeCached, key, "", elapsed, st.Spans)
 		return r, st, nil
 	}
 	if telemetry.Enabled() {
@@ -665,16 +701,20 @@ func (s *Server) readQuery(key string, compute func() (cachedResult, error)) (ca
 	}
 	r, err := compute()
 	if err != nil {
-		observeQuery(kind, "", "error", time.Since(start))
+		elapsed := time.Since(start)
+		observeQuery(kind, "", "error", elapsed)
+		s.flightRecord(reqID, kind, "", flight.OutcomeError, key, err.Error(), elapsed, nil)
 		return cachedResult{}, Stats{}, err
 	}
 	tagStart := time.Now()
 	s.cache.Add(key, r)
 	st := withCacheTag(r.stats, time.Since(tagStart))
+	st.RequestID = reqID
 	s.record(r.stats)
 	elapsed := time.Since(start)
 	observeQuery(kind, st.Strategy, "ok", elapsed)
-	s.slowRecord(key, elapsed, st.Spans)
+	s.slowRecord(key, elapsed, st.Spans, reqID)
+	s.flightRecord(reqID, kind, st.Strategy, flight.OutcomeOK, key, "", elapsed, st.Spans)
 	return r, st, nil
 }
 
@@ -748,10 +788,20 @@ func optsKey(opts []QueryOpt) string {
 	return fmt.Sprintf("s%d.b%t.m%s", int(qo.strategy), qo.both, momentsKey(qo.moments))
 }
 
+// reqIDOf extracts the WithRequest correlation ID from opts ("" when the
+// caller supplied none — readQuery then mints one).
+func reqIDOf(opts []QueryOpt) string {
+	var qo queryOpts
+	for _, o := range opts {
+		o(&qo)
+	}
+	return qo.reqID
+}
+
 // Range runs DB.Range under the shared lock, with result caching.
 func (s *Server) Range(q []float64, eps float64, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
 	key := fmt.Sprintf("range|v=%s|eps=%g|t=%s|%s", valuesKey(q), eps, t.Canonical(), optsKey(opts))
-	return s.matchQuery(key, func() ([]Match, Stats, error) {
+	return s.matchQuery(key, reqIDOf(opts), func() ([]Match, Stats, error) {
 		return s.db.Range(q, eps, t, opts...)
 	}, s.rangeAffected("", q, eps, t, opts))
 }
@@ -760,7 +810,7 @@ func (s *Server) Range(q []float64, eps float64, t Transform, opts ...QueryOpt) 
 // caching.
 func (s *Server) RangeByName(name string, eps float64, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
 	key := fmt.Sprintf("range|n=%q|eps=%g|t=%s|%s", name, eps, t.Canonical(), optsKey(opts))
-	return s.matchQuery(key, func() ([]Match, Stats, error) {
+	return s.matchQuery(key, reqIDOf(opts), func() ([]Match, Stats, error) {
 		return s.db.RangeByName(name, eps, t, opts...)
 	}, s.rangeAffected(name, nil, eps, t, opts))
 }
@@ -768,7 +818,7 @@ func (s *Server) RangeByName(name string, eps float64, t Transform, opts ...Quer
 // NN runs DB.NN under the shared lock, with result caching.
 func (s *Server) NN(q []float64, k int, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
 	key := fmt.Sprintf("nn|v=%s|k=%d|t=%s|%s", valuesKey(q), k, t.Canonical(), optsKey(opts))
-	return s.matchQuery(key, func() ([]Match, Stats, error) {
+	return s.matchQuery(key, reqIDOf(opts), func() ([]Match, Stats, error) {
 		return s.db.NN(q, k, t, opts...)
 	}, s.nnAffected("", q, k, t, opts))
 }
@@ -776,7 +826,7 @@ func (s *Server) NN(q []float64, k int, t Transform, opts ...QueryOpt) ([]Match,
 // NNByName runs DB.NNByName under the shared lock, with result caching.
 func (s *Server) NNByName(name string, k int, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
 	key := fmt.Sprintf("nn|n=%q|k=%d|t=%s|%s", name, k, t.Canonical(), optsKey(opts))
-	return s.matchQuery(key, func() ([]Match, Stats, error) {
+	return s.matchQuery(key, reqIDOf(opts), func() ([]Match, Stats, error) {
 		return s.db.NNByName(name, k, t, opts...)
 	}, s.nnAffected(name, nil, k, t, opts))
 }
@@ -786,8 +836,8 @@ func (s *Server) NNByName(name string, k int, t Transform, opts ...QueryOpt) ([]
 // dependency tags from the computed matches (inside the compute critical
 // section, so the predicate observes the same store state the answer
 // did).
-func (s *Server) matchQuery(key string, run func() ([]Match, Stats, error), affectedFor func([]Match) (func(writeEvent) bool, []int)) ([]Match, Stats, error) {
-	r, st, err := s.readQuery(key, func() (cachedResult, error) {
+func (s *Server) matchQuery(key, reqID string, run func() ([]Match, Stats, error), affectedFor func([]Match) (func(writeEvent) bool, []int)) ([]Match, Stats, error) {
+	r, st, err := s.readQuery(key, reqID, func() (cachedResult, error) {
 		m, qst, err := run()
 		if err != nil {
 			return cachedResult{}, err
@@ -808,9 +858,12 @@ func (s *Server) matchQuery(key string, run func() ([]Match, Stats, error), affe
 // Cached join entries are dependency-tagged with the join's transformed
 // store extent: single-series writes provably out of eps reach of every
 // stored series retain them (see joinAffected).
-func (s *Server) SelfJoin(eps float64, t Transform, method JoinMethod) ([]Pair, Stats, error) {
+// Join and subsequence methods accept QueryOpts for the cross-cutting
+// options only (WithRequest); strategy/moment options are meaningless
+// here and ignored.
+func (s *Server) SelfJoin(eps float64, t Transform, method JoinMethod, opts ...QueryOpt) ([]Pair, Stats, error) {
 	if method == JoinAuto {
-		return s.SelfJoinPlanned(eps, t, UseAuto)
+		return s.SelfJoinPlanned(eps, t, UseAuto, opts...)
 	}
 	// Method c ignores the transformation, so its dependency geometry is
 	// the identity join's.
@@ -819,31 +872,31 @@ func (s *Server) SelfJoin(eps float64, t Transform, method JoinMethod) ([]Pair, 
 		pt = Identity()
 	}
 	key := fmt.Sprintf("selfjoin|eps=%g|t=%s|m=%d", eps, t.Canonical(), int(method))
-	return s.pairsQuery(key, func() ([]Pair, Stats, error) {
+	return s.pairsQuery(key, reqIDOf(opts), func() ([]Pair, Stats, error) {
 		return s.db.SelfJoin(eps, t, method)
 	}, s.joinAffected(eps, pt, pt, false))
 }
 
 // SelfJoinPlanned runs DB.SelfJoinPlanned (cost-based join method
 // selection under UseAuto) with result caching.
-func (s *Server) SelfJoinPlanned(eps float64, t Transform, strategy Strategy) ([]Pair, Stats, error) {
+func (s *Server) SelfJoinPlanned(eps float64, t Transform, strategy Strategy, opts ...QueryOpt) ([]Pair, Stats, error) {
 	key := fmt.Sprintf("selfjoin|eps=%g|t=%s|u=%d", eps, t.Canonical(), int(strategy))
-	return s.pairsQuery(key, func() ([]Pair, Stats, error) {
+	return s.pairsQuery(key, reqIDOf(opts), func() ([]Pair, Stats, error) {
 		return s.db.SelfJoinPlanned(eps, t, strategy)
 	}, s.joinAffected(eps, t, t, false))
 }
 
 // JoinTwoSided runs DB.JoinTwoSided under the shared lock, with result
 // caching.
-func (s *Server) JoinTwoSided(eps float64, left, right Transform) ([]Pair, Stats, error) {
-	return s.JoinTwoSidedPlanned(eps, left, right, UseAuto)
+func (s *Server) JoinTwoSided(eps float64, left, right Transform, opts ...QueryOpt) ([]Pair, Stats, error) {
+	return s.JoinTwoSidedPlanned(eps, left, right, UseAuto, opts...)
 }
 
 // JoinTwoSidedPlanned is JoinTwoSided with an explicit strategy request,
 // with result caching.
-func (s *Server) JoinTwoSidedPlanned(eps float64, left, right Transform, strategy Strategy) ([]Pair, Stats, error) {
+func (s *Server) JoinTwoSidedPlanned(eps float64, left, right Transform, strategy Strategy, opts ...QueryOpt) ([]Pair, Stats, error) {
 	key := fmt.Sprintf("join2|eps=%g|l=%s|r=%s|u=%d", eps, left.Canonical(), right.Canonical(), int(strategy))
-	return s.pairsQuery(key, func() ([]Pair, Stats, error) {
+	return s.pairsQuery(key, reqIDOf(opts), func() ([]Pair, Stats, error) {
 		return s.db.JoinTwoSidedPlanned(eps, left, right, strategy)
 	}, s.joinAffected(eps, left, right, true))
 }
@@ -851,8 +904,8 @@ func (s *Server) JoinTwoSidedPlanned(eps float64, left, right Transform, strateg
 // pairsQuery serves a join-shaped query through the cache. affectedFor,
 // when non-nil, builds the entry's write-invalidation predicate and shard
 // tags from the computed pairs.
-func (s *Server) pairsQuery(key string, run func() ([]Pair, Stats, error), affectedFor func([]Pair) (func(writeEvent) bool, []int)) ([]Pair, Stats, error) {
-	r, st, err := s.readQuery(key, func() (cachedResult, error) {
+func (s *Server) pairsQuery(key, reqID string, run func() ([]Pair, Stats, error), affectedFor func([]Pair) (func(writeEvent) bool, []int)) ([]Pair, Stats, error) {
+	r, st, err := s.readQuery(key, reqID, func() (cachedResult, error) {
 		p, qst, err := run()
 		if err != nil {
 			return cachedResult{}, err
@@ -871,9 +924,9 @@ func (s *Server) pairsQuery(key string, run func() ([]Pair, Stats, error), affec
 
 // Subsequence runs DB.Subsequence under the shared lock, with result
 // caching.
-func (s *Server) Subsequence(q []float64, eps float64) ([]SubseqMatch, Stats, error) {
+func (s *Server) Subsequence(q []float64, eps float64, opts ...QueryOpt) ([]SubseqMatch, Stats, error) {
 	key := fmt.Sprintf("subseq|v=%s|eps=%g", valuesKey(q), eps)
-	r, st, err := s.readQuery(key, func() (cachedResult, error) {
+	r, st, err := s.readQuery(key, reqIDOf(opts), func() (cachedResult, error) {
 		m, qst, err := s.db.Subsequence(q, eps)
 		if err != nil {
 			return cachedResult{}, err
@@ -894,25 +947,34 @@ func (s *Server) Subsequence(q []float64, eps float64) ([]SubseqMatch, Stats, er
 // TRACE statements bypass the cache: their value is the live plan (and
 // the estimated-vs-actual comparison) or the live span timings, which a
 // cached answer would fossilize.
-func (s *Server) Query(src string) (*Output, error) {
+func (s *Server) Query(src string, opts ...QueryOpt) (*Output, error) {
 	if isUncachedStatement(src) {
 		s.queries.Add(1)
+		reqID := reqIDOf(opts)
+		if reqID == "" {
+			reqID = flight.NewID()
+		}
 		start := time.Now()
 		s.rlock()
 		out, err := s.db.Query(src)
 		s.runlock()
 		elapsed := time.Since(start)
+		stmt := strings.TrimSpace(src)
 		if err != nil {
 			observeQuery("statement", "", "error", elapsed)
+			s.flightRecord(reqID, "statement", "", flight.OutcomeError, stmt, err.Error(), elapsed, nil)
 			return nil, err
 		}
 		s.record(out.Stats)
-		observeQuery(strings.ToLower(out.Kind), out.Stats.Strategy, "ok", elapsed)
-		s.slowRecord(strings.TrimSpace(src), elapsed, out.Stats.Spans)
+		out.Stats.RequestID = reqID
+		kind := strings.ToLower(out.Kind)
+		observeQuery(kind, out.Stats.Strategy, "ok", elapsed)
+		s.slowRecord(stmt, elapsed, out.Stats.Spans, reqID)
+		s.flightRecord(reqID, kind, out.Stats.Strategy, flight.OutcomeOK, stmt, "", elapsed, out.Stats.Spans)
 		return out, nil
 	}
 	key := "q|" + strings.TrimSpace(src)
-	r, st, err := s.readQuery(key, func() (cachedResult, error) {
+	r, st, err := s.readQuery(key, reqIDOf(opts), func() (cachedResult, error) {
 		out, err := s.db.Query(src)
 		if err != nil {
 			return cachedResult{}, err
