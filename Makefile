@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt serve clean bench-smoke bench-throughput bench-append bench-plan bench-join bench-metrics-overhead bench-perf bench-perf-baseline alloc-gate
+.PHONY: build test vet fmt serve clean bench-smoke bench-throughput bench-append bench-plan bench-join bench-metrics-overhead bench-perf bench-perf-baseline bench-approx alloc-gate
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,12 @@ bench-perf:
 # result; bench-perf compares against it).
 bench-perf-baseline:
 	TSQ_BENCH_BASELINE=$(CURDIR)/bench/BENCH6_BASELINE.json $(GO) test -run TestPerfBaseline -timeout 20m -v ./internal/core
+
+# Measure the approximate tier's latency-vs-recall curves — APPROX
+# delta 0, 0.05, 0.1, 0.25 against the exact path on a long-series
+# workload — and write the report to BENCH_7.json.
+bench-approx:
+	TSQ_BENCH_OUT=$(CURDIR)/BENCH_7.json $(GO) test -run TestApproxReport -timeout 20m -v .
 
 # Allocation-regression gate: warm planned range/NN executions through the
 # Into entry points must allocate nothing (fails CI otherwise).

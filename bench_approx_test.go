@@ -1,0 +1,339 @@
+// Approximate-tier benchmarks: latency-vs-recall curves for APPROX
+// delta against the exact path, on a verification-heavy workload (long
+// series, so the per-candidate coefficient sums dominate and the ladder
+// rungs have room to pay off).
+//
+// Two entry points share the workload:
+//
+//   - BenchmarkApproxNN — standard go-bench surface, exercised once per
+//     CI run (-benchtime=1x) so it cannot rot;
+//   - TestApproxReport — gated by TSQ_BENCH_OUT; measures per-query
+//     latency percentiles, recall, and speedup per delta and writes the
+//     JSON report `make bench-approx` publishes as BENCH_7.json.
+package tsq_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	tsq "repro"
+)
+
+const (
+	approxBenchClusters  = 40
+	approxBenchMembers   = 40
+	approxBenchLength    = 8192
+	approxBenchHarmonics = 16
+	approxBenchK         = 20
+	approxBenchSeed      = 1997
+)
+
+var approxBenchDeltas = []float64{0, 0.05, 0.1, 0.25}
+
+// approxBenchBandLimited synthesizes one band-limited series: a sum of
+// the first `harmonics` Fourier modes with random normal amplitudes and
+// uniform phases. Such a signal's normal-form spectrum concentrates all
+// of its energy in the first 2*harmonics+1 energy-ordered coefficients,
+// which is the workload the verification ladder is designed for — the
+// residual-energy tail bound collapses to ~0 at the first rung past the
+// band edge, so the approximate path can certify answers after reading
+// a small fixed prefix of the spectrum.
+func approxBenchBandLimited(r *rand.Rand, n, harmonics int) []float64 {
+	vals := make([]float64, n)
+	for h := 1; h <= harmonics; h++ {
+		a := r.NormFloat64()
+		phi := 2 * math.Pi * r.Float64()
+		w := 2 * math.Pi * float64(h) / float64(n)
+		for i := range vals {
+			vals[i] += a * math.Sin(w*float64(i)+phi)
+		}
+	}
+	return vals
+}
+
+// approxBenchDB builds the clustered store the curves are measured on:
+// each cluster is one band-limited base plus members at geometrically
+// graded band-limited noise amplitudes. Queries against a cluster base
+// then verify mostly true answers — the regime the ladder exists for:
+// the exact path must sum all n coefficient terms per answer (the
+// partial sum never crosses the threshold), while the approximate path
+// certifies each at an early rung. The 1.15 amplitude ratio keeps
+// consecutive ranks ~15% apart — wider than the delta=0.1 slack (so
+// recall stays high at the gate's operating point) and narrower than
+// delta=0.25 (so the largest slack visibly trades recall away) — and
+// the 0.01 floor keeps the k-th distance well inside the cluster, far
+// below inter-cluster separation, so the feature index prunes other
+// clusters on both paths.
+func approxBenchDB(tb testing.TB) *tsq.DB {
+	tb.Helper()
+	db, err := tsq.Open(tsq.Options{Length: approxBenchLength})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(approxBenchSeed))
+	batch := make([]tsq.NamedSeries, 0, approxBenchClusters*approxBenchMembers)
+	for c := 0; c < approxBenchClusters; c++ {
+		base := approxBenchBandLimited(r, approxBenchLength, approxBenchHarmonics)
+		for m := 0; m < approxBenchMembers; m++ {
+			amp := 0.01 * math.Pow(1.15, float64(m))
+			nz := approxBenchBandLimited(r, approxBenchLength, approxBenchHarmonics)
+			vals := make([]float64, approxBenchLength)
+			for i := range vals {
+				vals[i] = base[i] + amp*nz[i]
+			}
+			batch = append(batch, tsq.NamedSeries{Name: fmt.Sprintf("C%02dM%02d", c, m), Values: vals})
+		}
+	}
+	if err := db.InsertBulk(batch); err != nil {
+		tb.Fatal(err)
+	}
+	return db
+}
+
+// approxBenchProbe cycles over the cluster bases.
+func approxBenchProbe(i int) string {
+	return fmt.Sprintf("C%02dM00", i%approxBenchClusters)
+}
+
+func approxBenchOpts(delta float64) []tsq.QueryOpt {
+	if delta == 0 {
+		return nil
+	}
+	return []tsq.QueryOpt{tsq.WithApprox(delta)}
+}
+
+func BenchmarkApproxNN(b *testing.B) {
+	db := approxBenchDB(b)
+	for _, delta := range approxBenchDeltas {
+		opts := approxBenchOpts(delta)
+		b.Run(fmt.Sprintf("delta-%g", delta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				name := approxBenchProbe(i)
+				if _, _, err := db.NNByName(name, approxBenchK, tsq.Identity(), opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// approxPoint is one row of a BENCH_7.json curve: the latency and
+// answer quality of one delta on the shared query set.
+type approxPoint struct {
+	Delta    float64 `json:"delta"`
+	Queries  int     `json:"queries"`
+	MedianUS float64 `json:"median_us"`
+	P95US    float64 `json:"p95_us"`
+	// Recall is the mean fraction of the exact answer set present in
+	// the approximate answer (1.0 for delta 0 by construction; range
+	// answers are a guaranteed superset, so range recall measures the
+	// guarantee rather than trusting it).
+	Recall float64 `json:"recall"`
+	// Precision is the mean fraction of reported answers that are exact
+	// answers (NN: set overlap; range: 1 - extras admitted by the
+	// relaxed threshold).
+	Precision float64 `json:"precision"`
+	// Speedup is exact-median / this-median.
+	Speedup float64 `json:"speedup"`
+}
+
+func medianOf(durs []float64, q float64) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), durs...)
+	sort.Float64s(sorted)
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func overlap(got, want []tsq.Match) int {
+	names := make(map[string]bool, len(want))
+	for _, m := range want {
+		names[m.Name] = true
+	}
+	n := 0
+	for _, m := range got {
+		if names[m.Name] {
+			n++
+		}
+	}
+	return n
+}
+
+// measureApproxNN runs the shared NN query set at one delta: three
+// trials (keeping the lowest-median one) of per-query wall times, plus
+// recall/precision against the exact answers.
+func measureApproxNN(tb testing.TB, db *tsq.DB, delta float64, queries int, exact [][]tsq.Match) approxPoint {
+	opts := approxBenchOpts(delta)
+	point := approxPoint{Delta: delta, Queries: queries}
+	for trial := 0; trial < 3; trial++ {
+		durs := make([]float64, queries)
+		for i := 0; i < queries; i++ {
+			name := approxBenchProbe(i)
+			start := time.Now()
+			matches, _, err := db.NNByName(name, approxBenchK, tsq.Identity(), opts...)
+			durs[i] = float64(time.Since(start).Microseconds())
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if trial == 0 {
+				hit := overlap(matches, exact[i])
+				point.Recall += float64(hit) / float64(len(exact[i]))
+				point.Precision += float64(hit) / float64(len(matches))
+			}
+		}
+		if med := medianOf(durs, 0.50); point.MedianUS == 0 || med < point.MedianUS {
+			point.MedianUS = med
+			point.P95US = medianOf(durs, 0.95)
+		}
+	}
+	point.Recall /= float64(queries)
+	point.Precision /= float64(queries)
+	return point
+}
+
+// measureApproxRange is the range-query analogue over the same stores
+// and probes, at a threshold that selects a moderate answer set.
+func measureApproxRange(tb testing.TB, db *tsq.DB, delta, eps float64, queries int, exact [][]tsq.Match) approxPoint {
+	opts := approxBenchOpts(delta)
+	point := approxPoint{Delta: delta, Queries: queries}
+	for trial := 0; trial < 3; trial++ {
+		durs := make([]float64, queries)
+		for i := 0; i < queries; i++ {
+			name := approxBenchProbe(i)
+			start := time.Now()
+			matches, _, err := db.RangeByName(name, eps, tsq.Identity(), opts...)
+			durs[i] = float64(time.Since(start).Microseconds())
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if trial == 0 {
+				hit := overlap(matches, exact[i])
+				point.Recall += float64(hit) / float64(len(exact[i]))
+				point.Precision += float64(hit) / float64(len(matches))
+			}
+		}
+		if med := medianOf(durs, 0.50); point.MedianUS == 0 || med < point.MedianUS {
+			point.MedianUS = med
+			point.P95US = medianOf(durs, 0.95)
+		}
+	}
+	point.Recall /= float64(queries)
+	point.Precision /= float64(queries)
+	return point
+}
+
+// TestApproxReport writes the latency-vs-recall report to the path in
+// TSQ_BENCH_OUT (skipped when unset — this is a measurement, not a
+// correctness test; `make bench-approx` drives it).
+func TestApproxReport(t *testing.T) {
+	out := os.Getenv("TSQ_BENCH_OUT")
+	if out == "" {
+		t.Skip("TSQ_BENCH_OUT not set; run via `make bench-approx`")
+	}
+	db := approxBenchDB(t)
+	const queries = 120
+
+	// Exact answers once per probe; the delta-0 measurement below is the
+	// latency baseline, this pass is the quality reference.
+	exactNN := make([][]tsq.Match, queries)
+	for i := range exactNN {
+		name := approxBenchProbe(i)
+		m, _, err := db.NNByName(name, approxBenchK, tsq.Identity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactNN[i] = m
+	}
+	// Pick eps so each range query selects most of its cluster: the
+	// 15th NN distance of the first probe (amplitude schedules are
+	// identical across clusters, so one probe calibrates all).
+	wide, _, err := db.NNByName(approxBenchProbe(0), 15, tsq.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := wide[len(wide)-1].Distance
+	exactRange := make([][]tsq.Match, queries)
+	for i := range exactRange {
+		name := approxBenchProbe(i)
+		m, _, err := db.RangeByName(name, eps, tsq.Identity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactRange[i] = m
+	}
+
+	// Warm the planner's rung feedback before measuring.
+	for i := 0; i < 12; i++ {
+		name := approxBenchProbe(i)
+		if _, _, err := db.NNByName(name, approxBenchK, tsq.Identity(), tsq.WithApprox(0.1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := db.RangeByName(name, eps, tsq.Identity(), tsq.WithApprox(0.1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	report := struct {
+		Benchmark string        `json:"benchmark"`
+		Series    int           `json:"series"`
+		Clusters  int           `json:"clusters"`
+		Length    int           `json:"length"`
+		K         int           `json:"k"`
+		Eps       float64       `json:"eps"`
+		Queries   int           `json:"queries"`
+		NN        []approxPoint `json:"nn"`
+		Range     []approxPoint `json:"range"`
+	}{
+		Benchmark: "approximate tier latency vs recall: APPROX delta against the exact path",
+		Series:    approxBenchClusters * approxBenchMembers,
+		Clusters:  approxBenchClusters,
+		Length:    approxBenchLength,
+		K:         approxBenchK,
+		Eps:       eps,
+		Queries:   queries,
+	}
+
+	for _, delta := range approxBenchDeltas {
+		p := measureApproxNN(t, db, delta, queries, exactNN)
+		report.NN = append(report.NN, p)
+	}
+	for _, delta := range approxBenchDeltas {
+		p := measureApproxRange(t, db, delta, eps, queries, exactRange)
+		report.Range = append(report.Range, p)
+	}
+	baseNN, baseRange := report.NN[0].MedianUS, report.Range[0].MedianUS
+	for i := range report.NN {
+		report.NN[i].Speedup = baseNN / report.NN[i].MedianUS
+		p := report.NN[i]
+		t.Logf("nn delta=%-5g median %8.1f us  p95 %8.1f us  recall %.3f  precision %.3f  speedup %.2fx",
+			p.Delta, p.MedianUS, p.P95US, p.Recall, p.Precision, p.Speedup)
+	}
+	for i := range report.Range {
+		report.Range[i].Speedup = baseRange / report.Range[i].MedianUS
+		p := report.Range[i]
+		t.Logf("range delta=%-5g median %8.1f us  p95 %8.1f us  recall %.3f  precision %.3f  speedup %.2fx",
+			p.Delta, p.MedianUS, p.P95US, p.Recall, p.Precision, p.Speedup)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

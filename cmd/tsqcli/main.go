@@ -12,9 +12,11 @@
 // request ID, kind, strategy, or outcome — span trees included even
 // when TRACE was never requested), and `top` renders a refreshing
 // console dashboard (per-kind qps and latency percentiles, cache hit
-// rate, planner drift, shard imbalance, streaming health; `top -once`
-// prints one snapshot and exits). A TRACE statement prefix prints the
-// execution's span tree with per-shard timings.
+// rate, planner drift, approximate-tier traffic, shard imbalance,
+// streaming health; `top -once` prints one snapshot and exits). A TRACE
+// statement prefix prints the execution's span tree with per-shard
+// timings. -progressive streams RANGE/NN statements in two stages: the
+// bounded approximate answer first, then the exact refinement.
 //
 // Usage:
 //
@@ -40,13 +42,15 @@
 //	tsqcli -remote http://localhost:8080 top
 //	tsqcli -remote http://localhost:8080 top -once
 //	tsqcli -data walks.csv -query "TRACE RANGE SERIES 'W0007' EPS 2 TRANSFORM mavg(20)"
+//	tsqcli -data walks.csv -query "NN SERIES 'W0007' K 5 APPROX 0.1"
+//	tsqcli -remote http://localhost:8080 -progressive -query "NN SERIES 'W0007' K 5"
 //
 // The query language:
 //
-//	RANGE  SERIES 'name' EPS e [TRANSFORM t] [BOTH] [USING AUTO|INDEX|SCAN|SCANTIME] [MEAN [lo,hi]] [STD [lo,hi]]
+//	RANGE  SERIES 'name' EPS e [TRANSFORM t] [BOTH] [USING AUTO|INDEX|SCAN|SCANTIME] [MEAN [lo,hi]] [STD [lo,hi]] [APPROX d | CONFIDENCE c]
 //	EXPLAIN RANGE ...   (any statement; prints the plan + estimated vs actual cost)
 //	RANGE  VALUES (v1, v2, ...) EPS e ...
-//	NN     SERIES 'name' K k [TRANSFORM t] [USING ...]
+//	NN     SERIES 'name' K k [TRANSFORM t] [USING ...] [APPROX d | CONFIDENCE c]
 //	SELFJOIN EPS e [TRANSFORM t] [METHOD a|b|c|d | USING ...]
 //	JOIN   EPS e [LEFT t] [RIGHT t] [USING ...]
 //
@@ -80,6 +84,7 @@ func main() {
 		k        = flag.Int("k", 2, "DFT coefficients kept in the index (embedded mode)")
 		space    = flag.String("space", "polar", "feature space: polar or rect (embedded mode)")
 		maxRows  = flag.Int("maxrows", 20, "result rows to print")
+		prog     = flag.Bool("progressive", false, "stream RANGE/NN statements in two stages: bounded approximate answer first, then the exact refinement")
 	)
 	flag.Parse()
 
@@ -114,9 +119,9 @@ func main() {
 	}
 	var err error
 	if *remote != "" {
-		err = runRemote(*remote, *dataPath, *queryStr, *maxRows)
+		err = runRemote(*remote, *dataPath, *queryStr, *maxRows, *prog)
 	} else {
-		err = runEmbedded(*dataPath, *queryStr, *k, *space, *maxRows)
+		err = runEmbedded(*dataPath, *queryStr, *k, *space, *maxRows, *prog)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tsqcli:", err)
@@ -205,8 +210,11 @@ func runAppend(remote string, args []string) error {
 }
 
 // runStats prints a tsqd server's cumulative counters; -plans adds the
-// engine's recent executed-plan ring with estimated-vs-actual cost, so
-// planner drift and mispredictions are visible from the command line.
+// engine's recent executed-plan ring with estimated-vs-actual cost plus
+// the per-kind cost-error percentile history (one p50/p95 checkpoint per
+// 16 executed plans), so planner drift and mispredictions — and whether
+// they are getting better or worse over time — are visible from the
+// command line.
 func runStats(remote string, args []string) error {
 	if remote == "" {
 		return fmt.Errorf("stats requires -remote")
@@ -266,6 +274,13 @@ func runStats(remote string, args []string) error {
 				p.Results, p.ElapsedUS/1000, drift)
 		}
 		printCostErrors(st.Plans)
+		if len(st.Drift) > 0 {
+			fmt.Println("cost-error drift over time (p50/p95 per 16-plan window, oldest first):")
+			for _, d := range st.Drift {
+				fmt.Printf("  %-8s thru #%-5d p50 %.2f  p95 %.2f  (n=%d)\n",
+					d.Kind, d.Seq, d.P50, d.P95, d.Samples)
+			}
+		}
 	}
 	if *slow {
 		if len(st.Slow) == 0 {
@@ -412,7 +427,11 @@ func runWatch(remote string, args []string) error {
 // executor runs one query-language statement — embedded or remote.
 type executor func(src string) (*tsq.Output, error)
 
-func runEmbedded(dataPath, queryStr string, k int, space string, maxRows int) error {
+// progressor runs one statement progressively, invoking emit per stage —
+// embedded (DB.QueryProgressive) or remote (Client.QueryProgressive).
+type progressor func(src string, emit func(tsq.ProgressiveStage) error) error
+
+func runEmbedded(dataPath, queryStr string, k int, space string, maxRows int, progressive bool) error {
 	batch, err := tsq.ReadCSVFile(dataPath)
 	if err != nil {
 		return err
@@ -431,10 +450,14 @@ func runEmbedded(dataPath, queryStr string, k int, space string, maxRows int) er
 	}
 	fmt.Printf("loaded %d series of length %d from %s (%s space, K=%d)\n",
 		db.Len(), db.Length(), dataPath, space, k)
-	return loop(db.Query, queryStr, maxRows)
+	run := func(src string) error { return execute(db.Query, src, maxRows) }
+	if progressive {
+		run = func(src string) error { return executeProgressive(db.QueryProgressive, src, maxRows) }
+	}
+	return loop(run, queryStr)
 }
 
-func runRemote(remote, dataPath, queryStr string, maxRows int) error {
+func runRemote(remote, dataPath, queryStr string, maxRows int, progressive bool) error {
 	client := server.NewClient(remote)
 	if dataPath != "" {
 		batch, err := tsq.ReadCSVFile(dataPath)
@@ -454,12 +477,27 @@ func runRemote(remote, dataPath, queryStr string, maxRows int) error {
 	}
 	fmt.Printf("connected to %s: %d series of length %d\n",
 		remote, health.Series, health.Length)
-	return loop(client.QueryOutput, queryStr, maxRows)
+	run := func(src string) error { return execute(client.QueryOutput, src, maxRows) }
+	if progressive {
+		prog := func(src string, emit func(tsq.ProgressiveStage) error) error {
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+			defer stop()
+			return client.QueryProgressive(ctx, src, func(st server.ProgressiveStagePayload) error {
+				return emit(tsq.ProgressiveStage{
+					Phase:  st.Phase,
+					Output: server.OutputFromResponse(&st.Result),
+					Final:  st.Final,
+				})
+			})
+		}
+		run = func(src string) error { return executeProgressive(prog, src, maxRows) }
+	}
+	return loop(run, queryStr)
 }
 
-func loop(exec executor, queryStr string, maxRows int) error {
+func loop(run func(src string) error, queryStr string) error {
 	if queryStr != "" {
-		return execute(exec, queryStr, maxRows)
+		return run(queryStr)
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("tsq> ")
@@ -468,7 +506,7 @@ func loop(exec executor, queryStr string, maxRows int) error {
 		if line == "" || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
 			break
 		}
-		if err := execute(exec, line, maxRows); err != nil {
+		if err := run(line); err != nil {
 			fmt.Println("error:", err)
 		}
 		fmt.Print("tsq> ")
@@ -502,6 +540,14 @@ func printExplain(e *tsq.ExplainInfo) {
 	}
 	fmt.Printf("  actual:    %d candidates, %d node accesses\n",
 		e.ActualCandidates, e.ActualNodeAccesses)
+	if e.ApproxDelta > 0 {
+		tight := "no bound feedback yet"
+		if e.ApproxTightness > 0 {
+			tight = fmt.Sprintf("tightness EWMA %.2f", e.ApproxTightness)
+		}
+		fmt.Printf("  approx:    guaranteed within (1+%g)x, ladder rung %d, est speedup %.1fx (%s)\n",
+			e.ApproxDelta, e.ApproxRung, e.ApproxEstSpeedup, tight)
+	}
 	for _, sh := range e.PerShard {
 		fmt.Printf("    shard %d: %d candidates, %d nodes, %d pages, %d results\n",
 			sh.Shard, sh.Candidates, sh.NodeAccesses, sh.PageReads, sh.Results)
@@ -533,6 +579,29 @@ func execute(exec executor, src string, maxRows int) error {
 	if err != nil {
 		return err
 	}
+	printOutput(out, maxRows)
+	return nil
+}
+
+// executeProgressive runs one statement through a progressive runner,
+// printing each stage as it arrives: the bounded approximate answer
+// first, then the exact refinement.
+func executeProgressive(run progressor, src string, maxRows int) error {
+	return run(src, func(stage tsq.ProgressiveStage) error {
+		if d := stage.Output.Stats.Delta; d > 0 {
+			fmt.Printf("-- %s stage: every distance guaranteed within (1+%g)x of the true value\n",
+				stage.Phase, d)
+		} else {
+			fmt.Printf("-- %s stage\n", stage.Phase)
+		}
+		printOutput(stage.Output, maxRows)
+		return nil
+	})
+}
+
+// printOutput renders one statement's result — plan, trace, cost
+// summary, and rows.
+func printOutput(out *tsq.Output, maxRows int) {
 	if out.Explain != nil {
 		printExplain(out.Explain)
 	}
@@ -542,6 +611,13 @@ func execute(exec executor, src string, maxRows int) error {
 	cached := ""
 	if out.Stats.Cached {
 		cached = ", cached"
+	}
+	approx := ""
+	if out.Stats.Delta > 0 {
+		approx = fmt.Sprintf(", approx delta=%g rung=%d early=%d", out.Stats.Delta, out.Stats.Rung, out.Stats.EarlyAccepts)
+		if out.Stats.BoundTightness > 0 {
+			approx += fmt.Sprintf(" tightness=%.2f", out.Stats.BoundTightness)
+		}
 	}
 	switch out.Kind {
 	case "SELFJOIN":
@@ -556,16 +632,19 @@ func execute(exec executor, src string, maxRows int) error {
 			fmt.Printf("  %-10s %-10s D=%.4f\n", p.A, p.B, p.Distance)
 		}
 	default:
-		fmt.Printf("%d matches (%.3f ms, %d node accesses, %d pages, %d verified%s)\n",
+		fmt.Printf("%d matches (%.3f ms, %d node accesses, %d pages, %d verified%s%s)\n",
 			len(out.Matches), float64(out.Stats.Elapsed.Microseconds())/1000,
-			out.Stats.NodeAccesses, out.Stats.PageReads, out.Stats.Candidates, cached)
+			out.Stats.NodeAccesses, out.Stats.PageReads, out.Stats.Candidates, cached, approx)
 		for i, m := range out.Matches {
 			if i == maxRows {
 				fmt.Printf("  ... %d more\n", len(out.Matches)-maxRows)
 				break
 			}
-			fmt.Printf("  %-10s D=%.4f\n", m.Name, m.Distance)
+			if m.Bound > 0 {
+				fmt.Printf("  %-10s D=%.4f (true distance <= %.4f)\n", m.Name, m.Distance, m.Bound)
+			} else {
+				fmt.Printf("  %-10s D=%.4f\n", m.Name, m.Distance)
+			}
 		}
 	}
-	return nil
 }

@@ -271,6 +271,40 @@ func renderFrame(remote string, cur, prev *snapshot) {
 		fmt.Printf("planner drift |actual-est|/max(est,1): %s\n", strings.Join(driftParts, "  "))
 	}
 
+	// Approximate tier: APPROX executions and realized bound tightness
+	// (mean LB/UB of early-accepted candidates; 1.0 = bounds met exactly).
+	apxCount := make(map[string]float64)
+	tightSum, tightCount := make(map[string]float64), make(map[string]float64)
+	for _, row := range cur.rows {
+		switch row.name {
+		case "tsq_approx_queries_total":
+			apxCount[row.labels["kind"]] += cur.delta(prev, row)
+		case "tsq_approx_bound_tightness_sum":
+			tightSum[row.labels["kind"]] += cur.delta(prev, row)
+		case "tsq_approx_bound_tightness_count":
+			tightCount[row.labels["kind"]] += cur.delta(prev, row)
+		}
+	}
+	akinds := make([]string, 0, len(apxCount))
+	for k := range apxCount {
+		akinds = append(akinds, k)
+	}
+	sort.Strings(akinds)
+	var apxParts []string
+	for _, k := range akinds {
+		if apxCount[k] <= 0 {
+			continue
+		}
+		part := fmt.Sprintf("%s %.0f", k, apxCount[k])
+		if tightCount[k] > 0 {
+			part += fmt.Sprintf(" (tightness %.2f)", tightSum[k]/tightCount[k])
+		}
+		apxParts = append(apxParts, part)
+	}
+	if len(apxParts) > 0 {
+		fmt.Printf("approx queries: %s\n", strings.Join(apxParts, "  "))
+	}
+
 	// Shard imbalance: mean max/mean candidate ratio of fan-out runs.
 	imbSum := cur.byKey["tsq_fanout_imbalance_ratio_sum"]
 	imbCount := cur.byKey["tsq_fanout_imbalance_ratio_count"]

@@ -379,3 +379,17 @@ func (s *Sharded) FeaturePoint(id int64) (geom.Point, bool) {
 	defer s.locks[si].RUnlock()
 	return s.shards[si].FeaturePoint(id)
 }
+
+// QueryPrep assembles the stored-record planning artifacts of a global
+// ID from its owning shard; see DB.QueryPrep.
+func (s *Sharded) QueryPrep(id int64) (*QueryPrep, bool) {
+	s.mu.RLock()
+	si, ok := s.owner[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	s.locks[si].RLock()
+	defer s.locks[si].RUnlock()
+	return s.shards[si].QueryPrep(id)
+}

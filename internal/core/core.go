@@ -85,6 +85,11 @@ type DB struct {
 	idPos   map[int64]int // id -> position in ids, for O(1) Delete
 	nextID  int64
 	perm    []int // energy-order permutation for length-n spectra
+	// identA/identB are the permuted identity-transform coefficient
+	// vectors (all ones / all zeros — invariant under any permutation),
+	// shared read-only by every identity-transform plan so the hot
+	// planning path skips two O(n) allocations per query.
+	identA, identB []complex128
 	// streams holds the incremental sliding-window state of series that
 	// have been appended to (see Append); materialized lazily on the first
 	// append and dropped when the series is deleted or replaced.
@@ -143,6 +148,8 @@ func NewDB(length int, opts Options) (*DB, error) {
 		byName:  make(map[string]int64),
 		idPos:   make(map[int64]int),
 		perm:    relation.EnergyOrder(length),
+		identA:  transform.Identity(length).A,
+		identB:  transform.Identity(length).B,
 		streams: make(map[int64]*streamState),
 		tracker: plan.NewTracker(),
 		history: plan.NewHistory(0),
@@ -211,6 +218,26 @@ func (db *DB) IDByName(name string) (int64, bool) {
 func (db *DB) FeaturePoint(id int64) (geom.Point, bool) {
 	p, ok := db.points[id]
 	return p, ok
+}
+
+// QueryPrep assembles the stored-record planning artifacts of a series:
+// a private copy of its indexed feature point plus its energy-ordered
+// spectrum. Planning a by-name query from these skips the normal form,
+// the feature extraction, and the query FFT that a literal query series
+// pays, without changing the plan — the point is the one the record is
+// indexed under, and the spectrum is bit-identical to what querySpectrum
+// would recompute (see staleSpectrum). ok is false when the id is not a
+// live series.
+func (db *DB) QueryPrep(id int64) (*QueryPrep, bool) {
+	p, ok := db.points[id]
+	if !ok {
+		return nil, false
+	}
+	spec, err := db.spectrum(id)
+	if err != nil {
+		return nil, false
+	}
+	return &QueryPrep{Point: append([]float64(nil), p...), Spectrum: spec}, true
 }
 
 // Insert adds a named series, indexing its features and storing both
@@ -330,16 +357,23 @@ func (db *DB) staleSpectrum(id int64) ([]complex128, bool) {
 }
 
 // spectrum fetches the energy-ordered normal-form spectrum of a stored
-// series.
+// series, decoding straight off the record's page views — one pass and
+// one allocation instead of the byte-copy + float-decode + complex-pair
+// passes a Get-based decode would take.
 func (db *DB) spectrum(id int64) ([]complex128, error) {
 	if spec, ok := db.staleSpectrum(id); ok {
 		return spec, nil
 	}
-	vec, err := db.freqRel.Get(id)
+	pages, err := db.freqRel.ViewPages(id)
 	if err != nil {
 		return nil, err
 	}
-	return relation.DecodeComplex(vec)
+	ps := db.freqRel.PageSize()
+	out := make([]complex128, db.length)
+	for f := range out {
+		out[f] = relation.ComplexAt(pages, ps, f)
+	}
+	return out, nil
 }
 
 // specView abstracts a stored spectrum for distance loops: page views
@@ -404,6 +438,18 @@ type ExecStats struct {
 	// ("index", "scan", "scantime"); empty when the caller pinned a
 	// method outside the planner.
 	Strategy string
+	// Delta echoes the approximate tier's guaranteed relative error
+	// bound; 0 on exact executions. Rung is the planner's estimated
+	// accepting ladder rung in energy-ordered coefficients (0 when the
+	// execution verified exactly, e.g. warped approximate queries).
+	Delta float64
+	Rung  int
+	// EarlyAccepts counts candidates the approximate tier resolved at a
+	// ladder checkpoint without a full-spectrum walk; BoundTightSum
+	// accumulates their bound tightness LB/UB in (0, 1] (divide by
+	// EarlyAccepts for the mean; 1 = the bound closed exactly).
+	EarlyAccepts  int
+	BoundTightSum float64
 	// Spans is the execution's trace tree — named wall-time spans for the
 	// plan → fan-out → merge pipeline, with per-shard children. Populated
 	// by planned executions; TRACE statements and the server's slow-query
@@ -416,13 +462,29 @@ type Result struct {
 	ID   int64
 	Name string
 	// Dist is the Euclidean distance between the (transformed) normal form
-	// of the stored series and the normal form of the query.
+	// of the stored series and the normal form of the query. On
+	// approximate executions an early-accepted range answer reports its
+	// lower bound here and an early-accepted NN answer its upper bound
+	// (the value the k-best ordering and the (1+delta) guarantee hold
+	// for).
 	Dist float64
+	// Bound is the approximate tier's upper bound on the true distance:
+	// the true distance lies in [Dist, Bound] for range answers and at
+	// most Bound for NN answers (where Dist == Bound at early accepts).
+	// 0 on exact executions; equal to Dist when an approximate execution
+	// verified the candidate in full.
+	Bound float64
 }
 
 // permuteTransform returns t's coefficient vectors in the DB's energy
 // order, for verification against stored spectra.
 func (db *DB) permuteTransform(t transform.T) (a, b []complex128) {
+	// The identity's coefficient vectors are constant, hence fixed points
+	// of the permutation: serve the shared pre-permuted pair instead of
+	// allocating fresh copies on every plan.
+	if t.Name == "identity" && len(t.A) == db.length {
+		return db.identA, db.identB
+	}
 	return relation.Permute(t.A, db.perm), relation.Permute(t.B, db.perm)
 }
 

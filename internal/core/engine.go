@@ -40,6 +40,10 @@ type Engine interface {
 	IDByName(name string) (int64, bool)
 	Series(id int64) ([]float64, error)
 	FeaturePoint(id int64) (geom.Point, bool)
+	// QueryPrep snapshots a stored series' planning artifacts (indexed
+	// feature point + stored spectrum) so by-name queries plan without
+	// recomputing them from raw values.
+	QueryPrep(id int64) (*QueryPrep, bool)
 
 	// Writes. Append is the streaming path: it slides a series' window
 	// forward in place (stable ID, incremental feature maintenance, in-place
@@ -95,7 +99,10 @@ type Engine interface {
 	// PlanHistory returns the recent executed plans (oldest first): every
 	// planned range/NN/join execution records its estimated-vs-actual
 	// cost, so drift and mispredictions stay observable behind /stats.
+	// PlanDrift returns per-kind p50/p95 cost-error checkpoints over
+	// time — longer-horizon calibration drift than the ring alone shows.
 	PlanHistory() []plan.Record
+	PlanDrift() []plan.DriftPoint
 
 	// Queries. Result orderings are deterministic: (distance, ID) for
 	// range/NN/subsequence answers, (A, B) for join pairs. The Range*/NN*

@@ -18,6 +18,15 @@ type NNQuery struct {
 	Transform  transform.T
 	WarpFactor int
 	BothSides  bool
+	// Delta is the approximate tier's guaranteed relative error bound
+	// (APPROX delta): 0 answers exactly; delta > 0 relaxes the
+	// branch-and-bound's continue test and lets verification stop at a
+	// ladder rung, guaranteeing every reported i-th distance is within
+	// (1+Delta) of the exact i-th. See approx.go.
+	Delta float64
+	// Prep carries the stored-record planning artifacts when the query
+	// series is itself a stored series; see RangeQuery.Prep.
+	Prep *QueryPrep
 }
 
 // topK is the current k-best set of a nearest-neighbor search, safe for
@@ -132,7 +141,7 @@ func planNN(db *DB, q NNQuery) (*rangePlan, error) {
 	if q.K < 1 {
 		return nil, fmt.Errorf("core: K must be >= 1, got %d", q.K)
 	}
-	rq := RangeQuery{Values: q.Values, Eps: math.Inf(1), Transform: q.Transform, WarpFactor: q.WarpFactor, BothSides: q.BothSides}
+	rq := RangeQuery{Values: q.Values, Eps: math.Inf(1), Transform: q.Transform, WarpFactor: q.WarpFactor, BothSides: q.BothSides, Delta: q.Delta, Prep: q.Prep}
 	return db.planRange(rq)
 }
 
@@ -152,20 +161,28 @@ type nnVisit struct {
 func (v *nnVisit) VisitNear(id int64, partialDistSq float64) bool {
 	// eps is the shared k-th-best distance: it bounds both the decision
 	// to continue the traversal and the early abandoning inside
-	// verification. +Inf while the k-set is filling.
+	// verification. +Inf while the k-set is filling. The approximate
+	// tier relaxes the continue test by (1+delta)^2: a skipped candidate
+	// then certifies eps < (1+delta)*D, which keeps every reported rank
+	// within the (1+delta) guarantee. relaxSq is exactly 1 on exact
+	// plans, so the multiplication is an IEEE identity there.
 	eps := v.best.threshold()
-	if partialDistSq > eps*eps {
+	if partialDistSq*v.p.relaxSq > eps*eps {
 		return false // no remaining candidate can beat the k-th best
 	}
 	v.st.Candidates++
 	var (
-		within bool
-		dist   float64
-		err    error
+		within      bool
+		dist, bound float64
+		err         error
 	)
-	if v.warp {
+	switch {
+	case v.warp:
 		within, dist, err = v.db.verifyWarp(v.p, v.st, id, eps)
-	} else {
+		bound = dist
+	case v.p.approx():
+		within, dist, bound, err = v.db.verifyFreqApprox(v.p, v.ar, v.st, id, eps, true)
+	default:
 		within, dist, err = v.db.verifyFreq(v.p, v.ar, v.st, id, eps)
 	}
 	if err != nil {
@@ -173,7 +190,11 @@ func (v *nnVisit) VisitNear(id int64, partialDistSq float64) bool {
 		return false
 	}
 	if within {
-		v.best.offer(Result{ID: id, Name: v.db.names[id], Dist: dist})
+		r := Result{ID: id, Name: v.db.names[id], Dist: dist}
+		if v.p.approx() {
+			r.Bound = bound
+		}
+		v.best.offer(r)
 	}
 	return true
 }
@@ -188,6 +209,7 @@ func (v *nnVisit) VisitNear(id int64, partialDistSq float64) bool {
 // bound <= true distance by Parseval, so stopping is exact). Steady state
 // it allocates nothing.
 func (db *DB) nnIndexedArena(p *rangePlan, best *topK, ar *execArena, st *ExecStats) error {
+	markApprox(p, st)
 	ar.nv = nnVisit{db: db, p: p, best: best, ar: ar, st: st, warp: p.q.WarpFactor >= 2}
 	searchStats := db.idx.NearestIDs(p.qp, p.m, &ar.sc, &ar.nv)
 	st.NodeAccesses += searchStats.NodesVisited
@@ -236,24 +258,34 @@ func (db *DB) NNIndexed(q NNQuery) ([]Result, ExecStats, error) {
 // stored series, with a pruning threshold that tightens to the (possibly
 // shared) current k-th best distance.
 func (db *DB) nnScanArena(p *rangePlan, best *topK, ar *execArena, st *ExecStats) error {
+	markApprox(p, st)
 	warp := p.q.WarpFactor >= 2
+	approx := !warp && p.approx()
 	for _, id := range db.ids {
 		st.Candidates++
 		var (
-			within bool
-			dist   float64
-			err    error
+			within      bool
+			dist, bound float64
+			err         error
 		)
-		if warp {
+		switch {
+		case warp:
 			within, dist, err = db.verifyWarp(p, st, id, best.threshold())
-		} else {
+			bound = dist
+		case approx:
+			within, dist, bound, err = db.verifyFreqApprox(p, ar, st, id, best.threshold(), true)
+		default:
 			within, dist, err = db.verifyFreq(p, ar, st, id, best.threshold())
 		}
 		if err != nil {
 			return err
 		}
 		if within {
-			best.offer(Result{ID: id, Name: db.names[id], Dist: dist})
+			r := Result{ID: id, Name: db.names[id], Dist: dist}
+			if p.approx() {
+				r.Bound = bound
+			}
+			best.offer(r)
 		}
 	}
 	return nil

@@ -102,7 +102,26 @@ func buildRangePlan(q RangeQuery, p *rangePlan, want plan.Strategy, in plan.Inpu
 		pl.Strategy = plan.Index
 		pl.Reason = "index: moment-bounded query (scan baselines ignore mean/std bounds)"
 	}
+	attachApprox(pl, p, q.Delta, tr)
 	return pl
+}
+
+// attachApprox prices the approximate tier on a built plan and installs
+// the planner-selected first ladder rung on the engine-side
+// precomputation (planRange seeds a cold default; the planner refines it
+// from measured resolve depths).
+func attachApprox(pl *plan.Plan, p *rangePlan, delta float64, tr *plan.Tracker) {
+	if delta <= 0 {
+		return
+	}
+	length := 0
+	if p.energy > 0 {
+		length = len(p.Q)
+	}
+	plan.AttachApprox(pl, delta, length, tr)
+	if pl.Approx != nil && pl.Approx.Rung > 0 {
+		p.rung0 = pl.Approx.Rung
+	}
 }
 
 // PlanRange validates a range query and builds its execution plan; want
@@ -184,6 +203,7 @@ func (db *DB) ExecRangeInto(q RangeQuery, pl *plan.Plan, dst []Result) ([]Result
 	if feedRange(q, pl) {
 		db.tracker.ObserveRange(pl.Est.Candidates, st.Candidates, st.NodeAccesses, db.Len())
 	}
+	observeApprox(db.tracker, pl, &st, db.Len())
 	db.maybeExploreRange(q, pl, rp, ar)
 	db.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
 	finishExecSpans(pl, &st, searchD, mergeD)
@@ -236,7 +256,7 @@ func (db *DB) PlanNN(q NNQuery, want plan.Strategy) (*plan.Plan, error) {
 }
 
 func buildNNPlan(q NNQuery, p *rangePlan, want plan.Strategy, series int, tr *plan.Tracker, shards []int) *plan.Plan {
-	choice, est, reason := plan.ChooseNN(series, tr)
+	choice, est, reason := plan.ChooseNN(series, q.Delta, tr)
 	pl := &plan.Plan{
 		Kind:      "nn",
 		Transform: q.Transform.String(),
@@ -252,6 +272,7 @@ func buildNNPlan(q NNQuery, p *rangePlan, want plan.Strategy, series int, tr *pl
 		pl.Strategy = want
 		pl.Reason = fmt.Sprintf("forced %v by caller; planner would pick %v (%s)", want, choice, reason)
 	}
+	attachApprox(pl, p, q.Delta, tr)
 	return pl
 }
 
@@ -299,9 +320,12 @@ func (db *DB) ExecNNInto(q NNQuery, pl *plan.Plan, dst []Result) ([]Result, Exec
 	st.PageReads = db.pageReads() - reads0
 	mergeD := time.Since(mergeT)
 	st.Elapsed = time.Since(start)
-	if pl.Strategy == plan.Index {
+	// Approximate runs feed their own model: the relaxed traversal's
+	// shrunken candidate counts would corrupt the exact NN estimate.
+	if pl.Strategy == plan.Index && pl.Approx == nil {
 		db.tracker.ObserveNN(st.Candidates, st.NodeAccesses, db.Len())
 	}
+	observeApprox(db.tracker, pl, st, db.Len())
 	db.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
 	finishExecSpans(pl, st, searchD, mergeD)
 	return out, *st, nil
@@ -395,6 +419,7 @@ func (s *Sharded) ExecRange(q RangeQuery, pl *plan.Plan) ([]Result, ExecStats, e
 	if feedRange(q, pl) {
 		s.tracker.ObserveRange(pl.Est.Candidates, st.Candidates, st.NodeAccesses, s.Len())
 	}
+	observeApprox(s.tracker, pl, &st, s.Len())
 	s.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
 	finishExec(pl, &st, st.Spans)
 	return out, st, nil
@@ -445,9 +470,10 @@ func (s *Sharded) ExecNN(q NNQuery, pl *plan.Plan) ([]Result, ExecStats, error) 
 	if err != nil {
 		return nil, st, err
 	}
-	if pl.Strategy == plan.Index {
+	if pl.Strategy == plan.Index && pl.Approx == nil {
 		s.tracker.ObserveNN(st.Candidates, st.NodeAccesses, s.Len())
 	}
+	observeApprox(s.tracker, pl, &st, s.Len())
 	s.history.Observe(pl, st.Candidates, st.NodeAccesses, st.Results, st.Elapsed)
 	finishExec(pl, &st, st.Spans)
 	return out, st, nil
@@ -542,3 +568,11 @@ func (db *DB) PlanHistory() []plan.Record { return db.history.Recent() }
 
 // PlanHistory returns the sharded store's recent executed plans.
 func (s *Sharded) PlanHistory() []plan.Record { return s.history.Recent() }
+
+// PlanDrift returns the store's per-kind cost-error percentile
+// checkpoints — planner calibration drift over time, where PlanHistory
+// shows only the current ring.
+func (db *DB) PlanDrift() []plan.DriftPoint { return db.history.Drift() }
+
+// PlanDrift returns the sharded store's cost-error drift checkpoints.
+func (s *Sharded) PlanDrift() []plan.DriftPoint { return s.history.Drift() }

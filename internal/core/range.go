@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/feature"
 	"repro/internal/series"
@@ -44,11 +45,42 @@ type RangeQuery struct {
 	// plain fast path ("the identity transformation was chosen ... the
 	// difference between the two curves is only a constant").
 	ForceTransform bool
+	// Delta is the approximate tier's guaranteed relative error bound
+	// (APPROX delta): 0 answers exactly through the unchanged exact
+	// path; delta > 0 lets verification stop at a ladder rung once the
+	// residual-energy upper bound proves the answer within
+	// (1+Delta)*Eps. Approximate answers are a superset of the exact
+	// answer set — nothing within Eps is ever dropped — and every
+	// member's true distance is at most (1+Delta)*Eps, carried per
+	// result as Result.Bound. See approx.go.
+	Delta float64
+	// Prep, when set, carries the stored-record planning artifacts of a
+	// query that is itself a stored series (the by-name entry points and
+	// the language's SERIES 'name' clause). The planner then reuses the
+	// indexed feature point and the stored energy-ordered spectrum
+	// instead of recomputing the normal form, the feature extraction,
+	// and the query FFT from Values — both artifacts are bit-identical
+	// to what the recomputation would produce, so plans are unchanged,
+	// just cheaper. Ignored for warped queries (their query series is
+	// not a stored record's window).
+	Prep *QueryPrep
+}
+
+// QueryPrep is a stored series' precomputed index-space identity: the
+// feature point it is indexed under and its energy-ordered normal-form
+// spectrum, as assembled by Engine.QueryPrep. Both are private copies or
+// immutable snapshots, safe to hold across an execution.
+type QueryPrep struct {
+	Point    []float64
+	Spectrum []complex128
 }
 
 func (db *DB) validateRange(q RangeQuery) error {
 	if q.Eps < 0 {
 		return fmt.Errorf("core: negative eps %g", q.Eps)
+	}
+	if q.Delta < 0 || math.IsNaN(q.Delta) {
+		return fmt.Errorf("core: approx delta must be >= 0, got %g", q.Delta)
 	}
 	if q.Transform.Dims() != db.length {
 		return fmt.Errorf("core: transformation %s spans %d coefficients, DB length is %d", q.Transform, q.Transform.Dims(), db.length)
@@ -100,6 +132,24 @@ type rangePlan struct {
 	qn   []float64
 	a, b []complex128
 	Q    []complex128
+	// Approximate-tier precomputation (Delta > 0; see approx.go). relax
+	// is (1+Delta) and relaxSq its square — relaxSq is 1 on exact plans
+	// so the NN traversal test multiplies through as an IEEE identity.
+	// rung0 is the planner's estimate of the accepting ladder rung (the
+	// cold default is overridden from measured resolve depths) — it
+	// feeds EXPLAIN and the Rung stat; the ladder itself starts at
+	// ladderStart. sufA2[ord] and sufBQ2[ord] are the *squared* suffix
+	// max |a| and suffix norm of (b - Q) from checkpoint position
+	// ladderStart<<ord on (recorded only at checkpoints — the walk reads
+	// them nowhere else); energy bounds the stored spectrum's total
+	// energy (n, by the unitary transform on normal forms) and doubles
+	// as the "frequency ladder available" flag.
+	relax   float64
+	relaxSq float64
+	rung0   int
+	sufA2   [ladderRungs]float64
+	sufBQ2  [ladderRungs]float64
+	energy  float64
 }
 
 // planRange validates q and builds its execution plan.
@@ -107,10 +157,25 @@ func (db *DB) planRange(q RangeQuery) (*rangePlan, error) {
 	if err := db.validateRange(q); err != nil {
 		return nil, err
 	}
-	p := &rangePlan{q: q}
-	qp, err := db.queryFeaturePoint(q)
-	if err != nil {
-		return nil, err
+	p := &rangePlan{q: q, relax: 1, relaxSq: 1}
+	// A stored-record query plans off its indexed point and stored
+	// spectrum; the recomputation below is the fallback for literal
+	// query series (and for warped queries, whose query side is longer
+	// than any stored record).
+	prep := q.Prep
+	if prep != nil && (q.WarpFactor >= 2 ||
+		len(prep.Point) != db.schema.Dims() || len(prep.Spectrum) != db.length) {
+		prep = nil
+	}
+	var qp []float64
+	if prep != nil {
+		qp = prep.Point
+	} else {
+		var err error
+		qp, err = db.queryFeaturePoint(q)
+		if err != nil {
+			return nil, err
+		}
 	}
 	m, err := db.schema.Map(q.Transform)
 	if err != nil {
@@ -127,10 +192,18 @@ func (db *DB) planRange(q RangeQuery) (*rangePlan, error) {
 	p.qp, p.m = qp, m
 	if q.WarpFactor >= 2 {
 		p.qn = series.NormalForm(q.Values)
+		if q.Delta > 0 {
+			p.initApprox(db.length)
+		}
 		return p, nil
 	}
 	p.a, p.b = db.permuteTransform(q.Transform)
-	Q := db.querySpectrum(q.Values)
+	var Q []complex128
+	if prep != nil {
+		Q = prep.Spectrum
+	} else {
+		Q = db.querySpectrum(q.Values)
+	}
 	if q.BothSides {
 		tQ := make([]complex128, len(Q))
 		for f := range Q {
@@ -139,6 +212,9 @@ func (db *DB) planRange(q RangeQuery) (*rangePlan, error) {
 		Q = tQ
 	}
 	p.Q = Q
+	if q.Delta > 0 {
+		p.initApprox(db.length)
+	}
 	return p, nil
 }
 
@@ -209,28 +285,38 @@ func (db *DB) verifyFreq(p *rangePlan, ar *execArena, st *ExecStats, id int64, e
 // flat-slab batch traversal into arena scratch; steady state the whole
 // pass allocates nothing.
 func (db *DB) rangeIndexedInto(p *rangePlan, ar *execArena, st *ExecStats, dst []Result) ([]Result, error) {
+	markApprox(p, st)
 	ids, searchStats := db.idx.RangeIDs(p.qp, p.q.Eps, p.m, p.q.Moments, !db.opts.DisablePartialPrune, &ar.sc, ar.ids[:0])
 	ar.ids = ids
 	st.NodeAccesses += searchStats.NodesVisited
 	st.Candidates += len(ids)
 
 	warp := p.q.WarpFactor >= 2
+	approx := !warp && p.approx()
 	for _, id := range ids {
 		var (
-			within bool
-			dist   float64
-			err    error
+			within      bool
+			dist, bound float64
+			err         error
 		)
-		if warp {
+		switch {
+		case warp:
 			within, dist, err = db.verifyWarp(p, st, id, p.q.Eps)
-		} else {
+			bound = dist
+		case approx:
+			within, dist, bound, err = db.verifyFreqApprox(p, ar, st, id, p.q.Eps, false)
+		default:
 			within, dist, err = db.verifyFreq(p, ar, st, id, p.q.Eps)
 		}
 		if err != nil {
 			return dst, err
 		}
 		if within {
-			dst = append(dst, Result{ID: id, Name: db.names[id], Dist: dist})
+			r := Result{ID: id, Name: db.names[id], Dist: dist}
+			if approx || (warp && p.approx()) {
+				r.Bound = bound
+			}
+			dst = append(dst, r)
 		}
 	}
 	return dst, nil
@@ -274,24 +360,34 @@ func (db *DB) RangeIndexed(q RangeQuery) ([]Result, ExecStats, error) {
 // through the arena's page buffer, so the steady-state scan allocates
 // nothing beyond result growth.
 func (db *DB) rangeScanFreqInto(p *rangePlan, ar *execArena, st *ExecStats, dst []Result) ([]Result, error) {
+	markApprox(p, st)
 	warp := p.q.WarpFactor >= 2
+	approx := !warp && p.approx()
 	for _, id := range db.ids {
 		st.Candidates++
 		var (
-			within bool
-			dist   float64
-			err    error
+			within      bool
+			dist, bound float64
+			err         error
 		)
-		if warp {
+		switch {
+		case warp:
 			within, dist, err = db.verifyWarp(p, st, id, p.q.Eps)
-		} else {
+			bound = dist
+		case approx:
+			within, dist, bound, err = db.verifyFreqApprox(p, ar, st, id, p.q.Eps, false)
+		default:
 			within, dist, err = db.verifyFreq(p, ar, st, id, p.q.Eps)
 		}
 		if err != nil {
 			return dst, err
 		}
 		if within {
-			dst = append(dst, Result{ID: id, Name: db.names[id], Dist: dist})
+			r := Result{ID: id, Name: db.names[id], Dist: dist}
+			if approx || (warp && p.approx()) {
+				r.Bound = bound
+			}
+			dst = append(dst, r)
 		}
 	}
 	return dst, nil

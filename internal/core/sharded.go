@@ -424,6 +424,14 @@ func mergeStats(parts []ExecStats) ExecStats {
 		st.PageReads += p.PageReads
 		st.Candidates += p.Candidates
 		st.DistanceTerms += p.DistanceTerms
+		st.EarlyAccepts += p.EarlyAccepts
+		st.BoundTightSum += p.BoundTightSum
+		if p.Delta > st.Delta {
+			st.Delta = p.Delta
+		}
+		if p.Rung > st.Rung {
+			st.Rung = p.Rung
+		}
 	}
 	return st
 }

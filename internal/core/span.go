@@ -45,6 +45,8 @@ func init() {
 	telemetry.Describe("tsq_pair_checks_total", "Candidate pair checks per shard across join executions.")
 	telemetry.Describe("tsq_fanout_imbalance_ratio", "Max/mean per-shard candidate counts of multi-shard executions.")
 	telemetry.Describe("tsq_spectrum_refreshes_total", "Exact-FFT spectrum record rewrites on the append path.")
+	telemetry.Describe("tsq_approx_queries_total", "Approximate-tier (APPROX delta > 0) executions by query kind.")
+	telemetry.Describe("tsq_approx_bound_tightness", "Realized mean bound tightness LB/UB of approximate executions (1 = bound closed exactly).")
 }
 
 // finishExec stamps a completed planned execution with its resolved
@@ -84,8 +86,9 @@ func fanSpans(fan, merge time.Duration, shards []ShardExec) []Span {
 // planned execution, and registry lookups (label-key building plus a map
 // read) are too expensive to repeat there.
 var (
-	execMetricCache  sync.Map // "kind\x00strategy" -> execMetrics
-	shardMetricCache sync.Map // shard int -> shardMetrics
+	execMetricCache   sync.Map // "kind\x00strategy" -> execMetrics
+	shardMetricCache  sync.Map // shard int -> shardMetrics
+	approxMetricCache sync.Map // kind string -> approxMetrics
 )
 
 type execMetrics struct {
@@ -100,6 +103,22 @@ type shardMetrics struct {
 	nodeAccesses *telemetry.Counter
 	results      *telemetry.Counter
 	pairChecks   *telemetry.Counter
+}
+
+type approxMetrics struct {
+	count     *telemetry.Counter
+	tightness *telemetry.Histogram
+}
+
+func approxHandles(kind string) approxMetrics {
+	if v, ok := approxMetricCache.Load(kind); ok {
+		return v.(approxMetrics)
+	}
+	v, _ := approxMetricCache.LoadOrStore(kind, approxMetrics{
+		count:     telemetry.Count("tsq_approx_queries_total", "kind", kind),
+		tightness: telemetry.HistogramOf("tsq_approx_bound_tightness", telemetry.RatioBuckets, "kind", kind),
+	})
+	return v.(approxMetrics)
 }
 
 func execHandles(kind, strat string) execMetrics {
@@ -145,6 +164,13 @@ func observeExec(pl *plan.Plan, st *ExecStats) {
 	m := execHandles(pl.Kind, pl.Strategy.String())
 	m.count.Inc()
 	m.latency.Observe(st.Elapsed.Seconds())
+	if pl.Approx != nil {
+		am := approxHandles(pl.Kind)
+		am.count.Inc()
+		if st.EarlyAccepts > 0 {
+			am.tightness.Observe(st.BoundTightSum / float64(st.EarlyAccepts))
+		}
+	}
 	if est := pl.Est.Candidates; est > 0 {
 		m.costError.Observe(math.Abs(float64(st.Candidates)-est) / math.Max(est, 1))
 	}

@@ -105,6 +105,10 @@ type Plan struct {
 	// Est is the planner's cost estimate, to compare against the actual
 	// ExecStats after execution (EXPLAIN's "estimated vs actual").
 	Est Estimate
+	// Approx is the approximate tier of the plan — guaranteed error
+	// bound, first verification ladder rung, estimated speedup — or nil
+	// for exact queries. See AttachApprox.
+	Approx *ApproxInfo
 
 	// Internal is the engine's opaque execution payload (precomputed query
 	// spectrum, transformation coefficients, feature point). It is reused
@@ -307,12 +311,24 @@ func Choose(in Input, t *Tracker) (Strategy, Estimate, string) {
 // the decision comes from measured NN feedback — the branch-and-bound's
 // observed candidate and node fractions — with the index as the cold
 // default (the paper's setting; the traversal self-terminates at the k-th
-// best bound).
-func ChooseNN(series int, t *Tracker) (Strategy, Estimate, string) {
+// best bound). delta > 0 is the approximate tier's quality knob: when the
+// relaxed traversal has its own feedback, the index is priced with the
+// approximate candidate/node fractions instead of the exact ones, so AUTO
+// can flip back to the index for queries that tolerate bounded error even
+// where exact NN routes to the scan.
+func ChooseNN(series int, delta float64, t *Tracker) (Strategy, Estimate, string) {
 	est := Estimate{Series: series}
 	n := float64(series)
 	if t != nil {
-		if candFrac, nodeFrac, ok := t.nnModel(); ok {
+		candFrac, nodeFrac, ok := t.nnModel()
+		model := "measured NN traversal"
+		if delta > 0 {
+			if aCand, aNode, aok := t.nnApproxModel(); aok {
+				candFrac, nodeFrac, ok = aCand, aNode, true
+				model = fmt.Sprintf("measured approx(%g) traversal", delta)
+			}
+		}
+		if ok {
 			c := t.Costs()
 			est.Candidates = candFrac * n
 			est.NodeAccesses = nodeFrac * n
@@ -320,12 +336,12 @@ func ChooseNN(series int, t *Tracker) (Strategy, Estimate, string) {
 			est.ScanCost = c.ScanUnit*n + (1-c.ScanUnit)*est.Candidates
 			if est.IndexCost > est.ScanCost {
 				return ScanFreq, est, fmt.Sprintf(
-					"scan: measured NN traversal verifies %.0f%% of the store (cost %.1f > scan %.1f)",
-					100*candFrac, est.IndexCost, est.ScanCost)
+					"scan: %s verifies %.0f%% of the store (cost %.1f > scan %.1f)",
+					model, 100*candFrac, est.IndexCost, est.ScanCost)
 			}
 			return Index, est, fmt.Sprintf(
-				"index: measured NN traversal cost %.1f <= scan cost %.1f over %d series",
-				est.IndexCost, est.ScanCost, series)
+				"index: %s cost %.1f <= scan cost %.1f over %d series",
+				model, est.IndexCost, est.ScanCost, series)
 		}
 	}
 	return Index, est, "index: branch-and-bound default (no NN feedback yet)"
@@ -457,6 +473,20 @@ type Tracker struct {
 	joinSamples     int
 	joinCalibration float64 // EWMA of observed/predicted candidate-pair ratio
 	joinNodeFrac    float64 // EWMA of NodeAccesses / Series^2 (indexed joins)
+
+	// Approximate-tier feedback (see ObserveApprox): realized bound
+	// tightness, verified terms per candidate (the ladder rung signal),
+	// and the relaxed NN traversal's candidate/node shrink. Kept apart
+	// from the exact models so approximate executions never pollute
+	// exact cost estimates.
+	apxRangeSamples int
+	apxRangeTight   float64
+	apxRangeTerms   float64
+	apxNNSamples    int
+	apxNNTight      float64
+	apxNNTerms      float64
+	apxNNCandFrac   float64
+	apxNNNodeFrac   float64
 
 	// costs are the cost-model constants this store prices strategies
 	// with: DefaultCosts until SetCosts installs a calibrated set.
@@ -660,6 +690,10 @@ type History struct {
 	buf  []Record
 	next int
 	full bool
+	// drift accumulates per-kind cost-error percentile checkpoints (see
+	// DriftPoint); in-memory only, rebuilt by live traffic after a
+	// restart.
+	drift map[string]*driftAccum
 }
 
 // NewHistory returns an empty ring holding up to n records (n <= 0
@@ -703,6 +737,7 @@ func (h *History) Observe(pl *Plan, candidates, nodes, results int, elapsed time
 	if h.next == 0 {
 		h.full = true
 	}
+	h.observeDrift(pl.Kind, math.Abs(float64(candidates)-pl.Est.Candidates)/math.Max(pl.Est.Candidates, 1))
 }
 
 // Recent returns the retained records, oldest first.

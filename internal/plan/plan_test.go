@@ -124,14 +124,14 @@ func TestTrackerCalibration(t *testing.T) {
 
 func TestTrackerFeedbackFlipsNNChoice(t *testing.T) {
 	tr := NewTracker()
-	if s, _, _ := ChooseNN(1000, tr); s != Index {
+	if s, _, _ := ChooseNN(1000, 0, tr); s != Index {
 		t.Fatalf("cold NN strategy = %v, want Index", s)
 	}
 	// NN traversals that verify nearly the whole store should flip to scan.
 	for i := 0; i < 30; i++ {
 		tr.ObserveNN(950, 60, 1000)
 	}
-	if s, _, reason := ChooseNN(1000, tr); s != ScanFreq {
+	if s, _, reason := ChooseNN(1000, 0, tr); s != ScanFreq {
 		t.Fatalf("fed NN strategy = %v (%s), want ScanFreq", s, reason)
 	}
 }

@@ -1,0 +1,85 @@
+package query
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseApprox(t *testing.T) {
+	stmt, err := Parse("RANGE SERIES 'IBM' EPS 2.5 APPROX 0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Eps != 2.5 || stmt.Delta != 0.1 {
+		t.Fatalf("parsed: %+v", stmt)
+	}
+
+	// Order-independent among the tail clauses, on NN too.
+	stmt, err = Parse("NN SERIES 'X' K 5 APPROX 0.25 TRANSFORM mavg(10) USING INDEX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Kind != StmtNN || stmt.Delta != 0.25 || stmt.Exec != ExecIndex {
+		t.Fatalf("parsed: %+v", stmt)
+	}
+
+	// APPROX 0 is legal: it requests the exact path explicitly.
+	stmt, err = Parse("RANGE SERIES 'IBM' EPS 1 APPROX 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Delta != 0 {
+		t.Fatalf("APPROX 0 parsed delta %g", stmt.Delta)
+	}
+}
+
+func TestParseWithinConfidence(t *testing.T) {
+	stmt, err := Parse("RANGE SERIES 'IBM' WITHIN 2.5 CONFIDENCE 0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Eps != 2.5 {
+		t.Fatalf("WITHIN did not set eps: %+v", stmt)
+	}
+	if math.Abs(stmt.Delta-0.1) > 1e-12 {
+		t.Fatalf("CONFIDENCE 0.9 parsed delta %g, want ~0.1", stmt.Delta)
+	}
+
+	// WITHIN is a plain EPS synonym even without CONFIDENCE.
+	stmt, err = Parse("RANGE SERIES 'IBM' WITHIN 2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Eps != 2.5 || stmt.Delta != 0 {
+		t.Fatalf("parsed: %+v", stmt)
+	}
+
+	// CONFIDENCE 1 means exact.
+	stmt, err = Parse("NN SERIES 'X' K 3 CONFIDENCE 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Delta != 0 {
+		t.Fatalf("CONFIDENCE 1 parsed delta %g", stmt.Delta)
+	}
+}
+
+func TestParseApproxErrors(t *testing.T) {
+	for _, src := range []string{
+		"SELFJOIN EPS 1 APPROX 0.1",
+		"JOIN EPS 1 APPROX 0.1",
+		"SELFJOIN EPS 1 CONFIDENCE 0.9",
+		"RANGE SERIES 'A' EPS 1 APPROX 0.1 CONFIDENCE 0.9",
+		"RANGE SERIES 'A' EPS 1 CONFIDENCE 0.9 APPROX 0.1",
+		"RANGE SERIES 'A' EPS 1 APPROX 0.1 APPROX 0.2",
+		"RANGE SERIES 'A' EPS 1 CONFIDENCE 0.9 CONFIDENCE 0.8",
+		"RANGE SERIES 'A' EPS 1 APPROX -0.5",
+		"RANGE SERIES 'A' EPS 1 CONFIDENCE 0",
+		"RANGE SERIES 'A' EPS 1 CONFIDENCE 1.5",
+		"RANGE SERIES 'A' EPS 1 APPROX",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}

@@ -11,6 +11,13 @@ type Statement struct {
 	Eps float64 // RANGE and SELFJOIN
 	K   int     // NN
 
+	// Delta is the approximation slack of an APPROX clause (or 1 -
+	// confidence of the WITHIN ... CONFIDENCE sugar): every reported
+	// distance is guaranteed within a (1+Delta) factor of the exact
+	// answer. 0 — the default — runs the exact path byte-identically.
+	// RANGE and NN only.
+	Delta float64
+
 	// Transform is the transformation pipeline, in application order.
 	Transform []TransformCall
 

@@ -73,7 +73,7 @@ func Exec(db core.Engine, stmt *Statement) (*Output, error) {
 // its stretch factor is returned separately.
 func buildTransform(n int, calls []TransformCall) (transform.T, int, error) {
 	if len(calls) == 0 {
-		return transform.Identity(n), 0, nil
+		return transform.CachedIdentity(n), 0, nil
 	}
 	var composed transform.T
 	warpFactor := 0
@@ -84,7 +84,7 @@ func buildTransform(n int, calls []TransformCall) (transform.T, int, error) {
 			if err := wantArgs(c, 0); err != nil {
 				return transform.T{}, 0, err
 			}
-			t = transform.Identity(n)
+			t = transform.CachedIdentity(n)
 		case "mavg":
 			if err := wantArgs(c, 1); err != nil {
 				return transform.T{}, 0, err
@@ -153,19 +153,27 @@ func intArg(c TransformCall, i, lo, hi int) (int, error) {
 	return int(v), nil
 }
 
-// querySeries resolves the query-side series of a statement.
-func querySeries(db core.Engine, stmt *Statement) ([]float64, error) {
+// querySeries resolves the query-side series of a statement. For a
+// SERIES 'name' clause it also returns the stored record's planning
+// artifacts, so the engine plans off the indexed feature point and the
+// stored spectrum instead of recomputing both from the raw values.
+func querySeries(db core.Engine, stmt *Statement) ([]float64, *core.QueryPrep, error) {
 	if stmt.SeriesName != "" {
 		id, ok := db.IDByName(stmt.SeriesName)
 		if !ok {
-			return nil, fmt.Errorf("query: unknown series %q", stmt.SeriesName)
+			return nil, nil, fmt.Errorf("query: unknown series %q", stmt.SeriesName)
 		}
-		return db.Series(id)
+		values, err := db.Series(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		prep, _ := db.QueryPrep(id)
+		return values, prep, nil
 	}
 	if len(stmt.Literal) == 0 {
-		return nil, fmt.Errorf("query: statement has no query series")
+		return nil, nil, fmt.Errorf("query: statement has no query series")
 	}
-	return stmt.Literal, nil
+	return stmt.Literal, nil, nil
 }
 
 func momentBounds(stmt *Statement) feature.MomentBounds {
@@ -203,17 +211,19 @@ func wantStrategy(e ExecStrategy) (plan.Strategy, error) {
 // — resolving AUTO against its store statistics — and executes it, so the
 // language, the HTTP server, and EXPLAIN all share one pipeline.
 func execRange(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Output, error) {
-	values, err := querySeries(db, stmt)
+	values, prep, err := querySeries(db, stmt)
 	if err != nil {
 		return nil, err
 	}
 	rq := core.RangeQuery{
 		Values:     values,
 		Eps:        stmt.Eps,
+		Delta:      stmt.Delta,
 		Transform:  tr,
 		Moments:    momentBounds(stmt),
 		WarpFactor: warp,
 		BothSides:  stmt.Both,
+		Prep:       prep,
 	}
 	want, err := wantStrategy(stmt.Exec)
 	if err != nil {
@@ -242,11 +252,11 @@ func execRange(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Outp
 }
 
 func execNN(db core.Engine, stmt *Statement, tr transform.T, warp int) (*Output, error) {
-	values, err := querySeries(db, stmt)
+	values, prep, err := querySeries(db, stmt)
 	if err != nil {
 		return nil, err
 	}
-	nq := core.NNQuery{Values: values, K: stmt.K, Transform: tr, WarpFactor: warp, BothSides: stmt.Both}
+	nq := core.NNQuery{Values: values, K: stmt.K, Delta: stmt.Delta, Transform: tr, WarpFactor: warp, BothSides: stmt.Both, Prep: prep}
 	want, err := wantStrategy(stmt.Exec)
 	if err != nil {
 		return nil, err

@@ -175,8 +175,10 @@ func (p *parser) parseRange() (*Statement, error) {
 	if err := p.parseSource(stmt); err != nil {
 		return nil, err
 	}
-	if err := p.expectKeyword("EPS"); err != nil {
-		return nil, err
+	// WITHIN is an EPS synonym: it reads naturally with the CONFIDENCE
+	// sugar ("WITHIN 2.5 CONFIDENCE 0.9") but is accepted everywhere.
+	if t := p.next(); !keywordIs(t, "EPS") && !keywordIs(t, "WITHIN") {
+		return nil, fmt.Errorf("query: expected EPS or WITHIN at %d, got %q", t.pos, t.text)
 	}
 	eps, err := p.number()
 	if err != nil {
@@ -246,13 +248,56 @@ func (p *parser) parseJoin() (*Statement, error) {
 }
 
 // parseTail handles the optional trailing clauses common to all statements:
-// TRANSFORM, USING, METHOD, MEAN, STD — in any order.
+// TRANSFORM, USING, METHOD, MEAN, STD, APPROX, CONFIDENCE — in any order.
 func (p *parser) parseTail(stmt *Statement) error {
+	approxSet, confidenceSet := false, false
 	for {
 		t := p.peek()
 		switch {
 		case t.kind == tokEOF:
 			return nil
+		case keywordIs(t, "APPROX"):
+			if stmt.Kind == StmtSelfJoin || stmt.Kind == StmtJoin {
+				return fmt.Errorf("query: APPROX applies to RANGE and NN only (at %d)", t.pos)
+			}
+			if confidenceSet {
+				return fmt.Errorf("query: APPROX and CONFIDENCE are mutually exclusive (at %d)", t.pos)
+			}
+			if approxSet {
+				return fmt.Errorf("query: duplicate APPROX clause (at %d)", t.pos)
+			}
+			p.next()
+			d, err := p.number()
+			if err != nil {
+				return err
+			}
+			if d < 0 {
+				return fmt.Errorf("query: APPROX delta must be >= 0, got %g", d)
+			}
+			stmt.Delta = d
+			approxSet = true
+		case keywordIs(t, "CONFIDENCE"):
+			// Sugar for APPROX (1-c): "WITHIN 2.5 CONFIDENCE 0.9" reads as
+			// "within eps at 90% tightness", i.e. delta = 0.1.
+			if stmt.Kind == StmtSelfJoin || stmt.Kind == StmtJoin {
+				return fmt.Errorf("query: CONFIDENCE applies to RANGE and NN only (at %d)", t.pos)
+			}
+			if approxSet {
+				return fmt.Errorf("query: APPROX and CONFIDENCE are mutually exclusive (at %d)", t.pos)
+			}
+			if confidenceSet {
+				return fmt.Errorf("query: duplicate CONFIDENCE clause (at %d)", t.pos)
+			}
+			p.next()
+			c, err := p.number()
+			if err != nil {
+				return err
+			}
+			if c <= 0 || c > 1 {
+				return fmt.Errorf("query: CONFIDENCE must be in (0, 1], got %g", c)
+			}
+			stmt.Delta = 1 - c
+			confidenceSet = true
 		case keywordIs(t, "TRANSFORM"):
 			if stmt.Kind == StmtJoin {
 				return fmt.Errorf("query: JOIN takes LEFT and RIGHT pipelines, not TRANSFORM (at %d)", t.pos)

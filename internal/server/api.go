@@ -45,23 +45,39 @@ type StatsPayload struct {
 	// response's X-TSQ-Request-ID header, the server's log lines, the
 	// slow-query log, and GET /traces carry for this request.
 	RequestID string `json:"request_id,omitempty"`
+	// Delta is the approximation slack the execution ran under (absent =
+	// exact); Rung the planner's estimated accepting ladder checkpoint;
+	// EarlyAccepts the candidates accepted from the truncated bound
+	// without a full verification walk; BoundTightness their mean
+	// realized lower/upper bound ratio.
+	Delta          float64 `json:"delta,omitempty"`
+	Rung           int     `json:"rung,omitempty"`
+	EarlyAccepts   int     `json:"early_accepts,omitempty"`
+	BoundTightness float64 `json:"bound_tightness,omitempty"`
 }
 
 func toStatsPayload(st tsq.Stats) StatsPayload {
 	return StatsPayload{
-		ElapsedUS:    float64(st.Elapsed) / float64(time.Microsecond),
-		NodeAccesses: st.NodeAccesses,
-		PageReads:    st.PageReads,
-		Candidates:   st.Candidates,
-		Cached:       st.Cached,
-		RequestID:    st.RequestID,
+		ElapsedUS:      float64(st.Elapsed) / float64(time.Microsecond),
+		NodeAccesses:   st.NodeAccesses,
+		PageReads:      st.PageReads,
+		Candidates:     st.Candidates,
+		Cached:         st.Cached,
+		RequestID:      st.RequestID,
+		Delta:          st.Delta,
+		Rung:           st.Rung,
+		EarlyAccepts:   st.EarlyAccepts,
+		BoundTightness: st.BoundTightness,
 	}
 }
 
-// MatchPayload is one range/NN answer on the wire.
+// MatchPayload is one range/NN answer on the wire. Bound is the
+// certified distance upper bound of an approximate answer (the true
+// distance lies in [distance, bound]); absent on exact executions.
 type MatchPayload struct {
 	Name     string  `json:"name"`
 	Distance float64 `json:"distance"`
+	Bound    float64 `json:"bound,omitempty"`
 }
 
 // PairPayload is one join answer on the wire.
@@ -186,6 +202,14 @@ type ExplainPayload struct {
 	ActualCandidates   int                `json:"actual_candidates"`
 	ActualNodeAccesses int                `json:"actual_node_accesses"`
 	PerShard           []ShardExecPayload `json:"per_shard,omitempty"`
+	// Approximate-plan fields (APPROX delta > 0): the guaranteed
+	// (1+delta) error bound, the feature-ladder rung verification starts
+	// bound checks at, the planner's estimated verification speedup, and
+	// the tightness EWMA the rung was tuned from. Absent on exact plans.
+	ApproxDelta      float64 `json:"approx_delta,omitempty"`
+	ApproxRung       int     `json:"approx_rung,omitempty"`
+	ApproxEstSpeedup float64 `json:"approx_est_speedup,omitempty"`
+	ApproxTightness  float64 `json:"approx_tightness,omitempty"`
 }
 
 // ShardExecPayload is one shard's share of a fan-out execution.
@@ -219,6 +243,10 @@ func toExplainPayload(e *tsq.ExplainInfo) *ExplainPayload {
 		RectHi:             e.RectHi,
 		ActualCandidates:   e.ActualCandidates,
 		ActualNodeAccesses: e.ActualNodeAccesses,
+		ApproxDelta:        e.ApproxDelta,
+		ApproxRung:         e.ApproxRung,
+		ApproxEstSpeedup:   e.ApproxEstSpeedup,
+		ApproxTightness:    e.ApproxTightness,
 	}
 	for _, sh := range e.PerShard {
 		out.PerShard = append(out.PerShard, ShardExecPayload{
@@ -254,6 +282,10 @@ func fromExplainPayload(e *ExplainPayload) *tsq.ExplainInfo {
 		RectHi:             e.RectHi,
 		ActualCandidates:   e.ActualCandidates,
 		ActualNodeAccesses: e.ActualNodeAccesses,
+		ApproxDelta:        e.ApproxDelta,
+		ApproxRung:         e.ApproxRung,
+		ApproxEstSpeedup:   e.ApproxEstSpeedup,
+		ApproxTightness:    e.ApproxTightness,
 	}
 	for _, sh := range e.PerShard {
 		out.PerShard = append(out.PerShard, tsq.ShardExecInfo{
@@ -282,6 +314,9 @@ type RangeRequest struct {
 	Using     string      `json:"using,omitempty"`
 	Mean      *[2]float64 `json:"mean,omitempty"`
 	Std       *[2]float64 `json:"std,omitempty"`
+	// Delta > 0 runs the query approximately with a certified (1+delta)
+	// error bound (the APPROX clause of the query language).
+	Delta float64 `json:"delta,omitempty"`
 }
 
 // NNRequest asks for the K nearest stored series.
@@ -292,6 +327,9 @@ type NNRequest struct {
 	Transform string    `json:"transform,omitempty"`
 	Both      bool      `json:"both,omitempty"`
 	Using     string    `json:"using,omitempty"`
+	// Delta > 0 runs the query approximately with a certified (1+delta)
+	// error bound (the APPROX clause of the query language).
+	Delta float64 `json:"delta,omitempty"`
 }
 
 // SelfJoinRequest asks for all within-eps pairs under one transformation.
@@ -435,9 +473,23 @@ type StatsResponse struct {
 	ElapsedUS     float64             `json:"elapsed_us"`
 	UptimeSeconds float64             `json:"uptime_seconds"`
 	Plans         []PlanRecordPayload `json:"plans,omitempty"`
+	// Drift is the per-kind cost-error percentile history (oldest first),
+	// included alongside Plans (GET /stats?plans=1): each point freezes
+	// one 16-execution window's p50/p95 of |actual-est|/max(est,1).
+	Drift []DriftPointPayload `json:"drift,omitempty"`
 	// Slow is the retained slow-query log, oldest first; included only
 	// when the request asks for it (GET /stats?slow=1).
 	Slow []SlowQueryPayload `json:"slow,omitempty"`
+}
+
+// DriftPointPayload is one per-kind planner cost-error checkpoint on the
+// wire.
+type DriftPointPayload struct {
+	Kind    string  `json:"kind"`
+	Seq     int64   `json:"seq"`
+	Samples int     `json:"samples"`
+	P50     float64 `json:"p50"`
+	P95     float64 `json:"p95"`
 }
 
 // SlowQueryPayload is one slow-query log entry on the wire: the query
@@ -503,6 +555,16 @@ type PlanRecordPayload struct {
 	ActualNodeAccesses int     `json:"actual_node_accesses"`
 	Results            int     `json:"results"`
 	ElapsedUS          float64 `json:"elapsed_us"`
+}
+
+// ProgressiveStagePayload is one SSE delivery of POST /query/progressive:
+// the approximate stage ("approx" event, every match carrying its
+// certified error bound) followed by the exact refinement ("final"
+// event).
+type ProgressiveStagePayload struct {
+	Phase  string        `json:"phase"`
+	Final  bool          `json:"final,omitempty"`
+	Result QueryResponse `json:"result"`
 }
 
 // ErrorResponse carries an error message, stamped with the failing

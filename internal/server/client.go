@@ -1,7 +1,9 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -274,25 +276,91 @@ func (c *Client) QueryOutput(q string) (*tsq.Output, error) {
 	if err != nil {
 		return nil, err
 	}
+	return OutputFromResponse(resp), nil
+}
+
+// OutputFromResponse converts a wire QueryResponse into the embedded
+// library's Output type — the mapping QueryOutput and the progressive
+// stream share.
+func OutputFromResponse(resp *QueryResponse) *tsq.Output {
 	out := &tsq.Output{
 		Kind:    resp.Kind,
 		Explain: fromExplainPayload(resp.Explain),
 		Trace:   fromTracePayload(resp.Trace),
 		Stats: tsq.Stats{
-			Elapsed:      time.Duration(resp.Stats.ElapsedUS * float64(time.Microsecond)),
-			NodeAccesses: resp.Stats.NodeAccesses,
-			PageReads:    resp.Stats.PageReads,
-			Candidates:   resp.Stats.Candidates,
-			Cached:       resp.Stats.Cached,
+			Elapsed:        time.Duration(resp.Stats.ElapsedUS * float64(time.Microsecond)),
+			NodeAccesses:   resp.Stats.NodeAccesses,
+			PageReads:      resp.Stats.PageReads,
+			Candidates:     resp.Stats.Candidates,
+			Cached:         resp.Stats.Cached,
+			RequestID:      resp.Stats.RequestID,
+			Delta:          resp.Stats.Delta,
+			Rung:           resp.Stats.Rung,
+			EarlyAccepts:   resp.Stats.EarlyAccepts,
+			BoundTightness: resp.Stats.BoundTightness,
 		},
 	}
 	out.Matches = make([]tsq.Match, len(resp.Matches))
 	for i, m := range resp.Matches {
-		out.Matches[i] = tsq.Match{Name: m.Name, Distance: m.Distance}
+		out.Matches[i] = tsq.Match{Name: m.Name, Distance: m.Distance, Bound: m.Bound}
 	}
 	out.Pairs = make([]tsq.Pair, len(resp.Pairs))
 	for i, p := range resp.Pairs {
 		out.Pairs[i] = tsq.Pair{A: p.A, B: p.B, Distance: p.Distance}
 	}
-	return out, nil
+	return out
+}
+
+// QueryProgressive runs a RANGE or NN statement progressively over
+// POST /query/progressive: onStage is called once per SSE stage, in
+// order — first the bounded approximate answer ("approximate"), then the
+// exact refinement (Final true). A non-nil error from onStage abandons
+// the stream. Blocks until the final stage, an error, or ctx ends.
+func (c *Client) QueryProgressive(ctx context.Context, q string, onStage func(ProgressiveStagePayload) error) error {
+	buf, err := json.Marshal(QueryRequest{Q: q})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/query/progressive", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "text/event-stream")
+	// Streaming must not inherit the client's request timeout; reuse its
+	// transport only.
+	hc := &http.Client{}
+	if c.HTTPClient != nil {
+		hc.Transport = c.HTTPClient.Transport
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), maxBodyBytes)
+	for {
+		event, data, err := nextSSE(sc)
+		if err != nil {
+			return err
+		}
+		var stage ProgressiveStagePayload
+		if err := json.Unmarshal(data, &stage); err != nil {
+			return fmt.Errorf("server: bad %s payload: %w", event, err)
+		}
+		if err := onStage(stage); err != nil {
+			return err
+		}
+		if stage.Final {
+			return nil
+		}
+	}
 }

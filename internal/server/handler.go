@@ -43,6 +43,9 @@ const maxBodyBytes = 64 << 20
 //	DELETE /monitors/{id}         remove a monitor
 //	GET    /watch?monitor=ID      SSE stream of enter/leave events
 //	POST   /query                 raw query-language statement {"q": "RANGE ..."}
+//	POST   /query/progressive     progressive RANGE/NN statement over SSE: an
+//	                              "approx" stage (bounded approximate answer)
+//	                              then the "final" exact refinement
 //	POST   /query/range           typed range query
 //	POST   /query/nn              typed k-NN query
 //	POST   /query/selfjoin        typed self join (planned by default; Table 1 methods via "method")
@@ -75,6 +78,12 @@ func New(s *tsq.Server) http.Handler {
 	mux.HandleFunc("GET /watch", func(w http.ResponseWriter, r *http.Request) {
 		r, _ = withRequestID(w, r)
 		h.watch(w, r)
+	})
+	// Progressive queries stream two SSE stages; like /watch, the timing
+	// wrapper would hide http.Flusher, so they get only the ID stamp.
+	mux.HandleFunc("POST /query/progressive", func(w http.ResponseWriter, r *http.Request) {
+		r, _ = withRequestID(w, r)
+		h.progressive(w, r)
 	})
 	handle("POST /query", h.query)
 	handle("POST /query/range", h.rangeQuery)
@@ -187,7 +196,17 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 	st := h.s.Stats()
 	var plans []PlanRecordPayload
+	var drift []DriftPointPayload
 	if r.URL.Query().Get("plans") == "1" {
+		for _, d := range st.Drift {
+			drift = append(drift, DriftPointPayload{
+				Kind:    d.Kind,
+				Seq:     d.Seq,
+				Samples: d.Samples,
+				P50:     d.P50,
+				P95:     d.P95,
+			})
+		}
 		plans = make([]PlanRecordPayload, len(st.Plans))
 		for i, p := range st.Plans {
 			plans[i] = PlanRecordPayload{
@@ -238,6 +257,7 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		ElapsedUS:     float64(st.Elapsed.Microseconds()),
 		UptimeSeconds: st.Uptime.Seconds(),
 		Plans:         plans,
+		Drift:         drift,
 		Slow:          slow,
 	})
 }
@@ -310,7 +330,7 @@ func toQueryResponse(kind string, matches []tsq.Match, pairs []tsq.Pair, st tsq.
 	resp := &QueryResponse{Kind: kind, Stats: toStatsPayload(st)}
 	resp.Matches = make([]MatchPayload, len(matches))
 	for i, m := range matches {
-		resp.Matches[i] = MatchPayload{Name: m.Name, Distance: m.Distance}
+		resp.Matches[i] = MatchPayload{Name: m.Name, Distance: m.Distance, Bound: m.Bound}
 	}
 	resp.Pairs = make([]PairPayload, len(pairs))
 	for i, p := range pairs {
@@ -337,6 +357,52 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 	resp.Explain = toExplainPayload(out.Explain)
 	resp.Trace = toTracePayload(out.Trace)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// progressive serves POST /query/progressive: the statement's approximate
+// stage streams as an "approx" SSE event the moment it completes, then
+// the exact refinement follows as the "final" event — the progressive
+// delivery tier over the same SSE plumbing /watch uses.
+func (h *handler) progressive(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Q) == "" {
+		writeError(w, r, http.StatusBadRequest, errors.New("empty query"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, r, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	headersSent := false
+	seq := int64(0)
+	emit := func(stage tsq.ProgressiveStage) error {
+		if !headersSent {
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.Header().Set("Cache-Control", "no-cache")
+			w.Header().Set("Connection", "keep-alive")
+			w.WriteHeader(http.StatusOK)
+			headersSent = true
+		}
+		out := stage.Output
+		resp := toQueryResponse(out.Kind, out.Matches, out.Pairs, out.Stats)
+		resp.Explain = toExplainPayload(out.Explain)
+		resp.Trace = toTracePayload(out.Trace)
+		event := "approx"
+		if stage.Final {
+			event = "final"
+		}
+		seq++
+		writeSSE(w, event, seq, ProgressiveStagePayload{Phase: stage.Phase, Final: stage.Final, Result: *resp})
+		flusher.Flush()
+		return r.Context().Err()
+	}
+	if err := h.s.QueryProgressive(req.Q, emit, tsq.WithRequest(requestID(r))); err != nil && !headersSent {
+		writeEngineError(w, r, err)
+	}
 }
 
 func parseUsing(using string) ([]tsq.QueryOpt, error) {
@@ -379,6 +445,9 @@ func (h *handler) rangeQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Std != nil {
 		opts = append(opts, tsq.StdRange(req.Std[0], req.Std[1]))
+	}
+	if req.Delta > 0 {
+		opts = append(opts, tsq.WithApprox(req.Delta))
 	}
 	opts = append(opts, tsq.WithRequest(requestID(r)))
 	var (
@@ -425,6 +494,9 @@ func (h *handler) nnQuery(w http.ResponseWriter, r *http.Request) {
 	if req.K < 1 {
 		writeError(w, r, http.StatusBadRequest, errors.New("k must be a positive integer"))
 		return
+	}
+	if req.Delta > 0 {
+		opts = append(opts, tsq.WithApprox(req.Delta))
 	}
 	opts = append(opts, tsq.WithRequest(requestID(r)))
 	var (

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"repro/internal/dft"
 	"repro/internal/series"
@@ -168,6 +169,24 @@ func Identity(n int) T {
 		a[i] = 1
 	}
 	return T{A: a, B: make([]complex128, n), Name: "identity"}
+}
+
+// identCache memoizes CachedIdentity per length. Safe to share: every
+// consumer in the tree treats a T's slices as immutable (Compose and the
+// constructors allocate fresh ones), and a process only ever sees a
+// handful of store lengths.
+var identCache sync.Map // int -> T
+
+// CachedIdentity is Identity without the two per-call slice allocations —
+// the identity transformation is the default of every untransformed
+// query, which makes those allocations a per-query hot-path cost.
+func CachedIdentity(n int) T {
+	if v, ok := identCache.Load(n); ok {
+		return v.(T)
+	}
+	t := Identity(n)
+	identCache.Store(n, t)
+	return t
 }
 
 // Scale returns the transformation multiplying every coefficient by the

@@ -1,6 +1,7 @@
 package tsq
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -74,6 +75,16 @@ type ExplainInfo struct {
 	// measured cost — EXPLAIN's "estimated vs actual".
 	ActualCandidates   int
 	ActualNodeAccesses int
+	// ApproxDelta, ApproxRung, ApproxEstSpeedup, and ApproxTightness
+	// describe an approximate plan (APPROX delta > 0): the guaranteed
+	// (1+delta) error bound, the feature-ladder rung verification starts
+	// bound checks at, the planner's estimated verification speedup, and
+	// the EWMA of realized bound tightness the rung was tuned from (0 =
+	// no feedback yet). All zero on exact plans.
+	ApproxDelta      float64
+	ApproxRung       int
+	ApproxEstSpeedup float64
+	ApproxTightness  float64
 	// PerShard is the fan-out's per-shard provenance (nil on single-store
 	// executions).
 	PerShard []ShardExecInfo
@@ -108,6 +119,12 @@ func explainFrom(pl *plan.Plan, st core.ExecStats) *ExplainInfo {
 		EstScanCost:        pl.Est.ScanCost,
 		ActualCandidates:   st.Candidates,
 		ActualNodeAccesses: st.NodeAccesses,
+	}
+	if pl.Approx != nil {
+		out.ApproxDelta = pl.Approx.Delta
+		out.ApproxRung = pl.Approx.Rung
+		out.ApproxEstSpeedup = pl.Approx.EstSpeedup
+		out.ApproxTightness = pl.Approx.Tightness
 	}
 	if pl.Rect.Dims() > 0 {
 		out.RectLo = append([]float64(nil), pl.Rect.Lo...)
@@ -154,6 +171,12 @@ func (db *DB) Query(src string) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
+	return db.convertOutput(out), nil
+}
+
+// convertOutput renders one executed statement into the public Output
+// shape — shared by Query and the progressive delivery path.
+func (db *DB) convertOutput(out *query.Output) *Output {
 	res := &Output{
 		Kind:    out.Kind.String(),
 		Matches: toMatches(out.Results),
@@ -173,5 +196,57 @@ func (db *DB) Query(src string) (*Output, error) {
 		}
 		res.Trace = &TraceInfo{Total: total, Spans: spans}
 	}
-	return res, nil
+	return res
+}
+
+// DefaultProgressiveDelta is the approximation slack of the first stage
+// of a progressive query whose statement carries no APPROX clause.
+const DefaultProgressiveDelta = 0.1
+
+// ProgressiveStage is one delivery of a progressive query execution: the
+// approximate stage arrives first (Phase "approximate", every Match
+// carrying its certified error bound), then the exact refinement (Phase
+// "exact", Final true).
+type ProgressiveStage struct {
+	Phase  string
+	Output *Output
+	Final  bool
+}
+
+// QueryProgressive executes a RANGE or NN statement progressively: an
+// approximate stage — the statement's APPROX delta, or
+// DefaultProgressiveDelta when the statement is exact — is computed and
+// emitted immediately, then the exact answer (APPROX 0) follows as the
+// final stage. emit is called once per stage, in order; a non-nil error
+// from emit aborts the refinement and is returned. Each stage executes
+// independently, so the exact refinement reflects writes that landed
+// between the stages.
+func (db *DB) QueryProgressive(src string, emit func(ProgressiveStage) error) error {
+	stmt, err := query.Parse(src)
+	if err != nil {
+		return err
+	}
+	if stmt.Kind != query.StmtRange && stmt.Kind != query.StmtNN {
+		return fmt.Errorf("tsq: progressive execution applies to RANGE and NN statements, not %s", stmt.Kind)
+	}
+	delta := stmt.Delta
+	if delta == 0 {
+		delta = DefaultProgressiveDelta
+	}
+	approx := *stmt
+	approx.Delta = delta
+	out, err := query.Exec(db.eng, &approx)
+	if err != nil {
+		return err
+	}
+	if err := emit(ProgressiveStage{Phase: "approximate", Output: db.convertOutput(out)}); err != nil {
+		return err
+	}
+	exact := *stmt
+	exact.Delta = 0
+	out, err = query.Exec(db.eng, &exact)
+	if err != nil {
+		return err
+	}
+	return emit(ProgressiveStage{Phase: "exact", Output: db.convertOutput(out), Final: true})
 }

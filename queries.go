@@ -15,6 +15,11 @@ import (
 type Match struct {
 	Name     string
 	Distance float64
+	// Bound is the certified distance upper bound of an approximate answer
+	// (APPROX delta > 0): the true distance lies in [Distance, Bound] for
+	// range answers and is at most Bound for NN answers, with
+	// Bound <= (1+delta) * exact. Zero on exact executions.
+	Bound float64
 }
 
 // Pair is one all-pairs (join) answer.
@@ -48,6 +53,16 @@ type Stats struct {
 	// (GET /traces), and log lines, so any one signal resolves to the
 	// others. Empty on direct DB-level executions.
 	RequestID string
+	// Delta is the approximation slack the execution ran under (0 =
+	// exact); Rung is the planner's estimated accepting ladder
+	// checkpoint. EarlyAccepts counts candidates accepted from the
+	// truncated bound without a full verification walk, and
+	// BoundTightness is their mean realized lower/upper bound ratio
+	// (1 = the bound closed exactly; 0 when no early accepts happened).
+	Delta          float64
+	Rung           int
+	EarlyAccepts   int
+	BoundTightness float64
 }
 
 // SpanInfo is one timed step of a query execution's trace tree.
@@ -80,14 +95,21 @@ func spansFrom(spans []core.Span) []SpanInfo {
 }
 
 func fromExec(st core.ExecStats) Stats {
-	return Stats{
+	out := Stats{
 		Elapsed:      st.Elapsed,
 		NodeAccesses: st.NodeAccesses,
 		PageReads:    st.PageReads,
 		Candidates:   st.Candidates,
 		Strategy:     st.Strategy,
 		Spans:        spansFrom(st.Spans),
+		Delta:        st.Delta,
+		Rung:         st.Rung,
+		EarlyAccepts: st.EarlyAccepts,
 	}
+	if st.EarlyAccepts > 0 {
+		out.BoundTightness = st.BoundTightSum / float64(st.EarlyAccepts)
+	}
+	return out
 }
 
 // Strategy selects the execution plan for Range and NN queries.
@@ -118,6 +140,7 @@ type queryOpts struct {
 	strategy Strategy
 	moments  feature.MomentBounds
 	both     bool
+	delta    float64
 	// reqID is the caller-supplied correlation ID (see WithRequest). It
 	// is deliberately excluded from cache keys: two identical queries
 	// with different request IDs are the same query.
@@ -139,6 +162,23 @@ func With(s Strategy) QueryOpt {
 // DB-level queries, which have no observability session.
 func WithRequest(id string) QueryOpt {
 	return func(o *queryOpts) { o.reqID = id }
+}
+
+// WithApprox runs the query approximately with a guaranteed (1+delta)
+// error bound: range answers are a superset of the exact answer set and
+// every reported Match carries Distance <= true distance <= Bound with
+// Bound <= (1+delta)*eps; NN answers report each rank within a (1+delta)
+// factor of the exact k-th distance. delta 0 (or a negative value,
+// clamped) runs the exact path byte-identically. The engine trades the
+// slack for latency by early-accepting candidates from Lemma 1's
+// truncated-coefficient bounds instead of completing every verification
+// walk.
+func WithApprox(delta float64) QueryOpt {
+	return func(o *queryOpts) {
+		if delta > 0 {
+			o.delta = delta
+		}
+	}
 }
 
 // TransformBoth applies the transformation to the query as well as the
@@ -173,7 +213,7 @@ func StdRange(lo, hi float64) QueryOpt {
 	}
 }
 
-func (db *DB) rangeQuery(values []float64, eps float64, t Transform, opts []QueryOpt) ([]Match, Stats, error) {
+func (db *DB) rangeQuery(values []float64, prep *core.QueryPrep, eps float64, t Transform, opts []QueryOpt) ([]Match, Stats, error) {
 	var qo queryOpts
 	for _, o := range opts {
 		o(&qo)
@@ -185,10 +225,12 @@ func (db *DB) rangeQuery(values []float64, eps float64, t Transform, opts []Quer
 	rq := core.RangeQuery{
 		Values:     values,
 		Eps:        eps,
+		Delta:      qo.delta,
 		Transform:  tr,
 		Moments:    qo.moments,
 		WarpFactor: warp,
 		BothSides:  qo.both,
+		Prep:       prep,
 	}
 	var (
 		res []core.Result
@@ -218,7 +260,7 @@ func (db *DB) rangeQuery(values []float64, eps float64, t Transform, opts []Quer
 func toMatches(res []core.Result) []Match {
 	out := make([]Match, len(res))
 	for i, r := range res {
-		out[i] = Match{Name: r.Name, Distance: r.Dist}
+		out[i] = Match{Name: r.Name, Distance: r.Dist, Bound: r.Bound}
 	}
 	return out
 }
@@ -227,21 +269,42 @@ func toMatches(res []core.Result) []Match {
 // nf is the normal form. For Warp(m) transforms the query must have length
 // m * Length(). Results are sorted by distance.
 func (db *DB) Range(q []float64, eps float64, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
-	return db.rangeQuery(q, eps, t, opts)
+	return db.rangeQuery(q, nil, eps, t, opts)
 }
 
-// RangeByName runs Range with a stored series as the query.
+// RangeByName runs Range with a stored series as the query. Because the
+// query is a stored record, its plan reuses the indexed feature point
+// and stored spectrum instead of recomputing them from the raw values.
 func (db *DB) RangeByName(name string, eps float64, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
-	values, err := db.Series(name)
+	values, prep, err := db.namedQuery(name)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return db.rangeQuery(values, eps, t, opts)
+	return db.rangeQuery(values, prep, eps, t, opts)
+}
+
+// namedQuery resolves a stored series into its raw values plus the
+// stored-record planning artifacts the by-name entry points hand to the
+// planner.
+func (db *DB) namedQuery(name string) ([]float64, *core.QueryPrep, error) {
+	values, err := db.Series(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	var prep *core.QueryPrep
+	if id, ok := db.eng.IDByName(name); ok {
+		prep, _ = db.eng.QueryPrep(id)
+	}
+	return values, prep, nil
 }
 
 // NN finds the k stored series minimizing D(T(nf(x)), nf(q)), sorted by
 // distance.
 func (db *DB) NN(q []float64, k int, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
+	return db.nnQuery(q, nil, k, t, opts)
+}
+
+func (db *DB) nnQuery(q []float64, prep *core.QueryPrep, k int, t Transform, opts []QueryOpt) ([]Match, Stats, error) {
 	var qo queryOpts
 	for _, o := range opts {
 		o(&qo)
@@ -250,7 +313,7 @@ func (db *DB) NN(q []float64, k int, t Transform, opts ...QueryOpt) ([]Match, St
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	nq := core.NNQuery{Values: q, K: k, Transform: tr, WarpFactor: warp, BothSides: qo.both}
+	nq := core.NNQuery{Values: q, K: k, Delta: qo.delta, Transform: tr, WarpFactor: warp, BothSides: qo.both, Prep: prep}
 	var (
 		res []core.Result
 		st  core.ExecStats
@@ -272,13 +335,14 @@ func (db *DB) NN(q []float64, k int, t Transform, opts ...QueryOpt) ([]Match, St
 	return toMatches(res), fromExec(st), nil
 }
 
-// NNByName runs NN with a stored series as the query.
+// NNByName runs NN with a stored series as the query. Like RangeByName,
+// the plan reuses the stored record's indexed feature point and spectrum.
 func (db *DB) NNByName(name string, k int, t Transform, opts ...QueryOpt) ([]Match, Stats, error) {
-	values, err := db.Series(name)
+	values, prep, err := db.namedQuery(name)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return db.NN(values, k, t, opts...)
+	return db.nnQuery(values, prep, k, t, opts)
 }
 
 // JoinMethod selects the Table 1 self-join strategy.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/feature"
 	"repro/internal/flight"
 	"repro/internal/lru"
+	"repro/internal/query"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
@@ -209,7 +210,24 @@ type ServerStats struct {
 	// /stats.
 	Plans []PlanRecord
 
+	// Drift is the engine's per-kind cost-error percentile history
+	// (oldest first): every 16 executed plans of a kind freeze that
+	// window's p50/p95 of |actual-est|/max(est,1), so calibration drift
+	// over time stays visible where the ring alone shows only the
+	// current population.
+	Drift []PlanDriftPoint
+
 	Uptime time.Duration
+}
+
+// PlanDriftPoint is one per-kind percentile checkpoint of planner cost
+// error over time.
+type PlanDriftPoint struct {
+	Kind    string
+	Seq     int64
+	Samples int
+	P50     float64
+	P95     float64
 }
 
 // PlanRecord is one executed plan from the engine's history ring.
@@ -255,8 +273,23 @@ func (s *Server) Stats() ServerStats {
 		Candidates:   s.candidates.Load(),
 		Elapsed:      time.Duration(s.elapsed.Load()),
 		Plans:        s.planHistory(),
+		Drift:        s.planDrift(),
 		Uptime:       time.Since(s.started),
 	}
+}
+
+// planDrift converts the engine's cost-error checkpoint history to the
+// public type.
+func (s *Server) planDrift() []PlanDriftPoint {
+	pts := s.db.eng.PlanDrift()
+	if len(pts) == 0 {
+		return nil
+	}
+	out := make([]PlanDriftPoint, len(pts))
+	for i, p := range pts {
+		out[i] = PlanDriftPoint{Kind: p.Kind, Seq: p.Seq, Samples: p.Samples, P50: p.P50, P95: p.P95}
+	}
+	return out
 }
 
 // planHistory converts the engine's executed-plan ring to the public
@@ -785,7 +818,7 @@ func optsKey(opts []QueryOpt) string {
 	for _, o := range opts {
 		o(&qo)
 	}
-	return fmt.Sprintf("s%d.b%t.m%s", int(qo.strategy), qo.both, momentsKey(qo.moments))
+	return fmt.Sprintf("s%d.b%t.d%g.m%s", int(qo.strategy), qo.both, qo.delta, momentsKey(qo.moments))
 }
 
 // reqIDOf extracts the WithRequest correlation ID from opts ("" when the
@@ -990,6 +1023,73 @@ func (s *Server) Query(src string, opts ...QueryOpt) (*Output, error) {
 		Pairs:   clonePairs(r.output.Pairs),
 		Stats:   st,
 	}, nil
+}
+
+// QueryProgressive executes a RANGE or NN statement progressively: the
+// approximate stage (the statement's APPROX delta, or
+// DefaultProgressiveDelta when it carries none) is computed and emitted
+// first, then the exact refinement follows as the final stage. Each
+// stage executes under its own shared-lock acquisition, so writers are
+// never blocked while a stage is being delivered to a slow consumer; the
+// exact refinement reflects writes that landed between the stages.
+// Progressive results bypass the cache — their value is the live
+// two-stage delivery.
+func (s *Server) QueryProgressive(src string, emit func(ProgressiveStage) error, opts ...QueryOpt) error {
+	s.queries.Add(1)
+	reqID := reqIDOf(opts)
+	if reqID == "" {
+		reqID = flight.NewID()
+	}
+	start := time.Now()
+	trimmed := strings.TrimSpace(src)
+	fail := func(err error) error {
+		elapsed := time.Since(start)
+		observeQuery("progressive", "", "error", elapsed)
+		s.flightRecord(reqID, "progressive", "", flight.OutcomeError, trimmed, err.Error(), elapsed, nil)
+		return err
+	}
+	stmt, err := query.Parse(src)
+	if err != nil {
+		return fail(err)
+	}
+	if stmt.Kind != query.StmtRange && stmt.Kind != query.StmtNN {
+		return fail(fmt.Errorf("tsq: progressive execution applies to RANGE and NN statements, not %s", stmt.Kind))
+	}
+	delta := stmt.Delta
+	if delta == 0 {
+		delta = DefaultProgressiveDelta
+	}
+	run := func(d float64) (*Output, error) {
+		stage := *stmt
+		stage.Delta = d
+		s.rlock()
+		out, err := query.Exec(s.db.eng, &stage)
+		s.runlock()
+		if err != nil {
+			return nil, err
+		}
+		res := s.db.convertOutput(out)
+		res.Stats.RequestID = reqID
+		s.record(res.Stats)
+		return res, nil
+	}
+	approxOut, err := run(delta)
+	if err != nil {
+		return fail(err)
+	}
+	if err := emit(ProgressiveStage{Phase: "approximate", Output: approxOut}); err != nil {
+		return err
+	}
+	exactOut, err := run(0)
+	if err != nil {
+		return fail(err)
+	}
+	err = emit(ProgressiveStage{Phase: "exact", Output: exactOut, Final: true})
+	elapsed := time.Since(start)
+	observeQuery("progressive", exactOut.Stats.Strategy, "ok", elapsed)
+	s.slowRecord(trimmed, elapsed, exactOut.Stats.Spans, reqID)
+	s.flightRecord(reqID, "progressive", exactOut.Stats.Strategy, flight.OutcomeOK, trimmed, "", elapsed, exactOut.Stats.Spans)
+	return err
 }
 
 // isUncachedStatement reports whether a statement's first word is EXPLAIN

@@ -258,7 +258,7 @@ func (t Transform) materialize(n int) (transform.T, int, error) {
 		}
 		return transform.Warp(n, t.warp).WithCost(t.cost), t.warp, nil
 	}
-	out := transform.Identity(n)
+	out := transform.CachedIdentity(n)
 	for i, s := range t.steps {
 		var step transform.T
 		switch s.kind {
