@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt serve clean bench-smoke bench-throughput bench-append bench-plan bench-join bench-metrics-overhead bench-perf bench-perf-baseline bench-approx alloc-gate
+.PHONY: build test vet fmt serve clean bench-smoke bench-throughput bench-append bench-plan bench-join bench-metrics-overhead bench-perf bench-perf-baseline bench-approx bench-coldstart alloc-gate
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,12 @@ bench-perf-baseline:
 # workload — and write the report to BENCH_7.json.
 bench-approx:
 	TSQ_BENCH_OUT=$(CURDIR)/BENCH_7.json $(GO) test -run TestApproxReport -timeout 20m -v .
+
+# Measure cold start (TSQ3 slab adopt vs legacy full rebuild, shards 1
+# and 4) and disk-backed query throughput as the buffer pool shrinks to
+# 100%, 50%, 10% of the working set; write the report to BENCH_8.json.
+bench-coldstart:
+	TSQ_BENCH_OUT=$(CURDIR)/BENCH_8.json $(GO) test -run TestColdStartReport -timeout 20m -v .
 
 # Allocation-regression gate: warm planned range/NN executions through the
 # Into entry points must allocate nothing (fails CI otherwise).

@@ -1,0 +1,224 @@
+// Cold-start and larger-than-RAM benchmarks for the disk-backed storage
+// tier:
+//
+//   - cold start: loading a TSQ3 snapshot (serialized spectra, feature
+//     points, and packed per-shard R*-trees — validate and adopt) against
+//     loading the same series from a legacy series-only snapshot (full
+//     rebuild: extraction, FFT, STR bulk load);
+//   - steady state: query throughput of a disk-backed store as its
+//     buffer pool shrinks from the whole working set (100%) to 50% and
+//     10% of the pages.
+//
+// TestColdStartReport is gated by TSQ_BENCH_OUT (skipped when unset;
+// `make bench-coldstart` drives it) and writes the JSON report published
+// as BENCH_8.json.
+package tsq_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	tsq "repro"
+	"repro/internal/core"
+)
+
+const (
+	coldBenchCount  = 2000
+	coldBenchLength = 512
+	coldBenchSeed   = 1997
+	coldBenchShards = 4
+	coldBenchRuns   = 5
+)
+
+// coldBenchBatch synthesizes the random-walk workload once.
+func coldBenchBatch() []tsq.NamedSeries {
+	r := rand.New(rand.NewSource(coldBenchSeed))
+	batch := make([]tsq.NamedSeries, coldBenchCount)
+	for i := range batch {
+		vals := make([]float64, coldBenchLength)
+		v := 100.0
+		for j := range vals {
+			v += r.NormFloat64()
+			vals[j] = v
+		}
+		batch[i] = tsq.NamedSeries{Name: fmt.Sprintf("W%05d", i), Values: vals}
+	}
+	return batch
+}
+
+// medianLoadMS loads the snapshot bytes n times and returns the median
+// wall time in milliseconds (memory reader: measures the load path, not
+// the disk the snapshot happens to sit on).
+func medianLoadMS(t *testing.T, snap []byte, runs int, load func(*bytes.Reader) error) float64 {
+	t.Helper()
+	times := make([]float64, runs)
+	for i := range times {
+		r := bytes.NewReader(snap)
+		start := time.Now()
+		if err := load(r); err != nil {
+			t.Fatal(err)
+		}
+		times[i] = float64(time.Since(start).Microseconds()) / 1000
+	}
+	sort.Float64s(times)
+	return times[runs/2]
+}
+
+type coldStartPoint struct {
+	Shards        int     `json:"shards"`
+	SnapshotBytes int     `json:"snapshot_bytes"`
+	LegacyBytes   int     `json:"legacy_bytes"`
+	RebuildMS     float64 `json:"rebuild_ms"`
+	AdoptMS       float64 `json:"adopt_ms"`
+	Speedup       float64 `json:"speedup"`
+}
+
+type cachePoint struct {
+	CachePct   int     `json:"cache_pct"`
+	CachePages int     `json:"cache_pages"`
+	RangeQPS   float64 `json:"range_qps"`
+	NNQPS      float64 `json:"nn_qps"`
+	PoolHits   int64   `json:"pool_hits"`
+	PoolMisses int64   `json:"pool_misses"`
+	Evictions  int64   `json:"pool_evictions"`
+}
+
+// TestColdStartReport measures the two claims of the disk tier — O(read)
+// cold start from a TSQ3 snapshot, and graceful throughput decay as the
+// buffer pool shrinks below the working set — and writes the report to
+// TSQ_BENCH_OUT (skipped when unset; `make bench-coldstart` drives it).
+func TestColdStartReport(t *testing.T) {
+	out := os.Getenv("TSQ_BENCH_OUT")
+	if out == "" {
+		t.Skip("TSQ_BENCH_OUT not set; run via `make bench-coldstart`")
+	}
+	batch := coldBenchBatch()
+
+	report := struct {
+		Benchmark string           `json:"benchmark"`
+		Series    int              `json:"series"`
+		Length    int              `json:"length"`
+		ColdStart []coldStartPoint `json:"cold_start"`
+		DiskQPS   []cachePoint     `json:"disk_qps"`
+	}{
+		Benchmark: "cold start: TSQ3 slab adopt vs legacy rebuild; disk-backed qps vs buffer-pool size",
+		Series:    coldBenchCount,
+		Length:    coldBenchLength,
+	}
+
+	// --- Cold start: adopt vs rebuild, at shards 1 and 4. ---
+	var snap3 []byte // reused below for the disk-backed loads
+	for _, shards := range []int{1, coldBenchShards} {
+		db, err := tsq.Open(tsq.Options{Length: coldBenchLength, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.InsertBulk(batch); err != nil {
+			t.Fatal(err)
+		}
+		var v3, legacy bytes.Buffer
+		if _, err := db.WriteTo(&v3); err != nil {
+			t.Fatal(err)
+		}
+		switch eng := db.Engine().(type) {
+		case *core.DB:
+			_, err = eng.WriteLegacyTo(&legacy)
+		case *core.Sharded:
+			_, err = eng.WriteLegacyTo(&legacy)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rebuildMS := medianLoadMS(t, legacy.Bytes(), coldBenchRuns, func(r *bytes.Reader) error {
+			_, err := tsq.ReadFromShards(r, shards)
+			return err
+		})
+		adoptMS := medianLoadMS(t, v3.Bytes(), coldBenchRuns, func(r *bytes.Reader) error {
+			_, err := tsq.ReadFromShards(r, shards)
+			return err
+		})
+		p := coldStartPoint{
+			Shards:        shards,
+			SnapshotBytes: v3.Len(),
+			LegacyBytes:   legacy.Len(),
+			RebuildMS:     rebuildMS,
+			AdoptMS:       adoptMS,
+			Speedup:       rebuildMS / adoptMS,
+		}
+		report.ColdStart = append(report.ColdStart, p)
+		t.Logf("cold start shards=%d: rebuild %.1f ms, adopt %.1f ms, %.1fx (snapshot %d bytes)",
+			shards, p.RebuildMS, p.AdoptMS, p.Speedup, p.SnapshotBytes)
+		if shards == 1 {
+			snap3 = append([]byte(nil), v3.Bytes()...)
+		}
+	}
+
+	// --- Disk-backed throughput vs pool size. The spectrum relation is
+	// the larger one: 2*length floats per record = 2 pages at the default
+	// page size, so its working set is 2*coldBenchCount pages and 100%
+	// means a pool that holds all of it. ---
+	const queries = 400
+	const workingPages = 2 * coldBenchCount
+	probeEps := 25.0
+	for _, pct := range []int{100, 50, 10} {
+		cache := workingPages * pct / 100
+		dir := t.TempDir()
+		db, err := tsq.ReadFromOptions(bytes.NewReader(snap3),
+			tsq.Options{Shards: 1, Backing: dir, CachePages: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(coldBenchSeed + int64(pct)))
+		probe := func() string { return fmt.Sprintf("W%05d", rng.Intn(coldBenchCount)) }
+		// Warm the plans and part of the pool.
+		for i := 0; i < 20; i++ {
+			if _, _, err := db.RangeByName(probe(), probeEps, tsq.Identity()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			if _, _, err := db.RangeByName(probe(), probeEps, tsq.Identity()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rangeQPS := float64(queries) / time.Since(start).Seconds()
+		start = time.Now()
+		for i := 0; i < queries; i++ {
+			if _, _, err := db.NNByName(probe(), 10, tsq.Identity()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nnQPS := float64(queries) / time.Since(start).Seconds()
+		ps := db.PoolStats()
+		if !ps.DiskBacked {
+			t.Fatal("benchmark store is not disk-backed")
+		}
+		p := cachePoint{
+			CachePct: pct, CachePages: cache,
+			RangeQPS: rangeQPS, NNQPS: nnQPS,
+			PoolHits: ps.Hits, PoolMisses: ps.Misses, Evictions: ps.Evictions,
+		}
+		report.DiskQPS = append(report.DiskQPS, p)
+		t.Logf("cache %3d%% (%d pages): range %.0f qps, nn %.0f qps, pool %d hits / %d misses / %d evictions",
+			pct, cache, rangeQPS, nnQPS, ps.Hits, ps.Misses, ps.Evictions)
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -317,6 +317,33 @@ func renderFrame(remote string, cur, prev *snapshot) {
 			imbSum/imbCount, imbCount)
 	}
 
+	// Buffer pool (page cache). Hit/miss/eviction counters are scrape-time
+	// totals on the gauge surface; show frame deltas like the query counters.
+	poolDelta := func(name string) float64 {
+		v := cur.byKey[name]
+		if prev != nil {
+			v -= prev.byKey[name]
+		}
+		return v
+	}
+	poolHits := poolDelta("tsq_pool_hits_total")
+	poolMisses := poolDelta("tsq_pool_misses_total")
+	if capacity := cur.byKey["tsq_pool_capacity_pages"]; capacity > 0 {
+		poolHitRate := 0.0
+		if poolHits+poolMisses > 0 {
+			poolHitRate = 100 * poolHits / (poolHits + poolMisses)
+		}
+		backing := "memory"
+		if cur.byKey["tsq_store_disk_backed"] > 0 {
+			backing = "disk"
+		}
+		fmt.Printf("pool (%s): %.1f%% hit (%.0f hits / %.0f misses), %.0f evictions, %.0f/%.0f resident, %.0f pinned\n",
+			backing, poolHitRate, poolHits, poolMisses,
+			poolDelta("tsq_pool_evictions_total"),
+			cur.byKey["tsq_pool_resident_pages"], capacity,
+			cur.byKey["tsq_pool_pinned_pages"])
+	}
+
 	// Streaming health.
 	dropped := cur.byKey["tsq_watch_dropped_events_total"]
 	fmt.Printf("monitors %d, subscribers %.0f, dropped watch events %.0f\n",

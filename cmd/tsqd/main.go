@@ -24,6 +24,7 @@
 //	tsqd -snapshot db.tsq -length 128        # empty DB, persisted on exit
 //	tsqd -data walks.csv -shards 8           # hash-partitioned, parallel fan-out
 //	tsqd -data walks.csv -retain 1024        # deeper /watch replay buffer
+//	tsqd -data big.csv -backing /var/tsq -cache-pages 2048  # larger-than-RAM store
 //	tsqd -data walks.csv -pprof localhost:6060  # profiling side listener
 //	tsqd -data walks.csv -slow 5ms           # lower slow-query threshold
 //	tsqd -data walks.csv -log-level debug    # verbose JSON logs
@@ -73,6 +74,8 @@ func main() {
 		pprof    = flag.String("pprof", "", "address of a net/http/pprof side listener (e.g. localhost:6060; empty disables) — profiling stays off the query port")
 		slow     = flag.Duration("slow", 0, "slow-query threshold: queries at or above it are retained with their trace spans in /stats?slow=1 and GET /traces (0 = default 25ms; negative disables)")
 		logLevel = flag.String("log-level", "info", "minimum log severity: debug, info, warn, or error")
+		backing  = flag.String("backing", "", "directory for disk-backed storage: series and spectrum pages live in files there behind a fixed buffer pool, so the store can exceed RAM (empty = all in memory); the files are scratch storage, not a snapshot — pair with -snapshot for durability")
+		cachePgs = flag.Int("cache-pages", 0, "buffer-pool frames per relation for -backing stores (0 = default 1024; at the default 4 KiB page size 1024 frames cache 4 MiB per relation)")
 	)
 	flag.Parse()
 
@@ -84,17 +87,21 @@ func main() {
 	tlog.SetLevel(min)
 	tlog.SetOutput(os.Stderr)
 
-	if err := run(*addr, *dataPath, *snapPath, *length, *k, *space, *cache, *shards, *retain, *refresh, *pprof, *slow); err != nil {
+	if err := run(*addr, *dataPath, *snapPath, *length, *k, *space, *cache, *shards, *retain, *refresh, *pprof, *slow, *backing, *cachePgs); err != nil {
 		fmt.Fprintln(os.Stderr, "tsqd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize, shards, retain, refresh int, pprofAddr string, slow time.Duration) error {
-	db, origin, err := loadDB(dataPath, snapPath, length, k, space, shards, refresh)
+func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize, shards, retain, refresh int, pprofAddr string, slow time.Duration, backing string, cachePages int) error {
+	db, origin, err := loadDB(dataPath, snapPath, length, k, space, shards, refresh, backing, cachePages)
 	if err != nil {
 		return err
 	}
+	// Close releases the scratch page files of a -backing store (no-op in
+	// memory mode). Deferred so every exit path — including load and listen
+	// errors — cleans up.
+	defer db.Close()
 	if cacheSize == 0 {
 		cacheSize = -1 // ServerOptions: negative disables, zero means default
 	}
@@ -103,7 +110,8 @@ func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize
 	}
 	srv := tsq.NewServer(db, tsq.ServerOptions{CacheSize: cacheSize, MonitorRetain: retain, SlowThreshold: slow})
 	tlog.Info("loaded store",
-		"series", srv.Len(), "length", srv.Length(), "origin", origin, "shards", db.Shards())
+		"series", srv.Len(), "length", srv.Length(), "origin", origin, "shards", db.Shards(),
+		"disk_backed", db.PoolStats().DiskBacked)
 
 	// Request contexts derive from baseCtx so long-lived /watch SSE
 	// streams end promptly at shutdown — otherwise graceful Shutdown
@@ -165,13 +173,15 @@ func run(addr, dataPath, snapPath string, length, k int, space string, cacheSize
 // shard count (and means 1 for fresh stores); n >= 1 forces n shards —
 // re-sharding a snapshot on load is always possible because partition
 // assignment is a pure hash of the series name.
-func loadDB(dataPath, snapPath string, length, k int, space string, shards, refresh int) (*tsq.DB, string, error) {
+func loadDB(dataPath, snapPath string, length, k int, space string, shards, refresh int, backing string, cachePages int) (*tsq.DB, string, error) {
 	if snapPath != "" {
 		f, err := os.Open(snapPath)
 		switch {
 		case err == nil:
 			defer f.Close()
-			db, err := tsq.ReadFromShards(f, shards)
+			db, err := tsq.ReadFromOptions(f, tsq.Options{
+				Shards: shards, Backing: backing, CachePages: cachePages,
+			})
 			if err != nil {
 				return nil, "", fmt.Errorf("snapshot %s: %w", snapPath, err)
 			}
@@ -186,11 +196,12 @@ func loadDB(dataPath, snapPath string, length, k int, space string, shards, refr
 		if err != nil {
 			return nil, "", err
 		}
-		db, err := openEmpty(len(batch[0].Values), k, space, shards, refresh)
+		db, err := openEmpty(len(batch[0].Values), k, space, shards, refresh, backing, cachePages)
 		if err != nil {
 			return nil, "", err
 		}
 		if err := db.InsertBulk(batch); err != nil {
+			db.Close()
 			return nil, "", err
 		}
 		return db, dataPath, nil
@@ -199,19 +210,22 @@ func loadDB(dataPath, snapPath string, length, k int, space string, shards, refr
 	if length <= 0 {
 		return nil, "", fmt.Errorf("-length is required when starting without -data or an existing snapshot")
 	}
-	db, err := openEmpty(length, k, space, shards, refresh)
+	db, err := openEmpty(length, k, space, shards, refresh, backing, cachePages)
 	if err != nil {
 		return nil, "", err
 	}
 	return db, "empty store", nil
 }
 
-func openEmpty(length, k int, space string, shards, refresh int) (*tsq.DB, error) {
+func openEmpty(length, k int, space string, shards, refresh int, backing string, cachePages int) (*tsq.DB, error) {
 	sp, err := tsq.ParseSpace(space)
 	if err != nil {
 		return nil, err
 	}
-	return tsq.Open(tsq.Options{Length: length, K: k, Space: sp, Shards: shards, RefreshEvery: refresh})
+	return tsq.Open(tsq.Options{
+		Length: length, K: k, Space: sp, Shards: shards, RefreshEvery: refresh,
+		Backing: backing, CachePages: cachePages,
+	})
 }
 
 func init() {

@@ -23,12 +23,13 @@ import (
 
 // allocStore builds a small warm store with planted near-duplicates so
 // selective queries have non-empty answers.
-func allocStore(tb testing.TB, n, length int) (*DB, [][]float64) {
+func allocStore(tb testing.TB, n, length int, opts Options) (*DB, [][]float64) {
 	tb.Helper()
-	db, err := NewDB(length, Options{})
+	db, err := NewDB(length, opts)
 	if err != nil {
 		tb.Fatal(err)
 	}
+	tb.Cleanup(func() { db.Close() })
 	r := rand.New(rand.NewSource(7))
 	data := make([][]float64, n)
 	names := make([]string, n)
@@ -55,15 +56,35 @@ func allocStore(tb testing.TB, n, length int) (*DB, [][]float64) {
 // per operation. The contract it states: with telemetry off, a plan in
 // hand, and a result buffer with capacity, ExecRangeInto and ExecNNInto
 // touch only pooled arena scratch — every byte of per-query state lives
-// in the arena or the caller's buffer.
+// in the arena or the caller's buffer. The disk-backed variant extends
+// the contract to the buffer pool: a warm execution whose working set is
+// resident (all pool hits — pin, view, release) allocates nothing either.
 func TestHotPathZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"memory", Options{}},
+		{"disk", Options{CachePages: 2048}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.opts.CachePages > 0 {
+				tc.opts.Backing = t.TempDir()
+			}
+			testHotPathZeroAlloc(t, tc.opts)
+		})
+	}
+}
+
+func testHotPathZeroAlloc(t *testing.T, opts Options) {
 	if testing.CoverMode() != "" {
 		t.Skip("coverage instrumentation allocates counters")
 	}
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; the gate runs without -race (make alloc-gate)")
 	}
-	db, data := allocStore(t, 512, 64)
+	db, data := allocStore(t, 512, 64, opts)
 	id := transform.Identity(64)
 
 	wasEnabled := telemetry.Enabled()
@@ -147,7 +168,7 @@ func TestHotPathZeroAlloc(t *testing.T) {
 // so corrupting them must never bleed into another query's answer (it
 // would if an arena-owned slice escaped through the copy-out boundary).
 func TestArenaSafetyRace(t *testing.T) {
-	db, data := allocStore(t, 256, 32)
+	db, data := allocStore(t, 256, 32, Options{})
 	id := transform.Identity(32)
 
 	rq := RangeQuery{Values: data[2], Eps: 1.0, Transform: id}

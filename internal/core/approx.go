@@ -136,6 +136,8 @@ func (db *DB) verifyFreqApprox(p *rangePlan, ar *execArena, st *ExecStats, id in
 			return false, 0, 0, perr
 		}
 		ar.pages = pages
+		// Conditional release: the stale branch above holds no pins.
+		defer db.freqRel.ReleaseView(id)
 		view = specView{pages: pages, ps: db.freqRel.PageSize()}
 	}
 	limit := eps * eps

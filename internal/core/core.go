@@ -25,6 +25,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -57,7 +59,20 @@ type Options struct {
 	// buffer pools of this many pages each (time- and frequency-domain
 	// relations get one pool apiece). ExecStats.PageReads then counts
 	// physical reads — pool misses — as a 1997 buffer manager would.
+	// Ignored when Backing is set: a disk-backed store's mandatory pool is
+	// sized by CachePages instead.
 	BufferPoolPages int
+	// Backing, when non-empty, stores the relations in disk-backed page
+	// files under this directory instead of in memory: pages fault in
+	// through a buffer pool on demand, so the store can exceed RAM. The
+	// directory is created if needed; the page files are process scratch
+	// (snapshots remain the durability format) and are removed by Close.
+	// A Sharded store gives each shard its own subdirectory.
+	Backing string
+	// CachePages is the per-relation buffer-pool capacity (in pages) when
+	// Backing is set; <= 0 selects relation.DefaultDiskCachePages. The
+	// time- and frequency-domain relations get one pool apiece.
+	CachePages int
 	// SpectrumRefreshEvery bounds how many appended points a series'
 	// stored spectrum record may lag its window before Append rewrites it
 	// with the exact FFT. 1 refreshes on every append — cheapest reads,
@@ -97,6 +112,10 @@ type DB struct {
 	// refreshEvery is the resolved spectrum-refresh cadence (see
 	// Options.SpectrumRefreshEvery).
 	refreshEvery int
+	// gen numbers the relation generations of a disk-backed store: Compact
+	// builds generation gen+1's page files alongside the live pair before
+	// swapping, so scratch file names never collide.
+	gen int
 	// tracker feeds measured selectivity back to the query planner;
 	// history keeps the recent executed plans for est-vs-actual
 	// diagnostics.
@@ -136,13 +155,17 @@ func NewDB(length int, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	timeRel, freqRel, err := newRelationPair(opts, 0)
+	if err != nil {
+		return nil, err
+	}
 	db := &DB{
 		schema:  opts.Schema,
 		length:  length,
 		opts:    opts,
 		idx:     ix,
-		timeRel: relation.New(opts.PageSize),
-		freqRel: relation.New(opts.PageSize),
+		timeRel: timeRel,
+		freqRel: freqRel,
 		points:  make(map[int64]geom.Point),
 		names:   make(map[int64]string),
 		byName:  make(map[string]int64),
@@ -161,7 +184,7 @@ func NewDB(length int, opts Options) (*DB, error) {
 	// positive values pin it.
 	db.refreshEvery = opts.SpectrumRefreshEvery
 	db.adaptiveRefresh.Store(spectrumRefreshEvery)
-	if opts.BufferPoolPages > 0 {
+	if opts.BufferPoolPages > 0 && opts.Backing == "" {
 		if err := db.timeRel.AttachPool(opts.BufferPoolPages); err != nil {
 			return nil, err
 		}
@@ -171,6 +194,77 @@ func NewDB(length int, opts Options) (*DB, error) {
 	}
 	return db, nil
 }
+
+// newRelationPair builds a store's time- and frequency-domain relations
+// per the options: disk-backed page files under opts.Backing when set
+// (gen picks the generation-suffixed scratch names, so a compaction can
+// build its replacement pair next to the live one), in-memory otherwise.
+func newRelationPair(opts Options, gen int) (timeRel, freqRel *relation.Relation, err error) {
+	if opts.Backing == "" {
+		return relation.New(opts.PageSize), relation.New(opts.PageSize), nil
+	}
+	if err := os.MkdirAll(opts.Backing, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("core: creating backing directory: %w", err)
+	}
+	timeRel, err = relation.NewDisk(filepath.Join(opts.Backing, fmt.Sprintf("time-g%03d.pages", gen)), opts.PageSize, opts.CachePages)
+	if err != nil {
+		return nil, nil, err
+	}
+	freqRel, err = relation.NewDisk(filepath.Join(opts.Backing, fmt.Sprintf("freq-g%03d.pages", gen)), opts.PageSize, opts.CachePages)
+	if err != nil {
+		timeRel.Close()
+		return nil, nil, err
+	}
+	return timeRel, freqRel, nil
+}
+
+// Close releases the store's backing storage, removing the disk scratch
+// files of a disk-backed store (snapshots are the durability format). The
+// DB must not be used afterwards. No-op for memory-backed stores.
+func (db *DB) Close() error {
+	err := db.timeRel.Close()
+	if ferr := db.freqRel.Close(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// PoolStats aggregates buffer-pool counters across a store's relations
+// (time- and frequency-domain pools summed; shards summed on a Sharded
+// store). Zero-valued with DiskBacked false when no pools are attached.
+type PoolStats struct {
+	Hits, Misses, Evictions int64
+	Resident, Pinned        int
+	Capacity                int
+	DiskBacked              bool
+}
+
+func (p *PoolStats) add(info relation.PoolInfo) {
+	p.Hits += info.Hits
+	p.Misses += info.Misses
+	p.Evictions += info.Evictions
+	p.Resident += info.Resident
+	p.Pinned += info.Pinned
+	p.Capacity += info.Capacity
+}
+
+// PoolStats reports the combined buffer-pool state of the DB's relations.
+func (db *DB) PoolStats() PoolStats {
+	var out PoolStats
+	if info, ok := db.timeRel.PoolInfo(); ok {
+		out.add(info)
+	}
+	if info, ok := db.freqRel.PoolInfo(); ok {
+		out.add(info)
+	}
+	out.DiskBacked = db.timeRel.DiskBacked()
+	return out
+}
+
+// FeatureBounds returns the store's feature-space MBR (the zero rect when
+// empty) — the extent JoinPrefilter.Retag re-anchors cached join geometry
+// to.
+func (db *DB) FeatureBounds() geom.Rect { return db.idx.Tree().Bounds() }
 
 // Len returns the number of stored series.
 func (db *DB) Len() int { return len(db.ids) }
@@ -373,6 +467,7 @@ func (db *DB) spectrum(id int64) ([]complex128, error) {
 	for f := range out {
 		out[f] = relation.ComplexAt(pages, ps, f)
 	}
+	db.freqRel.ReleaseView(id)
 	return out, nil
 }
 
@@ -393,7 +488,9 @@ func (v specView) at(f int) complex128 {
 	return relation.ComplexAt(v.pages, v.ps, f)
 }
 
-// specViewOf opens a series' spectrum for a distance loop.
+// specViewOf opens a series' spectrum for a distance loop. The caller must
+// give the view back with releaseSpecView when done with it — on a
+// disk-backed store the page views are pinned buffer-pool frames.
 func (db *DB) specViewOf(id int64) (specView, error) {
 	if spec, ok := db.staleSpectrum(id); ok {
 		return specView{vec: spec}, nil
@@ -403,6 +500,16 @@ func (db *DB) specViewOf(id int64) (specView, error) {
 		return specView{}, err
 	}
 	return specView{pages: pages, ps: db.freqRel.PageSize()}, nil
+}
+
+// releaseSpecView gives back the pins behind a specViewOf view. The guard
+// on v.pages matters for correctness, not just cost: a stale-spectrum view
+// took no pins, and releasing anyway could drop a pin another goroutine
+// holds on the same record's pages, allowing eviction mid-read.
+func (db *DB) releaseSpecView(id int64, v specView) {
+	if v.pages != nil {
+		db.freqRel.ReleaseView(id)
+	}
 }
 
 // pageReads snapshots the combined relation read counters.
@@ -521,6 +628,10 @@ func (db *DB) viewTransformedWithinBuf(id int64, a, b, q []complex128, eps float
 			return false, 0, 0, err
 		}
 		*pbuf = pages
+		// Release only when a view was actually taken: the stale branch
+		// holds no pins, and an unconditional release could drop another
+		// goroutine's pin on the same record.
+		defer db.freqRel.ReleaseView(id)
 		view = specView{pages: pages, ps: db.freqRel.PageSize()}
 	}
 	limit := eps * eps

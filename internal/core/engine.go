@@ -55,6 +55,17 @@ type Engine interface {
 	Append(name string, points []float64) (AppendInfo, error)
 	Delete(name string) bool
 	Compact() (pagesReclaimed int, err error)
+	// Close releases backing storage (the scratch page files of a
+	// disk-backed store; a no-op for memory stores). The engine must not
+	// be used afterwards.
+	Close() error
+
+	// Storage observability. PoolStats aggregates buffer-pool counters
+	// across the store's relations (and shards); FeatureBounds returns the
+	// feature-space MBR of the live series — what JoinPrefilter.Retag
+	// re-anchors cached join geometry to.
+	PoolStats() PoolStats
+	FeatureBounds() geom.Rect
 
 	// Standing-query support: exact single-series verification and the
 	// Lemma 1 rectangle prefilter, used by monitors and by the server's

@@ -258,6 +258,7 @@ func (db *DB) joinScanInto(jp *joinPlan, earlyAbandon bool, st *ExecStats) ([]Jo
 				if ok && sum <= limit {
 					out = append(out, orderedPair(db.ids[i], db.ids[j], math.Sqrt(sum)))
 				}
+				db.releaseSpecView(db.ids[j], view)
 				continue
 			}
 			// Ordered pair (i, j): D(L x_i, R x_j).
@@ -274,6 +275,7 @@ func (db *DB) joinScanInto(jp *joinPlan, earlyAbandon bool, st *ExecStats) ([]Jo
 			if ok && sum <= limit {
 				out = append(out, JoinPair{A: db.ids[j], B: db.ids[i], Dist: math.Sqrt(sum)})
 			}
+			db.releaseSpecView(db.ids[j], view)
 		}
 	}
 	return out, nil
@@ -375,6 +377,12 @@ type JoinPrefilter struct {
 	eps      float64
 	twoSided bool
 	lB, rB   geom.Rect // left-/right-transformed store extents
+	// absorbed counts the write points folded into the extents since the
+	// prefilter was built or last retagged. Each absorption can only grow
+	// the extents, so a long-lived entry under scattered writes drifts
+	// toward hitting on everything; the server watches this counter and
+	// calls Retag to re-anchor the geometry to the store's real bounds.
+	absorbed int
 }
 
 func newJoinPrefilter(schema feature.Schema, jp *joinPlan, bounds geom.Rect) *JoinPrefilter {
@@ -443,7 +451,25 @@ func (p *JoinPrefilter) Hit(pt geom.Point) bool {
 	}
 	absorb(&p.lB, lp)
 	absorb(&p.rB, rp)
+	p.absorbed++
 	return false
+}
+
+// Absorbed returns the number of write points folded into the extents
+// since construction or the last Retag.
+func (p *JoinPrefilter) Absorbed() int { return p.absorbed }
+
+// Retag re-anchors the extents to the store's current feature bounds
+// (Engine.FeatureBounds), discarding the absorbed write points. The
+// absorbed points are live series by the time Retag runs, so the store's
+// own MBR covers them — the swap is sound and strictly tighter than the
+// accumulated union, which never shrinks on deletes or re-anchors on
+// updates. Like Hit, Retag mutates the extents and must be externally
+// serialized.
+func (p *JoinPrefilter) Retag(bounds geom.Rect) {
+	p.lB = applyBounds(bounds, p.lm).Clone()
+	p.rB = applyBounds(bounds, p.rm).Clone()
+	p.absorbed = 0
 }
 
 func (p *JoinPrefilter) rectHit(q geom.Point, bounds geom.Rect) bool {

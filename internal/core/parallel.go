@@ -83,6 +83,7 @@ func (db *DB) SelfJoinScanParallel(eps float64, t transform.T, workers int) ([]J
 					if !abandoned && sum <= limit {
 						out.pairs = append(out.pairs, orderedPair(db.ids[i], db.ids[j], math.Sqrt(sum)))
 					}
+					db.releaseSpecView(db.ids[j], view)
 				}
 			}
 		}(w)

@@ -2,13 +2,18 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 
 	"repro/internal/feature"
+	"repro/internal/geom"
+	"repro/internal/index"
 	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/rtree"
 )
 
 // Snapshot formats: small self-describing binary layouts (little endian).
@@ -34,16 +39,46 @@ import (
 //	count   uint32
 //	...
 //
-// Only the raw series are stored: normal forms, spectra, feature points,
-// and the indexes are all derived data and are rebuilt (with bulk loading)
-// on read. Shard *assignment* is likewise derived — it is a pure hash of
-// the series name — so any snapshot can be loaded at any shard count; the
-// recorded count is only the default when the loader does not override
-// it. Every reader accepts both versions.
+// In TSQ1/TSQ2 only the raw series are stored: normal forms, spectra,
+// feature points, and the indexes are all derived data and are rebuilt
+// (with bulk loading) on read. Shard *assignment* is likewise derived — it
+// is a pure hash of the series name — so any snapshot can be loaded at any
+// shard count; the recorded count is only the default when the loader does
+// not override it. Every reader accepts all versions.
+//
+// Version 3 ("TSQ3"), the current write format, uses the TSQ2 header
+// layout (the shards field is always present; 1 for a single DB) and
+// appends two derived-data sections between the series records and the
+// planner trailers, making cold start O(bytes read) instead of
+// O(n log n) recomputation:
+//
+//	magic   [4]byte "DERV"
+//	repeat count times, in record order:
+//	  point [dims]float64      indexed feature point
+//	  spec  [2*length]float64  energy-ordered spectrum, (re, im) pairs
+//
+//	magic   [4]byte "SLAB"
+//	shards  uint16             packed trees that follow, one per shard
+//	repeat shards times:
+//	  byteLen uint32
+//	  tree    [byteLen]byte    rtree binary encoding (rtree.DecodeBinary)
+//
+// Tree leaf IDs are remapped at write time to dense record positions —
+// exactly the IDs a loader assigns — so a load whose effective shard
+// count matches the slab count validates and adopts each packed tree
+// as-is (no feature extraction, no FFT, no STR sort). At any other shard
+// count the loader still skips extraction and the FFT using DERV and only
+// re-packs the trees. Readers accept snapshots without these sections
+// (including truncated-to-TSQ2 streams) by falling back to full rebuild.
 
 var (
 	snapshotMagic   = [4]byte{'T', 'S', 'Q', '1'}
 	snapshotMagicV2 = [4]byte{'T', 'S', 'Q', '2'}
+	snapshotMagicV3 = [4]byte{'T', 'S', 'Q', '3'}
+
+	// derivedMagic and slabMagic introduce the TSQ3 derived-data sections.
+	derivedMagic = [4]byte{'D', 'E', 'R', 'V'}
+	slabMagic    = [4]byte{'S', 'L', 'A', 'B'}
 
 	// historyMagic introduces the optional plan-history trailer appended
 	// after the series records by either version:
@@ -73,12 +108,13 @@ var (
 	costsMagic = [4]byte{'C', 'C', 'A', 'L'}
 )
 
-// snapshotHeader is the decoded fixed-size prefix of either format.
+// snapshotHeader is the decoded fixed-size prefix of any format version.
 type snapshotHeader struct {
 	schema feature.Schema
 	length int
 	shards int // 1 for TSQ1 snapshots
 	count  int
+	v3     bool // derived-data sections may follow the series records
 }
 
 // countingWriter tracks bytes through binary.Write.
@@ -95,12 +131,53 @@ func (w *snapshotWriter) write(data interface{}) error {
 	return nil
 }
 
-// writeHeader emits the fixed-size prefix; shards < 1 selects the TSQ1
-// layout, shards >= 1 the TSQ2 layout with that shard count.
-func (w *snapshotWriter) writeHeader(sc feature.Schema, length, shards, count int) error {
-	magic := snapshotMagic
-	if shards >= 1 {
-		magic = snapshotMagicV2
+// writeFloats is the bulk-float fast path: snapshots are mostly float64
+// runs (series values, spectra, feature points), and binary.Write's
+// reflection costs more than the I/O for them. Encoding through a chunk
+// buffer runs an order of magnitude faster.
+func (w *snapshotWriter) writeFloats(vals []float64) error {
+	var chunk [512]byte
+	for len(vals) > 0 {
+		n := len(chunk) / 8
+		if n > len(vals) {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(chunk[8*i:], math.Float64bits(vals[i]))
+		}
+		if _, err := w.bw.Write(chunk[:8*n]); err != nil {
+			return err
+		}
+		w.n += int64(8 * n)
+		vals = vals[n:]
+	}
+	return nil
+}
+
+// readFloats is the decode half of the fast path: one ReadFull into a
+// reused scratch buffer, then manual bit conversion. Cold-start latency
+// is dominated by this loop, so it must not pay reflection per element.
+func readFloats(br *bufio.Reader, dst []float64, scratch *[]byte) error {
+	need := 8 * len(dst)
+	if cap(*scratch) < need {
+		*scratch = make([]byte, need)
+	}
+	buf := (*scratch)[:need]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
+
+// writeHeader emits the fixed-size prefix under the given magic. The TSQ1
+// layout omits the shards field; TSQ2/TSQ3 include it (and require
+// shards >= 1).
+func (w *snapshotWriter) writeHeader(magic [4]byte, sc feature.Schema, length, shards, count int) error {
+	if magic != snapshotMagic && shards < 1 {
+		return fmt.Errorf("core: %q snapshot needs a shard count, got %d", magic[:], shards)
 	}
 	if err := w.write(magic); err != nil {
 		return err
@@ -125,12 +202,76 @@ func (w *snapshotWriter) writeHeader(sc feature.Schema, length, shards, count in
 	if err := w.write(uint32(length)); err != nil {
 		return err
 	}
-	if shards >= 1 {
+	if magic != snapshotMagic {
 		if err := w.write(uint16(shards)); err != nil {
 			return err
 		}
 	}
 	return w.write(uint32(count))
+}
+
+// writeDerived emits the DERV section: every record's indexed feature
+// point and energy-ordered spectrum, in record order. get(i) supplies the
+// i-th record's pair.
+func (w *snapshotWriter) writeDerived(dims, count int, get func(i int) (geom.Point, []complex128, error)) error {
+	if err := w.write(derivedMagic); err != nil {
+		return err
+	}
+	for i := 0; i < count; i++ {
+		p, spec, err := get(i)
+		if err != nil {
+			return err
+		}
+		if len(p) != dims {
+			return fmt.Errorf("core: record %d feature point has %d dims, schema has %d", i, len(p), dims)
+		}
+		if err := w.writeFloats(p); err != nil {
+			return err
+		}
+		if err := w.writeFloats(relation.EncodeComplex(spec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSlabs emits the SLAB section: each shard's packed tree in the
+// rtree binary format, leaf IDs already remapped to dense global record
+// positions (the IDs a loader assigns).
+func (w *snapshotWriter) writeSlabs(trees []*index.KIndex, remap func(int64) (int64, bool)) error {
+	if err := w.write(slabMagic); err != nil {
+		return err
+	}
+	if err := w.write(uint16(len(trees))); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	for _, t := range trees {
+		buf.Reset()
+		if err := t.EncodeTree(&buf, remap); err != nil {
+			return err
+		}
+		if err := w.write(uint32(buf.Len())); err != nil {
+			return err
+		}
+		if err := w.write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// densePositions maps each snapshot ID to its dense record position — the
+// ID the loader will assign — for slab leaf-ID remapping.
+func densePositions(ids []int64) func(int64) (int64, bool) {
+	pos := make(map[int64]int64, len(ids))
+	for i, id := range ids {
+		pos[id] = int64(i)
+	}
+	return func(id int64) (int64, bool) {
+		p, ok := pos[id]
+		return p, ok
+	}
 }
 
 // writeSeries emits one name/values record.
@@ -144,7 +285,7 @@ func (w *snapshotWriter) writeSeries(name string, vals []float64) error {
 	if err := w.write([]byte(name)); err != nil {
 		return err
 	}
-	return w.write(vals)
+	return w.writeFloats(vals)
 }
 
 // writeString emits a length-prefixed string for the history trailer.
@@ -205,11 +346,54 @@ func (w *snapshotWriter) writeCosts(c plan.Costs) error {
 	})
 }
 
-// WriteTo serializes the DB's contents in the TSQ1 format. It returns the
-// number of bytes written.
+// WriteTo serializes the DB's contents in the TSQ3 format: raw series
+// plus the DERV and SLAB derived sections, so a reload validates and
+// adopts the packed index instead of rebuilding it. It returns the number
+// of bytes written.
 func (db *DB) WriteTo(w io.Writer) (int64, error) {
 	sw := &snapshotWriter{bw: bufio.NewWriter(w)}
-	if err := sw.writeHeader(db.schema, db.length, 0, len(db.ids)); err != nil {
+	ids := db.IDs()
+	if err := sw.writeHeader(snapshotMagicV3, db.schema, db.length, 1, len(ids)); err != nil {
+		return sw.n, err
+	}
+	for _, id := range ids {
+		vals, err := db.Series(id)
+		if err != nil {
+			return sw.n, err
+		}
+		if err := sw.writeSeries(db.names[id], vals); err != nil {
+			return sw.n, err
+		}
+	}
+	// Spectra come from db.spectrum, not the stored record: a streamed
+	// series whose stored spectrum lags its window serialises the exact
+	// derived spectrum, so a reload is bit-identical to a flushed store.
+	err := sw.writeDerived(db.schema.Dims(), len(ids), func(i int) (geom.Point, []complex128, error) {
+		spec, err := db.spectrum(ids[i])
+		return db.points[ids[i]], spec, err
+	})
+	if err != nil {
+		return sw.n, err
+	}
+	if err := sw.writeSlabs([]*index.KIndex{db.idx}, densePositions(ids)); err != nil {
+		return sw.n, err
+	}
+	if err := sw.writeHistory(db.history); err != nil {
+		return sw.n, err
+	}
+	if err := sw.writeCosts(db.tracker.Costs()); err != nil {
+		return sw.n, err
+	}
+	return sw.n, sw.bw.Flush()
+}
+
+// WriteLegacyTo serializes the DB's contents in the series-only TSQ1
+// format — the downgrade-interop path (and the fixture generator for the
+// snapshot-compat tests): any TSQ3-capable reader rebuilds derived state
+// from it with bulk loading.
+func (db *DB) WriteLegacyTo(w io.Writer) (int64, error) {
+	sw := &snapshotWriter{bw: bufio.NewWriter(w)}
+	if err := sw.writeHeader(snapshotMagic, db.schema, db.length, 0, len(db.ids)); err != nil {
 		return sw.n, err
 	}
 	for _, id := range db.IDs() {
@@ -230,17 +414,62 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 	return sw.n, sw.bw.Flush()
 }
 
-// WriteTo serializes the sharded store's contents in the TSQ2 format,
-// recording the shard count and every series in global insertion order —
-// so a snapshot round-trip reproduces the exact ID assignment. All shard
-// locks are held in shared mode for the duration: the snapshot is a
-// consistent cut of the whole store.
+// WriteTo serializes the sharded store's contents in the TSQ3 format,
+// recording the shard count, every series in global insertion order — so
+// a snapshot round-trip reproduces the exact ID assignment — and one
+// packed tree per shard. All shard locks are held in shared mode for the
+// duration: the snapshot is a consistent cut of the whole store.
 func (s *Sharded) WriteTo(w io.Writer) (int64, error) {
 	entries := s.pinAll()
 	defer s.runlockAll()
 
 	sw := &snapshotWriter{bw: bufio.NewWriter(w)}
-	if err := sw.writeHeader(s.Schema(), s.length, len(s.shards), len(entries)); err != nil {
+	if err := sw.writeHeader(snapshotMagicV3, s.Schema(), s.length, len(s.shards), len(entries)); err != nil {
+		return sw.n, err
+	}
+	ids := make([]int64, len(entries))
+	for i, e := range entries {
+		ids[i] = e.id
+		vals, err := e.sh.Series(e.id)
+		if err != nil {
+			return sw.n, err
+		}
+		if err := sw.writeSeries(e.sh.Name(e.id), vals); err != nil {
+			return sw.n, err
+		}
+	}
+	err := sw.writeDerived(s.Schema().Dims(), len(entries), func(i int) (geom.Point, []complex128, error) {
+		e := entries[i]
+		spec, err := e.sh.spectrum(e.id)
+		return e.sh.points[e.id], spec, err
+	})
+	if err != nil {
+		return sw.n, err
+	}
+	trees := make([]*index.KIndex, len(s.shards))
+	for si, sh := range s.shards {
+		trees[si] = sh.idx
+	}
+	if err := sw.writeSlabs(trees, densePositions(ids)); err != nil {
+		return sw.n, err
+	}
+	if err := sw.writeHistory(s.history); err != nil {
+		return sw.n, err
+	}
+	if err := sw.writeCosts(s.tracker.Costs()); err != nil {
+		return sw.n, err
+	}
+	return sw.n, sw.bw.Flush()
+}
+
+// WriteLegacyTo serializes the sharded store's contents in the
+// series-only TSQ2 format (downgrade interop and compat-test fixtures).
+func (s *Sharded) WriteLegacyTo(w io.Writer) (int64, error) {
+	entries := s.pinAll()
+	defer s.runlockAll()
+
+	sw := &snapshotWriter{bw: bufio.NewWriter(w)}
+	if err := sw.writeHeader(snapshotMagicV2, s.Schema(), s.length, len(s.shards), len(entries)); err != nil {
 		return sw.n, err
 	}
 	for _, e := range entries {
@@ -271,8 +500,9 @@ func readHeader(br *bufio.Reader) (snapshotHeader, error) {
 	if err := read(&magic); err != nil {
 		return h, fmt.Errorf("core: reading snapshot header: %w", err)
 	}
-	v2 := magic == snapshotMagicV2
-	if magic != snapshotMagic && !v2 {
+	h.v3 = magic == snapshotMagicV3
+	hasShards := magic == snapshotMagicV2 || h.v3
+	if magic != snapshotMagic && !hasShards {
 		return h, fmt.Errorf("core: not a tsq snapshot (magic %q)", magic[:])
 	}
 	var space, moments uint8
@@ -290,7 +520,7 @@ func readHeader(br *bufio.Reader) (snapshotHeader, error) {
 	if err := read(&length); err != nil {
 		return h, err
 	}
-	if v2 {
+	if hasShards {
 		if err := read(&shards); err != nil {
 			return h, err
 		}
@@ -316,27 +546,137 @@ func readHeader(br *bufio.Reader) (snapshotHeader, error) {
 	return h, nil
 }
 
-// readSeries decodes the record section following a header.
-func readSeries(br *bufio.Reader, h snapshotHeader) ([]string, [][]float64, error) {
+// readSeries decodes the record section following a header. When keepRaw
+// is set it returns each record's value bytes exactly as stored (one
+// backing array, sliced per record) and skips the float decode entirely:
+// the snapshot layout is the page-file record layout, so the cold-start
+// load hands those bytes to Relation.InsertRaw, and a caller that does
+// need floats (a rebuild load) recovers them with decodeRawSeries.
+// Exactly one of the values/raw returns is non-nil.
+func readSeries(br *bufio.Reader, h snapshotHeader, keepRaw bool) ([]string, [][]float64, [][]byte, error) {
 	names := make([]string, h.count)
-	values := make([][]float64, h.count)
+	var values [][]float64
+	var raw [][]byte
+	var rawBuf []byte
+	if keepRaw {
+		raw = make([][]byte, h.count)
+		rawBuf = make([]byte, h.count*8*h.length)
+	} else {
+		values = make([][]float64, h.count)
+	}
+	var scratch []byte
+	var lenBuf [2]byte
 	for i := 0; i < h.count; i++ {
-		var nameLen uint16
-		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-			return nil, nil, fmt.Errorf("core: reading series %d: %w", i, err)
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return nil, nil, nil, fmt.Errorf("core: reading series %d: %w", i, err)
 		}
-		nameBuf := make([]byte, nameLen)
+		nameBuf := make([]byte, binary.LittleEndian.Uint16(lenBuf[:]))
 		if _, err := io.ReadFull(br, nameBuf); err != nil {
-			return nil, nil, fmt.Errorf("core: reading series %d name: %w", i, err)
-		}
-		vals := make([]float64, h.length)
-		if err := binary.Read(br, binary.LittleEndian, vals); err != nil {
-			return nil, nil, fmt.Errorf("core: reading series %q values: %w", nameBuf, err)
+			return nil, nil, nil, fmt.Errorf("core: reading series %d name: %w", i, err)
 		}
 		names[i] = string(nameBuf)
+		if keepRaw {
+			rec := rawBuf[i*8*h.length : (i+1)*8*h.length]
+			if _, err := io.ReadFull(br, rec); err != nil {
+				return nil, nil, nil, fmt.Errorf("core: reading series %q values: %w", names[i], err)
+			}
+			raw[i] = rec
+		} else {
+			vals := make([]float64, h.length)
+			if err := readFloats(br, vals, &scratch); err != nil {
+				return nil, nil, nil, fmt.Errorf("core: reading series %q values: %w", names[i], err)
+			}
+			values[i] = vals
+		}
+	}
+	return names, values, raw, nil
+}
+
+// decodeRawSeries converts raw series records kept by readSeries back to
+// float values, for loads that must rebuild derived state from them.
+func decodeRawSeries(raw [][]byte, length int) [][]float64 {
+	values := make([][]float64, len(raw))
+	for i, rec := range raw {
+		vals := make([]float64, length)
+		for j := range vals {
+			vals[j] = math.Float64frombits(binary.LittleEndian.Uint64(rec[8*j:]))
+		}
 		values[i] = vals
 	}
-	return names, values, nil
+	return values
+}
+
+// derivedSections carries a TSQ3 snapshot's precomputed derived data.
+// Fields are nil when the corresponding section is absent. Spectra stay
+// in their on-disk encoding — little-endian float64 bytes of the
+// energy-ordered interleaved (re, im) record, identical to the page-file
+// record layout — so the load path moves them into pages with a copy
+// rather than a decode/re-encode round trip.
+type derivedSections struct {
+	points []geom.Point
+	specs  [][]byte
+	trees  []*rtree.Tree
+}
+
+// peekMagic reports whether the next four bytes equal magic without
+// consuming them. A short stream (EOF inside the peek) reports false.
+func peekMagic(br *bufio.Reader, magic [4]byte) bool {
+	b, err := br.Peek(4)
+	if err != nil {
+		return false
+	}
+	return [4]byte{b[0], b[1], b[2], b[3]} == magic
+}
+
+// readDerivedSections decodes the optional DERV and SLAB sections of a
+// TSQ3 snapshot. Either may be absent (the stream then continues with the
+// planner trailers); section order is fixed.
+func readDerivedSections(br *bufio.Reader, h snapshotHeader) (derivedSections, error) {
+	var der derivedSections
+	read := func(data interface{}) error {
+		return binary.Read(br, binary.LittleEndian, data)
+	}
+	if peekMagic(br, derivedMagic) {
+		br.Discard(4)
+		dims := h.schema.Dims()
+		recLen := 2 * 8 * h.length
+		der.points = make([]geom.Point, h.count)
+		der.specs = make([][]byte, h.count)
+		specBuf := make([]byte, h.count*recLen)
+		var scratch []byte
+		for i := 0; i < h.count; i++ {
+			p := make([]float64, dims)
+			if err := readFloats(br, p, &scratch); err != nil {
+				return der, fmt.Errorf("core: reading derived point %d: %w", i, err)
+			}
+			rec := specBuf[i*recLen : (i+1)*recLen]
+			if _, err := io.ReadFull(br, rec); err != nil {
+				return der, fmt.Errorf("core: reading derived spectrum %d: %w", i, err)
+			}
+			der.points[i] = p
+			der.specs[i] = rec
+		}
+	}
+	if peekMagic(br, slabMagic) {
+		br.Discard(4)
+		var nTrees uint16
+		if err := read(&nTrees); err != nil {
+			return der, fmt.Errorf("core: reading slab count: %w", err)
+		}
+		der.trees = make([]*rtree.Tree, nTrees)
+		for i := range der.trees {
+			var byteLen uint32
+			if err := read(&byteLen); err != nil {
+				return der, fmt.Errorf("core: reading slab %d length: %w", i, err)
+			}
+			t, err := rtree.DecodeBinary(io.LimitReader(br, int64(byteLen)))
+			if err != nil {
+				return der, fmt.Errorf("core: decoding packed tree %d: %w", i, err)
+			}
+			der.trees[i] = t
+		}
+	}
+	return der, nil
 }
 
 // readString decodes a length-prefixed trailer string.
@@ -439,16 +779,23 @@ func readCosts(br *bufio.Reader) (c plan.Costs, ok bool, err error) {
 	return c, true, nil
 }
 
-// ReadEngine deserializes a snapshot (either version) into a fresh store,
-// rebuilding derived state with bulk loading. shards selects the
-// partitioning of the loaded store: 0 honors the count recorded in the
-// snapshot (1 for TSQ1 snapshots), 1 forces a single unsharded DB, and
-// n > 1 forces an n-way Sharded store — re-sharding is always possible
-// because partition assignment is a pure hash of the series name. The
-// opts' Schema is ignored (the snapshot records its own) but storage
-// options apply to every shard.
+// ReadEngine deserializes a snapshot (any version) into a fresh store.
+// shards selects the partitioning of the loaded store: 0 honors the count
+// recorded in the snapshot (1 for TSQ1 snapshots), 1 forces a single
+// unsharded DB, and n > 1 forces an n-way Sharded store — re-sharding is
+// always possible because partition assignment is a pure hash of the
+// series name. The opts' Schema is ignored (the snapshot records its own)
+// but storage options apply to every shard.
+//
+// Derived state loads by the cheapest sound path the snapshot allows:
+// a TSQ3 snapshot whose slab count matches the effective shard count
+// validates and adopts the packed trees as-is (no extraction, no FFT, no
+// STR sort — cold start is O(bytes read)); a TSQ3 snapshot loaded at a
+// different shard count reuses the DERV points and spectra and only
+// re-packs the trees; TSQ1/TSQ2 snapshots rebuild everything with bulk
+// loading.
 func ReadEngine(r io.Reader, opts Options, shards int) (Engine, error) {
-	br := bufio.NewReader(r)
+	br := bufio.NewReaderSize(r, 1<<18)
 	h, err := readHeader(br)
 	if err != nil {
 		return nil, err
@@ -459,9 +806,21 @@ func ReadEngine(r io.Reader, opts Options, shards int) (Engine, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("core: shard count %d must be >= 0", shards)
 	}
-	names, values, err := readSeries(br, h)
+	names, values, rawVals, err := readSeries(br, h, h.v3)
 	if err != nil {
 		return nil, err
+	}
+	var der derivedSections
+	if h.v3 {
+		if der, err = readDerivedSections(br, h); err != nil {
+			return nil, err
+		}
+		if der.points == nil {
+			// No DERV section: this load rebuilds derived state from the
+			// values, so decode them after all (the adopt path below never
+			// needs the floats and skips this).
+			values = decodeRawSeries(rawVals, h.length)
+		}
 	}
 	seq, recs, haveHist, err := readHistory(br)
 	if err != nil {
@@ -474,13 +833,33 @@ func ReadEngine(r io.Reader, opts Options, shards int) (Engine, error) {
 			return nil, err
 		}
 	}
+	// The packed trees partition records exactly as the writing store did;
+	// they are adoptable only when this load partitions the same way.
+	trees := der.trees
+	if len(trees) != shards || der.points == nil {
+		trees = nil
+	}
 	opts.Schema = h.schema
 	if shards == 1 {
 		db, err := NewDB(h.length, opts)
 		if err != nil {
 			return nil, err
 		}
-		if err := db.InsertBulk(names, values); err != nil {
+		ids := make([]int64, len(names))
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		var tree *rtree.Tree
+		if trees != nil {
+			tree = trees[0]
+		}
+		if der.points != nil {
+			err = db.loadBulk(names, values, ids, der.points, rawVals, der.specs, tree)
+		} else {
+			err = db.InsertBulk(names, values)
+		}
+		if err != nil {
+			db.Close()
 			return nil, err
 		}
 		if haveHist {
@@ -495,7 +874,8 @@ func ReadEngine(r io.Reader, opts Options, shards int) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.InsertBulk(names, values); err != nil {
+	if err := s.insertBulkPrepared(names, values, rawVals, der.points, der.specs, trees); err != nil {
+		s.Close()
 		return nil, err
 	}
 	if haveHist {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/feature"
 	"repro/internal/geom"
 	"repro/internal/plan"
+	"repro/internal/rtree"
 	"repro/internal/stats"
 	"repro/internal/transform"
 )
@@ -77,13 +79,60 @@ func NewSharded(length, n int, opts Options) (*Sharded, error) {
 	}
 	s.tracker.SetCosts(plan.Calibrated())
 	for i := range s.shards {
-		db, err := NewDB(length, opts)
+		shOpts := opts
+		if opts.Backing != "" {
+			// Each shard gets its own backing subdirectory so the shards'
+			// scratch page files never collide.
+			shOpts.Backing = filepath.Join(opts.Backing, fmt.Sprintf("shard-%03d", i))
+		}
+		db, err := NewDB(length, shOpts)
 		if err != nil {
+			for j := 0; j < i; j++ {
+				s.shards[j].Close()
+			}
 			return nil, err
 		}
 		s.shards[i] = db
 	}
 	return s, nil
+}
+
+// Close releases every shard's backing storage (removing disk scratch
+// files). The store must not be used afterwards.
+func (s *Sharded) Close() error {
+	s.lockAll()
+	defer s.unlockAll()
+	var err error
+	for _, sh := range s.shards {
+		if cerr := sh.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// PoolStats reports the combined buffer-pool state across all shards.
+func (s *Sharded) PoolStats() PoolStats {
+	var out PoolStats
+	for si := range s.shards {
+		s.locks[si].RLock()
+		st := s.shards[si].PoolStats()
+		s.locks[si].RUnlock()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Evictions += st.Evictions
+		out.Resident += st.Resident
+		out.Pinned += st.Pinned
+		out.Capacity += st.Capacity
+		out.DiskBacked = out.DiskBacked || st.DiskBacked
+	}
+	return out
+}
+
+// FeatureBounds returns the union of every shard's feature-space MBR.
+func (s *Sharded) FeatureBounds() geom.Rect {
+	b, _ := s.featureBounds()
+	return b
 }
 
 // shardFor maps a series name to its owning shard.
@@ -200,8 +249,31 @@ func (s *Sharded) Insert(name string, values []float64) (int64, error) {
 // the resulting store is ID-identical to an unsharded InsertBulk of the
 // same batch.
 func (s *Sharded) InsertBulk(names []string, values [][]float64) error {
-	if len(names) != len(values) {
+	return s.insertBulkPrepared(names, values, nil, nil, nil, nil)
+}
+
+// insertBulkPrepared is InsertBulk with optional precomputed derived data
+// from a snapshot: feature points, raw encoded series and spectrum
+// records (the snapshot's byte layout is the page-file record layout, so
+// shards store them verbatim), and per-shard packed trees. points == nil
+// runs the full validation + extraction here (the plain InsertBulk path);
+// with points the extraction is skipped and only the cheap structural
+// checks run. trees, when non-nil, must hold one decoded tree per shard,
+// partitioned exactly as this store partitions (same shard count,
+// hash-of-name assignment) — each shard then adopts its tree instead of
+// STR bulk loading.
+func (s *Sharded) insertBulkPrepared(names []string, values [][]float64, rawVals [][]byte, points []geom.Point, specs [][]byte, trees []*rtree.Tree) error {
+	if values == nil && (rawVals == nil || points == nil || specs == nil) {
+		return fmt.Errorf("core: a raw-only bulk load needs raw records, points, and spectra")
+	}
+	if values != nil && len(names) != len(values) {
 		return fmt.Errorf("core: %d names but %d series", len(names), len(values))
+	}
+	if rawVals != nil && len(rawVals) != len(names) {
+		return fmt.Errorf("core: %d names but %d raw value records", len(names), len(rawVals))
+	}
+	if trees != nil && len(trees) != len(s.shards) {
+		return fmt.Errorf("core: %d packed trees for %d shards", len(trees), len(s.shards))
 	}
 	s.lockAll()
 	defer s.unlockAll()
@@ -213,8 +285,12 @@ func (s *Sharded) InsertBulk(names []string, values [][]float64) error {
 	// so a bad series cannot leave sibling shards populated behind an
 	// empty catalog (the unsharded InsertBulk is all-or-nothing too). The
 	// extracted points ride along to the shard loads, so the dominant
-	// bulk-load cost runs once per series.
-	points := make([]geom.Point, len(values))
+	// bulk-load cost runs once per series. Snapshot loads hand the points
+	// in and skip straight to the structural checks.
+	extract := points == nil
+	if extract {
+		points = make([]geom.Point, len(values))
+	}
 	seen := make(map[string]bool, len(names))
 	for i, name := range names {
 		if name == "" {
@@ -224,26 +300,41 @@ func (s *Sharded) InsertBulk(names []string, values [][]float64) error {
 			return fmt.Errorf("core: duplicate series name %q", name)
 		}
 		seen[name] = true
-		if len(values[i]) != s.length {
+		if values != nil && len(values[i]) != s.length {
 			return fmt.Errorf("core: series %q has length %d, DB expects %d", name, len(values[i]), s.length)
 		}
-		p, err := s.Schema().Extract(values[i])
-		if err != nil {
-			return err
+		if rawVals != nil && len(rawVals[i]) != 8*s.length {
+			return fmt.Errorf("core: series %q raw record has %d bytes, DB expects %d", name, len(rawVals[i]), 8*s.length)
 		}
-		points[i] = p
+		if extract {
+			p, err := s.Schema().Extract(values[i])
+			if err != nil {
+				return err
+			}
+			points[i] = p
+		}
 	}
 	n := len(s.shards)
 	partNames := make([][]string, n)
 	partValues := make([][][]float64, n)
 	partIDs := make([][]int64, n)
 	partPoints := make([][]geom.Point, n)
+	partSpecs := make([][][]byte, n)
+	partRaw := make([][][]byte, n)
 	for i, name := range names {
 		si := s.shardFor(name)
 		partNames[si] = append(partNames[si], name)
-		partValues[si] = append(partValues[si], values[i])
+		if values != nil {
+			partValues[si] = append(partValues[si], values[i])
+		}
 		partIDs[si] = append(partIDs[si], int64(i))
 		partPoints[si] = append(partPoints[si], points[i])
+		if specs != nil {
+			partSpecs[si] = append(partSpecs[si], specs[i])
+		}
+		if rawVals != nil {
+			partRaw[si] = append(partRaw[si], rawVals[i])
+		}
 	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -251,7 +342,20 @@ func (s *Sharded) InsertBulk(names []string, values [][]float64) error {
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			errs[si] = s.shards[si].insertBulkIDs(partNames[si], partValues[si], partIDs[si], partPoints[si])
+			sh := s.shards[si]
+			sp := partSpecs[si]
+			if specs == nil {
+				sp = nil
+			}
+			rv := partRaw[si]
+			if rawVals == nil {
+				rv = nil
+			}
+			if trees != nil {
+				errs[si] = sh.adoptBulk(partNames[si], partValues[si], partIDs[si], partPoints[si], rv, sp, trees[si])
+			} else {
+				errs[si] = sh.loadBulk(partNames[si], partValues[si], partIDs[si], partPoints[si], rv, sp, nil)
+			}
 		}(si)
 	}
 	wg.Wait()
@@ -339,14 +443,18 @@ func (s *Sharded) removeCatalogLocked(id int64) {
 	}
 }
 
-// Compact rebuilds every shard's storage pages, returning the total pages
-// reclaimed.
+// Compact rebuilds every shard's storage pages and repacks its index,
+// returning the total pages reclaimed. Shards compact one at a time under
+// their own exclusive locks — never the whole store at once — so queries
+// against the other shards proceed while one shard rebuilds (the
+// background-maintenance pattern: a compaction pass stalls at most 1/N of
+// the store at any moment).
 func (s *Sharded) Compact() (int, error) {
-	s.lockAll()
-	defer s.unlockAll()
 	total := 0
-	for _, sh := range s.shards {
-		n, err := sh.Compact()
+	for si := range s.shards {
+		s.locks[si].Lock()
+		n, err := s.shards[si].Compact()
+		s.locks[si].Unlock()
 		if err != nil {
 			return total, err
 		}
@@ -780,6 +888,7 @@ func (s *Sharded) joinScanFan(jp *joinPlan, earlyAbandon bool) ([]JoinPair, Exec
 							out.pairs = append(out.pairs, orderedPair(entries[i].id, entries[j].id, math.Sqrt(sum)))
 							out.results[si]++
 						}
+						entries[j].sh.releaseSpecView(entries[j].id, view)
 						continue
 					}
 					out.candidates[si]++
@@ -796,6 +905,7 @@ func (s *Sharded) joinScanFan(jp *joinPlan, earlyAbandon bool) ([]JoinPair, Exec
 						out.pairs = append(out.pairs, JoinPair{A: entries[j].id, B: entries[i].id, Dist: math.Sqrt(sum)})
 						out.results[si]++
 					}
+					entries[j].sh.releaseSpecView(entries[j].id, view)
 				}
 			}
 		}(w)

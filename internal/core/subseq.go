@@ -3,7 +3,8 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/relation"
+	"repro/internal/geom"
+	"repro/internal/index"
 	"repro/internal/series"
 	"repro/internal/stats"
 )
@@ -89,9 +90,15 @@ func (db *DB) Update(name string, values []float64) (int64, error) {
 	return newID, nil
 }
 
-// Compact rebuilds the paged relations, dropping records orphaned by
-// Delete and Update. Live IDs, names, feature points, and the index are
-// untouched; only storage shrinks. Returns the number of pages reclaimed.
+// Compact rebuilds the paged relations — dropping records orphaned by
+// Delete and Update — and repacks the k-index with an STR bulk load over
+// the live feature points, undoing the node-occupancy decay of a long
+// insert/delete history. Live IDs, names, and feature points are
+// untouched. A disk-backed store builds the next relation generation's
+// page files alongside the live pair and swaps atomically from the
+// caller's perspective; the old generation's scratch files are removed on
+// success. Memory stores keep their configured buffer pools across the
+// rebuild. Returns the number of pages reclaimed.
 func (db *DB) Compact() (pagesReclaimed int, err error) {
 	// Materialize any spectra deferred by streaming appends, so the
 	// rebuilt relation holds current records.
@@ -99,25 +106,61 @@ func (db *DB) Compact() (pagesReclaimed int, err error) {
 		return 0, err
 	}
 	before := db.timeRel.Pages() + db.freqRel.Pages()
-	newTime := relation.New(db.opts.PageSize)
-	newFreq := relation.New(db.opts.PageSize)
-	for _, id := range db.ids {
+	newTime, newFreq, err := newRelationPair(db.opts, db.gen+1)
+	if err != nil {
+		return 0, err
+	}
+	abort := func() {
+		newTime.Close()
+		newFreq.Close()
+	}
+	if db.opts.BufferPoolPages > 0 && db.opts.Backing == "" {
+		if err := newTime.AttachPool(db.opts.BufferPoolPages); err != nil {
+			abort()
+			return 0, err
+		}
+		if err := newFreq.AttachPool(db.opts.BufferPoolPages); err != nil {
+			abort()
+			return 0, err
+		}
+	}
+	ids := append([]int64(nil), db.ids...)
+	points := make([]geom.Point, len(ids))
+	for i, id := range ids {
 		vals, err := db.timeRel.Get(id)
 		if err != nil {
+			abort()
 			return 0, err
 		}
 		if err := newTime.Insert(id, vals); err != nil {
+			abort()
 			return 0, err
 		}
 		spec, err := db.freqRel.Get(id)
 		if err != nil {
+			abort()
 			return 0, err
 		}
 		if err := newFreq.Insert(id, spec); err != nil {
+			abort()
 			return 0, err
 		}
+		points[i] = db.points[id]
 	}
-	db.timeRel = newTime
-	db.freqRel = newFreq
+	ix, err := index.New(db.schema, db.opts.RTree)
+	if err != nil {
+		abort()
+		return 0, err
+	}
+	if err := ix.BulkLoad(points, ids); err != nil {
+		abort()
+		return 0, err
+	}
+	oldTime, oldFreq := db.timeRel, db.freqRel
+	db.timeRel, db.freqRel = newTime, newFreq
+	db.idx = ix
+	db.gen++
+	oldTime.Close()
+	oldFreq.Close()
 	return before - (newTime.Pages() + newFreq.Pages()), nil
 }

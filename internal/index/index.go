@@ -9,6 +9,7 @@ package index
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/feature"
 	"repro/internal/geom"
@@ -44,6 +45,33 @@ func New(schema feature.Schema, opts rtree.Options) (*KIndex, error) {
 		return nil, err
 	}
 	return &KIndex{schema: schema, tree: tree, angular: schema.Angular()}, nil
+}
+
+// Adopt wraps a tree decoded from a snapshot (rtree.DecodeBinary) as the
+// k-index, validating it structurally — dimensionality against the schema
+// and the full R*-tree invariants — before use. This is the "validate"
+// half of the snapshot cold start's read + validate + adopt path: the
+// packed tree is taken as-is, with no re-sorting, re-insertion, or feature
+// recomputation. The adopted tree keeps the fan-out recorded in the
+// snapshot, which may differ from the store's configured rtree.Options.
+func Adopt(schema feature.Schema, tree *rtree.Tree) (*KIndex, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if tree.Dims() != schema.Dims() {
+		return nil, fmt.Errorf("index: adopted tree has %d dims, schema has %d", tree.Dims(), schema.Dims())
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("index: adopted tree invalid: %w", err)
+	}
+	return &KIndex{schema: schema, tree: tree, angular: schema.Angular()}, nil
+}
+
+// EncodeTree serialises the underlying packed tree in the versioned binary
+// format (see rtree.EncodeBinary); remap translates stored IDs on the way
+// out.
+func (ix *KIndex) EncodeTree(w io.Writer, remap func(int64) (int64, bool)) error {
+	return ix.tree.EncodeBinary(w, remap)
 }
 
 // Schema returns the feature schema the index was built with.

@@ -1,9 +1,16 @@
-// Package pagefile simulates the paged disk storage underneath the paper's
+// Package pagefile provides the paged storage underneath the paper's
 // experiments. The original system measured query cost partly in disk page
-// accesses; this in-memory substitute preserves that accounting: every page
-// read and write is counted, records larger than a page span contiguous
-// pages (each touch of a spanned record costs its page count), and
-// sequential scans touch every allocated page exactly once.
+// accesses; both backings preserve that accounting: every page read and
+// write is counted, records larger than a page span contiguous pages (each
+// touch of a spanned record costs its page count), and sequential scans
+// touch every allocated page exactly once.
+//
+// Two backings implement the same page-addressed surface: the in-memory
+// File (the original simulation, every page resident) and the disk-backed
+// DiskFile (pages live in an os.File and are read on demand, so a store
+// can exceed RAM). A BufferPool caches pages of either backing with clock
+// eviction and pin counts; over a DiskFile it is the only safe read path,
+// because page frames are reused after eviction.
 package pagefile
 
 import (
@@ -22,15 +29,55 @@ type Stats struct {
 	Writes int64
 }
 
-// File is an append-only collection of fixed-size pages. Reads (including
-// zero-copy views) are safe to perform concurrently; writes require
-// external synchronization, like the structures above it.
+// Backing is the page-addressed storage surface shared by the in-memory
+// File and the disk-backed DiskFile: fixed-size pages appended in record
+// granules, overwritten in place, and read one page at a time. A
+// BufferPool serves cached reads over any Backing.
+type Backing interface {
+	PageSize() int
+	NumPages() int
+	// PageLen returns the payload length of page i (the final page of a
+	// record may be shorter than PageSize).
+	PageLen(i int) int
+	Stats() Stats
+	ResetStats()
+	// AppendPages writes data across as many fresh pages as needed,
+	// returning the first page index and the page count.
+	AppendPages(data []byte) (firstPage, pageCount int, err error)
+	// Overwrite replaces the contents of an existing record's pages in
+	// place; the payload must match the record's byte size exactly
+	// (ErrSizeMismatch otherwise).
+	Overwrite(firstPage, pageCount int, data []byte) error
+	// ReadPage returns the contents of page i, charging one physical
+	// read. A memory File returns its live page buffer (zero copy, dst
+	// ignored); a DiskFile fills dst (grown as needed) and returns it.
+	ReadPage(i int, dst []byte) ([]byte, error)
+	// Stable reports whether ReadPage returns long-lived references into
+	// the backing itself (true for File). When false, returned buffers
+	// are only valid until the caller reuses dst — a BufferPool's frames
+	// in practice — so readers must hold pages pinned while using them.
+	Stable() bool
+}
+
+// File is an append-only in-memory collection of fixed-size pages. Reads
+// (including zero-copy views) are safe to perform concurrently; writes
+// require external synchronization, like the structures above it.
 type File struct {
 	pageSize int
 	pages    [][]byte
+	slab     []byte // arena the next page buffers are carved from
 	reads    atomic.Int64
 	writes   atomic.Int64
 }
+
+// slabPages is how many pages' worth of buffer one arena allocation
+// holds. Carving page buffers out of shared slabs instead of allocating
+// each page separately keeps a bulk load from creating one GC object per
+// page — at 2,000 series × 3 pages that is thousands of small objects
+// whose allocation and sweep cost shows up directly in cold-start time.
+const slabPages = 64
+
+var _ Backing = (*File)(nil)
 
 // New creates a page file. pageSize <= 0 selects DefaultPageSize.
 func New(pageSize int) *File {
@@ -45,6 +92,12 @@ func (f *File) PageSize() int { return f.pageSize }
 
 // NumPages returns the number of allocated pages.
 func (f *File) NumPages() int { return len(f.pages) }
+
+// PageLen returns the payload length of page i.
+func (f *File) PageLen(i int) int { return len(f.pages[i]) }
+
+// Stable reports that File pages are long-lived in-memory buffers.
+func (f *File) Stable() bool { return true }
 
 // Stats returns the accumulated I/O counters.
 func (f *File) Stats() Stats {
@@ -72,13 +125,67 @@ func (f *File) Append(data []byte) (firstPage, pageCount int) {
 		if end > len(data) {
 			end = len(data)
 		}
-		page := make([]byte, end-off)
+		page := f.alloc(end - off)
 		copy(page, data[off:end])
 		f.pages = append(f.pages, page)
 		f.writes.Add(1)
 		pageCount++
 	}
 	return firstPage, pageCount
+}
+
+// alloc carves an n-byte page buffer out of the current slab, starting a
+// fresh slab when the remainder is too small (the sliver left behind is
+// abandoned to the garbage collector with the rest of the slab once its
+// pages die, e.g. after Compact swaps in a new file).
+func (f *File) alloc(n int) []byte {
+	if len(f.slab) < n {
+		f.slab = make([]byte, slabPages*f.pageSize)
+	}
+	b := f.slab[:n:n]
+	f.slab = f.slab[n:]
+	return b
+}
+
+// AppendOwned adopts data as page payloads without copying: the record is
+// sliced in place into page-size chunks that become the file's pages, so
+// a bulk load whose input buffer already has the record layout (a
+// snapshot read) skips both the page allocation and the copy. Ownership
+// of data's memory transfers to the file — the caller must not touch it
+// again (in-place Overwrite mutates it). Like Delete'd records, the
+// memory is only reclaimed wholesale when compaction rewrites the file.
+func (f *File) AppendOwned(data []byte) (firstPage, pageCount int) {
+	if len(data) == 0 {
+		return f.Append(data)
+	}
+	firstPage = len(f.pages)
+	for off := 0; off < len(data); off += f.pageSize {
+		end := off + f.pageSize
+		if end > len(data) {
+			end = len(data)
+		}
+		f.pages = append(f.pages, data[off:end:end])
+		f.writes.Add(1)
+		pageCount++
+	}
+	return firstPage, pageCount
+}
+
+// AppendPages is Append behind the Backing surface (memory appends cannot
+// fail).
+func (f *File) AppendPages(data []byte) (firstPage, pageCount int, err error) {
+	firstPage, pageCount = f.Append(data)
+	return firstPage, pageCount, nil
+}
+
+// ReadPage returns the live buffer of page i, charging one read. dst is
+// ignored (File is a Stable backing).
+func (f *File) ReadPage(i int, dst []byte) ([]byte, error) {
+	if i < 0 || i >= len(f.pages) {
+		return nil, fmt.Errorf("pagefile: page %d out of range of %d pages", i, len(f.pages))
+	}
+	f.reads.Add(1)
+	return f.pages[i], nil
 }
 
 // ErrSizeMismatch reports an Overwrite whose payload does not match the
@@ -137,17 +244,19 @@ func (f *File) ViewInto(firstPage, pageCount int, buf [][]byte) ([][]byte, error
 // Read returns the concatenated contents of pageCount pages starting at
 // firstPage, charging one read per page.
 func (f *File) Read(firstPage, pageCount int) ([]byte, error) {
+	return f.ReadInto(firstPage, pageCount, nil)
+}
+
+// ReadInto is Read appending the record bytes to buf (pass buf[:0] to
+// reuse its backing array), so looping readers allocate nothing once the
+// buffer has grown.
+func (f *File) ReadInto(firstPage, pageCount int, buf []byte) ([]byte, error) {
 	if firstPage < 0 || pageCount < 1 || firstPage+pageCount > len(f.pages) {
 		return nil, fmt.Errorf("pagefile: read [%d, %d) out of range of %d pages", firstPage, firstPage+pageCount, len(f.pages))
 	}
-	var size int
 	for i := firstPage; i < firstPage+pageCount; i++ {
-		size += len(f.pages[i])
-	}
-	out := make([]byte, 0, size)
-	for i := firstPage; i < firstPage+pageCount; i++ {
-		out = append(out, f.pages[i]...)
+		buf = append(buf, f.pages[i]...)
 	}
 	f.reads.Add(int64(pageCount))
-	return out, nil
+	return buf, nil
 }

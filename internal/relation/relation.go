@@ -27,23 +27,75 @@ type location struct {
 
 // Relation is an insert-only table of float64 vectors keyed by int64 IDs.
 // Complex spectra are stored as interleaved (real, imaginary) floats via
-// the EncodeComplex / DecodeComplex helpers. An optional LRU buffer pool
+// the EncodeComplex / DecodeComplex helpers. An optional buffer pool
 // (AttachPool) absorbs repeated reads, so the file's read counter then
 // reports physical I/O (pool misses) rather than logical requests.
+//
+// A relation is either memory-backed (New — every page resident, views
+// are stable references) or disk-backed (NewDisk — pages fault in through
+// a mandatory buffer pool, views are pinned frames that the reader must
+// give back with ReleaseView). The access surface is identical; only the
+// release discipline differs, and ReleaseView is a no-op for memory
+// relations so callers can always pair view and release.
 type Relation struct {
-	file *pagefile.File
+	file pagefile.Backing
+	mem  *pagefile.File     // non-nil iff memory-backed
+	disk *pagefile.DiskFile // non-nil iff disk-backed
 	pool *pagefile.BufferPool
 	locs map[int64]location
 	ids  []int64 // insertion order, for deterministic scans
 }
 
-// New creates an empty relation over a fresh page file with the given page
-// size (<= 0 selects the default).
+// New creates an empty relation over a fresh in-memory page file with the
+// given page size (<= 0 selects the default).
 func New(pageSize int) *Relation {
+	mem := pagefile.New(pageSize)
 	return &Relation{
-		file: pagefile.New(pageSize),
+		file: mem,
+		mem:  mem,
 		locs: make(map[int64]location),
 	}
+}
+
+// DefaultDiskCachePages is the buffer-pool size a disk relation gets when
+// the caller does not choose one (cachePages <= 0): 1024 pages = 4 MiB at
+// the default page size.
+const DefaultDiskCachePages = 1024
+
+// NewDisk creates an empty relation over a disk-backed page file at path
+// (created, truncated; removed again by Close). All reads go through a
+// buffer pool of cachePages pages (<= 0 selects DefaultDiskCachePages) —
+// the pool is mandatory for disk relations because page frames are
+// recycled on eviction.
+func NewDisk(path string, pageSize, cachePages int) (*Relation, error) {
+	disk, err := pagefile.OpenDisk(path, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	if cachePages <= 0 {
+		cachePages = DefaultDiskCachePages
+	}
+	pool, err := pagefile.NewBufferPool(disk, cachePages)
+	if err != nil {
+		disk.Close()
+		return nil, err
+	}
+	return &Relation{
+		file: disk,
+		disk: disk,
+		pool: pool,
+		locs: make(map[int64]location),
+	}, nil
+}
+
+// Close releases the backing storage (removing the scratch file of a disk
+// relation). The relation must not be used afterwards. No-op for memory
+// relations.
+func (r *Relation) Close() error {
+	if r.disk != nil {
+		return r.disk.Close()
+	}
+	return nil
 }
 
 // Len returns the number of stored records.
@@ -66,7 +118,53 @@ func (r *Relation) Insert(id int64, vec []float64) error {
 	if _, ok := r.locs[id]; ok {
 		return fmt.Errorf("relation: duplicate id %d", id)
 	}
-	first, count := r.file.Append(encodeFloats(vec))
+	first, count, err := r.file.AppendPages(encodeFloats(vec))
+	if err != nil {
+		return err
+	}
+	r.locs[id] = location{firstPage: first, pageCount: count}
+	r.ids = append(r.ids, id)
+	return nil
+}
+
+// InsertRaw stores an already-encoded record — the exact byte layout
+// encodeFloats produces (little-endian float64s) — under id without
+// re-encoding. The snapshot cold-start load uses it to move spectra from
+// the snapshot straight into pages: the on-disk DERV section shares the
+// record layout, so adopting a snapshot never round-trips bytes through
+// float64 or complex128 values.
+func (r *Relation) InsertRaw(id int64, data []byte) error {
+	if len(data)%8 != 0 {
+		return fmt.Errorf("relation: raw record of %d bytes is not a float64 vector", len(data))
+	}
+	if _, ok := r.locs[id]; ok {
+		return fmt.Errorf("relation: duplicate id %d", id)
+	}
+	first, count, err := r.file.AppendPages(data)
+	if err != nil {
+		return err
+	}
+	r.locs[id] = location{firstPage: first, pageCount: count}
+	r.ids = append(r.ids, id)
+	return nil
+}
+
+// InsertOwned is InsertRaw transferring ownership of data's memory to the
+// relation: a memory-backed relation adopts the bytes as its pages in
+// place (no page allocation, no copy), a disk-backed one falls back to
+// the copying append (its write path copies regardless). The caller must
+// not read or write data afterwards.
+func (r *Relation) InsertOwned(id int64, data []byte) error {
+	if r.mem == nil {
+		return r.InsertRaw(id, data)
+	}
+	if len(data)%8 != 0 {
+		return fmt.Errorf("relation: raw record of %d bytes is not a float64 vector", len(data))
+	}
+	if _, ok := r.locs[id]; ok {
+		return fmt.Errorf("relation: duplicate id %d", id)
+	}
+	first, count := r.mem.AppendOwned(data)
 	r.locs[id] = location{firstPage: first, pageCount: count}
 	r.ids = append(r.ids, id)
 	return nil
@@ -86,19 +184,29 @@ func (r *Relation) Replace(id int64, vec []float64) error {
 		return fmt.Errorf("relation: id %d not found", id)
 	}
 	data := encodeFloats(vec)
-	err := r.file.Overwrite(loc.firstPage, loc.pageCount, data)
+	var err error
+	if r.pool != nil {
+		// Write through the pool so cached disk frames refresh in place
+		// (memory frames alias the file's pages and need no refresh).
+		err = r.pool.Overwrite(loc.firstPage, loc.pageCount, data)
+	} else {
+		err = r.file.Overwrite(loc.firstPage, loc.pageCount, data)
+	}
 	if err == nil {
 		return nil
 	}
 	if !errors.Is(err, pagefile.ErrSizeMismatch) {
 		return err
 	}
-	first, count := r.file.Append(data)
+	first, count, err := r.file.AppendPages(data)
+	if err != nil {
+		return err
+	}
 	r.locs[id] = location{firstPage: first, pageCount: count}
 	return nil
 }
 
-// AttachPool routes all reads through an LRU buffer pool of the given page
+// AttachPool routes all reads through a buffer pool of the given page
 // capacity. After attaching, Stats().Reads counts physical reads (misses);
 // PoolStats exposes the hit/miss split. Attaching replaces any previous
 // pool.
@@ -121,6 +229,33 @@ func (r *Relation) PoolStats() (hits, misses int64, ok bool) {
 	return h, m, true
 }
 
+// PoolInfo is a point-in-time snapshot of a relation's buffer pool.
+type PoolInfo struct {
+	Hits, Misses, Evictions int64
+	Resident, Pinned        int
+	Capacity                int
+}
+
+// PoolInfo returns the full buffer-pool state, or ok=false if no pool is
+// attached.
+func (r *Relation) PoolInfo() (PoolInfo, bool) {
+	if r.pool == nil {
+		return PoolInfo{}, false
+	}
+	h, m := r.pool.HitsMisses()
+	return PoolInfo{
+		Hits:      h,
+		Misses:    m,
+		Evictions: r.pool.Evictions(),
+		Resident:  r.pool.Resident(),
+		Pinned:    r.pool.Pinned(),
+		Capacity:  r.pool.Capacity(),
+	}, true
+}
+
+// DiskBacked reports whether the relation's pages live on disk.
+func (r *Relation) DiskBacked() bool { return r.disk != nil }
+
 // Get fetches the record stored under id, charging page reads.
 func (r *Relation) Get(id int64) ([]float64, error) {
 	loc, ok := r.locs[id]
@@ -134,7 +269,7 @@ func (r *Relation) Get(id int64) ([]float64, error) {
 	if r.pool != nil {
 		data, err = r.pool.Read(loc.firstPage, loc.pageCount)
 	} else {
-		data, err = r.file.Read(loc.firstPage, loc.pageCount)
+		data, err = r.mem.Read(loc.firstPage, loc.pageCount)
 	}
 	if err != nil {
 		return nil, err
@@ -157,6 +292,9 @@ func (r *Relation) ViewPages(id int64) ([][]byte, error) {
 
 // ViewPagesInto is ViewPages appending the page views to buf (pass buf[:0]
 // to reuse its backing array), so steady-state readers allocate nothing.
+// For a disk relation the returned pages are pinned buffer-pool frames:
+// the caller must call ReleaseView(id) when done (safe and free to call
+// for memory relations too).
 func (r *Relation) ViewPagesInto(id int64, buf [][]byte) ([][]byte, error) {
 	loc, ok := r.locs[id]
 	if !ok {
@@ -165,7 +303,19 @@ func (r *Relation) ViewPagesInto(id int64, buf [][]byte) ([][]byte, error) {
 	if r.pool != nil {
 		return r.pool.ViewInto(loc.firstPage, loc.pageCount, buf)
 	}
-	return r.file.ViewInto(loc.firstPage, loc.pageCount, buf)
+	return r.mem.ViewInto(loc.firstPage, loc.pageCount, buf)
+}
+
+// ReleaseView drops the pins taken by a ViewPages/ViewPagesInto of the
+// same record. No-op (and allocation-free) for memory relations, so hot
+// loops can pair every view with a release unconditionally.
+func (r *Relation) ReleaseView(id int64) {
+	if r.disk == nil || r.pool == nil {
+		return
+	}
+	if loc, ok := r.locs[id]; ok {
+		r.pool.Release(loc.firstPage, loc.pageCount)
+	}
 }
 
 // ComplexAt decodes the i-th complex coefficient from a record's page view
@@ -189,10 +339,23 @@ func ComplexAt(pages [][]byte, pageSize, i int) complex128 {
 
 // Scan iterates the relation in insertion order (the sequential access
 // pattern of the paper's scan baselines), decoding each record and charging
-// its page reads. Returning false stops the scan.
+// its page reads. Returning false stops the scan. The raw page bytes are
+// staged through one reused buffer across records; each callback still
+// receives a freshly decoded vector it may retain.
 func (r *Relation) Scan(fn func(id int64, vec []float64) bool) error {
+	var data []byte
 	for _, id := range r.ids {
-		vec, err := r.Get(id)
+		loc := r.locs[id]
+		var err error
+		if r.pool != nil {
+			data, err = r.pool.ReadInto(loc.firstPage, loc.pageCount, data[:0])
+		} else {
+			data, err = r.mem.ReadInto(loc.firstPage, loc.pageCount, data[:0])
+		}
+		if err != nil {
+			return err
+		}
+		vec, err := decodeFloats(data)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,280 @@
+package rtree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Versioned binary encoding of a packed tree. The on-disk form of a node
+// is exactly its flat SoA slab (all low corners, then all high corners)
+// plus leaf IDs, so a snapshot round-trip is byte-for-byte stable and
+// decode is a single sequential read: no sorting, no reinsertion, no
+// feature recomputation — the "read + validate + adopt" cold-start path.
+//
+// Layout (little endian throughout, matching the snapshot format):
+//
+//	magic   "RTS1"
+//	dims    uint8
+//	maxE    uint16
+//	minE    uint16
+//	flags   uint8   (bit 0: forced reinsertion enabled)
+//	height  uint8
+//	size    uint32  (total stored items)
+//	root node, pre-order:
+//	  level  uint8
+//	  count  uint16
+//	  slab   2*count*dims float64 (lows entry-major, then highs)
+//	  ids    count int64          (leaf nodes only)
+//	  children                    (internal nodes, in entry order)
+//	magic   "RTE1"
+const (
+	serialMagic    = "RTS1"
+	serialEndMagic = "RTE1"
+)
+
+// EncodeBinary writes the tree in the versioned binary format. remap, if
+// non-nil, rewrites each stored item ID on the way out — snapshots use it
+// to translate live IDs (which have gaps after deletes) into the dense
+// record positions the loader will assign.
+func (t *Tree) EncodeBinary(w io.Writer, remap func(id int64) (int64, bool)) error {
+	if t.maxEntries > math.MaxUint16 {
+		return fmt.Errorf("rtree: MaxEntries %d too large to serialise", t.maxEntries)
+	}
+	if t.height > math.MaxUint8 {
+		return fmt.Errorf("rtree: height %d too large to serialise", t.height)
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString(serialMagic)
+	bw.WriteByte(uint8(t.dims))
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(t.maxEntries))
+	bw.Write(u16[:])
+	binary.LittleEndian.PutUint16(u16[:], uint16(t.minEntries))
+	bw.Write(u16[:])
+	var flags uint8
+	if t.reinsert {
+		flags |= 1
+	}
+	bw.WriteByte(flags)
+	bw.WriteByte(uint8(t.height))
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(t.size))
+	bw.Write(u32[:])
+	if err := t.encodeNode(bw, t.root, remap); err != nil {
+		return err
+	}
+	bw.WriteString(serialEndMagic)
+	return bw.Flush()
+}
+
+func (t *Tree) encodeNode(bw *bufio.Writer, n *node, remap func(int64) (int64, bool)) error {
+	bw.WriteByte(uint8(n.level))
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(n.entries)))
+	bw.Write(u16[:])
+	var u64 [8]byte
+	// Slab: lows of every entry, then highs — written from the entry
+	// rects (the authoritative view), which is what the decoded node's
+	// flat slab will hold verbatim.
+	for _, e := range n.entries {
+		for _, v := range e.rect.Lo {
+			binary.LittleEndian.PutUint64(u64[:], math.Float64bits(v))
+			bw.Write(u64[:])
+		}
+	}
+	for _, e := range n.entries {
+		for _, v := range e.rect.Hi {
+			binary.LittleEndian.PutUint64(u64[:], math.Float64bits(v))
+			bw.Write(u64[:])
+		}
+	}
+	if n.leaf() {
+		for _, e := range n.entries {
+			id := e.id
+			if remap != nil {
+				mapped, ok := remap(id)
+				if !ok {
+					return fmt.Errorf("rtree: no remapping for stored id %d", id)
+				}
+				id = mapped
+			}
+			binary.LittleEndian.PutUint64(u64[:], uint64(id))
+			bw.Write(u64[:])
+		}
+		return nil
+	}
+	for i := range n.entries {
+		if err := t.encodeNode(bw, n.entries[i].child, remap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeBinary reads a tree written by EncodeBinary. The structural
+// parameters (dims, fan-out, reinsertion flag) come from the stream; the
+// caller should verify them against its expectations and run
+// CheckInvariants before adopting the tree.
+func DecodeBinary(r io.Reader) (*Tree, error) {
+	d := &serialDecoder{r: r}
+	magic := d.bytes(4)
+	if d.err != nil {
+		return nil, fmt.Errorf("rtree: decode header: %w", d.err)
+	}
+	if string(magic) != serialMagic {
+		return nil, fmt.Errorf("rtree: bad tree magic %q", magic)
+	}
+	dims := int(d.u8())
+	maxE := int(d.u16())
+	minE := int(d.u16())
+	flags := d.u8()
+	height := int(d.u8())
+	size := int(d.u32())
+	if d.err != nil {
+		return nil, fmt.Errorf("rtree: decode header: %w", d.err)
+	}
+	if dims < 1 {
+		return nil, fmt.Errorf("rtree: decoded dims %d invalid", dims)
+	}
+	if maxE < 4 || minE < 1 || minE > maxE/2 {
+		return nil, fmt.Errorf("rtree: decoded fan-out M=%d m=%d invalid", maxE, minE)
+	}
+	if height < 1 {
+		return nil, fmt.Errorf("rtree: decoded height %d invalid", height)
+	}
+	t := &Tree{
+		dims:       dims,
+		maxEntries: maxE,
+		minEntries: minE,
+		reinsert:   flags&1 != 0,
+		height:     height,
+	}
+	root, leaves, err := t.decodeNode(d, height-1)
+	if err != nil {
+		return nil, err
+	}
+	if leaves != size {
+		return nil, fmt.Errorf("rtree: decoded %d leaf entries, header says %d", leaves, size)
+	}
+	t.root = root
+	t.size = size
+	end := d.bytes(4)
+	if d.err != nil {
+		return nil, fmt.Errorf("rtree: decode trailer: %w", d.err)
+	}
+	if string(end) != serialEndMagic {
+		return nil, fmt.Errorf("rtree: bad tree end marker %q", end)
+	}
+	return t, nil
+}
+
+// decodeNode reads one node (recursively) that must sit at wantLevel.
+// It returns the node and the number of leaf entries under it.
+func (t *Tree) decodeNode(d *serialDecoder, wantLevel int) (*node, int, error) {
+	level := int(d.u8())
+	count := int(d.u16())
+	if d.err != nil {
+		return nil, 0, fmt.Errorf("rtree: decode node: %w", d.err)
+	}
+	if level != wantLevel {
+		return nil, 0, fmt.Errorf("rtree: node at level %d, expected %d", level, wantLevel)
+	}
+	if count > t.maxEntries {
+		return nil, 0, fmt.Errorf("rtree: node with %d entries exceeds M=%d", count, t.maxEntries)
+	}
+	n := &node{level: level}
+	dims := t.dims
+	// The stream holds the node's flat slab verbatim; read it once, then
+	// carve the entry rects out of a separate backing block (rects must
+	// not alias the slab: tree mutations resynchronise slab cells from
+	// the rects, which would corrupt under aliasing when entries are
+	// reordered).
+	n.flat = make([]float64, 2*count*dims)
+	if err := d.floats(n.flat); err != nil {
+		return nil, 0, fmt.Errorf("rtree: decode slab: %w", err)
+	}
+	backing := make([]float64, 2*count*dims)
+	copy(backing, n.flat)
+	lows, highs := backing[:count*dims], backing[count*dims:]
+	n.entries = make([]entry, count)
+	for i := 0; i < count; i++ {
+		lo := lows[i*dims : (i+1)*dims : (i+1)*dims]
+		hi := highs[i*dims : (i+1)*dims : (i+1)*dims]
+		for k := 0; k < dims; k++ {
+			if lo[k] > hi[k] || math.IsNaN(lo[k]) || math.IsNaN(hi[k]) {
+				return nil, 0, fmt.Errorf("rtree: decoded rect not canonical in dim %d", k)
+			}
+		}
+		n.entries[i] = entry{rect: geom.Rect{Lo: lo, Hi: hi}}
+	}
+	if level == 0 {
+		for i := 0; i < count; i++ {
+			n.entries[i].id = int64(d.u64())
+		}
+		if d.err != nil {
+			return nil, 0, fmt.Errorf("rtree: decode leaf ids: %w", d.err)
+		}
+		return n, count, nil
+	}
+	if count == 0 {
+		return nil, 0, fmt.Errorf("rtree: internal node at level %d with no children", level)
+	}
+	var leaves int
+	for i := 0; i < count; i++ {
+		child, sub, err := t.decodeNode(d, level-1)
+		if err != nil {
+			return nil, 0, err
+		}
+		n.entries[i].child = child
+		leaves += sub
+	}
+	return n, leaves, nil
+}
+
+// serialDecoder wraps sticky-error little-endian reads.
+type serialDecoder struct {
+	r    io.Reader
+	err  error
+	buf  [8]byte
+	fbuf []byte
+}
+
+func (d *serialDecoder) bytes(n int) []byte {
+	if d.err != nil {
+		return d.buf[:n]
+	}
+	if _, err := io.ReadFull(d.r, d.buf[:n]); err != nil {
+		d.err = err
+	}
+	return d.buf[:n]
+}
+
+func (d *serialDecoder) u8() uint8   { return d.bytes(1)[0] }
+func (d *serialDecoder) u16() uint16 { return binary.LittleEndian.Uint16(d.bytes(2)) }
+func (d *serialDecoder) u32() uint32 { return binary.LittleEndian.Uint32(d.bytes(4)) }
+func (d *serialDecoder) u64() uint64 { return binary.LittleEndian.Uint64(d.bytes(8)) }
+
+// floats fills dst with len(dst) little-endian float64s in one read.
+func (d *serialDecoder) floats(dst []float64) error {
+	if d.err != nil {
+		return d.err
+	}
+	need := 8 * len(dst)
+	if cap(d.fbuf) < need {
+		d.fbuf = make([]byte, need)
+	}
+	b := d.fbuf[:need]
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = err
+		return err
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return nil
+}

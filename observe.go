@@ -46,6 +46,13 @@ func init() {
 	telemetry.Describe("tsq_watch_buffer_capacity", "Event-buffer capacity per live watch subscription.")
 	telemetry.Describe("tsq_query_worst_recent_seconds",
 		"Slowest retained execution per kind and strategy; request_id links to its GET /traces entry.")
+	telemetry.Describe("tsq_pool_hits_total", "Buffer-pool page hits across the store's relations (scrape-time).")
+	telemetry.Describe("tsq_pool_misses_total", "Buffer-pool misses — physical page reads (scrape-time).")
+	telemetry.Describe("tsq_pool_evictions_total", "Buffer-pool frames evicted to make room (scrape-time).")
+	telemetry.Describe("tsq_pool_resident_pages", "Pages currently held in buffer-pool frames.")
+	telemetry.Describe("tsq_pool_pinned_pages", "Buffer-pool frames pinned by in-flight reads.")
+	telemetry.Describe("tsq_pool_capacity_pages", "Total buffer-pool frame capacity across relations.")
+	telemetry.Describe("tsq_store_disk_backed", "1 when series/spectrum pages live in backing files, 0 for memory stores.")
 }
 
 // Fixed-label handles, resolved once: the query path is hot enough that
@@ -323,6 +330,18 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	telemetry.GaugeOf("tsq_monitor_subscribers").Set(float64(subs))
 	telemetry.GaugeOf("tsq_monitor_replay_events").Set(float64(events))
 	telemetry.GaugeOf("tsq_uptime_seconds").Set(time.Since(s.started).Seconds())
+	ps := s.db.PoolStats()
+	telemetry.GaugeOf("tsq_pool_hits_total").Set(float64(ps.Hits))
+	telemetry.GaugeOf("tsq_pool_misses_total").Set(float64(ps.Misses))
+	telemetry.GaugeOf("tsq_pool_evictions_total").Set(float64(ps.Evictions))
+	telemetry.GaugeOf("tsq_pool_resident_pages").Set(float64(ps.Resident))
+	telemetry.GaugeOf("tsq_pool_pinned_pages").Set(float64(ps.Pinned))
+	telemetry.GaugeOf("tsq_pool_capacity_pages").Set(float64(ps.Capacity))
+	diskBacked := 0.0
+	if ps.DiskBacked {
+		diskBacked = 1
+	}
+	telemetry.GaugeOf("tsq_store_disk_backed").Set(diskBacked)
 	// Per-subscriber and worst-recent families are rebuilt from scratch
 	// each scrape: their label sets (monitor/sub IDs, trace request IDs)
 	// churn, and stale series would otherwise accumulate forever.

@@ -20,19 +20,23 @@ func (db *DB) InsertBulk(batch []NamedSeries) error {
 	return db.eng.InsertBulk(names, values)
 }
 
-// WriteTo serializes the DB — schema and raw series — in a compact binary
-// snapshot format. Derived state (spectra, feature points, the index) is
-// rebuilt on load. It returns the number of bytes written.
+// WriteTo serializes the DB in a compact binary snapshot format (TSQ3):
+// schema and raw series plus the derived state — energy-ordered spectra,
+// feature points, and each shard's packed R*-tree, serialized
+// byte-for-byte. Loading a TSQ3 snapshot at the same shard count
+// validates and adopts the trees directly, so cold start costs one
+// sequential read instead of a full rebuild (no extraction, no FFT, no
+// STR sort). It returns the number of bytes written.
 func (db *DB) WriteTo(w io.Writer) (int64, error) {
 	return db.eng.WriteTo(w)
 }
 
-// ReadFrom loads a snapshot produced by WriteTo, rebuilding the indexes
-// with bulk loading. Both snapshot versions load: the sharded TSQ2 format
-// restores the shard count it was written with, and the original
-// single-store TSQ1 format yields an unsharded DB. The snapshot records
-// its own feature schema; storage options of the returned DB take
-// defaults.
+// ReadFrom loads a snapshot produced by WriteTo. All snapshot versions
+// load: TSQ3 adopts its serialized indexes (or, when re-sharded, reuses
+// its precomputed spectra and feature points and only re-packs the
+// trees), while the older TSQ2/TSQ1 formats rebuild derived state with
+// bulk loading. The snapshot records its own feature schema and shard
+// count; storage options of the returned DB take defaults.
 func ReadFrom(r io.Reader) (*DB, error) {
 	return ReadFromShards(r, 0)
 }
@@ -41,9 +45,30 @@ func ReadFrom(r io.Reader) (*DB, error) {
 // count recorded in the snapshot (1 for old single-store snapshots), any
 // n >= 1 re-partitions the store to n shards on load — always possible,
 // because shard assignment is a pure hash of the series name, so the
-// snapshot format carries no per-shard layout.
+// snapshot format carries no per-shard layout the target count must
+// match (though only a matching count can adopt TSQ3 trees as-is).
 func ReadFromShards(r io.Reader, shards int) (*DB, error) {
-	eng, err := core.ReadEngine(r, core.Options{}, shards)
+	return readEngine(r, core.Options{}, shards)
+}
+
+// ReadFromOptions is ReadFrom with explicit storage options — notably
+// Backing and CachePages, to load a snapshot into a disk-backed store
+// that can exceed RAM. Schema fields (Length, K, Space, NoMoments) are
+// ignored: the snapshot records its own. Shards selects partitioning as
+// in ReadFromShards (0 honors the snapshot).
+func ReadFromOptions(r io.Reader, opts Options) (*DB, error) {
+	coreOpts := core.Options{
+		PageSize:             opts.PageSize,
+		BufferPoolPages:      opts.BufferPoolPages,
+		SpectrumRefreshEvery: opts.RefreshEvery,
+		Backing:              opts.Backing,
+		CachePages:           opts.CachePages,
+	}
+	return readEngine(r, coreOpts, opts.Shards)
+}
+
+func readEngine(r io.Reader, coreOpts core.Options, shards int) (*DB, error) {
+	eng, err := core.ReadEngine(r, coreOpts, shards)
 	if err != nil {
 		return nil, err
 	}

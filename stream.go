@@ -316,7 +316,11 @@ func (s *Server) rangeAffected(queryName string, values []float64, eps float64, 
 // join's transformed store extent expanded by eps (Lemma 1 both ways): a
 // miss proves no stored series can pair with the written one, and the
 // missed point is absorbed into the extent so a later nearby write still
-// evicts. A nil return means "cannot prove anything — always invalidate"
+// evicts. Absorbing only ever grows the extent, so a long run of misses
+// from an outlier-heavy write stream would dilate it toward "everything
+// hits"; after joinRetagEvery absorbed misses the prefilter re-anchors
+// to the live store's feature bounds, shedding the accumulated growth.
+// A nil return means "cannot prove anything — always invalidate"
 // (e.g. an index-unsafe transformation with no affine action).
 func (s *Server) joinAffected(eps float64, left, right Transform, twoSided bool) func([]Pair) (func(writeEvent) bool, []int) {
 	return func(pairs []Pair) (func(writeEvent) bool, []int) {
@@ -346,13 +350,21 @@ func (s *Server) joinAffected(eps float64, left, right Transform, twoSided bool)
 				if members[ev.name] || ev.point == nil {
 					return true
 				}
-				return jp.Hit(ev.point)
+				hit := jp.Hit(ev.point)
+				if !hit && jp.Absorbed() >= joinRetagEvery {
+					jp.Retag(s.db.eng.FeatureBounds())
+				}
+				return hit
 			default:
 				return true
 			}
 		}, shards
 	}
 }
+
+// joinRetagEvery is how many absorbed prefilter misses a cached join
+// entry tolerates before its extent re-anchors to the live store bounds.
+const joinRetagEvery = 32
 
 // nnAffected is the NN analogue: the search rectangle's threshold is the
 // cached k-th best distance — a new point outside it provably cannot

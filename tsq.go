@@ -121,7 +121,22 @@ type Options struct {
 	// BufferPoolPages, when positive, routes storage reads through LRU
 	// buffer pools of this many pages, so Stats.PageReads counts physical
 	// reads (pool misses) as a real buffer manager would. Default off.
+	// Ignored when Backing is set (disk stores always run a real pool,
+	// sized by CachePages).
 	BufferPoolPages int
+	// Backing, when non-empty, stores series and spectrum pages in files
+	// under this directory instead of in memory, so the store can exceed
+	// RAM. All page reads go through a fixed-size clock buffer pool of
+	// CachePages frames per relation; only the pool and the index are
+	// resident. Sharded stores give each shard its own subdirectory. The
+	// files are scratch storage owned by the DB — recreated on Open,
+	// removed as generations are compacted away — not a persistence
+	// format; use WriteTo/ReadFrom snapshots for durability.
+	Backing string
+	// CachePages sizes the per-relation buffer pool of a disk-backed
+	// store (default 1024 pages, i.e. 4 MiB per relation at the default
+	// page size). Ignored when Backing is empty.
+	CachePages int
 	// RefreshEvery bounds how many appended points a series' stored
 	// spectrum record may lag its sliding window before the streaming
 	// ingest path rewrites it with the exact FFT. Smaller values favor
@@ -177,6 +192,8 @@ func Open(opts Options) (*DB, error) {
 		RTree:                rtree.Options{MaxEntries: opts.NodeCapacity},
 		BufferPoolPages:      opts.BufferPoolPages,
 		SpectrumRefreshEvery: opts.RefreshEvery,
+		Backing:              opts.Backing,
+		CachePages:           opts.CachePages,
 	}
 	if opts.Shards > 1 {
 		eng, err := core.NewSharded(opts.Length, opts.Shards, coreOpts)
@@ -246,7 +263,26 @@ func (db *DB) Engine() core.Engine { return db.eng }
 func (db *DB) Shards() int { return db.shards }
 
 // Compact rebuilds the storage pages, reclaiming space left behind by
-// Delete and Update. It returns the number of simulated pages reclaimed.
+// Delete and Update, and re-packs the index with STR bulk loading. On a
+// disk-backed store it rewrites the page files into a fresh generation
+// and removes the old one. It returns the number of pages reclaimed. A
+// sharded store compacts shard by shard, stalling writers on at most one
+// shard at a time.
 func (db *DB) Compact() (int, error) {
 	return db.eng.Compact()
 }
+
+// Close releases backing storage — the scratch page files of a
+// disk-backed store; a no-op for memory stores. The DB must not be used
+// afterwards.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// PoolStats aggregates buffer-pool counters across the store's relations
+// (and shards). All fields are zero when no pool is configured.
+type PoolStats = core.PoolStats
+
+// PoolStats reports the store's aggregated buffer-pool counters: cache
+// hits, misses (physical reads), evictions, and current resident/pinned
+// frames. DiskBacked reports whether pages live in files rather than
+// memory.
+func (db *DB) PoolStats() PoolStats { return db.eng.PoolStats() }
